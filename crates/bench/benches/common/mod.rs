@@ -1,0 +1,47 @@
+#![allow(dead_code)]
+
+//! Shared support for the per-figure Criterion benches: a quick-scale
+//! run environment so each bench iteration is one full (small)
+//! simulation.
+
+use std::sync::Arc;
+
+use ebcp_sim::{PrefetcherSpec, RunSpec, SimConfig, SimResult};
+use ebcp_trace::{TraceRecord, WorkloadSpec};
+
+/// Scale denominator used by all benches.
+pub const DEN: u64 = 16;
+
+/// A prepared workload: spec + materialized trace.
+pub struct Prepared {
+    pub spec: RunSpec,
+    pub trace: Arc<Vec<TraceRecord>>,
+}
+
+/// Prepares a quick-scale run for `preset` with an optional machine
+/// override.
+pub fn prepare(preset: WorkloadSpec, sim: Option<SimConfig>) -> Prepared {
+    let workload = preset.scaled(1, DEN as usize);
+    let interval = workload.recurrence_interval();
+    let spec = RunSpec {
+        workload,
+        seed: 11,
+        warmup_insts: interval * 3 / 2,
+        measure_insts: interval / 2,
+        sim: sim.unwrap_or_else(|| SimConfig::scaled_down(DEN)),
+    };
+    let trace = spec.materialize();
+    Prepared { spec, trace }
+}
+
+impl Prepared {
+    /// Runs one prefetcher over the prepared trace.
+    pub fn run(&self, pf: &PrefetcherSpec) -> SimResult {
+        self.spec.run_on(&self.trace, pf)
+    }
+}
+
+/// Scaled table entries at the bench scale.
+pub fn entries(full: u64) -> u64 {
+    (full / DEN).max(1 << 10)
+}

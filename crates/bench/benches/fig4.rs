@@ -1,0 +1,38 @@
+//! Figure 4 bench: the prefetch-degree sweep point at degree 8 on the
+//! idealized table, timed per workload; the whole series prints once.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebcp_core::EbcpConfig;
+use ebcp_sim::{PrefetcherSpec, SimConfig};
+use ebcp_trace::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_degree_sweep");
+    g.sample_size(10);
+    for preset in WorkloadSpec::all_presets() {
+        let name = preset.name.clone();
+        let sim = SimConfig::scaled_down(common::DEN).with_pbuf_entries(1024);
+        let prepared = common::prepare(preset, Some(sim));
+        let base = prepared.run(&PrefetcherSpec::None);
+        let idealized = EbcpConfig::idealized().with_table_entries(common::entries(8 << 20));
+        print!("fig4[{name}]:");
+        for degree in [1usize, 2, 4, 8, 16, 32] {
+            let r = prepared.run(&PrefetcherSpec::Ebcp(idealized.with_degree(degree)));
+            print!(" d{degree}={:.1}%", r.improvement_over(&base) * 100.0);
+        }
+        println!();
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                prepared
+                    .run(&PrefetcherSpec::Ebcp(idealized.with_degree(8)))
+                    .improvement_over(&base)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 5 bench: EPI reduction / coverage / accuracy at the tuned
+//! degree, one bench per workload; the series prints once.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebcp_core::EbcpConfig;
+use ebcp_sim::{PrefetcherSpec, SimConfig};
+use ebcp_trace::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_secondary_metrics");
+    g.sample_size(10);
+    for preset in WorkloadSpec::all_presets() {
+        let name = preset.name.clone();
+        let sim = SimConfig::scaled_down(common::DEN).with_pbuf_entries(1024);
+        let prepared = common::prepare(preset, Some(sim));
+        let base = prepared.run(&PrefetcherSpec::None);
+        let idealized = EbcpConfig::idealized().with_table_entries(common::entries(8 << 20));
+        for degree in [2usize, 8, 32] {
+            let r = prepared.run(&PrefetcherSpec::Ebcp(idealized.with_degree(degree)));
+            println!(
+                "fig5[{name}] d{degree}: epiRed={:.1}% cov={:.1}% acc={:.1}% instMR={:.2} loadMR={:.2}",
+                r.epi_reduction_over(&base) * 100.0,
+                r.coverage() * 100.0,
+                r.accuracy() * 100.0,
+                r.inst_mr(),
+                r.load_mr()
+            );
+        }
+        g.bench_function(&name, |b| {
+            b.iter(|| prepared.run(&PrefetcherSpec::Ebcp(idealized.with_degree(8))).coverage())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 6 bench: the correlation-table-size sweep (degree 8), timed at
+//! the 1M-paper-equivalent point; the series prints once.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebcp_core::EbcpConfig;
+use ebcp_sim::{PrefetcherSpec, SimConfig};
+use ebcp_trace::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_table_size");
+    g.sample_size(10);
+    for preset in WorkloadSpec::all_presets() {
+        let name = preset.name.clone();
+        let sim = SimConfig::scaled_down(common::DEN).with_pbuf_entries(1024);
+        let prepared = common::prepare(preset, Some(sim));
+        let base = prepared.run(&PrefetcherSpec::None);
+        print!("fig6[{name}]:");
+        for full in [8u64 << 20, 1 << 20, 256 << 10, 64 << 10] {
+            let cfg = EbcpConfig::idealized()
+                .with_degree(8)
+                .with_table_entries(common::entries(full));
+            let r = prepared.run(&PrefetcherSpec::Ebcp(cfg));
+            print!(" {}k={:.1}%", full >> 10, r.improvement_over(&base) * 100.0);
+        }
+        println!(" (entries are paper-equivalent / {})", common::DEN);
+        let tuned_size = EbcpConfig::idealized()
+            .with_degree(8)
+            .with_table_entries(common::entries(1 << 20));
+        g.bench_function(&name, |b| {
+            b.iter(|| prepared.run(&PrefetcherSpec::Ebcp(tuned_size)).improvement_over(&base))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 7 bench: the prefetch-buffer sweep at the tuned configuration,
+//! timed at the 64-entry (tuned) point; the series prints once.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebcp_core::EbcpConfig;
+use ebcp_sim::{PrefetcherSpec, RunSpec, SimConfig};
+use ebcp_trace::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_buffer_size");
+    g.sample_size(10);
+    for preset in WorkloadSpec::all_presets() {
+        let name = preset.name.clone();
+        let prepared = common::prepare(preset, None);
+        let base = prepared.run(&PrefetcherSpec::None);
+        let tuned = EbcpConfig::tuned().with_table_entries(common::entries(1 << 20));
+        print!("fig7[{name}]:");
+        for buf in [1024usize, 256, 64, 16] {
+            let spec = RunSpec {
+                sim: SimConfig::scaled_down(common::DEN).with_pbuf_entries(buf),
+                ..prepared.spec.clone()
+            };
+            let r = spec.run_on(&prepared.trace, &PrefetcherSpec::Ebcp(tuned));
+            print!(" {buf}={:.1}%", r.improvement_over(&base) * 100.0);
+        }
+        println!();
+        g.bench_function(&name, |b| {
+            b.iter(|| prepared.run(&PrefetcherSpec::Ebcp(tuned)).improvement_over(&base))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 8 bench: bandwidth sensitivity — times the degree-8 run at the
+//! lowest bandwidth; the degree × bandwidth matrix prints once.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebcp_core::EbcpConfig;
+use ebcp_sim::{PrefetcherSpec, SimConfig};
+use ebcp_trace::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_bandwidth");
+    g.sample_size(10);
+    for preset in [WorkloadSpec::database(), WorkloadSpec::specjbb2005()] {
+        let name = preset.name.clone();
+        let idealized = EbcpConfig::idealized().with_table_entries(common::entries(8 << 20));
+        for (num, den, label) in [(1u64, 3u64, "3.2"), (1, 1, "9.6")] {
+            let sim = SimConfig::scaled_down(common::DEN)
+                .with_bandwidth(num, den)
+                .with_pbuf_entries(1024);
+            let prepared = common::prepare(preset.clone(), Some(sim));
+            let base = prepared.run(&PrefetcherSpec::None);
+            print!("fig8[{name} @ {label} GB/s]:");
+            for degree in [4usize, 8, 16, 32] {
+                let r = prepared.run(&PrefetcherSpec::Ebcp(idealized.with_degree(degree)));
+                print!(" d{degree}={:.1}%", r.improvement_over(&base) * 100.0);
+            }
+            println!();
+            if label == "3.2" {
+                g.bench_function(format!("{name}_at_3.2GBs"), |b| {
+                    b.iter(|| {
+                        prepared
+                            .run(&PrefetcherSpec::Ebcp(idealized.with_degree(8)))
+                            .improvement_over(&base)
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 9 bench: the full prefetcher comparison — times the EBCP run
+//! per workload; the comparison table prints once.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebcp_core::EbcpConfig;
+use ebcp_prefetch::{BaselineConfig, GhbConfig, SolihinConfig};
+use ebcp_sim::PrefetcherSpec;
+use ebcp_trace::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_comparison");
+    g.sample_size(10);
+    for preset in WorkloadSpec::all_presets() {
+        let name = preset.name.clone();
+        let prepared = common::prepare(preset, None);
+        let base = prepared.run(&PrefetcherSpec::None);
+        let entries = common::entries(1 << 20);
+        let contenders: Vec<PrefetcherSpec> = vec![
+            PrefetcherSpec::baseline(
+                "ghb-large",
+                BaselineConfig::Ghb(GhbConfig {
+                    index_entries: common::entries(256 << 10) as usize,
+                    ghb_entries: common::entries(256 << 10) as usize,
+                    ..GhbConfig::large()
+                }),
+            ),
+            PrefetcherSpec::baseline(
+                "solihin-6,1",
+                BaselineConfig::Solihin(SolihinConfig { entries, ..SolihinConfig::deep() }),
+            ),
+            PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(entries)),
+            PrefetcherSpec::Ebcp(EbcpConfig::comparison_minus().with_table_entries(entries)),
+        ];
+        print!("fig9[{name}]:");
+        for pf in &contenders {
+            let r = prepared.run(pf);
+            print!(" {}={:.1}%", pf.name(), r.improvement_over(&base) * 100.0);
+        }
+        println!();
+        let ebcp = PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(entries));
+        g.bench_function(&name, |b| {
+            b.iter(|| prepared.run(&ebcp).improvement_over(&base))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

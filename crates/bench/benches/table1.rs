@@ -1,0 +1,30 @@
+//! Table 1 bench: times the baseline characterization run for each
+//! workload at bench scale, and prints the measured statistics once.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebcp_sim::PrefetcherSpec;
+use ebcp_trace::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for preset in WorkloadSpec::all_presets() {
+        let name = preset.name.clone();
+        let prepared = common::prepare(preset, None);
+        let r = prepared.run(&PrefetcherSpec::None);
+        println!(
+            "table1[{name}]: cpi={:.3} epi/1k={:.2} instMR={:.2} loadMR={:.2}",
+            r.cpi(),
+            r.epi_per_kilo(),
+            r.inst_mr(),
+            r.load_mr()
+        );
+        g.bench_function(&name, |b| b.iter(|| prepared.run(&PrefetcherSpec::None).cpi()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

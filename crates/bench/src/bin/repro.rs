@@ -1,0 +1,147 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all> [--scale quick|standard|full] [--csv]
+//! ```
+
+use std::time::Instant;
+
+use ebcp_bench::{experiments, report, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all> \
+         [--scale quick|standard|full] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what: Option<String> = None;
+    let mut scale = Scale::standard();
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale = Scale::parse(v).unwrap_or_else(|| usage());
+            }
+            "--csv" => csv = true,
+            s if what.is_none() && !s.starts_with('-') => what = Some(s.to_owned()),
+            _ => usage(),
+        }
+    }
+    let what = what.unwrap_or_else(|| usage());
+    let t0 = Instant::now();
+    eprintln!(
+        "# scale 1/{} machine ({} KB L2), warm-up {} tenths / measure {} tenths of the recurrence interval",
+        scale.den,
+        (2 << 20) / scale.den / 1024,
+        scale.warm_tenths,
+        scale.measure_tenths,
+    );
+
+    let run_one = |name: &str| match name {
+        "table1" => {
+            let rows = experiments::table1(scale);
+            print!("{}", report::render_table1(&rows));
+        }
+        "fig4" => {
+            let rows = experiments::fig4_5(scale);
+            if csv {
+                print!("{}", report::sweep_csv(&rows));
+            } else {
+                print!(
+                    "{}",
+                    report::render_sweep_improvement(
+                        "Figure 4: improvement vs prefetch degree (idealized table)",
+                        "degree",
+                        &rows
+                    )
+                );
+            }
+        }
+        "fig5" => {
+            let rows = experiments::fig4_5(scale);
+            if csv {
+                print!("{}", report::sweep_csv(&rows));
+            } else {
+                print!(
+                    "{}",
+                    report::render_sweep_details(
+                        "Figure 5: EPI reduction, residual miss rates, coverage and accuracy vs degree",
+                        "degree",
+                        &rows
+                    )
+                );
+            }
+        }
+        "fig6" => {
+            let rows = experiments::fig6(scale);
+            if csv {
+                print!("{}", report::sweep_csv(&rows));
+            } else {
+                print!(
+                    "{}",
+                    report::render_sweep_improvement(
+                        &format!(
+                            "Figure 6: improvement vs correlation-table entries \
+                             (multiply by {} for the paper-equivalent size)",
+                            scale.den
+                        ),
+                        "entries",
+                        &rows
+                    )
+                );
+            }
+        }
+        "fig7" => {
+            let rows = experiments::fig7(scale);
+            if csv {
+                print!("{}", report::sweep_csv(&rows));
+            } else {
+                print!(
+                    "{}",
+                    report::render_sweep_improvement(
+                        "Figure 7: improvement vs prefetch-buffer entries \
+                         (64 = the tuned EBCP; paper: 23/13/31/26%)",
+                        "buffer",
+                        &rows
+                    )
+                );
+            }
+        }
+        "fig8" => {
+            let rows = experiments::fig8(scale);
+            print!("{}", report::render_fig8(&rows));
+        }
+        "fig9" => {
+            let rows = experiments::fig9(scale);
+            print!("{}", report::render_fig9(&rows));
+        }
+        "ablation" => {
+            let rows = experiments::ablation(scale);
+            print!("{}", report::render_ablation(&rows));
+        }
+        "cmp" => {
+            let rows = experiments::cmp_interleaving(scale, &[1, 2, 4]);
+            print!("{}", report::render_cmp(&rows));
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    };
+
+    if what == "all" {
+        for name in ["table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "cmp"] {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(&what);
+    }
+    eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,30 @@
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! Each driver returns typed rows and can print an aligned table with the
+//! paper's reference values beside the measured ones. The `repro` binary
+//! exposes one subcommand per experiment; the Criterion benches in
+//! `benches/` time scaled-down versions of the same drivers.
+//!
+//! # Scaling
+//!
+//! Experiments run on a *proportionally scaled* machine: caches and
+//! workload footprints are divided by the same factor (default 4), which
+//! preserves Table 1's per-instruction statistics while cutting the
+//! recurrence interval — and hence the trace length — by the factor.
+//! Capacity-class predictor tables (GHB, TCP PHT, SMS PHT, the
+//! main-memory correlation tables) scale with the factor too, so every
+//! capacity ratio in the comparison is preserved; structural parameters
+//! (prefetch buffer, MSHRs, memory latency, bus widths, 2 KB spatial
+//! regions) stay at the paper's values. `Scale::full()` runs the true
+//! 2 MB-L2 machine.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use experiments::{
+    ablation, cmp_interleaving, fig4_5, fig6, fig7, fig8, fig9, table1, AblationPoint, BwPoint, CmpPoint,
+    SweepPoint, Table1Row, CmpPointRow,
+};
+pub use scale::Scale;

@@ -1,0 +1,262 @@
+//! Table rendering for the experiment drivers.
+
+use std::fmt::Write as _;
+
+use crate::experiments::{AblationPoint, BwPoint, CmpPoint, CmpPointRow, SweepPoint, Table1Row};
+
+fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Renders Table 1 with the paper's values beside the measured ones.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 1: baseline processor without prefetching (measured | paper)");
+    let _ = writeln!(
+        s,
+        "{:<22} {:>15} {:>15} {:>15} {:>15}",
+        "workload", "CPI", "epochs/1k", "L2$ inst MR", "L2$ load MR"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<22} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2}",
+            r.workload, r.cpi, r.paper[0], r.epi, r.paper[1], r.inst_mr, r.paper[2], r.load_mr,
+            r.paper[3]
+        );
+    }
+    s
+}
+
+/// Renders a Figure 4-style sweep (improvement per swept value).
+pub fn render_sweep_improvement(title: &str, xlabel: &str, rows: &[SweepPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let mut xs: Vec<u64> = rows.iter().map(|r| r.x).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    let _ = write!(s, "{:<22}", format!("workload \\ {xlabel}"));
+    for x in &xs {
+        let _ = write!(s, " {:>9}", x);
+    }
+    let _ = writeln!(s);
+    let mut names: Vec<&str> = rows.iter().map(|r| r.workload.as_str()).collect();
+    names.dedup();
+    for name in names {
+        let _ = write!(s, "{:<22}", name);
+        for x in &xs {
+            if let Some(r) = rows.iter().find(|r| r.workload == name && r.x == *x) {
+                let _ = write!(s, " {:>9}", pct(r.improvement));
+            } else {
+                let _ = write!(s, " {:>9}", "-");
+            }
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Renders the Figure 5 secondary metrics (EPI reduction, residual miss
+/// rates, coverage, accuracy) for every sweep point.
+pub fn render_sweep_details(title: &str, xlabel: &str, rows: &[SweepPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(
+        s,
+        "{:<22} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "workload", xlabel, "epiRed", "cover", "accur", "instMR", "loadMR"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<22} {:>9} {:>8} {:>8} {:>8} {:>9.2} {:>9.2}",
+            r.workload,
+            r.x,
+            pct(r.epi_reduction),
+            pct(r.coverage),
+            pct(r.accuracy),
+            r.inst_mr,
+            r.load_mr
+        );
+    }
+    s
+}
+
+/// Renders the Figure 8 bandwidth-sensitivity matrix.
+pub fn render_fig8(rows: &[BwPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 8: improvement vs prefetch degree at 3.2 / 6.4 / 9.6 GB/s read bandwidth"
+    );
+    let mut degrees: Vec<u64> = rows.iter().map(|r| r.degree).collect();
+    degrees.sort_unstable();
+    degrees.dedup();
+    let mut keys: Vec<(String, &'static str)> = Vec::new();
+    for r in rows {
+        let k = (r.workload.clone(), r.bandwidth);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    let _ = write!(s, "{:<32}", "workload @ GB/s");
+    for d in &degrees {
+        let _ = write!(s, " {:>9}", format!("d={d}"));
+    }
+    let _ = writeln!(s, " {:>9}", "dropped");
+    for (w, bw) in keys {
+        let _ = write!(s, "{:<32}", format!("{w} @ {bw}"));
+        let mut dropped = 0;
+        for d in &degrees {
+            if let Some(r) =
+                rows.iter().find(|r| r.workload == w && r.bandwidth == bw && r.degree == *d)
+            {
+                let _ = write!(s, " {:>9}", pct(r.improvement));
+                dropped = dropped.max(r.dropped);
+            }
+        }
+        let _ = writeln!(s, " {:>9}", dropped);
+    }
+    s
+}
+
+/// Renders the Figure 9 comparison, with the paper's quoted numbers.
+pub fn render_fig9(rows: &[CmpPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 9: prefetcher comparison (improvement over no prefetching)");
+    let _ = writeln!(
+        s,
+        "{:<22} {:<13} {:>9} {:>8} {:>8} {:>9}",
+        "workload", "prefetcher", "improve", "cover", "accur", "paper"
+    );
+    for r in rows {
+        let paper = r.paper.map(pct).unwrap_or_else(|| "-".to_owned());
+        let _ = writeln!(
+            s,
+            "{:<22} {:<13} {:>9} {:>8} {:>8} {:>9}",
+            r.workload,
+            r.prefetcher,
+            pct(r.improvement),
+            pct(r.coverage),
+            pct(r.accuracy),
+            paper
+        );
+    }
+    s
+}
+
+/// Renders the ablation study.
+pub fn render_ablation(rows: &[AblationPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Ablations: tuned EBCP with individual design choices disabled");
+    let _ = writeln!(s, "{:<22} {:<24} {:>9} {:>8}", "workload", "variant", "improve", "cover");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<22} {:<24} {:>9} {:>8}",
+            r.workload,
+            r.variant,
+            pct(r.improvement),
+            pct(r.coverage)
+        );
+    }
+    s
+}
+
+/// Renders the CMP interleaving study.
+pub fn render_cmp(rows: &[CmpPointRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "CMP interleaving (§3.3.1 / §6): disjoint database mixes over a shared L2"
+    );
+    let _ = writeln!(s, "{:<14} {:>6} {:>9} {:>8}", "prefetcher", "cores", "improve", "cover");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<14} {:>6} {:>9} {:>8}",
+            r.prefetcher,
+            r.cores,
+            pct(r.improvement),
+            pct(r.coverage)
+        );
+    }
+    s
+}
+
+/// CSV dump of a sweep for plotting.
+pub fn sweep_csv(rows: &[SweepPoint]) -> String {
+    let mut s = String::from("workload,x,improvement,epi_reduction,coverage,accuracy,inst_mr,load_mr\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            r.workload, r.x, r.improvement, r.epi_reduction, r.coverage, r.accuracy, r.inst_mr,
+            r.load_mr
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(w: &str, x: u64, imp: f64) -> SweepPoint {
+        SweepPoint {
+            workload: w.to_owned(),
+            x,
+            improvement: imp,
+            epi_reduction: imp,
+            coverage: 0.5,
+            accuracy: 0.3,
+            inst_mr: 1.0,
+            load_mr: 2.0,
+        }
+    }
+
+    #[test]
+    fn sweep_table_contains_values() {
+        let rows = vec![point("database", 1, 0.07), point("database", 2, 0.14)];
+        let s = render_sweep_improvement("Fig 4", "degree", &rows);
+        assert!(s.contains("7.0%"));
+        assert!(s.contains("14.0%"));
+        assert!(s.contains("database"));
+    }
+
+    #[test]
+    fn table1_renders_paper_values() {
+        let rows = vec![Table1Row {
+            workload: "database".into(),
+            cpi: 3.1,
+            epi: 4.0,
+            inst_mr: 1.0,
+            load_mr: 6.0,
+            paper: [3.27, 4.07, 1.00, 6.23],
+        }];
+        let s = render_table1(&rows);
+        assert!(s.contains("3.27"));
+        assert!(s.contains("database"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = sweep_csv(&[point("w", 1, 0.1)]);
+        assert!(s.starts_with("workload,"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn fig9_renders_dash_for_missing_paper() {
+        let rows = vec![CmpPoint {
+            workload: "database".into(),
+            prefetcher: "stream".into(),
+            improvement: 0.01,
+            coverage: 0.01,
+            accuracy: 0.2,
+            paper: None,
+        }];
+        let s = render_fig9(&rows);
+        assert!(s.contains('-'));
+    }
+}

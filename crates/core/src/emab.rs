@@ -1,0 +1,266 @@
+//! The Epoch Miss Addresses Buffer (EMAB, §3.4.2).
+//!
+//! A circular buffer with four entries; each entry holds the (instruction
+//! and load) miss addresses of one epoch, the first address being the
+//! epoch's trigger. When a new epoch begins, the oldest entry is
+//! inspected: its first miss address keys the correlation-table update,
+//! and the miss addresses of the two latest entries become the entry's
+//! prefetch addresses. The EMAB is the prefetcher's *only* on-chip
+//! learning state.
+
+use ebcp_types::LineAddr;
+
+/// The miss addresses of one epoch; the first is the epoch trigger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochRecord {
+    addrs: Vec<LineAddr>,
+}
+
+impl EpochRecord {
+    /// The epoch trigger (first miss), if any miss was recorded.
+    pub fn trigger(&self) -> Option<LineAddr> {
+        self.addrs.first().copied()
+    }
+
+    /// All recorded miss addresses, in order.
+    pub fn addrs(&self) -> &[LineAddr] {
+        &self.addrs
+    }
+
+    /// Number of recorded misses.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether no miss was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// The learning inputs produced when the EMAB rotates: the retiring
+/// epoch's trigger and the prefetch addresses to store under it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnInput {
+    /// Correlation-table key: the oldest epoch's trigger address.
+    pub key: LineAddr,
+    /// Addresses to install, older epoch first (the paper gives the
+    /// older of the two epochs priority when the entry overflows).
+    pub addrs: Vec<LineAddr>,
+}
+
+/// The 4-entry circular Epoch Miss Addresses Buffer.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_core::Emab;
+/// use ebcp_types::LineAddr;
+///
+/// let mut emab = Emab::new(4, 32);
+/// for e in 0..4u64 {
+///     emab.begin_epoch();
+///     emab.record(LineAddr::from_index(e * 10));
+/// }
+/// // The 5th epoch retires the 1st: key = its trigger (line 0).
+/// let learn = emab.begin_epoch().expect("buffer full");
+/// assert_eq!(learn.key, LineAddr::from_index(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Emab {
+    epochs: std::collections::VecDeque<EpochRecord>,
+    capacity: usize,
+    max_addrs_per_epoch: usize,
+    /// When true, learning pairs the retiring epoch with epochs +1/+2
+    /// (the *EBCP minus* ablation) instead of +2/+3.
+    include_next_epoch: bool,
+}
+
+impl Emab {
+    /// Creates an EMAB with `capacity` epoch entries (the paper uses 4)
+    /// each holding at most `max_addrs_per_epoch` miss addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 3` (learning needs a retiring epoch plus two
+    /// later ones) or `max_addrs_per_epoch == 0`.
+    pub fn new(capacity: usize, max_addrs_per_epoch: usize) -> Self {
+        assert!(capacity >= 3, "EMAB needs at least 3 epochs");
+        assert!(max_addrs_per_epoch > 0);
+        Emab {
+            epochs: std::collections::VecDeque::with_capacity(capacity + 1),
+            capacity,
+            max_addrs_per_epoch,
+            include_next_epoch: false,
+        }
+    }
+
+    /// Switches to the *EBCP minus* pairing: the retiring epoch's trigger
+    /// is associated with the misses of the next two epochs (+1/+2)
+    /// instead of skipping one (+2/+3).
+    #[must_use]
+    pub fn with_next_epoch_included(mut self) -> Self {
+        self.include_next_epoch = true;
+        self
+    }
+
+    /// Starts a new epoch. If the buffer was full, the oldest epoch
+    /// retires and its learning input is returned: its trigger as the
+    /// key, and the miss addresses of the two configured later epochs
+    /// (older first).
+    pub fn begin_epoch(&mut self) -> Option<LearnInput> {
+        let mut learn = None;
+        if self.epochs.len() == self.capacity {
+            let oldest = self.epochs.pop_front().expect("nonempty");
+            if let Some(key) = oldest.trigger() {
+                // After popping, epochs[0] is trigger+1, [1] is +2, ...
+                let (a, b) = if self.include_next_epoch { (0, 1) } else { (1, 2) };
+                let mut addrs = Vec::new();
+                if let Some(e) = self.epochs.get(a) {
+                    addrs.extend_from_slice(e.addrs());
+                }
+                if let Some(e) = self.epochs.get(b) {
+                    addrs.extend_from_slice(e.addrs());
+                }
+                if !addrs.is_empty() {
+                    learn = Some(LearnInput { key, addrs });
+                }
+            }
+        }
+        self.epochs.push_back(EpochRecord::default());
+        learn
+    }
+
+    /// Records a miss address into the current epoch. A no-op before the
+    /// first [`Emab::begin_epoch`] or past the per-epoch cap.
+    pub fn record(&mut self, line: LineAddr) {
+        if let Some(cur) = self.epochs.back_mut() {
+            if cur.addrs.len() < self.max_addrs_per_epoch {
+                cur.addrs.push(line);
+            }
+        }
+    }
+
+    /// Number of epochs currently buffered.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether no epoch has begun yet.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Drops all buffered epochs (prefetcher deactivation).
+    pub fn clear(&mut self) {
+        self.epochs.clear();
+    }
+
+    /// The buffered epochs, oldest first (test/diagnostic access).
+    pub fn epochs(&self) -> impl DoubleEndedIterator<Item = &EpochRecord> {
+        self.epochs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    /// Reproduces the paper's running example (§3.4.2): epochs
+    /// {A,B} {C,D,E} {F,G} {H,I}; when the next epoch begins, the entry
+    /// keyed by A must receive F, G, H, I (epochs +2 and +3).
+    #[test]
+    fn paper_example_learning() {
+        let mut emab = Emab::new(4, 32);
+        let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
+        for e in epochs {
+            assert!(emab.begin_epoch().is_none());
+            for &a in *e {
+                emab.record(line(a));
+            }
+        }
+        let learn = emab.begin_epoch().expect("4 epochs buffered");
+        assert_eq!(learn.key, line(1)); // trigger A
+        assert_eq!(learn.addrs, vec![line(6), line(7), line(8), line(9)]); // F G H I
+    }
+
+    /// The EBCP-minus ablation stores the next epoch's misses instead.
+    #[test]
+    fn minus_variant_includes_next_epoch() {
+        let mut emab = Emab::new(4, 32).with_next_epoch_included();
+        let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
+        for e in epochs {
+            emab.begin_epoch();
+            for &a in *e {
+                emab.record(line(a));
+            }
+        }
+        let learn = emab.begin_epoch().expect("full");
+        assert_eq!(learn.key, line(1));
+        // C D E (epoch +1) then F G (epoch +2).
+        assert_eq!(learn.addrs, vec![line(3), line(4), line(5), line(6), line(7)]);
+    }
+
+    #[test]
+    fn rotation_is_circular() {
+        let mut emab = Emab::new(4, 32);
+        for e in 0..6u64 {
+            emab.begin_epoch();
+            emab.record(line(e * 10));
+            emab.record(line(e * 10 + 1));
+        }
+        // 6 epochs begun: epochs 0 and 1 have retired; buffer holds 2..5.
+        assert_eq!(emab.len(), 4);
+        let triggers: Vec<_> = emab.epochs().map(|e| e.trigger().unwrap()).collect();
+        assert_eq!(triggers, vec![line(20), line(30), line(40), line(50)]);
+    }
+
+    #[test]
+    fn learning_key_is_second_epoch_after_first_rotation() {
+        let mut emab = Emab::new(4, 32);
+        for e in 0..5u64 {
+            emab.begin_epoch();
+            emab.record(line(e));
+        }
+        // 6th epoch retires epoch 1.
+        let learn = emab.begin_epoch().expect("full");
+        assert_eq!(learn.key, line(1));
+        assert_eq!(learn.addrs, vec![line(3), line(4)]);
+    }
+
+    #[test]
+    fn empty_epochs_produce_no_learning() {
+        let mut emab = Emab::new(4, 32);
+        for _ in 0..4 {
+            emab.begin_epoch(); // no misses recorded
+        }
+        assert!(emab.begin_epoch().is_none());
+    }
+
+    #[test]
+    fn per_epoch_cap_enforced() {
+        let mut emab = Emab::new(4, 2);
+        emab.begin_epoch();
+        for i in 0..10u64 {
+            emab.record(line(i));
+        }
+        assert_eq!(emab.epochs().next_back().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn record_before_first_epoch_is_noop() {
+        let mut emab = Emab::new(4, 4);
+        emab.record(line(1));
+        assert!(emab.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_capacity_rejected() {
+        let _ = Emab::new(2, 4);
+    }
+}

@@ -1,0 +1,235 @@
+//! Epoch tracking and the epoch MLP model (§2.1).
+//!
+//! An epoch runs from the end of the previous epoch through the first
+//! off-chip access and until that access completes; all overlappable
+//! off-chip accesses within it effectively issue and complete together.
+//! Epochs are detected exactly as the paper prescribes: *the epoch count
+//! is incremented when the number of outstanding off-chip misses
+//! transitions from 0 to 1*.
+
+use ebcp_types::stats::Histogram;
+use ebcp_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate epoch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epochs observed (0→1 transitions).
+    pub epochs: u64,
+    /// Off-chip demand misses observed.
+    pub misses: u64,
+}
+
+impl EpochStats {
+    /// Epochs per 1000 instructions.
+    pub fn epi(&self, insts: u64) -> f64 {
+        if insts == 0 {
+            0.0
+        } else {
+            self.epochs as f64 * 1000.0 / insts as f64
+        }
+    }
+
+    /// Mean off-chip misses per epoch (the workload's memory-level
+    /// parallelism under the epoch model).
+    pub fn mlp(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.epochs as f64
+        }
+    }
+}
+
+/// Tracks epochs from the stream of off-chip demand miss issues and
+/// completions.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_core::EpochTracker;
+///
+/// let mut t = EpochTracker::new();
+/// assert!(t.on_offchip_issue(100)); // 0 -> 1: epoch trigger
+/// assert!(!t.on_offchip_issue(101)); // overlapped miss, same epoch
+/// t.on_all_complete(700);
+/// assert!(t.on_offchip_issue(900)); // next epoch
+/// assert_eq!(t.stats().epochs, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpochTracker {
+    outstanding: u32,
+    stats: EpochStats,
+    misses_this_epoch: u32,
+    misses_per_epoch: Histogram,
+    last_trigger_cycle: Cycle,
+}
+
+impl EpochTracker {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        EpochTracker {
+            outstanding: 0,
+            stats: EpochStats::default(),
+            misses_this_epoch: 0,
+            misses_per_epoch: Histogram::new(8),
+            last_trigger_cycle: 0,
+        }
+    }
+
+    /// Reports an off-chip demand miss issuing at `now`.
+    ///
+    /// Returns `true` when this miss is an *epoch trigger* (outstanding
+    /// count transitioned 0→1).
+    pub fn on_offchip_issue(&mut self, now: Cycle) -> bool {
+        self.stats.misses += 1;
+        self.outstanding += 1;
+        if self.outstanding == 1 {
+            if self.stats.epochs > 0 {
+                self.misses_per_epoch.record(u64::from(self.misses_this_epoch));
+            }
+            self.stats.epochs += 1;
+            self.misses_this_epoch = 1;
+            self.last_trigger_cycle = now;
+            true
+        } else {
+            self.misses_this_epoch += 1;
+            false
+        }
+    }
+
+    /// Reports that every outstanding off-chip demand miss completed at
+    /// `now` (the engine stalls to the overlapped group's completion).
+    pub fn on_all_complete(&mut self, now: Cycle) {
+        let _ = now;
+        self.outstanding = 0;
+    }
+
+    /// Outstanding off-chip demand misses right now.
+    pub const fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// Whether an off-chip access issued now would start a new epoch.
+    pub const fn would_trigger(&self) -> bool {
+        self.outstanding == 0
+    }
+
+    /// Statistics so far.
+    pub const fn stats(&self) -> EpochStats {
+        self.stats
+    }
+
+    /// Distribution of misses per completed epoch.
+    pub const fn misses_per_epoch(&self) -> &Histogram {
+        &self.misses_per_epoch
+    }
+
+    /// Resets statistics (end of warm-up) without disturbing the
+    /// outstanding-miss state.
+    pub fn reset_stats(&mut self) {
+        self.stats = EpochStats::default();
+        self.misses_per_epoch = Histogram::new(8);
+        self.misses_this_epoch = 0;
+    }
+}
+
+/// The epoch-model CPI identity (§2.1):
+///
+/// `CPI_overall = CPI_perf * (1 - overlap) + EPI * miss_penalty`
+///
+/// where `epi` is epochs *per instruction* (not per 1000) and
+/// `miss_penalty` the off-chip miss penalty in cycles. The paper uses
+/// this identity to argue that reducing EPI reduces overall CPI
+/// linearly; the simulator measures CPI directly and this helper exists
+/// for model-vs-measurement validation.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_core::epoch_model_cpi;
+/// let cpi = epoch_model_cpi(1.0, 0.1, 0.004, 500.0);
+/// assert!((cpi - (0.9 + 2.0)).abs() < 1e-12);
+/// ```
+pub fn epoch_model_cpi(cpi_perf: f64, overlap: f64, epi: f64, miss_penalty: f64) -> f64 {
+    cpi_perf * (1.0 - overlap) + epi * miss_penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_on_zero_to_one() {
+        let mut t = EpochTracker::new();
+        assert!(t.would_trigger());
+        assert!(t.on_offchip_issue(0));
+        assert!(!t.would_trigger());
+        assert!(!t.on_offchip_issue(1));
+        assert!(!t.on_offchip_issue(2));
+        assert_eq!(t.outstanding(), 3);
+        t.on_all_complete(500);
+        assert!(t.on_offchip_issue(600));
+        assert_eq!(t.stats().epochs, 2);
+        assert_eq!(t.stats().misses, 4);
+    }
+
+    #[test]
+    fn mlp_and_epi() {
+        let mut t = EpochTracker::new();
+        for e in 0..10 {
+            t.on_offchip_issue(e * 1000);
+            t.on_offchip_issue(e * 1000 + 1);
+            t.on_all_complete(e * 1000 + 500);
+        }
+        let s = t.stats();
+        assert_eq!(s.epochs, 10);
+        assert_eq!(s.misses, 20);
+        assert_eq!(s.mlp(), 2.0);
+        assert_eq!(s.epi(10_000), 1.0);
+    }
+
+    #[test]
+    fn misses_per_epoch_histogram() {
+        let mut t = EpochTracker::new();
+        // Epoch of 3 misses, then epoch of 1.
+        t.on_offchip_issue(0);
+        t.on_offchip_issue(1);
+        t.on_offchip_issue(2);
+        t.on_all_complete(500);
+        t.on_offchip_issue(600);
+        t.on_all_complete(1100);
+        t.on_offchip_issue(1200);
+        // Completed-epoch sizes recorded on the *next* trigger: 3 and 1.
+        let h = t.misses_per_epoch();
+        assert_eq!(h.samples(), 2);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_outstanding() {
+        let mut t = EpochTracker::new();
+        t.on_offchip_issue(0);
+        t.reset_stats();
+        assert_eq!(t.stats().epochs, 0);
+        assert_eq!(t.outstanding(), 1);
+        // The in-flight epoch's further misses are not triggers.
+        assert!(!t.on_offchip_issue(1));
+    }
+
+    #[test]
+    fn cpi_identity() {
+        // No off-chip component: CPI = CPI_perf.
+        assert_eq!(epoch_model_cpi(1.5, 0.0, 0.0, 500.0), 1.5);
+        // Pure off-chip: epi * penalty.
+        assert_eq!(epoch_model_cpi(0.0, 0.0, 0.002, 500.0), 1.0);
+        // Full overlap hides all on-chip time.
+        assert_eq!(epoch_model_cpi(2.0, 1.0, 0.001, 500.0), 0.5);
+    }
+
+    #[test]
+    fn epi_zero_instructions() {
+        assert_eq!(EpochStats::default().epi(0), 0.0);
+        assert_eq!(EpochStats::default().mlp(), 0.0);
+    }
+}

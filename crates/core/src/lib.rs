@@ -1,0 +1,56 @@
+//! The **epoch-based correlation prefetcher** (EBCP) — the paper's
+//! contribution — together with the epoch-model machinery it is built on.
+//!
+//! # The idea
+//!
+//! With off-chip latencies of several hundred cycles, commercial-workload
+//! execution decomposes into *epochs*: a stretch of on-chip computation,
+//! then a stall on a group of overlapped off-chip misses (§2.1). Two
+//! consequences drive the design:
+//!
+//! 1. **Eliminating an epoch removes its entire ~500-cycle penalty;
+//!    eliminating an already-overlapped miss removes nothing.** So the
+//!    correlation table maps the *trigger* (first miss) of epoch *i* to
+//!    **all** the misses of epochs *i+2* and *i+3* — not to the next few
+//!    individual misses like classic correlation prefetchers (§3.1).
+//! 2. **A main-memory table read launched at epoch *i*'s trigger is back
+//!    before epochs *i+2*/*i+3* begin** — its latency hides under epoch
+//!    *i*'s own stall, and the prefetches issue during epoch *i+1*
+//!    (§3.2). That is why the table can live in main memory, need zero
+//!    on-chip storage, and still be timely — and why the entry skips the
+//!    triggering epoch's remaining misses *and* epoch *i+1*'s misses.
+//!
+//! # Components
+//!
+//! * [`EpochTracker`] — counts epochs by 0→1 transitions of outstanding
+//!   off-chip misses, and the epoch-model CPI identity (§2.1).
+//! * [`Emab`] — the 4-entry Epoch Miss Address Buffer (§3.4.2): the only
+//!   on-chip learning state.
+//! * [`CorrelationTable`] — the direct-mapped, main-memory-resident table
+//!   with per-entry LRU prefetch-address slots and the low-byte address
+//!   compression that packs 8 addresses into one 64 B memory transfer.
+//! * [`EbcpPrefetcher`] — the prefetcher itself, implementing the
+//!   event-driven [`Prefetcher`](ebcp_prefetch::Prefetcher) trait. The
+//!   [`EbcpVariant::Minus`] ablation reproduces the paper's *EBCP minus*
+//!   (stores the next epoch's addresses too, wasting slots on untimely
+//!   prefetches — Figure 9).
+//!
+//! # Examples
+//!
+//! ```
+//! use ebcp_core::{EbcpConfig, EbcpPrefetcher};
+//! use ebcp_prefetch::Prefetcher;
+//!
+//! let p = EbcpPrefetcher::new(EbcpConfig::tuned());
+//! assert_eq!(p.name(), "ebcp");
+//! ```
+
+pub mod emab;
+pub mod epoch;
+pub mod prefetcher;
+pub mod table;
+
+pub use emab::{Emab, EpochRecord};
+pub use epoch::{epoch_model_cpi, EpochStats, EpochTracker};
+pub use prefetcher::{EbcpConfig, EbcpPrefetcher, EbcpStats, EbcpVariant};
+pub use table::{compress_line, decompress_line, CorrEntry, CorrelationTable};

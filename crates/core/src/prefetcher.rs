@@ -1,0 +1,630 @@
+//! The epoch-based correlation prefetcher (§3.4).
+//!
+//! Event flow, following the paper exactly:
+//!
+//! * **Learning** (§3.4.2): instruction and load miss addresses are
+//!   recorded in the current EMAB entry. When the epoch count increments
+//!   (a trigger miss arrives), the EMAB rotates; the retiring epoch's
+//!   trigger keys a correlation-table entry and the misses of the two
+//!   latest epochs become its prefetch addresses (older epoch
+//!   prioritized). The update is a main-memory read-modify-write: one
+//!   low-priority table read, then one table write. The contents are
+//!   applied when the read completes — if the bus is saturated and the
+//!   read is dropped, that learning opportunity is lost, exactly as the
+//!   hardware would lose it.
+//! * **Prediction** (§3.4.3): the first miss *or prefetch-buffer hit* of
+//!   a new epoch issues a low-priority table read keyed by its address.
+//!   When the read completes (≈ one memory latency later, hidden under
+//!   the triggering epoch's stall), up to `degree` prefetches issue,
+//!   each carrying the table-entry key as its origin token. Subsequent
+//!   misses in the same epoch do not look up the table.
+//! * **Feedback**: a prefetch-buffer hit promotes the hitting address in
+//!   its originating entry (one table write).
+//!
+//! [`EbcpVariant::Minus`] reproduces the paper's *EBCP minus* ablation:
+//! the table also stores the next epoch's addresses (+1/+2 pairing
+//! instead of +2/+3), wasting slots on prefetches that cannot be timely.
+
+use std::collections::HashMap;
+
+use ebcp_prefetch::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use ebcp_types::{Cycle, LineAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::emab::{Emab, LearnInput};
+use crate::table::{CorrTableStats, CorrelationTable};
+
+/// Which pairing the EMAB uses when learning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EbcpVariant {
+    /// The real EBCP: trigger of epoch *i* → misses of epochs *i+2*,
+    /// *i+3* (skip the rest of *i* and all of *i+1*; neither can be
+    /// prefetched timely once the table round-trip is paid).
+    Standard,
+    /// The Figure 9 ablation: trigger of epoch *i* → misses of epochs
+    /// *i+1*, *i+2*.
+    Minus,
+}
+
+/// EBCP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EbcpConfig {
+    /// Correlation-table entries (direct-mapped, in main memory).
+    pub table_entries: u64,
+    /// Prefetch-address slots per table entry.
+    pub slots_per_entry: usize,
+    /// Maximum prefetches issued per table match (the *prefetch degree*).
+    pub degree: usize,
+    /// Learning pairing variant.
+    pub variant: EbcpVariant,
+    /// EMAB epoch entries (the paper uses 4).
+    pub emab_epochs: usize,
+    /// Maximum miss addresses recorded per EMAB epoch entry.
+    pub emab_addrs_per_epoch: usize,
+    /// Minimum cycles between prediction lookups chained off
+    /// prefetch-buffer hits. When an entire epoch is averted there is no
+    /// 0→1 outstanding transition to delimit it, so buffer hits stand in
+    /// for triggers; the refractory interval keeps one lookup per
+    /// would-be epoch rather than one per hit.
+    pub trigger_refractory: Cycle,
+    /// §3.4.3 LRU feedback: promote an address within its entry when its
+    /// prefetch is used. Disable for the ablation.
+    pub promote_on_hit: bool,
+    /// §3.4.3 buffer-hit triggering: a prefetch-buffer hit that would
+    /// have been an epoch trigger keys a lookup (and rotates the EMAB),
+    /// keeping the chain alive through fully-averted epochs. Disable for
+    /// the ablation.
+    pub chain_on_buffer_hit: bool,
+}
+
+impl EbcpConfig {
+    /// The *tuned* configuration of §5.2: 1M-entry table, degree 8,
+    /// 8 slots (one 64 B transfer per access).
+    pub const fn tuned() -> Self {
+        EbcpConfig {
+            table_entries: 1 << 20,
+            slots_per_entry: 8,
+            degree: 8,
+            variant: EbcpVariant::Standard,
+            emab_epochs: 4,
+            emab_addrs_per_epoch: 32,
+            trigger_refractory: 150,
+            promote_on_hit: true,
+            chain_on_buffer_hit: true,
+        }
+    }
+
+    /// The *idealized* starting point of the design-space exploration
+    /// (§5.2): 8M entries, 32 addresses per entry, up to 32 prefetches.
+    pub const fn idealized() -> Self {
+        EbcpConfig {
+            table_entries: 8 << 20,
+            slots_per_entry: 32,
+            degree: 32,
+            ..Self::tuned()
+        }
+    }
+
+    /// The tuned configuration with the *EBCP minus* pairing (ablation).
+    pub const fn tuned_minus() -> Self {
+        EbcpConfig { variant: EbcpVariant::Minus, ..Self::tuned() }
+    }
+
+    /// The Figure 9 comparison configuration: degree 6, 6 slots,
+    /// 1M entries (same table budget as the Solihin configurations).
+    pub const fn comparison() -> Self {
+        EbcpConfig { slots_per_entry: 6, degree: 6, ..Self::tuned() }
+    }
+
+    /// Same as [`EbcpConfig::comparison`] but the *EBCP minus* ablation.
+    pub const fn comparison_minus() -> Self {
+        EbcpConfig { variant: EbcpVariant::Minus, ..Self::comparison() }
+    }
+
+    /// Returns the configuration with a different prefetch degree,
+    /// matching the entry's slot count to it (the paper co-varies them
+    /// in Figures 4, 5 and 8).
+    #[must_use]
+    pub const fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self.slots_per_entry = degree;
+        self
+    }
+
+    /// Returns the configuration with a different table size (Figure 6).
+    #[must_use]
+    pub const fn with_table_entries(mut self, entries: u64) -> Self {
+        self.table_entries = entries;
+        self
+    }
+}
+
+impl Default for EbcpConfig {
+    fn default() -> Self {
+        Self::tuned()
+    }
+}
+
+/// EBCP-internal statistics (content-level; traffic is accounted by the
+/// engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EbcpStats {
+    /// Prediction lookups issued (table reads requested).
+    pub lookups: u64,
+    /// Lookups chained off prefetch-buffer hits.
+    pub lookups_from_buffer_hits: u64,
+    /// Prefetch addresses produced.
+    pub prefetches: u64,
+    /// Learning rotations (EMAB retirements with a usable key).
+    pub learns: u64,
+    /// LRU promotions from prefetch-buffer hits.
+    pub promotions: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Predict { key: LineAddr },
+    Learn(LearnInput),
+}
+
+#[derive(Debug, Clone)]
+struct PerCore {
+    emab: Emab,
+    /// Cycle of the last prediction lookup (refractory control).
+    last_lookup: Option<Cycle>,
+}
+
+/// The epoch-based correlation prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_core::{EbcpConfig, EbcpPrefetcher};
+/// use ebcp_prefetch::Prefetcher;
+///
+/// let mut p = EbcpPrefetcher::new(EbcpConfig::comparison());
+/// assert_eq!(p.name(), "ebcp");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EbcpPrefetcher {
+    config: EbcpConfig,
+    /// Per-core EMABs and refractory state, grown on demand. The
+    /// prefetcher control sits in front of the core-to-L2 crossbar
+    /// (§3.2, Figure 2), so it sees which core each miss belongs to and
+    /// keeps per-thread miss streams separate — the property a
+    /// memory-side engine cannot have (§3.3.1). The correlation table
+    /// itself is shared by all cores, as the paper suggests.
+    per_core: Vec<PerCore>,
+    table: CorrelationTable,
+    pending: HashMap<u64, Pending>,
+    next_token: u64,
+    /// Whether the prefetcher holds its memory region (§3.4.1). While
+    /// inactive it neither learns nor predicts.
+    active: bool,
+    stats: EbcpStats,
+    name: String,
+}
+
+impl EbcpPrefetcher {
+    /// Creates an EBCP prefetcher in the active state.
+    pub fn new(config: EbcpConfig) -> Self {
+        EbcpPrefetcher {
+            per_core: Vec::new(),
+            table: CorrelationTable::new(config.table_entries, config.slots_per_entry),
+            pending: HashMap::new(),
+            next_token: 0,
+            active: true,
+            stats: EbcpStats::default(),
+            name: match config.variant {
+                EbcpVariant::Standard => "ebcp".to_owned(),
+                EbcpVariant::Minus => "ebcp-minus".to_owned(),
+            },
+            config,
+        }
+    }
+
+    /// Overrides the display name.
+    #[must_use]
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// This prefetcher's configuration.
+    pub const fn config(&self) -> EbcpConfig {
+        self.config
+    }
+
+    /// Content-level statistics.
+    pub const fn stats(&self) -> EbcpStats {
+        self.stats
+    }
+
+    /// Correlation-table content statistics.
+    pub fn table_stats(&self) -> CorrTableStats {
+        self.table.stats()
+    }
+
+    /// Host-side table occupancy (for memory-footprint reporting).
+    pub fn table_occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    /// Models the OS reclaiming the table's physical memory (§3.4.1):
+    /// contents are lost and the prefetcher goes inactive.
+    pub fn deactivate(&mut self) {
+        self.active = false;
+        self.table.clear();
+        self.pending.clear();
+        for st in &mut self.per_core {
+            st.emab.clear();
+        }
+    }
+
+    /// Models a successful re-allocation request: the prefetcher
+    /// re-enters the active state with an empty table.
+    pub fn reactivate(&mut self) {
+        self.active = true;
+    }
+
+    /// Whether the prefetcher currently holds its table memory.
+    pub const fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn core_state(&mut self, core: u8) -> &mut PerCore {
+        let idx = core as usize;
+        while self.per_core.len() <= idx {
+            let emab = Emab::new(self.config.emab_epochs, self.config.emab_addrs_per_epoch);
+            let emab = match self.config.variant {
+                EbcpVariant::Standard => emab,
+                EbcpVariant::Minus => emab.with_next_epoch_included(),
+            };
+            self.per_core.push(PerCore { emab, last_lookup: None });
+        }
+        &mut self.per_core[idx]
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn issue_predict(&mut self, key: LineAddr, now: Cycle, core: u8, out: &mut Vec<Action>) {
+        self.stats.lookups += 1;
+        self.core_state(core).last_lookup = Some(now);
+        let token = self.token();
+        self.pending.insert(token, Pending::Predict { key });
+        out.push(Action::TableRead { token, delay: 0 });
+    }
+
+    fn issue_learn(&mut self, learn: LearnInput, out: &mut Vec<Action>) {
+        self.stats.learns += 1;
+        let token = self.token();
+        self.pending.insert(token, Pending::Learn(learn));
+        // Read-for-update; the write follows on completion (§3.4.4's
+        // second read + first write).
+        out.push(Action::TableRead { token, delay: 0 });
+    }
+
+    /// A new epoch begins on `core`, keyed by `line` — either a real
+    /// trigger miss or a prefetch-buffer hit standing in for one.
+    /// Rotates that core's EMAB (learning) and issues the prediction
+    /// lookup, unless a trigger already fired within the refractory
+    /// interval (same epoch).
+    fn trigger(&mut self, line: LineAddr, now: Cycle, core: u8, from_buffer: bool, out: &mut Vec<Action>) {
+        let refractory = self.config.trigger_refractory;
+        let st = self.core_state(core);
+        let refractory_ok = st
+            .last_lookup
+            .map(|t| now.saturating_sub(t) >= refractory)
+            .unwrap_or(true);
+        if !refractory_ok {
+            return;
+        }
+        if from_buffer {
+            self.stats.lookups_from_buffer_hits += 1;
+        }
+        if let Some(learn) = self.core_state(core).emab.begin_epoch() {
+            self.issue_learn(learn, out);
+        }
+        self.issue_predict(line, now, core, out);
+    }
+}
+
+impl Prefetcher for EbcpPrefetcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_miss(&mut self, info: &MissInfo, out: &mut Vec<Action>) {
+        if !self.active {
+            return;
+        }
+        if info.epoch_trigger {
+            // The epoch count incremented. If a prefetch-buffer hit
+            // already stood in as this epoch's trigger moments ago
+            // (partial aversion: the first accesses hit the buffer, a
+            // later one missed), the rotation and lookup have happened;
+            // the refractory gate inside `trigger` keeps the epoch from
+            // being double-counted.
+            self.trigger(info.line, info.now, info.core, false, out);
+        }
+        // Record the miss in the current EMAB epoch (instruction and
+        // load misses only — the engine reports exactly those).
+        self.core_state(info.core).emab.record(info.line);
+    }
+
+    fn on_prefetch_hit(&mut self, info: &PrefetchHitInfo, out: &mut Vec<Action>) {
+        if !self.active {
+            return;
+        }
+        // LRU feedback: promote the useful address in its entry, and pay
+        // one table write for it (§3.4.3, §3.4.4).
+        if self.config.promote_on_hit
+            && self.table.touch(LineAddr::from_index(info.origin), info.line)
+        {
+            self.stats.promotions += 1;
+            out.push(Action::TableWrite);
+        }
+        // A buffer hit that would have been an epoch trigger stands in
+        // for one (§3.4.3: "the first L2 instruction or load miss *or
+        // prefetch buffer hit* in a new epoch"): it rotates the EMAB and
+        // keys a prediction lookup, so fully-averted epochs keep both
+        // the learning stream and the prefetch chain alive. The
+        // refractory interval keeps this to one trigger per would-be
+        // epoch.
+        if self.config.chain_on_buffer_hit && info.would_be_trigger {
+            self.trigger(info.line, info.now, info.core, true, out);
+        }
+        // The buffer hit is an averted L2 miss: the on-chip prefetcher
+        // control sits beside the L2 and sees it, so it stays part of
+        // the recorded miss-address stream. (A memory-side prefetcher
+        // never sees these — §3.3.1.) This keeps learned keys and entry
+        // contents stable once prefetching is working.
+        self.core_state(info.core).emab.record(info.line);
+    }
+
+    fn on_table_done(&mut self, token: u64, _now: Cycle, out: &mut Vec<Action>) {
+        let Some(pending) = self.pending.remove(&token) else { return };
+        if !self.active {
+            return;
+        }
+        match pending {
+            Pending::Predict { key } => {
+                if let Some(entry) = self.table.lookup(key) {
+                    let origin = key.index();
+                    let lines: Vec<LineAddr> =
+                        entry.addrs().iter().copied().take(self.config.degree).collect();
+                    for line in lines {
+                        self.stats.prefetches += 1;
+                        out.push(Action::Prefetch { line, origin });
+                    }
+                }
+            }
+            Pending::Learn(learn) => {
+                self.table.learn(learn.key, &learn.addrs);
+                // The update write-back.
+                out.push(Action::TableWrite);
+            }
+        }
+    }
+
+    fn on_table_dropped(&mut self, token: u64) {
+        // A saturated bus dropped the read: the lookup or learning
+        // opportunity is simply lost.
+        self.pending.remove(&token);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn reset_aux_stats(&mut self) {
+        self.stats = EbcpStats::default();
+        self.table.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_types::{AccessKind, Pc};
+
+    fn miss(line: u64, trigger: bool, now: Cycle) -> MissInfo {
+        MissInfo {
+            line: LineAddr::from_index(line),
+            pc: Pc::new(0x40),
+            kind: AccessKind::Load,
+            epoch_trigger: trigger,
+            now,
+            core: 0,
+        }
+    }
+
+    /// Drives epochs through the prefetcher, completing table reads
+    /// immediately, and returns all prefetched lines.
+    fn drive_epochs(p: &mut EbcpPrefetcher, epochs: &[&[u64]], t0: Cycle) -> Vec<u64> {
+        let mut prefetched = Vec::new();
+        let mut now = t0;
+        for epoch in epochs {
+            for (i, &line) in epoch.iter().enumerate() {
+                let mut out = Vec::new();
+                p.on_miss(&miss(line, i == 0, now), &mut out);
+                for a in out {
+                    if let Action::TableRead { token, .. } = a {
+                        let mut done = Vec::new();
+                        p.on_table_done(token, now + 500, &mut done);
+                        for d in done {
+                            if let Action::Prefetch { line, .. } = d {
+                                prefetched.push(line.index());
+                            }
+                        }
+                    }
+                }
+            }
+            now += 1000;
+        }
+        prefetched
+    }
+
+    /// The paper's running example: epochs {A,B} {C,D,E} {F,G} {H,I}
+    /// recurring. On the second occurrence, the trigger A must prefetch
+    /// F, G, H, I — all the misses of epochs +2 and +3 (§3.2).
+    #[test]
+    fn paper_example_end_to_end() {
+        let mut p = EbcpPrefetcher::new(EbcpConfig::tuned());
+        let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
+        // First pass + enough following epochs to rotate the EMAB fully.
+        let mut pf = drive_epochs(&mut p, epochs, 0);
+        pf.extend(drive_epochs(&mut p, &[&[100], &[101], &[102], &[103]], 10_000));
+        // Second pass: trigger 1 (A) predicts.
+        let pf2 = drive_epochs(&mut p, &[&[1]], 100_000);
+        assert_eq!(pf2, vec![6, 7, 8, 9], "A -> F,G,H,I (epochs +2/+3)");
+    }
+
+    #[test]
+    fn minus_variant_prefetches_next_epochs() {
+        let mut p = EbcpPrefetcher::new(EbcpConfig {
+            variant: EbcpVariant::Minus,
+            ..EbcpConfig::tuned()
+        });
+        let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
+        drive_epochs(&mut p, epochs, 0);
+        drive_epochs(&mut p, &[&[100], &[101], &[102], &[103]], 10_000);
+        let pf2 = drive_epochs(&mut p, &[&[1]], 100_000);
+        assert_eq!(pf2, vec![3, 4, 5, 6, 7], "minus: A -> C,D,E,F,G (epochs +1/+2)");
+    }
+
+    #[test]
+    fn degree_caps_prefetches() {
+        let cfg = EbcpConfig { degree: 2, ..EbcpConfig::tuned() };
+        let mut p = EbcpPrefetcher::new(cfg);
+        let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
+        drive_epochs(&mut p, epochs, 0);
+        drive_epochs(&mut p, &[&[100], &[101], &[102], &[103]], 10_000);
+        let pf2 = drive_epochs(&mut p, &[&[1]], 100_000);
+        assert_eq!(pf2.len(), 2);
+    }
+
+    #[test]
+    fn non_trigger_misses_do_not_look_up() {
+        let mut p = EbcpPrefetcher::new(EbcpConfig::tuned());
+        let mut out = Vec::new();
+        p.on_miss(&miss(1, true, 0), &mut out);
+        let first = out.len();
+        out.clear();
+        p.on_miss(&miss(2, false, 1), &mut out);
+        assert!(out.is_empty(), "overlapped misses must stay silent");
+        assert!(first >= 1);
+        assert_eq!(p.stats().lookups, 1);
+    }
+
+    #[test]
+    fn buffer_hit_promotes_and_writes() {
+        let mut p = EbcpPrefetcher::new(EbcpConfig::tuned());
+        let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
+        drive_epochs(&mut p, epochs, 0);
+        drive_epochs(&mut p, &[&[100], &[101], &[102], &[103]], 10_000);
+        // Entry keyed by line 1 exists; its origin token is its index.
+        let origin = LineAddr::from_index(1).index();
+        let mut out = Vec::new();
+        p.on_prefetch_hit(
+            &PrefetchHitInfo {
+                line: LineAddr::from_index(7),
+                pc: Pc::new(0),
+                kind: AccessKind::Load,
+                origin,
+                would_be_trigger: false,
+                now: 200_000, core: 0,
+            },
+            &mut out,
+        );
+        assert!(out.contains(&Action::TableWrite), "LRU update write");
+        assert_eq!(p.stats().promotions, 1);
+    }
+
+    #[test]
+    fn averted_epoch_chains_lookup_with_refractory() {
+        let mut p = EbcpPrefetcher::new(EbcpConfig::tuned());
+        let hit = |line: u64, now: Cycle| PrefetchHitInfo {
+            line: LineAddr::from_index(line),
+            pc: Pc::new(0),
+            kind: AccessKind::Load,
+            origin: 0,
+            would_be_trigger: true,
+            now,
+            core: 0,
+        };
+        let mut out = Vec::new();
+        p.on_prefetch_hit(&hit(6, 1000), &mut out);
+        let lookups_after_first = p.stats().lookups;
+        // A second hit 10 cycles later (same would-be epoch): suppressed.
+        p.on_prefetch_hit(&hit(7, 1010), &mut out);
+        assert_eq!(p.stats().lookups, lookups_after_first);
+        // A hit one refractory later (next would-be epoch): allowed.
+        p.on_prefetch_hit(&hit(8, 1000 + 200), &mut out);
+        assert_eq!(p.stats().lookups, lookups_after_first + 1);
+        assert_eq!(p.stats().lookups_from_buffer_hits, 2);
+    }
+
+    #[test]
+    fn dropped_table_read_loses_learning() {
+        let mut p = EbcpPrefetcher::new(EbcpConfig::tuned());
+        let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
+        // Drive WITHOUT completing table reads; drop them all instead.
+        let mut now = 0;
+        for epoch in epochs.iter().chain([&[100u64][..], &[101], &[102], &[103]].iter()) {
+            for (i, &line) in epoch.iter().enumerate() {
+                let mut out = Vec::new();
+                p.on_miss(&miss(line, i == 0, now), &mut out);
+                for a in out {
+                    if let Action::TableRead { token, .. } = a {
+                        p.on_table_dropped(token);
+                    }
+                }
+            }
+            now += 1000;
+        }
+        // Nothing was learned.
+        assert_eq!(p.table_occupancy(), 0);
+        let pf = drive_epochs(&mut p, &[&[1]], 100_000);
+        assert!(pf.is_empty());
+    }
+
+    #[test]
+    fn deactivation_stops_everything() {
+        let mut p = EbcpPrefetcher::new(EbcpConfig::tuned());
+        let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
+        drive_epochs(&mut p, epochs, 0);
+        p.deactivate();
+        assert!(!p.is_active());
+        let pf = drive_epochs(&mut p, &[&[1], &[2], &[3]], 50_000);
+        assert!(pf.is_empty());
+        p.reactivate();
+        assert!(p.is_active());
+        // Active again, but the table was reclaimed: still no hits until
+        // it re-learns.
+        let pf = drive_epochs(&mut p, &[&[1]], 90_000);
+        assert!(pf.is_empty());
+    }
+
+    #[test]
+    fn config_presets_are_consistent() {
+        let t = EbcpConfig::tuned();
+        assert_eq!(t.degree, 8);
+        assert_eq!(t.table_entries, 1 << 20);
+        let i = EbcpConfig::idealized();
+        assert_eq!(i.degree, 32);
+        assert_eq!(i.table_entries, 8 << 20);
+        let c = EbcpConfig::comparison();
+        assert_eq!(c.degree, 6);
+        let m = EbcpConfig::comparison_minus();
+        assert_eq!(m.variant, EbcpVariant::Minus);
+        let d = t.with_degree(16);
+        assert_eq!(d.degree, 16);
+        assert_eq!(d.slots_per_entry, 16);
+        assert_eq!(t.with_table_entries(64).table_entries, 64);
+    }
+}

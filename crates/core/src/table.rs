@@ -1,0 +1,336 @@
+//! The main-memory correlation table (§3.4.1–§3.4.2, Figure 3).
+//!
+//! Each entry holds a tag, LRU information and N prefetch addresses, and
+//! is sized to fit the 64 B unit of memory transfer: with the low-byte
+//! address compression implemented here (an address's upper bytes come
+//! from the entry's tag), eight prefetch addresses fit easily. The table
+//! is direct-mapped to keep every access a single memory transfer.
+//!
+//! Only the *contents* live in this structure; the *timing* of every
+//! read and update is modelled by the simulation engine through
+//! low-priority memory requests.
+
+use ebcp_prefetch::MainMemoryTable;
+use ebcp_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Bits of a line address stored verbatim in a compressed slot (5 bytes).
+pub const COMPRESSED_BITS: u32 = 40;
+
+/// Compresses `addr` against `key`: keeps the low [`COMPRESSED_BITS`]
+/// bits, which round-trip iff the upper bits match the key's. Returns
+/// `None` when the address is too far from the key to compress (the
+/// hardware would fall back to a wider slot or drop the address; the
+/// simulator stores it regardless and only *accounts* the failure).
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_core::{compress_line, decompress_line};
+/// use ebcp_types::LineAddr;
+///
+/// let key = LineAddr::from_index(0x123_0000_0042);
+/// let addr = LineAddr::from_index(0x123_0000_9999);
+/// let c = compress_line(key, addr).unwrap();
+/// assert_eq!(decompress_line(key, c), addr);
+/// ```
+pub fn compress_line(key: LineAddr, addr: LineAddr) -> Option<u64> {
+    if key.index() >> COMPRESSED_BITS == addr.index() >> COMPRESSED_BITS {
+        Some(addr.index() & ((1 << COMPRESSED_BITS) - 1))
+    } else {
+        None
+    }
+}
+
+/// Reverses [`compress_line`] using the key's upper bits.
+pub fn decompress_line(key: LineAddr, compressed: u64) -> LineAddr {
+    LineAddr::from_index((key.index() >> COMPRESSED_BITS << COMPRESSED_BITS) | compressed)
+}
+
+/// One correlation-table entry: up to `slots` prefetch addresses in
+/// LRU order (most recent first).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrEntry {
+    addrs: Vec<LineAddr>,
+}
+
+impl CorrEntry {
+    /// Prefetch addresses, most-recently-used first.
+    pub fn addrs(&self) -> &[LineAddr] {
+        &self.addrs
+    }
+
+    /// Number of stored addresses.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the entry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Inserts `line` at the MRU position (promoting it if present),
+    /// evicting the LRU address beyond `slots`.
+    pub fn insert_mru(&mut self, line: LineAddr, slots: usize) {
+        if let Some(pos) = self.addrs.iter().position(|&l| l == line) {
+            self.addrs.remove(pos);
+        }
+        self.addrs.insert(0, line);
+        self.addrs.truncate(slots);
+    }
+
+    /// Promotes `line` to MRU if present (prefetch-buffer hit LRU
+    /// update, §3.4.3). Returns whether it was present.
+    pub fn promote(&mut self, line: LineAddr) -> bool {
+        if let Some(pos) = self.addrs.iter().position(|&l| l == line) {
+            let l = self.addrs.remove(pos);
+            self.addrs.insert(0, l);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes this entry occupies with compression: 6-byte tag + 2-byte
+    /// LRU bookkeeping + 5 bytes per compressed address.
+    pub fn storage_bytes(&self) -> usize {
+        6 + 2 + self.addrs.len() * (COMPRESSED_BITS as usize / 8)
+    }
+}
+
+/// Statistics of correlation-table content operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrTableStats {
+    /// Learning updates applied.
+    pub updates: u64,
+    /// Lookups that found a matching entry.
+    pub lookup_hits: u64,
+    /// Lookups that found no matching entry.
+    pub lookup_misses: u64,
+    /// Addresses that could not be compressed against their entry's key
+    /// (accounted only; contents are stored regardless).
+    pub uncompressible: u64,
+}
+
+/// The direct-mapped, main-memory-resident correlation table.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_core::CorrelationTable;
+/// use ebcp_types::LineAddr;
+///
+/// let mut t = CorrelationTable::new(1 << 20, 8);
+/// let key = LineAddr::from_index(100);
+/// t.learn(key, &[LineAddr::from_index(200), LineAddr::from_index(300)]);
+/// let e = t.lookup(key).unwrap();
+/// assert_eq!(e.addrs().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorrelationTable {
+    table: MainMemoryTable<CorrEntry>,
+    slots: usize,
+    stats: CorrTableStats,
+}
+
+impl CorrelationTable {
+    /// Creates a table with `entries` direct-mapped entries, each holding
+    /// up to `slots` prefetch addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `slots` is zero.
+    pub fn new(entries: u64, slots: usize) -> Self {
+        assert!(slots > 0, "entry needs at least one slot");
+        CorrelationTable {
+            table: MainMemoryTable::new(entries),
+            slots,
+            stats: CorrTableStats::default(),
+        }
+    }
+
+    /// Direct-mapped entry count.
+    pub const fn entries(&self) -> u64 {
+        self.table.entries()
+    }
+
+    /// Prefetch-address slots per entry.
+    pub const fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The slot index `key` maps to (stored as the prefetch-buffer
+    /// `origin` token so buffer hits can update entry LRU state).
+    pub fn index_of(&self, key: LineAddr) -> u64 {
+        self.table.index_of(key)
+    }
+
+    /// Learning update (§3.4.2): installs `addrs` (given older-epoch
+    /// first) into the entry keyed by `key`. Addresses are inserted in
+    /// *reverse* order so that the first-given (older-epoch, more
+    /// valuable) addresses end up most-recently-used and survive
+    /// overflow — "priority is given to the miss addresses from the
+    /// older of the two epochs".
+    ///
+    /// A tag mismatch overwrites the aliased entry, exactly like the
+    /// hardware's direct-mapped reallocation.
+    pub fn learn(&mut self, key: LineAddr, addrs: &[LineAddr]) {
+        self.stats.updates += 1;
+        for a in addrs {
+            if compress_line(key, *a).is_none() {
+                self.stats.uncompressible += 1;
+            }
+        }
+        let slots = self.slots;
+        // Tag mismatch ⇒ reallocate (MainMemoryTable::put displaces).
+        if self.table.get_mut(key).is_none() {
+            self.table.put(key, CorrEntry::default());
+        }
+        let entry = self.table.get_mut(key).expect("just inserted");
+        for a in addrs.iter().rev() {
+            entry.insert_mru(*a, slots);
+        }
+    }
+
+    /// Prediction lookup (§3.4.3): the entry for `key`, if its tag
+    /// matches.
+    pub fn lookup(&mut self, key: LineAddr) -> Option<&CorrEntry> {
+        let hit = self.table.peek(key).is_some();
+        if hit {
+            self.stats.lookup_hits += 1;
+        } else {
+            self.stats.lookup_misses += 1;
+        }
+        self.table.peek(key)
+    }
+
+    /// Prefetch-buffer-hit LRU update: promotes `line` within the entry
+    /// keyed by `key`. Returns whether the promotion happened.
+    pub fn touch(&mut self, key: LineAddr, line: LineAddr) -> bool {
+        self.table.get_mut(key).map(|e| e.promote(line)).unwrap_or(false)
+    }
+
+    /// Content-operation statistics.
+    pub const fn stats(&self) -> CorrTableStats {
+        self.stats
+    }
+
+    /// Host-map occupancy (entries ever written and still live).
+    pub fn occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    /// Resets operation statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CorrTableStats::default();
+    }
+
+    /// Drops all contents (the OS reclaimed the region, §3.4.1).
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn compression_round_trip() {
+        let key = line(0xAB_1234_5678);
+        let addr = line(0xAB_0000_0001);
+        let c = compress_line(key, addr).unwrap();
+        assert_eq!(decompress_line(key, c), addr);
+    }
+
+    #[test]
+    fn compression_fails_across_high_bits() {
+        let key = line(0x1 << COMPRESSED_BITS);
+        let addr = line(0x2 << COMPRESSED_BITS);
+        assert!(compress_line(key, addr).is_none());
+    }
+
+    #[test]
+    fn eight_slots_fit_in_a_line() {
+        let mut e = CorrEntry::default();
+        for i in 0..8 {
+            e.insert_mru(line(i), 8);
+        }
+        assert!(e.storage_bytes() <= 64, "{} bytes", e.storage_bytes());
+    }
+
+    #[test]
+    fn learn_then_lookup() {
+        let mut t = CorrelationTable::new(64, 4);
+        t.learn(line(1), &[line(10), line(20)]);
+        let e = t.lookup(line(1)).unwrap();
+        // Older-epoch-first input order is preserved MRU-first.
+        assert_eq!(e.addrs(), &[line(10), line(20)]);
+        assert!(t.lookup(line(99)).is_none());
+        assert_eq!(t.stats().lookup_hits, 1);
+        assert_eq!(t.stats().lookup_misses, 1);
+    }
+
+    #[test]
+    fn overflow_prioritizes_older_epoch() {
+        let mut t = CorrelationTable::new(64, 3);
+        // Older epoch {10, 20}, newer epoch {30, 40}: only 3 slots.
+        t.learn(line(1), &[line(10), line(20), line(30), line(40)]);
+        let e = t.lookup(line(1)).unwrap();
+        assert_eq!(e.addrs(), &[line(10), line(20), line(30)], "older epoch survives");
+    }
+
+    #[test]
+    fn relearn_refreshes_with_lru() {
+        let mut t = CorrelationTable::new(64, 3);
+        t.learn(line(1), &[line(10), line(20), line(30)]);
+        // Next pass learns a fork's other path {10, 50}.
+        t.learn(line(1), &[line(10), line(50)]);
+        let e = t.lookup(line(1)).unwrap();
+        // 10 promoted, 50 inserted, 20 survives (LRU evicts 30).
+        assert_eq!(e.addrs(), &[line(10), line(50), line(20)]);
+    }
+
+    #[test]
+    fn touch_promotes_useful_address() {
+        let mut t = CorrelationTable::new(64, 3);
+        t.learn(line(1), &[line(10), line(20), line(30)]);
+        assert!(t.touch(line(1), line(30)));
+        let e = t.lookup(line(1)).unwrap();
+        assert_eq!(e.addrs()[0], line(30));
+        assert!(!t.touch(line(1), line(99)));
+        assert!(!t.touch(line(77), line(10)));
+    }
+
+    #[test]
+    fn aliasing_reallocates_entry() {
+        let mut t = CorrelationTable::new(1, 4); // everything aliases
+        t.learn(line(1), &[line(10)]);
+        t.learn(line(2), &[line(20)]);
+        assert!(t.lookup(line(1)).is_none(), "displaced by alias");
+        assert_eq!(t.lookup(line(2)).unwrap().addrs(), &[line(20)]);
+    }
+
+    #[test]
+    fn uncompressible_accounted_but_stored() {
+        let mut t = CorrelationTable::new(64, 4);
+        let far = line(1 << (COMPRESSED_BITS + 1));
+        t.learn(line(1), &[far]);
+        assert_eq!(t.stats().uncompressible, 1);
+        assert_eq!(t.lookup(line(1)).unwrap().addrs(), &[far]);
+    }
+
+    #[test]
+    fn clear_models_os_reclaim() {
+        let mut t = CorrelationTable::new(64, 4);
+        t.learn(line(1), &[line(10)]);
+        t.clear();
+        assert!(t.lookup(line(1)).is_none());
+        assert_eq!(t.occupancy(), 0);
+    }
+}

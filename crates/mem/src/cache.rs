@@ -1,0 +1,351 @@
+//! Set-associative cache model with true-LRU replacement.
+//!
+//! The model tracks tags only — simulated programs never read or write
+//! actual data bytes, so a cache is a set-indexed collection of
+//! `(tag, dirty, lru)` ways. This is the standard fidelity level for
+//! trace-driven prefetcher studies: hit/miss behaviour, replacement and
+//! writeback traffic are exact; data values are irrelevant.
+
+use ebcp_types::{LineAddr, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_mem::CacheGeometry;
+/// let l1 = CacheGeometry::new(32 << 10, 4); // 32 KB 4-way
+/// assert_eq!(l1.sets(), 128);
+/// assert_eq!(l1.lines(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    ways: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry for a cache of `size_bytes` total capacity and
+    /// `ways` associativity, with the global 64 B line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the resulting number of sets is a power of two and
+    /// at least one, and `ways >= 1`.
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        assert!(ways >= 1, "cache needs at least one way");
+        let lines = size_bytes / LINE_BYTES;
+        assert!(lines >= u64::from(ways), "cache smaller than one set");
+        let sets = lines / u64::from(ways);
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        CacheGeometry { size_bytes, ways }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn size_bytes(self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub const fn ways(self) -> u32 {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub const fn sets(self) -> u64 {
+        self.size_bytes / LINE_BYTES / self.ways as u64
+    }
+
+    /// Total line capacity.
+    pub const fn lines(self) -> u64 {
+        self.size_bytes / LINE_BYTES
+    }
+
+    /// The set index a line maps to.
+    pub const fn set_of(self, line: LineAddr) -> u64 {
+        line.index() & (self.sets() - 1)
+    }
+
+    /// The tag of a line (line index with the set bits stripped).
+    pub const fn tag_of(self, line: LineAddr) -> u64 {
+        line.index() >> self.sets().trailing_zeros()
+    }
+}
+
+/// A line evicted by [`SetAssocCache::fill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether the line was dirty (requires a writeback).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A set-associative, true-LRU, write-back cache (tags only).
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_mem::{CacheGeometry, SetAssocCache};
+/// use ebcp_types::LineAddr;
+///
+/// let mut c = SetAssocCache::new(CacheGeometry::new(4096, 2));
+/// let a = LineAddr::from_index(1);
+/// assert!(!c.access(a));
+/// assert!(c.fill(a, false).is_none()); // empty way available
+/// assert!(c.access(a));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    ways: Vec<Way>,
+    stamp: u64,
+    accesses: u64,
+    hits: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let n = geometry.lines() as usize;
+        SetAssocCache { geometry, ways: vec![Way::default(); n], stamp: 0, accesses: 0, hits: 0 }
+    }
+
+    /// The cache's geometry.
+    pub const fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = self.geometry.set_of(line) as usize;
+        let w = self.geometry.ways() as usize;
+        set * w..(set + 1) * w
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let tag = self.geometry.tag_of(line);
+        self.set_range(line).find(|&i| self.ways[i].valid && self.ways[i].tag == tag)
+    }
+
+    /// Checks for a line without touching replacement state.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Looks up a line; a hit refreshes its LRU position.
+    ///
+    /// Returns `true` on hit.
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        self.accesses += 1;
+        self.stamp += 1;
+        if let Some(i) = self.find(line) {
+            self.ways[i].lru = self.stamp;
+            self.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line, evicting the set's LRU way if necessary.
+    ///
+    /// `dirty` marks the incoming line dirty immediately (store
+    /// write-allocate fills). Filling a line that is already present just
+    /// refreshes it (and ORs in `dirty`).
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Eviction> {
+        self.stamp += 1;
+        if let Some(i) = self.find(line) {
+            self.ways[i].lru = self.stamp;
+            self.ways[i].dirty |= dirty;
+            return None;
+        }
+        let tag = self.geometry.tag_of(line);
+        let range = self.set_range(line);
+        // Prefer an invalid way; otherwise evict the LRU way.
+        let mut victim = range.start;
+        let mut best = u64::MAX;
+        for i in range {
+            if !self.ways[i].valid {
+                victim = i;
+                break;
+            }
+            if self.ways[i].lru < best {
+                best = self.ways[i].lru;
+                victim = i;
+            }
+        }
+        let evicted = if self.ways[victim].valid {
+            let set = self.geometry.set_of(line);
+            let old_tag = self.ways[victim].tag;
+            let old_line =
+                LineAddr::from_index((old_tag << self.geometry.sets().trailing_zeros()) | set);
+            Some(Eviction { line: old_line, dirty: self.ways[victim].dirty })
+        } else {
+            None
+        };
+        self.ways[victim] = Way { tag, valid: true, dirty, lru: self.stamp };
+        evicted
+    }
+
+    /// Marks a resident line dirty; returns `false` if the line is absent.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        if let Some(i) = self.find(line) {
+            self.ways[i].dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a line; returns its eviction record if it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Eviction> {
+        let i = self.find(line)?;
+        self.ways[i].valid = false;
+        Some(Eviction { line, dirty: self.ways[i].dirty })
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> u64 {
+        self.ways.iter().filter(|w| w.valid).count() as u64
+    }
+
+    /// Total lookups via [`SetAssocCache::access`].
+    pub const fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Hits among those lookups.
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses among those lookups.
+    pub const fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways.
+        SetAssocCache::new(CacheGeometry::new(4 * LINE_BYTES, 2))
+    }
+
+    #[test]
+    fn geometry_math() {
+        let g = CacheGeometry::new(2 << 20, 4);
+        assert_eq!(g.sets(), 8192);
+        assert_eq!(g.lines(), 32768);
+        let line = LineAddr::from_index(8192 + 5);
+        assert_eq!(g.set_of(line), 5);
+        assert_eq!(g.tag_of(line), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_pow2_sets() {
+        let _ = CacheGeometry::new(3 * LINE_BYTES, 1);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        let a = LineAddr::from_index(0);
+        assert!(!c.access(a));
+        assert!(c.fill(a, false).is_none());
+        assert!(c.access(a));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        let (a, b, d) = (LineAddr::from_index(0), LineAddr::from_index(2), LineAddr::from_index(4));
+        c.fill(a, false);
+        c.fill(b, false);
+        c.access(a); // make b the LRU way
+        let ev = c.fill(d, false).expect("set full, someone must go");
+        assert_eq!(ev.line, b);
+        assert!(c.probe(a));
+        assert!(c.probe(d));
+        assert!(!c.probe(b));
+    }
+
+    #[test]
+    fn eviction_reports_dirty() {
+        let mut c = tiny();
+        let a = LineAddr::from_index(0);
+        c.fill(a, false);
+        assert!(c.mark_dirty(a));
+        // Fill two more lines into set 0 to push `a` out.
+        c.fill(LineAddr::from_index(2), false);
+        c.access(LineAddr::from_index(2));
+        let ev = c.fill(LineAddr::from_index(4), false).unwrap();
+        assert_eq!(ev.line, a);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_evicting() {
+        let mut c = tiny();
+        let a = LineAddr::from_index(0);
+        c.fill(a, false);
+        assert!(c.fill(a, true).is_none());
+        let ev = c.invalidate(a).unwrap();
+        assert!(ev.dirty, "second fill's dirty flag must stick");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // Set 0 gets lines 0,2; set 1 gets lines 1,3: no evictions.
+        for i in 0..4 {
+            assert!(c.fill(LineAddr::from_index(i), false).is_none());
+        }
+        assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    fn evicted_line_address_reconstruction() {
+        let g = CacheGeometry::new(4 * LINE_BYTES, 2);
+        let mut c = SetAssocCache::new(g);
+        let victim = LineAddr::from_index(6); // set 0, tag 3
+        c.fill(victim, false);
+        c.fill(LineAddr::from_index(8), false);
+        c.access(LineAddr::from_index(8));
+        let ev = c.fill(LineAddr::from_index(10), false).unwrap();
+        assert_eq!(ev.line, victim, "reconstructed eviction address must match original");
+    }
+
+    #[test]
+    fn mark_dirty_on_absent_line() {
+        let mut c = tiny();
+        assert!(!c.mark_dirty(LineAddr::from_index(9)));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        let (a, b) = (LineAddr::from_index(0), LineAddr::from_index(2));
+        c.fill(a, false);
+        c.fill(b, false);
+        // Probing `a` must NOT rescue it from LRU.
+        assert!(c.probe(a));
+        let ev = c.fill(LineAddr::from_index(4), false).unwrap();
+        assert_eq!(ev.line, a);
+    }
+}

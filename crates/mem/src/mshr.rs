@@ -1,0 +1,194 @@
+//! Miss status holding registers (MSHRs).
+//!
+//! The default machine has 32 L2 MSHRs (§4.4). MSHRs bound the number of
+//! distinct lines that can be outstanding to memory at once; a second miss
+//! to an already-outstanding line merges into the existing entry
+//! (a *secondary* miss) and consumes no new register.
+
+use std::collections::HashMap;
+
+use ebcp_types::LineAddr;
+
+/// Result of trying to allocate an MSHR for a missing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss to this line: a new MSHR was allocated.
+    Primary,
+    /// The line is already outstanding; merged into the existing MSHR.
+    Secondary,
+    /// No free MSHR: the requester must stall (demand) or drop (prefetch).
+    Full,
+}
+
+/// A file of miss status holding registers.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_mem::{MshrFile, MshrOutcome};
+/// use ebcp_types::LineAddr;
+///
+/// let mut m = MshrFile::new(2);
+/// let a = LineAddr::from_index(1);
+/// assert_eq!(m.allocate(a), MshrOutcome::Primary);
+/// assert_eq!(m.allocate(a), MshrOutcome::Secondary);
+/// m.release(a);
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<LineAddr, u32>,
+    peak: usize,
+    primaries: u64,
+    secondaries: u64,
+    rejections: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one register");
+        MshrFile {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            peak: 0,
+            primaries: 0,
+            secondaries: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Attempts to allocate (or merge into) an MSHR for `line`.
+    pub fn allocate(&mut self, line: LineAddr) -> MshrOutcome {
+        if let Some(count) = self.entries.get_mut(&line) {
+            *count += 1;
+            self.secondaries += 1;
+            return MshrOutcome::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            self.rejections += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, 1);
+        self.peak = self.peak.max(self.entries.len());
+        self.primaries += 1;
+        MshrOutcome::Primary
+    }
+
+    /// Releases the MSHR for `line` when its fill completes.
+    ///
+    /// Releasing an unallocated line is a no-op (fills can race with
+    /// invalidations in the engine).
+    pub fn release(&mut self, line: LineAddr) {
+        self.entries.remove(&line);
+    }
+
+    /// Whether `line` is currently outstanding.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Number of allocated registers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no registers are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every register is allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Total register count.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub const fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Primary-miss allocations performed.
+    pub const fn primaries(&self) -> u64 {
+        self.primaries
+    }
+
+    /// Secondary-miss merges performed.
+    pub const fn secondaries(&self) -> u64 {
+        self.secondaries
+    }
+
+    /// Allocation attempts rejected because the file was full.
+    pub const fn rejections(&self) -> u64 {
+        self.rejections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_secondary_full() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(LineAddr::from_index(1)), MshrOutcome::Primary);
+        assert_eq!(m.allocate(LineAddr::from_index(1)), MshrOutcome::Secondary);
+        assert_eq!(m.allocate(LineAddr::from_index(2)), MshrOutcome::Primary);
+        assert_eq!(m.allocate(LineAddr::from_index(3)), MshrOutcome::Full);
+        assert!(m.is_full());
+        assert_eq!(m.rejections(), 1);
+    }
+
+    #[test]
+    fn release_frees_register() {
+        let mut m = MshrFile::new(1);
+        m.allocate(LineAddr::from_index(1));
+        assert!(m.is_full());
+        m.release(LineAddr::from_index(1));
+        assert!(m.is_empty());
+        assert_eq!(m.allocate(LineAddr::from_index(2)), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn release_of_absent_line_is_noop() {
+        let mut m = MshrFile::new(1);
+        m.release(LineAddr::from_index(5));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MshrFile::new(4);
+        for i in 0..3 {
+            m.allocate(LineAddr::from_index(i));
+        }
+        m.release(LineAddr::from_index(0));
+        assert_eq!(m.peak(), 3);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn contains_reflects_outstanding() {
+        let mut m = MshrFile::new(2);
+        let a = LineAddr::from_index(7);
+        assert!(!m.contains(a));
+        m.allocate(a);
+        assert!(m.contains(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The prefetch buffer.
+//!
+//! Every prefetcher in the paper's evaluation deposits its lines into a
+//! small buffer that is searched in parallel with the L2 cache; lines are
+//! copied into the regular caches only when a demand access actually uses
+//! them (§5.2, §5.3). The tuned configuration is 64 entries, 4-way
+//! set-associative — 512 B of storage (Figure 7).
+//!
+//! Each entry also carries an opaque `origin` token. For EBCP this is the
+//! index of the correlation-table entry that generated the prefetch, so a
+//! hit can schedule the table-entry LRU update (§3.4.3); other prefetchers
+//! may use it for their own bookkeeping or pass zero.
+
+use ebcp_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: LineAddr,
+    origin: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// Usage statistics of a [`PrefetchBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchBufferStats {
+    /// Lines inserted.
+    pub inserts: u64,
+    /// Demand hits (lines consumed).
+    pub hits: u64,
+    /// Valid lines evicted before ever being used.
+    pub evicted_unused: u64,
+    /// Inserts that found the line already buffered.
+    pub duplicate_inserts: u64,
+}
+
+/// A small set-associative buffer holding prefetched lines.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_mem::PrefetchBuffer;
+/// use ebcp_types::LineAddr;
+///
+/// let mut pb = PrefetchBuffer::new(64, 4);
+/// let line = LineAddr::from_index(0x42);
+/// pb.insert(line, 7);
+/// assert_eq!(pb.lookup_consume(line), Some(7)); // hit consumes the line
+/// assert_eq!(pb.lookup_consume(line), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    slots: Vec<Slot>,
+    sets: usize,
+    ways: usize,
+    stamp: u64,
+    stats: PrefetchBufferStats,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer with `entries` total slots and `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a multiple of `ways`, the resulting set
+    /// count is a power of two, and both are non-zero.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries > 0 && ways > 0, "buffer must have entries and ways");
+        assert_eq!(entries % ways, 0, "entries must be a multiple of ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        PrefetchBuffer {
+            slots: vec![
+                Slot { line: LineAddr::from_index(0), origin: 0, valid: false, lru: 0 };
+                entries
+            ],
+            sets,
+            ways,
+            stamp: 0,
+            stats: PrefetchBufferStats::default(),
+        }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = (line.index() as usize) & (self.sets - 1);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        self.set_range(line).find(|&i| self.slots[i].valid && self.slots[i].line == line)
+    }
+
+    /// Whether `line` is buffered (no state change).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Inserts a prefetched line with an `origin` token, evicting the LRU
+    /// slot of its set if necessary.
+    ///
+    /// Returns the evicted line's `(line, origin)` if a *valid, unused*
+    /// line was displaced. Inserting a line that is already buffered only
+    /// refreshes its LRU position and origin.
+    pub fn insert(&mut self, line: LineAddr, origin: u64) -> Option<(LineAddr, u64)> {
+        self.stamp += 1;
+        if let Some(i) = self.find(line) {
+            self.slots[i].lru = self.stamp;
+            self.slots[i].origin = origin;
+            self.stats.duplicate_inserts += 1;
+            return None;
+        }
+        self.stats.inserts += 1;
+        let range = self.set_range(line);
+        let mut victim = range.start;
+        let mut best = u64::MAX;
+        for i in range {
+            if !self.slots[i].valid {
+                victim = i;
+                break;
+            }
+            if self.slots[i].lru < best {
+                best = self.slots[i].lru;
+                victim = i;
+            }
+        }
+        let evicted = if self.slots[victim].valid {
+            self.stats.evicted_unused += 1;
+            Some((self.slots[victim].line, self.slots[victim].origin))
+        } else {
+            None
+        };
+        self.slots[victim] = Slot { line, origin, valid: true, lru: self.stamp };
+        evicted
+    }
+
+    /// Demand lookup: on a hit, removes the line (it is promoted to the
+    /// regular caches by the engine) and returns its origin token.
+    pub fn lookup_consume(&mut self, line: LineAddr) -> Option<u64> {
+        let i = self.find(line)?;
+        self.slots[i].valid = false;
+        self.stats.hits += 1;
+        Some(self.slots[i].origin)
+    }
+
+    /// Removes a line without counting a hit (e.g. invalidated because the
+    /// demand miss raced the prefetch).
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        if let Some(i) = self.find(line) {
+            self.slots[i].valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of valid buffered lines.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Usage statistics so far.
+    pub const fn stats(&self) -> PrefetchBufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_consume() {
+        let mut pb = PrefetchBuffer::new(8, 4);
+        let line = LineAddr::from_index(3);
+        assert!(pb.insert(line, 99).is_none());
+        assert!(pb.contains(line));
+        assert_eq!(pb.lookup_consume(line), Some(99));
+        assert!(!pb.contains(line));
+        assert_eq!(pb.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut pb = PrefetchBuffer::new(4, 2); // 2 sets x 2 ways
+        // Lines 0, 2, 4 map to set 0.
+        pb.insert(LineAddr::from_index(0), 1);
+        pb.insert(LineAddr::from_index(2), 2);
+        let ev = pb.insert(LineAddr::from_index(4), 3).expect("set overflow");
+        assert_eq!(ev, (LineAddr::from_index(0), 1));
+        assert_eq!(pb.stats().evicted_unused, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes() {
+        let mut pb = PrefetchBuffer::new(4, 2);
+        pb.insert(LineAddr::from_index(0), 1);
+        pb.insert(LineAddr::from_index(2), 2);
+        // Re-inserting line 0 makes line 2 the LRU victim.
+        assert!(pb.insert(LineAddr::from_index(0), 10).is_none());
+        let ev = pb.insert(LineAddr::from_index(4), 3).unwrap();
+        assert_eq!(ev.0, LineAddr::from_index(2));
+        assert_eq!(pb.lookup_consume(LineAddr::from_index(0)), Some(10));
+        assert_eq!(pb.stats().duplicate_inserts, 1);
+    }
+
+    #[test]
+    fn invalidate_is_not_a_hit() {
+        let mut pb = PrefetchBuffer::new(4, 2);
+        let line = LineAddr::from_index(1);
+        pb.insert(line, 0);
+        assert!(pb.invalidate(line));
+        assert!(!pb.invalidate(line));
+        assert_eq!(pb.stats().hits, 0);
+    }
+
+    #[test]
+    fn occupancy_counts_valid_lines() {
+        let mut pb = PrefetchBuffer::new(8, 4);
+        pb.insert(LineAddr::from_index(0), 0);
+        pb.insert(LineAddr::from_index(1), 0);
+        pb.lookup_consume(LineAddr::from_index(0));
+        assert_eq!(pb.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_rejected() {
+        let _ = PrefetchBuffer::new(6, 4);
+    }
+}

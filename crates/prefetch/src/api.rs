@@ -1,0 +1,191 @@
+//! The event-driven prefetcher interface.
+
+use ebcp_types::{AccessKind, Cycle, LineAddr, Pc};
+
+/// An off-chip L2 miss reported to the prefetcher.
+///
+/// Only instruction-fetch and load misses are reported (§3.4.2: stores
+/// are never recorded under weak consistency). Prefetch-buffer hits are
+/// reported separately via [`PrefetchHitInfo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissInfo {
+    /// The missing line.
+    pub line: LineAddr,
+    /// PC of the missing instruction (the instruction's own PC for
+    /// fetches; the load's PC for loads).
+    pub pc: Pc,
+    /// Instruction fetch or load.
+    pub kind: AccessKind,
+    /// Whether this miss is an *epoch trigger*: the number of outstanding
+    /// off-chip misses transitioned from 0 to 1 (§2.1).
+    pub epoch_trigger: bool,
+    /// Current core cycle.
+    pub now: Cycle,
+    /// Which core issued the access (0 on a single-core machine). The
+    /// on-chip prefetcher control sits in front of the core-to-L2
+    /// crossbar and therefore knows this (§3.2, Figure 2); a memory-side
+    /// engine does not.
+    pub core: u8,
+}
+
+/// A demand hit in the prefetch buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchHitInfo {
+    /// The line that hit.
+    pub line: LineAddr,
+    /// PC of the accessing instruction.
+    pub pc: Pc,
+    /// Instruction fetch or load.
+    pub kind: AccessKind,
+    /// The origin token stored when the line was prefetched (EBCP stores
+    /// the correlation-table index here, §3.4.3).
+    pub origin: u64,
+    /// Whether this access *would have been* an epoch trigger had it
+    /// missed (no off-chip demand misses were outstanding). §3.4.3: the
+    /// first miss *or prefetch buffer hit* in a new epoch looks up the
+    /// correlation table.
+    pub would_be_trigger: bool,
+    /// Current core cycle.
+    pub now: Cycle,
+    /// Which core made the access (0 on a single-core machine).
+    pub core: u8,
+}
+
+/// What a prefetcher asks the engine to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Fetch `line` into the prefetch buffer (low-priority memory read).
+    /// `origin` is stored with the line and handed back on a hit.
+    Prefetch {
+        /// Line to prefetch.
+        line: LineAddr,
+        /// Opaque token returned on a buffer hit.
+        origin: u64,
+    },
+    /// Read a main-memory-resident predictor table entry (low-priority).
+    /// The engine calls [`Prefetcher::on_table_done`] with `token` when
+    /// the read completes, or [`Prefetcher::on_table_dropped`] if the bus
+    /// was saturated and the read was dropped.
+    TableRead {
+        /// Opaque token identifying the pending read.
+        token: u64,
+        /// Extra cycles before the read can start. Zero for on-chip
+        /// prefetcher control (EBCP); memory-side schemes pay the
+        /// processor-to-controller trip before their engine can act.
+        delay: u64,
+    },
+    /// Write a main-memory-resident predictor table entry (lowest
+    /// priority; bandwidth accounting only — nothing waits on it).
+    TableWrite,
+}
+
+/// A hardware prefetcher, driven by engine events.
+///
+/// Implementations append [`Action`]s to the `out` vector passed to each
+/// hook; the engine executes them (issuing memory traffic, enforcing
+/// priorities, dropping on saturation) and calls back for table reads.
+pub trait Prefetcher {
+    /// Short identifier used in reports ("ebcp", "ghb-large", ...).
+    fn name(&self) -> &str;
+
+    /// An off-chip L2 miss (instruction fetch or load) was issued.
+    fn on_miss(&mut self, info: &MissInfo, out: &mut Vec<Action>);
+
+    /// A demand access hit the prefetch buffer.
+    fn on_prefetch_hit(&mut self, info: &PrefetchHitInfo, out: &mut Vec<Action>);
+
+    /// All outstanding off-chip demand misses completed (the epoch's
+    /// off-chip phase ended).
+    fn on_epoch_end(&mut self, now: Cycle, out: &mut Vec<Action>) {
+        let _ = (now, out);
+    }
+
+    /// A previously requested table read completed.
+    fn on_table_done(&mut self, token: u64, now: Cycle, out: &mut Vec<Action>) {
+        let _ = (token, now, out);
+    }
+
+    /// A previously requested table read was dropped (bus saturated).
+    fn on_table_dropped(&mut self, token: u64) {
+        let _ = token;
+    }
+
+    /// Downcast hook for end-of-run inspection of concrete prefetcher
+    /// state (statistics, table contents). Default: no access.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Resets the prefetcher's *statistics* (not its learned state) at
+    /// the end of warm-up. Default: no-op.
+    fn reset_aux_stats(&mut self) {}
+}
+
+/// The no-prefetching baseline.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_prefetch::{NullPrefetcher, Prefetcher};
+/// assert_eq!(NullPrefetcher.name(), "none");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullPrefetcher;
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn on_miss(&mut self, _info: &MissInfo, _out: &mut Vec<Action>) {}
+
+    fn on_prefetch_hit(&mut self, _info: &PrefetchHitInfo, _out: &mut Vec<Action>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_prefetcher_is_silent() {
+        let mut p = NullPrefetcher;
+        let mut out = Vec::new();
+        p.on_miss(
+            &MissInfo {
+                line: LineAddr::from_index(0),
+                pc: Pc::new(0),
+                kind: AccessKind::Load,
+                epoch_trigger: true,
+                now: 0, core: 0,
+            },
+            &mut out,
+        );
+        p.on_prefetch_hit(
+            &PrefetchHitInfo {
+                line: LineAddr::from_index(0),
+                pc: Pc::new(0),
+                kind: AccessKind::Load,
+                origin: 0,
+                would_be_trigger: false,
+                now: 0, core: 0,
+            },
+            &mut out,
+        );
+        p.on_epoch_end(10, &mut out);
+        p.on_table_done(0, 10, &mut out);
+        p.on_table_dropped(0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actions_are_comparable() {
+        assert_eq!(
+            Action::Prefetch { line: LineAddr::from_index(1), origin: 2 },
+            Action::Prefetch { line: LineAddr::from_index(1), origin: 2 }
+        );
+        assert_ne!(
+            Action::TableRead { token: 1, delay: 0 },
+            Action::TableRead { token: 2, delay: 0 }
+        );
+    }
+}

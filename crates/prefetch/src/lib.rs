@@ -1,0 +1,73 @@
+//! The [`Prefetcher`] trait and the baseline prefetchers of the paper's
+//! Figure 9 comparison.
+//!
+//! All prefetchers are *event-driven*: the simulation engine reports L2
+//! misses, prefetch-buffer hits and epoch boundaries; the prefetcher
+//! responds with [`Action`]s. Crucially, a prefetcher whose table lives in
+//! main memory does **not** compute its prefetches instantly — it emits
+//! [`Action::TableRead`] and only produces the prefetch addresses when the
+//! engine calls [`Prefetcher::on_table_done`] after modelling the memory
+//! round-trip. This is how the paper's central timing argument (hiding
+//! table latency under a prior epoch, §3.2) is carried by the simulation
+//! rather than asserted.
+//!
+//! Baselines implemented here, each following its original paper at the
+//! configuration used in §5.3:
+//!
+//! * [`StreamPrefetcher`] — 32-stream tracker with ±/non-unit strides
+//!   (the "many current high performance processors" baseline).
+//! * [`GhbPrefetcher`] — Nesbit & Smith's Global History Buffer with
+//!   PC/DC (delta-correlation) indexing; *small* (16K/16K) and *large*
+//!   (256K/256K) configurations.
+//! * [`TcpPrefetcher`] — Hu et al.'s Tag Correlating Prefetcher; *small*
+//!   (2K-set PHT) and *large* (32K-set PHT) configurations.
+//! * [`SmsPrefetcher`] — Somogyi et al.'s Spatial Memory Streaming with
+//!   2 KB regions and a 16K-entry PHT.
+//! * [`SolihinPrefetcher`] — Solihin et al.'s memory-side correlation
+//!   prefetcher with its table in main memory; *(width 2, depth 3)* and
+//!   *(width 1, depth 6)* configurations.
+//! * [`NullPrefetcher`] — the no-prefetching baseline.
+//!
+//! The epoch-based correlation prefetcher itself (the paper's
+//! contribution) lives in the `ebcp-core` crate and implements the same
+//! trait.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebcp_prefetch::{Action, MissInfo, NullPrefetcher, Prefetcher};
+//! use ebcp_types::{AccessKind, LineAddr, Pc};
+//!
+//! let mut p = NullPrefetcher;
+//! let mut out = Vec::new();
+//! p.on_miss(
+//!     &MissInfo {
+//!         line: LineAddr::from_index(1),
+//!         pc: Pc::new(0x40),
+//!         kind: AccessKind::Load,
+//!         epoch_trigger: true,
+//!         now: 100,
+//!         core: 0,
+//!     },
+//!     &mut out,
+//! );
+//! assert!(out.is_empty());
+//! ```
+
+pub mod api;
+pub mod ghb;
+pub mod mmtable;
+pub mod registry;
+pub mod sms;
+pub mod solihin;
+pub mod stream;
+pub mod tcp;
+
+pub use api::{Action, MissInfo, NullPrefetcher, Prefetcher, PrefetchHitInfo};
+pub use ghb::{GhbConfig, GhbPrefetcher};
+pub use mmtable::MainMemoryTable;
+pub use registry::BaselineConfig;
+pub use sms::{SmsConfig, SmsPrefetcher};
+pub use solihin::{SolihinConfig, SolihinPrefetcher};
+pub use stream::{StreamConfig, StreamPrefetcher};
+pub use tcp::{TcpConfig, TcpPrefetcher};

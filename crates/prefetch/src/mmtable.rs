@@ -1,0 +1,232 @@
+//! A direct-mapped predictor table resident in (simulated) main memory.
+//!
+//! Both the EBCP correlation table (§3.4.2) and Solihin's memory-side
+//! table store entries in main memory: the *timing* of reads and writes
+//! is modelled by the engine via [`Action::TableRead`] /
+//! [`Action::TableWrite`]; the *contents* live here, in a sparse host map
+//! that reproduces direct-mapped aliasing exactly (same index + different
+//! tag ⇒ the old entry is overwritten).
+//!
+//! [`Action::TableRead`]: crate::Action::TableRead
+//! [`Action::TableWrite`]: crate::Action::TableWrite
+
+use std::collections::HashMap;
+
+use ebcp_types::LineAddr;
+
+/// A direct-mapped, tag-checked table keyed by line address.
+///
+/// `E` is the entry payload. The table has `entries` slots; a key maps to
+/// slot `hash(key) % entries` and carries the full key as its tag, so
+/// aliasing behaves exactly like real direct-mapped storage while the
+/// host only allocates slots that have been touched.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_prefetch::MainMemoryTable;
+/// use ebcp_types::LineAddr;
+///
+/// let mut t: MainMemoryTable<u32> = MainMemoryTable::new(1024);
+/// let key = LineAddr::from_index(0xabc);
+/// assert!(t.get(key).is_none());
+/// t.put(key, 7);
+/// assert_eq!(t.get(key), Some(&7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MainMemoryTable<E> {
+    entries: u64,
+    slots: HashMap<u64, (LineAddr, E)>,
+    hits: u64,
+    misses: u64,
+    conflicts: u64,
+}
+
+impl<E> MainMemoryTable<E> {
+    /// Creates a table with `entries` direct-mapped slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: u64) -> Self {
+        assert!(entries > 0, "table needs at least one entry");
+        MainMemoryTable { entries, slots: HashMap::new(), hits: 0, misses: 0, conflicts: 0 }
+    }
+
+    /// Number of direct-mapped slots.
+    pub const fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// The slot index a key maps to. A multiplicative hash spreads line
+    /// addresses across slots (line addresses are highly structured;
+    /// plain modulo would alias entire pools together).
+    pub fn index_of(&self, key: LineAddr) -> u64 {
+        (key.index().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % self.entries
+    }
+
+    /// Tag-checked lookup.
+    pub fn get(&mut self, key: LineAddr) -> Option<&E> {
+        let idx = self.index_of(key);
+        match self.slots.get(&idx) {
+            Some((tag, e)) if *tag == key => {
+                self.hits += 1;
+                Some(e)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Tag-checked lookup without stats side effects.
+    pub fn peek(&self, key: LineAddr) -> Option<&E> {
+        let idx = self.index_of(key);
+        match self.slots.get(&idx) {
+            Some((tag, e)) if *tag == key => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable tag-checked lookup.
+    pub fn get_mut(&mut self, key: LineAddr) -> Option<&mut E> {
+        let idx = self.index_of(key);
+        match self.slots.get_mut(&idx) {
+            Some((tag, e)) if *tag == key => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Inserts or overwrites the slot `key` maps to (direct-mapped
+    /// aliasing: a different key at the same slot is displaced).
+    pub fn put(&mut self, key: LineAddr, entry: E) {
+        let idx = self.index_of(key);
+        if let Some((tag, _)) = self.slots.get(&idx) {
+            if *tag != key {
+                self.conflicts += 1;
+            }
+        }
+        self.slots.insert(idx, (key, entry));
+    }
+
+    /// Updates the entry for `key` in place, or inserts `default()` first.
+    pub fn update_or_insert<F, D>(&mut self, key: LineAddr, default: D, f: F)
+    where
+        F: FnOnce(&mut E),
+        D: FnOnce() -> E,
+    {
+        let idx = self.index_of(key);
+        match self.slots.get_mut(&idx) {
+            Some((tag, e)) if *tag == key => f(e),
+            _ => {
+                let mut e = default();
+                f(&mut e);
+                self.put(key, e);
+            }
+        }
+    }
+
+    /// Slots currently allocated in the host map.
+    pub fn occupancy(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Tag-matching lookups.
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found no matching tag.
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Insertions that displaced a different key (direct-mapped aliasing).
+    pub const fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Clears all contents (the OS reclaimed the region, §3.4.1).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_round_trip() {
+        let mut t: MainMemoryTable<u32> = MainMemoryTable::new(16);
+        let k = LineAddr::from_index(42);
+        assert!(t.get(k).is_none());
+        t.put(k, 9);
+        assert_eq!(t.get(k), Some(&9));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_aliasing_displaces() {
+        let mut t: MainMemoryTable<u32> = MainMemoryTable::new(1); // everything aliases
+        let a = LineAddr::from_index(1);
+        let b = LineAddr::from_index(2);
+        t.put(a, 1);
+        t.put(b, 2);
+        assert!(t.get(a).is_none(), "a displaced by b");
+        assert_eq!(t.get(b), Some(&2));
+        assert_eq!(t.conflicts(), 1);
+    }
+
+    #[test]
+    fn update_or_insert_both_paths() {
+        let mut t: MainMemoryTable<Vec<u32>> = MainMemoryTable::new(8);
+        let k = LineAddr::from_index(5);
+        t.update_or_insert(k, Vec::new, |v| v.push(1));
+        t.update_or_insert(k, Vec::new, |v| v.push(2));
+        assert_eq!(t.peek(k), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn index_spreads_structured_addresses() {
+        let t: MainMemoryTable<()> = MainMemoryTable::new(1 << 16);
+        let mut idxs = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            idxs.insert(t.index_of(LineAddr::from_index(0x8000_0000 + i)));
+        }
+        // Sequential lines must not collapse onto few slots.
+        assert!(idxs.len() > 9_000, "only {} distinct slots", idxs.len());
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t: MainMemoryTable<u32> = MainMemoryTable::new(8);
+        t.put(LineAddr::from_index(1), 1);
+        t.clear();
+        assert_eq!(t.occupancy(), 0);
+        assert!(t.get(LineAddr::from_index(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _: MainMemoryTable<u32> = MainMemoryTable::new(0);
+    }
+
+    #[test]
+    fn smaller_table_conflicts_more() {
+        let keys: Vec<LineAddr> = (0..2000).map(|i| LineAddr::from_index(i * 7 + 3)).collect();
+        let mut small: MainMemoryTable<u64> = MainMemoryTable::new(256);
+        let mut large: MainMemoryTable<u64> = MainMemoryTable::new(1 << 20);
+        for (n, &k) in keys.iter().enumerate() {
+            small.put(k, n as u64);
+            large.put(k, n as u64);
+        }
+        let small_live = keys.iter().filter(|&&k| small.peek(k).is_some()).count();
+        let large_live = keys.iter().filter(|&&k| large.peek(k).is_some()).count();
+        assert!(small_live < large_live, "small={small_live} large={large_live}");
+        assert!(large_live > 1990);
+    }
+}

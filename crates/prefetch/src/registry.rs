@@ -1,0 +1,107 @@
+//! Baseline prefetcher registry: configuration enum + factory.
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{NullPrefetcher, Prefetcher};
+use crate::ghb::{GhbConfig, GhbPrefetcher};
+use crate::sms::{SmsConfig, SmsPrefetcher};
+use crate::solihin::{SolihinConfig, SolihinPrefetcher};
+use crate::stream::{StreamConfig, StreamPrefetcher};
+use crate::tcp::{TcpConfig, TcpPrefetcher};
+
+/// Configuration of one baseline prefetcher (everything in the Figure 9
+/// comparison except EBCP itself, which lives in `ebcp-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BaselineConfig {
+    /// No prefetching.
+    None,
+    /// Stream prefetcher.
+    Stream(StreamConfig),
+    /// GHB PC/DC.
+    Ghb(GhbConfig),
+    /// Tag Correlating Prefetcher.
+    Tcp(TcpConfig),
+    /// Spatial Memory Streaming.
+    Sms(SmsConfig),
+    /// Solihin memory-side correlation.
+    Solihin(SolihinConfig),
+}
+
+impl BaselineConfig {
+    /// The paper's Figure 9 baseline roster, with display names.
+    pub fn figure9_roster() -> Vec<(&'static str, BaselineConfig)> {
+        vec![
+            ("ghb-small", BaselineConfig::Ghb(GhbConfig::small())),
+            ("ghb-large", BaselineConfig::Ghb(GhbConfig::large())),
+            ("tcp-small", BaselineConfig::Tcp(TcpConfig::small())),
+            ("tcp-large", BaselineConfig::Tcp(TcpConfig::large())),
+            ("stream", BaselineConfig::Stream(StreamConfig::default())),
+            ("sms", BaselineConfig::Sms(SmsConfig::default())),
+            ("solihin-3,2", BaselineConfig::Solihin(SolihinConfig::original())),
+            ("solihin-6,1", BaselineConfig::Solihin(SolihinConfig::deep())),
+        ]
+    }
+
+    /// Builds the prefetcher, tagging it with `name`.
+    pub fn build_named(&self, name: &str) -> Box<dyn Prefetcher> {
+        match *self {
+            BaselineConfig::None => Box::new(NullPrefetcher),
+            BaselineConfig::Stream(c) => Box::new(StreamPrefetcher::new(c)),
+            BaselineConfig::Ghb(c) => Box::new(GhbPrefetcher::new(c).with_name(name)),
+            BaselineConfig::Tcp(c) => Box::new(TcpPrefetcher::new(c).with_name(name)),
+            BaselineConfig::Sms(c) => Box::new(SmsPrefetcher::new(c)),
+            BaselineConfig::Solihin(c) => Box::new(SolihinPrefetcher::new(c).with_name(name)),
+        }
+    }
+
+    /// Builds the prefetcher with its default name.
+    pub fn build(&self) -> Box<dyn Prefetcher> {
+        match *self {
+            BaselineConfig::None => Box::new(NullPrefetcher),
+            BaselineConfig::Stream(c) => Box::new(StreamPrefetcher::new(c)),
+            BaselineConfig::Ghb(c) => Box::new(GhbPrefetcher::new(c)),
+            BaselineConfig::Tcp(c) => Box::new(TcpPrefetcher::new(c)),
+            BaselineConfig::Sms(c) => Box::new(SmsPrefetcher::new(c)),
+            BaselineConfig::Solihin(c) => Box::new(SolihinPrefetcher::new(c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_builds_every_baseline() {
+        for (name, cfg) in BaselineConfig::figure9_roster() {
+            let p = cfg.build_named(name);
+            assert_eq!(p.name(), name);
+        }
+    }
+
+    #[test]
+    fn roster_matches_figure9() {
+        let names: Vec<_> =
+            BaselineConfig::figure9_roster().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ghb-small",
+                "ghb-large",
+                "tcp-small",
+                "tcp-large",
+                "stream",
+                "sms",
+                "solihin-3,2",
+                "solihin-6,1"
+            ]
+        );
+    }
+
+    #[test]
+    fn default_names() {
+        assert_eq!(BaselineConfig::None.build().name(), "none");
+        assert_eq!(BaselineConfig::Stream(StreamConfig::default()).build().name(), "stream");
+        assert_eq!(BaselineConfig::Solihin(SolihinConfig::deep()).build().name(), "solihin-6,1");
+    }
+}

@@ -1,0 +1,320 @@
+//! The Spatial Memory Streaming baseline (Somogyi et al., ISCA 2006).
+//!
+//! SMS learns, per *trigger* (the PC and region-offset of the first
+//! access to a 2 KB spatial region), the bit pattern of lines the program
+//! goes on to touch in that region, and replays the whole pattern as
+//! prefetches the next time the same trigger recurs — even for a region
+//! it has never seen. Configuration per §5.3: 2 KB regions, a combined
+//! 128-entry filter/accumulation table, and a 16-way 16K-entry PHT
+//! (≈128 KB on-chip). Up to 32 prefetches (the whole region) per PHT
+//! match; data accesses only — SMS cannot help instruction misses, which
+//! is why it falls behind on TPC-W and SPECjAppServer2004 (§5.3).
+
+use ebcp_types::{AccessKind, LineAddr, Pc};
+use serde::{Deserialize, Serialize};
+
+use crate::api::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+
+/// SMS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmsConfig {
+    /// Region size in lines (2 KB / 64 B = 32).
+    pub region_lines: u64,
+    /// Combined filter/accumulation table entries.
+    pub at_entries: usize,
+    /// PHT entries (total; organised as `pht_entries / pht_ways` sets).
+    pub pht_entries: usize,
+    /// PHT associativity.
+    pub pht_ways: usize,
+}
+
+impl Default for SmsConfig {
+    fn default() -> Self {
+        SmsConfig { region_lines: 32, at_entries: 128, pht_entries: 16 << 10, pht_ways: 16 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AtEntry {
+    region: u64,
+    trigger_key: u64,
+    pattern: u32,
+    lru: u64,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhtEntry {
+    key: u64,
+    pattern: u32,
+    lru: u64,
+    valid: bool,
+}
+
+/// The spatial memory streaming prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_prefetch::{Prefetcher, SmsConfig, SmsPrefetcher};
+/// let p = SmsPrefetcher::new(SmsConfig::default());
+/// assert_eq!(p.name(), "sms");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmsPrefetcher {
+    config: SmsConfig,
+    at: Vec<AtEntry>,
+    pht: Vec<PhtEntry>,
+    stamp: u64,
+}
+
+impl SmsPrefetcher {
+    /// Creates an SMS prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `region_lines > 32` (patterns are
+    /// 32-bit), or the PHT geometry is inconsistent.
+    pub fn new(config: SmsConfig) -> Self {
+        assert!(config.region_lines > 0 && config.region_lines <= 32);
+        assert!(config.at_entries > 0);
+        assert!(config.pht_ways > 0 && config.pht_entries % config.pht_ways == 0);
+        SmsPrefetcher {
+            config,
+            at: vec![
+                AtEntry { region: 0, trigger_key: 0, pattern: 0, lru: 0, valid: false };
+                config.at_entries
+            ],
+            pht: vec![PhtEntry::default(); config.pht_entries],
+            stamp: 0,
+        }
+    }
+
+    fn trigger_key(pc: Pc, offset: u64) -> u64 {
+        pc.get().wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(11) ^ offset
+    }
+
+    fn pht_sets(&self) -> usize {
+        self.config.pht_entries / self.config.pht_ways
+    }
+
+    fn pht_lookup(&mut self, key: u64) -> Option<u32> {
+        let set = (key % self.pht_sets() as u64) as usize;
+        let base = set * self.config.pht_ways;
+        self.stamp += 1;
+        for i in base..base + self.config.pht_ways {
+            if self.pht[i].valid && self.pht[i].key == key {
+                self.pht[i].lru = self.stamp;
+                return Some(self.pht[i].pattern);
+            }
+        }
+        None
+    }
+
+    fn pht_commit(&mut self, key: u64, pattern: u32) {
+        // Patterns with a single bit carry no spatial information.
+        if pattern.count_ones() < 2 {
+            return;
+        }
+        let set = (key % self.pht_sets() as u64) as usize;
+        let base = set * self.config.pht_ways;
+        self.stamp += 1;
+        for i in base..base + self.config.pht_ways {
+            if self.pht[i].valid && self.pht[i].key == key {
+                self.pht[i].pattern = pattern;
+                self.pht[i].lru = self.stamp;
+                return;
+            }
+        }
+        let victim = (base..base + self.config.pht_ways)
+            .min_by_key(|&i| if self.pht[i].valid { self.pht[i].lru } else { 0 })
+            .expect("nonempty set");
+        self.pht[victim] = PhtEntry { key, pattern, lru: self.stamp, valid: true };
+    }
+
+    fn handle(&mut self, pc: Pc, line: LineAddr, out: &mut Vec<Action>) {
+        let region = line.index() / self.config.region_lines;
+        let offset = line.index() % self.config.region_lines;
+        self.stamp += 1;
+        // Already tracking this region: accumulate.
+        if let Some(e) = self.at.iter_mut().find(|e| e.valid && e.region == region) {
+            e.pattern |= 1 << offset;
+            e.lru = self.stamp;
+            return;
+        }
+        // New region generation: evict the LRU tracker, committing its
+        // accumulated pattern to the PHT.
+        let victim = self
+            .at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("at least one AT entry");
+        if self.at[victim].valid {
+            let (k, p) = (self.at[victim].trigger_key, self.at[victim].pattern);
+            self.pht_commit(k, p);
+        }
+        let key = Self::trigger_key(pc, offset);
+        self.at[victim] = AtEntry {
+            region,
+            trigger_key: key,
+            pattern: 1 << offset,
+            lru: self.stamp,
+            valid: true,
+        };
+        // Predict: replay the learned footprint for this trigger.
+        if let Some(pattern) = self.pht_lookup(key) {
+            let base = region * self.config.region_lines;
+            for bit in 0..self.config.region_lines {
+                if bit != offset && pattern & (1 << bit) != 0 {
+                    out.push(Action::Prefetch { line: LineAddr::from_index(base + bit), origin: 0 });
+                }
+            }
+        }
+    }
+
+    /// Flushes all active generations into the PHT (end of simulation or
+    /// a convenient test hook).
+    pub fn flush_generations(&mut self) {
+        for i in 0..self.at.len() {
+            if self.at[i].valid {
+                let (k, p) = (self.at[i].trigger_key, self.at[i].pattern);
+                self.pht_commit(k, p);
+                self.at[i].valid = false;
+            }
+        }
+    }
+}
+
+impl Prefetcher for SmsPrefetcher {
+    fn name(&self) -> &str {
+        "sms"
+    }
+
+    fn on_miss(&mut self, info: &MissInfo, out: &mut Vec<Action>) {
+        if info.kind != AccessKind::Load {
+            return; // data only (§5.3)
+        }
+        self.handle(info.pc, info.line, out);
+    }
+
+    fn on_prefetch_hit(&mut self, info: &PrefetchHitInfo, out: &mut Vec<Action>) {
+        if info.kind != AccessKind::Load {
+            return;
+        }
+        self.handle(info.pc, info.line, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn miss(pc: u64, line: u64) -> MissInfo {
+        MissInfo {
+            line: LineAddr::from_index(line),
+            pc: Pc::new(pc),
+            kind: AccessKind::Load,
+            epoch_trigger: true,
+            now: 0, core: 0,
+        }
+    }
+
+    fn drive(p: &mut SmsPrefetcher, seq: &[(u64, u64)]) -> Vec<u64> {
+        let mut pf = Vec::new();
+        for &(pc, l) in seq {
+            let mut out = Vec::new();
+            p.on_miss(&miss(pc, l), &mut out);
+            pf.extend(out.iter().filter_map(|a| match a {
+                Action::Prefetch { line, .. } => Some(line.index()),
+                _ => None,
+            }));
+        }
+        pf
+    }
+
+    #[test]
+    fn footprint_replayed_on_new_region() {
+        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        // Generation 1: PC 0x40 triggers region 0 at offset 3; the
+        // program then touches offsets 7 and 12.
+        drive(&mut p, &[(0x40, 3), (0x99, 7), (0x99, 12)]);
+        // A different region evicts the generation (AT is 1 entry),
+        // committing the pattern {3,7,12} under trigger (0x40, 3).
+        // Generation 2: the same trigger on a brand-new region 10.
+        let pf = drive(&mut p, &[(0x40, 320 + 3)]);
+        assert_eq!(pf, vec![320 + 7, 320 + 12], "footprint replayed at new base");
+    }
+
+    #[test]
+    fn single_line_patterns_not_committed() {
+        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        drive(&mut p, &[(0x40, 3)]); // lone access to region 0
+        let pf = drive(&mut p, &[(0x40, 320 + 3)]);
+        assert!(pf.is_empty(), "no spatial info in a 1-line generation");
+    }
+
+    #[test]
+    fn trigger_offset_matters() {
+        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        drive(&mut p, &[(0x40, 3), (0x99, 7)]);
+        // Same PC but different trigger offset: different PHT key.
+        let pf = drive(&mut p, &[(0x40, 320 + 5)]);
+        assert!(pf.is_empty());
+    }
+
+    #[test]
+    fn accumulation_does_not_predict() {
+        let mut p = SmsPrefetcher::new(SmsConfig::default());
+        let pf = drive(&mut p, &[(0x40, 3), (0x40, 7), (0x40, 12)]);
+        assert!(pf.is_empty(), "in-generation accesses only accumulate");
+    }
+
+    #[test]
+    fn instruction_misses_ignored() {
+        let mut p = SmsPrefetcher::new(SmsConfig::default());
+        let mut out = Vec::new();
+        p.on_miss(
+            &MissInfo {
+                line: LineAddr::from_index(3),
+                pc: Pc::new(0x40),
+                kind: AccessKind::InstrFetch,
+                epoch_trigger: true,
+                now: 0, core: 0,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flush_commits_active_generations() {
+        let mut p = SmsPrefetcher::new(SmsConfig::default());
+        drive(&mut p, &[(0x40, 3), (0x99, 7)]);
+        p.flush_generations();
+        let pf = drive(&mut p, &[(0x40, 640 + 3)]);
+        assert_eq!(pf, vec![640 + 7]);
+    }
+
+    #[test]
+    fn whole_region_can_be_prefetched() {
+        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        // Touch every line of region 0.
+        let seq: Vec<(u64, u64)> = (0..32).map(|o| (0x40, o)).collect();
+        drive(&mut p, &seq);
+        let pf = drive(&mut p, &[(0x40, 320)]);
+        assert_eq!(pf.len(), 31, "all other 31 lines prefetched");
+    }
+
+    #[test]
+    fn pattern_updates_on_recommit() {
+        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        drive(&mut p, &[(0x40, 3), (0x99, 7)]);
+        // New generation, same trigger, different footprint.
+        drive(&mut p, &[(0x40, 320 + 3), (0x99, 320 + 9)]);
+        // Commit it by starting yet another generation.
+        let pf = drive(&mut p, &[(0x40, 640 + 3)]);
+        assert_eq!(pf, vec![640 + 9], "latest footprint wins");
+    }
+}

@@ -1,0 +1,313 @@
+//! The memory-side correlation prefetcher baseline (Solihin, Lee &
+//! Torrellas, ISCA 2002).
+//!
+//! Solihin's scheme stores a pairwise correlation table in main memory
+//! and runs the prefetch engine near the memory controller. Each table
+//! entry, keyed by a miss address, holds `depth` *levels* of successors;
+//! level *i* keeps the last `width` distinct addresses observed *i*
+//! misses after the key (MRU ordered). On a miss, the entry is read from
+//! main memory (a real round-trip, modelled by the engine) and up to
+//! `width × depth` prefetches are issued.
+//!
+//! The paper compares *Solihin 3,2* (depth 3, width 2 — the original
+//! configuration) and *Solihin 6,1* (depth 6, width 1 — the
+//! depth-enhanced variant), both with 1M-entry main-memory tables
+//! (§5.3). The scheme's weakness versus EBCP (§3.3.1) is *what* it
+//! stores, not where: the successors it prefetches include the current
+//! epoch's remaining misses and the next epoch's misses, which cannot be
+//! covered timely once the table round-trip is accounted for.
+
+use std::collections::{HashMap, VecDeque};
+
+use ebcp_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::api::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use crate::mmtable::MainMemoryTable;
+
+/// Solihin prefetcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolihinConfig {
+    /// Main-memory correlation table entries (direct-mapped).
+    pub entries: u64,
+    /// Successors kept per level (prefetch width).
+    pub width: usize,
+    /// Successor levels (prefetch depth).
+    pub depth: usize,
+    /// Maximum prefetches per table match.
+    pub degree: usize,
+    /// Cycles a miss takes to reach the memory-side engine before its
+    /// table lookup can start (processor → North Bridge trip, §3.3.1).
+    pub lookup_delay: u64,
+}
+
+impl SolihinConfig {
+    /// The original *Solihin 3,2*: depth 3, width 2, ≤6 prefetches.
+    pub const fn original() -> Self {
+        SolihinConfig { entries: 1 << 20, width: 2, depth: 3, degree: 6, lookup_delay: 250 }
+    }
+
+    /// The depth-enhanced *Solihin 6,1*: depth 6, width 1.
+    pub const fn deep() -> Self {
+        SolihinConfig { entries: 1 << 20, width: 1, depth: 6, degree: 6, lookup_delay: 250 }
+    }
+}
+
+/// One correlation-table entry: `depth` MRU successor lists.
+#[derive(Debug, Clone, Default)]
+struct SolihinEntry {
+    levels: Vec<Vec<LineAddr>>,
+}
+
+/// The memory-side correlation prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_prefetch::{Prefetcher, SolihinConfig, SolihinPrefetcher};
+/// let p = SolihinPrefetcher::new(SolihinConfig::deep());
+/// assert_eq!(p.name(), "solihin-6,1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolihinPrefetcher {
+    config: SolihinConfig,
+    table: MainMemoryTable<SolihinEntry>,
+    /// The last `depth` misses, newest at the back.
+    recent: VecDeque<LineAddr>,
+    /// Pending table reads: token → the key whose entry was requested.
+    pending: HashMap<u64, LineAddr>,
+    next_token: u64,
+    name: String,
+}
+
+impl SolihinPrefetcher {
+    /// Creates a Solihin prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or depth is zero.
+    pub fn new(config: SolihinConfig) -> Self {
+        assert!(config.width > 0 && config.depth > 0);
+        SolihinPrefetcher {
+            table: MainMemoryTable::new(config.entries),
+            recent: VecDeque::with_capacity(config.depth),
+            pending: HashMap::new(),
+            next_token: 0,
+            name: format!("solihin-{},{}", config.depth, config.width),
+            config,
+        }
+    }
+
+    /// Overrides the display name.
+    #[must_use]
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// The configured table, exposed for inspection in tests.
+    pub fn table_occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    fn learn(&mut self, line: LineAddr) {
+        let width = self.config.width;
+        let depth = self.config.depth;
+        // `line` is the level-(i+1) successor of the miss i-back.
+        for (i, &pred) in self.recent.iter().rev().enumerate() {
+            if i >= depth {
+                break;
+            }
+            self.table.update_or_insert(
+                pred,
+                || SolihinEntry { levels: vec![Vec::new(); depth] },
+                |e| {
+                    if e.levels.len() < depth {
+                        e.levels.resize(depth, Vec::new());
+                    }
+                    let level = &mut e.levels[i];
+                    if let Some(pos) = level.iter().position(|&l| l == line) {
+                        level.remove(pos);
+                    }
+                    level.insert(0, line);
+                    level.truncate(width);
+                },
+            );
+        }
+        self.recent.push_back(line);
+        while self.recent.len() > depth {
+            self.recent.pop_front();
+        }
+    }
+
+    fn handle(&mut self, line: LineAddr, out: &mut Vec<Action>) {
+        self.learn(line);
+        // Prediction requires the main-memory table round-trip.
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, line);
+        out.push(Action::TableRead { token, delay: self.config.lookup_delay });
+        // Learning updates one entry per level: each is a table write
+        // (the engine charges the write-bus bandwidth).
+        for _ in 0..self.recent.len().saturating_sub(1).min(self.config.depth) {
+            out.push(Action::TableWrite);
+        }
+    }
+}
+
+impl Prefetcher for SolihinPrefetcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_miss(&mut self, info: &MissInfo, out: &mut Vec<Action>) {
+        // Memory-side: sees every L2 miss (instruction and load).
+        self.handle(info.line, out);
+    }
+
+    fn on_prefetch_hit(&mut self, _info: &PrefetchHitInfo, _out: &mut Vec<Action>) {
+        // Memory-side placement: a prefetch-buffer hit is absorbed
+        // on-chip and never reaches the memory controller, so the engine
+        // cannot observe it — no training, no lookup. This is the flip
+        // side of needing no on-chip control, and one reason the paper's
+        // on-chip EBCP placement wins (§3.3.1): the better the
+        // prefetcher does, the less of the miss stream it sees.
+    }
+
+    fn on_table_done(&mut self, token: u64, _now: u64, out: &mut Vec<Action>) {
+        let Some(key) = self.pending.remove(&token) else { return };
+        let Some(entry) = self.table.get(key) else { return };
+        let mut issued = 0;
+        // Level-major order: nearest successors first.
+        for level in &entry.levels {
+            for &succ in level.iter().take(self.config.width) {
+                if issued >= self.config.degree {
+                    return;
+                }
+                out.push(Action::Prefetch { line: succ, origin: 0 });
+                issued += 1;
+            }
+        }
+    }
+
+    fn on_table_dropped(&mut self, token: u64) {
+        self.pending.remove(&token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_types::{AccessKind, Pc};
+
+    fn miss(line: u64) -> MissInfo {
+        MissInfo {
+            line: LineAddr::from_index(line),
+            pc: Pc::new(0),
+            kind: AccessKind::Load,
+            epoch_trigger: true,
+            now: 0, core: 0,
+        }
+    }
+
+    /// Drives misses, immediately completing every table read, and
+    /// returns the prefetched line indices.
+    fn drive(p: &mut SolihinPrefetcher, lines: &[u64]) -> Vec<u64> {
+        let mut pf = Vec::new();
+        for &l in lines {
+            let mut out = Vec::new();
+            p.on_miss(&miss(l), &mut out);
+            let mut done = Vec::new();
+            for a in &out {
+                if let Action::TableRead { token, .. } = a {
+                    p.on_table_done(*token, 0, &mut done);
+                }
+            }
+            pf.extend(done.iter().filter_map(|a| match a {
+                Action::Prefetch { line, .. } => Some(line.index()),
+                _ => None,
+            }));
+        }
+        pf
+    }
+
+    #[test]
+    fn successors_learned_and_prefetched() {
+        let mut p = SolihinPrefetcher::new(SolihinConfig::deep());
+        // Sequence A B C D E F G, twice. Second pass: miss A's entry
+        // holds successors B..G at levels 1..6.
+        let seq = [10u64, 20, 30, 40, 50, 60, 70];
+        drive(&mut p, &seq);
+        let pf = drive(&mut p, &[10]);
+        assert_eq!(pf, vec![20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn width_two_keeps_alternatives() {
+        let mut p = SolihinPrefetcher::new(SolihinConfig::original());
+        // A is followed by B on one path and C on another.
+        drive(&mut p, &[10, 20, 99, 98, 97]); // A B ...
+        drive(&mut p, &[10, 30, 89, 88, 87]); // A C ...
+        let pf = drive(&mut p, &[10]);
+        // Level 1 holds {C (MRU), B}; both prefetched.
+        assert!(pf.contains(&30) && pf.contains(&20), "{pf:?}");
+    }
+
+    #[test]
+    fn width_one_keeps_only_mru() {
+        let mut p = SolihinPrefetcher::new(SolihinConfig::deep());
+        drive(&mut p, &[10, 20, 99, 98, 97, 96, 95]);
+        drive(&mut p, &[10, 30, 89, 88, 87, 86, 85]);
+        let pf = drive(&mut p, &[10]);
+        assert!(pf.contains(&30), "MRU successor kept: {pf:?}");
+        assert!(!pf.contains(&20), "older alternative evicted: {pf:?}");
+    }
+
+    #[test]
+    fn degree_caps_prefetches() {
+        let cfg = SolihinConfig { degree: 3, ..SolihinConfig::deep() };
+        let mut p = SolihinPrefetcher::new(cfg);
+        let seq = [10u64, 20, 30, 40, 50, 60, 70];
+        drive(&mut p, &seq);
+        let pf = drive(&mut p, &[10]);
+        assert_eq!(pf.len(), 3);
+    }
+
+    #[test]
+    fn no_prediction_for_unknown_miss() {
+        let mut p = SolihinPrefetcher::new(SolihinConfig::deep());
+        let pf = drive(&mut p, &[1, 2, 3]);
+        // First pass: entries are being built; key 1's entry did not
+        // exist at lookup time... but entries for 1 were created by
+        // learning when 2 and 3 arrived. The *lookups* happened before,
+        // so nothing is prefetched.
+        assert!(pf.is_empty(), "{pf:?}");
+    }
+
+    #[test]
+    fn dropped_reads_clean_up() {
+        let mut p = SolihinPrefetcher::new(SolihinConfig::deep());
+        let mut out = Vec::new();
+        p.on_miss(&miss(1), &mut out);
+        let token = out
+            .iter()
+            .find_map(|a| match a {
+                Action::TableRead { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("read issued");
+        p.on_table_dropped(token);
+        let mut done = Vec::new();
+        p.on_table_done(token, 0, &mut done);
+        assert!(done.is_empty(), "dropped token must not fire later");
+    }
+
+    #[test]
+    fn table_capacity_causes_aliasing() {
+        let tiny = SolihinConfig { entries: 4, ..SolihinConfig::deep() };
+        let mut p = SolihinPrefetcher::new(tiny);
+        let seq: Vec<u64> = (0..100).map(|i| i * 17 + 1).collect();
+        drive(&mut p, &seq);
+        assert!(p.table_occupancy() <= 4);
+    }
+}

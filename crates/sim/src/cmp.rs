@@ -1,0 +1,890 @@
+//! The chip-multiprocessor engine — the paper's §6 future work.
+//!
+//! N cores, each with private L1s and its own miss window / epoch
+//! tracker, share the L2, the prefetch buffer, the MSHR file, the memory
+//! system and one prefetcher. Every demand miss is reported with its
+//! core id: the on-chip prefetcher control sits in front of the
+//! core-to-L2 crossbar (§3.2, Figure 2), so EBCP keeps per-core EMABs
+//! over a *shared* correlation table, while a memory-side scheme such as
+//! Solihin's observes only the interleaved stream arriving at the
+//! controller — the very situation §3.3.1 argues destroys its
+//! correlations.
+//!
+//! Scheduling: the engine always steps the core with the smallest local
+//! clock, so shared-resource requests are issued in (approximately)
+//! global time order and cross-core skew is bounded by one stall.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use ebcp_core::EpochTracker;
+use ebcp_mem::{MemOutcome, MemorySystem, MshrFile, PrefetchBuffer, SetAssocCache};
+use ebcp_prefetch::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use ebcp_trace::{Op, TraceRecord};
+use ebcp_types::{AccessKind, Cycle, LineAddr, MemClass, Pc};
+
+use crate::config::SimConfig;
+use crate::metrics::SimResult;
+
+#[derive(Debug, Clone, Copy)]
+struct Outst {
+    line: LineAddr,
+    done: Cycle,
+    kind: AccessKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    TableDone { token: u64 },
+    PrefetchArrive { line: LineAddr, origin: u64 },
+    StoreFill { line: LineAddr },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: Cycle,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreCounters {
+    inst_misses: u64,
+    load_misses: u64,
+    store_misses: u64,
+    averted_inst: u64,
+    averted_load: u64,
+    averted_store: u64,
+    partial_hits: u64,
+    stall_cycles: Cycle,
+}
+
+struct Core {
+    id: u8,
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    epoch: EpochTracker,
+    cycle: Cycle,
+    issue_slots: u32,
+    insts: u64,
+    outstanding: Vec<Outst>,
+    window_insts: u32,
+    dep_countdown: Option<u32>,
+    last_fetch_line: Option<LineAddr>,
+    c: CoreCounters,
+    cycle_base: Cycle,
+    insts_base: u64,
+}
+
+/// Per-core measurement results plus the shared-traffic aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpResult {
+    /// One result per core (shared traffic counters are zero here; see
+    /// `aggregate`).
+    pub cores: Vec<SimResult>,
+    /// Workload-wide aggregate: instruction/cycle sums, prefetch and
+    /// table traffic, memory statistics.
+    pub aggregate: SimResult,
+}
+
+impl CmpResult {
+    /// Mean per-core CPI.
+    pub fn mean_cpi(&self) -> f64 {
+        if self.cores.is_empty() {
+            0.0
+        } else {
+            self.cores.iter().map(|r| r.cpi()).sum::<f64>() / self.cores.len() as f64
+        }
+    }
+
+    /// Mean per-core improvement over a baseline CMP run.
+    pub fn improvement_over(&self, base: &CmpResult) -> f64 {
+        if self.mean_cpi() == 0.0 {
+            0.0
+        } else {
+            base.mean_cpi() / self.mean_cpi() - 1.0
+        }
+    }
+
+    /// Aggregate prefetch coverage.
+    pub fn coverage(&self) -> f64 {
+        self.aggregate.coverage()
+    }
+}
+
+/// The N-core shared-L2 engine.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_prefetch::NullPrefetcher;
+/// use ebcp_sim::{CmpEngine, SimConfig};
+/// use ebcp_trace::{TraceGenerator, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::specjbb2005().scaled(1, 32);
+/// let traces: Vec<Vec<_>> = (0..2)
+///     .map(|s| TraceGenerator::new(&spec, s).take(20_000).collect())
+///     .collect();
+/// let mut cmp = CmpEngine::new(SimConfig::scaled_down(16), 2, Box::new(NullPrefetcher));
+/// let result = cmp.run(&traces, 10_000, 10_000, "jbb");
+/// assert_eq!(result.cores.len(), 2);
+/// ```
+pub struct CmpEngine {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    l2: SetAssocCache,
+    pbuf: PrefetchBuffer,
+    mshr: MshrFile,
+    mem: MemorySystem,
+    pf: Box<dyn Prefetcher>,
+    pf_inflight: HashMap<LineAddr, Cycle>,
+    events: BinaryHeap<Reverse<Ev>>,
+    next_ev_at: Cycle,
+    ev_seq: u64,
+    actions: Vec<Action>,
+    // Shared-traffic counters (whole-chip).
+    pf_requested: u64,
+    pf_filtered: u64,
+    pf_dropped_mshr: u64,
+    pf_dropped_bus: u64,
+    pf_issued: u64,
+    pf_evicted_unused: u64,
+    table_reads: u64,
+    table_read_drops: u64,
+    table_writes: u64,
+    writebacks: u64,
+    shared_base: SharedBase,
+    shared_snapshotted: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SharedBase {
+    pf_filtered: u64,
+    pf_dropped_mshr: u64,
+    pf_dropped_bus: u64,
+    pf_issued: u64,
+    pf_evicted_unused: u64,
+    table_reads: u64,
+    table_read_drops: u64,
+    table_writes: u64,
+    writebacks: u64,
+}
+
+impl std::fmt::Debug for CmpEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CmpEngine")
+            .field("cores", &self.cores.len())
+            .field("prefetcher", &self.pf.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CmpEngine {
+    /// Creates an N-core engine over a cold machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero or exceeds 255.
+    pub fn new(cfg: SimConfig, n_cores: usize, pf: Box<dyn Prefetcher>) -> Self {
+        assert!(n_cores > 0 && n_cores <= 255, "1..=255 cores");
+        let cores = (0..n_cores)
+            .map(|id| Core {
+                id: id as u8,
+                l1i: SetAssocCache::new(cfg.l1i),
+                l1d: SetAssocCache::new(cfg.l1d),
+                epoch: EpochTracker::new(),
+                cycle: 0,
+                issue_slots: 0,
+                insts: 0,
+                outstanding: Vec::new(),
+                window_insts: 0,
+                dep_countdown: None,
+                last_fetch_line: None,
+                c: CoreCounters::default(),
+                cycle_base: 0,
+                insts_base: 0,
+            })
+            .collect();
+        CmpEngine {
+            cores,
+            l2: SetAssocCache::new(cfg.l2),
+            pbuf: PrefetchBuffer::new(cfg.pbuf_entries, cfg.pbuf_ways.min(cfg.pbuf_entries)),
+            mshr: MshrFile::new(cfg.mshrs),
+            mem: MemorySystem::new(cfg.mem),
+            pf,
+            pf_inflight: HashMap::new(),
+            events: BinaryHeap::new(),
+            next_ev_at: Cycle::MAX,
+            ev_seq: 0,
+            actions: Vec::new(),
+            pf_requested: 0,
+            pf_filtered: 0,
+            pf_dropped_mshr: 0,
+            pf_dropped_bus: 0,
+            pf_issued: 0,
+            pf_evicted_unused: 0,
+            table_reads: 0,
+            table_read_drops: 0,
+            table_writes: 0,
+            writebacks: 0,
+            shared_base: SharedBase::default(),
+            shared_snapshotted: false,
+            cfg,
+        }
+    }
+
+    /// Runs one trace per core (all cores consume `warmup + measure`
+    /// records; statistics cover the measurement part). Returns per-core
+    /// and aggregate results.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one trace per core is supplied.
+    pub fn run(
+        &mut self,
+        traces: &[Vec<TraceRecord>],
+        warmup: u64,
+        measure: u64,
+        workload: &str,
+    ) -> CmpResult {
+        assert_eq!(traces.len(), self.cores.len(), "one trace per core");
+        let total = warmup + measure;
+        let mut cursors = vec![0usize; traces.len()];
+        loop {
+            // Step the core with the smallest local clock that still has
+            // trace records left.
+            let mut pick: Option<usize> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                if (cursors[i] as u64) < total && cursors[i] < traces[i].len() {
+                    if pick.map(|p| c.cycle < self.cores[p].cycle).unwrap_or(true) {
+                        pick = Some(i);
+                    }
+                }
+            }
+            let Some(i) = pick else { break };
+            let rec = traces[i][cursors[i]];
+            cursors[i] += 1;
+            self.step_core(i, &rec);
+            if self.cores[i].insts == warmup {
+                self.reset_core_stats(i);
+                if !self.shared_snapshotted && self.cores.iter().all(|c| c.insts >= warmup) {
+                    self.shared_snapshotted = true;
+                    self.snapshot_shared();
+                }
+            }
+        }
+        self.collect(workload)
+    }
+
+    fn reset_core_stats(&mut self, i: usize) {
+        let c = &mut self.cores[i];
+        c.c = CoreCounters::default();
+        c.cycle_base = c.cycle;
+        c.insts_base = c.insts;
+        c.epoch.reset_stats();
+    }
+
+    fn snapshot_shared(&mut self) {
+        self.shared_base = SharedBase {
+            pf_filtered: self.pf_filtered,
+            pf_dropped_mshr: self.pf_dropped_mshr,
+            pf_dropped_bus: self.pf_dropped_bus,
+            pf_issued: self.pf_issued,
+            pf_evicted_unused: self.pf_evicted_unused,
+            table_reads: self.table_reads,
+            table_read_drops: self.table_read_drops,
+            table_writes: self.table_writes,
+            writebacks: self.writebacks,
+        };
+        self.pf.reset_aux_stats();
+    }
+
+    fn collect(&self, workload: &str) -> CmpResult {
+        let cores: Vec<SimResult> = self
+            .cores
+            .iter()
+            .map(|c| SimResult {
+                prefetcher: self.pf.name().to_owned(),
+                workload: format!("{workload}#core{}", c.id),
+                insts: c.insts - c.insts_base,
+                cycles: c.cycle - c.cycle_base,
+                epochs: c.epoch.stats().epochs,
+                l2_inst_misses: c.c.inst_misses,
+                l2_load_misses: c.c.load_misses,
+                l2_store_misses: c.c.store_misses,
+                averted_inst: c.c.averted_inst,
+                averted_load: c.c.averted_load,
+                averted_store: c.c.averted_store,
+                partial_hits: c.c.partial_hits,
+                stall_cycles: c.c.stall_cycles,
+                ..SimResult::default()
+            })
+            .collect();
+        let mut aggregate = SimResult {
+            prefetcher: self.pf.name().to_owned(),
+            workload: workload.to_owned(),
+            pf_issued: self.pf_issued - self.shared_base.pf_issued,
+            pf_dropped_bus: self.pf_dropped_bus - self.shared_base.pf_dropped_bus,
+            pf_dropped_mshr: self.pf_dropped_mshr - self.shared_base.pf_dropped_mshr,
+            pf_filtered: self.pf_filtered - self.shared_base.pf_filtered,
+            pf_evicted_unused: self.pf_evicted_unused - self.shared_base.pf_evicted_unused,
+            table_reads: self.table_reads - self.shared_base.table_reads,
+            table_read_drops: self.table_read_drops - self.shared_base.table_read_drops,
+            table_writes: self.table_writes - self.shared_base.table_writes,
+            writebacks: self.writebacks - self.shared_base.writebacks,
+            ..SimResult::default()
+        };
+        for c in &cores {
+            aggregate.insts += c.insts;
+            aggregate.cycles = aggregate.cycles.max(c.cycles);
+            aggregate.epochs += c.epochs;
+            aggregate.l2_inst_misses += c.l2_inst_misses;
+            aggregate.l2_load_misses += c.l2_load_misses;
+            aggregate.l2_store_misses += c.l2_store_misses;
+            aggregate.averted_inst += c.averted_inst;
+            aggregate.averted_load += c.averted_load;
+            aggregate.averted_store += c.averted_store;
+            aggregate.partial_hits += c.partial_hits;
+            aggregate.stall_cycles += c.stall_cycles;
+        }
+        CmpResult { cores, aggregate }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-core stepping (mirrors the single-core engine's model)
+    // ------------------------------------------------------------------
+
+    fn step_core(&mut self, i: usize, rec: &TraceRecord) {
+        if !self.cores[i].outstanding.is_empty() {
+            self.drain_outstanding(i);
+        }
+        if self.next_ev_at <= self.cores[i].cycle {
+            let upto = self.cores[i].cycle;
+            self.drain_events(upto);
+        }
+
+        self.cores[i].insts += 1;
+
+        let iline = rec.pc.line();
+        if self.cores[i].last_fetch_line != Some(iline) {
+            self.cores[i].last_fetch_line = Some(iline);
+            self.fetch(i, iline, rec.pc);
+        }
+
+        let core = &mut self.cores[i];
+        core.issue_slots += 1;
+        if core.issue_slots >= self.cfg.core.issue_width {
+            core.cycle += 1;
+            core.issue_slots = 0;
+        }
+        if !core.outstanding.is_empty() {
+            core.window_insts += 1;
+        }
+
+        match rec.op {
+            Op::Alu => {}
+            Op::Load { addr, feeds_mispredict } => {
+                self.load(i, addr.line(), rec.pc, feeds_mispredict)
+            }
+            Op::Store { addr } => self.store(i, addr.line()),
+            Op::Branch { mispredicted } => {
+                if mispredicted {
+                    self.cores[i].cycle += self.cfg.core.mispredict_penalty;
+                }
+            }
+            Op::Serialize => {
+                if self.cores[i].outstanding.is_empty() {
+                    self.cores[i].cycle += self.cfg.core.serialize_cost;
+                } else {
+                    self.stall_all(i);
+                }
+            }
+        }
+
+        if !self.cores[i].outstanding.is_empty() {
+            if self.cores[i].window_insts >= self.cfg.core.rob_entries {
+                self.stall_all(i);
+            } else if let Some(cd) = self.cores[i].dep_countdown {
+                if cd == 0 {
+                    self.stall_all(i);
+                } else {
+                    self.cores[i].dep_countdown = Some(cd - 1);
+                }
+            }
+        }
+    }
+
+    fn fetch(&mut self, i: usize, iline: LineAddr, pc: Pc) {
+        if self.cores[i].l1i.access(iline) {
+            return;
+        }
+        if self.l2.access(iline) {
+            self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
+            self.cores[i].l1i.fill(iline, false);
+            return;
+        }
+        if let Some(origin) = self.pbuf.lookup_consume(iline) {
+            self.cores[i].c.averted_inst += 1;
+            self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
+            self.fill_l2(i, iline, false);
+            self.cores[i].l1i.fill(iline, false);
+            self.notify_pbuf_hit(i, iline, pc, AccessKind::InstrFetch, origin);
+            return;
+        }
+        self.offchip_demand(i, iline, pc, AccessKind::InstrFetch);
+        self.stall_all(i);
+        self.cores[i].l1i.fill(iline, false);
+    }
+
+    fn load(&mut self, i: usize, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
+        if self.cores[i].l1d.access(dline) {
+            return;
+        }
+        if self.l2.access(dline) {
+            self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
+            self.cores[i].l1d.fill(dline, false);
+            return;
+        }
+        if let Some(origin) = self.pbuf.lookup_consume(dline) {
+            self.cores[i].c.averted_load += 1;
+            self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
+            self.fill_l2(i, dline, false);
+            self.cores[i].l1d.fill(dline, false);
+            self.notify_pbuf_hit(i, dline, pc, AccessKind::Load, origin);
+            return;
+        }
+        self.offchip_demand(i, dline, pc, AccessKind::Load);
+        if feeds_mispredict {
+            self.cores[i].dep_countdown = Some(self.cfg.core.dep_branch_window);
+        }
+    }
+
+    fn store(&mut self, i: usize, dline: LineAddr) {
+        if self.cores[i].l1d.access(dline) {
+            self.l2.mark_dirty(dline);
+            return;
+        }
+        if self.l2.access(dline) {
+            self.l2.mark_dirty(dline);
+            self.cores[i].l1d.fill(dline, false);
+            return;
+        }
+        if self.pbuf.lookup_consume(dline).is_some() {
+            self.cores[i].c.averted_store += 1;
+            self.fill_l2(i, dline, true);
+            self.cores[i].l1d.fill(dline, false);
+            return;
+        }
+        if self.mshr.contains(dline)
+            || self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs
+        {
+            return;
+        }
+        self.cores[i].c.store_misses += 1;
+        self.mshr.allocate(dline);
+        let now = self.cores[i].cycle;
+        if let MemOutcome::Done { done } = self.mem.request(now, MemClass::Demand) {
+            self.push_event(done, EvKind::StoreFill { line: dline });
+        }
+    }
+
+    fn offchip_demand(&mut self, i: usize, line: LineAddr, pc: Pc, kind: AccessKind) {
+        let now = self.cores[i].cycle;
+        if let Some(arrival) = self.pf_inflight.remove(&line) {
+            self.cores[i].c.partial_hits += 1;
+            let trigger = self.cores[i].epoch.on_offchip_issue(now);
+            self.count_miss(i, kind);
+            self.mshr.allocate(line);
+            let done = arrival.max(now + 1);
+            self.cores[i].outstanding.push(Outst { line, done, kind });
+            self.notify_miss(i, line, pc, kind, trigger);
+            return;
+        }
+        if self.mshr.contains(line) {
+            // Outstanding somewhere (possibly another core): attach to
+            // this core's window with a conservative full-latency
+            // completion.
+            let trigger = self.cores[i].epoch.on_offchip_issue(now);
+            self.count_miss(i, kind);
+            let done = now + self.cfg.mem.latency;
+            self.cores[i].outstanding.push(Outst { line, done, kind });
+            self.notify_miss(i, line, pc, kind, trigger);
+            return;
+        }
+        self.wait_for_mshr(i);
+        let now = self.cores[i].cycle;
+        let trigger = self.cores[i].epoch.on_offchip_issue(now);
+        self.count_miss(i, kind);
+        self.mshr.allocate(line);
+        let done = match self.mem.request(now, MemClass::Demand) {
+            MemOutcome::Done { done } => done,
+            MemOutcome::Dropped => unreachable!("demand requests are never dropped"),
+        };
+        self.cores[i].outstanding.push(Outst { line, done, kind });
+        self.notify_miss(i, line, pc, kind, trigger);
+    }
+
+    fn count_miss(&mut self, i: usize, kind: AccessKind) {
+        match kind {
+            AccessKind::InstrFetch => self.cores[i].c.inst_misses += 1,
+            AccessKind::Load => self.cores[i].c.load_misses += 1,
+            AccessKind::Store => self.cores[i].c.store_misses += 1,
+        }
+    }
+
+    fn wait_for_mshr(&mut self, i: usize) {
+        while self.mshr.is_full() {
+            if !self.cores[i].outstanding.is_empty() {
+                self.stall_all(i);
+            } else if self.next_ev_at != Cycle::MAX {
+                self.cores[i].cycle = self.cores[i].cycle.max(self.next_ev_at);
+                let upto = self.cores[i].cycle;
+                self.drain_events(upto);
+            } else {
+                // Another core holds the registers; skew this core
+                // forward past the soonest possible release.
+                self.cores[i].cycle += self.cfg.mem.latency;
+                return;
+            }
+        }
+    }
+
+    fn notify_miss(&mut self, i: usize, line: LineAddr, pc: Pc, kind: AccessKind, trigger: bool) {
+        let info = MissInfo {
+            line,
+            pc,
+            kind,
+            epoch_trigger: trigger,
+            now: self.cores[i].cycle,
+            core: self.cores[i].id,
+        };
+        let mut acts = std::mem::take(&mut self.actions);
+        acts.clear();
+        self.pf.on_miss(&info, &mut acts);
+        let now = self.cores[i].cycle;
+        self.apply_actions(now, &acts);
+        self.actions = acts;
+    }
+
+    fn notify_pbuf_hit(&mut self, i: usize, line: LineAddr, pc: Pc, kind: AccessKind, origin: u64) {
+        let info = PrefetchHitInfo {
+            line,
+            pc,
+            kind,
+            origin,
+            would_be_trigger: self.cores[i].epoch.would_trigger(),
+            now: self.cores[i].cycle,
+            core: self.cores[i].id,
+        };
+        let mut acts = std::mem::take(&mut self.actions);
+        acts.clear();
+        self.pf.on_prefetch_hit(&info, &mut acts);
+        let now = self.cores[i].cycle;
+        self.apply_actions(now, &acts);
+        self.actions = acts;
+    }
+
+    fn apply_actions(&mut self, now: Cycle, acts: &[Action]) {
+        for a in acts {
+            match *a {
+                Action::Prefetch { line, origin } => {
+                    self.pf_requested += 1;
+                    if self.l2.probe(line)
+                        || self.pbuf.contains(line)
+                        || self.mshr.contains(line)
+                        || self.pf_inflight.contains_key(&line)
+                    {
+                        self.pf_filtered += 1;
+                        continue;
+                    }
+                    if self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs {
+                        self.pf_dropped_mshr += 1;
+                        continue;
+                    }
+                    match self.mem.request(now, MemClass::Prefetch) {
+                        MemOutcome::Done { done } => {
+                            self.pf_issued += 1;
+                            self.pf_inflight.insert(line, done);
+                            self.push_event(done, EvKind::PrefetchArrive { line, origin });
+                        }
+                        MemOutcome::Dropped => self.pf_dropped_bus += 1,
+                    }
+                }
+                Action::TableRead { token, delay } => {
+                    match self.mem.request(now + delay, MemClass::TableRead) {
+                        MemOutcome::Done { done } => {
+                            self.table_reads += 1;
+                            self.push_event(done, EvKind::TableDone { token });
+                        }
+                        MemOutcome::Dropped => {
+                            self.table_read_drops += 1;
+                            self.pf.on_table_dropped(token);
+                        }
+                    }
+                }
+                Action::TableWrite => {
+                    self.table_writes += 1;
+                    let _ = self.mem.request(now, MemClass::TableWrite);
+                }
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, i: usize, line: LineAddr, dirty: bool) {
+        if let Some(ev) = self.l2.fill(line, dirty) {
+            if ev.dirty {
+                self.writebacks += 1;
+                let now = self.cores[i].cycle;
+                let _ = self.mem.request(now, MemClass::Writeback);
+            }
+        }
+    }
+
+    fn stall_all(&mut self, i: usize) {
+        let max_done = self.cores[i]
+            .outstanding
+            .iter()
+            .map(|o| o.done)
+            .max()
+            .unwrap_or(self.cores[i].cycle);
+        if max_done > self.cores[i].cycle {
+            self.cores[i].c.stall_cycles += max_done - self.cores[i].cycle;
+            self.cores[i].cycle = max_done;
+        }
+        let outs = std::mem::take(&mut self.cores[i].outstanding);
+        for o in outs {
+            self.complete_demand(i, o);
+        }
+        self.end_window(i);
+    }
+
+    fn complete_demand(&mut self, i: usize, o: Outst) {
+        self.fill_l2(i, o.line, false);
+        match o.kind {
+            AccessKind::InstrFetch => {
+                self.cores[i].l1i.fill(o.line, false);
+            }
+            _ => {
+                self.cores[i].l1d.fill(o.line, false);
+            }
+        }
+        self.mshr.release(o.line);
+    }
+
+    fn end_window(&mut self, i: usize) {
+        let now = self.cores[i].cycle;
+        self.cores[i].epoch.on_all_complete(now);
+        let mut acts = std::mem::take(&mut self.actions);
+        acts.clear();
+        self.pf.on_epoch_end(now, &mut acts);
+        self.apply_actions(now, &acts);
+        self.actions = acts;
+        self.cores[i].window_insts = 0;
+        self.cores[i].dep_countdown = None;
+        if self.next_ev_at <= now {
+            self.drain_events(now);
+        }
+    }
+
+    fn drain_outstanding(&mut self, i: usize) {
+        let mut k = 0;
+        let mut removed = false;
+        while k < self.cores[i].outstanding.len() {
+            if self.cores[i].outstanding[k].done <= self.cores[i].cycle {
+                let o = self.cores[i].outstanding.swap_remove(k);
+                self.complete_demand(i, o);
+                removed = true;
+            } else {
+                k += 1;
+            }
+        }
+        if removed && self.cores[i].outstanding.is_empty() {
+            self.end_window(i);
+        }
+    }
+
+    fn push_event(&mut self, at: Cycle, kind: EvKind) {
+        let ev = Ev { at, seq: self.ev_seq, kind };
+        self.ev_seq += 1;
+        self.events.push(Reverse(ev));
+        self.next_ev_at = self.next_ev_at.min(at);
+    }
+
+    fn drain_events(&mut self, upto: Cycle) {
+        while let Some(Reverse(ev)) = self.events.peek().copied() {
+            if ev.at > upto {
+                break;
+            }
+            self.events.pop();
+            match ev.kind {
+                EvKind::TableDone { token } => {
+                    let mut acts = std::mem::take(&mut self.actions);
+                    acts.clear();
+                    self.pf.on_table_done(token, ev.at, &mut acts);
+                    self.apply_actions(ev.at, &acts);
+                    self.actions = acts;
+                }
+                EvKind::PrefetchArrive { line, origin } => {
+                    self.pf_inflight.remove(&line);
+                    if !self.l2.probe(line) && !self.mshr.contains(line) {
+                        if self.pbuf.insert(line, origin).is_some() {
+                            self.pf_evicted_unused += 1;
+                        }
+                    }
+                }
+                EvKind::StoreFill { line } => {
+                    // Attribute the (rare) writeback to core 0's clock.
+                    self.fill_l2(0, line, true);
+                    self.mshr.release(line);
+                }
+            }
+        }
+        self.next_ev_at = self.events.peek().map(|Reverse(e)| e.at).unwrap_or(Cycle::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_core::{EbcpConfig, EbcpPrefetcher};
+    use ebcp_prefetch::NullPrefetcher;
+    use ebcp_trace::{TraceGenerator, WorkloadSpec};
+
+    fn small_workload() -> WorkloadSpec {
+        WorkloadSpec {
+            templates: 24,
+            segments_per_template: 60,
+            data_pool_lines: 1 << 14,
+            cold_code_pool_lines: 2048,
+            warm_pool_lines: 128,
+            ..WorkloadSpec::database()
+        }
+    }
+
+    /// Per-core traces over the SAME program (shared working set) —
+    /// cores differ only in execution order and noise.
+    fn traces(n: usize, len: usize) -> Vec<Vec<TraceRecord>> {
+        let w = small_workload();
+        (0..n).map(|s| TraceGenerator::new(&w, s as u64 + 1).take(len).collect()).collect()
+    }
+
+    /// Per-core traces over DISJOINT programs (distinct footprints) —
+    /// the consolidated-server scenario where cores compete for the L2.
+    fn disjoint_traces(n: usize, len: usize) -> Vec<Vec<TraceRecord>> {
+        (0..n)
+            .map(|s| {
+                let w = WorkloadSpec {
+                    seed_tag: 0x100 + s as u64,
+                    ..small_workload()
+                };
+                TraceGenerator::new(&w, s as u64 + 1).take(len).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_cores_progress_and_measure() {
+        let mut cmp = CmpEngine::new(SimConfig::scaled_down(16), 2, Box::new(NullPrefetcher));
+        let t = traces(2, 120_000);
+        let r = cmp.run(&t, 40_000, 80_000, "small");
+        assert_eq!(r.cores.len(), 2);
+        for c in &r.cores {
+            assert_eq!(c.insts, 80_000);
+            assert!(c.epochs > 50, "core must have epochs: {}", c.epochs);
+        }
+        assert!(r.mean_cpi() > 0.5);
+    }
+
+    #[test]
+    fn single_core_cmp_close_to_engine() {
+        // N=1 CMP and the single-core engine implement the same model;
+        // their baseline results must agree closely.
+        let t = traces(1, 200_000);
+        let mut cmp = CmpEngine::new(SimConfig::scaled_down(16), 1, Box::new(NullPrefetcher));
+        let r = cmp.run(&t, 50_000, 150_000, "w");
+
+        let mut engine = crate::engine::Engine::new(
+            SimConfig::scaled_down(16),
+            Box::new(NullPrefetcher),
+        );
+        for rec in &t[0][..50_000] {
+            engine.step(rec);
+        }
+        engine.reset_stats();
+        for rec in &t[0][50_000..] {
+            engine.step(rec);
+        }
+        let single = engine.result("w");
+        let a = r.cores[0].cpi();
+        let b = single.cpi();
+        assert!(
+            (a - b).abs() / b < 0.02,
+            "N=1 CMP CPI {a:.4} vs single-core {b:.4}"
+        );
+        assert_eq!(r.cores[0].epochs, single.epochs);
+    }
+
+    #[test]
+    fn shared_l2_contention_raises_miss_rates() {
+        // Four cores with DISJOINT footprints over one shared L2 evict
+        // each other: per-core load miss rates must exceed the
+        // single-core run's.
+        let t1 = disjoint_traces(1, 150_000);
+        let mut one = CmpEngine::new(SimConfig::scaled_down(16), 1, Box::new(NullPrefetcher));
+        let r1 = one.run(&t1, 50_000, 100_000, "w");
+        let t4 = disjoint_traces(4, 150_000);
+        let mut four = CmpEngine::new(SimConfig::scaled_down(16), 4, Box::new(NullPrefetcher));
+        let r4 = four.run(&t4, 50_000, 100_000, "w");
+        let mr1 = r1.cores[0].load_mr();
+        let mr4 = r4.cores[0].load_mr();
+        assert!(mr4 > mr1, "shared-L2 contention: {mr4:.2} vs {mr1:.2} per 1k");
+    }
+
+    #[test]
+    fn shared_working_set_is_constructive() {
+        // The flip side: cores running the SAME program prefill the
+        // shared L2 for each other, so per-core miss rates DROP — the
+        // multi-threaded-single-application scenario.
+        let t1 = traces(1, 150_000);
+        let mut one = CmpEngine::new(SimConfig::scaled_down(16), 1, Box::new(NullPrefetcher));
+        let r1 = one.run(&t1, 50_000, 100_000, "w");
+        let t4 = traces(4, 150_000);
+        let mut four = CmpEngine::new(SimConfig::scaled_down(16), 4, Box::new(NullPrefetcher));
+        let r4 = four.run(&t4, 50_000, 100_000, "w");
+        assert!(
+            r4.cores[0].load_mr() < r1.cores[0].load_mr(),
+            "shared data: {:.2} vs {:.2} per 1k",
+            r4.cores[0].load_mr(),
+            r1.cores[0].load_mr()
+        );
+    }
+
+    #[test]
+    fn ebcp_still_works_on_cmp() {
+        let t = traces(2, 250_000);
+        let sim = SimConfig::scaled_down(16);
+        let mut base = CmpEngine::new(sim, 2, Box::new(NullPrefetcher));
+        let rb = base.run(&t, 100_000, 150_000, "w");
+        let mut with = CmpEngine::new(
+            sim,
+            2,
+            Box::new(EbcpPrefetcher::new(EbcpConfig::tuned().with_table_entries(1 << 16))),
+        );
+        let rw = with.run(&t, 100_000, 150_000, "w");
+        assert!(rw.aggregate.pf_issued > 100, "prefetches issued: {}", rw.aggregate.pf_issued);
+        let imp = rw.improvement_over(&rb);
+        assert!(imp > 0.03, "EBCP should help on a 2-core CMP: {:.3}", imp);
+    }
+}

@@ -1,0 +1,175 @@
+//! Machine configuration (§4.4 of the paper).
+
+use ebcp_mem::{CacheGeometry, MemConfig};
+use ebcp_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Core timing parameters.
+///
+/// The trace-driven epoch model charges on-chip time analytically:
+/// issue slots, exposed L2-hit latency for L1 misses, and branch
+/// mispredictions. Off-chip time emerges from the memory model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions issued per cycle (§4.4: 4-wide).
+    pub issue_width: u32,
+    /// Reorder-buffer entries — the miss window's reach (§4.4: 128).
+    pub rob_entries: u32,
+    /// Exposed (charged) cycles for an L1 miss that hits the L2 or the
+    /// prefetch buffer. The raw L2 hit latency is 20 cycles; part of it
+    /// overlaps with out-of-order execution, so less is charged.
+    pub l2_hit_exposed: Cycle,
+    /// Pipeline-refill penalty of a mispredicted branch.
+    pub mispredict_penalty: Cycle,
+    /// Instructions the window survives after a load that feeds a
+    /// mispredicted branch misses off-chip (§2.1 termination condition).
+    pub dep_branch_window: u32,
+    /// Cycles charged for a serializing instruction with no misses
+    /// outstanding.
+    pub serialize_cost: Cycle,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            issue_width: 4,
+            rob_entries: 128,
+            l2_hit_exposed: 12,
+            mispredict_penalty: 13,
+            dep_branch_window: 6,
+            serialize_cost: 5,
+        }
+    }
+}
+
+/// Full machine configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_sim::SimConfig;
+/// let paper = SimConfig::paper_default();
+/// assert_eq!(paper.l2.size_bytes(), 2 << 20);
+/// let quick = SimConfig::scaled_down(4);
+/// assert_eq!(quick.l2.size_bytes(), (2 << 20) / 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core timing.
+    pub core: CoreConfig,
+    /// L1 instruction cache (32 KB 4-way).
+    pub l1i: CacheGeometry,
+    /// L1 data cache (32 KB 4-way).
+    pub l1d: CacheGeometry,
+    /// Shared L2 (2 MB 4-way).
+    pub l2: CacheGeometry,
+    /// L2 MSHRs (32) — bounds demand + prefetch lines in flight.
+    pub mshrs: usize,
+    /// Prefetch-buffer entries (tuned: 64).
+    pub pbuf_entries: usize,
+    /// Prefetch-buffer associativity (4).
+    pub pbuf_ways: usize,
+    /// Main memory and buses.
+    pub mem: MemConfig,
+}
+
+impl SimConfig {
+    /// The paper's default processor configuration (§4.4).
+    pub fn paper_default() -> Self {
+        SimConfig {
+            core: CoreConfig::default(),
+            l1i: CacheGeometry::new(32 << 10, 4),
+            l1d: CacheGeometry::new(32 << 10, 4),
+            l2: CacheGeometry::new(2 << 20, 4),
+            mshrs: 32,
+            pbuf_entries: 64,
+            pbuf_ways: 4,
+            mem: MemConfig::default(),
+        }
+    }
+
+    /// A proportionally scaled machine for faster experiments: caches are
+    /// divided by `factor` (workloads must be scaled by the same factor
+    /// via [`WorkloadSpec::scaled`] to keep footprint-to-cache ratios —
+    /// and hence Table 1's per-instruction statistics — intact). Memory
+    /// timing, buses, MSHRs and the prefetch buffer are untouched.
+    ///
+    /// [`WorkloadSpec::scaled`]: ebcp_trace::WorkloadSpec::scaled
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is a power of two that keeps every cache at
+    /// least one set.
+    pub fn scaled_down(factor: u64) -> Self {
+        assert!(factor.is_power_of_two(), "factor must be a power of two");
+        let base = Self::paper_default();
+        SimConfig {
+            l1i: CacheGeometry::new((32 << 10) / factor, 4),
+            l1d: CacheGeometry::new((32 << 10) / factor, 4),
+            l2: CacheGeometry::new((2 << 20) / factor, 4),
+            ..base
+        }
+    }
+
+    /// The Figure 8 bandwidth sweep: both buses scaled to `num/den` of
+    /// the default (9.6/4.8 GB/s).
+    #[must_use]
+    pub fn with_bandwidth(mut self, num: u64, den: u64) -> Self {
+        self.mem = self.mem.scaled_bandwidth(num, den);
+        self
+    }
+
+    /// Replaces the prefetch-buffer entry count (Figure 7 sweep).
+    #[must_use]
+    pub fn with_pbuf_entries(mut self, entries: usize) -> Self {
+        self.pbuf_entries = entries;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.core.issue_width, 4);
+        assert_eq!(c.core.rob_entries, 128);
+        assert_eq!(c.l1i.size_bytes(), 32 << 10);
+        assert_eq!(c.l1d.ways(), 4);
+        assert_eq!(c.l2.size_bytes(), 2 << 20);
+        assert_eq!(c.mshrs, 32);
+        assert_eq!(c.pbuf_entries, 64);
+        assert_eq!(c.mem.latency, 500);
+    }
+
+    #[test]
+    fn scaling_divides_caches_only() {
+        let q = SimConfig::scaled_down(4);
+        assert_eq!(q.l2.size_bytes(), 512 << 10);
+        assert_eq!(q.l1d.size_bytes(), 8 << 10);
+        assert_eq!(q.mem.latency, 500);
+        assert_eq!(q.mshrs, 32);
+    }
+
+    #[test]
+    fn bandwidth_sweep_configs() {
+        let low = SimConfig::paper_default().with_bandwidth(1, 3);
+        assert_eq!(low.mem.read_bus.line_transfer_cycles(), 60);
+        let mid = SimConfig::paper_default().with_bandwidth(2, 3);
+        assert_eq!(mid.mem.read_bus.line_transfer_cycles(), 30);
+    }
+
+    #[test]
+    fn pbuf_override() {
+        let c = SimConfig::paper_default().with_pbuf_entries(1024);
+        assert_eq!(c.pbuf_entries, 1024);
+    }
+}

@@ -1,0 +1,800 @@
+//! The trace-driven epoch-model timing engine.
+//!
+//! One [`Engine`] simulates one core with the §4.4 memory hierarchy and a
+//! pluggable prefetcher. The model is described in the crate docs; the
+//! invariants worth keeping in mind while reading:
+//!
+//! * `cycle` only moves forward; stalls jump it to the completion of the
+//!   outstanding off-chip miss group.
+//! * A miss *window* is open exactly while `outstanding` is non-empty.
+//!   Window termination (ROB full, serialize, dependent mispredict,
+//!   instruction miss) calls [`Engine::stall_all`], which is also where
+//!   epochs end.
+//! * All deferred work (table-read completions, prefetch arrivals, store
+//!   fills) lives in a time-ordered event heap, drained whenever the
+//!   clock catches up to the next event.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use ebcp_core::EpochTracker;
+use ebcp_mem::{MemOutcome, MemStats, MemorySystem, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache};
+use ebcp_prefetch::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use ebcp_trace::{Op, TraceRecord};
+use ebcp_types::{AccessKind, Cycle, LineAddr, MemClass, Pc};
+
+use crate::config::SimConfig;
+use crate::metrics::SimResult;
+
+#[derive(Debug, Clone, Copy)]
+struct Outst {
+    line: LineAddr,
+    done: Cycle,
+    kind: AccessKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    TableDone { token: u64 },
+    PrefetchArrive { line: LineAddr, origin: u64 },
+    StoreFill { line: LineAddr },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: Cycle,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    inst_misses: u64,
+    load_misses: u64,
+    store_misses: u64,
+    secondary_misses: u64,
+    averted_inst: u64,
+    averted_load: u64,
+    averted_store: u64,
+    partial_hits: u64,
+    pf_requested: u64,
+    pf_filtered: u64,
+    pf_dropped_mshr: u64,
+    pf_dropped_bus: u64,
+    pf_issued: u64,
+    pf_evicted_unused: u64,
+    table_reads: u64,
+    table_read_drops: u64,
+    table_writes: u64,
+    writebacks: u64,
+    stall_cycles: Cycle,
+    mispredicts: u64,
+}
+
+/// The simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_prefetch::NullPrefetcher;
+/// use ebcp_sim::{Engine, SimConfig};
+/// use ebcp_trace::{TraceGenerator, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::database().scaled(1, 32);
+/// let mut engine = Engine::new(SimConfig::scaled_down(16), Box::new(NullPrefetcher));
+/// engine.run(TraceGenerator::new(&spec, 1).take(50_000));
+/// assert!(engine.result("database").cpi() > 0.25);
+/// ```
+pub struct Engine {
+    cfg: SimConfig,
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    pbuf: PrefetchBuffer,
+    mshr: MshrFile,
+    mem: MemorySystem,
+    pf: Box<dyn Prefetcher>,
+    epoch: EpochTracker,
+
+    cycle: Cycle,
+    issue_slots: u32,
+    insts: u64,
+    outstanding: Vec<Outst>,
+    window_insts: u32,
+    dep_countdown: Option<u32>,
+    pf_inflight: HashMap<LineAddr, Cycle>,
+    events: BinaryHeap<Reverse<Ev>>,
+    next_ev_at: Cycle,
+    ev_seq: u64,
+    last_fetch_line: Option<LineAddr>,
+    actions: Vec<Action>,
+
+    c: Counters,
+    cycle_base: Cycle,
+    insts_base: u64,
+    mem_base: MemStats,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cycle", &self.cycle)
+            .field("insts", &self.insts)
+            .field("prefetcher", &self.pf.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Creates an engine over a fresh (cold) machine.
+    pub fn new(cfg: SimConfig, pf: Box<dyn Prefetcher>) -> Self {
+        Engine {
+            l1i: SetAssocCache::new(cfg.l1i),
+            l1d: SetAssocCache::new(cfg.l1d),
+            l2: SetAssocCache::new(cfg.l2),
+            pbuf: PrefetchBuffer::new(cfg.pbuf_entries, cfg.pbuf_ways.min(cfg.pbuf_entries)),
+            mshr: MshrFile::new(cfg.mshrs),
+            mem: MemorySystem::new(cfg.mem),
+            pf,
+            epoch: EpochTracker::new(),
+            cycle: 0,
+            issue_slots: 0,
+            insts: 0,
+            outstanding: Vec::with_capacity(cfg.mshrs),
+            window_insts: 0,
+            dep_countdown: None,
+            pf_inflight: HashMap::new(),
+            events: BinaryHeap::new(),
+            next_ev_at: Cycle::MAX,
+            ev_seq: 0,
+            last_fetch_line: None,
+            actions: Vec::new(),
+            c: Counters::default(),
+            cycle_base: 0,
+            insts_base: 0,
+            mem_base: MemStats::default(),
+            cfg,
+        }
+    }
+
+    /// Current core cycle.
+    pub const fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Instructions consumed so far (including warm-up).
+    pub const fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// The prefetcher's name.
+    pub fn prefetcher_name(&self) -> &str {
+        self.pf.name()
+    }
+
+    /// Read access to the prefetcher (for end-of-run inspection).
+    pub fn prefetcher(&self) -> &dyn Prefetcher {
+        self.pf.as_ref()
+    }
+
+    /// Resets measurement counters (call at the end of warm-up). Machine
+    /// state — caches, tables, in-flight traffic — is untouched.
+    pub fn reset_stats(&mut self) {
+        self.c = Counters::default();
+        self.cycle_base = self.cycle;
+        self.insts_base = self.insts;
+        self.mem_base = self.mem.stats();
+        self.epoch.reset_stats();
+        self.pf.reset_aux_stats();
+    }
+
+    /// Consumes an entire trace.
+    pub fn run(&mut self, trace: impl IntoIterator<Item = TraceRecord>) {
+        for rec in trace {
+            self.step(&rec);
+        }
+    }
+
+    /// Simulates one trace record.
+    pub fn step(&mut self, rec: &TraceRecord) {
+        if !self.outstanding.is_empty() {
+            self.drain_outstanding();
+        }
+        if self.next_ev_at <= self.cycle {
+            self.drain_events(self.cycle);
+        }
+
+        self.insts += 1;
+
+        // Instruction fetch at line granularity.
+        let iline = rec.pc.line();
+        if self.last_fetch_line != Some(iline) {
+            self.last_fetch_line = Some(iline);
+            self.fetch(iline, rec.pc);
+        }
+
+        // Issue bandwidth.
+        self.issue_slots += 1;
+        if self.issue_slots >= self.cfg.core.issue_width {
+            self.cycle += 1;
+            self.issue_slots = 0;
+        }
+        if !self.outstanding.is_empty() {
+            self.window_insts += 1;
+        }
+
+        match rec.op {
+            Op::Alu => {}
+            Op::Load { addr, feeds_mispredict } => {
+                self.load(addr.line(), rec.pc, feeds_mispredict)
+            }
+            Op::Store { addr } => self.store(addr.line()),
+            Op::Branch { mispredicted } => {
+                if mispredicted {
+                    self.c.mispredicts += 1;
+                    self.cycle += self.cfg.core.mispredict_penalty;
+                }
+            }
+            Op::Serialize => {
+                if self.outstanding.is_empty() {
+                    self.cycle += self.cfg.core.serialize_cost;
+                } else {
+                    self.stall_all();
+                }
+            }
+        }
+
+        // Window termination conditions (§2.1).
+        if !self.outstanding.is_empty() {
+            if self.window_insts >= self.cfg.core.rob_entries {
+                self.stall_all();
+            } else if let Some(cd) = self.dep_countdown {
+                if cd == 0 {
+                    self.stall_all();
+                } else {
+                    self.dep_countdown = Some(cd - 1);
+                }
+            }
+        }
+    }
+
+    /// The measurement-phase result.
+    pub fn result(&self, workload: &str) -> SimResult {
+        let mem_now = self.mem.stats();
+        SimResult {
+            prefetcher: self.pf.name().to_owned(),
+            workload: workload.to_owned(),
+            insts: self.insts - self.insts_base,
+            cycles: self.cycle - self.cycle_base,
+            epochs: self.epoch.stats().epochs,
+            l2_inst_misses: self.c.inst_misses,
+            l2_load_misses: self.c.load_misses,
+            l2_store_misses: self.c.store_misses,
+            averted_inst: self.c.averted_inst,
+            averted_load: self.c.averted_load,
+            averted_store: self.c.averted_store,
+            partial_hits: self.c.partial_hits,
+            pf_issued: self.c.pf_issued,
+            pf_dropped_bus: self.c.pf_dropped_bus,
+            pf_dropped_mshr: self.c.pf_dropped_mshr,
+            pf_filtered: self.c.pf_filtered,
+            pf_evicted_unused: self.c.pf_evicted_unused,
+            table_reads: self.c.table_reads,
+            table_read_drops: self.c.table_read_drops,
+            table_writes: self.c.table_writes,
+            writebacks: self.c.writebacks,
+            stall_cycles: self.c.stall_cycles,
+            mem: diff_mem(mem_now, self.mem_base),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Demand paths
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, iline: LineAddr, pc: Pc) {
+        if self.l1i.access(iline) {
+            return;
+        }
+        if self.l2.access(iline) {
+            self.cycle += self.cfg.core.l2_hit_exposed;
+            self.l1i.fill(iline, false);
+            return;
+        }
+        if let Some(origin) = self.pbuf.lookup_consume(iline) {
+            self.c.averted_inst += 1;
+            self.cycle += self.cfg.core.l2_hit_exposed;
+            self.fill_l2(iline, false);
+            self.l1i.fill(iline, false);
+            self.notify_pbuf_hit(iline, pc, AccessKind::InstrFetch, origin);
+            return;
+        }
+        // Off-chip instruction miss: always a window terminator (§2.1).
+        self.offchip_demand(iline, pc, AccessKind::InstrFetch);
+        self.stall_all();
+        self.l1i.fill(iline, false);
+    }
+
+    fn load(&mut self, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
+        if self.l1d.access(dline) {
+            return;
+        }
+        if self.l2.access(dline) {
+            self.cycle += self.cfg.core.l2_hit_exposed;
+            self.l1d.fill(dline, false);
+            return;
+        }
+        if let Some(origin) = self.pbuf.lookup_consume(dline) {
+            self.c.averted_load += 1;
+            self.cycle += self.cfg.core.l2_hit_exposed;
+            self.fill_l2(dline, false);
+            self.l1d.fill(dline, false);
+            self.notify_pbuf_hit(dline, pc, AccessKind::Load, origin);
+            return;
+        }
+        self.offchip_demand(dline, pc, AccessKind::Load);
+        if feeds_mispredict {
+            self.dep_countdown = Some(self.cfg.core.dep_branch_window);
+        }
+    }
+
+    fn store(&mut self, dline: LineAddr) {
+        if self.l1d.access(dline) {
+            self.l2.mark_dirty(dline);
+            return;
+        }
+        if self.l2.access(dline) {
+            self.l2.mark_dirty(dline);
+            self.l1d.fill(dline, false);
+            return;
+        }
+        if self.pbuf.lookup_consume(dline).is_some() {
+            self.c.averted_store += 1;
+            self.fill_l2(dline, true);
+            self.l1d.fill(dline, false);
+            return;
+        }
+        // Off-chip write-allocate: non-blocking under weak consistency,
+        // never an epoch trigger, never reported to the prefetcher.
+        if self.mshr.contains(dline) {
+            self.c.secondary_misses += 1;
+            return;
+        }
+        if self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs {
+            // Store buffer absorbs it; the fill is simply skipped. Rare.
+            return;
+        }
+        self.c.store_misses += 1;
+        self.mshr.allocate(dline);
+        let done = match self.mem.request(self.cycle, MemClass::Demand) {
+            MemOutcome::Done { done } => done,
+            MemOutcome::Dropped => unreachable!("demand requests are never dropped"),
+        };
+        self.push_event(done, EvKind::StoreFill { line: dline });
+    }
+
+    fn offchip_demand(&mut self, line: LineAddr, pc: Pc, kind: AccessKind) {
+        // A demand miss to a line with a prefetch already in flight: the
+        // prefetch becomes the demand fill (partial latency hiding).
+        if let Some(arrival) = self.pf_inflight.remove(&line) {
+            self.c.partial_hits += 1;
+            let trigger = self.epoch.on_offchip_issue(self.cycle);
+            self.count_miss(kind);
+            self.mshr.allocate(line);
+            let done = arrival.max(self.cycle + 1);
+            self.outstanding.push(Outst { line, done, kind });
+            self.notify_miss(line, pc, kind, trigger);
+            return;
+        }
+        if self.mshr.contains(line) {
+            // Secondary miss: merges into the existing MSHR.
+            self.c.secondary_misses += 1;
+            return;
+        }
+        self.wait_for_mshr();
+        let trigger = self.epoch.on_offchip_issue(self.cycle);
+        self.count_miss(kind);
+        debug_assert!(matches!(self.mshr.allocate(line), MshrOutcome::Primary));
+        let done = match self.mem.request(self.cycle, MemClass::Demand) {
+            MemOutcome::Done { done } => done,
+            MemOutcome::Dropped => unreachable!("demand requests are never dropped"),
+        };
+        self.outstanding.push(Outst { line, done, kind });
+        self.notify_miss(line, pc, kind, trigger);
+    }
+
+    fn count_miss(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::InstrFetch => self.c.inst_misses += 1,
+            AccessKind::Load => self.c.load_misses += 1,
+            AccessKind::Store => self.c.store_misses += 1,
+        }
+    }
+
+    fn wait_for_mshr(&mut self) {
+        while self.mshr.is_full() {
+            if !self.outstanding.is_empty() {
+                self.stall_all();
+            } else if self.next_ev_at != Cycle::MAX {
+                self.cycle = self.cycle.max(self.next_ev_at);
+                self.drain_events(self.cycle);
+            } else {
+                unreachable!("MSHRs full with nothing in flight");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetcher interaction
+    // ------------------------------------------------------------------
+
+    fn notify_miss(&mut self, line: LineAddr, pc: Pc, kind: AccessKind, trigger: bool) {
+        let info = MissInfo { line, pc, kind, epoch_trigger: trigger, now: self.cycle , core: 0,};
+        let mut acts = std::mem::take(&mut self.actions);
+        acts.clear();
+        self.pf.on_miss(&info, &mut acts);
+        self.apply_actions(self.cycle, &acts);
+        self.actions = acts;
+    }
+
+    fn notify_pbuf_hit(&mut self, line: LineAddr, pc: Pc, kind: AccessKind, origin: u64) {
+        let info = PrefetchHitInfo {
+            line,
+            pc,
+            kind,
+            origin,
+            would_be_trigger: self.epoch.would_trigger(),
+            now: self.cycle, core: 0,
+        };
+        let mut acts = std::mem::take(&mut self.actions);
+        acts.clear();
+        self.pf.on_prefetch_hit(&info, &mut acts);
+        self.apply_actions(self.cycle, &acts);
+        self.actions = acts;
+    }
+
+    fn apply_actions(&mut self, now: Cycle, acts: &[Action]) {
+        for a in acts {
+            match *a {
+                Action::Prefetch { line, origin } => {
+                    self.c.pf_requested += 1;
+                    if self.l2.probe(line)
+                        || self.pbuf.contains(line)
+                        || self.mshr.contains(line)
+                        || self.pf_inflight.contains_key(&line)
+                    {
+                        self.c.pf_filtered += 1;
+                        continue;
+                    }
+                    if self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs {
+                        self.c.pf_dropped_mshr += 1;
+                        continue;
+                    }
+                    match self.mem.request(now, MemClass::Prefetch) {
+                        MemOutcome::Done { done } => {
+                            self.c.pf_issued += 1;
+                            self.pf_inflight.insert(line, done);
+                            self.push_event(done, EvKind::PrefetchArrive { line, origin });
+                        }
+                        MemOutcome::Dropped => self.c.pf_dropped_bus += 1,
+                    }
+                }
+                Action::TableRead { token, delay } => match self
+                    .mem
+                    .request(now + delay, MemClass::TableRead)
+                {
+                    MemOutcome::Done { done } => {
+                        self.c.table_reads += 1;
+                        self.push_event(done, EvKind::TableDone { token });
+                    }
+                    MemOutcome::Dropped => {
+                        self.c.table_read_drops += 1;
+                        self.pf.on_table_dropped(token);
+                    }
+                },
+                Action::TableWrite => {
+                    self.c.table_writes += 1;
+                    let _ = self.mem.request(now, MemClass::TableWrite);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time advancement
+    // ------------------------------------------------------------------
+
+    fn fill_l2(&mut self, line: LineAddr, dirty: bool) {
+        if let Some(ev) = self.l2.fill(line, dirty) {
+            if ev.dirty {
+                self.c.writebacks += 1;
+                let _ = self.mem.request(self.cycle, MemClass::Writeback);
+            }
+        }
+    }
+
+    fn stall_all(&mut self) {
+        let max_done = self.outstanding.iter().map(|o| o.done).max().unwrap_or(self.cycle);
+        if max_done > self.cycle {
+            self.c.stall_cycles += max_done - self.cycle;
+            self.cycle = max_done;
+        }
+        let outs = std::mem::take(&mut self.outstanding);
+        for o in outs {
+            self.complete_demand(o);
+        }
+        self.end_window();
+    }
+
+    fn complete_demand(&mut self, o: Outst) {
+        self.fill_l2(o.line, false);
+        match o.kind {
+            AccessKind::InstrFetch => {
+                self.l1i.fill(o.line, false);
+            }
+            _ => {
+                self.l1d.fill(o.line, false);
+            }
+        }
+        self.mshr.release(o.line);
+    }
+
+    fn end_window(&mut self) {
+        self.epoch.on_all_complete(self.cycle);
+        let mut acts = std::mem::take(&mut self.actions);
+        acts.clear();
+        self.pf.on_epoch_end(self.cycle, &mut acts);
+        self.apply_actions(self.cycle, &acts);
+        self.actions = acts;
+        self.window_insts = 0;
+        self.dep_countdown = None;
+        if self.next_ev_at <= self.cycle {
+            self.drain_events(self.cycle);
+        }
+    }
+
+    /// Retires outstanding misses that completed while the core kept
+    /// running (natural overlap, no stall).
+    fn drain_outstanding(&mut self) {
+        let mut i = 0;
+        let mut removed = false;
+        while i < self.outstanding.len() {
+            if self.outstanding[i].done <= self.cycle {
+                let o = self.outstanding.swap_remove(i);
+                self.complete_demand(o);
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if removed && self.outstanding.is_empty() {
+            self.end_window();
+        }
+    }
+
+    fn push_event(&mut self, at: Cycle, kind: EvKind) {
+        let ev = Ev { at, seq: self.ev_seq, kind };
+        self.ev_seq += 1;
+        self.events.push(Reverse(ev));
+        self.next_ev_at = self.next_ev_at.min(at);
+    }
+
+    fn drain_events(&mut self, upto: Cycle) {
+        while let Some(Reverse(ev)) = self.events.peek().copied() {
+            if ev.at > upto {
+                break;
+            }
+            self.events.pop();
+            match ev.kind {
+                EvKind::TableDone { token } => {
+                    let mut acts = std::mem::take(&mut self.actions);
+                    acts.clear();
+                    self.pf.on_table_done(token, ev.at, &mut acts);
+                    self.apply_actions(ev.at, &acts);
+                    self.actions = acts;
+                }
+                EvKind::PrefetchArrive { line, origin } => {
+                    self.pf_inflight.remove(&line);
+                    if !self.l2.probe(line) && !self.mshr.contains(line) {
+                        if self.pbuf.insert(line, origin).is_some() {
+                            self.c.pf_evicted_unused += 1;
+                        }
+                    }
+                }
+                EvKind::StoreFill { line } => {
+                    self.fill_l2(line, true);
+                    self.l1d.fill(line, false);
+                    self.mshr.release(line);
+                }
+            }
+        }
+        self.next_ev_at = self.events.peek().map(|Reverse(e)| e.at).unwrap_or(Cycle::MAX);
+    }
+}
+
+fn diff_bus(now: ebcp_mem::BusStats, base: ebcp_mem::BusStats) -> ebcp_mem::BusStats {
+    let mut out = now;
+    for i in 0..out.transfers.len() {
+        out.transfers[i] -= base.transfers[i];
+        out.dropped[i] -= base.dropped[i];
+        out.busy_cycles[i] -= base.busy_cycles[i];
+    }
+    out
+}
+
+fn diff_mem(now: MemStats, base: MemStats) -> MemStats {
+    MemStats { read: diff_bus(now.read, base.read), write: diff_bus(now.write, base.write) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_prefetch::NullPrefetcher;
+    use ebcp_types::Addr;
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig::scaled_down(16)
+    }
+
+    fn alu_run(pc0: u64, n: u64) -> Vec<TraceRecord> {
+        (0..n).map(|i| TraceRecord::alu(Pc::new(pc0 + 4 * (i % 16)))).collect()
+    }
+
+    #[test]
+    fn pure_alu_cpi_is_quarter() {
+        let mut e = Engine::new(tiny_cfg(), Box::new(NullPrefetcher));
+        // First fetch of the line misses everything: one epoch.
+        e.run(alu_run(0x1000, 40_000));
+        let r = e.result("t");
+        // 40k insts at 4-wide = 10k cycles, plus one cold ifetch miss.
+        assert!(r.cpi() > 0.25 && r.cpi() < 0.27, "cpi {}", r.cpi());
+        assert_eq!(r.epochs, 1, "single cold instruction-fetch epoch");
+    }
+
+    #[test]
+    fn overlapped_loads_form_one_epoch() {
+        let mut e = Engine::new(tiny_cfg(), Box::new(NullPrefetcher));
+        // Warm the code line, then two adjacent off-chip loads.
+        let mut t = alu_run(0x1000, 16);
+        t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x80_0000)));
+        t.push(TraceRecord::load(Pc::new(0x1004), Addr::new(0x90_0000)));
+        t.extend(alu_run(0x1000, 200));
+        e.run(t);
+        let r = e.result("t");
+        assert_eq!(r.l2_load_misses, 2);
+        // Cold ifetch epoch + one overlapped load epoch.
+        assert_eq!(r.epochs, 2, "both loads overlap into one epoch");
+    }
+
+    #[test]
+    fn rob_limit_terminates_window() {
+        let cfg = tiny_cfg();
+        let rob = cfg.core.rob_entries as u64;
+        let mut e = Engine::new(cfg, Box::new(NullPrefetcher));
+        // Load, then > ROB instructions, then another load: two epochs.
+        let mut t = alu_run(0x1000, 16);
+        t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x80_0000)));
+        t.extend(alu_run(0x1000, rob + 32));
+        t.push(TraceRecord::load(Pc::new(0x1004), Addr::new(0x90_0000)));
+        t.extend(alu_run(0x1000, 300));
+        e.run(t);
+        let r = e.result("t");
+        assert_eq!(r.epochs, 3, "ifetch epoch + two separated load epochs");
+        assert!(r.stall_cycles > 900, "two full stalls expected, got {}", r.stall_cycles);
+    }
+
+    #[test]
+    fn serialize_terminates_window() {
+        let mut e = Engine::new(tiny_cfg(), Box::new(NullPrefetcher));
+        let mut t = alu_run(0x1000, 16);
+        t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x80_0000)));
+        t.push(TraceRecord::new(Pc::new(0x1004), Op::Serialize));
+        t.push(TraceRecord::load(Pc::new(0x1008), Addr::new(0x90_0000)));
+        t.extend(alu_run(0x1000, 300));
+        e.run(t);
+        assert_eq!(e.result("t").epochs, 3);
+    }
+
+    #[test]
+    fn dependent_mispredict_terminates_window() {
+        let cfg = tiny_cfg();
+        let mut e = Engine::new(cfg, Box::new(NullPrefetcher));
+        let mut t = alu_run(0x1000, 16);
+        t.push(TraceRecord::new(
+            Pc::new(0x1000),
+            Op::Load { addr: Addr::new(0x80_0000), feeds_mispredict: true },
+        ));
+        // Within the dep window: a second load would have overlapped,
+        // but the dependent mispredict cuts the window first.
+        t.extend(alu_run(0x1000, 10));
+        t.push(TraceRecord::load(Pc::new(0x1004), Addr::new(0x90_0000)));
+        t.extend(alu_run(0x1000, 300));
+        e.run(t);
+        assert_eq!(e.result("t").epochs, 3, "dep-mispredict split the loads");
+    }
+
+    #[test]
+    fn repeated_lines_hit_after_first_epoch() {
+        let mut e = Engine::new(tiny_cfg(), Box::new(NullPrefetcher));
+        let mut t = alu_run(0x1000, 16);
+        for _ in 0..5 {
+            t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x80_0000)));
+            t.extend(alu_run(0x1000, 200));
+        }
+        e.run(t);
+        let r = e.result("t");
+        assert_eq!(r.l2_load_misses, 1, "subsequent accesses hit the L2");
+    }
+
+    #[test]
+    fn secondary_miss_does_not_double_count() {
+        let mut e = Engine::new(tiny_cfg(), Box::new(NullPrefetcher));
+        let mut t = alu_run(0x1000, 16);
+        t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x80_0000)));
+        t.push(TraceRecord::load(Pc::new(0x1004), Addr::new(0x80_0010))); // same line
+        t.extend(alu_run(0x1000, 300));
+        e.run(t);
+        let r = e.result("t");
+        assert_eq!(r.l2_load_misses, 1);
+    }
+
+    #[test]
+    fn store_misses_do_not_create_epochs() {
+        let mut e = Engine::new(tiny_cfg(), Box::new(NullPrefetcher));
+        let mut t = alu_run(0x1000, 16);
+        for i in 0..8u64 {
+            t.push(TraceRecord::store(Pc::new(0x1000), Addr::new(0x80_0000 + i * 64)));
+        }
+        t.extend(alu_run(0x1000, 2000));
+        e.run(t);
+        let r = e.result("t");
+        assert_eq!(r.epochs, 1, "only the cold ifetch epoch");
+        assert_eq!(r.l2_store_misses, 8);
+    }
+
+    #[test]
+    fn dirty_evictions_produce_writebacks() {
+        let cfg = tiny_cfg();
+        let l2_lines = cfg.l2.lines();
+        let mut e = Engine::new(cfg, Box::new(NullPrefetcher));
+        let mut t = alu_run(0x1000, 16);
+        // Dirty many lines, then stream enough loads through to evict.
+        for i in 0..64u64 {
+            t.push(TraceRecord::store(Pc::new(0x1000), Addr::new(0x80_0000 + i * 64)));
+            t.extend(alu_run(0x1000, 64));
+        }
+        for i in 0..l2_lines * 3 {
+            t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x200_0000 + i * 64)));
+            t.extend(alu_run(0x1000, 200));
+        }
+        e.run(t);
+        assert!(e.result("t").writebacks > 0);
+    }
+
+    #[test]
+    fn warmup_reset_isolates_measurement() {
+        let mut e = Engine::new(tiny_cfg(), Box::new(NullPrefetcher));
+        let mut t = alu_run(0x1000, 16);
+        t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x80_0000)));
+        t.extend(alu_run(0x1000, 300));
+        e.run(t);
+        e.reset_stats();
+        e.run(alu_run(0x1000, 4000));
+        let r = e.result("t");
+        assert_eq!(r.l2_load_misses, 0);
+        assert_eq!(r.epochs, 0);
+        assert!((r.cpi() - 0.25).abs() < 0.01, "pure issue-limited: {}", r.cpi());
+    }
+}

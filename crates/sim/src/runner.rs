@@ -1,0 +1,224 @@
+//! Convenience layer: run a workload × prefetcher matrix.
+
+use std::sync::Arc;
+
+use ebcp_core::{EbcpConfig, EbcpPrefetcher};
+use ebcp_prefetch::{BaselineConfig, NullPrefetcher, Prefetcher};
+use ebcp_trace::template::WorkloadProgram;
+use ebcp_trace::{TraceGenerator, TraceRecord, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::metrics::SimResult;
+
+pub use ebcp_trace::template::WorkloadProgram as Program;
+
+/// Which prefetcher to simulate: none, a baseline from `ebcp-prefetch`,
+/// or the EBCP itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrefetcherSpec {
+    /// No prefetching (the baseline of every figure).
+    None,
+    /// One of the Figure 9 baselines, with a display name.
+    Baseline {
+        /// Display name ("ghb-large", ...).
+        name: String,
+        /// The baseline's configuration.
+        config: BaselineConfig,
+    },
+    /// The epoch-based correlation prefetcher.
+    Ebcp(EbcpConfig),
+}
+
+impl PrefetcherSpec {
+    /// A named baseline.
+    pub fn baseline(name: &str, config: BaselineConfig) -> Self {
+        PrefetcherSpec::Baseline { name: name.to_owned(), config }
+    }
+
+    /// Builds the prefetcher instance.
+    pub fn build(&self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherSpec::None => Box::new(NullPrefetcher),
+            PrefetcherSpec::Baseline { name, config } => config.build_named(name),
+            PrefetcherSpec::Ebcp(cfg) => Box::new(EbcpPrefetcher::new(*cfg)),
+        }
+    }
+
+    /// Display name of the prefetcher this spec builds.
+    pub fn name(&self) -> String {
+        match self {
+            PrefetcherSpec::None => "none".to_owned(),
+            PrefetcherSpec::Baseline { name, .. } => name.clone(),
+            PrefetcherSpec::Ebcp(cfg) => match cfg.variant {
+                ebcp_core::EbcpVariant::Standard => "ebcp".to_owned(),
+                ebcp_core::EbcpVariant::Minus => "ebcp-minus".to_owned(),
+            },
+        }
+    }
+}
+
+/// A complete run specification: workload, trace length and machine.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_sim::{PrefetcherSpec, RunSpec, SimConfig};
+/// use ebcp_trace::WorkloadSpec;
+///
+/// let spec = RunSpec {
+///     workload: WorkloadSpec::database().scaled(1, 32),
+///     seed: 7,
+///     warmup_insts: 30_000,
+///     measure_insts: 30_000,
+///     sim: SimConfig::scaled_down(16),
+/// };
+/// let base = spec.run(&PrefetcherSpec::None);
+/// assert!(base.l2_load_misses > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// The workload to generate.
+    pub workload: WorkloadSpec,
+    /// Trace seed (runtime randomness; structure comes from the spec).
+    pub seed: u64,
+    /// Instructions simulated before statistics reset.
+    pub warmup_insts: u64,
+    /// Instructions measured after warm-up.
+    pub measure_insts: u64,
+    /// Machine configuration.
+    pub sim: SimConfig,
+}
+
+impl RunSpec {
+    /// Materializes the trace once (`warmup + measure` records) so many
+    /// configurations can replay it.
+    pub fn materialize(&self) -> Arc<Vec<TraceRecord>> {
+        let n = (self.warmup_insts + self.measure_insts) as usize;
+        let mut gen = TraceGenerator::new(&self.workload, self.seed);
+        Arc::new(gen.collect_n(n))
+    }
+
+    /// Materializes the trace reusing an already-built workload program.
+    pub fn materialize_with(&self, program: Arc<WorkloadProgram>) -> Arc<Vec<TraceRecord>> {
+        let n = (self.warmup_insts + self.measure_insts) as usize;
+        let mut gen = TraceGenerator::with_program(program, self.workload.clone(), self.seed);
+        Arc::new(gen.collect_n(n))
+    }
+
+    /// Runs a prefetcher over this spec (generating the trace on the
+    /// fly).
+    pub fn run(&self, pf: &PrefetcherSpec) -> SimResult {
+        let trace = self.materialize();
+        self.run_on(&trace, pf)
+    }
+
+    /// Runs a prefetcher streaming the trace from the generator instead
+    /// of materializing it — constant memory, so full-scale traces
+    /// (hundreds of millions of records) stay feasible. Pass a shared
+    /// pre-built program to avoid rebuilding templates per run.
+    pub fn run_streaming(&self, program: Arc<WorkloadProgram>, pf: &PrefetcherSpec) -> SimResult {
+        let mut gen =
+            TraceGenerator::with_program(program, self.workload.clone(), self.seed);
+        let mut engine = Engine::new(self.sim, pf.build());
+        for rec in gen.by_ref().take(self.warmup_insts as usize) {
+            engine.step(&rec);
+        }
+        engine.reset_stats();
+        for rec in gen.take(self.measure_insts as usize) {
+            engine.step(&rec);
+        }
+        engine.result(&self.workload.name)
+    }
+
+    /// Runs a prefetcher over a pre-materialized trace.
+    pub fn run_on(&self, trace: &[TraceRecord], pf: &PrefetcherSpec) -> SimResult {
+        let mut engine = Engine::new(self.sim, pf.build());
+        let warm = (self.warmup_insts as usize).min(trace.len());
+        for rec in &trace[..warm] {
+            engine.step(rec);
+        }
+        engine.reset_stats();
+        for rec in &trace[warm..] {
+            engine.step(rec);
+        }
+        engine.result(&self.workload.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> RunSpec {
+        RunSpec {
+            workload: WorkloadSpec::database().scaled(1, 32),
+            seed: 11,
+            warmup_insts: 60_000,
+            measure_insts: 60_000,
+            sim: SimConfig::scaled_down(16),
+        }
+    }
+
+    #[test]
+    fn baseline_run_produces_misses_and_epochs() {
+        let r = quick_spec().run(&PrefetcherSpec::None);
+        assert!(r.l2_load_misses > 20, "load misses {}", r.l2_load_misses);
+        assert!(r.epochs > 20, "epochs {}", r.epochs);
+        assert!(r.cpi() > 0.5, "cpi {}", r.cpi());
+        assert_eq!(r.pf_issued, 0);
+    }
+
+    /// A workload small enough to recur several times within a short
+    /// trace while its miss working set still overflows the scaled L2
+    /// (128 KB = 2048 lines): recurrence is what correlation prefetching
+    /// feeds on, eviction is what makes recurrences miss.
+    fn recurring_spec() -> RunSpec {
+        RunSpec {
+            workload: WorkloadSpec {
+                templates: 30,
+                segments_per_template: 80,
+                data_pool_lines: 1 << 14,
+                cold_code_pool_lines: 2048,
+                warm_pool_lines: 128,
+                ..WorkloadSpec::database()
+            },
+            seed: 3,
+            warmup_insts: 700_000,
+            measure_insts: 700_000,
+            sim: SimConfig::scaled_down(16),
+        }
+    }
+
+    #[test]
+    fn ebcp_improves_over_baseline() {
+        let spec = recurring_spec();
+        let trace = spec.materialize();
+        let base = spec.run_on(&trace, &PrefetcherSpec::None);
+        let ebcp = spec.run_on(&trace, &PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
+        assert!(ebcp.pf_issued > 100, "EBCP must issue prefetches, got {}", ebcp.pf_issued);
+        assert!(ebcp.pf_useful() > 50, "prefetches must hit, got {}", ebcp.pf_useful());
+        let imp = ebcp.improvement_over(&base);
+        assert!(imp > 0.02, "EBCP should improve CPI, got {:.2}%", imp * 100.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = quick_spec();
+        let a = spec.run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
+        let b = spec.run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spec_names() {
+        assert_eq!(PrefetcherSpec::None.name(), "none");
+        assert_eq!(PrefetcherSpec::Ebcp(EbcpConfig::tuned()).name(), "ebcp");
+        let b = PrefetcherSpec::baseline(
+            "ghb-large",
+            BaselineConfig::Ghb(ebcp_prefetch::GhbConfig::large()),
+        );
+        assert_eq!(b.name(), "ghb-large");
+    }
+}

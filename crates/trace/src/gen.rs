@@ -1,0 +1,308 @@
+//! The trace generator: executes templates in random order, expanding
+//! each into trace records with per-execution noise.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use ebcp_types::{LineAddr, Pc};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{Op, TraceRecord};
+use crate::spec::{layout, WorkloadSpec};
+use crate::template::{ClusterLoad, Event, Template, WorkloadProgram};
+
+/// An infinite, deterministic iterator of [`TraceRecord`]s for one
+/// workload.
+///
+/// Structure (templates, cluster addresses, cold-code runs) is fixed by
+/// the spec; runtime randomness (template order, fork choices, transient
+/// addresses, noise substitutions, the filler mix) is driven by `seed`.
+/// Two generators with the same `(spec, seed)` produce identical traces.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_trace::{TraceGenerator, WorkloadSpec};
+/// let spec = WorkloadSpec::specjbb2005().scaled(1, 16);
+/// let n = TraceGenerator::new(&spec, 7).take(1000).count();
+/// assert_eq!(n, 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    program: Arc<WorkloadProgram>,
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    buf: VecDeque<TraceRecord>,
+    // Filler op thresholds, precomputed.
+    p_serialize: f64,
+    p_load: f64,
+    p_store: f64,
+    p_branch: f64,
+    p_store_miss: f64,
+    executions: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec`, with runtime randomness from
+    /// `seed`. Builds the workload program; reuse
+    /// [`TraceGenerator::with_program`] to share one program across many
+    /// generators.
+    pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        Self::with_program(Arc::new(WorkloadProgram::build(spec)), spec.clone(), seed)
+    }
+
+    /// Creates a generator over an already-built program.
+    pub fn with_program(program: Arc<WorkloadProgram>, spec: WorkloadSpec, seed: u64) -> Self {
+        let p_serialize = spec.serialize_per_kilo / 1000.0;
+        let p_load = p_serialize + spec.load_frac;
+        let p_store = p_load + spec.store_frac;
+        let p_branch = p_store + spec.branch_frac;
+        // Store misses are drawn per *store*: convert the per-1000-inst
+        // rate into a per-store probability.
+        let p_store_miss = if spec.store_frac > 0.0 {
+            (spec.store_miss_per_kilo / 1000.0 / spec.store_frac).min(1.0)
+        } else {
+            0.0
+        };
+        TraceGenerator {
+            program,
+            rng: SmallRng::seed_from_u64(seed ^ spec.seed_tag.rotate_left(17)),
+            spec,
+            buf: VecDeque::new(),
+            p_serialize,
+            p_load,
+            p_store,
+            p_branch,
+            p_store_miss,
+            executions: 0,
+        }
+    }
+
+    /// Number of template executions expanded so far.
+    pub const fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Collects exactly `n` records into a vector.
+    pub fn collect_n(&mut self, n: usize) -> Vec<TraceRecord> {
+        let mut v = Vec::with_capacity(n);
+        v.extend(self.take(n));
+        v
+    }
+
+    fn random_data_line(rng: &mut SmallRng, spec: &WorkloadSpec) -> LineAddr {
+        LineAddr::from_index(layout::DATA_BASE + rng.gen_range(0..spec.data_pool_lines))
+    }
+
+    fn emit_filler(&mut self, n: u32, t: &Template, pc_cursor: &mut u64) {
+        let code_span = t.hot_code_lines * 64;
+        let code_base = t.hot_code_base.base().get();
+        for _ in 0..n {
+            *pc_cursor = (*pc_cursor + 4) % code_span;
+            let pc = Pc::new(code_base + *pc_cursor);
+            let u: f64 = self.rng.gen();
+            let op = if u < self.p_serialize {
+                Op::Serialize
+            } else if u < self.p_load {
+                let addr = if self.rng.gen_bool(self.spec.warm_frac_of_loads) {
+                    let l = layout::WARM_BASE + self.rng.gen_range(0..self.spec.warm_pool_lines);
+                    LineAddr::from_index(l).base()
+                } else {
+                    let l = t.hot_data_base.index() + self.rng.gen_range(0..t.hot_data_lines);
+                    LineAddr::from_index(l).base()
+                };
+                Op::Load { addr, feeds_mispredict: false }
+            } else if u < self.p_store {
+                let addr = if self.rng.gen_bool(self.p_store_miss) {
+                    Self::random_data_line(&mut self.rng, &self.spec).base()
+                } else {
+                    let l = t.hot_data_base.index() + self.rng.gen_range(0..t.hot_data_lines);
+                    LineAddr::from_index(l).base()
+                };
+                Op::Store { addr }
+            } else if u < self.p_branch {
+                Op::Branch { mispredicted: self.rng.gen_bool(self.spec.mispredict_prob) }
+            } else {
+                Op::Alu
+            };
+            self.buf.push_back(TraceRecord::new(pc, op));
+        }
+    }
+
+    fn emit_cluster(&mut self, loads: &[ClusterLoad], t: &Template, pc_cursor: &mut u64) {
+        let code_span = t.hot_code_lines * 64;
+        let code_base = t.hot_code_base.base().get();
+        // Per-execution dependence draw: epoch boundaries jitter from
+        // pass to pass (see WorkloadSpec::dep_break_prob).
+        let dep = self.rng.gen_bool(self.spec.dep_break_prob);
+        for (i, l) in loads.iter().enumerate() {
+            let line = if self.rng.gen_bool(self.spec.noise_frac) {
+                Self::random_data_line(&mut self.rng, &self.spec)
+            } else {
+                l.line
+            };
+            self.buf.push_back(TraceRecord::new(
+                l.pc,
+                Op::Load { addr: line.base(), feeds_mispredict: i + 1 == loads.len() && dep },
+            ));
+            // One interleaved ALU keeps loads from being literally
+            // back-to-back without separating them into different epochs.
+            *pc_cursor = (*pc_cursor + 4) % code_span;
+            self.buf.push_back(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
+        }
+    }
+
+    fn emit_transient(&mut self, size: usize, pcs: &[Pc], t: &Template, pc_cursor: &mut u64) {
+        let dep = self.rng.gen_bool(self.spec.dep_break_prob);
+        let loads: Vec<ClusterLoad> = (0..size)
+            .map(|i| ClusterLoad {
+                pc: pcs[i % pcs.len().max(1)],
+                line: Self::random_data_line(&mut self.rng, &self.spec),
+                feeds_mispredict: i + 1 == size && dep,
+            })
+            .collect();
+        // Transient loads never get noise-substituted (they are already
+        // random); bypass emit_cluster's noise roll by zero-noise emission.
+        let code_span = t.hot_code_lines * 64;
+        let code_base = t.hot_code_base.base().get();
+        for l in &loads {
+            self.buf.push_back(TraceRecord::new(
+                l.pc,
+                Op::Load { addr: l.line.base(), feeds_mispredict: l.feeds_mispredict },
+            ));
+            *pc_cursor = (*pc_cursor + 4) % code_span;
+            self.buf.push_back(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
+        }
+    }
+
+    fn emit_cold_code(&mut self, lines: &[LineAddr]) {
+        for line in lines {
+            let base = line.base().get();
+            for k in 0..16u64 {
+                self.buf.push_back(TraceRecord::alu(Pc::new(base + 4 * k)));
+            }
+        }
+    }
+
+    fn emit_instance(&mut self) {
+        let idx = self.rng.gen_range(0..self.program.templates.len());
+        let t = Arc::clone(&self.program).templates[idx].clone();
+        self.executions += 1;
+        let mut pc_cursor: u64 = 0;
+        for seg in &t.segments {
+            self.emit_filler(seg.gap, &t, &mut pc_cursor);
+            match &seg.event {
+                Event::Cluster(loads) => self.emit_cluster(loads, &t, &mut pc_cursor),
+                Event::Fork(alts) => {
+                    let pick = self.rng.gen_range(0..alts.len());
+                    self.emit_cluster(&alts[pick], &t, &mut pc_cursor);
+                }
+                Event::Transient { size, pcs } => {
+                    self.emit_transient(*size, pcs, &t, &mut pc_cursor)
+                }
+                Event::ColdCode(lines) => self.emit_cold_code(lines),
+                Event::ColdFork(a, b) => {
+                    let lines = if self.rng.gen_bool(0.5) { a } else { b };
+                    self.emit_cold_code(lines);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.buf.is_empty() {
+            self.emit_instance();
+        }
+        self.buf.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WorkloadSpec {
+        WorkloadSpec { templates: 8, ..WorkloadSpec::database().scaled(1, 16) }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = small();
+        let a: Vec<_> = TraceGenerator::new(&spec, 1).take(20_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&spec, 1).take(20_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let spec = small();
+        let a: Vec<_> = TraceGenerator::new(&spec, 1).take(20_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&spec, 2).take(20_000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn op_mix_roughly_matches_spec() {
+        let spec = small();
+        let trace: Vec<_> = TraceGenerator::new(&spec, 3).take(200_000).collect();
+        let loads = trace.iter().filter(|r| r.op.is_load()).count() as f64;
+        let stores = trace.iter().filter(|r| r.op.is_store()).count() as f64;
+        let branches = trace
+            .iter()
+            .filter(|r| matches!(r.op, Op::Branch { .. }))
+            .count() as f64;
+        let n = trace.len() as f64;
+        // Events add loads beyond the filler fraction; allow slack.
+        assert!((loads / n - spec.load_frac).abs() < 0.05, "load frac {}", loads / n);
+        assert!((stores / n - spec.store_frac).abs() < 0.03, "store frac {}", stores / n);
+        assert!((branches / n - spec.branch_frac).abs() < 0.03, "branch frac {}", branches / n);
+    }
+
+    #[test]
+    fn cluster_recurrence_across_executions() {
+        // With few templates and zero noise, miss lines must repeat:
+        // count distinct cluster-pool lines touched, which saturates.
+        let spec = WorkloadSpec { noise_frac: 0.0, transient_frac: 0.0, ..small() };
+        let trace: Vec<_> = TraceGenerator::new(&spec, 4).take(400_000).collect();
+        let mut data_lines = std::collections::HashSet::new();
+        for r in &trace {
+            if let Op::Load { addr, .. } = r.op {
+                let l = addr.line().index();
+                if l >= layout::DATA_BASE && l < layout::DATA_BASE + spec.data_pool_lines {
+                    data_lines.insert(l);
+                }
+            }
+        }
+        // 8 templates x ~34 clusters x ~2 lines ~= hundreds, not tens of
+        // thousands: the same lines recur.
+        assert!(data_lines.len() < 3000, "distinct data lines {}", data_lines.len());
+        assert!(data_lines.len() > 50);
+    }
+
+    #[test]
+    fn collect_n_returns_exact_count() {
+        let mut g = TraceGenerator::new(&small(), 9);
+        assert_eq!(g.collect_n(12_345).len(), 12_345);
+    }
+
+    #[test]
+    fn serialize_ops_are_rare_but_present() {
+        let spec = WorkloadSpec { serialize_per_kilo: 1.0, ..small() };
+        let trace: Vec<_> = TraceGenerator::new(&spec, 5).take(100_000).collect();
+        let ser = trace.iter().filter(|r| matches!(r.op, Op::Serialize)).count();
+        assert!(ser > 20 && ser < 400, "serialize count {ser}");
+    }
+
+    #[test]
+    fn executions_counted() {
+        let spec = small();
+        let mut g = TraceGenerator::new(&spec, 6);
+        let _ = g.collect_n(100_000);
+        assert!(g.executions() > 0);
+    }
+}

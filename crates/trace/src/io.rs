@@ -1,0 +1,223 @@
+//! Compact binary trace serialization.
+//!
+//! Traces can be materialized once and replayed across many simulator
+//! configurations. The format is a little-endian stream:
+//!
+//! ```text
+//! magic "EBCPTRC1"  (8 bytes)
+//! count             (u64)
+//! count x record:
+//!     tag   (u8: 0=Alu 1=Load 2=LoadFeedsMispredict 3=Store 4=Branch 5=BranchMispredicted 6=Serialize)
+//!     pc    (u64)
+//!     addr  (u64, loads/stores only)
+//! ```
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+use ebcp_types::{Addr, Pc};
+
+use crate::record::{Op, TraceRecord};
+
+const MAGIC: &[u8; 8] = b"EBCPTRC1";
+
+/// Error decoding a binary trace.
+#[derive(Debug)]
+pub enum TraceCodecError {
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// A record has an unknown tag byte.
+    BadTag(u8),
+    /// The stream ended mid-record.
+    Truncated,
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceCodecError::BadMagic => f.write_str("stream is not an EBCP trace"),
+            TraceCodecError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            TraceCodecError::Truncated => f.write_str("trace stream ended mid-record"),
+            TraceCodecError::Io(e) => write!(f, "trace i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceCodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceCodecError {
+    fn from(e: std::io::Error) -> Self {
+        TraceCodecError::Io(e)
+    }
+}
+
+fn encode_record(buf: &mut BytesMut, r: &TraceRecord) {
+    match r.op {
+        Op::Alu => {
+            buf.put_u8(0);
+            buf.put_u64_le(r.pc.get());
+        }
+        Op::Load { addr, feeds_mispredict } => {
+            buf.put_u8(if feeds_mispredict { 2 } else { 1 });
+            buf.put_u64_le(r.pc.get());
+            buf.put_u64_le(addr.get());
+        }
+        Op::Store { addr } => {
+            buf.put_u8(3);
+            buf.put_u64_le(r.pc.get());
+            buf.put_u64_le(addr.get());
+        }
+        Op::Branch { mispredicted } => {
+            buf.put_u8(if mispredicted { 5 } else { 4 });
+            buf.put_u64_le(r.pc.get());
+        }
+        Op::Serialize => {
+            buf.put_u8(6);
+            buf.put_u64_le(r.pc.get());
+        }
+    }
+}
+
+/// Writes a trace to `w` in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceCodecError::Io`] if the writer fails.
+pub fn write_trace<W: Write>(mut w: W, trace: &[TraceRecord]) -> Result<(), TraceCodecError> {
+    let mut buf = BytesMut::with_capacity(16 + trace.len() * 17);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(trace.len() as u64);
+    for r in trace {
+        encode_record(&mut buf, r);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns a [`TraceCodecError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<TraceRecord>, TraceCodecError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    if buf.remaining() < 16 {
+        return Err(TraceCodecError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceCodecError::BadMagic);
+    }
+    let count = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 9 {
+            return Err(TraceCodecError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let pc = Pc::new(buf.get_u64_le());
+        let op = match tag {
+            0 => Op::Alu,
+            1 | 2 => {
+                if buf.remaining() < 8 {
+                    return Err(TraceCodecError::Truncated);
+                }
+                Op::Load { addr: Addr::new(buf.get_u64_le()), feeds_mispredict: tag == 2 }
+            }
+            3 => {
+                if buf.remaining() < 8 {
+                    return Err(TraceCodecError::Truncated);
+                }
+                Op::Store { addr: Addr::new(buf.get_u64_le()) }
+            }
+            4 | 5 => Op::Branch { mispredicted: tag == 5 },
+            6 => Op::Serialize,
+            t => return Err(TraceCodecError::BadTag(t)),
+        };
+        out.push(TraceRecord::new(pc, op));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::alu(Pc::new(0x100)),
+            TraceRecord::load(Pc::new(0x104), Addr::new(0x8000)),
+            TraceRecord::new(
+                Pc::new(0x108),
+                Op::Load { addr: Addr::new(0x9000), feeds_mispredict: true },
+            ),
+            TraceRecord::store(Pc::new(0x10c), Addr::new(0xa000)),
+            TraceRecord::new(Pc::new(0x110), Op::Branch { mispredicted: false }),
+            TraceRecord::new(Pc::new(0x114), Op::Branch { mispredicted: true }),
+            TraceRecord::new(Pc::new(0x118), Op::Serialize),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        let back = read_trace(&bytes[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &[]).unwrap();
+        assert_eq!(read_trace(&bytes[..]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = b"NOTATRACE_______".to_vec();
+        assert!(matches!(read_trace(&bytes[..]), Err(TraceCodecError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(read_trace(&bytes[..]), Err(TraceCodecError::Truncated)));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &[TraceRecord::alu(Pc::new(0))]).unwrap();
+        bytes[16] = 99; // corrupt the tag
+        assert!(matches!(read_trace(&bytes[..]), Err(TraceCodecError::BadTag(99))));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            TraceCodecError::BadMagic,
+            TraceCodecError::BadTag(9),
+            TraceCodecError::Truncated,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

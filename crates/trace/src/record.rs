@@ -1,0 +1,135 @@
+//! The trace record format.
+//!
+//! One record per retired instruction. The simulator's core model needs
+//! exactly the information a trace-driven epoch-model simulation consumes:
+//! the PC (for instruction fetch and PC-indexed prefetchers), the
+//! operation class, data addresses for loads/stores, and the two
+//! micro-architectural hints the window-termination conditions depend on
+//! (branch mispredictions and loads that feed a mispredicted branch).
+
+use ebcp_types::{Addr, Pc};
+use serde::{Deserialize, Serialize};
+
+/// The operation performed by one retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// A non-memory, non-branch instruction (ALU, FP, ...).
+    Alu,
+    /// A data load.
+    Load {
+        /// Byte address loaded.
+        addr: Addr,
+        /// Whether a later mispredicted branch depends on this load's
+        /// value. If the load misses off-chip, the window terminates
+        /// shortly after (§2.1: "mispredicted branches that are dependent
+        /// on an off-chip miss" are a window-termination condition).
+        feeds_mispredict: bool,
+    },
+    /// A data store (never trains the prefetcher; weak consistency).
+    Store {
+        /// Byte address stored.
+        addr: Addr,
+    },
+    /// A branch.
+    Branch {
+        /// Whether the branch was mispredicted (pipeline refill charge).
+        mispredicted: bool,
+    },
+    /// A serializing instruction (membar, trap...): the window cannot
+    /// extend past it while off-chip misses are outstanding.
+    Serialize,
+}
+
+impl Op {
+    /// The data address touched, if any.
+    pub const fn data_addr(self) -> Option<Addr> {
+        match self {
+            Op::Load { addr, .. } | Op::Store { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a load.
+    pub const fn is_load(self) -> bool {
+        matches!(self, Op::Load { .. })
+    }
+
+    /// Whether this is a store.
+    pub const fn is_store(self) -> bool {
+        matches!(self, Op::Store { .. })
+    }
+}
+
+/// One retired instruction of the trace.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_trace::{Op, TraceRecord};
+/// use ebcp_types::{Addr, Pc};
+///
+/// let r = TraceRecord::new(Pc::new(0x1000), Op::Load { addr: Addr::new(0x8000), feeds_mispredict: false });
+/// assert_eq!(r.op.data_addr(), Some(Addr::new(0x8000)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Program counter of the instruction.
+    pub pc: Pc,
+    /// What the instruction does.
+    pub op: Op,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    pub const fn new(pc: Pc, op: Op) -> Self {
+        TraceRecord { pc, op }
+    }
+
+    /// Shorthand for an ALU record.
+    pub const fn alu(pc: Pc) -> Self {
+        TraceRecord { pc, op: Op::Alu }
+    }
+
+    /// Shorthand for a plain load record.
+    pub const fn load(pc: Pc, addr: Addr) -> Self {
+        TraceRecord { pc, op: Op::Load { addr, feeds_mispredict: false } }
+    }
+
+    /// Shorthand for a store record.
+    pub const fn store(pc: Pc, addr: Addr) -> Self {
+        TraceRecord { pc, op: Op::Store { addr } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_addr_extraction() {
+        assert_eq!(Op::Alu.data_addr(), None);
+        assert_eq!(Op::Serialize.data_addr(), None);
+        assert_eq!(Op::Branch { mispredicted: true }.data_addr(), None);
+        assert_eq!(
+            Op::Load { addr: Addr::new(4), feeds_mispredict: true }.data_addr(),
+            Some(Addr::new(4))
+        );
+        assert_eq!(Op::Store { addr: Addr::new(8) }.data_addr(), Some(Addr::new(8)));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Op::Load { addr: Addr::new(0), feeds_mispredict: false }.is_load());
+        assert!(!Op::Store { addr: Addr::new(0) }.is_load());
+        assert!(Op::Store { addr: Addr::new(0) }.is_store());
+        assert!(!Op::Alu.is_store());
+    }
+
+    #[test]
+    fn shorthand_constructors() {
+        let pc = Pc::new(0x40);
+        assert_eq!(TraceRecord::alu(pc).op, Op::Alu);
+        assert_eq!(TraceRecord::load(pc, Addr::new(1)).op.data_addr(), Some(Addr::new(1)));
+        assert!(TraceRecord::store(pc, Addr::new(1)).op.is_store());
+    }
+}

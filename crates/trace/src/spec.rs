@@ -1,0 +1,424 @@
+//! Workload specifications and the four paper presets.
+//!
+//! A [`WorkloadSpec`] fully describes one synthetic commercial workload:
+//! its *transaction templates* (recurring sequences of data-miss clusters
+//! and cold-code runs), its footprints, and its filler-instruction mix.
+//! See the crate docs for the modelling rationale.
+//!
+//! The four presets are calibrated so that, on the default machine of
+//! §4.4, the baseline (no prefetching) simulation lands near Table 1 of
+//! the paper:
+//!
+//! | workload            | CPI  | epochs/1k | L2 inst mr | L2 load mr |
+//! |---------------------|------|-----------|------------|------------|
+//! | database (OLTP)     | 3.27 | 4.07      | 1.00       | 6.23       |
+//! | TPC-W               | 2.00 | 1.59      | 0.71       | 1.27       |
+//! | SPECjbb2005         | 2.06 | 2.65      | 0.12       | 4.30       |
+//! | SPECjAppServer2004  | 2.78 | 3.25      | 1.57       | 2.64       |
+
+use serde::{Deserialize, Serialize};
+
+/// Address-space bases for the disjoint line pools (line indices, i.e.
+/// byte address >> 6). Chosen far apart so pools can never collide.
+pub mod layout {
+    /// Cold (miss-prone) code pool base, as a line index.
+    pub const COLD_CODE_BASE: u64 = 0x4000_0000_0000 >> 6;
+    /// Hot (L1I-resident) code pool base.
+    pub const HOT_CODE_BASE: u64 = 0x4400_0000_0000 >> 6;
+    /// Main data pool base (transaction working data).
+    pub const DATA_BASE: u64 = 0x8000_0000_0000 >> 6;
+    /// Warm (L2-resident) shared data pool base.
+    pub const WARM_BASE: u64 = 0x9000_0000_0000 >> 6;
+    /// Hot (L1D-resident) shared data pool base.
+    pub const HOT_DATA_BASE: u64 = 0x9400_0000_0000 >> 6;
+}
+
+/// Full description of one synthetic workload.
+///
+/// Construct via a preset and adjust with the struct-update syntax or
+/// [`WorkloadSpec::scaled`]:
+///
+/// ```
+/// use ebcp_trace::WorkloadSpec;
+/// let small = WorkloadSpec::specjbb2005().scaled(1, 4);
+/// assert_eq!(small.templates, WorkloadSpec::specjbb2005().templates / 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Human-readable name ("database", "tpcw", ...).
+    pub name: String,
+    /// Seed perturbation so two presets with the same user seed differ.
+    pub seed_tag: u64,
+
+    // --- structure ---------------------------------------------------
+    /// Number of transaction templates.
+    pub templates: usize,
+    /// Segments (gap + event) per template.
+    pub segments_per_template: usize,
+    /// Mean filler instructions between events. Must exceed the ROB size
+    /// so consecutive clusters land in distinct epochs.
+    pub gap_mean: u32,
+    /// Relative jitter applied to each segment's gap (0.25 = ±25%).
+    pub gap_jitter: f64,
+    /// Distribution of loads per miss cluster: `(size, weight)` pairs.
+    pub cluster_size_weights: Vec<(usize, f64)>,
+    /// Distinct load-site PCs per template (address streams per PC recur,
+    /// which is what PC-indexed prefetchers correlate on).
+    pub load_sites: usize,
+
+    // --- event mix ----------------------------------------------------
+    /// Fraction of segments that are cold-code runs (instruction misses).
+    pub cold_frac: f64,
+    /// Mean instruction lines per cold-code run.
+    pub cold_run_lines: usize,
+    /// Fraction of load clusters that are transient (drawn fresh each
+    /// execution; unlearnable).
+    pub transient_frac: f64,
+    /// Fraction of load clusters that are A/B forks (per execution one of
+    /// two fixed alternatives runs).
+    pub fork_frac: f64,
+    /// Fraction of load clusters that belong to spatial-region groups.
+    pub spatial_frac: f64,
+    /// Consecutive clusters per spatial group (same 2 KB region).
+    pub spatial_group_len: usize,
+    /// Fraction of load clusters that belong to sequential scans.
+    pub stride_frac: f64,
+    /// Consecutive clusters per scan group.
+    pub stride_group_len: usize,
+    /// Per-load probability of substituting a random line at emission.
+    pub noise_frac: f64,
+    /// Probability (drawn per execution) that a cluster's last load
+    /// feeds a mispredicted branch — the window terminates shortly after
+    /// the cluster, keeping the epoch's off-chip penalty close to the
+    /// full memory latency. When the draw fails AND the following gap is
+    /// short, adjacent clusters merge into one epoch, so epoch
+    /// boundaries jitter from pass to pass exactly as timing-dependent
+    /// windows do on real machines.
+    pub dep_break_prob: f64,
+    /// Fraction of segments whose filler gap is shorter than the reorder
+    /// buffer (60-110 instructions): the source of pass-to-pass epoch
+    /// merging.
+    pub short_gap_frac: f64,
+
+    // --- footprints (line counts) --------------------------------------
+    /// Main data pool size in lines.
+    pub data_pool_lines: u64,
+    /// Cold code pool size in lines.
+    pub cold_code_pool_lines: u64,
+    /// Shared warm (L2-resident) pool size in lines.
+    pub warm_pool_lines: u64,
+    /// Shared hot data (L1D-resident) pool size in lines.
+    pub hot_data_pool_lines: u64,
+    /// Shared hot code (L1I-resident) pool size in lines.
+    pub hot_code_pool_lines: u64,
+
+    // --- filler mix ----------------------------------------------------
+    /// Loads per filler instruction.
+    pub load_frac: f64,
+    /// Stores per filler instruction.
+    pub store_frac: f64,
+    /// Branches per filler instruction.
+    pub branch_frac: f64,
+    /// Of filler loads, the fraction aimed at the warm (L2-hit) pool.
+    pub warm_frac_of_loads: f64,
+    /// Probability a filler branch is mispredicted.
+    pub mispredict_prob: f64,
+    /// Serializing instructions per 1000 filler instructions.
+    pub serialize_per_kilo: f64,
+    /// Store misses (write-allocates to the data pool) per 1000 insts.
+    pub store_miss_per_kilo: f64,
+}
+
+impl WorkloadSpec {
+    fn base(name: &str, seed_tag: u64) -> Self {
+        WorkloadSpec {
+            name: name.to_owned(),
+            seed_tag,
+            templates: 512,
+            segments_per_template: 32,
+            gap_mean: 300,
+            gap_jitter: 0.25,
+            cluster_size_weights: vec![(1, 0.5), (2, 0.3), (3, 0.2)],
+            load_sites: 6,
+            cold_frac: 0.1,
+            cold_run_lines: 2,
+            transient_frac: 0.25,
+            fork_frac: 0.15,
+            spatial_frac: 0.15,
+            spatial_group_len: 3,
+            stride_frac: 0.05,
+            stride_group_len: 3,
+            noise_frac: 0.05,
+            dep_break_prob: 0.75,
+            short_gap_frac: 0.25,
+            data_pool_lines: 1 << 20,
+            cold_code_pool_lines: 1 << 17,
+            warm_pool_lines: 4096,
+            hot_data_pool_lines: 512,
+            hot_code_pool_lines: 256,
+            load_frac: 0.25,
+            store_frac: 0.10,
+            branch_frac: 0.15,
+            warm_frac_of_loads: 0.25,
+            mispredict_prob: 0.08,
+            serialize_per_kilo: 0.02,
+            store_miss_per_kilo: 0.3,
+        }
+    }
+
+    /// The large-scale OLTP database workload: highest miss rates, the
+    /// richest epoch structure (≈2 misses per epoch with a heavy tail).
+    pub fn database() -> Self {
+        WorkloadSpec {
+            templates: 880,
+            segments_per_template: 40,
+            gap_mean: 270,
+            gap_jitter: 0.25,
+            // mean ≈ 2.2 loads per cluster, with a heavy tail out to 24
+            // (hash-join bursts and the like) — the tail is what lets
+            // prefetch degrees beyond 8 keep helping (Figure 4).
+            cluster_size_weights: vec![
+                (1, 0.65),
+                (2, 0.21),
+                (4, 0.07),
+                (8, 0.04),
+                (16, 0.02),
+                (24, 0.01),
+            ],
+            cold_frac: 0.14,
+            cold_run_lines: 2,
+            transient_frac: 0.25,
+            fork_frac: 0.22,
+            spatial_frac: 0.25,
+            stride_frac: 0.05,
+            noise_frac: 0.05,
+            warm_frac_of_loads: 0.26,
+            mispredict_prob: 0.08,
+            ..Self::base("database", 0x0d)
+        }
+    }
+
+    /// TPC-W: instruction-miss heavy, low overall miss density, the
+    /// lowest MLP of the four.
+    pub fn tpcw() -> Self {
+        WorkloadSpec {
+            templates: 1200,
+            segments_per_template: 30,
+            gap_mean: 960,
+            gap_jitter: 0.25,
+            cluster_size_weights: vec![(1, 0.70), (2, 0.24), (4, 0.03), (8, 0.02), (12, 0.01)],
+            cold_frac: 0.25,
+            cold_run_lines: 3,
+            transient_frac: 0.30,
+            fork_frac: 0.28,
+            spatial_frac: 0.08,
+            stride_frac: 0.05,
+            noise_frac: 0.06,
+            warm_frac_of_loads: 0.27,
+            mispredict_prob: 0.09,
+            ..Self::base("tpcw", 0x70)
+        }
+    }
+
+    /// SPECjbb2005: data-miss dominated (tiny instruction footprint),
+    /// lowest on-chip CPI of the four.
+    pub fn specjbb2005() -> Self {
+        WorkloadSpec {
+            templates: 1500,
+            segments_per_template: 25,
+            gap_mean: 405,
+            gap_jitter: 0.25,
+            cluster_size_weights: vec![(1, 0.68), (2, 0.21), (3, 0.05), (6, 0.03), (12, 0.02), (16, 0.01)],
+            cold_frac: 0.016,
+            cold_run_lines: 2,
+            transient_frac: 0.12,
+            fork_frac: 0.12,
+            spatial_frac: 0.30,
+            stride_frac: 0.08,
+            noise_frac: 0.03,
+            warm_frac_of_loads: 0.12,
+            mispredict_prob: 0.05,
+            ..Self::base("specjbb2005", 0x1b)
+        }
+    }
+
+    /// SPECjAppServer2004: the most instruction-miss heavy of the four.
+    pub fn specjappserver2004() -> Self {
+        WorkloadSpec {
+            templates: 1660,
+            segments_per_template: 20,
+            gap_mean: 415,
+            gap_jitter: 0.25,
+            cluster_size_weights: vec![(1, 0.70), (2, 0.23), (4, 0.04), (8, 0.02), (12, 0.01)],
+            cold_frac: 0.31,
+            cold_run_lines: 3,
+            transient_frac: 0.22,
+            fork_frac: 0.30,
+            spatial_frac: 0.10,
+            stride_frac: 0.05,
+            noise_frac: 0.06,
+            warm_frac_of_loads: 0.24,
+            mispredict_prob: 0.09,
+            ..Self::base("specjappserver2004", 0x7a)
+        }
+    }
+
+    /// All four presets, in the paper's reporting order.
+    pub fn all_presets() -> Vec<WorkloadSpec> {
+        vec![Self::database(), Self::tpcw(), Self::specjbb2005(), Self::specjappserver2004()]
+    }
+
+    /// Scales the workload *footprint* by `num/den`: template count and
+    /// the data / cold-code / warm pools shrink together, so the
+    /// footprint-to-cache ratio is preserved when the machine's caches
+    /// are scaled by the same factor. Per-instruction rates, epoch
+    /// structure and filler mix are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale would leave no templates.
+    #[must_use]
+    pub fn scaled(mut self, num: usize, den: usize) -> Self {
+        assert!(num > 0 && den > 0, "scale must be positive");
+        self.templates = (self.templates * num / den).max(1);
+        self.data_pool_lines = (self.data_pool_lines * num as u64 / den as u64).max(1024);
+        self.cold_code_pool_lines =
+            (self.cold_code_pool_lines * num as u64 / den as u64).max(256);
+        self.warm_pool_lines = (self.warm_pool_lines * num as u64 / den as u64).max(128);
+        self
+    }
+
+    /// Mean loads per cluster under [`WorkloadSpec::cluster_size_weights`].
+    pub fn mean_cluster_size(&self) -> f64 {
+        let total: f64 = self.cluster_size_weights.iter().map(|(_, w)| w).sum();
+        self.cluster_size_weights.iter().map(|&(s, w)| s as f64 * w).sum::<f64>() / total
+    }
+
+    /// Approximate instructions per template execution (gaps + events).
+    pub fn insts_per_template(&self) -> u64 {
+        let per_seg = self.gap_mean as u64
+            + (self.cold_frac * (self.cold_run_lines * 16) as f64
+                + (1.0 - self.cold_frac) * self.mean_cluster_size() * 3.0) as u64;
+        per_seg * self.segments_per_template as u64
+    }
+
+    /// Approximate instructions for one full pass over every template —
+    /// the recurrence interval that warm-up must cover.
+    pub fn recurrence_interval(&self) -> u64 {
+        self.insts_per_template() * self.templates as u64
+    }
+
+    /// Basic sanity checks on the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.templates == 0 || self.segments_per_template == 0 {
+            return Err("workload needs templates and segments".into());
+        }
+        if self.gap_mean < 150 {
+            return Err(format!(
+                "gap_mean {} too small: clusters would merge into one epoch (ROB=128)",
+                self.gap_mean
+            ));
+        }
+        if self.cluster_size_weights.is_empty() {
+            return Err("cluster_size_weights must not be empty".into());
+        }
+        let frac_sum = self.load_frac + self.store_frac + self.branch_frac;
+        if frac_sum >= 1.0 {
+            return Err(format!("filler op fractions sum to {frac_sum} >= 1"));
+        }
+        for f in [
+            self.cold_frac,
+            self.transient_frac,
+            self.fork_frac,
+            self.spatial_frac,
+            self.stride_frac,
+            self.noise_frac,
+            self.warm_frac_of_loads,
+            self.mispredict_prob,
+        ] {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("fraction {f} out of [0,1]"));
+            }
+        }
+        if self.transient_frac + self.fork_frac + self.spatial_frac + self.stride_frac > 1.0 {
+            return Err("cluster kind fractions exceed 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for spec in WorkloadSpec::all_presets() {
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn preset_names_distinct() {
+        let names: std::collections::HashSet<_> =
+            WorkloadSpec::all_presets().into_iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn mean_cluster_sizes_match_table1_mlp() {
+        // Misses per epoch implied by Table 1 (load mr / load epochs).
+        let db = WorkloadSpec::database().mean_cluster_size();
+        assert!((1.9..2.4).contains(&db), "database MLP {db}");
+        let tpcw = WorkloadSpec::tpcw().mean_cluster_size();
+        assert!((1.3..1.6).contains(&tpcw), "tpcw MLP {tpcw}");
+        let jbb = WorkloadSpec::specjbb2005().mean_cluster_size();
+        assert!((1.5..2.0).contains(&jbb), "jbb MLP {jbb}");
+        let jas = WorkloadSpec::specjappserver2004().mean_cluster_size();
+        assert!((1.3..1.7).contains(&jas), "jas MLP {jas}");
+    }
+
+    #[test]
+    fn scaling_shrinks_footprint_only() {
+        let full = WorkloadSpec::database();
+        let quarter = full.clone().scaled(1, 4);
+        assert_eq!(quarter.templates, full.templates / 4);
+        assert_eq!(quarter.data_pool_lines, full.data_pool_lines / 4);
+        assert_eq!(quarter.gap_mean, full.gap_mean);
+        assert_eq!(quarter.cluster_size_weights, full.cluster_size_weights);
+        quarter.validate().unwrap();
+    }
+
+    #[test]
+    fn scaling_never_reaches_zero() {
+        let tiny = WorkloadSpec::database().scaled(1, 100_000);
+        assert!(tiny.templates >= 1);
+        assert!(tiny.data_pool_lines >= 1024);
+    }
+
+    #[test]
+    fn validate_rejects_small_gap() {
+        let mut s = WorkloadSpec::database();
+        s.gap_mean = 50;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_fat_fractions() {
+        let mut s = WorkloadSpec::database();
+        s.load_frac = 0.9;
+        s.store_frac = 0.2;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn recurrence_interval_is_plausible() {
+        // Full-scale database: around 10M instructions per full pass.
+        let i = WorkloadSpec::database().recurrence_interval();
+        assert!((5_000_000..20_000_000).contains(&i), "interval {i}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Trace-level statistics (cache-independent).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::record::{Op, TraceRecord};
+
+/// Summary statistics of a trace slice.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_trace::{TraceGenerator, TraceStats, WorkloadSpec};
+/// let spec = WorkloadSpec::database().scaled(1, 16);
+/// let trace: Vec<_> = TraceGenerator::new(&spec, 1).take(50_000).collect();
+/// let stats = TraceStats::analyze(&trace);
+/// assert_eq!(stats.records, 50_000);
+/// assert!(stats.loads > 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total records analyzed.
+    pub records: u64,
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Serializing instructions.
+    pub serializes: u64,
+    /// Loads flagged as feeding a mispredicted branch.
+    pub miss_dependent_loads: u64,
+    /// Distinct data lines touched by loads/stores.
+    pub distinct_data_lines: u64,
+    /// Distinct instruction lines touched by fetches.
+    pub distinct_code_lines: u64,
+}
+
+impl TraceStats {
+    /// Analyzes a trace slice.
+    pub fn analyze(trace: &[TraceRecord]) -> Self {
+        let mut s = TraceStats { records: trace.len() as u64, ..TraceStats::default() };
+        let mut data = HashSet::new();
+        let mut code = HashSet::new();
+        for r in trace {
+            code.insert(r.pc.line().index());
+            match r.op {
+                Op::Load { addr, feeds_mispredict } => {
+                    s.loads += 1;
+                    if feeds_mispredict {
+                        s.miss_dependent_loads += 1;
+                    }
+                    data.insert(addr.line().index());
+                }
+                Op::Store { addr } => {
+                    s.stores += 1;
+                    data.insert(addr.line().index());
+                }
+                Op::Branch { mispredicted } => {
+                    s.branches += 1;
+                    if mispredicted {
+                        s.mispredicts += 1;
+                    }
+                }
+                Op::Serialize => s.serializes += 1,
+                Op::Alu => {}
+            }
+        }
+        s.distinct_data_lines = data.len() as u64;
+        s.distinct_code_lines = code.len() as u64;
+        s
+    }
+
+    /// Events per 1000 records.
+    pub fn per_kilo(&self, count: u64) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            count as f64 * 1000.0 / self.records as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "records:          {}", self.records)?;
+        writeln!(f, "loads/1k:         {:.1}", self.per_kilo(self.loads))?;
+        writeln!(f, "stores/1k:        {:.1}", self.per_kilo(self.stores))?;
+        writeln!(f, "branches/1k:      {:.1}", self.per_kilo(self.branches))?;
+        writeln!(f, "mispredicts/1k:   {:.2}", self.per_kilo(self.mispredicts))?;
+        writeln!(f, "serializes/1k:    {:.3}", self.per_kilo(self.serializes))?;
+        writeln!(f, "distinct data ln: {}", self.distinct_data_lines)?;
+        write!(f, "distinct code ln: {}", self.distinct_code_lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_types::{Addr, Pc};
+
+    #[test]
+    fn counts_each_kind() {
+        let trace = vec![
+            TraceRecord::alu(Pc::new(0)),
+            TraceRecord::load(Pc::new(4), Addr::new(0x100)),
+            TraceRecord::new(
+                Pc::new(8),
+                Op::Load { addr: Addr::new(0x200), feeds_mispredict: true },
+            ),
+            TraceRecord::store(Pc::new(12), Addr::new(0x100)),
+            TraceRecord::new(Pc::new(16), Op::Branch { mispredicted: true }),
+            TraceRecord::new(Pc::new(20), Op::Serialize),
+        ];
+        let s = TraceStats::analyze(&trace);
+        assert_eq!(s.records, 6);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.mispredicts, 1);
+        assert_eq!(s.serializes, 1);
+        assert_eq!(s.miss_dependent_loads, 1);
+        // 0x100 and 0x200 are distinct lines; 0x100 store dedups.
+        assert_eq!(s.distinct_data_lines, 2);
+        // PCs 0..20 all in line 0.
+        assert_eq!(s.distinct_code_lines, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::analyze(&[]);
+        assert_eq!(s.records, 0);
+        assert_eq!(s.per_kilo(5), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_loads() {
+        let s = TraceStats::analyze(&[TraceRecord::load(Pc::new(0), Addr::new(0))]);
+        assert!(s.to_string().contains("loads/1k"));
+    }
+}

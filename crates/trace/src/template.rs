@@ -1,0 +1,504 @@
+//! Transaction-template construction.
+//!
+//! A [`Template`] is the *recurring* part of a workload: a fixed sequence
+//! of segments, each a filler gap followed by an event (a data-miss
+//! cluster, an A/B fork, a transient cluster placeholder, or a cold-code
+//! run). Templates are built once per workload from the spec's structure
+//! seed; the trace generator then replays them (with per-execution noise)
+//! in random order.
+
+use ebcp_types::{LineAddr, Pc, LINE_BYTES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{layout, WorkloadSpec};
+
+/// One load of a miss cluster: which instruction (PC) touches which line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterLoad {
+    /// The load instruction's PC (a load site inside the template's hot
+    /// code window, so per-PC address streams recur).
+    pub pc: Pc,
+    /// The (line-aligned) data address.
+    pub line: LineAddr,
+    /// Whether a mispredicted branch depends on this load (window
+    /// terminator when the load misses off-chip).
+    pub feeds_mispredict: bool,
+}
+
+/// The event at the end of a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A recurring data-miss cluster: the misses of one epoch.
+    Cluster(Vec<ClusterLoad>),
+    /// A data-dependent fork: one of several alternative clusters
+    /// executes (commercial transactions follow many code paths).
+    Fork(Vec<Vec<ClusterLoad>>),
+    /// A transient cluster: `size` loads to lines drawn fresh at each
+    /// execution (unlearnable by any history-based prefetcher).
+    Transient {
+        /// Number of loads.
+        size: usize,
+        /// The load-site PCs used.
+        pcs: Vec<Pc>,
+    },
+    /// A run of cold instruction lines (off-chip instruction misses),
+    /// walked sequentially at 16 instructions per line.
+    ColdCode(Vec<LineAddr>),
+    /// A control-flow fork between two cold-code runs: one of the two
+    /// paths executes. Commercial instruction streams are irregular too —
+    /// this is what bounds deep successor chains through code misses.
+    ColdFork(Vec<LineAddr>, Vec<LineAddr>),
+}
+
+impl Event {
+    /// Number of trace records this event expands to (loads incur one
+    /// interleaved ALU each; cold lines are 16 instructions).
+    pub fn record_len(&self, pick: usize) -> usize {
+        match self {
+            Event::Cluster(loads) => loads.len() * 2,
+            Event::Fork(alts) => alts[pick % alts.len()].len() * 2,
+            Event::Transient { size, .. } => size * 2,
+            Event::ColdCode(lines) => lines.len() * 16,
+            Event::ColdFork(a, b) => (if pick % 2 == 0 { a.len() } else { b.len() }) * 16,
+        }
+    }
+}
+
+/// One segment: a filler gap then an event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Filler instructions emitted before the event.
+    pub gap: u32,
+    /// The event.
+    pub event: Event,
+}
+
+/// A recurring transaction template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    /// Template index within the workload.
+    pub id: usize,
+    /// The segments, executed in order.
+    pub segments: Vec<Segment>,
+    /// First line of this template's hot-code window (shared pool).
+    pub hot_code_base: LineAddr,
+    /// Lines in the hot-code window.
+    pub hot_code_lines: u64,
+    /// First line of this template's hot-data window (shared pool).
+    pub hot_data_base: LineAddr,
+    /// Lines in the hot-data window.
+    pub hot_data_lines: u64,
+}
+
+/// A fully constructed workload: every template, ready to execute.
+#[derive(Debug, Clone)]
+pub struct WorkloadProgram {
+    /// The templates.
+    pub templates: Vec<Template>,
+}
+
+/// Spatial region size in lines (2 KB regions, §5.3 SMS configuration).
+pub const REGION_LINES: u64 = 2048 / LINE_BYTES;
+
+const HOT_WINDOW_CODE_LINES: u64 = 32;
+const HOT_WINDOW_DATA_LINES: u64 = 48;
+
+fn draw_cluster_size(rng: &mut SmallRng, weights: &[(usize, f64)]) -> usize {
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for &(size, w) in weights {
+        if u < w {
+            return size;
+        }
+        u -= w;
+    }
+    weights.last().map(|&(s, _)| s).unwrap_or(1)
+}
+
+struct Builder<'a> {
+    spec: &'a WorkloadSpec,
+    rng: SmallRng,
+    sites: Vec<Pc>,
+    site_rr: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn next_site(&mut self) -> Pc {
+        let pc = self.sites[self.site_rr % self.sites.len()];
+        self.site_rr += 1;
+        pc
+    }
+
+    fn random_data_line(&mut self) -> LineAddr {
+        LineAddr::from_index(layout::DATA_BASE + self.rng.gen_range(0..self.spec.data_pool_lines))
+    }
+
+    fn plain_cluster(&mut self, size: usize) -> Vec<ClusterLoad> {
+        let dep = self.rng.gen_bool(self.spec.dep_break_prob);
+        (0..size)
+            .map(|i| ClusterLoad {
+                pc: self.next_site(),
+                line: self.random_data_line(),
+                feeds_mispredict: i + 1 == size && dep,
+            })
+            .collect()
+    }
+
+    fn spatial_group(&mut self) -> Vec<Event> {
+        // One 2 KB region revisited by `spatial_group_len` consecutive
+        // epochs, 2 lines each, with a fixed footprint of distinct
+        // offsets.
+        let region_count = self.spec.data_pool_lines / REGION_LINES;
+        let region_base = layout::DATA_BASE
+            + self.rng.gen_range(0..region_count.max(1)) * REGION_LINES;
+        let lines_per = 2usize;
+        let need = self.spec.spatial_group_len * lines_per;
+        let mut offsets: Vec<u64> = (0..REGION_LINES).collect();
+        // Partial Fisher-Yates for the first `need` offsets.
+        for i in 0..need.min(offsets.len() - 1) {
+            let j = self.rng.gen_range(i..offsets.len());
+            offsets.swap(i, j);
+        }
+        let dep_prob = self.spec.dep_break_prob;
+        (0..self.spec.spatial_group_len)
+            .map(|g| {
+                let dep = self.rng.gen_bool(dep_prob);
+                let loads = (0..lines_per)
+                    .map(|k| ClusterLoad {
+                        pc: self.next_site(),
+                        line: LineAddr::from_index(
+                            region_base + offsets[(g * lines_per + k) % offsets.len()],
+                        ),
+                        feeds_mispredict: k + 1 == lines_per && dep,
+                    })
+                    .collect();
+                Event::Cluster(loads)
+            })
+            .collect()
+    }
+
+    fn stride_group(&mut self) -> Vec<Event> {
+        // A sequential scan split across consecutive epochs: stream
+        // prefetcher material.
+        let lines_per = 2usize;
+        let span = (self.spec.stride_group_len * lines_per) as u64;
+        let base = layout::DATA_BASE
+            + self.rng.gen_range(0..self.spec.data_pool_lines.saturating_sub(span).max(1));
+        let dep_prob = self.spec.dep_break_prob;
+        (0..self.spec.stride_group_len)
+            .map(|g| {
+                let dep = self.rng.gen_bool(dep_prob);
+                let loads = (0..lines_per)
+                    .map(|k| ClusterLoad {
+                        pc: self.next_site(),
+                        line: LineAddr::from_index(base + (g * lines_per + k) as u64),
+                        feeds_mispredict: k + 1 == lines_per && dep,
+                    })
+                    .collect();
+                Event::Cluster(loads)
+            })
+            .collect()
+    }
+
+    fn cold_code_run(&mut self) -> Event {
+        let len = (self.spec.cold_run_lines.max(1)) as u64;
+        let extra = if self.spec.cold_run_lines > 1 && self.rng.gen_bool(0.5) { 1 } else { 0 };
+        let len = len + extra - u64::from(self.rng.gen_bool(0.5) && len > 1);
+        let start = layout::COLD_CODE_BASE
+            + self.rng.gen_range(0..self.spec.cold_code_pool_lines.saturating_sub(len).max(1));
+        Event::ColdCode((0..len).map(|i| LineAddr::from_index(start + i)).collect())
+    }
+
+    fn gap(&mut self) -> u32 {
+        if self.rng.gen_bool(self.spec.short_gap_frac) {
+            // Shorter than the ROB: the preceding cluster's misses can
+            // overlap into this segment's cluster when no dependence
+            // break fires.
+            return self.rng.gen_range(60..=110);
+        }
+        let jitter = self.spec.gap_jitter;
+        let factor = 1.0 + jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        ((self.spec.gap_mean as f64 * factor) as u32).max(150)
+    }
+}
+
+impl WorkloadProgram {
+    /// Builds the workload's templates from its spec.
+    ///
+    /// Construction is deterministic in the spec (including
+    /// `seed_tag`) — the same spec always yields the same program, just
+    /// as the paper's traces are fixed artifacts.
+    pub fn build(spec: &WorkloadSpec) -> Self {
+        let templates = (0..spec.templates)
+            .map(|id| Self::build_template(spec, id))
+            .collect();
+        WorkloadProgram { templates }
+    }
+
+    fn build_template(spec: &WorkloadSpec, id: usize) -> Template {
+        let mut rng =
+            SmallRng::seed_from_u64(spec.seed_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ id as u64);
+        let hot_code_base = LineAddr::from_index(
+            layout::HOT_CODE_BASE
+                + rng.gen_range(0..spec.hot_code_pool_lines.saturating_sub(HOT_WINDOW_CODE_LINES).max(1)),
+        );
+        let hot_data_base = LineAddr::from_index(
+            layout::HOT_DATA_BASE
+                + rng.gen_range(0..spec.hot_data_pool_lines.saturating_sub(HOT_WINDOW_DATA_LINES).max(1)),
+        );
+        // Load sites live inside the hot-code window so their instruction
+        // fetches stay on-chip. Templates may share hot-code *lines*
+        // (the pool is small and L1I-resident), but each template's load
+        // instructions are distinct PCs in reality — spread the site
+        // slots by template id so PC-indexed prefetchers (GHB PC/DC,
+        // SMS) see clean per-site streams instead of cross-template
+        // collisions.
+        let slots_in_window = HOT_WINDOW_CODE_LINES * 64 / 4;
+        let sites: Vec<Pc> = (0..spec.load_sites.max(1))
+            .map(|s| {
+                let slot = (id as u64 * 23 + s as u64 * 7 + 3) % slots_in_window;
+                Pc::new(hot_code_base.base().get() + 4 * slot)
+            })
+            .collect();
+        let mut b = Builder { spec, rng, sites, site_rr: 0 };
+
+        // Spatial/stride draws expand into `group_len` consecutive
+        // segments, so a naive roll would over-represent them (and
+        // dilute cold-code runs) in the final *segment* composition.
+        // Correct the fresh-draw probabilities so that the slot-weighted
+        // fractions match the spec: a group of g slots is drawn with
+        // probability frac*D/g, where D = E[slots per fresh cluster
+        // draw] solves D = 1 / (1 - Σ frac_g*(g-1)/g).
+        let gs = spec.spatial_group_len.max(1) as f64;
+        let gt = spec.stride_group_len.max(1) as f64;
+        let d = 1.0
+            / (1.0 - spec.spatial_frac * (gs - 1.0) / gs - spec.stride_frac * (gt - 1.0) / gt);
+        let q_spatial = spec.spatial_frac * d / gs;
+        let q_stride = spec.stride_frac * d / gt;
+        let q_transient = spec.transient_frac * d;
+        let q_fork = spec.fork_frac * d;
+        let cold_draw =
+            spec.cold_frac * d / (1.0 - spec.cold_frac + spec.cold_frac * d);
+
+        let mut segments = Vec::with_capacity(spec.segments_per_template);
+        let mut pending: std::collections::VecDeque<Event> = std::collections::VecDeque::new();
+        while segments.len() < spec.segments_per_template {
+            let gap = b.gap();
+            let event = if let Some(ev) = pending.pop_front() {
+                ev
+            } else if b.rng.gen_bool(cold_draw.clamp(0.0, 1.0)) {
+                if b.rng.gen_bool(spec.fork_frac) {
+                    let (a, alt) = match (b.cold_code_run(), b.cold_code_run()) {
+                        (Event::ColdCode(a), Event::ColdCode(alt)) => (a, alt),
+                        _ => unreachable!("cold_code_run returns ColdCode"),
+                    };
+                    Event::ColdFork(a, alt)
+                } else {
+                    b.cold_code_run()
+                }
+            } else {
+                // A load-cluster slot: decide its flavour.
+                let u: f64 = b.rng.gen();
+                if u < q_spatial {
+                    let mut group = b.spatial_group();
+                    let first = group.remove(0);
+                    pending.extend(group);
+                    first
+                } else if u < q_spatial + q_stride {
+                    let mut group = b.stride_group();
+                    let first = group.remove(0);
+                    pending.extend(group);
+                    first
+                } else if u < q_spatial + q_stride + q_transient {
+                    let size = draw_cluster_size(&mut b.rng, &spec.cluster_size_weights);
+                    let pcs = (0..size).map(|_| b.next_site()).collect();
+                    Event::Transient { size, pcs }
+                } else if u < q_spatial + q_stride + q_transient + q_fork {
+                    // 2-4 alternative paths, one taken per execution.
+                    let n_alts = 2 + b.rng.gen_range(0..3);
+                    let alts = (0..n_alts)
+                        .map(|_| {
+                            let size = draw_cluster_size(&mut b.rng, &spec.cluster_size_weights);
+                            b.plain_cluster(size)
+                        })
+                        .collect();
+                    Event::Fork(alts)
+                } else {
+                    let size = draw_cluster_size(&mut b.rng, &spec.cluster_size_weights);
+                    Event::Cluster(b.plain_cluster(size))
+                }
+            };
+            segments.push(Segment { gap, event });
+        }
+
+        Template {
+            id,
+            segments,
+            hot_code_base,
+            hot_code_lines: HOT_WINDOW_CODE_LINES,
+            hot_data_base,
+            hot_data_lines: HOT_WINDOW_DATA_LINES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec { templates: 8, ..WorkloadSpec::database().scaled(1, 16) }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = small_spec();
+        let a = WorkloadProgram::build(&spec);
+        let b = WorkloadProgram::build(&spec);
+        assert_eq!(a.templates, b.templates);
+    }
+
+    #[test]
+    fn different_seed_tags_differ() {
+        let spec = small_spec();
+        let other = WorkloadSpec { seed_tag: spec.seed_tag ^ 0xffff, ..spec.clone() };
+        let a = WorkloadProgram::build(&spec);
+        let b = WorkloadProgram::build(&other);
+        assert_ne!(a.templates, b.templates);
+    }
+
+    #[test]
+    fn segment_counts_match_spec() {
+        let spec = small_spec();
+        let p = WorkloadProgram::build(&spec);
+        assert_eq!(p.templates.len(), spec.templates);
+        for t in &p.templates {
+            assert_eq!(t.segments.len(), spec.segments_per_template);
+        }
+    }
+
+    #[test]
+    fn gaps_are_long_or_deliberately_short() {
+        let p = WorkloadProgram::build(&small_spec());
+        let (mut long, mut short) = (0, 0);
+        for t in &p.templates {
+            for s in &t.segments {
+                if s.gap >= 150 {
+                    long += 1;
+                } else {
+                    assert!((60..=110).contains(&s.gap), "gap {} in dead zone", s.gap);
+                    short += 1;
+                }
+            }
+        }
+        assert!(long > 0 && short > 0, "both gap classes present: {long}/{short}");
+    }
+
+    #[test]
+    fn cluster_lines_live_in_data_pool() {
+        let spec = small_spec();
+        let p = WorkloadProgram::build(&spec);
+        let lo = layout::DATA_BASE;
+        let hi = layout::DATA_BASE + spec.data_pool_lines;
+        let check = |loads: &[ClusterLoad]| {
+            for l in loads {
+                assert!((lo..hi).contains(&l.line.index()), "line {:x} outside pool", l.line.index());
+            }
+        };
+        for t in &p.templates {
+            for s in &t.segments {
+                match &s.event {
+                    Event::Cluster(c) => check(c),
+                    Event::Fork(alts) => {
+                        for a in alts {
+                            check(a);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cold_runs_live_in_code_pool() {
+        let spec = small_spec();
+        let p = WorkloadProgram::build(&spec);
+        let lo = layout::COLD_CODE_BASE;
+        let hi = layout::COLD_CODE_BASE + spec.cold_code_pool_lines;
+        let mut cold_runs = 0;
+        for t in &p.templates {
+            for s in &t.segments {
+                if let Event::ColdCode(lines) = &s.event {
+                    cold_runs += 1;
+                    for l in lines {
+                        assert!((lo..hi).contains(&l.index()));
+                    }
+                    // Runs are sequential.
+                    for w in lines.windows(2) {
+                        assert_eq!(w[1].delta_from(w[0]), 1);
+                    }
+                }
+            }
+        }
+        assert!(cold_runs > 0, "database preset must contain cold code");
+    }
+
+    #[test]
+    fn load_site_pcs_inside_hot_window() {
+        let p = WorkloadProgram::build(&small_spec());
+        for t in &p.templates {
+            let lo = t.hot_code_base.index();
+            let hi = lo + t.hot_code_lines;
+            for s in &t.segments {
+                let check = |loads: &[ClusterLoad]| {
+                    for l in loads {
+                        let line = l.pc.line().index();
+                        assert!((lo..hi).contains(&line), "site pc outside hot window");
+                    }
+                };
+                match &s.event {
+                    Event::Cluster(c) => check(c),
+                    Event::Fork(alts) => {
+                        for a in alts {
+                            check(a);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_record_len() {
+        let c = Event::Cluster(vec![ClusterLoad {
+            pc: Pc::new(0),
+            line: LineAddr::from_index(0),
+            feeds_mispredict: false,
+        }]);
+        assert_eq!(c.record_len(0), 2);
+        let cc = Event::ColdCode(vec![LineAddr::from_index(0), LineAddr::from_index(1)]);
+        assert_eq!(cc.record_len(0), 32);
+    }
+
+    #[test]
+    fn mixture_contains_all_flavours() {
+        let spec = WorkloadSpec { templates: 32, ..WorkloadSpec::database().scaled(1, 8) };
+        let p = WorkloadProgram::build(&spec);
+        let (mut clusters, mut forks, mut transients, mut cold) = (0, 0, 0, 0);
+        for t in &p.templates {
+            for s in &t.segments {
+                match &s.event {
+                    Event::Cluster(_) => clusters += 1,
+                    Event::Fork(_) => forks += 1,
+                    Event::Transient { .. } => transients += 1,
+                    Event::ColdCode(_) | Event::ColdFork(..) => cold += 1,
+                }
+            }
+        }
+        assert!(clusters > 0 && forks > 0 && transients > 0 && cold > 0,
+            "clusters={clusters} forks={forks} transients={transients} cold={cold}");
+    }
+}

@@ -1,0 +1,267 @@
+//! Strongly typed physical addresses.
+//!
+//! The simulated machine uses 64-byte cache lines everywhere (L1, L2 and
+//! the unit of memory transfer), matching the default processor
+//! configuration in §4.4 of the paper. [`LINE_BYTES`]/[`LINE_SHIFT`] are
+//! compile-time constants: the paper never varies the line size and fixing
+//! it lets [`LineAddr`] be a plain newtype with cheap arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Cache-line size in bytes (64 B, §4.4 of the paper).
+pub const LINE_BYTES: u64 = 64;
+
+/// `log2(LINE_BYTES)`.
+pub const LINE_SHIFT: u32 = 6;
+
+/// A physical byte address.
+///
+/// The on-chip prefetcher control operates on physical addresses
+/// (§3.4.1), so the whole reproduction does too — there is no address
+/// translation anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_types::Addr;
+/// let a = Addr::new(0x80);
+/// assert_eq!(a.get(), 0x80);
+/// assert_eq!(a.line().index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    pub const fn new(a: u64) -> Self {
+        Addr(a)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line containing this byte.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset within the containing cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(a: u64) -> Self {
+        Addr(a)
+    }
+}
+
+/// A cache-line address: a byte address divided by [`LINE_BYTES`].
+///
+/// This is the currency of the entire memory system — caches, MSHRs, the
+/// prefetch buffer, prefetch requests and correlation-table contents all
+/// deal in whole lines. Keeping it distinct from [`Addr`] prevents the
+/// classic off-by-`LINE_SHIFT` bug.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_types::{Addr, LineAddr};
+/// let l = LineAddr::containing(Addr::new(0x1234));
+/// assert_eq!(l.base().get(), 0x1200);
+/// assert_eq!(l.next().index(), l.index() + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line *index* (byte address >> 6).
+    pub const fn from_index(idx: u64) -> Self {
+        LineAddr(idx)
+    }
+
+    /// Returns the line containing byte address `a`.
+    pub const fn containing(a: Addr) -> Self {
+        a.line()
+    }
+
+    /// The line index (byte address of the line divided by the line size).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of the line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The immediately following line.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        LineAddr(self.0.wrapping_add(1))
+    }
+
+    /// The line `delta` lines away (`delta` may be negative).
+    #[must_use]
+    pub const fn offset(self, delta: i64) -> Self {
+        LineAddr(self.0.wrapping_add(delta as u64))
+    }
+
+    /// Signed distance in lines from `other` to `self`.
+    pub const fn delta_from(self, other: LineAddr) -> i64 {
+        self.0.wrapping_sub(other.0) as i64
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(a: Addr) -> Self {
+        a.line()
+    }
+}
+
+/// A program counter (instruction byte address).
+///
+/// Instruction misses index the correlation table by their *physical PC*
+/// (§3.4.3), and PC-indexed prefetchers (GHB PC/DC, SMS) key their tables
+/// on it.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_types::Pc;
+/// let pc = Pc::new(0x4000_0000);
+/// assert_eq!(pc.advance(4).get(), 0x4000_0004);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a program counter.
+    pub const fn new(pc: u64) -> Self {
+        Pc(pc)
+    }
+
+    /// Returns the raw value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the PC advanced by `bytes`.
+    #[must_use]
+    pub const fn advance(self, bytes: u64) -> Self {
+        Pc(self.0.wrapping_add(bytes))
+    }
+
+    /// The instruction-cache line containing this PC.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Views the PC as a plain byte address.
+    pub const fn as_addr(self) -> Addr {
+        Addr(self.0)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(pc: u64) -> Self {
+        Pc(pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_byte_address() {
+        assert_eq!(Addr::new(0).line(), LineAddr::from_index(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::from_index(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::from_index(1));
+        assert_eq!(Addr::new(0x1FFF).line(), LineAddr::from_index(0x7F));
+    }
+
+    #[test]
+    fn line_base_round_trips() {
+        let l = LineAddr::from_index(42);
+        assert_eq!(l.base().line(), l);
+        assert_eq!(l.base().line_offset(), 0);
+    }
+
+    #[test]
+    fn line_offsets_and_deltas() {
+        let l = LineAddr::from_index(100);
+        assert_eq!(l.offset(5).index(), 105);
+        assert_eq!(l.offset(-5).index(), 95);
+        assert_eq!(l.offset(5).delta_from(l), 5);
+        assert_eq!(l.offset(-7).delta_from(l), -7);
+    }
+
+    #[test]
+    fn addr_line_offset() {
+        assert_eq!(Addr::new(0x43).line_offset(), 3);
+        assert_eq!(Addr::new(0x40).line_offset(), 0);
+    }
+
+    #[test]
+    fn pc_advance_and_line() {
+        let pc = Pc::new(0x1000);
+        assert_eq!(pc.advance(4).get(), 0x1004);
+        assert_eq!(pc.line(), LineAddr::from_index(0x40));
+        assert_eq!(pc.as_addr(), Addr::new(0x1000));
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert!(!format!("{}", Addr::new(0)).is_empty());
+        assert!(!format!("{}", LineAddr::from_index(0)).is_empty());
+        assert!(!format!("{}", Pc::new(0)).is_empty());
+    }
+
+    #[test]
+    fn next_line_is_adjacent() {
+        let l = LineAddr::from_index(7);
+        assert_eq!(l.next().delta_from(l), 1);
+    }
+}

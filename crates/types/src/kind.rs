@@ -1,0 +1,174 @@
+//! Access kinds and memory-traffic priority classes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What a memory access *is*, from the core's point of view.
+///
+/// The distinction matters throughout the paper: the prefetcher trains on
+/// instruction and load misses only (stores are excluded under weak
+/// consistency, §3.4.2), several baseline prefetchers cannot see
+/// instruction misses at all, and Table 1 / Figure 5 report instruction
+/// and load miss rates separately.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_types::AccessKind;
+/// assert!(AccessKind::Load.trains_prefetcher());
+/// assert!(AccessKind::InstrFetch.trains_prefetcher());
+/// assert!(!AccessKind::Store.trains_prefetcher());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An instruction fetch.
+    InstrFetch,
+    /// A data load.
+    Load,
+    /// A data store (write-allocate; never recorded by the prefetcher).
+    Store,
+}
+
+impl AccessKind {
+    /// Whether misses of this kind are recorded in the EMAB and may
+    /// trigger correlation-table lookups (§3.4.2: instruction and load
+    /// misses only).
+    pub const fn trains_prefetcher(self) -> bool {
+        matches!(self, AccessKind::InstrFetch | AccessKind::Load)
+    }
+
+    /// Whether this is a data access (load or store).
+    pub const fn is_data(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::InstrFetch => "ifetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Priority class of a main-memory request.
+///
+/// §3.4.4 and §4.4: demand accesses always win; prefetches and
+/// correlation-table traffic are only serviced with spare bandwidth and
+/// must never delay a demand access. The bus model in `ebcp-mem` enforces
+/// exactly this ordering.
+///
+/// `Demand < Prefetch < TableRead < TableWrite` in *priority-number*
+/// terms — smaller discriminant = more urgent. [`MemClass::is_demand`]
+/// is the only distinction the timing model needs; the finer classes
+/// exist for bandwidth accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemClass {
+    /// A demand miss (instruction fetch, load, or store write-allocate).
+    Demand,
+    /// A prefetch issued by any prefetcher.
+    Prefetch,
+    /// A correlation-table read (EBCP / Solihin main-memory tables).
+    TableRead,
+    /// A correlation-table write (learning updates, LRU updates).
+    TableWrite,
+    /// A dirty-line writeback from the L2.
+    Writeback,
+}
+
+impl MemClass {
+    /// Whether this request belongs to the demand class (never delayed by
+    /// lower-priority traffic, never dropped).
+    pub const fn is_demand(self) -> bool {
+        matches!(self, MemClass::Demand)
+    }
+
+    /// Whether this request travels on the read bus (`true`) or the write
+    /// bus (`false`).
+    ///
+    /// Table reads return a 64 B entry over the read bus; table writes and
+    /// writebacks use the write bus, as do store data transfers.
+    pub const fn uses_read_bus(self) -> bool {
+        matches!(self, MemClass::Demand | MemClass::Prefetch | MemClass::TableRead)
+    }
+
+    /// All classes, for stats iteration.
+    pub const ALL: [MemClass; 5] = [
+        MemClass::Demand,
+        MemClass::Prefetch,
+        MemClass::TableRead,
+        MemClass::TableWrite,
+        MemClass::Writeback,
+    ];
+}
+
+impl fmt::Display for MemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemClass::Demand => "demand",
+            MemClass::Prefetch => "prefetch",
+            MemClass::TableRead => "table-read",
+            MemClass::TableWrite => "table-write",
+            MemClass::Writeback => "writeback",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_kinds_match_paper() {
+        assert!(AccessKind::InstrFetch.trains_prefetcher());
+        assert!(AccessKind::Load.trains_prefetcher());
+        assert!(!AccessKind::Store.trains_prefetcher());
+    }
+
+    #[test]
+    fn data_kinds() {
+        assert!(!AccessKind::InstrFetch.is_data());
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+    }
+
+    #[test]
+    fn demand_class_priority() {
+        assert!(MemClass::Demand.is_demand());
+        for c in [MemClass::Prefetch, MemClass::TableRead, MemClass::TableWrite, MemClass::Writeback] {
+            assert!(!c.is_demand());
+            assert!(MemClass::Demand < c, "demand must sort first");
+        }
+    }
+
+    #[test]
+    fn bus_selection() {
+        assert!(MemClass::Demand.uses_read_bus());
+        assert!(MemClass::Prefetch.uses_read_bus());
+        assert!(MemClass::TableRead.uses_read_bus());
+        assert!(!MemClass::TableWrite.uses_read_bus());
+        assert!(!MemClass::Writeback.uses_read_bus());
+    }
+
+    #[test]
+    fn all_classes_enumerated_once() {
+        let mut seen = std::collections::HashSet::new();
+        for c in MemClass::ALL {
+            assert!(seen.insert(c));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn displays_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for c in MemClass::ALL {
+            assert!(seen.insert(c.to_string()));
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! A small statistics toolkit: counters, ratios, and log-2 histograms.
+//!
+//! Every component of the simulator exposes counters built from these
+//! primitives; the harness in `ebcp-bench` turns them into the paper's
+//! tables and figures.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_types::stats::Counter;
+/// let mut hits = Counter::new();
+/// hits.incr();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// This counter per 1000 units of `denom` (e.g. misses per 1000
+    /// retired instructions, the unit of Table 1).
+    pub fn per_kilo(self, denom: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            self.0 as f64 * 1000.0 / denom as f64
+        }
+    }
+
+    /// This counter as a fraction of `denom` (0.0 when `denom` is zero).
+    pub fn frac_of(self, denom: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.0
+    }
+}
+
+/// A numerator/denominator pair that formats as a percentage.
+///
+/// Used for coverage and accuracy (Figure 5): coverage = averted misses /
+/// baseline misses, accuracy = useful prefetches / issued prefetches.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_types::stats::Ratio;
+/// let r = Ratio::new(1, 4);
+/// assert_eq!(r.value(), 0.25);
+/// assert_eq!(r.to_string(), "25.0%");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates a ratio.
+    pub const fn new(num: u64, den: u64) -> Self {
+        Ratio { num, den }
+    }
+
+    /// Numerator.
+    pub const fn num(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator.
+    pub const fn den(self) -> u64 {
+        self.den
+    }
+
+    /// The ratio as a float, 0.0 when the denominator is zero.
+    pub fn value(self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.value() * 100.0)
+    }
+}
+
+/// A power-of-two bucketed histogram for distributions like
+/// misses-per-epoch or queueing delay.
+///
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)` for `i >= 1`; bucket 0
+/// holds exact zeros... more precisely, a sample `v` lands in bucket
+/// `ceil(log2(v + 1))` capped at the last bucket.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_types::stats::Histogram;
+/// let mut h = Histogram::new(8);
+/// h.record(0);
+/// h.record(1);
+/// h.record(3);
+/// assert_eq!(h.samples(), 3);
+/// assert_eq!(h.bucket_count(0), 1); // the zero
+/// assert_eq!(h.bucket_count(1), 1); // the one
+/// assert_eq!(h.bucket_count(2), 1); // 2..=3
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    samples: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` power-of-two buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram { buckets: vec![0; buckets], samples: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::bucket_of(v).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.samples += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        match v {
+            0 => 0,
+            _ => (64 - (v).leading_zeros()) as usize,
+        }
+    }
+
+    /// Number of recorded samples.
+    pub const fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean of all recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `i` (0 when out of range).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(16)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hist(n={}, mean={:.2}, max={})", self.samples, self.mean(), self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(u64::from(c), 10);
+    }
+
+    #[test]
+    fn counter_per_kilo_and_frac() {
+        let mut c = Counter::new();
+        c.add(5);
+        assert_eq!(c.per_kilo(1000), 5.0);
+        assert_eq!(c.per_kilo(0), 0.0);
+        assert_eq!(c.frac_of(10), 0.5);
+        assert_eq!(c.frac_of(0), 0.0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(Ratio::new(3, 0).value(), 0.0);
+        assert_eq!(Ratio::new(3, 4).value(), 0.75);
+    }
+
+    #[test]
+    fn ratio_display_is_percent() {
+        assert_eq!(Ratio::new(1, 2).to_string(), "50.0%");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::new(8);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 1); // 0
+        assert_eq!(h.bucket_count(1), 1); // 1
+        assert_eq!(h.bucket_count(2), 2); // 2,3
+        assert_eq!(h.bucket_count(3), 2); // 4,7
+        assert_eq!(h.bucket_count(4), 1); // 8
+        assert_eq!(h.bucket_count(7), 1); // 1000 capped to last bucket
+        assert_eq!(h.samples(), 8);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_zero_buckets() {
+        let _ = Histogram::new(0);
+    }
+
+    #[test]
+    fn histogram_default_is_usable() {
+        let mut h = Histogram::default();
+        h.record(5);
+        assert_eq!(h.samples(), 1);
+        assert!(!h.to_string().is_empty());
+    }
+}

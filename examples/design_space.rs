@@ -1,0 +1,84 @@
+//! Design-space walk: reproduce the §5.2 exploration on one workload —
+//! prefetch degree, correlation-table size, prefetch-buffer size and
+//! memory bandwidth.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use ebcp::core::EbcpConfig;
+use ebcp::sim::{PrefetcherSpec, RunSpec, SimConfig};
+use ebcp::trace::WorkloadSpec;
+
+fn spec_for(sim: SimConfig, den: usize) -> RunSpec {
+    let workload = WorkloadSpec::specjbb2005().scaled(1, den);
+    let interval = workload.recurrence_interval();
+    RunSpec { workload, seed: 11, warmup_insts: interval * 7 / 2, measure_insts: interval, sim }
+}
+
+fn main() {
+    let den = 8usize;
+    let table_1m = (1u64 << 20) / den as u64;
+    let table_8m = (8u64 << 20) / den as u64;
+
+    // -- Figure 4: prefetch degree (idealized table, big buffer) --------
+    let spec = spec_for(SimConfig::scaled_down(den as u64).with_pbuf_entries(1024), den);
+    let trace = spec.materialize();
+    let base = spec.run_on(&trace, &PrefetcherSpec::None);
+    println!("SPECjbb2005, baseline CPI {:.3}\n", base.cpi());
+    println!("prefetch degree sweep (8M-entry table, 1024-entry buffer):");
+    for degree in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = EbcpConfig::idealized().with_table_entries(table_8m).with_degree(degree);
+        let r = spec.run_on(&trace, &PrefetcherSpec::Ebcp(cfg));
+        println!(
+            "  degree {:>2}: +{:>5.1}%  (coverage {:>4.1}%, accuracy {:>4.1}%)",
+            degree,
+            r.improvement_over(&base) * 100.0,
+            r.coverage() * 100.0,
+            r.accuracy() * 100.0
+        );
+    }
+
+    // -- Figure 6: table size at degree 8 -------------------------------
+    println!("\ncorrelation-table size sweep (degree 8):");
+    for entries in [table_8m, table_8m / 8, table_1m / 4, table_1m / 16] {
+        let cfg = EbcpConfig::idealized().with_degree(8).with_table_entries(entries);
+        let r = spec.run_on(&trace, &PrefetcherSpec::Ebcp(cfg));
+        println!(
+            "  {:>8} entries ({:>4} MB in memory): +{:>5.1}%",
+            entries,
+            entries * 64 / (1 << 20),
+            r.improvement_over(&base) * 100.0
+        );
+    }
+
+    // -- Figure 7: prefetch-buffer size at the tuned configuration ------
+    println!("\nprefetch-buffer sweep (tuned: degree 8, 1M-entry table):");
+    for buf in [1024usize, 256, 64, 16] {
+        let spec_b = spec_for(
+            SimConfig::scaled_down(den as u64).with_pbuf_entries(buf),
+            den,
+        );
+        let cfg = EbcpConfig::tuned().with_table_entries(table_1m);
+        let r = spec_b.run_on(&trace, &PrefetcherSpec::Ebcp(cfg));
+        println!("  {:>5} entries ({:>5} B): +{:>5.1}%", buf, buf * 8, r.improvement_over(&base) * 100.0);
+    }
+
+    // -- Figure 8: bandwidth sensitivity at degree 32 --------------------
+    println!("\nmemory-bandwidth sensitivity (degree 32):");
+    for (num, den_bw, label) in [(1u64, 3u64, "3.2/1.6"), (2, 3, "6.4/3.2"), (1, 1, "9.6/4.8")] {
+        let sim = SimConfig::scaled_down(den as u64)
+            .with_bandwidth(num, den_bw)
+            .with_pbuf_entries(1024);
+        let spec_bw = spec_for(sim, den);
+        let base_bw = spec_bw.run_on(&trace, &PrefetcherSpec::None);
+        let cfg = EbcpConfig::idealized().with_table_entries(table_8m);
+        let r = spec_bw.run_on(&trace, &PrefetcherSpec::Ebcp(cfg));
+        println!(
+            "  {:>7} GB/s: +{:>5.1}%  ({} prefetches dropped)",
+            label,
+            r.improvement_over(&base_bw) * 100.0,
+            r.pf_dropped_bus + r.pf_dropped_mshr
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Trace tooling: generate a synthetic commercial workload, inspect its
+//! statistics, and round-trip it through the binary trace format.
+//!
+//! ```text
+//! cargo run --release --example trace_tools
+//! ```
+
+use std::io::Cursor;
+
+use ebcp::trace::{read_trace, write_trace, TraceGenerator, TraceStats, WorkloadSpec};
+
+fn main() {
+    for spec in WorkloadSpec::all_presets() {
+        let spec = spec.scaled(1, 16);
+        let trace: Vec<_> = TraceGenerator::new(&spec, 42).take(200_000).collect();
+        let stats = TraceStats::analyze(&trace);
+        println!("== {} (1/16 scale, 200k records)", spec.name);
+        println!("{stats}");
+        println!(
+            "mean cluster size {:.2} loads/epoch, recurrence interval ~{}k insts\n",
+            spec.mean_cluster_size(),
+            spec.recurrence_interval() / 1000
+        );
+    }
+
+    // Binary round-trip.
+    let spec = WorkloadSpec::database().scaled(1, 32);
+    let trace: Vec<_> = TraceGenerator::new(&spec, 1).take(50_000).collect();
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &trace).expect("write");
+    let back = read_trace(Cursor::new(&bytes)).expect("read");
+    assert_eq!(trace, back);
+    println!(
+        "binary trace round-trip: {} records -> {} bytes ({:.1} B/record)",
+        trace.len(),
+        bytes.len(),
+        bytes.len() as f64 / trace.len() as f64
+    );
+}
