@@ -59,8 +59,9 @@ fn bench_correlation_table(c: &mut Criterion) {
             for _ in 0..1_000 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let key = LineAddr::from_index((x >> 50) + 0x1000);
-                let addrs: Vec<LineAddr> =
-                    (0..4).map(|k| LineAddr::from_index((x >> 40) + k)).collect();
+                let addrs: Vec<LineAddr> = (0..4)
+                    .map(|k| LineAddr::from_index((x >> 40) + k))
+                    .collect();
                 t.learn(key, &addrs);
                 let _ = t.lookup(key);
             }

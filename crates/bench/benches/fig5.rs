@@ -29,7 +29,11 @@ fn bench(c: &mut Criterion) {
             );
         }
         g.bench_function(&name, |b| {
-            b.iter(|| prepared.run(&PrefetcherSpec::Ebcp(idealized.with_degree(8))).coverage())
+            b.iter(|| {
+                prepared
+                    .run(&PrefetcherSpec::Ebcp(idealized.with_degree(8)))
+                    .coverage()
+            })
         });
     }
     g.finish();

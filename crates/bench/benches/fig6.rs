@@ -29,7 +29,11 @@ fn bench(c: &mut Criterion) {
             .with_degree(8)
             .with_table_entries(common::entries(1 << 20));
         g.bench_function(&name, |b| {
-            b.iter(|| prepared.run(&PrefetcherSpec::Ebcp(tuned_size)).improvement_over(&base))
+            b.iter(|| {
+                prepared
+                    .run(&PrefetcherSpec::Ebcp(tuned_size))
+                    .improvement_over(&base)
+            })
         });
     }
     g.finish();

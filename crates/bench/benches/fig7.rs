@@ -27,7 +27,11 @@ fn bench(c: &mut Criterion) {
         }
         println!();
         g.bench_function(&name, |b| {
-            b.iter(|| prepared.run(&PrefetcherSpec::Ebcp(tuned)).improvement_over(&base))
+            b.iter(|| {
+                prepared
+                    .run(&PrefetcherSpec::Ebcp(tuned))
+                    .improvement_over(&base)
+            })
         });
     }
     g.finish();

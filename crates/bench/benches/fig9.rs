@@ -28,7 +28,10 @@ fn bench(c: &mut Criterion) {
             ),
             PrefetcherSpec::baseline(
                 "solihin-6,1",
-                BaselineConfig::Solihin(SolihinConfig { entries, ..SolihinConfig::deep() }),
+                BaselineConfig::Solihin(SolihinConfig {
+                    entries,
+                    ..SolihinConfig::deep()
+                }),
             ),
             PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(entries)),
             PrefetcherSpec::Ebcp(EbcpConfig::comparison_minus().with_table_entries(entries)),

@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
             r.inst_mr(),
             r.load_mr()
         );
-        g.bench_function(&name, |b| b.iter(|| prepared.run(&PrefetcherSpec::None).cpi()));
+        g.bench_function(&name, |b| {
+            b.iter(|| prepared.run(&PrefetcherSpec::None).cpi())
+        });
     }
     g.finish();
 }

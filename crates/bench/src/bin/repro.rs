@@ -1,17 +1,26 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all> [--scale quick|standard|full] [--csv]
+//! repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all>
+//!       [--scale quick|standard|full] [--csv] [--jobs N]
+//!       [--out-dir DIR] [--json] [--no-cache]
 //! ```
+//!
+//! All simulations flow through one `Harness`: shared baselines run once
+//! across figures, results are cached under `<out-dir>/jobs/` so re-runs
+//! are incremental, and a consolidated `<out-dir>/results.json` is
+//! written at the end. Tables go to stdout (byte-identical for any
+//! `--jobs` count); progress and timing go to stderr.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use ebcp_bench::{experiments, report, Scale};
+use ebcp_bench::{experiments, report, Harness, HarnessConfig, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all> \
-         [--scale quick|standard|full] [--csv]"
+         [--scale quick|standard|full] [--csv] [--jobs N] [--out-dir DIR] [--json] [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -21,6 +30,10 @@ fn main() {
     let mut what: Option<String> = None;
     let mut scale = Scale::standard();
     let mut csv = false;
+    let mut jobs = 0usize; // 0 = available_parallelism
+    let mut out_dir = PathBuf::from("target/ebcp-results");
+    let mut json = false;
+    let mut no_cache = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -29,105 +42,125 @@ fn main() {
                 scale = Scale::parse(v).unwrap_or_else(|| usage());
             }
             "--csv" => csv = true,
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out-dir" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                out_dir = PathBuf::from(v);
+            }
+            "--json" => json = true,
+            "--no-cache" => no_cache = true,
             s if what.is_none() && !s.starts_with('-') => what = Some(s.to_owned()),
             _ => usage(),
         }
     }
     let what = what.unwrap_or_else(|| usage());
     let t0 = Instant::now();
+
+    // Cached results are keyed by job content (workload, scale, machine,
+    // prefetcher), so one jobs/ directory safely serves every scale.
+    let h = Harness::new(HarnessConfig {
+        jobs,
+        store_dir: if no_cache {
+            None
+        } else {
+            Some(out_dir.join("jobs"))
+        },
+        progress: true,
+        ..HarnessConfig::default()
+    });
     eprintln!(
-        "# scale 1/{} machine ({} KB L2), warm-up {} tenths / measure {} tenths of the recurrence interval",
+        "# scale 1/{} machine ({} KB L2), warm-up {} tenths / measure {} tenths of the recurrence interval; {} worker(s)",
         scale.den,
         (2 << 20) / scale.den / 1024,
         scale.warm_tenths,
         scale.measure_tenths,
+        h.workers(),
     );
+
+    // With --json the tables are suppressed; the consolidated document
+    // goes to stdout instead (and to <out-dir>/results.json either way).
+    let table = |text: String| {
+        if !json {
+            print!("{text}");
+        }
+    };
 
     let run_one = |name: &str| match name {
         "table1" => {
-            let rows = experiments::table1(scale);
-            print!("{}", report::render_table1(&rows));
+            let rows = experiments::table1(&h, scale);
+            table(report::render_table1(&rows));
         }
         "fig4" => {
-            let rows = experiments::fig4_5(scale);
+            let rows = experiments::fig4_5(&h, scale);
             if csv {
-                print!("{}", report::sweep_csv(&rows));
+                table(report::sweep_csv(&rows));
             } else {
-                print!(
-                    "{}",
-                    report::render_sweep_improvement(
-                        "Figure 4: improvement vs prefetch degree (idealized table)",
-                        "degree",
-                        &rows
-                    )
-                );
+                table(report::render_sweep_improvement(
+                    "Figure 4: improvement vs prefetch degree (idealized table)",
+                    "degree",
+                    &rows,
+                ));
             }
         }
         "fig5" => {
-            let rows = experiments::fig4_5(scale);
+            let rows = experiments::fig4_5(&h, scale);
             if csv {
-                print!("{}", report::sweep_csv(&rows));
+                table(report::sweep_csv(&rows));
             } else {
-                print!(
-                    "{}",
-                    report::render_sweep_details(
-                        "Figure 5: EPI reduction, residual miss rates, coverage and accuracy vs degree",
-                        "degree",
-                        &rows
-                    )
-                );
+                table(report::render_sweep_details(
+                    "Figure 5: EPI reduction, residual miss rates, coverage and accuracy vs degree",
+                    "degree",
+                    &rows,
+                ));
             }
         }
         "fig6" => {
-            let rows = experiments::fig6(scale);
+            let rows = experiments::fig6(&h, scale);
             if csv {
-                print!("{}", report::sweep_csv(&rows));
+                table(report::sweep_csv(&rows));
             } else {
-                print!(
-                    "{}",
-                    report::render_sweep_improvement(
-                        &format!(
-                            "Figure 6: improvement vs correlation-table entries \
-                             (multiply by {} for the paper-equivalent size)",
-                            scale.den
-                        ),
-                        "entries",
-                        &rows
-                    )
-                );
+                table(report::render_sweep_improvement(
+                    &format!(
+                        "Figure 6: improvement vs correlation-table entries \
+                         (multiply by {} for the paper-equivalent size)",
+                        scale.den
+                    ),
+                    "entries",
+                    &rows,
+                ));
             }
         }
         "fig7" => {
-            let rows = experiments::fig7(scale);
+            let rows = experiments::fig7(&h, scale);
             if csv {
-                print!("{}", report::sweep_csv(&rows));
+                table(report::sweep_csv(&rows));
             } else {
-                print!(
-                    "{}",
-                    report::render_sweep_improvement(
-                        "Figure 7: improvement vs prefetch-buffer entries \
-                         (64 = the tuned EBCP; paper: 23/13/31/26%)",
-                        "buffer",
-                        &rows
-                    )
-                );
+                table(report::render_sweep_improvement(
+                    "Figure 7: improvement vs prefetch-buffer entries \
+                     (64 = the tuned EBCP; paper: 23/13/31/26%)",
+                    "buffer",
+                    &rows,
+                ));
             }
         }
         "fig8" => {
-            let rows = experiments::fig8(scale);
-            print!("{}", report::render_fig8(&rows));
+            let rows = experiments::fig8(&h, scale);
+            table(report::render_fig8(&rows));
         }
         "fig9" => {
-            let rows = experiments::fig9(scale);
-            print!("{}", report::render_fig9(&rows));
+            let rows = experiments::fig9(&h, scale);
+            table(report::render_fig9(&rows));
         }
         "ablation" => {
-            let rows = experiments::ablation(scale);
-            print!("{}", report::render_ablation(&rows));
+            let rows = experiments::ablation(&h, scale);
+            table(report::render_ablation(&rows));
         }
         "cmp" => {
-            let rows = experiments::cmp_interleaving(scale, &[1, 2, 4]);
-            print!("{}", report::render_cmp(&rows));
+            let rows = experiments::cmp_interleaving(&h, scale, &[1, 2, 4]);
+            table(report::render_cmp(&rows));
         }
         other => {
             eprintln!("unknown experiment: {other}");
@@ -136,12 +169,31 @@ fn main() {
     };
 
     if what == "all" {
-        for name in ["table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "cmp"] {
+        for name in [
+            "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "cmp",
+        ] {
             run_one(name);
-            println!();
+            if !json {
+                println!();
+            }
         }
     } else {
         run_one(&what);
     }
+
+    let results_path = out_dir.join("results.json");
+    match h.write_results_json(&results_path) {
+        Ok(()) => {
+            if json {
+                print!(
+                    "{}",
+                    std::fs::read_to_string(&results_path).unwrap_or_default()
+                );
+            }
+            eprintln!("# results: {}", results_path.display());
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", results_path.display()),
+    }
+    eprintln!("# {}", h.summary().render());
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
 }

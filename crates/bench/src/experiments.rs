@@ -1,11 +1,20 @@
 //! One driver per table/figure of §5.
+//!
+//! Every driver describes its work as a batch of content-addressed
+//! [`Job`]s and submits it to a shared [`Harness`], which deduplicates,
+//! parallelizes and caches. Row order is fixed by submission order, so
+//! the rendered tables are identical for any `--jobs` count. Because the
+//! harness memoizes across batches, baselines shared between figures
+//! (e.g. the plain-machine no-prefetch run used by Table 1, Figure 7,
+//! Figure 9 and the ablations) simulate exactly once per `repro all`.
 
 use ebcp_core::EbcpConfig;
+use ebcp_harness::{Harness, Job};
 use ebcp_prefetch::{BaselineConfig, SolihinConfig};
 use ebcp_sim::{CmpEngine, PrefetcherSpec, SimResult};
 use ebcp_trace::{TraceGenerator, WorkloadSpec};
 
-use crate::scale::{Scale, TraceSource};
+use crate::scale::Scale;
 
 /// One row of Table 1 (baseline characterization).
 #[derive(Debug, Clone, PartialEq)]
@@ -42,22 +51,25 @@ fn paper_table1(workload: &str) -> [f64; 4] {
 
 /// **Table 1**: baseline (no prefetching) statistics for the four
 /// workloads.
-pub fn table1(scale: Scale) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
-    for w in scale.workloads() {
-        let spec = scale.run_spec(&w, scale.machine());
-        let src = TraceSource::prepare(&spec);
-        let r = src.run(&spec, &PrefetcherSpec::None);
-        rows.push(Table1Row {
+pub fn table1(h: &Harness, scale: Scale) -> Vec<Table1Row> {
+    let workloads = scale.workloads();
+    let jobs: Vec<Job> = workloads
+        .iter()
+        .map(|w| Job::new(scale.run_spec(w, scale.machine()), PrefetcherSpec::None))
+        .collect();
+    let results = h.run(&jobs);
+    workloads
+        .iter()
+        .zip(&results)
+        .map(|(w, r)| Table1Row {
             workload: w.name.clone(),
             cpi: r.cpi(),
             epi: r.epi_per_kilo(),
             inst_mr: r.inst_mr(),
             load_mr: r.load_mr(),
             paper: paper_table1(&w.name),
-        });
-    }
-    rows
+        })
+        .collect()
 }
 
 /// One point of a one-dimensional design-space sweep (Figures 4-7).
@@ -101,71 +113,111 @@ fn idealized_config(scale: Scale) -> EbcpConfig {
     EbcpConfig::idealized().with_table_entries(scale.entries(8 << 20))
 }
 
+/// A per-workload sweep: a shared baseline job followed by one job per
+/// `x` value, assembled into [`SweepPoint`]s against that baseline.
+/// `include_base_row` prepends the `x = 0` baseline row (Figures 4/5).
+fn run_sweep(
+    h: &Harness,
+    scale: Scale,
+    include_base_row: bool,
+    jobs_for: impl Fn(&WorkloadSpec) -> (Job, Vec<(u64, Job)>),
+) -> Vec<SweepPoint> {
+    let workloads = scale.workloads();
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut xs: Vec<Vec<u64>> = Vec::new();
+    for w in &workloads {
+        let (base, sweep) = jobs_for(w);
+        jobs.push(base);
+        xs.push(sweep.iter().map(|(x, _)| *x).collect());
+        jobs.extend(sweep.into_iter().map(|(_, j)| j));
+    }
+    let results = h.run(&jobs);
+    let mut rows = Vec::new();
+    let mut cursor = 0;
+    for (w, xvals) in workloads.iter().zip(&xs) {
+        let base = &results[cursor];
+        if include_base_row {
+            rows.push(sweep_point(&w.name, 0, base, base));
+        }
+        for (i, &x) in xvals.iter().enumerate() {
+            rows.push(sweep_point(&w.name, x, &results[cursor + 1 + i], base));
+        }
+        cursor += 1 + xvals.len();
+    }
+    rows
+}
+
 /// **Figures 4 and 5**: the prefetch-degree sweep on the idealized
 /// configuration. Figure 4 reads `improvement`; Figure 5 reads
 /// `epi_reduction`, the miss-rate split, `coverage` and `accuracy`.
-pub fn fig4_5(scale: Scale) -> Vec<SweepPoint> {
+pub fn fig4_5(h: &Harness, scale: Scale) -> Vec<SweepPoint> {
     let degrees = [1u64, 2, 4, 8, 16, 32];
-    let mut rows = Vec::new();
-    for w in scale.workloads() {
-        let sim = scale.machine().with_pbuf_entries(1024);
-        let spec = scale.run_spec(&w, sim);
-        let src = TraceSource::prepare(&spec);
-        let base = src.run(&spec, &PrefetcherSpec::None);
-        rows.push(sweep_point(&w.name, 0, &base, &base));
-        for &d in &degrees {
-            let cfg = idealized_config(scale).with_degree(d as usize);
-            let r = src.run(&spec, &PrefetcherSpec::Ebcp(cfg));
-            rows.push(sweep_point(&w.name, d, &r, &base));
-        }
-    }
-    rows
+    run_sweep(h, scale, true, |w| {
+        let spec = scale.run_spec(w, scale.machine().with_pbuf_entries(1024));
+        let base = Job::new(spec.clone(), PrefetcherSpec::None);
+        let sweep = degrees
+            .iter()
+            .map(|&d| {
+                let cfg = idealized_config(scale).with_degree(d as usize);
+                (d, Job::new(spec.clone(), PrefetcherSpec::Ebcp(cfg)))
+            })
+            .collect();
+        (base, sweep)
+    })
 }
 
 /// **Figure 6**: the correlation-table-size sweep at degree 8.
 /// `x` is the table entry count at the experiment scale; multiply by the
 /// scale denominator for the paper-equivalent size.
-pub fn fig6(scale: Scale) -> Vec<SweepPoint> {
-    let entry_sweep: Vec<u64> = [8 << 20, 4 << 20, 2 << 20, 1 << 20, 256 << 10, 64 << 10, 16 << 10]
-        .into_iter()
-        .map(|e| scale.entries(e))
-        .collect();
-    let mut rows = Vec::new();
-    for w in scale.workloads() {
-        let sim = scale.machine().with_pbuf_entries(1024);
-        let spec = scale.run_spec(&w, sim);
-        let src = TraceSource::prepare(&spec);
-        let base = src.run(&spec, &PrefetcherSpec::None);
-        for &entries in &entry_sweep {
-            let cfg = idealized_config(scale).with_degree(8).with_table_entries(entries);
-            let r = src.run(&spec, &PrefetcherSpec::Ebcp(cfg));
-            rows.push(sweep_point(&w.name, entries, &r, &base));
-        }
-    }
-    rows
+pub fn fig6(h: &Harness, scale: Scale) -> Vec<SweepPoint> {
+    let entry_sweep: Vec<u64> = [
+        8 << 20,
+        4 << 20,
+        2 << 20,
+        1 << 20,
+        256 << 10,
+        64 << 10,
+        16 << 10,
+    ]
+    .into_iter()
+    .map(|e| scale.entries(e))
+    .collect();
+    run_sweep(h, scale, false, |w| {
+        let spec = scale.run_spec(w, scale.machine().with_pbuf_entries(1024));
+        let base = Job::new(spec.clone(), PrefetcherSpec::None);
+        let sweep = entry_sweep
+            .iter()
+            .map(|&entries| {
+                let cfg = idealized_config(scale)
+                    .with_degree(8)
+                    .with_table_entries(entries);
+                (entries, Job::new(spec.clone(), PrefetcherSpec::Ebcp(cfg)))
+            })
+            .collect();
+        (base, sweep)
+    })
 }
 
 /// **Figure 7**: the prefetch-buffer-size sweep at degree 8 with the
 /// 1M-entry (scaled) table. The 64-entry point is the tuned EBCP
 /// (paper: +23 % database, +13 % TPC-W, +31 % SPECjbb2005,
 /// +26 % SPECjAppServer2004).
-pub fn fig7(scale: Scale) -> Vec<SweepPoint> {
+pub fn fig7(h: &Harness, scale: Scale) -> Vec<SweepPoint> {
     let buffers = [1024usize, 512, 256, 128, 64, 32, 16];
-    let mut rows = Vec::new();
-    for w in scale.workloads() {
-        // The baseline is independent of the buffer size.
-        let spec0 = scale.run_spec(&w, scale.machine());
-        let src = TraceSource::prepare(&spec0);
-        let base = src.run(&spec0, &PrefetcherSpec::None);
-        for &b in &buffers {
-            let sim = scale.machine().with_pbuf_entries(b);
-            let spec = scale.run_spec(&w, sim);
-            let cfg = EbcpConfig::tuned().with_table_entries(scale.entries(1 << 20));
-            let r = src.run(&spec, &PrefetcherSpec::Ebcp(cfg));
-            rows.push(sweep_point(&w.name, b as u64, &r, &base));
-        }
-    }
-    rows
+    run_sweep(h, scale, false, |w| {
+        // The baseline is independent of the buffer size — and identical
+        // to Table 1's job, so it is served from the harness memo.
+        let base = Job::new(scale.run_spec(w, scale.machine()), PrefetcherSpec::None);
+        let cfg = EbcpConfig::tuned().with_table_entries(scale.entries(1 << 20));
+        let sweep = buffers
+            .iter()
+            .map(|&b| {
+                let spec = scale.run_spec(w, scale.machine().with_pbuf_entries(b));
+                (b as u64, Job::new(spec, PrefetcherSpec::Ebcp(cfg)))
+            })
+            .collect();
+        (base, sweep)
+    })
 }
 
 /// One point of the Figure 8 bandwidth-sensitivity sweep.
@@ -185,27 +237,42 @@ pub struct BwPoint {
 
 /// **Figure 8**: prefetch-degree sweep at three memory bandwidths
 /// (read/write = 3.2/1.6, 6.4/3.2 and 9.6/4.8 GB/s).
-pub fn fig8(scale: Scale) -> Vec<BwPoint> {
+pub fn fig8(h: &Harness, scale: Scale) -> Vec<BwPoint> {
     let degrees = [1u64, 2, 4, 8, 16, 32];
     let bws: [(u64, u64, &'static str); 3] = [(1, 3, "3.2"), (2, 3, "6.4"), (1, 1, "9.6")];
-    let mut rows = Vec::new();
-    for w in scale.workloads() {
-        for (num, den, label) in bws {
-            let sim = scale.machine().with_bandwidth(num, den).with_pbuf_entries(1024);
-            let spec = scale.run_spec(&w, sim);
-            let src = TraceSource::prepare(&spec);
-            let base = src.run(&spec, &PrefetcherSpec::None);
+    let workloads = scale.workloads();
+    let mut jobs: Vec<Job> = Vec::new();
+    for w in &workloads {
+        for (num, den, _) in bws {
+            let sim = scale
+                .machine()
+                .with_bandwidth(num, den)
+                .with_pbuf_entries(1024);
+            let spec = scale.run_spec(w, sim);
+            jobs.push(Job::new(spec.clone(), PrefetcherSpec::None));
             for &d in &degrees {
                 let cfg = idealized_config(scale).with_degree(d as usize);
-                let r = src.run(&spec, &PrefetcherSpec::Ebcp(cfg));
+                jobs.push(Job::new(spec.clone(), PrefetcherSpec::Ebcp(cfg)));
+            }
+        }
+    }
+    let results = h.run(&jobs);
+    let mut rows = Vec::new();
+    let mut cursor = 0;
+    for w in &workloads {
+        for (_, _, label) in bws {
+            let base = &results[cursor];
+            for (i, &d) in degrees.iter().enumerate() {
+                let r = &results[cursor + 1 + i];
                 rows.push(BwPoint {
                     workload: w.name.clone(),
                     bandwidth: label,
                     degree: d,
-                    improvement: r.improvement_over(&base),
+                    improvement: r.improvement_over(base),
                     dropped: r.pf_dropped_bus + r.pf_dropped_mshr,
                 });
             }
+            cursor += 1 + degrees.len();
         }
     }
     rows
@@ -245,12 +312,9 @@ pub fn fig9_paper(workload: &str, prefetcher: &str) -> Option<f64> {
 }
 
 /// **Figure 9**: every prefetcher at degree 6 with equal table budgets.
-pub fn fig9(scale: Scale) -> Vec<CmpPoint> {
-    let mut rows = Vec::new();
-    for w in scale.workloads() {
-        let spec = scale.run_spec(&w, scale.machine());
-        let src = TraceSource::prepare(&spec);
-        let base = src.run(&spec, &PrefetcherSpec::None);
+pub fn fig9(h: &Harness, scale: Scale) -> Vec<CmpPoint> {
+    let workloads = scale.workloads();
+    let roster: Vec<PrefetcherSpec> = {
         let mut pfs: Vec<PrefetcherSpec> = scale
             .figure9_roster()
             .into_iter()
@@ -262,17 +326,31 @@ pub fn fig9(scale: Scale) -> Vec<CmpPoint> {
         pfs.push(PrefetcherSpec::Ebcp(
             EbcpConfig::comparison_minus().with_table_entries(scale.entries(1 << 20)),
         ));
-        for pf in pfs {
-            let r = src.run(&spec, &pf);
+        pfs
+    };
+    let mut jobs: Vec<Job> = Vec::new();
+    for w in &workloads {
+        let spec = scale.run_spec(w, scale.machine());
+        jobs.push(Job::new(spec.clone(), PrefetcherSpec::None));
+        jobs.extend(roster.iter().map(|pf| Job::new(spec.clone(), pf.clone())));
+    }
+    let results = h.run(&jobs);
+    let mut rows = Vec::new();
+    let mut cursor = 0;
+    for w in &workloads {
+        let base = &results[cursor];
+        for (i, pf) in roster.iter().enumerate() {
+            let r = &results[cursor + 1 + i];
             rows.push(CmpPoint {
                 workload: w.name.clone(),
                 prefetcher: pf.name(),
-                improvement: r.improvement_over(&base),
+                improvement: r.improvement_over(base),
                 coverage: r.coverage(),
                 accuracy: r.accuracy(),
                 paper: fig9_paper(&w.name, &pf.name()),
             });
         }
+        cursor += 1 + roster.len();
     }
     rows
 }
@@ -294,34 +372,67 @@ pub struct AblationPoint {
 /// **Ablations**: the tuned EBCP with individual design choices
 /// disabled — the EMAB pairing (`minus`), the §3.4.3 LRU feedback
 /// (`no-promotion`), and buffer-hit triggering (`no-chaining`).
-pub fn ablation(scale: Scale) -> Vec<AblationPoint> {
+pub fn ablation(h: &Harness, scale: Scale) -> Vec<AblationPoint> {
     let entries = scale.entries(1 << 20);
     let tuned = EbcpConfig::tuned().with_table_entries(entries);
     let variants: Vec<(&'static str, EbcpConfig)> = vec![
         ("full", tuned),
-        ("minus (+1/+2 window)", EbcpConfig { variant: ebcp_core::EbcpVariant::Minus, ..tuned }),
-        ("no-promotion", EbcpConfig { promote_on_hit: false, ..tuned }),
-        ("no-chaining", EbcpConfig { chain_on_buffer_hit: false, ..tuned }),
-        ("no-promotion+chaining", EbcpConfig {
-            promote_on_hit: false,
-            chain_on_buffer_hit: false,
-            ..tuned
-        }),
+        (
+            "minus (+1/+2 window)",
+            EbcpConfig {
+                variant: ebcp_core::EbcpVariant::Minus,
+                ..tuned
+            },
+        ),
+        (
+            "no-promotion",
+            EbcpConfig {
+                promote_on_hit: false,
+                ..tuned
+            },
+        ),
+        (
+            "no-chaining",
+            EbcpConfig {
+                chain_on_buffer_hit: false,
+                ..tuned
+            },
+        ),
+        (
+            "no-promotion+chaining",
+            EbcpConfig {
+                promote_on_hit: false,
+                chain_on_buffer_hit: false,
+                ..tuned
+            },
+        ),
     ];
+    let workloads = scale.workloads();
+    let mut jobs: Vec<Job> = Vec::new();
+    for w in &workloads {
+        let spec = scale.run_spec(w, scale.machine());
+        jobs.push(Job::new(spec.clone(), PrefetcherSpec::None));
+        jobs.extend(
+            variants
+                .iter()
+                .map(|(_, cfg)| Job::new(spec.clone(), PrefetcherSpec::Ebcp(*cfg))),
+        );
+    }
+    let results = h.run(&jobs);
     let mut rows = Vec::new();
-    for w in scale.workloads() {
-        let spec = scale.run_spec(&w, scale.machine());
-        let src = TraceSource::prepare(&spec);
-        let base = src.run(&spec, &PrefetcherSpec::None);
-        for (label, cfg) in &variants {
-            let r = src.run(&spec, &PrefetcherSpec::Ebcp(*cfg));
+    let mut cursor = 0;
+    for w in &workloads {
+        let base = &results[cursor];
+        for (i, (label, _)) in variants.iter().enumerate() {
+            let r = &results[cursor + 1 + i];
             rows.push(AblationPoint {
                 workload: w.name.clone(),
                 variant: label,
-                improvement: r.improvement_over(&base),
+                improvement: r.improvement_over(base),
                 coverage: r.coverage(),
             });
         }
+        cursor += 1 + variants.len();
     }
     rows
 }
@@ -345,53 +456,94 @@ pub struct CmpPointRow {
 /// to and keeps per-core EMABs over one shared table; the memory-side
 /// Solihin engine sees only the interleaved stream at the controller,
 /// which scrambles its successor chains as core count grows.
-pub fn cmp_interleaving(scale: Scale, core_counts: &[usize]) -> Vec<CmpPointRow> {
-    // Each core gets a distinct transaction mix (distinct seed_tag) at
-    // a per-core share of the footprint.
+///
+/// Multi-core runs do not fit the single-core [`Job`] shape, so this
+/// driver parallelizes over `(core count, prefetcher)` pairs with
+/// [`Harness::map`] instead of the job queue (no dedup or caching; each
+/// pair is unique anyway).
+pub fn cmp_interleaving(h: &Harness, scale: Scale, core_counts: &[usize]) -> Vec<CmpPointRow> {
+    // Each core gets a distinct transaction mix (distinct seed_tag) in
+    // its own address space (distinct addr_space — truly disjoint
+    // lines, not just a different pattern over shared pools) at a
+    // per-core share of the footprint.
     let make_specs = |n: usize| -> Vec<WorkloadSpec> {
         (0..n)
             .map(|k| WorkloadSpec {
                 seed_tag: 0x0d00 + k as u64,
+                addr_space: 1 + k as u64,
                 ..WorkloadSpec::database().scaled(1, (scale.den as usize) * n)
             })
             .collect()
     };
-    let mut rows = Vec::new();
-    for &n in core_counts {
+    // Phase 1: generate each configuration's per-core traces in parallel.
+    struct CmpSetup {
+        n: usize,
+        warm: u64,
+        measure: u64,
+        traces: Vec<Vec<ebcp_trace::TraceRecord>>,
+    }
+    let setups: Vec<CmpSetup> = h.map(core_counts, |&n| {
         let specs = make_specs(n);
-        let interval = specs.iter().map(|w| w.recurrence_interval()).max().unwrap_or(1);
+        let interval = specs
+            .iter()
+            .map(|w| w.recurrence_interval())
+            .max()
+            .unwrap_or(1);
         let warm = interval * scale.warm_tenths / 10;
         let measure = interval * scale.measure_tenths / 10;
-        let traces: Vec<Vec<_>> = specs
+        let traces = specs
             .iter()
             .enumerate()
             .map(|(k, w)| {
-                TraceGenerator::new(w, scale.seed + k as u64).take((warm + measure) as usize).collect()
+                TraceGenerator::new(w, scale.seed + k as u64)
+                    .take((warm + measure) as usize)
+                    .collect()
             })
             .collect();
-        let sim = scale.machine();
-        let run = |pf: &PrefetcherSpec| {
-            let mut engine = CmpEngine::new(sim, n, pf.build());
-            engine.run(&traces, warm, measure, "database-mix")
-        };
-        let base = run(&PrefetcherSpec::None);
-        let entries = scale.entries(1 << 20);
-        let candidates = vec![
-            PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(entries)),
-            PrefetcherSpec::baseline(
-                "solihin-6,1",
-                BaselineConfig::Solihin(SolihinConfig { entries, ..SolihinConfig::deep() }),
-            ),
-        ];
-        for pf in candidates {
-            let r = run(&pf);
+        CmpSetup {
+            n,
+            warm,
+            measure,
+            traces,
+        }
+    });
+    // Phase 2: every (core count, prefetcher) engine run in parallel.
+    let entries = scale.entries(1 << 20);
+    let candidates = vec![
+        PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(entries)),
+        PrefetcherSpec::baseline(
+            "solihin-6,1",
+            BaselineConfig::Solihin(SolihinConfig {
+                entries,
+                ..SolihinConfig::deep()
+            }),
+        ),
+    ];
+    let mut tasks: Vec<(usize, PrefetcherSpec)> = Vec::new();
+    for (i, _) in setups.iter().enumerate() {
+        tasks.push((i, PrefetcherSpec::None));
+        tasks.extend(candidates.iter().map(|pf| (i, pf.clone())));
+    }
+    let sim = scale.machine();
+    let results = h.map(&tasks, |(i, pf)| {
+        let s = &setups[*i];
+        let mut engine = CmpEngine::new(sim, s.n, pf.build());
+        engine.run(&s.traces, s.warm, s.measure, "database-mix")
+    });
+    let mut rows = Vec::new();
+    let mut cursor = 0;
+    for s in &setups {
+        let base = &results[cursor];
+        for (i, pf) in candidates.iter().enumerate() {
+            let r = &results[cursor + 1 + i];
             rows.push(CmpPointRow {
                 prefetcher: pf.name(),
-                cores: n,
-                improvement: r.improvement_over(&base),
+                cores: s.n,
+                improvement: r.improvement_over(base),
                 coverage: r.coverage(),
             });
         }
+        cursor += 1 + candidates.len();
     }
     rows
 }
@@ -413,5 +565,28 @@ mod tests {
         let c = idealized_config(Scale::standard());
         assert_eq!(c.table_entries, (8 << 20) / 4);
         assert_eq!(c.degree, 32);
+    }
+
+    #[test]
+    fn shared_baselines_run_once_across_drivers() {
+        // Table 1, Figure 7, Figure 9 and the ablations all use the
+        // plain-machine no-prefetch baseline; one harness must simulate
+        // it once per workload, not once per figure.
+        let h = Harness::serial();
+        let scale = Scale {
+            den: 64,
+            warm_tenths: 2,
+            measure_tenths: 1,
+            seed: 11,
+        };
+        let _ = table1(&h, scale);
+        let after_table1 = h.summary().executed;
+        assert_eq!(after_table1, 4, "table1 = one baseline per workload");
+        let _ = ablation(&h, scale);
+        let s = h.summary();
+        // The ablation batch adds only its 5 variants x 4 workloads; its
+        // 4 baselines are memo hits from table1.
+        assert_eq!(s.executed, after_table1 + 5 * 4);
+        assert!(s.memo_hits >= 4);
     }
 }

@@ -23,8 +23,9 @@ pub mod experiments;
 pub mod report;
 pub mod scale;
 
+pub use ebcp_harness::{Harness, HarnessConfig, Job};
 pub use experiments::{
-    ablation, cmp_interleaving, fig4_5, fig6, fig7, fig8, fig9, table1, AblationPoint, BwPoint, CmpPoint,
-    SweepPoint, Table1Row, CmpPointRow,
+    ablation, cmp_interleaving, fig4_5, fig6, fig7, fig8, fig9, table1, AblationPoint, BwPoint,
+    CmpPoint, CmpPointRow, SweepPoint, Table1Row,
 };
 pub use scale::Scale;

@@ -11,7 +11,10 @@ fn pct(v: f64) -> String {
 /// Renders Table 1 with the paper's values beside the measured ones.
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Table 1: baseline processor without prefetching (measured | paper)");
+    let _ = writeln!(
+        s,
+        "Table 1: baseline processor without prefetching (measured | paper)"
+    );
     let _ = writeln!(
         s,
         "{:<22} {:>15} {:>15} {:>15} {:>15}",
@@ -21,7 +24,14 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
         let _ = writeln!(
             s,
             "{:<22} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2}",
-            r.workload, r.cpi, r.paper[0], r.epi, r.paper[1], r.inst_mr, r.paper[2], r.load_mr,
+            r.workload,
+            r.cpi,
+            r.paper[0],
+            r.epi,
+            r.paper[1],
+            r.inst_mr,
+            r.paper[2],
+            r.load_mr,
             r.paper[3]
         );
     }
@@ -108,8 +118,9 @@ pub fn render_fig8(rows: &[BwPoint]) -> String {
         let _ = write!(s, "{:<32}", format!("{w} @ {bw}"));
         let mut dropped = 0;
         for d in &degrees {
-            if let Some(r) =
-                rows.iter().find(|r| r.workload == w && r.bandwidth == bw && r.degree == *d)
+            if let Some(r) = rows
+                .iter()
+                .find(|r| r.workload == w && r.bandwidth == bw && r.degree == *d)
             {
                 let _ = write!(s, " {:>9}", pct(r.improvement));
                 dropped = dropped.max(r.dropped);
@@ -123,7 +134,10 @@ pub fn render_fig8(rows: &[BwPoint]) -> String {
 /// Renders the Figure 9 comparison, with the paper's quoted numbers.
 pub fn render_fig9(rows: &[CmpPoint]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 9: prefetcher comparison (improvement over no prefetching)");
+    let _ = writeln!(
+        s,
+        "Figure 9: prefetcher comparison (improvement over no prefetching)"
+    );
     let _ = writeln!(
         s,
         "{:<22} {:<13} {:>9} {:>8} {:>8} {:>9}",
@@ -148,8 +162,15 @@ pub fn render_fig9(rows: &[CmpPoint]) -> String {
 /// Renders the ablation study.
 pub fn render_ablation(rows: &[AblationPoint]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Ablations: tuned EBCP with individual design choices disabled");
-    let _ = writeln!(s, "{:<22} {:<24} {:>9} {:>8}", "workload", "variant", "improve", "cover");
+    let _ = writeln!(
+        s,
+        "Ablations: tuned EBCP with individual design choices disabled"
+    );
+    let _ = writeln!(
+        s,
+        "{:<22} {:<24} {:>9} {:>8}",
+        "workload", "variant", "improve", "cover"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -170,7 +191,11 @@ pub fn render_cmp(rows: &[CmpPointRow]) -> String {
         s,
         "CMP interleaving (§3.3.1 / §6): disjoint database mixes over a shared L2"
     );
-    let _ = writeln!(s, "{:<14} {:>6} {:>9} {:>8}", "prefetcher", "cores", "improve", "cover");
+    let _ = writeln!(
+        s,
+        "{:<14} {:>6} {:>9} {:>8}",
+        "prefetcher", "cores", "improve", "cover"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -186,12 +211,19 @@ pub fn render_cmp(rows: &[CmpPointRow]) -> String {
 
 /// CSV dump of a sweep for plotting.
 pub fn sweep_csv(rows: &[SweepPoint]) -> String {
-    let mut s = String::from("workload,x,improvement,epi_reduction,coverage,accuracy,inst_mr,load_mr\n");
+    let mut s =
+        String::from("workload,x,improvement,epi_reduction,coverage,accuracy,inst_mr,load_mr\n");
     for r in rows {
         let _ = writeln!(
             s,
             "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
-            r.workload, r.x, r.improvement, r.epi_reduction, r.coverage, r.accuracy, r.inst_mr,
+            r.workload,
+            r.x,
+            r.improvement,
+            r.epi_reduction,
+            r.coverage,
+            r.accuracy,
+            r.inst_mr,
             r.load_mr
         );
     }

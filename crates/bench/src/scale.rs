@@ -1,11 +1,12 @@
 //! Experiment scaling.
 
-use std::sync::Arc;
-
 use ebcp_prefetch::{BaselineConfig, GhbConfig, SmsConfig, SolihinConfig, StreamConfig, TcpConfig};
-use ebcp_sim::{PrefetcherSpec, RunSpec, SimConfig};
-use ebcp_trace::template::WorkloadProgram;
-use ebcp_trace::{TraceRecord, WorkloadSpec};
+use ebcp_sim::{RunSpec, SimConfig};
+use ebcp_trace::WorkloadSpec;
+
+// Trace delivery lives in the harness now (budgeted materialize-vs-
+// stream); re-exported here for source compatibility.
+pub use ebcp_harness::TraceSource;
 
 /// How large an experiment to run.
 ///
@@ -28,18 +29,33 @@ pub struct Scale {
 impl Scale {
     /// Fast CI-sized runs (1/16 machine).
     pub const fn quick() -> Self {
-        Scale { den: 16, warm_tenths: 35, measure_tenths: 10, seed: 11 }
+        Scale {
+            den: 16,
+            warm_tenths: 35,
+            measure_tenths: 10,
+            seed: 11,
+        }
     }
 
     /// The default reporting scale (1/4 machine, ~minutes for the full
     /// suite on one core).
     pub const fn standard() -> Self {
-        Scale { den: 4, warm_tenths: 35, measure_tenths: 10, seed: 11 }
+        Scale {
+            den: 4,
+            warm_tenths: 35,
+            measure_tenths: 10,
+            seed: 11,
+        }
     }
 
     /// The paper's full 2 MB-L2 machine (long runs, streamed traces).
     pub const fn full() -> Self {
-        Scale { den: 1, warm_tenths: 35, measure_tenths: 10, seed: 11 }
+        Scale {
+            den: 1,
+            warm_tenths: 35,
+            measure_tenths: 10,
+            seed: 11,
+        }
     }
 
     /// Parses a scale name.
@@ -151,37 +167,6 @@ impl Default for Scale {
     }
 }
 
-/// A trace source: materialized when it fits comfortably in memory,
-/// streamed from the generator otherwise.
-pub enum TraceSource {
-    /// Fully materialized records.
-    Materialized(Arc<Vec<TraceRecord>>),
-    /// Regenerate per run from a shared program.
-    Streamed(Arc<WorkloadProgram>),
-}
-
-impl TraceSource {
-    /// Prepares the trace for `spec`, choosing materialization when the
-    /// estimated footprint stays under ~1.5 GB.
-    pub fn prepare(spec: &RunSpec) -> Self {
-        let records = spec.warmup_insts + spec.measure_insts;
-        let est_bytes = records * std::mem::size_of::<TraceRecord>() as u64;
-        if est_bytes < 1_500_000_000 {
-            TraceSource::Materialized(spec.materialize())
-        } else {
-            TraceSource::Streamed(Arc::new(WorkloadProgram::build(&spec.workload)))
-        }
-    }
-
-    /// Runs one prefetcher over this trace.
-    pub fn run(&self, spec: &RunSpec, pf: &PrefetcherSpec) -> ebcp_sim::SimResult {
-        match self {
-            TraceSource::Materialized(t) => spec.run_on(t, pf),
-            TraceSource::Streamed(p) => spec.run_streaming(Arc::clone(p), pf),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,7 +190,10 @@ mod tests {
 
     #[test]
     fn entries_floor() {
-        let s = Scale { den: 1 << 30, ..Scale::quick() };
+        let s = Scale {
+            den: 1 << 30,
+            ..Scale::quick()
+        };
         assert_eq!(s.entries(1 << 20), 1 << 10);
     }
 

@@ -1,0 +1,73 @@
+//! Driver-level harness integration: the Figure 9 suite renders
+//! identically for any worker count, and a warm result store makes a
+//! repeated driver run simulation-free.
+
+use ebcp_bench::{experiments, Harness, HarnessConfig, Scale};
+
+/// A miniature scale so the full Figure 9 roster (44 simulations) stays
+/// test-suite fast while exercising every prefetcher.
+fn tiny() -> Scale {
+    Scale {
+        den: 64,
+        warm_tenths: 2,
+        measure_tenths: 1,
+        seed: 11,
+    }
+}
+
+#[test]
+fn fig9_is_identical_for_one_and_eight_workers() {
+    let one = Harness::new(HarnessConfig {
+        jobs: 1,
+        ..HarnessConfig::default()
+    });
+    let eight = Harness::new(HarnessConfig {
+        jobs: 8,
+        ..HarnessConfig::default()
+    });
+    let rows1 = experiments::fig9(&one, tiny());
+    let rows8 = experiments::fig9(&eight, tiny());
+    assert_eq!(rows1, rows8);
+    assert_eq!(one.summary().executed, eight.summary().executed);
+}
+
+#[test]
+fn warm_store_makes_table1_simulation_free() {
+    let dir = std::env::temp_dir().join(format!("ebcp-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = HarnessConfig {
+        jobs: 2,
+        store_dir: Some(dir.clone()),
+        ..HarnessConfig::default()
+    };
+
+    let cold = Harness::new(cfg.clone());
+    let rows = experiments::table1(&cold, tiny());
+    assert_eq!(cold.summary().executed, 4);
+
+    let warm = Harness::new(cfg);
+    let rows2 = experiments::table1(&warm, tiny());
+    assert_eq!(
+        warm.summary().executed,
+        0,
+        "second run must be all disk hits"
+    );
+    assert_eq!(rows, rows2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cmp_interleaving_parallel_matches_serial() {
+    let one = Harness::new(HarnessConfig {
+        jobs: 1,
+        ..HarnessConfig::default()
+    });
+    let four = Harness::new(HarnessConfig {
+        jobs: 4,
+        ..HarnessConfig::default()
+    });
+    let scale = tiny();
+    let a = experiments::cmp_interleaving(&one, scale, &[1, 2]);
+    let b = experiments::cmp_interleaving(&four, scale, &[1, 2]);
+    assert_eq!(a, b);
+}

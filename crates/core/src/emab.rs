@@ -114,7 +114,11 @@ impl Emab {
             let oldest = self.epochs.pop_front().expect("nonempty");
             if let Some(key) = oldest.trigger() {
                 // After popping, epochs[0] is trigger+1, [1] is +2, ...
-                let (a, b) = if self.include_next_epoch { (0, 1) } else { (1, 2) };
+                let (a, b) = if self.include_next_epoch {
+                    (0, 1)
+                } else {
+                    (1, 2)
+                };
                 let mut addrs = Vec::new();
                 if let Some(e) = self.epochs.get(a) {
                     addrs.extend_from_slice(e.addrs());
@@ -202,7 +206,10 @@ mod tests {
         let learn = emab.begin_epoch().expect("full");
         assert_eq!(learn.key, line(1));
         // C D E (epoch +1) then F G (epoch +2).
-        assert_eq!(learn.addrs, vec![line(3), line(4), line(5), line(6), line(7)]);
+        assert_eq!(
+            learn.addrs,
+            vec![line(3), line(4), line(5), line(6), line(7)]
+        );
     }
 
     #[test]

@@ -86,7 +86,8 @@ impl EpochTracker {
         self.outstanding += 1;
         if self.outstanding == 1 {
             if self.stats.epochs > 0 {
-                self.misses_per_epoch.record(u64::from(self.misses_this_epoch));
+                self.misses_per_epoch
+                    .record(u64::from(self.misses_this_epoch));
             }
             self.stats.epochs += 1;
             self.misses_this_epoch = 1;

@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 
-use ebcp_prefetch::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 use ebcp_types::{Cycle, LineAddr};
 use serde::{Deserialize, Serialize};
 
@@ -107,18 +107,28 @@ impl EbcpConfig {
 
     /// The tuned configuration with the *EBCP minus* pairing (ablation).
     pub const fn tuned_minus() -> Self {
-        EbcpConfig { variant: EbcpVariant::Minus, ..Self::tuned() }
+        EbcpConfig {
+            variant: EbcpVariant::Minus,
+            ..Self::tuned()
+        }
     }
 
     /// The Figure 9 comparison configuration: degree 6, 6 slots,
     /// 1M entries (same table budget as the Solihin configurations).
     pub const fn comparison() -> Self {
-        EbcpConfig { slots_per_entry: 6, degree: 6, ..Self::tuned() }
+        EbcpConfig {
+            slots_per_entry: 6,
+            degree: 6,
+            ..Self::tuned()
+        }
     }
 
     /// Same as [`EbcpConfig::comparison`] but the *EBCP minus* ablation.
     pub const fn comparison_minus() -> Self {
-        EbcpConfig { variant: EbcpVariant::Minus, ..Self::comparison() }
+        EbcpConfig {
+            variant: EbcpVariant::Minus,
+            ..Self::comparison()
+        }
     }
 
     /// Returns the configuration with a different prefetch degree,
@@ -280,7 +290,10 @@ impl EbcpPrefetcher {
                 EbcpVariant::Standard => emab,
                 EbcpVariant::Minus => emab.with_next_epoch_included(),
             };
-            self.per_core.push(PerCore { emab, last_lookup: None });
+            self.per_core.push(PerCore {
+                emab,
+                last_lookup: None,
+            });
         }
         &mut self.per_core[idx]
     }
@@ -313,7 +326,14 @@ impl EbcpPrefetcher {
     /// Rotates that core's EMAB (learning) and issues the prediction
     /// lookup, unless a trigger already fired within the refractory
     /// interval (same epoch).
-    fn trigger(&mut self, line: LineAddr, now: Cycle, core: u8, from_buffer: bool, out: &mut Vec<Action>) {
+    fn trigger(
+        &mut self,
+        line: LineAddr,
+        now: Cycle,
+        core: u8,
+        from_buffer: bool,
+        out: &mut Vec<Action>,
+    ) {
         let refractory = self.config.trigger_refractory;
         let st = self.core_state(core);
         let refractory_ok = st
@@ -363,7 +383,9 @@ impl Prefetcher for EbcpPrefetcher {
         // LRU feedback: promote the useful address in its entry, and pay
         // one table write for it (§3.4.3, §3.4.4).
         if self.config.promote_on_hit
-            && self.table.touch(LineAddr::from_index(info.origin), info.line)
+            && self
+                .table
+                .touch(LineAddr::from_index(info.origin), info.line)
         {
             self.stats.promotions += 1;
             out.push(Action::TableWrite);
@@ -387,7 +409,9 @@ impl Prefetcher for EbcpPrefetcher {
     }
 
     fn on_table_done(&mut self, token: u64, _now: Cycle, out: &mut Vec<Action>) {
-        let Some(pending) = self.pending.remove(&token) else { return };
+        let Some(pending) = self.pending.remove(&token) else {
+            return;
+        };
         if !self.active {
             return;
         }
@@ -395,8 +419,12 @@ impl Prefetcher for EbcpPrefetcher {
             Pending::Predict { key } => {
                 if let Some(entry) = self.table.lookup(key) {
                     let origin = key.index();
-                    let lines: Vec<LineAddr> =
-                        entry.addrs().iter().copied().take(self.config.degree).collect();
+                    let lines: Vec<LineAddr> = entry
+                        .addrs()
+                        .iter()
+                        .copied()
+                        .take(self.config.degree)
+                        .collect();
                     for line in lines {
                         self.stats.prefetches += 1;
                         out.push(Action::Prefetch { line, origin });
@@ -478,7 +506,11 @@ mod tests {
         let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
         // First pass + enough following epochs to rotate the EMAB fully.
         let mut pf = drive_epochs(&mut p, epochs, 0);
-        pf.extend(drive_epochs(&mut p, &[&[100], &[101], &[102], &[103]], 10_000));
+        pf.extend(drive_epochs(
+            &mut p,
+            &[&[100], &[101], &[102], &[103]],
+            10_000,
+        ));
         // Second pass: trigger 1 (A) predicts.
         let pf2 = drive_epochs(&mut p, &[&[1]], 100_000);
         assert_eq!(pf2, vec![6, 7, 8, 9], "A -> F,G,H,I (epochs +2/+3)");
@@ -494,12 +526,19 @@ mod tests {
         drive_epochs(&mut p, epochs, 0);
         drive_epochs(&mut p, &[&[100], &[101], &[102], &[103]], 10_000);
         let pf2 = drive_epochs(&mut p, &[&[1]], 100_000);
-        assert_eq!(pf2, vec![3, 4, 5, 6, 7], "minus: A -> C,D,E,F,G (epochs +1/+2)");
+        assert_eq!(
+            pf2,
+            vec![3, 4, 5, 6, 7],
+            "minus: A -> C,D,E,F,G (epochs +1/+2)"
+        );
     }
 
     #[test]
     fn degree_caps_prefetches() {
-        let cfg = EbcpConfig { degree: 2, ..EbcpConfig::tuned() };
+        let cfg = EbcpConfig {
+            degree: 2,
+            ..EbcpConfig::tuned()
+        };
         let mut p = EbcpPrefetcher::new(cfg);
         let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
         drive_epochs(&mut p, epochs, 0);
@@ -537,7 +576,8 @@ mod tests {
                 kind: AccessKind::Load,
                 origin,
                 would_be_trigger: false,
-                now: 200_000, core: 0,
+                now: 200_000,
+                core: 0,
             },
             &mut out,
         );
@@ -575,7 +615,10 @@ mod tests {
         let epochs: &[&[u64]] = &[&[1, 2], &[3, 4, 5], &[6, 7], &[8, 9]];
         // Drive WITHOUT completing table reads; drop them all instead.
         let mut now = 0;
-        for epoch in epochs.iter().chain([&[100u64][..], &[101], &[102], &[103]].iter()) {
+        for epoch in epochs
+            .iter()
+            .chain([&[100u64][..], &[101], &[102], &[103]].iter())
+        {
             for (i, &line) in epoch.iter().enumerate() {
                 let mut out = Vec::new();
                 p.on_miss(&miss(line, i == 0, now), &mut out);

@@ -208,7 +208,10 @@ impl CorrelationTable {
     /// Prefetch-buffer-hit LRU update: promotes `line` within the entry
     /// keyed by `key`. Returns whether the promotion happened.
     pub fn touch(&mut self, key: LineAddr, line: LineAddr) -> bool {
-        self.table.get_mut(key).map(|e| e.promote(line)).unwrap_or(false)
+        self.table
+            .get_mut(key)
+            .map(|e| e.promote(line))
+            .unwrap_or(false)
     }
 
     /// Content-operation statistics.
@@ -282,7 +285,11 @@ mod tests {
         // Older epoch {10, 20}, newer epoch {30, 40}: only 3 slots.
         t.learn(line(1), &[line(10), line(20), line(30), line(40)]);
         let e = t.lookup(line(1)).unwrap();
-        assert_eq!(e.addrs(), &[line(10), line(20), line(30)], "older epoch survives");
+        assert_eq!(
+            e.addrs(),
+            &[line(10), line(20), line(30)],
+            "older epoch survives"
+        );
     }
 
     #[test]

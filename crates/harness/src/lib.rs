@@ -1,0 +1,594 @@
+//! Parallel experiment orchestration for the EBCP reproduction.
+//!
+//! The harness sits between the simulator (`ebcp-sim`) and the
+//! experiment drivers (`ebcp-bench`). Drivers describe work as
+//! content-addressed [`Job`]s — a `RunSpec` × `PrefetcherSpec` pair —
+//! and submit batches to a [`Harness`], which:
+//!
+//! - **deduplicates** by content hash, so the no-prefetch baseline a
+//!   dozen figures share runs exactly once per workload;
+//! - **parallelizes** across a `std::thread` worker pool, sharing one
+//!   materialized trace per `(workload, seed, length)` via `Arc` and
+//!   falling back to streaming when a trace exceeds the per-worker
+//!   slice of the process memory budget;
+//! - **caches** results on disk ([`ResultStore`]), making re-runs
+//!   incremental across processes;
+//! - **reports** progress and throughput over a telemetry channel, and
+//!   writes a consolidated machine-readable `results.json`.
+//!
+//! Results come back in submission order and are bit-identical for any
+//! worker count: the simulator is deterministic and assembly never
+//! depends on completion order.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebcp_harness::{Harness, Job};
+//! use ebcp_sim::{PrefetcherSpec, RunSpec, SimConfig};
+//! use ebcp_trace::WorkloadSpec;
+//!
+//! let spec = RunSpec {
+//!     workload: WorkloadSpec::database().scaled(1, 32),
+//!     seed: 7,
+//!     warmup_insts: 20_000,
+//!     measure_insts: 20_000,
+//!     sim: SimConfig::scaled_down(16),
+//! };
+//! let h = Harness::serial();
+//! // The duplicate baseline collapses: two results, one simulation.
+//! let jobs =
+//!     vec![Job::new(spec.clone(), PrefetcherSpec::None), Job::new(spec, PrefetcherSpec::None)];
+//! let results = h.run(&jobs);
+//! assert_eq!(results[0], results[1]);
+//! assert_eq!(h.summary().executed, 1);
+//! ```
+
+pub mod job;
+pub mod json;
+pub mod source;
+pub mod store;
+pub mod telemetry;
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use ebcp_sim::SimResult;
+
+pub use crate::job::{fnv1a64, Job, JobId};
+pub use crate::json::Value;
+pub use crate::source::{TraceSource, DEFAULT_MEM_BUDGET_BYTES};
+pub use crate::store::ResultStore;
+pub use crate::telemetry::{Event, Progress, ResultSource, RunSummary};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub jobs: usize,
+    /// Per-process trace memory budget. Each concurrent worker gets an
+    /// equal slice when deciding materialize-vs-stream, so N parallel
+    /// materialized traces stay near one budget in aggregate.
+    pub mem_budget_bytes: u64,
+    /// On-disk result store directory; `None` disables caching.
+    pub store_dir: Option<PathBuf>,
+    /// Render the live progress line on stderr.
+    pub progress: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            jobs: 0,
+            mem_budget_bytes: DEFAULT_MEM_BUDGET_BYTES,
+            store_dir: None,
+            progress: false,
+        }
+    }
+}
+
+/// Per-job entry for the consolidated `results.json`, created in
+/// submission order so the file is deterministic.
+#[derive(Debug, Clone)]
+struct JobRecord {
+    id: JobId,
+    workload: String,
+    prefetcher: String,
+    source: ResultSource,
+    wall_ms: Option<u64>,
+    insts_per_sec: Option<f64>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: usize,
+    unique: usize,
+    executed: usize,
+    memo_hits: usize,
+    disk_hits: usize,
+    records_simulated: u64,
+    wall: Duration,
+}
+
+/// The job-execution engine. See the crate docs for the full contract.
+///
+/// A `Harness` is long-lived: experiment drivers submit successive
+/// batches to the same instance, and the in-process memo deduplicates
+/// *across* batches (Figure 4's baselines feed Figure 6 for free).
+pub struct Harness {
+    cfg: HarnessConfig,
+    workers: usize,
+    store: Option<ResultStore>,
+    memo: Mutex<HashMap<JobId, SimResult>>,
+    records: Mutex<Vec<JobRecord>>,
+    counters: Mutex<Counters>,
+}
+
+impl Harness {
+    /// Creates a harness. A configured store directory is created
+    /// eagerly; if that fails, caching is disabled with a warning rather
+    /// than failing the run.
+    pub fn new(cfg: HarnessConfig) -> Self {
+        let workers = match cfg.jobs {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        };
+        let store = cfg
+            .store_dir
+            .as_ref()
+            .and_then(|dir| match ResultStore::open(dir) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!(
+                        "warning: result store at {} unavailable ({e}); caching disabled",
+                        dir.display()
+                    );
+                    None
+                }
+            });
+        Harness {
+            cfg,
+            workers,
+            store,
+            memo: Mutex::new(HashMap::new()),
+            records: Mutex::new(Vec::new()),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    /// A single-threaded harness with no disk cache and no progress
+    /// output — dedup and memoization only. The right default for tests
+    /// and library callers.
+    pub fn serial() -> Self {
+        Self::new(HarnessConfig {
+            jobs: 1,
+            ..HarnessConfig::default()
+        })
+    }
+
+    /// Resolved worker-thread count.
+    pub const fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The on-disk store directory, if caching is active.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(ResultStore::dir)
+    }
+
+    /// Resolves a batch of jobs, returning results in submission order.
+    ///
+    /// Duplicates — within the batch, against earlier batches, or
+    /// against the on-disk store — are served without simulating.
+    pub fn run(&self, jobs: &[Job]) -> Vec<SimResult> {
+        let t0 = Instant::now();
+
+        // Deduplicate, preserving first-submission order. A 64-bit
+        // content-hash collision between *different* jobs is astronomically
+        // unlikely but cheap to rule out.
+        let mut first_seen: HashMap<JobId, usize> = HashMap::new();
+        let mut uniques: Vec<&Job> = Vec::new();
+        for job in jobs {
+            match first_seen.get(&job.id()) {
+                Some(&idx) => assert_eq!(
+                    uniques[idx],
+                    job,
+                    "job content-hash collision on {}; bump CANON_VERSION",
+                    job.id()
+                ),
+                None => {
+                    first_seen.insert(job.id(), uniques.len());
+                    uniques.push(job);
+                }
+            }
+        }
+
+        // Serve what the memo and the disk store already know; queue the
+        // rest. Each pending job remembers the index of its pre-created
+        // record so worker timing lands in submission order.
+        let mut pending: Vec<(usize, &Job)> = Vec::new();
+        {
+            let mut memo = self.memo.lock().expect("memo lock");
+            let mut records = self.records.lock().expect("records lock");
+            let mut c = self.counters.lock().expect("counters lock");
+            c.submitted += jobs.len();
+            c.unique += uniques.len();
+            for job in &uniques {
+                let id = job.id();
+                let source = match memo.entry(id) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        c.memo_hits += 1;
+                        ResultSource::Memory
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        if let Some(r) = self.store.as_ref().and_then(|s| s.load(job)) {
+                            c.disk_hits += 1;
+                            slot.insert(r);
+                            ResultSource::Disk
+                        } else {
+                            pending.push((records.len(), job));
+                            ResultSource::Executed
+                        }
+                    }
+                };
+                records.push(JobRecord {
+                    id,
+                    workload: job.spec.workload.name.clone(),
+                    prefetcher: job.pf.name(),
+                    source,
+                    wall_ms: None,
+                    insts_per_sec: None,
+                });
+            }
+        }
+
+        if !pending.is_empty() {
+            self.execute(&pending);
+        }
+
+        {
+            let mut c = self.counters.lock().expect("counters lock");
+            c.wall += t0.elapsed();
+        }
+
+        let memo = self.memo.lock().expect("memo lock");
+        jobs.iter().map(|j| memo[&j.id()].clone()).collect()
+    }
+
+    /// Runs the pending jobs on the worker pool and folds the outcomes
+    /// into the memo, the record table and the counters.
+    fn execute(&self, pending: &[(usize, &Job)]) {
+        let workers = self.workers.min(pending.len()).max(1);
+        let per_budget = self.cfg.mem_budget_bytes / workers as u64;
+
+        // One trace per (workload, seed, length), built exactly once:
+        // the first worker to need it initializes the OnceLock while any
+        // others block on get_or_init, then all share the Arc.
+        let traces: Mutex<HashMap<u64, Arc<OnceLock<TraceSource>>>> = Mutex::new(HashMap::new());
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
+        let outputs: Mutex<Vec<Option<(SimResult, u64, f64)>>> =
+            Mutex::new(vec![None; pending.len()]);
+        let (tx, rx) = mpsc::channel::<Event>();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (traces, queue, outputs) = (&traces, &queue, &outputs);
+                s.spawn(move || loop {
+                    let Some(i) = queue.lock().expect("queue lock").pop_front() else {
+                        break;
+                    };
+                    let (_, job) = &pending[i];
+                    let _ = tx.send(Event::JobStarted { label: job.label() });
+                    let t = Instant::now();
+                    let cell = Arc::clone(
+                        traces
+                            .lock()
+                            .expect("trace lock")
+                            .entry(job.trace_key())
+                            .or_insert_with(|| Arc::new(OnceLock::new())),
+                    );
+                    let src =
+                        cell.get_or_init(|| TraceSource::prepare_budgeted(&job.spec, per_budget));
+                    let result = src.run(&job.spec, &job.pf);
+                    let wall = t.elapsed();
+                    let wall_ms = wall.as_millis() as u64;
+                    let rate = job.records() as f64 / wall.as_secs_f64().max(1e-9);
+                    if let Some(store) = &self.store {
+                        // Cache-write failure loses only incrementality.
+                        let _ = store.save(job, &result);
+                    }
+                    outputs.lock().expect("outputs lock")[i] = Some((result, wall_ms, rate));
+                    let _ = tx.send(Event::JobFinished {
+                        label: job.label(),
+                        wall_ms,
+                        insts_per_sec: rate,
+                    });
+                });
+            }
+            drop(tx);
+            let mut progress = Progress::new(self.cfg.progress, pending.len());
+            for ev in rx {
+                progress.handle(&ev);
+            }
+            progress.finish();
+        });
+
+        let outputs = outputs.into_inner().expect("outputs lock");
+        let mut memo = self.memo.lock().expect("memo lock");
+        let mut records = self.records.lock().expect("records lock");
+        let mut c = self.counters.lock().expect("counters lock");
+        for ((rec_idx, job), out) in pending.iter().zip(outputs) {
+            let (result, wall_ms, rate) = out.expect("worker completed every queued job");
+            memo.insert(job.id(), result);
+            records[*rec_idx].wall_ms = Some(wall_ms);
+            records[*rec_idx].insts_per_sec = Some(rate);
+            c.executed += 1;
+            c.records_simulated += job.records();
+        }
+    }
+
+    /// Generic parallel map over the same worker pool sizing, for work
+    /// that does not fit the [`Job`] shape (e.g. CMP multi-core runs).
+    /// Output order matches input order; `jobs = 1` degenerates to a
+    /// plain serial map.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.workers.min(items.len()).max(1);
+        if workers == 1 {
+            return items.iter().map(f).collect();
+        }
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..items.len()).collect());
+        let outputs: Mutex<Vec<Option<R>>> =
+            Mutex::new(std::iter::repeat_with(|| None).take(items.len()).collect());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let (queue, outputs, f) = (&queue, &outputs, &f);
+                s.spawn(move || loop {
+                    let Some(i) = queue.lock().expect("queue lock").pop_front() else {
+                        break;
+                    };
+                    let r = f(&items[i]);
+                    outputs.lock().expect("outputs lock")[i] = Some(r);
+                });
+            }
+        });
+        outputs
+            .into_inner()
+            .expect("outputs lock")
+            .into_iter()
+            .map(|r| r.expect("worker completed every queued item"))
+            .collect()
+    }
+
+    /// Aggregate statistics over everything resolved so far.
+    pub fn summary(&self) -> RunSummary {
+        let c = self.counters.lock().expect("counters lock");
+        RunSummary {
+            submitted: c.submitted,
+            unique: c.unique,
+            executed: c.executed,
+            memo_hits: c.memo_hits,
+            disk_hits: c.disk_hits,
+            records_simulated: c.records_simulated,
+            wall: c.wall,
+        }
+    }
+
+    /// Writes the consolidated `results.json`: the run summary plus one
+    /// entry per unique job (submission order) with its telemetry and
+    /// full result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn write_results_json(&self, path: &Path) -> io::Result<()> {
+        let summary = self.summary();
+        let memo = self.memo.lock().expect("memo lock");
+        let records = self.records.lock().expect("records lock");
+        let jobs: Vec<Value> = records
+            .iter()
+            .map(|rec| {
+                Value::Obj(vec![
+                    ("id".into(), Value::Str(rec.id.to_string())),
+                    ("workload".into(), Value::Str(rec.workload.clone())),
+                    ("prefetcher".into(), Value::Str(rec.prefetcher.clone())),
+                    ("source".into(), Value::Str(rec.source.tag().into())),
+                    (
+                        "wall_ms".into(),
+                        rec.wall_ms.map_or(Value::Null, Value::Int),
+                    ),
+                    (
+                        "insts_per_sec".into(),
+                        rec.insts_per_sec.map_or(Value::Null, Value::Num),
+                    ),
+                    (
+                        "result".into(),
+                        memo.get(&rec.id).map_or(Value::Null, store::result_to_json),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            (
+                "summary".into(),
+                Value::Obj(vec![
+                    ("submitted".into(), Value::Int(summary.submitted as u64)),
+                    ("unique".into(), Value::Int(summary.unique as u64)),
+                    ("executed".into(), Value::Int(summary.executed as u64)),
+                    ("memo_hits".into(), Value::Int(summary.memo_hits as u64)),
+                    ("disk_hits".into(), Value::Int(summary.disk_hits as u64)),
+                    (
+                        "records_simulated".into(),
+                        Value::Int(summary.records_simulated),
+                    ),
+                    (
+                        "wall_ms".into(),
+                        Value::Int(summary.wall.as_millis() as u64),
+                    ),
+                    ("insts_per_sec".into(), Value::Num(summary.insts_per_sec())),
+                ]),
+            ),
+            ("jobs".into(), Value::Arr(jobs)),
+        ]);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, doc.to_json_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_sim::{PrefetcherSpec, RunSpec, SimConfig};
+    use ebcp_trace::WorkloadSpec;
+
+    fn spec(workload: WorkloadSpec, seed: u64) -> RunSpec {
+        RunSpec {
+            workload,
+            seed,
+            warmup_insts: 15_000,
+            measure_insts: 15_000,
+            sim: SimConfig::scaled_down(16),
+        }
+    }
+
+    fn small_batch() -> Vec<Job> {
+        let w = WorkloadSpec::database().scaled(1, 16);
+        vec![
+            Job::new(spec(w.clone(), 3), PrefetcherSpec::None),
+            Job::new(
+                spec(w.clone(), 3),
+                PrefetcherSpec::Ebcp(ebcp_core::EbcpConfig::tuned()),
+            ),
+            // Duplicate of the first: must not re-run.
+            Job::new(spec(w, 3), PrefetcherSpec::None),
+        ]
+    }
+
+    #[test]
+    fn dedups_within_batch() {
+        let h = Harness::serial();
+        let jobs = small_batch();
+        let out = h.run(&jobs);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[2]);
+        let s = h.summary();
+        assert_eq!((s.submitted, s.unique, s.executed), (3, 2, 2));
+    }
+
+    #[test]
+    fn memoizes_across_batches() {
+        let h = Harness::serial();
+        let jobs = small_batch();
+        let a = h.run(&jobs);
+        let b = h.run(&jobs);
+        assert_eq!(a, b);
+        let s = h.summary();
+        assert_eq!(s.executed, 2, "second batch must be all memo hits");
+        assert_eq!(s.memo_hits, 2);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let jobs = small_batch();
+        let serial = Harness::serial().run(&jobs);
+        let par = Harness::new(HarnessConfig {
+            jobs: 4,
+            ..HarnessConfig::default()
+        })
+        .run(&jobs);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let h = Harness::new(HarnessConfig {
+            jobs: 4,
+            ..HarnessConfig::default()
+        });
+        let w = WorkloadSpec::database().scaled(1, 16);
+        let jobs: Vec<Job> = (0..6)
+            .map(|s| Job::new(spec(w.clone(), s), PrefetcherSpec::None))
+            .collect();
+        let out = h.run(&jobs);
+        // Each seed yields a distinct result; order must match input.
+        let rerun = Harness::serial().run(&jobs);
+        assert_eq!(out, rerun);
+    }
+
+    #[test]
+    fn disk_store_round_trip_executes_zero_second_time() {
+        let dir = std::env::temp_dir().join(format!("ebcp-harness-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = HarnessConfig {
+            jobs: 1,
+            store_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let jobs = small_batch();
+        let a = Harness::new(cfg.clone()).run(&jobs);
+        // Fresh process simulation: a new harness, same store.
+        let h2 = Harness::new(cfg);
+        let b = h2.run(&jobs);
+        assert_eq!(a, b);
+        let s = h2.summary();
+        assert_eq!(s.executed, 0, "warm store must satisfy every job");
+        assert_eq!(s.disk_hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn map_preserves_order_and_covers_all_items() {
+        let h = Harness::new(HarnessConfig {
+            jobs: 3,
+            ..HarnessConfig::default()
+        });
+        let items: Vec<u64> = (0..37).collect();
+        let out = h.map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_json_lists_every_unique_job() {
+        let dir = std::env::temp_dir().join(format!("ebcp-harness-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let h = Harness::serial();
+        let jobs = small_batch();
+        let _ = h.run(&jobs);
+        let path = dir.join("results.json");
+        h.write_results_json(&path).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("jobs").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            doc.get("summary")
+                .unwrap()
+                .get("executed")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        let first = &doc.get("jobs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(first.get("source").unwrap().as_str(), Some("run"));
+        assert!(
+            first
+                .get("result")
+                .unwrap()
+                .get("insts")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,107 @@
+//! Trace delivery: materialize in memory when the budget allows,
+//! stream from the generator otherwise.
+
+use std::sync::Arc;
+
+use ebcp_sim::{PrefetcherSpec, RunSpec, SimResult};
+use ebcp_trace::template::WorkloadProgram;
+use ebcp_trace::TraceRecord;
+
+/// Default per-process trace memory budget (~1.5 GB). Replaces the old
+/// hard-coded materialization threshold; the harness divides it by the
+/// number of concurrent workers so N parallel materialized traces never
+/// exceed one budget.
+pub const DEFAULT_MEM_BUDGET_BYTES: u64 = 1_500_000_000;
+
+/// A trace source: materialized when it fits the budget, streamed from
+/// a shared [`WorkloadProgram`] otherwise.
+///
+/// Materialized traces are `Arc`-shared: every job replaying the same
+/// `(workload, seed, length)` reads one allocation.
+pub enum TraceSource {
+    /// Fully materialized records.
+    Materialized(Arc<Vec<TraceRecord>>),
+    /// Regenerate per run from a shared program.
+    Streamed(Arc<WorkloadProgram>),
+}
+
+impl TraceSource {
+    /// Estimated materialized footprint of `spec`'s trace.
+    pub fn est_bytes(spec: &RunSpec) -> u64 {
+        let records = spec.warmup_insts + spec.measure_insts;
+        records * std::mem::size_of::<TraceRecord>() as u64
+    }
+
+    /// Prepares the trace for `spec` under the default whole-process
+    /// budget (single-threaded callers).
+    pub fn prepare(spec: &RunSpec) -> Self {
+        Self::prepare_budgeted(spec, DEFAULT_MEM_BUDGET_BYTES)
+    }
+
+    /// Prepares the trace for `spec`, materializing only when the
+    /// estimated footprint fits `budget_bytes`.
+    pub fn prepare_budgeted(spec: &RunSpec, budget_bytes: u64) -> Self {
+        if Self::est_bytes(spec) <= budget_bytes {
+            TraceSource::Materialized(spec.materialize())
+        } else {
+            TraceSource::Streamed(Arc::new(WorkloadProgram::build(&spec.workload)))
+        }
+    }
+
+    /// Whether the trace is held in memory.
+    pub const fn is_materialized(&self) -> bool {
+        matches!(self, TraceSource::Materialized(_))
+    }
+
+    /// Runs one prefetcher over this trace.
+    pub fn run(&self, spec: &RunSpec, pf: &PrefetcherSpec) -> SimResult {
+        match self {
+            TraceSource::Materialized(t) => spec.run_on(t, pf),
+            TraceSource::Streamed(p) => spec.run_streaming(Arc::clone(p), pf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_sim::SimConfig;
+    use ebcp_trace::WorkloadSpec;
+
+    fn spec(records: u64) -> RunSpec {
+        RunSpec {
+            workload: WorkloadSpec::database().scaled(1, 16),
+            seed: 5,
+            warmup_insts: records / 2,
+            measure_insts: records - records / 2,
+            sim: SimConfig::scaled_down(16),
+        }
+    }
+
+    #[test]
+    fn small_trace_materializes_under_default_budget() {
+        assert!(TraceSource::prepare(&spec(10_000)).is_materialized());
+    }
+
+    #[test]
+    fn tight_budget_forces_streaming() {
+        let s = spec(10_000);
+        let src = TraceSource::prepare_budgeted(&s, TraceSource::est_bytes(&s) - 1);
+        assert!(!src.is_materialized());
+    }
+
+    #[test]
+    fn budget_boundary_is_inclusive() {
+        let s = spec(10_000);
+        let src = TraceSource::prepare_budgeted(&s, TraceSource::est_bytes(&s));
+        assert!(src.is_materialized());
+    }
+
+    #[test]
+    fn streamed_and_materialized_agree() {
+        let s = spec(40_000);
+        let m = TraceSource::prepare(&s).run(&s, &PrefetcherSpec::None);
+        let st = TraceSource::prepare_budgeted(&s, 0).run(&s, &PrefetcherSpec::None);
+        assert_eq!(m, st);
+    }
+}

@@ -1,0 +1,277 @@
+//! On-disk result store: one JSON file per job, keyed by content hash.
+//!
+//! A warm store makes re-runs incremental — `repro all` executed twice
+//! at the same scale performs zero simulations the second time. Files
+//! carry the job's full canonical string so a (vanishingly unlikely)
+//! 64-bit hash collision is detected and treated as a miss rather than
+//! silently returning the wrong result.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ebcp_mem::{BusStats, MemStats};
+use ebcp_sim::SimResult;
+
+use crate::job::Job;
+use crate::json::{self, Value};
+
+/// On-disk schema version; bump on incompatible result layout changes.
+const SCHEMA: u64 = 1;
+
+/// A directory of cached [`SimResult`]s, keyed by [`Job`] hash.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, job: &Job) -> PathBuf {
+        self.dir.join(format!("{}.json", job.id()))
+    }
+
+    /// Loads the cached result for `job`, if present and valid.
+    ///
+    /// Unreadable, unparsable, stale-schema or hash-colliding entries
+    /// all read as a miss (the job simply re-runs and overwrites them).
+    pub fn load(&self, job: &Job) -> Option<SimResult> {
+        let text = fs::read_to_string(self.path_for(job)).ok()?;
+        let v = json::parse(&text).ok()?;
+        if v.get("schema")?.as_u64()? != SCHEMA {
+            return None;
+        }
+        // Collision / corruption guard: the stored canonical string must
+        // match the job that hashed to this file name.
+        if v.get("job")?.as_str()? != job.canonical() {
+            return None;
+        }
+        result_from_json(v.get("result")?)
+    }
+
+    /// Persists `result` for `job` (atomically: write temp, rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; callers may treat them as non-fatal
+    /// (the run still succeeded, only the cache write was lost).
+    pub fn save(&self, job: &Job, result: &SimResult) -> io::Result<()> {
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Int(SCHEMA)),
+            ("id".into(), Value::Str(job.id().to_string())),
+            ("job".into(), Value::Str(job.canonical())),
+            ("result".into(), result_to_json(result)),
+        ]);
+        let path = self.path_for(job);
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, doc.to_json_pretty())?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+fn bus_to_json(b: &BusStats) -> Value {
+    let arr = |a: &[u64; 5]| Value::Arr(a.iter().map(|&n| Value::Int(n)).collect());
+    Value::Obj(vec![
+        ("transfers".into(), arr(&b.transfers)),
+        ("dropped".into(), arr(&b.dropped)),
+        ("busy_cycles".into(), arr(&b.busy_cycles)),
+    ])
+}
+
+fn bus_from_json(v: &Value) -> Option<BusStats> {
+    let arr = |key: &str| -> Option<[u64; 5]> {
+        let items = v.get(key)?.as_arr()?;
+        if items.len() != 5 {
+            return None;
+        }
+        let mut out = [0u64; 5];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = item.as_u64()?;
+        }
+        Some(out)
+    };
+    Some(BusStats {
+        transfers: arr("transfers")?,
+        dropped: arr("dropped")?,
+        busy_cycles: arr("busy_cycles")?,
+    })
+}
+
+/// Encodes a [`SimResult`] as JSON (also used for `results.json`).
+pub fn result_to_json(r: &SimResult) -> Value {
+    Value::Obj(vec![
+        ("prefetcher".into(), Value::Str(r.prefetcher.clone())),
+        ("workload".into(), Value::Str(r.workload.clone())),
+        ("insts".into(), Value::Int(r.insts)),
+        ("cycles".into(), Value::Int(r.cycles)),
+        ("epochs".into(), Value::Int(r.epochs)),
+        ("l2_inst_misses".into(), Value::Int(r.l2_inst_misses)),
+        ("l2_load_misses".into(), Value::Int(r.l2_load_misses)),
+        ("l2_store_misses".into(), Value::Int(r.l2_store_misses)),
+        ("averted_inst".into(), Value::Int(r.averted_inst)),
+        ("averted_load".into(), Value::Int(r.averted_load)),
+        ("averted_store".into(), Value::Int(r.averted_store)),
+        ("partial_hits".into(), Value::Int(r.partial_hits)),
+        ("pf_issued".into(), Value::Int(r.pf_issued)),
+        ("pf_dropped_bus".into(), Value::Int(r.pf_dropped_bus)),
+        ("pf_dropped_mshr".into(), Value::Int(r.pf_dropped_mshr)),
+        ("pf_filtered".into(), Value::Int(r.pf_filtered)),
+        ("pf_evicted_unused".into(), Value::Int(r.pf_evicted_unused)),
+        ("table_reads".into(), Value::Int(r.table_reads)),
+        ("table_read_drops".into(), Value::Int(r.table_read_drops)),
+        ("table_writes".into(), Value::Int(r.table_writes)),
+        ("writebacks".into(), Value::Int(r.writebacks)),
+        ("stall_cycles".into(), Value::Int(r.stall_cycles)),
+        (
+            "mem".into(),
+            Value::Obj(vec![
+                ("read".into(), bus_to_json(&r.mem.read)),
+                ("write".into(), bus_to_json(&r.mem.write)),
+            ]),
+        ),
+    ])
+}
+
+/// Decodes a [`SimResult`]; `None` on any missing or mistyped field.
+pub fn result_from_json(v: &Value) -> Option<SimResult> {
+    let n = |key: &str| v.get(key)?.as_u64();
+    Some(SimResult {
+        prefetcher: v.get("prefetcher")?.as_str()?.to_owned(),
+        workload: v.get("workload")?.as_str()?.to_owned(),
+        insts: n("insts")?,
+        cycles: n("cycles")?,
+        epochs: n("epochs")?,
+        l2_inst_misses: n("l2_inst_misses")?,
+        l2_load_misses: n("l2_load_misses")?,
+        l2_store_misses: n("l2_store_misses")?,
+        averted_inst: n("averted_inst")?,
+        averted_load: n("averted_load")?,
+        averted_store: n("averted_store")?,
+        partial_hits: n("partial_hits")?,
+        pf_issued: n("pf_issued")?,
+        pf_dropped_bus: n("pf_dropped_bus")?,
+        pf_dropped_mshr: n("pf_dropped_mshr")?,
+        pf_filtered: n("pf_filtered")?,
+        pf_evicted_unused: n("pf_evicted_unused")?,
+        table_reads: n("table_reads")?,
+        table_read_drops: n("table_read_drops")?,
+        table_writes: n("table_writes")?,
+        writebacks: n("writebacks")?,
+        stall_cycles: n("stall_cycles")?,
+        mem: MemStats {
+            read: bus_from_json(v.get("mem")?.get("read")?)?,
+            write: bus_from_json(v.get("mem")?.get("write")?)?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_sim::{PrefetcherSpec, RunSpec, SimConfig};
+    use ebcp_trace::WorkloadSpec;
+
+    fn sample_result() -> SimResult {
+        SimResult {
+            prefetcher: "ebcp".into(),
+            workload: "database".into(),
+            insts: 123_456,
+            cycles: 456_789,
+            epochs: 777,
+            l2_load_misses: 4_242,
+            pf_issued: u64::MAX, // exercise exact u64 round-trip
+            mem: MemStats {
+                read: BusStats {
+                    transfers: [1, 2, 3, 4, 5],
+                    dropped: [0; 5],
+                    busy_cycles: [9, 8, 7, 6, 5],
+                },
+                write: BusStats::default(),
+            },
+            ..SimResult::default()
+        }
+    }
+
+    fn sample_job() -> Job {
+        Job::new(
+            RunSpec {
+                workload: WorkloadSpec::database().scaled(1, 16),
+                seed: 1,
+                warmup_insts: 100,
+                measure_insts: 100,
+                sim: SimConfig::scaled_down(16),
+            },
+            PrefetcherSpec::None,
+        )
+    }
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("ebcp-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn result_codec_round_trips() {
+        let r = sample_result();
+        let v = result_to_json(&r);
+        let text = v.to_json_pretty();
+        let back = result_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn save_then_load() {
+        let store = temp_store("roundtrip");
+        let job = sample_job();
+        assert!(store.load(&job).is_none(), "cold store must miss");
+        let r = sample_result();
+        store.save(&job, &r).unwrap();
+        assert_eq!(store.load(&job), Some(r));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_reads_as_miss() {
+        let store = temp_store("corrupt");
+        let job = sample_job();
+        store.save(&job, &sample_result()).unwrap();
+        fs::write(store.dir().join(format!("{}.json", job.id())), "{ not json").unwrap();
+        assert!(store.load(&job).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn canonical_mismatch_reads_as_miss() {
+        let store = temp_store("collision");
+        let job = sample_job();
+        // Simulate a hash collision: a valid entry under this job's file
+        // name whose canonical string belongs to some other job.
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Int(1)),
+            ("id".into(), Value::Str(job.id().to_string())),
+            ("job".into(), Value::Str("other-job".into())),
+            ("result".into(), result_to_json(&sample_result())),
+        ]);
+        let path = store.dir().join(format!("{}.json", job.id()));
+        fs::write(&path, doc.to_json()).unwrap();
+        assert!(store.load(&job).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,197 @@
+//! Run telemetry: per-job events, a live progress line, and the
+//! end-of-run throughput summary.
+//!
+//! Workers emit [`Event`]s over an `mpsc` channel; the submitting thread
+//! drains it while jobs run. Everything renders to **stderr** so stdout
+//! stays byte-identical regardless of `--jobs` — the figure tables are
+//! diffable artifacts.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+/// Where a job's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultSource {
+    /// Simulated in this process, this call.
+    Executed,
+    /// Re-used from the in-process memo (duplicate submission).
+    Memory,
+    /// Loaded from the on-disk result store.
+    Disk,
+}
+
+impl ResultSource {
+    /// Short tag for logs.
+    pub const fn tag(self) -> &'static str {
+        match self {
+            ResultSource::Executed => "run",
+            ResultSource::Memory => "memo",
+            ResultSource::Disk => "disk",
+        }
+    }
+}
+
+/// One telemetry event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A worker picked up a job.
+    JobStarted {
+        /// Job label (`workload x prefetcher`).
+        label: String,
+    },
+    /// A job completed.
+    JobFinished {
+        /// Job label.
+        label: String,
+        /// Wall-clock time of the simulation.
+        wall_ms: u64,
+        /// Trace records consumed per wall-clock second.
+        insts_per_sec: f64,
+    },
+}
+
+/// Renders events as a single self-overwriting progress line.
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    done: usize,
+    total: usize,
+    last_len: usize,
+}
+
+impl Progress {
+    /// A renderer for `total` pending jobs; silent when `enabled` is
+    /// false (tests, `--quiet`).
+    pub const fn new(enabled: bool, total: usize) -> Self {
+        Progress {
+            enabled,
+            done: 0,
+            total,
+            last_len: 0,
+        }
+    }
+
+    /// Handles one event.
+    pub fn handle(&mut self, ev: &Event) {
+        match ev {
+            Event::JobStarted { label } => self.draw(&format!("... {label}")),
+            Event::JobFinished {
+                label,
+                wall_ms,
+                insts_per_sec,
+            } => {
+                self.done += 1;
+                self.draw(&format!(
+                    "{label} ({:.1}s, {:.1} Minst/s)",
+                    *wall_ms as f64 / 1000.0,
+                    insts_per_sec / 1e6,
+                ));
+            }
+        }
+    }
+
+    fn draw(&mut self, tail: &str) {
+        if !self.enabled {
+            return;
+        }
+        let line = format!("[{}/{}] {tail}", self.done, self.total);
+        let pad = self.last_len.saturating_sub(line.len());
+        eprint!("\r{line}{}", " ".repeat(pad));
+        self.last_len = line.len();
+        let _ = std::io::stderr().flush();
+    }
+
+    /// Clears the progress line (call before printing the summary).
+    pub fn finish(&mut self) {
+        if self.enabled && self.last_len > 0 {
+            eprint!("\r{}\r", " ".repeat(self.last_len));
+            self.last_len = 0;
+            let _ = std::io::stderr().flush();
+        }
+    }
+}
+
+/// Aggregate statistics for everything a [`crate::Harness`] resolved.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunSummary {
+    /// Jobs submitted (including duplicates).
+    pub submitted: usize,
+    /// Distinct jobs after content-hash deduplication.
+    pub unique: usize,
+    /// Simulations actually executed.
+    pub executed: usize,
+    /// Results served from the in-process memo.
+    pub memo_hits: usize,
+    /// Results served from the on-disk store.
+    pub disk_hits: usize,
+    /// Trace records consumed by executed simulations.
+    pub records_simulated: u64,
+    /// Wall-clock time spent inside `Harness::run`.
+    pub wall: Duration,
+}
+
+impl RunSummary {
+    /// Aggregate simulation throughput in trace records per second.
+    pub fn insts_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.records_simulated as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{} jobs ({} unique): {} executed, {} memo hits, {} disk hits; {:.1}s wall, {:.1} Minst/s",
+            self.submitted,
+            self.unique,
+            self.executed,
+            self.memo_hits,
+            self.disk_hits,
+            self.wall.as_secs_f64(),
+            self.insts_per_sec() / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_renders_counts_and_rate() {
+        let s = RunSummary {
+            submitted: 10,
+            unique: 7,
+            executed: 4,
+            memo_hits: 3,
+            disk_hits: 3,
+            records_simulated: 2_000_000,
+            wall: Duration::from_secs(2),
+        };
+        let line = s.render();
+        assert!(line.contains("10 jobs (7 unique)"));
+        assert!(line.contains("4 executed"));
+        assert!((s.insts_per_sec() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn disabled_progress_is_silent_noop() {
+        let mut p = Progress::new(false, 3);
+        p.handle(&Event::JobStarted { label: "x".into() });
+        p.handle(&Event::JobFinished {
+            label: "x".into(),
+            wall_ms: 5,
+            insts_per_sec: 1.0,
+        });
+        p.finish();
+        assert_eq!(p.done, 1);
+    }
+
+    #[test]
+    fn zero_wall_rate_is_zero() {
+        assert_eq!(RunSummary::default().insts_per_sec(), 0.0);
+    }
+}

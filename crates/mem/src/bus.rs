@@ -46,12 +46,20 @@ pub struct BusConfig {
 impl BusConfig {
     /// The default 9.6 GB/s read bus (16 B wide, 600 MHz, 3 GHz core).
     pub const fn read_default() -> Self {
-        BusConfig { width_bytes: 16, core_cycles_per_bus_cycle: 5, saturation_window: 2000 }
+        BusConfig {
+            width_bytes: 16,
+            core_cycles_per_bus_cycle: 5,
+            saturation_window: 2000,
+        }
     }
 
     /// The default 4.8 GB/s write bus (8 B wide, 600 MHz, 3 GHz core).
     pub const fn write_default() -> Self {
-        BusConfig { width_bytes: 8, core_cycles_per_bus_cycle: 5, saturation_window: 2000 }
+        BusConfig {
+            width_bytes: 8,
+            core_cycles_per_bus_cycle: 5,
+            saturation_window: 2000,
+        }
     }
 
     /// A bus with `factor`× the default width's bandwidth (used for the
@@ -76,8 +84,7 @@ impl BusConfig {
 
     /// Peak bandwidth in GB/s given the core frequency in Hz.
     pub fn bandwidth_gbps(self, core_hz: f64) -> f64 {
-        let bytes_per_core_cycle =
-            self.width_bytes as f64 / self.core_cycles_per_bus_cycle as f64;
+        let bytes_per_core_cycle = self.width_bytes as f64 / self.core_cycles_per_bus_cycle as f64;
         bytes_per_core_cycle * core_hz / 1e9
     }
 }
@@ -96,7 +103,10 @@ pub struct BusStats {
 
 impl BusStats {
     fn class_idx(class: MemClass) -> usize {
-        MemClass::ALL.iter().position(|&c| c == class).expect("class in ALL")
+        MemClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class in ALL")
     }
 
     /// Transfers granted for `class`.
@@ -153,7 +163,12 @@ pub struct Bus {
 impl Bus {
     /// Creates an idle bus.
     pub fn new(config: BusConfig) -> Self {
-        Bus { config, next_free_demand: 0, next_free_any: 0, stats: BusStats::default() }
+        Bus {
+            config,
+            next_free_demand: 0,
+            next_free_any: 0,
+            stats: BusStats::default(),
+        }
     }
 
     /// This bus's configuration.
@@ -267,7 +282,10 @@ mod tests {
 
     #[test]
     fn saturation_drops_low_priority() {
-        let cfg = BusConfig { saturation_window: 100, ..BusConfig::read_default() };
+        let cfg = BusConfig {
+            saturation_window: 100,
+            ..BusConfig::read_default()
+        };
         let mut bus = Bus::new(cfg);
         let mut granted = 0;
         let mut dropped = 0;
@@ -285,7 +303,10 @@ mod tests {
 
     #[test]
     fn demand_is_never_dropped() {
-        let cfg = BusConfig { saturation_window: 0, ..BusConfig::read_default() };
+        let cfg = BusConfig {
+            saturation_window: 0,
+            ..BusConfig::read_default()
+        };
         let mut bus = Bus::new(cfg);
         for _ in 0..100 {
             assert!(bus.request(0, MemClass::Demand).is_some());

@@ -38,7 +38,10 @@ impl CacheGeometry {
         let lines = size_bytes / LINE_BYTES;
         assert!(lines >= u64::from(ways), "cache smaller than one set");
         let sets = lines / u64::from(ways);
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
         CacheGeometry { size_bytes, ways }
     }
 
@@ -117,7 +120,13 @@ impl SetAssocCache {
     /// Creates an empty cache.
     pub fn new(geometry: CacheGeometry) -> Self {
         let n = geometry.lines() as usize;
-        SetAssocCache { geometry, ways: vec![Way::default(); n], stamp: 0, accesses: 0, hits: 0 }
+        SetAssocCache {
+            geometry,
+            ways: vec![Way::default(); n],
+            stamp: 0,
+            accesses: 0,
+            hits: 0,
+        }
     }
 
     /// The cache's geometry.
@@ -133,7 +142,8 @@ impl SetAssocCache {
 
     fn find(&self, line: LineAddr) -> Option<usize> {
         let tag = self.geometry.tag_of(line);
-        self.set_range(line).find(|&i| self.ways[i].valid && self.ways[i].tag == tag)
+        self.set_range(line)
+            .find(|&i| self.ways[i].valid && self.ways[i].tag == tag)
     }
 
     /// Checks for a line without touching replacement state.
@@ -188,11 +198,19 @@ impl SetAssocCache {
             let old_tag = self.ways[victim].tag;
             let old_line =
                 LineAddr::from_index((old_tag << self.geometry.sets().trailing_zeros()) | set);
-            Some(Eviction { line: old_line, dirty: self.ways[victim].dirty })
+            Some(Eviction {
+                line: old_line,
+                dirty: self.ways[victim].dirty,
+            })
         } else {
             None
         };
-        self.ways[victim] = Way { tag, valid: true, dirty, lru: self.stamp };
+        self.ways[victim] = Way {
+            tag,
+            valid: true,
+            dirty,
+            lru: self.stamp,
+        };
         evicted
     }
 
@@ -210,7 +228,10 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Eviction> {
         let i = self.find(line)?;
         self.ways[i].valid = false;
-        Some(Eviction { line, dirty: self.ways[i].dirty })
+        Some(Eviction {
+            line,
+            dirty: self.ways[i].dirty,
+        })
     }
 
     /// Number of valid lines currently resident.
@@ -274,7 +295,11 @@ mod tests {
     fn lru_eviction_order() {
         let mut c = tiny();
         // Lines 0, 2, 4 all map to set 0 (2 sets).
-        let (a, b, d) = (LineAddr::from_index(0), LineAddr::from_index(2), LineAddr::from_index(4));
+        let (a, b, d) = (
+            LineAddr::from_index(0),
+            LineAddr::from_index(2),
+            LineAddr::from_index(4),
+        );
         c.fill(a, false);
         c.fill(b, false);
         c.access(a); // make b the LRU way
@@ -328,7 +353,10 @@ mod tests {
         c.fill(LineAddr::from_index(8), false);
         c.access(LineAddr::from_index(8));
         let ev = c.fill(LineAddr::from_index(10), false).unwrap();
-        assert_eq!(ev.line, victim, "reconstructed eviction address must match original");
+        assert_eq!(
+            ev.line, victim,
+            "reconstructed eviction address must match original"
+        );
     }
 
     #[test]

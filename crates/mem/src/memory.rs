@@ -127,9 +127,9 @@ impl MemorySystem {
     pub fn request(&mut self, now: Cycle, class: MemClass) -> MemOutcome {
         if class.uses_read_bus() {
             match self.read_bus.request(now, class) {
-                Some(grant) => {
-                    MemOutcome::Done { done: (now + self.config.latency).max(grant.end) }
-                }
+                Some(grant) => MemOutcome::Done {
+                    done: (now + self.config.latency).max(grant.end),
+                },
                 None => MemOutcome::Dropped,
             }
         } else {
@@ -148,7 +148,10 @@ impl MemorySystem {
 
     /// Traffic statistics so far.
     pub fn stats(&self) -> MemStats {
-        MemStats { read: self.read_bus.stats(), write: self.write_bus.stats() }
+        MemStats {
+            read: self.read_bus.stats(),
+            write: self.write_bus.stats(),
+        }
     }
 
     /// Read-bus utilization over `elapsed` cycles.
@@ -211,7 +214,10 @@ mod tests {
                 dropped += 1;
             }
         }
-        assert!(dropped > 0, "200 simultaneous prefetches must exceed the window");
+        assert!(
+            dropped > 0,
+            "200 simultaneous prefetches must exceed the window"
+        );
         assert_eq!(mem.stats().read.dropped_for(MemClass::Prefetch), dropped);
     }
 

@@ -70,10 +70,18 @@ impl PrefetchBuffer {
         assert!(entries > 0 && ways > 0, "buffer must have entries and ways");
         assert_eq!(entries % ways, 0, "entries must be a multiple of ways");
         let sets = entries / ways;
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
         PrefetchBuffer {
             slots: vec![
-                Slot { line: LineAddr::from_index(0), origin: 0, valid: false, lru: 0 };
+                Slot {
+                    line: LineAddr::from_index(0),
+                    origin: 0,
+                    valid: false,
+                    lru: 0
+                };
                 entries
             ],
             sets,
@@ -94,7 +102,8 @@ impl PrefetchBuffer {
     }
 
     fn find(&self, line: LineAddr) -> Option<usize> {
-        self.set_range(line).find(|&i| self.slots[i].valid && self.slots[i].line == line)
+        self.set_range(line)
+            .find(|&i| self.slots[i].valid && self.slots[i].line == line)
     }
 
     /// Whether `line` is buffered (no state change).
@@ -136,7 +145,12 @@ impl PrefetchBuffer {
         } else {
             None
         };
-        self.slots[victim] = Slot { line, origin, valid: true, lru: self.stamp };
+        self.slots[victim] = Slot {
+            line,
+            origin,
+            valid: true,
+            lru: self.stamp,
+        };
         evicted
     }
 
@@ -189,7 +203,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut pb = PrefetchBuffer::new(4, 2); // 2 sets x 2 ways
-        // Lines 0, 2, 4 map to set 0.
+                                                // Lines 0, 2, 4 map to set 0.
         pb.insert(LineAddr::from_index(0), 1);
         pb.insert(LineAddr::from_index(2), 2);
         let ev = pb.insert(LineAddr::from_index(4), 3).expect("set overflow");

@@ -156,7 +156,8 @@ mod tests {
                 pc: Pc::new(0),
                 kind: AccessKind::Load,
                 epoch_trigger: true,
-                now: 0, core: 0,
+                now: 0,
+                core: 0,
             },
             &mut out,
         );
@@ -167,7 +168,8 @@ mod tests {
                 kind: AccessKind::Load,
                 origin: 0,
                 would_be_trigger: false,
-                now: 0, core: 0,
+                now: 0,
+                core: 0,
             },
             &mut out,
         );
@@ -180,8 +182,14 @@ mod tests {
     #[test]
     fn actions_are_comparable() {
         assert_eq!(
-            Action::Prefetch { line: LineAddr::from_index(1), origin: 2 },
-            Action::Prefetch { line: LineAddr::from_index(1), origin: 2 }
+            Action::Prefetch {
+                line: LineAddr::from_index(1),
+                origin: 2
+            },
+            Action::Prefetch {
+                line: LineAddr::from_index(1),
+                origin: 2
+            }
         );
         assert_ne!(
             Action::TableRead { token: 1, delay: 0 },

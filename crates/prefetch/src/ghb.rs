@@ -17,7 +17,7 @@
 use ebcp_types::{LineAddr, Pc};
 use serde::{Deserialize, Serialize};
 
-use crate::api::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use crate::api::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 
 /// How the index table localizes the miss stream and how predictions
 /// are formed (Nesbit & Smith's taxonomy).
@@ -62,12 +62,19 @@ impl GhbConfig {
 
     /// The paper's *GHB large*: 256K-entry IT + 256K-entry GHB (≈4 MB).
     pub const fn large() -> Self {
-        GhbConfig { index_entries: 256 << 10, ghb_entries: 256 << 10, ..Self::small() }
+        GhbConfig {
+            index_entries: 256 << 10,
+            ghb_entries: 256 << 10,
+            ..Self::small()
+        }
     }
 
     /// A G/AC (global address correlation) variant at the *large* size.
     pub const fn global_ac() -> Self {
-        GhbConfig { indexing: GhbIndexing::GlobalAc, ..Self::large() }
+        GhbConfig {
+            indexing: GhbIndexing::GlobalAc,
+            ..Self::large()
+        }
     }
 }
 
@@ -109,7 +116,13 @@ impl GhbPrefetcher {
         assert!(config.index_entries > 0 && config.ghb_entries > 0);
         GhbPrefetcher {
             config,
-            ghb: vec![GhbEntry { line: LineAddr::from_index(0), prev_seq: u64::MAX }; config.ghb_entries],
+            ghb: vec![
+                GhbEntry {
+                    line: LineAddr::from_index(0),
+                    prev_seq: u64::MAX
+                };
+                config.ghb_entries
+            ],
             index: vec![None; config.index_entries],
             next_seq: 0,
             name: "ghb".to_owned(),
@@ -164,8 +177,7 @@ impl GhbPrefetcher {
         if history.len() < 4 {
             return; // need at least 3 deltas: 2 for the key + 1 to replay
         }
-        let deltas: Vec<i64> =
-            history.windows(2).map(|w| w[1].delta_from(w[0])).collect();
+        let deltas: Vec<i64> = history.windows(2).map(|w| w[1].delta_from(w[0])).collect();
         let m = deltas.len();
         let key = (deltas[m - 2], deltas[m - 1]);
         // Search backwards for the previous occurrence of the key pair.
@@ -181,7 +193,10 @@ impl GhbPrefetcher {
         let mut addr = *history.last().expect("nonempty");
         for d in deltas.iter().skip(j + 1).take(self.config.degree) {
             addr = addr.offset(*d);
-            out.push(Action::Prefetch { line: addr, origin: 0 });
+            out.push(Action::Prefetch {
+                line: addr,
+                origin: 0,
+            });
         }
     }
 
@@ -198,7 +213,10 @@ impl GhbPrefetcher {
             if !self.seq_valid(seq) || seq + 1 >= self.next_seq {
                 break;
             }
-            out.push(Action::Prefetch { line: self.ghb[(seq % n) as usize].line, origin: 0 });
+            out.push(Action::Prefetch {
+                line: self.ghb[(seq % n) as usize].line,
+                origin: 0,
+            });
         }
     }
 
@@ -244,7 +262,8 @@ mod tests {
             pc: Pc::new(pc),
             kind: AccessKind::Load,
             epoch_trigger: true,
-            now: 0, core: 0,
+            now: 0,
+            core: 0,
         }
     }
 
@@ -263,12 +282,17 @@ mod tests {
 
     #[test]
     fn recurring_delta_sequence_is_replayed() {
-        let mut p = GhbPrefetcher::new(GhbConfig { degree: 3, ..GhbConfig::small() });
+        let mut p = GhbPrefetcher::new(GhbConfig {
+            degree: 3,
+            ..GhbConfig::small()
+        });
         // PC 0x40 walks the same irregular sequence twice: deltas
         // +5,+12,+3,+5,+12 ... After the second +5,+12 pair, PC/DC should
         // replay +3,+5,+12.
-        let seq: Vec<(u64, u64)> =
-            [100, 105, 117, 120, 125, 137].iter().map(|&l| (0x40, l)).collect();
+        let seq: Vec<(u64, u64)> = [100, 105, 117, 120, 125, 137]
+            .iter()
+            .map(|&l| (0x40, l))
+            .collect();
         let pf = drive(&mut p, &seq);
         assert_eq!(pf, vec![140, 145, 157]);
     }
@@ -276,15 +300,20 @@ mod tests {
     #[test]
     fn no_prediction_without_recurrence() {
         let mut p = GhbPrefetcher::new(GhbConfig::small());
-        let seq: Vec<(u64, u64)> =
-            [100, 200, 350, 520, 900, 1400].iter().map(|&l| (0x40, l)).collect();
+        let seq: Vec<(u64, u64)> = [100, 200, 350, 520, 900, 1400]
+            .iter()
+            .map(|&l| (0x40, l))
+            .collect();
         let pf = drive(&mut p, &seq);
         assert!(pf.is_empty(), "unique deltas must not predict: {pf:?}");
     }
 
     #[test]
     fn streams_are_localized_per_pc() {
-        let mut p = GhbPrefetcher::new(GhbConfig { degree: 2, ..GhbConfig::small() });
+        let mut p = GhbPrefetcher::new(GhbConfig {
+            degree: 2,
+            ..GhbConfig::small()
+        });
         // Two PCs with interleaved accesses; each repeats its own delta
         // pattern. Predictions must follow the per-PC pattern.
         let mut seq = Vec::new();
@@ -301,7 +330,12 @@ mod tests {
 
     #[test]
     fn small_ghb_forgets_long_histories() {
-        let cfg = GhbConfig { index_entries: 64, ghb_entries: 64, degree: 4, ..GhbConfig::small() };
+        let cfg = GhbConfig {
+            index_entries: 64,
+            ghb_entries: 64,
+            degree: 4,
+            ..GhbConfig::small()
+        };
         let mut p = GhbPrefetcher::new(cfg);
         // First pass of PC 0x40's pattern.
         drive(&mut p, &[(0x40, 100), (0x40, 105), (0x40, 117)]);
@@ -310,13 +344,20 @@ mod tests {
         drive(&mut p, &flood);
         // Second pass: the chain is gone, so no replay is possible.
         let pf = drive(&mut p, &[(0x40, 200), (0x40, 205), (0x40, 217)]);
-        assert!(pf.is_empty(), "history should have been overwritten: {pf:?}");
+        assert!(
+            pf.is_empty(),
+            "history should have been overwritten: {pf:?}"
+        );
     }
 
     #[test]
     fn large_ghb_survives_the_same_flood() {
-        let cfg =
-            GhbConfig { index_entries: 4096, ghb_entries: 4096, degree: 4, ..GhbConfig::small() };
+        let cfg = GhbConfig {
+            index_entries: 4096,
+            ghb_entries: 4096,
+            degree: 4,
+            ..GhbConfig::small()
+        };
         let mut p = GhbPrefetcher::new(cfg);
         drive(&mut p, &[(0x40, 100), (0x40, 105), (0x40, 117)]);
         let flood: Vec<(u64, u64)> = (0..100).map(|i| (0x1000 + i * 8, 50_000 + i * 3)).collect();
@@ -329,7 +370,10 @@ mod tests {
 
     #[test]
     fn degree_bounds_prefetches_per_miss() {
-        let mut p = GhbPrefetcher::new(GhbConfig { degree: 2, ..GhbConfig::small() });
+        let mut p = GhbPrefetcher::new(GhbConfig {
+            degree: 2,
+            ..GhbConfig::small()
+        });
         // Long repeated unit-stride run: every miss replays at most 2.
         let seq: Vec<(u64, u64)> = (0..20).map(|i| (0x40, 100 + i)).collect();
         for &(pc, line) in &seq {
@@ -341,7 +385,10 @@ mod tests {
 
     #[test]
     fn global_ac_replays_global_successors() {
-        let mut p = GhbPrefetcher::new(GhbConfig { degree: 3, ..GhbConfig::global_ac() });
+        let mut p = GhbPrefetcher::new(GhbConfig {
+            degree: 3,
+            ..GhbConfig::global_ac()
+        });
         // Global miss stream: A B C D, then A again. G/AC must replay
         // B, C, D regardless of PCs or deltas.
         let pf = drive(&mut p, &[(1, 100), (2, 777), (3, 321), (4, 555), (1, 100)]);
@@ -350,7 +397,10 @@ mod tests {
 
     #[test]
     fn global_ac_stops_at_present() {
-        let mut p = GhbPrefetcher::new(GhbConfig { degree: 6, ..GhbConfig::global_ac() });
+        let mut p = GhbPrefetcher::new(GhbConfig {
+            degree: 6,
+            ..GhbConfig::global_ac()
+        });
         // A X, then A again: only one successor exists.
         let pf = drive(&mut p, &[(1, 100), (2, 777), (1, 100)]);
         assert_eq!(pf, vec![777]);
@@ -359,7 +409,12 @@ mod tests {
     #[test]
     fn index_collisions_break_chains_silently() {
         // One-slot index table: every PC collides.
-        let cfg = GhbConfig { index_entries: 1, ghb_entries: 1024, degree: 4, ..GhbConfig::small() };
+        let cfg = GhbConfig {
+            index_entries: 1,
+            ghb_entries: 1024,
+            degree: 4,
+            ..GhbConfig::small()
+        };
         let mut p = GhbPrefetcher::new(cfg);
         let mut seq = Vec::new();
         for rep in 0..4u64 {

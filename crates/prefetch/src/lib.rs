@@ -63,7 +63,7 @@ pub mod solihin;
 pub mod stream;
 pub mod tcp;
 
-pub use api::{Action, MissInfo, NullPrefetcher, Prefetcher, PrefetchHitInfo};
+pub use api::{Action, MissInfo, NullPrefetcher, PrefetchHitInfo, Prefetcher};
 pub use ghb::{GhbConfig, GhbPrefetcher};
 pub use mmtable::MainMemoryTable;
 pub use registry::BaselineConfig;

@@ -50,7 +50,13 @@ impl<E> MainMemoryTable<E> {
     /// Panics if `entries` is zero.
     pub fn new(entries: u64) -> Self {
         assert!(entries > 0, "table needs at least one entry");
-        MainMemoryTable { entries, slots: HashMap::new(), hits: 0, misses: 0, conflicts: 0 }
+        MainMemoryTable {
+            entries,
+            slots: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            conflicts: 0,
+        }
     }
 
     /// Number of direct-mapped slots.
@@ -226,7 +232,10 @@ mod tests {
         }
         let small_live = keys.iter().filter(|&&k| small.peek(k).is_some()).count();
         let large_live = keys.iter().filter(|&&k| large.peek(k).is_some()).count();
-        assert!(small_live < large_live, "small={small_live} large={large_live}");
+        assert!(
+            small_live < large_live,
+            "small={small_live} large={large_live}"
+        );
         assert!(large_live > 1990);
     }
 }

@@ -37,8 +37,14 @@ impl BaselineConfig {
             ("tcp-large", BaselineConfig::Tcp(TcpConfig::large())),
             ("stream", BaselineConfig::Stream(StreamConfig::default())),
             ("sms", BaselineConfig::Sms(SmsConfig::default())),
-            ("solihin-3,2", BaselineConfig::Solihin(SolihinConfig::original())),
-            ("solihin-6,1", BaselineConfig::Solihin(SolihinConfig::deep())),
+            (
+                "solihin-3,2",
+                BaselineConfig::Solihin(SolihinConfig::original()),
+            ),
+            (
+                "solihin-6,1",
+                BaselineConfig::Solihin(SolihinConfig::deep()),
+            ),
         ]
     }
 
@@ -81,8 +87,10 @@ mod tests {
 
     #[test]
     fn roster_matches_figure9() {
-        let names: Vec<_> =
-            BaselineConfig::figure9_roster().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<_> = BaselineConfig::figure9_roster()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert_eq!(
             names,
             vec![
@@ -101,7 +109,17 @@ mod tests {
     #[test]
     fn default_names() {
         assert_eq!(BaselineConfig::None.build().name(), "none");
-        assert_eq!(BaselineConfig::Stream(StreamConfig::default()).build().name(), "stream");
-        assert_eq!(BaselineConfig::Solihin(SolihinConfig::deep()).build().name(), "solihin-6,1");
+        assert_eq!(
+            BaselineConfig::Stream(StreamConfig::default())
+                .build()
+                .name(),
+            "stream"
+        );
+        assert_eq!(
+            BaselineConfig::Solihin(SolihinConfig::deep())
+                .build()
+                .name(),
+            "solihin-6,1"
+        );
     }
 }

@@ -13,7 +13,7 @@
 use ebcp_types::{AccessKind, LineAddr, Pc};
 use serde::{Deserialize, Serialize};
 
-use crate::api::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use crate::api::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 
 /// SMS configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,7 +30,12 @@ pub struct SmsConfig {
 
 impl Default for SmsConfig {
     fn default() -> Self {
-        SmsConfig { region_lines: 32, at_entries: 128, pht_entries: 16 << 10, pht_ways: 16 }
+        SmsConfig {
+            region_lines: 32,
+            at_entries: 128,
+            pht_entries: 16 << 10,
+            pht_ways: 16,
+        }
     }
 }
 
@@ -78,11 +83,17 @@ impl SmsPrefetcher {
     pub fn new(config: SmsConfig) -> Self {
         assert!(config.region_lines > 0 && config.region_lines <= 32);
         assert!(config.at_entries > 0);
-        assert!(config.pht_ways > 0 && config.pht_entries % config.pht_ways == 0);
+        assert!(config.pht_ways > 0 && config.pht_entries.is_multiple_of(config.pht_ways));
         SmsPrefetcher {
             config,
             at: vec![
-                AtEntry { region: 0, trigger_key: 0, pattern: 0, lru: 0, valid: false };
+                AtEntry {
+                    region: 0,
+                    trigger_key: 0,
+                    pattern: 0,
+                    lru: 0,
+                    valid: false
+                };
                 config.at_entries
             ],
             pht: vec![PhtEntry::default(); config.pht_entries],
@@ -127,9 +138,20 @@ impl SmsPrefetcher {
             }
         }
         let victim = (base..base + self.config.pht_ways)
-            .min_by_key(|&i| if self.pht[i].valid { self.pht[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.pht[i].valid {
+                    self.pht[i].lru
+                } else {
+                    0
+                }
+            })
             .expect("nonempty set");
-        self.pht[victim] = PhtEntry { key, pattern, lru: self.stamp, valid: true };
+        self.pht[victim] = PhtEntry {
+            key,
+            pattern,
+            lru: self.stamp,
+            valid: true,
+        };
     }
 
     fn handle(&mut self, pc: Pc, line: LineAddr, out: &mut Vec<Action>) {
@@ -168,7 +190,10 @@ impl SmsPrefetcher {
             let base = region * self.config.region_lines;
             for bit in 0..self.config.region_lines {
                 if bit != offset && pattern & (1 << bit) != 0 {
-                    out.push(Action::Prefetch { line: LineAddr::from_index(base + bit), origin: 0 });
+                    out.push(Action::Prefetch {
+                        line: LineAddr::from_index(base + bit),
+                        origin: 0,
+                    });
                 }
             }
         }
@@ -217,7 +242,8 @@ mod tests {
             pc: Pc::new(pc),
             kind: AccessKind::Load,
             epoch_trigger: true,
-            now: 0, core: 0,
+            now: 0,
+            core: 0,
         }
     }
 
@@ -236,7 +262,10 @@ mod tests {
 
     #[test]
     fn footprint_replayed_on_new_region() {
-        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        let mut p = SmsPrefetcher::new(SmsConfig {
+            at_entries: 1,
+            ..SmsConfig::default()
+        });
         // Generation 1: PC 0x40 triggers region 0 at offset 3; the
         // program then touches offsets 7 and 12.
         drive(&mut p, &[(0x40, 3), (0x99, 7), (0x99, 12)]);
@@ -244,12 +273,19 @@ mod tests {
         // committing the pattern {3,7,12} under trigger (0x40, 3).
         // Generation 2: the same trigger on a brand-new region 10.
         let pf = drive(&mut p, &[(0x40, 320 + 3)]);
-        assert_eq!(pf, vec![320 + 7, 320 + 12], "footprint replayed at new base");
+        assert_eq!(
+            pf,
+            vec![320 + 7, 320 + 12],
+            "footprint replayed at new base"
+        );
     }
 
     #[test]
     fn single_line_patterns_not_committed() {
-        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        let mut p = SmsPrefetcher::new(SmsConfig {
+            at_entries: 1,
+            ..SmsConfig::default()
+        });
         drive(&mut p, &[(0x40, 3)]); // lone access to region 0
         let pf = drive(&mut p, &[(0x40, 320 + 3)]);
         assert!(pf.is_empty(), "no spatial info in a 1-line generation");
@@ -257,7 +293,10 @@ mod tests {
 
     #[test]
     fn trigger_offset_matters() {
-        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        let mut p = SmsPrefetcher::new(SmsConfig {
+            at_entries: 1,
+            ..SmsConfig::default()
+        });
         drive(&mut p, &[(0x40, 3), (0x99, 7)]);
         // Same PC but different trigger offset: different PHT key.
         let pf = drive(&mut p, &[(0x40, 320 + 5)]);
@@ -281,7 +320,8 @@ mod tests {
                 pc: Pc::new(0x40),
                 kind: AccessKind::InstrFetch,
                 epoch_trigger: true,
-                now: 0, core: 0,
+                now: 0,
+                core: 0,
             },
             &mut out,
         );
@@ -299,7 +339,10 @@ mod tests {
 
     #[test]
     fn whole_region_can_be_prefetched() {
-        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        let mut p = SmsPrefetcher::new(SmsConfig {
+            at_entries: 1,
+            ..SmsConfig::default()
+        });
         // Touch every line of region 0.
         let seq: Vec<(u64, u64)> = (0..32).map(|o| (0x40, o)).collect();
         drive(&mut p, &seq);
@@ -309,7 +352,10 @@ mod tests {
 
     #[test]
     fn pattern_updates_on_recommit() {
-        let mut p = SmsPrefetcher::new(SmsConfig { at_entries: 1, ..SmsConfig::default() });
+        let mut p = SmsPrefetcher::new(SmsConfig {
+            at_entries: 1,
+            ..SmsConfig::default()
+        });
         drive(&mut p, &[(0x40, 3), (0x99, 7)]);
         // New generation, same trigger, different footprint.
         drive(&mut p, &[(0x40, 320 + 3), (0x99, 320 + 9)]);

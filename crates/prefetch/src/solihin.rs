@@ -22,7 +22,7 @@ use std::collections::{HashMap, VecDeque};
 use ebcp_types::LineAddr;
 use serde::{Deserialize, Serialize};
 
-use crate::api::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use crate::api::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 use crate::mmtable::MainMemoryTable;
 
 /// Solihin prefetcher configuration.
@@ -44,12 +44,24 @@ pub struct SolihinConfig {
 impl SolihinConfig {
     /// The original *Solihin 3,2*: depth 3, width 2, ≤6 prefetches.
     pub const fn original() -> Self {
-        SolihinConfig { entries: 1 << 20, width: 2, depth: 3, degree: 6, lookup_delay: 250 }
+        SolihinConfig {
+            entries: 1 << 20,
+            width: 2,
+            depth: 3,
+            degree: 6,
+            lookup_delay: 250,
+        }
     }
 
     /// The depth-enhanced *Solihin 6,1*: depth 6, width 1.
     pub const fn deep() -> Self {
-        SolihinConfig { entries: 1 << 20, width: 1, depth: 6, degree: 6, lookup_delay: 250 }
+        SolihinConfig {
+            entries: 1 << 20,
+            width: 1,
+            depth: 6,
+            degree: 6,
+            lookup_delay: 250,
+        }
     }
 }
 
@@ -120,7 +132,9 @@ impl SolihinPrefetcher {
             }
             self.table.update_or_insert(
                 pred,
-                || SolihinEntry { levels: vec![Vec::new(); depth] },
+                || SolihinEntry {
+                    levels: vec![Vec::new(); depth],
+                },
                 |e| {
                     if e.levels.len() < depth {
                         e.levels.resize(depth, Vec::new());
@@ -146,7 +160,10 @@ impl SolihinPrefetcher {
         let token = self.next_token;
         self.next_token += 1;
         self.pending.insert(token, line);
-        out.push(Action::TableRead { token, delay: self.config.lookup_delay });
+        out.push(Action::TableRead {
+            token,
+            delay: self.config.lookup_delay,
+        });
         // Learning updates one entry per level: each is a table write
         // (the engine charges the write-bus bandwidth).
         for _ in 0..self.recent.len().saturating_sub(1).min(self.config.depth) {
@@ -175,8 +192,12 @@ impl Prefetcher for SolihinPrefetcher {
     }
 
     fn on_table_done(&mut self, token: u64, _now: u64, out: &mut Vec<Action>) {
-        let Some(key) = self.pending.remove(&token) else { return };
-        let Some(entry) = self.table.get(key) else { return };
+        let Some(key) = self.pending.remove(&token) else {
+            return;
+        };
+        let Some(entry) = self.table.get(key) else {
+            return;
+        };
         let mut issued = 0;
         // Level-major order: nearest successors first.
         for level in &entry.levels {
@@ -184,7 +205,10 @@ impl Prefetcher for SolihinPrefetcher {
                 if issued >= self.config.degree {
                     return;
                 }
-                out.push(Action::Prefetch { line: succ, origin: 0 });
+                out.push(Action::Prefetch {
+                    line: succ,
+                    origin: 0,
+                });
                 issued += 1;
             }
         }
@@ -206,7 +230,8 @@ mod tests {
             pc: Pc::new(0),
             kind: AccessKind::Load,
             epoch_trigger: true,
-            now: 0, core: 0,
+            now: 0,
+            core: 0,
         }
     }
 
@@ -265,7 +290,10 @@ mod tests {
 
     #[test]
     fn degree_caps_prefetches() {
-        let cfg = SolihinConfig { degree: 3, ..SolihinConfig::deep() };
+        let cfg = SolihinConfig {
+            degree: 3,
+            ..SolihinConfig::deep()
+        };
         let mut p = SolihinPrefetcher::new(cfg);
         let seq = [10u64, 20, 30, 40, 50, 60, 70];
         drive(&mut p, &seq);
@@ -304,7 +332,10 @@ mod tests {
 
     #[test]
     fn table_capacity_causes_aliasing() {
-        let tiny = SolihinConfig { entries: 4, ..SolihinConfig::deep() };
+        let tiny = SolihinConfig {
+            entries: 4,
+            ..SolihinConfig::deep()
+        };
         let mut p = SolihinPrefetcher::new(tiny);
         let seq: Vec<u64> = (0..100).map(|i| i * 17 + 1).collect();
         drive(&mut p, &seq);

@@ -10,7 +10,7 @@
 use ebcp_types::{AccessKind, LineAddr};
 use serde::{Deserialize, Serialize};
 
-use crate::api::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use crate::api::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 
 /// Stream prefetcher configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,7 +27,12 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { trackers: 32, degree: 6, max_stride: 64, confirmations: 2 }
+        StreamConfig {
+            trackers: 32,
+            degree: 6,
+            max_stride: 64,
+            confirmations: 2,
+        }
     }
 }
 
@@ -99,7 +104,10 @@ impl StreamPrefetcher {
 
     /// Number of trackers currently in the streaming state.
     pub fn active_streams(&self) -> usize {
-        self.trackers.iter().filter(|t| t.valid && t.streaming).count()
+        self.trackers
+            .iter()
+            .filter(|t| t.valid && t.streaming)
+            .count()
     }
 
     fn handle_line(&mut self, line: LineAddr, out: &mut Vec<Action>) {
@@ -137,7 +145,10 @@ impl StreamPrefetcher {
                 let target = line.offset(t.stride * cfg.degree as i64);
                 while t.frontier.delta_from(target) * t.stride.signum() < 0 {
                     t.frontier = t.frontier.offset(t.stride);
-                    out.push(Action::Prefetch { line: t.frontier, origin: 0 });
+                    out.push(Action::Prefetch {
+                        line: t.frontier,
+                        origin: 0,
+                    });
                 }
             } else {
                 t.stride = delta;
@@ -147,7 +158,10 @@ impl StreamPrefetcher {
                     t.streaming = true;
                     // Burst: issue `degree` prefetches ahead.
                     for k in 1..=cfg.degree as i64 {
-                        out.push(Action::Prefetch { line: line.offset(t.stride * k), origin: 0 });
+                        out.push(Action::Prefetch {
+                            line: line.offset(t.stride * k),
+                            origin: 0,
+                        });
                     }
                     t.frontier = line.offset(t.stride * cfg.degree as i64);
                 }
@@ -206,7 +220,8 @@ mod tests {
             pc: Pc::new(0),
             kind: AccessKind::Load,
             epoch_trigger: true,
-            now: 0, core: 0,
+            now: 0,
+            core: 0,
         }
     }
 
@@ -282,7 +297,8 @@ mod tests {
                     pc: Pc::new(0),
                     kind: AccessKind::InstrFetch,
                     epoch_trigger: true,
-                    now: 0, core: 0,
+                    now: 0,
+                    core: 0,
                 },
                 &mut out,
             );
@@ -292,7 +308,10 @@ mod tests {
 
     #[test]
     fn tracker_capacity_is_bounded() {
-        let cfg = StreamConfig { trackers: 4, ..StreamConfig::default() };
+        let cfg = StreamConfig {
+            trackers: 4,
+            ..StreamConfig::default()
+        };
         let mut p = StreamPrefetcher::new(cfg);
         // 8 interleaved streams with only 4 trackers: the first four get
         // evicted before confirming.
@@ -321,10 +340,17 @@ mod tests {
                 kind: AccessKind::Load,
                 origin: 0,
                 would_be_trigger: true,
-                now: 0, core: 0,
+                now: 0,
+                core: 0,
             },
             &mut out,
         );
-        assert_eq!(out, vec![Action::Prefetch { line: LineAddr::from_index(109), origin: 0 }]);
+        assert_eq!(
+            out,
+            vec![Action::Prefetch {
+                line: LineAddr::from_index(109),
+                origin: 0
+            }]
+        );
     }
 }

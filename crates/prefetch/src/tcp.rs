@@ -18,7 +18,7 @@
 use ebcp_types::{AccessKind, LineAddr};
 use serde::{Deserialize, Serialize};
 
-use crate::api::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use crate::api::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 
 /// TCP configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,12 +36,22 @@ pub struct TcpConfig {
 impl TcpConfig {
     /// The paper's *TCP small*: 2048 PHT sets × 16 ways (≈256 KB).
     pub const fn small() -> Self {
-        TcpConfig { l1_sets: 128, pht_sets: 2048, pht_ways: 16, degree: 6 }
+        TcpConfig {
+            l1_sets: 128,
+            pht_sets: 2048,
+            pht_ways: 16,
+            degree: 6,
+        }
     }
 
     /// The paper's *TCP large*: 32K PHT sets × 16 ways (≈4 MB).
     pub const fn large() -> Self {
-        TcpConfig { l1_sets: 128, pht_sets: 32 << 10, pht_ways: 16, degree: 6 }
+        TcpConfig {
+            l1_sets: 128,
+            pht_sets: 32 << 10,
+            pht_ways: 16,
+            degree: 6,
+        }
     }
 }
 
@@ -136,9 +146,20 @@ impl TcpPrefetcher {
         }
         // Miss: replace LRU (or an invalid way).
         let victim = (base..base + self.config.pht_ways)
-            .min_by_key(|&i| if self.pht[i].valid { self.pht[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.pht[i].valid {
+                    self.pht[i].lru
+                } else {
+                    0
+                }
+            })
             .expect("nonempty set");
-        self.pht[victim] = PhtEntry { key, next_tag, valid: true, lru: self.stamp };
+        self.pht[victim] = PhtEntry {
+            key,
+            next_tag,
+            valid: true,
+            lru: self.stamp,
+        };
     }
 
     fn handle(&mut self, line: LineAddr, out: &mut Vec<Action>) {
@@ -157,7 +178,9 @@ impl TcpPrefetcher {
             if h1 == u64::MAX {
                 break;
             }
-            let Some(next) = self.pht_lookup(Self::history_key(h1, h2)) else { break };
+            let Some(next) = self.pht_lookup(Self::history_key(h1, h2)) else {
+                break;
+            };
             out.push(Action::Prefetch {
                 line: LineAddr::from_index((next << sets_shift) | set),
                 origin: 0,
@@ -199,7 +222,8 @@ mod tests {
             pc: Pc::new(0),
             kind: AccessKind::Load,
             epoch_trigger: true,
-            now: 0, core: 0,
+            now: 0,
+            core: 0,
         }
     }
 
@@ -223,7 +247,10 @@ mod tests {
 
     #[test]
     fn recurring_tag_sequence_predicted() {
-        let mut p = TcpPrefetcher::new(TcpConfig { degree: 1, ..TcpConfig::small() });
+        let mut p = TcpPrefetcher::new(TcpConfig {
+            degree: 1,
+            ..TcpConfig::small()
+        });
         // Tag sequence 10, 20, 30 in set 5, twice.
         let seq: Vec<u64> = [10, 20, 30, 10, 20, 30]
             .iter()
@@ -236,16 +263,28 @@ mod tests {
 
     #[test]
     fn chained_predictions_respect_degree() {
-        let mut p = TcpPrefetcher::new(TcpConfig { degree: 3, ..TcpConfig::small() });
-        let seq: Vec<u64> = [1, 2, 3, 4, 5, 6, 1, 2].iter().map(|&t| in_set5(t)).collect();
+        let mut p = TcpPrefetcher::new(TcpConfig {
+            degree: 3,
+            ..TcpConfig::small()
+        });
+        let seq: Vec<u64> = [1, 2, 3, 4, 5, 6, 1, 2]
+            .iter()
+            .map(|&t| in_set5(t))
+            .collect();
         let pf = drive(&mut p, &seq);
         // After the second (1,2), the chain 3,4,5 should be prefetched.
-        assert!(pf.ends_with(&[in_set5(3), in_set5(4), in_set5(5)]), "{pf:?}");
+        assert!(
+            pf.ends_with(&[in_set5(3), in_set5(4), in_set5(5)]),
+            "{pf:?}"
+        );
     }
 
     #[test]
     fn different_sets_do_not_interfere() {
-        let mut p = TcpPrefetcher::new(TcpConfig { degree: 1, ..TcpConfig::small() });
+        let mut p = TcpPrefetcher::new(TcpConfig {
+            degree: 1,
+            ..TcpConfig::small()
+        });
         // Set 5 sees tags 1,2,3 twice; set 9 sees unrelated tags.
         let mut seq = Vec::new();
         for pass in 0..2 {
@@ -282,7 +321,8 @@ mod tests {
                     pc: Pc::new(0),
                     kind: AccessKind::InstrFetch,
                     epoch_trigger: true,
-                    now: 0, core: 0,
+                    now: 0,
+                    core: 0,
                 },
                 &mut out,
             );
@@ -293,7 +333,12 @@ mod tests {
     #[test]
     fn small_pht_thrashes_under_many_patterns() {
         // 1-set, 2-way PHT: more than two live histories evict each other.
-        let cfg = TcpConfig { l1_sets: 128, pht_sets: 1, pht_ways: 2, degree: 1 };
+        let cfg = TcpConfig {
+            l1_sets: 128,
+            pht_sets: 1,
+            pht_ways: 2,
+            degree: 1,
+        };
         let mut p = TcpPrefetcher::new(cfg);
         let mut seq = Vec::new();
         for pass in 0..2 {

@@ -19,7 +19,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use ebcp_core::EpochTracker;
 use ebcp_mem::{MemOutcome, MemorySystem, MshrFile, PrefetchBuffer, SetAssocCache};
-use ebcp_prefetch::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 use ebcp_trace::{Op, TraceRecord};
 use ebcp_types::{AccessKind, Cycle, LineAddr, MemClass, Pc};
 
@@ -267,10 +267,11 @@ impl CmpEngine {
             // trace records left.
             let mut pick: Option<usize> = None;
             for (i, c) in self.cores.iter().enumerate() {
-                if (cursors[i] as u64) < total && cursors[i] < traces[i].len() {
-                    if pick.map(|p| c.cycle < self.cores[p].cycle).unwrap_or(true) {
-                        pick = Some(i);
-                    }
+                if (cursors[i] as u64) < total
+                    && cursors[i] < traces[i].len()
+                    && pick.map(|p| c.cycle < self.cores[p].cycle).unwrap_or(true)
+                {
+                    pick = Some(i);
                 }
             }
             let Some(i) = pick else { break };
@@ -395,9 +396,10 @@ impl CmpEngine {
 
         match rec.op {
             Op::Alu => {}
-            Op::Load { addr, feeds_mispredict } => {
-                self.load(i, addr.line(), rec.pc, feeds_mispredict)
-            }
+            Op::Load {
+                addr,
+                feeds_mispredict,
+            } => self.load(i, addr.line(), rec.pc, feeds_mispredict),
             Op::Store { addr } => self.store(i, addr.line()),
             Op::Branch { mispredicted } => {
                 if mispredicted {
@@ -487,9 +489,7 @@ impl CmpEngine {
             self.cores[i].l1d.fill(dline, false);
             return;
         }
-        if self.mshr.contains(dline)
-            || self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs
-        {
+        if self.mshr.contains(dline) || self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs {
             return;
         }
         self.cores[i].c.store_misses += 1;
@@ -716,7 +716,11 @@ impl CmpEngine {
     }
 
     fn push_event(&mut self, at: Cycle, kind: EvKind) {
-        let ev = Ev { at, seq: self.ev_seq, kind };
+        let ev = Ev {
+            at,
+            seq: self.ev_seq,
+            kind,
+        };
         self.ev_seq += 1;
         self.events.push(Reverse(ev));
         self.next_ev_at = self.next_ev_at.min(at);
@@ -738,10 +742,11 @@ impl CmpEngine {
                 }
                 EvKind::PrefetchArrive { line, origin } => {
                     self.pf_inflight.remove(&line);
-                    if !self.l2.probe(line) && !self.mshr.contains(line) {
-                        if self.pbuf.insert(line, origin).is_some() {
-                            self.pf_evicted_unused += 1;
-                        }
+                    if !self.l2.probe(line)
+                        && !self.mshr.contains(line)
+                        && self.pbuf.insert(line, origin).is_some()
+                    {
+                        self.pf_evicted_unused += 1;
                     }
                 }
                 EvKind::StoreFill { line } => {
@@ -751,7 +756,11 @@ impl CmpEngine {
                 }
             }
         }
-        self.next_ev_at = self.events.peek().map(|Reverse(e)| e.at).unwrap_or(Cycle::MAX);
+        self.next_ev_at = self
+            .events
+            .peek()
+            .map(|Reverse(e)| e.at)
+            .unwrap_or(Cycle::MAX);
     }
 }
 
@@ -777,16 +786,28 @@ mod tests {
     /// cores differ only in execution order and noise.
     fn traces(n: usize, len: usize) -> Vec<Vec<TraceRecord>> {
         let w = small_workload();
-        (0..n).map(|s| TraceGenerator::new(&w, s as u64 + 1).take(len).collect()).collect()
+        (0..n)
+            .map(|s| TraceGenerator::new(&w, s as u64 + 1).take(len).collect())
+            .collect()
     }
 
     /// Per-core traces over DISJOINT programs (distinct footprints) —
     /// the consolidated-server scenario where cores compete for the L2.
+    ///
+    /// Disjointness needs `addr_space`: a distinct `seed_tag` alone only
+    /// varies the access pattern over the SAME line pools, which lets
+    /// co-runners prefill the shared L2 for each other. Each core's
+    /// data pool (1K lines) fits the scaled-down L2 (2048 lines)
+    /// comfortably on its own but four cores together oversubscribe it,
+    /// so the contention contrast is structural, not a property of one
+    /// particular random trace.
     fn disjoint_traces(n: usize, len: usize) -> Vec<Vec<TraceRecord>> {
         (0..n)
             .map(|s| {
                 let w = WorkloadSpec {
                     seed_tag: 0x100 + s as u64,
+                    addr_space: 1 + s as u64,
+                    data_pool_lines: 1 << 10,
                     ..small_workload()
                 };
                 TraceGenerator::new(&w, s as u64 + 1).take(len).collect()
@@ -815,10 +836,8 @@ mod tests {
         let mut cmp = CmpEngine::new(SimConfig::scaled_down(16), 1, Box::new(NullPrefetcher));
         let r = cmp.run(&t, 50_000, 150_000, "w");
 
-        let mut engine = crate::engine::Engine::new(
-            SimConfig::scaled_down(16),
-            Box::new(NullPrefetcher),
-        );
+        let mut engine =
+            crate::engine::Engine::new(SimConfig::scaled_down(16), Box::new(NullPrefetcher));
         for rec in &t[0][..50_000] {
             engine.step(rec);
         }
@@ -833,7 +852,16 @@ mod tests {
             (a - b).abs() / b < 0.02,
             "N=1 CMP CPI {a:.4} vs single-core {b:.4}"
         );
-        assert_eq!(r.cores[0].epochs, single.epochs);
+        // The two event loops are the same model but not lockstep (CPI
+        // above is allowed 2% divergence), so an epoch in flight when
+        // warm-up statistics reset can be credited to either side of
+        // the boundary on one engine and not the other: allow one
+        // boundary epoch of slack.
+        let (ec, es) = (r.cores[0].epochs, single.epochs);
+        assert!(
+            ec.abs_diff(es) <= 1,
+            "N=1 CMP epochs {ec} vs single-core {es}"
+        );
     }
 
     #[test]
@@ -849,7 +877,10 @@ mod tests {
         let r4 = four.run(&t4, 50_000, 100_000, "w");
         let mr1 = r1.cores[0].load_mr();
         let mr4 = r4.cores[0].load_mr();
-        assert!(mr4 > mr1, "shared-L2 contention: {mr4:.2} vs {mr1:.2} per 1k");
+        assert!(
+            mr4 > mr1,
+            "shared-L2 contention: {mr4:.2} vs {mr1:.2} per 1k"
+        );
     }
 
     #[test]
@@ -880,10 +911,16 @@ mod tests {
         let mut with = CmpEngine::new(
             sim,
             2,
-            Box::new(EbcpPrefetcher::new(EbcpConfig::tuned().with_table_entries(1 << 16))),
+            Box::new(EbcpPrefetcher::new(
+                EbcpConfig::tuned().with_table_entries(1 << 16),
+            )),
         );
         let rw = with.run(&t, 100_000, 150_000, "w");
-        assert!(rw.aggregate.pf_issued > 100, "prefetches issued: {}", rw.aggregate.pf_issued);
+        assert!(
+            rw.aggregate.pf_issued > 100,
+            "prefetches issued: {}",
+            rw.aggregate.pf_issued
+        );
         let imp = rw.improvement_over(&rb);
         assert!(imp > 0.03, "EBCP should help on a 2-core CMP: {:.3}", imp);
     }

@@ -18,8 +18,10 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use ebcp_core::EpochTracker;
-use ebcp_mem::{MemOutcome, MemStats, MemorySystem, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache};
-use ebcp_prefetch::{Action, MissInfo, Prefetcher, PrefetchHitInfo};
+use ebcp_mem::{
+    MemOutcome, MemStats, MemorySystem, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache,
+};
+use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 use ebcp_trace::{Op, TraceRecord};
 use ebcp_types::{AccessKind, Cycle, LineAddr, MemClass, Pc};
 
@@ -237,9 +239,10 @@ impl Engine {
 
         match rec.op {
             Op::Alu => {}
-            Op::Load { addr, feeds_mispredict } => {
-                self.load(addr.line(), rec.pc, feeds_mispredict)
-            }
+            Op::Load {
+                addr,
+                feeds_mispredict,
+            } => self.load(addr.line(), rec.pc, feeds_mispredict),
             Op::Store { addr } => self.store(addr.line()),
             Op::Branch { mispredicted } => {
                 if mispredicted {
@@ -441,7 +444,14 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn notify_miss(&mut self, line: LineAddr, pc: Pc, kind: AccessKind, trigger: bool) {
-        let info = MissInfo { line, pc, kind, epoch_trigger: trigger, now: self.cycle , core: 0,};
+        let info = MissInfo {
+            line,
+            pc,
+            kind,
+            epoch_trigger: trigger,
+            now: self.cycle,
+            core: 0,
+        };
         let mut acts = std::mem::take(&mut self.actions);
         acts.clear();
         self.pf.on_miss(&info, &mut acts);
@@ -456,7 +466,8 @@ impl Engine {
             kind,
             origin,
             would_be_trigger: self.epoch.would_trigger(),
-            now: self.cycle, core: 0,
+            now: self.cycle,
+            core: 0,
         };
         let mut acts = std::mem::take(&mut self.actions);
         acts.clear();
@@ -491,19 +502,18 @@ impl Engine {
                         MemOutcome::Dropped => self.c.pf_dropped_bus += 1,
                     }
                 }
-                Action::TableRead { token, delay } => match self
-                    .mem
-                    .request(now + delay, MemClass::TableRead)
-                {
-                    MemOutcome::Done { done } => {
-                        self.c.table_reads += 1;
-                        self.push_event(done, EvKind::TableDone { token });
+                Action::TableRead { token, delay } => {
+                    match self.mem.request(now + delay, MemClass::TableRead) {
+                        MemOutcome::Done { done } => {
+                            self.c.table_reads += 1;
+                            self.push_event(done, EvKind::TableDone { token });
+                        }
+                        MemOutcome::Dropped => {
+                            self.c.table_read_drops += 1;
+                            self.pf.on_table_dropped(token);
+                        }
                     }
-                    MemOutcome::Dropped => {
-                        self.c.table_read_drops += 1;
-                        self.pf.on_table_dropped(token);
-                    }
-                },
+                }
                 Action::TableWrite => {
                     self.c.table_writes += 1;
                     let _ = self.mem.request(now, MemClass::TableWrite);
@@ -526,7 +536,12 @@ impl Engine {
     }
 
     fn stall_all(&mut self) {
-        let max_done = self.outstanding.iter().map(|o| o.done).max().unwrap_or(self.cycle);
+        let max_done = self
+            .outstanding
+            .iter()
+            .map(|o| o.done)
+            .max()
+            .unwrap_or(self.cycle);
         if max_done > self.cycle {
             self.c.stall_cycles += max_done - self.cycle;
             self.cycle = max_done;
@@ -585,7 +600,11 @@ impl Engine {
     }
 
     fn push_event(&mut self, at: Cycle, kind: EvKind) {
-        let ev = Ev { at, seq: self.ev_seq, kind };
+        let ev = Ev {
+            at,
+            seq: self.ev_seq,
+            kind,
+        };
         self.ev_seq += 1;
         self.events.push(Reverse(ev));
         self.next_ev_at = self.next_ev_at.min(at);
@@ -607,10 +626,11 @@ impl Engine {
                 }
                 EvKind::PrefetchArrive { line, origin } => {
                     self.pf_inflight.remove(&line);
-                    if !self.l2.probe(line) && !self.mshr.contains(line) {
-                        if self.pbuf.insert(line, origin).is_some() {
-                            self.c.pf_evicted_unused += 1;
-                        }
+                    if !self.l2.probe(line)
+                        && !self.mshr.contains(line)
+                        && self.pbuf.insert(line, origin).is_some()
+                    {
+                        self.c.pf_evicted_unused += 1;
                     }
                 }
                 EvKind::StoreFill { line } => {
@@ -620,7 +640,11 @@ impl Engine {
                 }
             }
         }
-        self.next_ev_at = self.events.peek().map(|Reverse(e)| e.at).unwrap_or(Cycle::MAX);
+        self.next_ev_at = self
+            .events
+            .peek()
+            .map(|Reverse(e)| e.at)
+            .unwrap_or(Cycle::MAX);
     }
 }
 
@@ -635,7 +659,10 @@ fn diff_bus(now: ebcp_mem::BusStats, base: ebcp_mem::BusStats) -> ebcp_mem::BusS
 }
 
 fn diff_mem(now: MemStats, base: MemStats) -> MemStats {
-    MemStats { read: diff_bus(now.read, base.read), write: diff_bus(now.write, base.write) }
+    MemStats {
+        read: diff_bus(now.read, base.read),
+        write: diff_bus(now.write, base.write),
+    }
 }
 
 #[cfg(test)]
@@ -649,7 +676,9 @@ mod tests {
     }
 
     fn alu_run(pc0: u64, n: u64) -> Vec<TraceRecord> {
-        (0..n).map(|i| TraceRecord::alu(Pc::new(pc0 + 4 * (i % 16)))).collect()
+        (0..n)
+            .map(|i| TraceRecord::alu(Pc::new(pc0 + 4 * (i % 16))))
+            .collect()
     }
 
     #[test]
@@ -692,7 +721,11 @@ mod tests {
         e.run(t);
         let r = e.result("t");
         assert_eq!(r.epochs, 3, "ifetch epoch + two separated load epochs");
-        assert!(r.stall_cycles > 900, "two full stalls expected, got {}", r.stall_cycles);
+        assert!(
+            r.stall_cycles > 900,
+            "two full stalls expected, got {}",
+            r.stall_cycles
+        );
     }
 
     #[test]
@@ -714,7 +747,10 @@ mod tests {
         let mut t = alu_run(0x1000, 16);
         t.push(TraceRecord::new(
             Pc::new(0x1000),
-            Op::Load { addr: Addr::new(0x80_0000), feeds_mispredict: true },
+            Op::Load {
+                addr: Addr::new(0x80_0000),
+                feeds_mispredict: true,
+            },
         ));
         // Within the dep window: a second load would have overlapped,
         // but the dependent mispredict cuts the window first.
@@ -755,7 +791,10 @@ mod tests {
         let mut e = Engine::new(tiny_cfg(), Box::new(NullPrefetcher));
         let mut t = alu_run(0x1000, 16);
         for i in 0..8u64 {
-            t.push(TraceRecord::store(Pc::new(0x1000), Addr::new(0x80_0000 + i * 64)));
+            t.push(TraceRecord::store(
+                Pc::new(0x1000),
+                Addr::new(0x80_0000 + i * 64),
+            ));
         }
         t.extend(alu_run(0x1000, 2000));
         e.run(t);
@@ -772,11 +811,17 @@ mod tests {
         let mut t = alu_run(0x1000, 16);
         // Dirty many lines, then stream enough loads through to evict.
         for i in 0..64u64 {
-            t.push(TraceRecord::store(Pc::new(0x1000), Addr::new(0x80_0000 + i * 64)));
+            t.push(TraceRecord::store(
+                Pc::new(0x1000),
+                Addr::new(0x80_0000 + i * 64),
+            ));
             t.extend(alu_run(0x1000, 64));
         }
         for i in 0..l2_lines * 3 {
-            t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x200_0000 + i * 64)));
+            t.push(TraceRecord::load(
+                Pc::new(0x1000),
+                Addr::new(0x200_0000 + i * 64),
+            ));
             t.extend(alu_run(0x1000, 200));
         }
         e.run(t);
@@ -795,6 +840,10 @@ mod tests {
         let r = e.result("t");
         assert_eq!(r.l2_load_misses, 0);
         assert_eq!(r.epochs, 0);
-        assert!((r.cpi() - 0.25).abs() < 0.01, "pure issue-limited: {}", r.cpi());
+        assert!(
+            (r.cpi() - 0.25).abs() < 0.01,
+            "pure issue-limited: {}",
+            r.cpi()
+        );
     }
 }

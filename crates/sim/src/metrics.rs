@@ -225,16 +225,32 @@ mod tests {
 
     #[test]
     fn improvement_math() {
-        let base = SimResult { insts: 1000, cycles: 3000, ..SimResult::default() };
-        let faster = SimResult { insts: 1000, cycles: 2400, ..SimResult::default() };
+        let base = SimResult {
+            insts: 1000,
+            cycles: 3000,
+            ..SimResult::default()
+        };
+        let faster = SimResult {
+            insts: 1000,
+            cycles: 2400,
+            ..SimResult::default()
+        };
         let imp = faster.improvement_over(&base);
         assert!((imp - 0.25).abs() < 1e-12, "3.0/2.4 - 1 = 0.25, got {imp}");
     }
 
     #[test]
     fn epi_reduction() {
-        let base = SimResult { insts: 1000, epochs: 4, ..SimResult::default() };
-        let better = SimResult { insts: 1000, epochs: 3, ..SimResult::default() };
+        let base = SimResult {
+            insts: 1000,
+            epochs: 4,
+            ..SimResult::default()
+        };
+        let better = SimResult {
+            insts: 1000,
+            epochs: 3,
+            ..SimResult::default()
+        };
         assert!((better.epi_reduction_over(&base) - 0.25).abs() < 1e-12);
     }
 

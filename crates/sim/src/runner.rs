@@ -34,7 +34,10 @@ pub enum PrefetcherSpec {
 impl PrefetcherSpec {
     /// A named baseline.
     pub fn baseline(name: &str, config: BaselineConfig) -> Self {
-        PrefetcherSpec::Baseline { name: name.to_owned(), config }
+        PrefetcherSpec::Baseline {
+            name: name.to_owned(),
+            config,
+        }
     }
 
     /// Builds the prefetcher instance.
@@ -119,8 +122,7 @@ impl RunSpec {
     /// (hundreds of millions of records) stay feasible. Pass a shared
     /// pre-built program to avoid rebuilding templates per run.
     pub fn run_streaming(&self, program: Arc<WorkloadProgram>, pf: &PrefetcherSpec) -> SimResult {
-        let mut gen =
-            TraceGenerator::with_program(program, self.workload.clone(), self.seed);
+        let mut gen = TraceGenerator::with_program(program, self.workload.clone(), self.seed);
         let mut engine = Engine::new(self.sim, pf.build());
         for rec in gen.by_ref().take(self.warmup_insts as usize) {
             engine.step(&rec);
@@ -197,10 +199,22 @@ mod tests {
         let trace = spec.materialize();
         let base = spec.run_on(&trace, &PrefetcherSpec::None);
         let ebcp = spec.run_on(&trace, &PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
-        assert!(ebcp.pf_issued > 100, "EBCP must issue prefetches, got {}", ebcp.pf_issued);
-        assert!(ebcp.pf_useful() > 50, "prefetches must hit, got {}", ebcp.pf_useful());
+        assert!(
+            ebcp.pf_issued > 100,
+            "EBCP must issue prefetches, got {}",
+            ebcp.pf_issued
+        );
+        assert!(
+            ebcp.pf_useful() > 50,
+            "prefetches must hit, got {}",
+            ebcp.pf_useful()
+        );
         let imp = ebcp.improvement_over(&base);
-        assert!(imp > 0.02, "EBCP should improve CPI, got {:.2}%", imp * 100.0);
+        assert!(
+            imp > 0.02,
+            "EBCP should improve CPI, got {:.2}%",
+            imp * 100.0
+        );
     }
 
     #[test]

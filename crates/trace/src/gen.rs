@@ -92,7 +92,9 @@ impl TraceGenerator {
     }
 
     fn random_data_line(rng: &mut SmallRng, spec: &WorkloadSpec) -> LineAddr {
-        LineAddr::from_index(layout::DATA_BASE + rng.gen_range(0..spec.data_pool_lines))
+        LineAddr::from_index(
+            spec.pool_base(layout::DATA_BASE) + rng.gen_range(0..spec.data_pool_lines),
+        )
     }
 
     fn emit_filler(&mut self, n: u32, t: &Template, pc_cursor: &mut u64) {
@@ -106,13 +108,17 @@ impl TraceGenerator {
                 Op::Serialize
             } else if u < self.p_load {
                 let addr = if self.rng.gen_bool(self.spec.warm_frac_of_loads) {
-                    let l = layout::WARM_BASE + self.rng.gen_range(0..self.spec.warm_pool_lines);
+                    let l = self.spec.pool_base(layout::WARM_BASE)
+                        + self.rng.gen_range(0..self.spec.warm_pool_lines);
                     LineAddr::from_index(l).base()
                 } else {
                     let l = t.hot_data_base.index() + self.rng.gen_range(0..t.hot_data_lines);
                     LineAddr::from_index(l).base()
                 };
-                Op::Load { addr, feeds_mispredict: false }
+                Op::Load {
+                    addr,
+                    feeds_mispredict: false,
+                }
             } else if u < self.p_store {
                 let addr = if self.rng.gen_bool(self.p_store_miss) {
                     Self::random_data_line(&mut self.rng, &self.spec).base()
@@ -122,7 +128,9 @@ impl TraceGenerator {
                 };
                 Op::Store { addr }
             } else if u < self.p_branch {
-                Op::Branch { mispredicted: self.rng.gen_bool(self.spec.mispredict_prob) }
+                Op::Branch {
+                    mispredicted: self.rng.gen_bool(self.spec.mispredict_prob),
+                }
             } else {
                 Op::Alu
             };
@@ -144,12 +152,16 @@ impl TraceGenerator {
             };
             self.buf.push_back(TraceRecord::new(
                 l.pc,
-                Op::Load { addr: line.base(), feeds_mispredict: i + 1 == loads.len() && dep },
+                Op::Load {
+                    addr: line.base(),
+                    feeds_mispredict: i + 1 == loads.len() && dep,
+                },
             ));
             // One interleaved ALU keeps loads from being literally
             // back-to-back without separating them into different epochs.
             *pc_cursor = (*pc_cursor + 4) % code_span;
-            self.buf.push_back(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
+            self.buf
+                .push_back(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
         }
     }
 
@@ -169,10 +181,14 @@ impl TraceGenerator {
         for l in &loads {
             self.buf.push_back(TraceRecord::new(
                 l.pc,
-                Op::Load { addr: l.line.base(), feeds_mispredict: l.feeds_mispredict },
+                Op::Load {
+                    addr: l.line.base(),
+                    feeds_mispredict: l.feeds_mispredict,
+                },
             ));
             *pc_cursor = (*pc_cursor + 4) % code_span;
-            self.buf.push_back(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
+            self.buf
+                .push_back(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
         }
     }
 
@@ -227,7 +243,10 @@ mod tests {
     use super::*;
 
     fn small() -> WorkloadSpec {
-        WorkloadSpec { templates: 8, ..WorkloadSpec::database().scaled(1, 16) }
+        WorkloadSpec {
+            templates: 8,
+            ..WorkloadSpec::database().scaled(1, 16)
+        }
     }
 
     #[test]
@@ -258,16 +277,32 @@ mod tests {
             .count() as f64;
         let n = trace.len() as f64;
         // Events add loads beyond the filler fraction; allow slack.
-        assert!((loads / n - spec.load_frac).abs() < 0.05, "load frac {}", loads / n);
-        assert!((stores / n - spec.store_frac).abs() < 0.03, "store frac {}", stores / n);
-        assert!((branches / n - spec.branch_frac).abs() < 0.03, "branch frac {}", branches / n);
+        assert!(
+            (loads / n - spec.load_frac).abs() < 0.05,
+            "load frac {}",
+            loads / n
+        );
+        assert!(
+            (stores / n - spec.store_frac).abs() < 0.03,
+            "store frac {}",
+            stores / n
+        );
+        assert!(
+            (branches / n - spec.branch_frac).abs() < 0.03,
+            "branch frac {}",
+            branches / n
+        );
     }
 
     #[test]
     fn cluster_recurrence_across_executions() {
         // With few templates and zero noise, miss lines must repeat:
         // count distinct cluster-pool lines touched, which saturates.
-        let spec = WorkloadSpec { noise_frac: 0.0, transient_frac: 0.0, ..small() };
+        let spec = WorkloadSpec {
+            noise_frac: 0.0,
+            transient_frac: 0.0,
+            ..small()
+        };
         let trace: Vec<_> = TraceGenerator::new(&spec, 4).take(400_000).collect();
         let mut data_lines = std::collections::HashSet::new();
         for r in &trace {
@@ -280,7 +315,11 @@ mod tests {
         }
         // 8 templates x ~34 clusters x ~2 lines ~= hundreds, not tens of
         // thousands: the same lines recur.
-        assert!(data_lines.len() < 3000, "distinct data lines {}", data_lines.len());
+        assert!(
+            data_lines.len() < 3000,
+            "distinct data lines {}",
+            data_lines.len()
+        );
         assert!(data_lines.len() > 50);
     }
 
@@ -292,9 +331,15 @@ mod tests {
 
     #[test]
     fn serialize_ops_are_rare_but_present() {
-        let spec = WorkloadSpec { serialize_per_kilo: 1.0, ..small() };
+        let spec = WorkloadSpec {
+            serialize_per_kilo: 1.0,
+            ..small()
+        };
         let trace: Vec<_> = TraceGenerator::new(&spec, 5).take(100_000).collect();
-        let ser = trace.iter().filter(|r| matches!(r.op, Op::Serialize)).count();
+        let ser = trace
+            .iter()
+            .filter(|r| matches!(r.op, Op::Serialize))
+            .count();
         assert!(ser > 20 && ser < 400, "serialize count {ser}");
     }
 

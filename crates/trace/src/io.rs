@@ -67,7 +67,10 @@ fn encode_record(buf: &mut BytesMut, r: &TraceRecord) {
             buf.put_u8(0);
             buf.put_u64_le(r.pc.get());
         }
-        Op::Load { addr, feeds_mispredict } => {
+        Op::Load {
+            addr,
+            feeds_mispredict,
+        } => {
             buf.put_u8(if feeds_mispredict { 2 } else { 1 });
             buf.put_u64_le(r.pc.get());
             buf.put_u64_le(addr.get());
@@ -135,15 +138,22 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<TraceRecord>, TraceCodecError
                 if buf.remaining() < 8 {
                     return Err(TraceCodecError::Truncated);
                 }
-                Op::Load { addr: Addr::new(buf.get_u64_le()), feeds_mispredict: tag == 2 }
+                Op::Load {
+                    addr: Addr::new(buf.get_u64_le()),
+                    feeds_mispredict: tag == 2,
+                }
             }
             3 => {
                 if buf.remaining() < 8 {
                     return Err(TraceCodecError::Truncated);
                 }
-                Op::Store { addr: Addr::new(buf.get_u64_le()) }
+                Op::Store {
+                    addr: Addr::new(buf.get_u64_le()),
+                }
             }
-            4 | 5 => Op::Branch { mispredicted: tag == 5 },
+            4 | 5 => Op::Branch {
+                mispredicted: tag == 5,
+            },
             6 => Op::Serialize,
             t => return Err(TraceCodecError::BadTag(t)),
         };
@@ -162,10 +172,18 @@ mod tests {
             TraceRecord::load(Pc::new(0x104), Addr::new(0x8000)),
             TraceRecord::new(
                 Pc::new(0x108),
-                Op::Load { addr: Addr::new(0x9000), feeds_mispredict: true },
+                Op::Load {
+                    addr: Addr::new(0x9000),
+                    feeds_mispredict: true,
+                },
             ),
             TraceRecord::store(Pc::new(0x10c), Addr::new(0xa000)),
-            TraceRecord::new(Pc::new(0x110), Op::Branch { mispredicted: false }),
+            TraceRecord::new(
+                Pc::new(0x110),
+                Op::Branch {
+                    mispredicted: false,
+                },
+            ),
             TraceRecord::new(Pc::new(0x114), Op::Branch { mispredicted: true }),
             TraceRecord::new(Pc::new(0x118), Op::Serialize),
         ]
@@ -190,7 +208,10 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let bytes = b"NOTATRACE_______".to_vec();
-        assert!(matches!(read_trace(&bytes[..]), Err(TraceCodecError::BadMagic)));
+        assert!(matches!(
+            read_trace(&bytes[..]),
+            Err(TraceCodecError::BadMagic)
+        ));
     }
 
     #[test]
@@ -199,7 +220,10 @@ mod tests {
         let mut bytes = Vec::new();
         write_trace(&mut bytes, &trace).unwrap();
         bytes.truncate(bytes.len() - 3);
-        assert!(matches!(read_trace(&bytes[..]), Err(TraceCodecError::Truncated)));
+        assert!(matches!(
+            read_trace(&bytes[..]),
+            Err(TraceCodecError::Truncated)
+        ));
     }
 
     #[test]
@@ -207,7 +231,10 @@ mod tests {
         let mut bytes = Vec::new();
         write_trace(&mut bytes, &[TraceRecord::alu(Pc::new(0))]).unwrap();
         bytes[16] = 99; // corrupt the tag
-        assert!(matches!(read_trace(&bytes[..]), Err(TraceCodecError::BadTag(99))));
+        assert!(matches!(
+            read_trace(&bytes[..]),
+            Err(TraceCodecError::BadTag(99))
+        ));
     }
 
     #[test]

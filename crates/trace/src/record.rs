@@ -92,12 +92,21 @@ impl TraceRecord {
 
     /// Shorthand for a plain load record.
     pub const fn load(pc: Pc, addr: Addr) -> Self {
-        TraceRecord { pc, op: Op::Load { addr, feeds_mispredict: false } }
+        TraceRecord {
+            pc,
+            op: Op::Load {
+                addr,
+                feeds_mispredict: false,
+            },
+        }
     }
 
     /// Shorthand for a store record.
     pub const fn store(pc: Pc, addr: Addr) -> Self {
-        TraceRecord { pc, op: Op::Store { addr } }
+        TraceRecord {
+            pc,
+            op: Op::Store { addr },
+        }
     }
 }
 
@@ -111,15 +120,26 @@ mod tests {
         assert_eq!(Op::Serialize.data_addr(), None);
         assert_eq!(Op::Branch { mispredicted: true }.data_addr(), None);
         assert_eq!(
-            Op::Load { addr: Addr::new(4), feeds_mispredict: true }.data_addr(),
+            Op::Load {
+                addr: Addr::new(4),
+                feeds_mispredict: true
+            }
+            .data_addr(),
             Some(Addr::new(4))
         );
-        assert_eq!(Op::Store { addr: Addr::new(8) }.data_addr(), Some(Addr::new(8)));
+        assert_eq!(
+            Op::Store { addr: Addr::new(8) }.data_addr(),
+            Some(Addr::new(8))
+        );
     }
 
     #[test]
     fn kind_predicates() {
-        assert!(Op::Load { addr: Addr::new(0), feeds_mispredict: false }.is_load());
+        assert!(Op::Load {
+            addr: Addr::new(0),
+            feeds_mispredict: false
+        }
+        .is_load());
         assert!(!Op::Store { addr: Addr::new(0) }.is_load());
         assert!(Op::Store { addr: Addr::new(0) }.is_store());
         assert!(!Op::Alu.is_store());
@@ -129,7 +149,10 @@ mod tests {
     fn shorthand_constructors() {
         let pc = Pc::new(0x40);
         assert_eq!(TraceRecord::alu(pc).op, Op::Alu);
-        assert_eq!(TraceRecord::load(pc, Addr::new(1)).op.data_addr(), Some(Addr::new(1)));
+        assert_eq!(
+            TraceRecord::load(pc, Addr::new(1)).op.data_addr(),
+            Some(Addr::new(1))
+        );
         assert!(TraceRecord::store(pc, Addr::new(1)).op.is_store());
     }
 }

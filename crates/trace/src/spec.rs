@@ -49,6 +49,12 @@ pub struct WorkloadSpec {
     pub name: String,
     /// Seed perturbation so two presets with the same user seed differ.
     pub seed_tag: u64,
+    /// Address-space id. Every pool base is shifted by
+    /// `addr_space << 32` lines (see [`WorkloadSpec::pool_base`]), so
+    /// workloads with distinct ids touch provably disjoint lines — the
+    /// consolidated-server CMP scenario. `seed_tag` alone only varies
+    /// the access *pattern* over the shared pools.
+    pub addr_space: u64,
 
     // --- structure ---------------------------------------------------
     /// Number of transaction templates.
@@ -134,6 +140,7 @@ impl WorkloadSpec {
         WorkloadSpec {
             name: name.to_owned(),
             seed_tag,
+            addr_space: 0,
             templates: 512,
             segments_per_template: 32,
             gap_mean: 300,
@@ -228,7 +235,14 @@ impl WorkloadSpec {
             segments_per_template: 25,
             gap_mean: 405,
             gap_jitter: 0.25,
-            cluster_size_weights: vec![(1, 0.68), (2, 0.21), (3, 0.05), (6, 0.03), (12, 0.02), (16, 0.01)],
+            cluster_size_weights: vec![
+                (1, 0.68),
+                (2, 0.21),
+                (3, 0.05),
+                (6, 0.03),
+                (12, 0.02),
+                (16, 0.01),
+            ],
             cold_frac: 0.016,
             cold_run_lines: 2,
             transient_frac: 0.12,
@@ -265,7 +279,12 @@ impl WorkloadSpec {
 
     /// All four presets, in the paper's reporting order.
     pub fn all_presets() -> Vec<WorkloadSpec> {
-        vec![Self::database(), Self::tpcw(), Self::specjbb2005(), Self::specjappserver2004()]
+        vec![
+            Self::database(),
+            Self::tpcw(),
+            Self::specjbb2005(),
+            Self::specjappserver2004(),
+        ]
     }
 
     /// Scales the workload *footprint* by `num/den`: template count and
@@ -282,8 +301,7 @@ impl WorkloadSpec {
         assert!(num > 0 && den > 0, "scale must be positive");
         self.templates = (self.templates * num / den).max(1);
         self.data_pool_lines = (self.data_pool_lines * num as u64 / den as u64).max(1024);
-        self.cold_code_pool_lines =
-            (self.cold_code_pool_lines * num as u64 / den as u64).max(256);
+        self.cold_code_pool_lines = (self.cold_code_pool_lines * num as u64 / den as u64).max(256);
         self.warm_pool_lines = (self.warm_pool_lines * num as u64 / den as u64).max(128);
         self
     }
@@ -291,7 +309,23 @@ impl WorkloadSpec {
     /// Mean loads per cluster under [`WorkloadSpec::cluster_size_weights`].
     pub fn mean_cluster_size(&self) -> f64 {
         let total: f64 = self.cluster_size_weights.iter().map(|(_, w)| w).sum();
-        self.cluster_size_weights.iter().map(|&(s, w)| s as f64 * w).sum::<f64>() / total
+        self.cluster_size_weights
+            .iter()
+            .map(|&(s, w)| s as f64 * w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Line-index base of a pool within this workload's address space.
+    ///
+    /// Pools are shifted by `addr_space << 32` lines — vastly larger
+    /// than any pool — so two workloads with different [`addr_space`]
+    /// ids can never touch the same line, while `addr_space == 0`
+    /// reproduces the historical shared layout.
+    ///
+    /// [`addr_space`]: WorkloadSpec::addr_space
+    pub fn pool_base(&self, base: u64) -> u64 {
+        base + (self.addr_space << 32)
     }
 
     /// Approximate instructions per template execution (gaps + events).
@@ -358,14 +392,17 @@ mod tests {
     #[test]
     fn presets_validate() {
         for spec in WorkloadSpec::all_presets() {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 
     #[test]
     fn preset_names_distinct() {
-        let names: std::collections::HashSet<_> =
-            WorkloadSpec::all_presets().into_iter().map(|s| s.name).collect();
+        let names: std::collections::HashSet<_> = WorkloadSpec::all_presets()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
         assert_eq!(names.len(), 4);
     }
 

@@ -42,13 +42,19 @@ pub struct TraceStats {
 impl TraceStats {
     /// Analyzes a trace slice.
     pub fn analyze(trace: &[TraceRecord]) -> Self {
-        let mut s = TraceStats { records: trace.len() as u64, ..TraceStats::default() };
+        let mut s = TraceStats {
+            records: trace.len() as u64,
+            ..TraceStats::default()
+        };
         let mut data = HashSet::new();
         let mut code = HashSet::new();
         for r in trace {
             code.insert(r.pc.line().index());
             match r.op {
-                Op::Load { addr, feeds_mispredict } => {
+                Op::Load {
+                    addr,
+                    feeds_mispredict,
+                } => {
                     s.loads += 1;
                     if feeds_mispredict {
                         s.miss_dependent_loads += 1;
@@ -90,7 +96,11 @@ impl fmt::Display for TraceStats {
         writeln!(f, "loads/1k:         {:.1}", self.per_kilo(self.loads))?;
         writeln!(f, "stores/1k:        {:.1}", self.per_kilo(self.stores))?;
         writeln!(f, "branches/1k:      {:.1}", self.per_kilo(self.branches))?;
-        writeln!(f, "mispredicts/1k:   {:.2}", self.per_kilo(self.mispredicts))?;
+        writeln!(
+            f,
+            "mispredicts/1k:   {:.2}",
+            self.per_kilo(self.mispredicts)
+        )?;
         writeln!(f, "serializes/1k:    {:.3}", self.per_kilo(self.serializes))?;
         writeln!(f, "distinct data ln: {}", self.distinct_data_lines)?;
         write!(f, "distinct code ln: {}", self.distinct_code_lines)
@@ -109,7 +119,10 @@ mod tests {
             TraceRecord::load(Pc::new(4), Addr::new(0x100)),
             TraceRecord::new(
                 Pc::new(8),
-                Op::Load { addr: Addr::new(0x200), feeds_mispredict: true },
+                Op::Load {
+                    addr: Addr::new(0x200),
+                    feeds_mispredict: true,
+                },
             ),
             TraceRecord::store(Pc::new(12), Addr::new(0x100)),
             TraceRecord::new(Pc::new(16), Op::Branch { mispredicted: true }),

@@ -60,7 +60,13 @@ impl Event {
             Event::Fork(alts) => alts[pick % alts.len()].len() * 2,
             Event::Transient { size, .. } => size * 2,
             Event::ColdCode(lines) => lines.len() * 16,
-            Event::ColdFork(a, b) => (if pick % 2 == 0 { a.len() } else { b.len() }) * 16,
+            Event::ColdFork(a, b) => {
+                (if pick.is_multiple_of(2) {
+                    a.len()
+                } else {
+                    b.len()
+                }) * 16
+            }
         }
     }
 }
@@ -131,7 +137,10 @@ impl<'a> Builder<'a> {
     }
 
     fn random_data_line(&mut self) -> LineAddr {
-        LineAddr::from_index(layout::DATA_BASE + self.rng.gen_range(0..self.spec.data_pool_lines))
+        LineAddr::from_index(
+            self.spec.pool_base(layout::DATA_BASE)
+                + self.rng.gen_range(0..self.spec.data_pool_lines),
+        )
     }
 
     fn plain_cluster(&mut self, size: usize) -> Vec<ClusterLoad> {
@@ -150,7 +159,7 @@ impl<'a> Builder<'a> {
         // epochs, 2 lines each, with a fixed footprint of distinct
         // offsets.
         let region_count = self.spec.data_pool_lines / REGION_LINES;
-        let region_base = layout::DATA_BASE
+        let region_base = self.spec.pool_base(layout::DATA_BASE)
             + self.rng.gen_range(0..region_count.max(1)) * REGION_LINES;
         let lines_per = 2usize;
         let need = self.spec.spatial_group_len * lines_per;
@@ -183,8 +192,10 @@ impl<'a> Builder<'a> {
         // prefetcher material.
         let lines_per = 2usize;
         let span = (self.spec.stride_group_len * lines_per) as u64;
-        let base = layout::DATA_BASE
-            + self.rng.gen_range(0..self.spec.data_pool_lines.saturating_sub(span).max(1));
+        let base = self.spec.pool_base(layout::DATA_BASE)
+            + self
+                .rng
+                .gen_range(0..self.spec.data_pool_lines.saturating_sub(span).max(1));
         let dep_prob = self.spec.dep_break_prob;
         (0..self.spec.stride_group_len)
             .map(|g| {
@@ -203,10 +214,16 @@ impl<'a> Builder<'a> {
 
     fn cold_code_run(&mut self) -> Event {
         let len = (self.spec.cold_run_lines.max(1)) as u64;
-        let extra = if self.spec.cold_run_lines > 1 && self.rng.gen_bool(0.5) { 1 } else { 0 };
+        let extra = if self.spec.cold_run_lines > 1 && self.rng.gen_bool(0.5) {
+            1
+        } else {
+            0
+        };
         let len = len + extra - u64::from(self.rng.gen_bool(0.5) && len > 1);
-        let start = layout::COLD_CODE_BASE
-            + self.rng.gen_range(0..self.spec.cold_code_pool_lines.saturating_sub(len).max(1));
+        let start = self.spec.pool_base(layout::COLD_CODE_BASE)
+            + self
+                .rng
+                .gen_range(0..self.spec.cold_code_pool_lines.saturating_sub(len).max(1));
         Event::ColdCode((0..len).map(|i| LineAddr::from_index(start + i)).collect())
     }
 
@@ -240,12 +257,22 @@ impl WorkloadProgram {
         let mut rng =
             SmallRng::seed_from_u64(spec.seed_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ id as u64);
         let hot_code_base = LineAddr::from_index(
-            layout::HOT_CODE_BASE
-                + rng.gen_range(0..spec.hot_code_pool_lines.saturating_sub(HOT_WINDOW_CODE_LINES).max(1)),
+            spec.pool_base(layout::HOT_CODE_BASE)
+                + rng.gen_range(
+                    0..spec
+                        .hot_code_pool_lines
+                        .saturating_sub(HOT_WINDOW_CODE_LINES)
+                        .max(1),
+                ),
         );
         let hot_data_base = LineAddr::from_index(
-            layout::HOT_DATA_BASE
-                + rng.gen_range(0..spec.hot_data_pool_lines.saturating_sub(HOT_WINDOW_DATA_LINES).max(1)),
+            spec.pool_base(layout::HOT_DATA_BASE)
+                + rng.gen_range(
+                    0..spec
+                        .hot_data_pool_lines
+                        .saturating_sub(HOT_WINDOW_DATA_LINES)
+                        .max(1),
+                ),
         );
         // Load sites live inside the hot-code window so their instruction
         // fetches stay on-chip. Templates may share hot-code *lines*
@@ -261,7 +288,12 @@ impl WorkloadProgram {
                 Pc::new(hot_code_base.base().get() + 4 * slot)
             })
             .collect();
-        let mut b = Builder { spec, rng, sites, site_rr: 0 };
+        let mut b = Builder {
+            spec,
+            rng,
+            sites,
+            site_rr: 0,
+        };
 
         // Spatial/stride draws expand into `group_len` consecutive
         // segments, so a naive roll would over-represent them (and
@@ -272,14 +304,13 @@ impl WorkloadProgram {
         // draw] solves D = 1 / (1 - Σ frac_g*(g-1)/g).
         let gs = spec.spatial_group_len.max(1) as f64;
         let gt = spec.stride_group_len.max(1) as f64;
-        let d = 1.0
-            / (1.0 - spec.spatial_frac * (gs - 1.0) / gs - spec.stride_frac * (gt - 1.0) / gt);
+        let d =
+            1.0 / (1.0 - spec.spatial_frac * (gs - 1.0) / gs - spec.stride_frac * (gt - 1.0) / gt);
         let q_spatial = spec.spatial_frac * d / gs;
         let q_stride = spec.stride_frac * d / gt;
         let q_transient = spec.transient_frac * d;
         let q_fork = spec.fork_frac * d;
-        let cold_draw =
-            spec.cold_frac * d / (1.0 - spec.cold_frac + spec.cold_frac * d);
+        let cold_draw = spec.cold_frac * d / (1.0 - spec.cold_frac + spec.cold_frac * d);
 
         let mut segments = Vec::with_capacity(spec.segments_per_template);
         let mut pending: std::collections::VecDeque<Event> = std::collections::VecDeque::new();
@@ -348,7 +379,10 @@ mod tests {
     use super::*;
 
     fn small_spec() -> WorkloadSpec {
-        WorkloadSpec { templates: 8, ..WorkloadSpec::database().scaled(1, 16) }
+        WorkloadSpec {
+            templates: 8,
+            ..WorkloadSpec::database().scaled(1, 16)
+        }
     }
 
     #[test]
@@ -362,7 +396,10 @@ mod tests {
     #[test]
     fn different_seed_tags_differ() {
         let spec = small_spec();
-        let other = WorkloadSpec { seed_tag: spec.seed_tag ^ 0xffff, ..spec.clone() };
+        let other = WorkloadSpec {
+            seed_tag: spec.seed_tag ^ 0xffff,
+            ..spec.clone()
+        };
         let a = WorkloadProgram::build(&spec);
         let b = WorkloadProgram::build(&other);
         assert_ne!(a.templates, b.templates);
@@ -392,7 +429,10 @@ mod tests {
                 }
             }
         }
-        assert!(long > 0 && short > 0, "both gap classes present: {long}/{short}");
+        assert!(
+            long > 0 && short > 0,
+            "both gap classes present: {long}/{short}"
+        );
     }
 
     #[test]
@@ -403,7 +443,11 @@ mod tests {
         let hi = layout::DATA_BASE + spec.data_pool_lines;
         let check = |loads: &[ClusterLoad]| {
             for l in loads {
-                assert!((lo..hi).contains(&l.line.index()), "line {:x} outside pool", l.line.index());
+                assert!(
+                    (lo..hi).contains(&l.line.index()),
+                    "line {:x} outside pool",
+                    l.line.index()
+                );
             }
         };
         for t in &p.templates {
@@ -485,7 +529,10 @@ mod tests {
 
     #[test]
     fn mixture_contains_all_flavours() {
-        let spec = WorkloadSpec { templates: 32, ..WorkloadSpec::database().scaled(1, 8) };
+        let spec = WorkloadSpec {
+            templates: 32,
+            ..WorkloadSpec::database().scaled(1, 8)
+        };
         let p = WorkloadProgram::build(&spec);
         let (mut clusters, mut forks, mut transients, mut cold) = (0, 0, 0, 0);
         for t in &p.templates {
@@ -498,7 +545,9 @@ mod tests {
                 }
             }
         }
-        assert!(clusters > 0 && forks > 0 && transients > 0 && cold > 0,
-            "clusters={clusters} forks={forks} transients={transients} cold={cold}");
+        assert!(
+            clusters > 0 && forks > 0 && transients > 0 && cold > 0,
+            "clusters={clusters} forks={forks} transients={transients} cold={cold}"
+        );
     }
 }

@@ -30,7 +30,9 @@ pub const LINE_SHIFT: u32 = 6;
 /// assert_eq!(a.get(), 0x80);
 /// assert_eq!(a.line().index(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -94,7 +96,9 @@ impl From<u64> for Addr {
 /// assert_eq!(l.base().get(), 0x1200);
 /// assert_eq!(l.next().index(), l.index() + 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -167,7 +171,9 @@ impl From<Addr> for LineAddr {
 /// let pc = Pc::new(0x4000_0000);
 /// assert_eq!(pc.advance(4).get(), 0x4000_0004);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Pc(u64);
 
 impl Pc {

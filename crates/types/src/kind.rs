@@ -93,7 +93,10 @@ impl MemClass {
     /// Table reads return a 64 B entry over the read bus; table writes and
     /// writebacks use the write bus, as do store data transfers.
     pub const fn uses_read_bus(self) -> bool {
-        matches!(self, MemClass::Demand | MemClass::Prefetch | MemClass::TableRead)
+        matches!(
+            self,
+            MemClass::Demand | MemClass::Prefetch | MemClass::TableRead
+        )
     }
 
     /// All classes, for stats iteration.
@@ -140,7 +143,12 @@ mod tests {
     #[test]
     fn demand_class_priority() {
         assert!(MemClass::Demand.is_demand());
-        for c in [MemClass::Prefetch, MemClass::TableRead, MemClass::TableWrite, MemClass::Writeback] {
+        for c in [
+            MemClass::Prefetch,
+            MemClass::TableRead,
+            MemClass::TableWrite,
+            MemClass::Writeback,
+        ] {
             assert!(!c.is_demand());
             assert!(MemClass::Demand < c, "demand must sort first");
         }

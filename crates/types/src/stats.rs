@@ -162,7 +162,12 @@ impl Histogram {
     /// Panics if `buckets` is zero.
     pub fn new(buckets: usize) -> Self {
         assert!(buckets > 0, "histogram needs at least one bucket");
-        Histogram { buckets: vec![0; buckets], samples: 0, sum: 0, max: 0 }
+        Histogram {
+            buckets: vec![0; buckets],
+            samples: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     /// Records one sample.
@@ -219,7 +224,13 @@ impl Default for Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "hist(n={}, mean={:.2}, max={})", self.samples, self.mean(), self.max)
+        write!(
+            f,
+            "hist(n={}, mean={:.2}, max={})",
+            self.samples,
+            self.mean(),
+            self.max
+        )
     }
 }
 

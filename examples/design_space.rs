@@ -13,7 +13,13 @@ use ebcp::trace::WorkloadSpec;
 fn spec_for(sim: SimConfig, den: usize) -> RunSpec {
     let workload = WorkloadSpec::specjbb2005().scaled(1, den);
     let interval = workload.recurrence_interval();
-    RunSpec { workload, seed: 11, warmup_insts: interval * 7 / 2, measure_insts: interval, sim }
+    RunSpec {
+        workload,
+        seed: 11,
+        warmup_insts: interval * 7 / 2,
+        measure_insts: interval,
+        sim,
+    }
 }
 
 fn main() {
@@ -22,13 +28,18 @@ fn main() {
     let table_8m = (8u64 << 20) / den as u64;
 
     // -- Figure 4: prefetch degree (idealized table, big buffer) --------
-    let spec = spec_for(SimConfig::scaled_down(den as u64).with_pbuf_entries(1024), den);
+    let spec = spec_for(
+        SimConfig::scaled_down(den as u64).with_pbuf_entries(1024),
+        den,
+    );
     let trace = spec.materialize();
     let base = spec.run_on(&trace, &PrefetcherSpec::None);
     println!("SPECjbb2005, baseline CPI {:.3}\n", base.cpi());
     println!("prefetch degree sweep (8M-entry table, 1024-entry buffer):");
     for degree in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = EbcpConfig::idealized().with_table_entries(table_8m).with_degree(degree);
+        let cfg = EbcpConfig::idealized()
+            .with_table_entries(table_8m)
+            .with_degree(degree);
         let r = spec.run_on(&trace, &PrefetcherSpec::Ebcp(cfg));
         println!(
             "  degree {:>2}: +{:>5.1}%  (coverage {:>4.1}%, accuracy {:>4.1}%)",
@@ -42,7 +53,9 @@ fn main() {
     // -- Figure 6: table size at degree 8 -------------------------------
     println!("\ncorrelation-table size sweep (degree 8):");
     for entries in [table_8m, table_8m / 8, table_1m / 4, table_1m / 16] {
-        let cfg = EbcpConfig::idealized().with_degree(8).with_table_entries(entries);
+        let cfg = EbcpConfig::idealized()
+            .with_degree(8)
+            .with_table_entries(entries);
         let r = spec.run_on(&trace, &PrefetcherSpec::Ebcp(cfg));
         println!(
             "  {:>8} entries ({:>4} MB in memory): +{:>5.1}%",
@@ -61,12 +74,21 @@ fn main() {
         );
         let cfg = EbcpConfig::tuned().with_table_entries(table_1m);
         let r = spec_b.run_on(&trace, &PrefetcherSpec::Ebcp(cfg));
-        println!("  {:>5} entries ({:>5} B): +{:>5.1}%", buf, buf * 8, r.improvement_over(&base) * 100.0);
+        println!(
+            "  {:>5} entries ({:>5} B): +{:>5.1}%",
+            buf,
+            buf * 8,
+            r.improvement_over(&base) * 100.0
+        );
     }
 
     // -- Figure 8: bandwidth sensitivity at degree 32 --------------------
     println!("\nmemory-bandwidth sensitivity (degree 32):");
-    for (num, den_bw, label) in [(1u64, 3u64, "3.2/1.6"), (2, 3, "6.4/3.2"), (1, 1, "9.6/4.8")] {
+    for (num, den_bw, label) in [
+        (1u64, 3u64, "3.2/1.6"),
+        (2, 3, "6.4/3.2"),
+        (1, 1, "9.6/4.8"),
+    ] {
         let sim = SimConfig::scaled_down(den as u64)
             .with_bandwidth(num, den_bw)
             .with_pbuf_entries(1024);

@@ -28,7 +28,9 @@ use ebcp::types::{Addr, LineAddr, Pc};
 /// The miss lines A..I, far apart so they never share cache sets
 /// pathologically.
 fn lines() -> Vec<LineAddr> {
-    (0..9u64).map(|i| LineAddr::from_index(0x10_0000 + i * 0x111)).collect()
+    (0..9u64)
+        .map(|i| LineAddr::from_index(0x10_0000 + i * 0x111))
+        .collect()
 }
 
 /// Filler: `n` ALU instructions within one warm code line.
@@ -101,8 +103,8 @@ fn main() {
 
     println!("paper example: epochs {{A,B}} {{C,D,E}} {{F,G}} {{H,I}} recurring\n");
     println!(
-        "{:<22} {:>7} {:>8} {:>9}   {}",
-        "prefetcher", "epochs", "misses", "averted", "paper's prediction"
+        "{:<22} {:>7} {:>8} {:>9}   paper's prediction",
+        "prefetcher", "epochs", "misses", "averted"
     );
     let cases: Vec<(PrefetcherSpec, &str)> = vec![
         (PrefetcherSpec::None, "4 epochs"),
@@ -120,6 +122,13 @@ fn main() {
     ];
     for (pf, note) in cases {
         let (epochs, misses, averted) = run(&pf, &trace, measure_from);
-        println!("{:<22} {:>7} {:>8} {:>9}   {}", pf.name(), epochs, misses, averted, note);
+        println!(
+            "{:<22} {:>7} {:>8} {:>9}   {}",
+            pf.name(),
+            epochs,
+            misses,
+            averted,
+            note
+        );
     }
 }

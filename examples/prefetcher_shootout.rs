@@ -13,8 +13,12 @@ use ebcp::sim::{PrefetcherSpec, RunSpec, SimConfig};
 use ebcp::trace::WorkloadSpec;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "database".to_owned());
-    let Some(workload) = WorkloadSpec::all_presets().into_iter().find(|w| w.name == which)
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "database".to_owned());
+    let Some(workload) = WorkloadSpec::all_presets()
+        .into_iter()
+        .find(|w| w.name == which)
     else {
         eprintln!("unknown workload {which}; try database, tpcw, specjbb2005, specjappserver2004");
         std::process::exit(2);
@@ -31,7 +35,10 @@ fn main() {
         measure_insts: interval,
         sim: SimConfig::scaled_down(den as u64),
     };
-    println!("workload {which}: generating {} instructions...", spec.warmup_insts + spec.measure_insts);
+    println!(
+        "workload {which}: generating {} instructions...",
+        spec.warmup_insts + spec.measure_insts
+    );
     let trace = spec.materialize();
     let base = spec.run_on(&trace, &PrefetcherSpec::None);
     println!(
@@ -42,7 +49,10 @@ fn main() {
         base.load_mr()
     );
 
-    println!("{:<14} {:>9} {:>8} {:>8} {:>10}", "prefetcher", "improve", "cover", "accur", "prefetches");
+    println!(
+        "{:<14} {:>9} {:>8} {:>8} {:>10}",
+        "prefetcher", "improve", "cover", "accur", "prefetches"
+    );
     let mut contenders: Vec<PrefetcherSpec> = BaselineConfig::figure9_roster()
         .into_iter()
         .map(|(n, c)| PrefetcherSpec::baseline(n, c))

@@ -24,8 +24,10 @@ fn main() {
         sim: SimConfig::scaled_down(8),
     };
 
-    println!("generating the synthetic OLTP trace ({} instructions)...",
-        spec.warmup_insts + spec.measure_insts);
+    println!(
+        "generating the synthetic OLTP trace ({} instructions)...",
+        spec.warmup_insts + spec.measure_insts
+    );
     let trace = spec.materialize();
 
     let baseline = spec.run_on(&trace, &PrefetcherSpec::None);
@@ -44,7 +46,11 @@ fn main() {
     println!("  epochs/1k    {:.2}", result.epi_per_kilo());
     println!("  coverage     {:.1}%", result.coverage() * 100.0);
     println!("  accuracy     {:.1}%", result.accuracy() * 100.0);
-    println!("  prefetches   {} issued, {} useful", result.pf_issued, result.pf_useful());
+    println!(
+        "  prefetches   {} issued, {} useful",
+        result.pf_issued,
+        result.pf_useful()
+    );
     println!(
         "\n=> overall performance improvement: {:.1}%  (EPI reduction {:.1}%)",
         result.improvement_over(&baseline) * 100.0,

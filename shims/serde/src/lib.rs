@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `shims/serde_derive` for the rationale. This crate provides the
+//! two marker traits plus the no-op derive macros under the usual names,
+//! which is the entire surface the workspace uses (`use serde::{
+//! Deserialize, Serialize };` + `#[derive(...)]`). No runtime
+//! serialization happens through these traits; the harness's result
+//! store uses `ebcp-harness::json` instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this
+/// shim). The lifetime parameter matches the real trait so bounds like
+/// `T: Deserialize<'de>` would still compile.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,25 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The workspace builds in a hermetic container with no crates.io
+//! access, so the real `serde`/`serde_derive` cannot be fetched. Nothing
+//! in the workspace serializes through serde at runtime — the derives
+//! are annotations only, and the experiment harness uses its own
+//! std-only canonical encoding (`ebcp-harness::json`). These macros
+//! therefore expand to nothing: the `#[derive(Serialize, Deserialize)]`
+//! attributes keep compiling unchanged, and swapping the real serde back
+//! in (when a registry is available) is a one-line Cargo change.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]`
+/// helper attributes so annotated types keep compiling.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. See [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -20,6 +20,9 @@
 //!   EMAB, the main-memory correlation table and
 //!   [`core::EbcpPrefetcher`].
 //! * [`sim`] — the trace-driven epoch-model engine and run helpers.
+//! * [`harness`] — parallel experiment orchestration: content-addressed
+//!   jobs, a worker pool with shared traces, an on-disk result cache
+//!   and run telemetry.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@
 //! ```
 
 pub use ebcp_core as core;
+pub use ebcp_harness as harness;
 pub use ebcp_mem as mem;
 pub use ebcp_prefetch as prefetch;
 pub use ebcp_sim as sim;

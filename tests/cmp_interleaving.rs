@@ -29,7 +29,11 @@ fn run(n: usize, pf: &PrefetcherSpec) -> CmpResult {
     let traces: Vec<Vec<TraceRecord>> = specs
         .iter()
         .enumerate()
-        .map(|(k, w)| TraceGenerator::new(w, 3 + k as u64).take((warm + measure) as usize).collect())
+        .map(|(k, w)| {
+            TraceGenerator::new(w, 3 + k as u64)
+                .take((warm + measure) as usize)
+                .collect()
+        })
         .collect();
     let mut engine = CmpEngine::new(SimConfig::scaled_down(16), n, pf.build());
     engine.run(&traces, warm, measure, "mix")
@@ -74,5 +78,8 @@ fn interleaving_destroys_memory_side_correlation_but_not_ebcp() {
         "Solihin must collapse under interleaving: {sol4:.3} vs {sol1:.3} at 1 core"
     );
     // And the gap between the schemes widens.
-    assert!(ebcp4 > sol4 + 0.05, "ebcp@4 {ebcp4:.3} vs solihin@4 {sol4:.3}");
+    assert!(
+        ebcp4 > sol4 + 0.05,
+        "ebcp@4 {ebcp4:.3} vs solihin@4 {sol4:.3}"
+    );
 }

@@ -42,7 +42,11 @@ fn figure9_ordering_holds_end_to_end() {
     let spec = spec();
     let trace = spec.materialize();
     let base = spec.run_on(&trace, &PrefetcherSpec::None);
-    assert!(base.l2_load_misses > 500, "workload must miss: {}", base.l2_load_misses);
+    assert!(
+        base.l2_load_misses > 500,
+        "workload must miss: {}",
+        base.l2_load_misses
+    );
 
     let ebcp = spec.run_on(
         &trace,
@@ -56,7 +60,10 @@ fn figure9_ordering_holds_end_to_end() {
         &trace,
         &PrefetcherSpec::baseline(
             "solihin-6,1",
-            BaselineConfig::Solihin(SolihinConfig { entries: table_entries(), ..SolihinConfig::deep() }),
+            BaselineConfig::Solihin(SolihinConfig {
+                entries: table_entries(),
+                ..SolihinConfig::deep()
+            }),
         ),
     );
     let stream = spec.run_on(
@@ -135,8 +142,18 @@ fn coverage_and_accuracy_are_probabilities() {
         PrefetcherSpec::baseline("ghb-large", BaselineConfig::Ghb(GhbConfig::large())),
     ] {
         let r = spec.run_on(&trace, &pf);
-        assert!((0.0..=1.0).contains(&r.coverage()), "{} coverage {}", r.prefetcher, r.coverage());
-        assert!((0.0..=1.0).contains(&r.accuracy()), "{} accuracy {}", r.prefetcher, r.accuracy());
+        assert!(
+            (0.0..=1.0).contains(&r.coverage()),
+            "{} coverage {}",
+            r.prefetcher,
+            r.coverage()
+        );
+        assert!(
+            (0.0..=1.0).contains(&r.accuracy()),
+            "{} accuracy {}",
+            r.prefetcher,
+            r.accuracy()
+        );
         assert!(r.pf_useful() <= r.pf_issued + r.partial_hits);
     }
 }
@@ -145,7 +162,9 @@ fn coverage_and_accuracy_are_probabilities() {
 fn streaming_and_materialized_runs_agree() {
     let spec = spec();
     let trace = spec.materialize();
-    let program = Arc::new(ebcp::trace::template::WorkloadProgram::build(&spec.workload));
+    let program = Arc::new(ebcp::trace::template::WorkloadProgram::build(
+        &spec.workload,
+    ));
     let pf = PrefetcherSpec::Ebcp(EbcpConfig::tuned().with_table_entries(table_entries()));
     let a = spec.run_on(&trace, &pf);
     let b = spec.run_streaming(program, &pf);

@@ -1,0 +1,165 @@
+//! Tier-1 tests for the experiment harness: job-hash stability
+//! (property-based), worker-count-independent determinism, and
+//! warm-cache incrementality.
+
+use ebcp::core::EbcpConfig;
+use ebcp::harness::{store, Harness, HarnessConfig, Job, ResultStore};
+use ebcp::sim::{PrefetcherSpec, RunSpec, SimConfig, SimResult};
+use ebcp::trace::WorkloadSpec;
+use proptest::prelude::*;
+
+/// A job built from a handful of free parameters, covering all four
+/// workload presets, both scaled machines we test at, and the EBCP
+/// design-space knobs that experiments actually sweep.
+fn make_job(
+    workload: usize,
+    seed: u64,
+    warm: u32,
+    measure: u32,
+    den: u64,
+    degree: usize,
+    prefetch: bool,
+) -> Job {
+    let presets = WorkloadSpec::all_presets();
+    let spec = RunSpec {
+        workload: presets[workload % presets.len()].clone().scaled(1, 32),
+        seed,
+        warmup_insts: u64::from(warm),
+        measure_insts: u64::from(measure),
+        sim: SimConfig::scaled_down(if den.is_multiple_of(2) { 16 } else { 8 }),
+    };
+    let pf = if prefetch {
+        PrefetcherSpec::Ebcp(EbcpConfig::tuned().with_degree(1 + degree % 32))
+    } else {
+        PrefetcherSpec::None
+    };
+    Job::new(spec, pf)
+}
+
+proptest! {
+    /// A job's content hash is a pure function of its content: rebuilding
+    /// the job from the same parameters — the round trip every spec takes
+    /// through clone/serialize boundaries — yields the same hash, and the
+    /// canonical string it derives from is reproduced exactly.
+    #[test]
+    fn job_hash_stable_across_round_trips(
+        workload in any::<u64>(),
+        seed in any::<u64>(),
+        warm in any::<u32>(),
+        measure in any::<u32>(),
+        den in any::<u64>(),
+        degree in any::<u64>(),
+        prefetch in any::<bool>(),
+    ) {
+        let a = make_job(workload as usize, seed, warm, measure, den, degree as usize, prefetch);
+        let b = make_job(workload as usize, seed, warm, measure, den, degree as usize, prefetch);
+        prop_assert_eq!(a.id(), b.id());
+        prop_assert_eq!(a.canonical(), b.canonical());
+        prop_assert_eq!(a.trace_key(), b.trace_key());
+        // Clone round trip.
+        prop_assert_eq!(a.clone().id(), a.id());
+        // Seed is part of the identity (and of the trace).
+        let c = make_job(workload as usize, seed.wrapping_add(1), warm, measure, den,
+                         degree as usize, prefetch);
+        prop_assert_ne!(a.id(), c.id());
+        prop_assert_ne!(a.trace_key(), c.trace_key());
+    }
+
+    /// A `SimResult` survives the store's JSON codec bit-exactly for
+    /// arbitrary counter values (including > 2^53, where an f64 number
+    /// path would corrupt them).
+    #[test]
+    fn result_json_round_trips(
+        insts in any::<u64>(),
+        cycles in any::<u64>(),
+        epochs in any::<u64>(),
+        misses in any::<u64>(),
+        issued in any::<u64>(),
+        transfers in any::<u64>(),
+    ) {
+        let mut r = SimResult {
+            prefetcher: "ebcp".to_owned(),
+            workload: "database".to_owned(),
+            insts,
+            cycles,
+            epochs,
+            l2_load_misses: misses,
+            pf_issued: issued,
+            ..SimResult::default()
+        };
+        r.mem.read.transfers[1] = transfers;
+        let text = store::result_to_json(&r).to_json_pretty();
+        let v = ebcp::harness::json::parse(&text).unwrap();
+        prop_assert_eq!(store::result_from_json(&v), Some(r));
+    }
+}
+
+fn quick_jobs() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (i, w) in WorkloadSpec::all_presets().into_iter().enumerate() {
+        let spec = RunSpec {
+            workload: w.scaled(1, 32),
+            seed: 11 + i as u64,
+            warmup_insts: 20_000,
+            measure_insts: 10_000,
+            sim: SimConfig::scaled_down(16),
+        };
+        jobs.push(Job::new(spec.clone(), PrefetcherSpec::None));
+        jobs.push(Job::new(spec, PrefetcherSpec::Ebcp(EbcpConfig::tuned())));
+    }
+    jobs
+}
+
+/// `--jobs 8` and `--jobs 1` must produce identical results: the
+/// simulator is deterministic, and harness assembly is independent of
+/// worker scheduling.
+#[test]
+fn eight_workers_match_one_worker_exactly() {
+    let jobs = quick_jobs();
+    let one = Harness::new(HarnessConfig {
+        jobs: 1,
+        ..HarnessConfig::default()
+    })
+    .run(&jobs);
+    let eight = Harness::new(HarnessConfig {
+        jobs: 8,
+        ..HarnessConfig::default()
+    })
+    .run(&jobs);
+    assert_eq!(one, eight);
+}
+
+/// A second harness over a warm result store executes zero simulations.
+#[test]
+fn warm_store_executes_zero_simulations() {
+    let dir = std::env::temp_dir().join(format!("ebcp-facade-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = HarnessConfig {
+        jobs: 2,
+        store_dir: Some(dir.clone()),
+        ..HarnessConfig::default()
+    };
+    let jobs = quick_jobs();
+
+    let cold = Harness::new(cfg.clone());
+    let a = cold.run(&jobs);
+    assert_eq!(cold.summary().executed, jobs.len());
+
+    let warm = Harness::new(cfg);
+    let b = warm.run(&jobs);
+    assert_eq!(
+        warm.summary().executed,
+        0,
+        "warm cache must satisfy every job"
+    );
+    assert_eq!(warm.summary().disk_hits, jobs.len());
+    assert_eq!(a, b, "cached results must be bit-identical to fresh ones");
+
+    // The cache is content-addressed: every entry validates against its
+    // job's canonical string.
+    let store = ResultStore::open(&dir).unwrap();
+    for job in &jobs {
+        assert!(store.load(job).is_some());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

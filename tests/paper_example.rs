@@ -10,7 +10,9 @@ use ebcp::trace::{Op, TraceRecord};
 use ebcp::types::{Addr, LineAddr, Pc};
 
 fn lines() -> Vec<LineAddr> {
-    (0..9u64).map(|i| LineAddr::from_index(0x10_0000 + i * 0x111)).collect()
+    (0..9u64)
+        .map(|i| LineAddr::from_index(0x10_0000 + i * 0x111))
+        .collect()
 }
 
 fn filler(t: &mut Vec<TraceRecord>, n: usize) {
@@ -85,7 +87,10 @@ fn baseline_needs_four_epochs() {
 fn ebcp_eliminates_epochs() {
     let (base_epochs, ..) = run(&PrefetcherSpec::None);
     let (epochs, _misses, averted) = run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
-    assert!(averted >= 4, "F,G,H,I (at least) must be served by the buffer, got {averted}");
+    assert!(
+        averted >= 4,
+        "F,G,H,I (at least) must be served by the buffer, got {averted}"
+    );
     assert!(
         epochs <= base_epochs - 2,
         "EBCP should remove at least two epochs ({base_epochs} -> {epochs})"
@@ -96,8 +101,7 @@ fn ebcp_eliminates_epochs() {
 fn ebcp_minus_is_less_effective_here() {
     // EBCP-minus stores epochs +1/+2 under each trigger: its prefetches
     // for the *next* epoch cannot be timely, so fewer epochs disappear.
-    let (minus_epochs, _, minus_averted) =
-        run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned_minus()));
+    let (minus_epochs, _, minus_averted) = run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned_minus()));
     let (epochs, _, averted) = run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
     assert!(
         epochs <= minus_epochs,

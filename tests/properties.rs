@@ -12,8 +12,10 @@ use proptest::prelude::*;
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         Just(Op::Alu),
-        (any::<u64>(), any::<bool>())
-            .prop_map(|(a, f)| Op::Load { addr: Addr::new(a), feeds_mispredict: f }),
+        (any::<u64>(), any::<bool>()).prop_map(|(a, f)| Op::Load {
+            addr: Addr::new(a),
+            feeds_mispredict: f
+        }),
         any::<u64>().prop_map(|a| Op::Store { addr: Addr::new(a) }),
         any::<bool>().prop_map(|m| Op::Branch { mispredicted: m }),
         Just(Op::Serialize),
@@ -202,6 +204,9 @@ fn emab_paper_scenario() {
     assert_eq!(learn.key, LineAddr::from_index(1));
     assert_eq!(
         learn.addrs,
-        vec![6u64, 7, 8, 9].into_iter().map(LineAddr::from_index).collect::<Vec<_>>()
+        vec![6u64, 7, 8, 9]
+            .into_iter()
+            .map(LineAddr::from_index)
+            .collect::<Vec<_>>()
     );
 }
