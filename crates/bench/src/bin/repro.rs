@@ -1,9 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all>
+//! repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all|bench-throughput>
 //!       [--scale quick|standard|full] [--csv] [--jobs N]
-//!       [--out-dir DIR] [--json] [--no-cache]
+//!       [--out-dir DIR] [--json] [--no-cache] [--check-baseline FILE]
 //! ```
 //!
 //! All simulations flow through one `Harness`: shared baselines run once
@@ -12,15 +12,16 @@
 //! written at the end. Tables go to stdout (byte-identical for any
 //! `--jobs` count); progress and timing go to stderr.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use ebcp_bench::{experiments, report, Harness, HarnessConfig, Scale};
+use ebcp_bench::{experiments, report, throughput, Harness, HarnessConfig, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all> \
-         [--scale quick|standard|full] [--csv] [--jobs N] [--out-dir DIR] [--json] [--no-cache]"
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all|bench-throughput> \
+         [--scale quick|standard|full] [--csv] [--jobs N] [--out-dir DIR] [--json] [--no-cache] \
+         [--check-baseline FILE]"
     );
     std::process::exit(2);
 }
@@ -34,6 +35,7 @@ fn main() {
     let mut out_dir = PathBuf::from("target/ebcp-results");
     let mut json = false;
     let mut no_cache = false;
+    let mut check_baseline: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,12 +54,25 @@ fn main() {
             }
             "--json" => json = true,
             "--no-cache" => no_cache = true,
+            "--check-baseline" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                check_baseline = Some(PathBuf::from(v));
+            }
             s if what.is_none() && !s.starts_with('-') => what = Some(s.to_owned()),
             _ => usage(),
         }
     }
     let what = what.unwrap_or_else(|| usage());
     let t0 = Instant::now();
+
+    // Throughput is timing-sensitive: it bypasses the caching harness
+    // (a memoized result has no wall time) and exits before the
+    // results.json machinery below.
+    if what == "bench-throughput" {
+        bench_throughput(scale, &out_dir, check_baseline.as_deref());
+        eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+        return;
+    }
 
     // Cached results are keyed by job content (workload, scale, machine,
     // prefetcher), so one jobs/ directory safely serves every scale.
@@ -196,4 +211,42 @@ fn main() {
     }
     eprintln!("# {}", h.summary().render());
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// Runs the simulated-throughput matrix, writes
+/// `<out-dir>/BENCH_throughput.json`, and (with `--check-baseline`)
+/// fails the process if the geometric mean dropped more than 25% below
+/// the committed baseline.
+fn bench_throughput(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
+    let rows = throughput::measure(scale);
+    print!("{}", throughput::render(&rows));
+    let doc = throughput::to_json(scale, &rows);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: could not create {}: {e}", out_dir.display());
+    }
+    let path = out_dir.join("BENCH_throughput.json");
+    match std::fs::write(&path, doc.to_json_pretty()) {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    let Some(baseline) = baseline else { return };
+    let parsed = std::fs::read_to_string(baseline)
+        .map_err(|e| e.to_string())
+        .and_then(|text| ebcp_harness::json::parse(&text).map_err(|e| e.to_string()));
+    let doc = match parsed {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: could not read baseline {}: {e}", baseline.display());
+            std::process::exit(1);
+        }
+    };
+    match throughput::check_against_baseline(&rows, &doc, 0.25) {
+        Ok((cur, base)) => {
+            eprintln!("# throughput gate passed: geomean {cur:.1} Minst/s vs baseline {base:.1}")
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }

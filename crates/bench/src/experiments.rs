@@ -29,6 +29,9 @@ pub struct Table1Row {
     pub inst_mr: f64,
     /// Measured L2 load misses per 1000 instructions.
     pub load_mr: f64,
+    /// Measured secondary (MSHR-merged) misses per 1000 instructions.
+    /// No paper counterpart; Table 1 of the paper does not report it.
+    pub sec_mr: f64,
     /// Paper values `[cpi, epi, inst_mr, load_mr]`.
     pub paper: [f64; 4],
 }
@@ -67,6 +70,7 @@ pub fn table1(h: &Harness, scale: Scale) -> Vec<Table1Row> {
             epi: r.epi_per_kilo(),
             inst_mr: r.inst_mr(),
             load_mr: r.load_mr(),
+            sec_mr: r.secondary_mr(),
             paper: paper_table1(&w.name),
         })
         .collect()

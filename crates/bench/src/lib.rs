@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod report;
 pub mod scale;
+pub mod throughput;
 
 pub use ebcp_harness::{Harness, HarnessConfig, Job};
 pub use experiments::{
@@ -29,3 +30,4 @@ pub use experiments::{
     CmpPoint, CmpPointRow, SweepPoint, Table1Row,
 };
 pub use scale::Scale;
+pub use throughput::ThroughputRow;

@@ -17,13 +17,13 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     );
     let _ = writeln!(
         s,
-        "{:<22} {:>15} {:>15} {:>15} {:>15}",
-        "workload", "CPI", "epochs/1k", "L2$ inst MR", "L2$ load MR"
+        "{:<22} {:>15} {:>15} {:>15} {:>15} {:>10}",
+        "workload", "CPI", "epochs/1k", "L2$ inst MR", "L2$ load MR", "sec MR"
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{:<22} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2}",
+            "{:<22} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>7.2} | {:<5.2} {:>10.2}",
             r.workload,
             r.cpi,
             r.paper[0],
@@ -32,7 +32,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
             r.inst_mr,
             r.paper[2],
             r.load_mr,
-            r.paper[3]
+            r.paper[3],
+            r.sec_mr
         );
     }
     s
@@ -264,11 +265,14 @@ mod tests {
             epi: 4.0,
             inst_mr: 1.0,
             load_mr: 6.0,
+            sec_mr: 0.42,
             paper: [3.27, 4.07, 1.00, 6.23],
         }];
         let s = render_table1(&rows);
         assert!(s.contains("3.27"));
         assert!(s.contains("database"));
+        assert!(s.contains("sec MR"));
+        assert!(s.contains("0.42"));
     }
 
     #[test]

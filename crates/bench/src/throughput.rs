@@ -1,0 +1,228 @@
+//! Simulated-throughput benchmark: engine Minst/s per workload ×
+//! prefetcher.
+//!
+//! Unlike the figure drivers, throughput runs never flow through the
+//! caching [`Harness`](ebcp_harness::Harness) — a memoized result has no
+//! wall time. Each cell materializes the trace once (generation excluded
+//! from the timed region), replays it through a fresh engine, and
+//! reports simulated millions of instructions per wall-clock second.
+//! The committed baseline under `crates/bench/baselines/` turns the
+//! numbers into a CI gate: a geometric-mean regression beyond the
+//! tolerance fails the run.
+
+use std::time::Instant;
+
+use ebcp_core::EbcpConfig;
+use ebcp_harness::Value;
+use ebcp_prefetch::{BaselineConfig, GhbConfig, StreamConfig};
+use ebcp_sim::PrefetcherSpec;
+
+use crate::scale::Scale;
+
+/// One timed cell of the throughput matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Workload name.
+    pub workload: String,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// Trace records replayed (one record = one instruction).
+    pub records: u64,
+    /// Wall-clock milliseconds for the engine replay.
+    pub wall_ms: f64,
+    /// Simulated millions of instructions per second.
+    pub mips: f64,
+}
+
+/// The prefetchers timed per workload: the no-prefetch hot path, a
+/// cheap sequential baseline, a table-heavy baseline and the EBCP.
+pub fn roster(scale: Scale) -> Vec<PrefetcherSpec> {
+    let d = scale.den as usize;
+    let entries = scale.entries(1 << 20);
+    vec![
+        PrefetcherSpec::None,
+        PrefetcherSpec::baseline("stream", BaselineConfig::Stream(StreamConfig::default())),
+        PrefetcherSpec::baseline(
+            "ghb-large",
+            BaselineConfig::Ghb(GhbConfig {
+                index_entries: ((256 << 10) / d).max(1 << 10),
+                ghb_entries: ((256 << 10) / d).max(1 << 10),
+                ..GhbConfig::large()
+            }),
+        ),
+        PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(entries)),
+    ]
+}
+
+/// Times every workload × roster cell at `scale` (sequential, so cells
+/// do not contend for cores and the numbers are comparable run to run).
+pub fn measure(scale: Scale) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for w in scale.workloads() {
+        let spec = scale.run_spec(&w, scale.machine());
+        let trace = spec.materialize();
+        for pf in roster(scale) {
+            let t0 = Instant::now();
+            let result = spec.run_on(&trace, &pf);
+            let wall = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&result);
+            rows.push(ThroughputRow {
+                workload: w.name.clone(),
+                prefetcher: pf.name(),
+                records: trace.len() as u64,
+                wall_ms: wall * 1e3,
+                mips: trace.len() as f64 / wall / 1e6,
+            });
+        }
+    }
+    rows
+}
+
+/// Geometric mean of the per-cell Minst/s (robust to one fast cell
+/// dominating an arithmetic mean).
+pub fn geomean_mips(rows: &[ThroughputRow]) -> f64 {
+    let positive: Vec<f64> = rows.iter().map(|r| r.mips).filter(|&m| m > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = positive.iter().map(|m| m.ln()).sum();
+    (log_sum / positive.len() as f64).exp()
+}
+
+/// Encodes the matrix as the `BENCH_throughput.json` document.
+pub fn to_json(scale: Scale, rows: &[ThroughputRow]) -> Value {
+    let rows_json = rows
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("workload".into(), Value::Str(r.workload.clone())),
+                ("prefetcher".into(), Value::Str(r.prefetcher.clone())),
+                ("records".into(), Value::Int(r.records)),
+                ("wall_ms".into(), Value::Num(r.wall_ms)),
+                ("mips".into(), Value::Num(r.mips)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema".into(), Value::Int(1)),
+        ("scale_den".into(), Value::Int(scale.den)),
+        ("geomean_mips".into(), Value::Num(geomean_mips(rows))),
+        ("rows".into(), Value::Arr(rows_json)),
+    ])
+}
+
+/// Compares measured rows against a committed baseline document.
+///
+/// Returns `(current, baseline)` geometric means on success.
+///
+/// # Errors
+///
+/// Fails if the baseline is malformed or the current geometric mean
+/// dropped by more than `max_drop` (a fraction, e.g. `0.25`).
+pub fn check_against_baseline(
+    rows: &[ThroughputRow],
+    baseline: &Value,
+    max_drop: f64,
+) -> Result<(f64, f64), String> {
+    let base = baseline
+        .get("geomean_mips")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| "baseline missing geomean_mips".to_owned())?;
+    if base <= 0.0 {
+        return Err(format!("baseline geomean_mips not positive: {base}"));
+    }
+    let cur = geomean_mips(rows);
+    let floor = base * (1.0 - max_drop);
+    if cur < floor {
+        return Err(format!(
+            "simulated throughput regressed: geomean {cur:.1} Minst/s is below \
+             {floor:.1} ({:.0}% of baseline {base:.1})",
+            (1.0 - max_drop) * 100.0
+        ));
+    }
+    Ok((cur, base))
+}
+
+/// Renders the matrix as an aligned table.
+pub fn render(rows: &[ThroughputRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Simulated throughput (engine replay, trace generation excluded)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<22} {:<14} {:>12} {:>10} {:>10}",
+        "workload", "prefetcher", "records", "wall ms", "Minst/s"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<22} {:<14} {:>12} {:>10.1} {:>10.1}",
+            r.workload, r.prefetcher, r.records, r.wall_ms, r.mips
+        );
+    }
+    let _ = writeln!(s, "geomean: {:.1} Minst/s", geomean_mips(rows));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(mips: f64) -> ThroughputRow {
+        ThroughputRow {
+            workload: "database".into(),
+            prefetcher: "none".into(),
+            records: 1_000_000,
+            wall_ms: 1_000_000.0 / mips / 1e3,
+            mips,
+        }
+    }
+
+    #[test]
+    fn geomean_math() {
+        let rows = [row(10.0), row(40.0)];
+        assert!((geomean_mips(&rows) - 20.0).abs() < 1e-9);
+        assert_eq!(geomean_mips(&[]), 0.0);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let rows = [row(25.0)];
+        let v = to_json(Scale::quick(), &rows);
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("scale_den").unwrap().as_u64(), Some(16));
+        let parsed = ebcp_harness::json::parse(&v.to_json_pretty()).unwrap();
+        let back = parsed.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].get("workload").unwrap().as_str(), Some("database"));
+        assert!((back[0].get("mips").unwrap().as_f64().unwrap() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_gate() {
+        let baseline = to_json(Scale::quick(), &[row(40.0)]);
+        // Within tolerance: 31 > 40 * 0.75.
+        assert!(check_against_baseline(&[row(31.0)], &baseline, 0.25).is_ok());
+        // Beyond tolerance: 29 < 30.
+        let err = check_against_baseline(&[row(29.0)], &baseline, 0.25).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // Malformed baseline.
+        assert!(check_against_baseline(&[row(29.0)], &Value::Null, 0.25).is_err());
+    }
+
+    #[test]
+    fn render_lists_every_cell() {
+        let s = render(&[row(25.0)]);
+        assert!(s.contains("database"));
+        assert!(s.contains("geomean"));
+    }
+
+    #[test]
+    fn roster_names() {
+        let names: Vec<String> = roster(Scale::quick()).iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["none", "stream", "ghb-large", "ebcp"]);
+    }
+}

@@ -25,10 +25,8 @@
 //! the table also stores the next epoch's addresses (+1/+2 pairing
 //! instead of +2/+3), wasting slots on prefetches that cannot be timely.
 
-use std::collections::HashMap;
-
 use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
-use ebcp_types::{Cycle, LineAddr};
+use ebcp_types::{Cycle, FxHashMap, LineAddr};
 use serde::{Deserialize, Serialize};
 
 use crate::emab::{Emab, LearnInput};
@@ -206,7 +204,7 @@ pub struct EbcpPrefetcher {
     /// itself is shared by all cores, as the paper suggests.
     per_core: Vec<PerCore>,
     table: CorrelationTable,
-    pending: HashMap<u64, Pending>,
+    pending: FxHashMap<u64, Pending>,
     next_token: u64,
     /// Whether the prefetcher holds its memory region (§3.4.1). While
     /// inactive it neither learns nor predicts.
@@ -221,7 +219,7 @@ impl EbcpPrefetcher {
         EbcpPrefetcher {
             per_core: Vec::new(),
             table: CorrelationTable::new(config.table_entries, config.slots_per_entry),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             next_token: 0,
             active: true,
             stats: EbcpStats::default(),

@@ -17,7 +17,7 @@ use crate::job::Job;
 use crate::json::{self, Value};
 
 /// On-disk schema version; bump on incompatible result layout changes.
-const SCHEMA: u64 = 1;
+const SCHEMA: u64 = 2;
 
 /// A directory of cached [`SimResult`]s, keyed by [`Job`] hash.
 #[derive(Debug)]
@@ -123,10 +123,12 @@ pub fn result_to_json(r: &SimResult) -> Value {
         ("l2_inst_misses".into(), Value::Int(r.l2_inst_misses)),
         ("l2_load_misses".into(), Value::Int(r.l2_load_misses)),
         ("l2_store_misses".into(), Value::Int(r.l2_store_misses)),
+        ("secondary_misses".into(), Value::Int(r.secondary_misses)),
         ("averted_inst".into(), Value::Int(r.averted_inst)),
         ("averted_load".into(), Value::Int(r.averted_load)),
         ("averted_store".into(), Value::Int(r.averted_store)),
         ("partial_hits".into(), Value::Int(r.partial_hits)),
+        ("pf_requested".into(), Value::Int(r.pf_requested)),
         ("pf_issued".into(), Value::Int(r.pf_issued)),
         ("pf_dropped_bus".into(), Value::Int(r.pf_dropped_bus)),
         ("pf_dropped_mshr".into(), Value::Int(r.pf_dropped_mshr)),
@@ -136,6 +138,7 @@ pub fn result_to_json(r: &SimResult) -> Value {
         ("table_read_drops".into(), Value::Int(r.table_read_drops)),
         ("table_writes".into(), Value::Int(r.table_writes)),
         ("writebacks".into(), Value::Int(r.writebacks)),
+        ("store_skipped".into(), Value::Int(r.store_skipped)),
         ("stall_cycles".into(), Value::Int(r.stall_cycles)),
         (
             "mem".into(),
@@ -159,10 +162,12 @@ pub fn result_from_json(v: &Value) -> Option<SimResult> {
         l2_inst_misses: n("l2_inst_misses")?,
         l2_load_misses: n("l2_load_misses")?,
         l2_store_misses: n("l2_store_misses")?,
+        secondary_misses: n("secondary_misses")?,
         averted_inst: n("averted_inst")?,
         averted_load: n("averted_load")?,
         averted_store: n("averted_store")?,
         partial_hits: n("partial_hits")?,
+        pf_requested: n("pf_requested")?,
         pf_issued: n("pf_issued")?,
         pf_dropped_bus: n("pf_dropped_bus")?,
         pf_dropped_mshr: n("pf_dropped_mshr")?,
@@ -172,6 +177,7 @@ pub fn result_from_json(v: &Value) -> Option<SimResult> {
         table_read_drops: n("table_read_drops")?,
         table_writes: n("table_writes")?,
         writebacks: n("writebacks")?,
+        store_skipped: n("store_skipped")?,
         stall_cycles: n("stall_cycles")?,
         mem: MemStats {
             read: bus_from_json(v.get("mem")?.get("read")?)?,
@@ -264,7 +270,7 @@ mod tests {
         // Simulate a hash collision: a valid entry under this job's file
         // name whose canonical string belongs to some other job.
         let doc = Value::Obj(vec![
-            ("schema".into(), Value::Int(1)),
+            ("schema".into(), Value::Int(SCHEMA)),
             ("id".into(), Value::Str(job.id().to_string())),
             ("job".into(), Value::Str("other-job".into())),
             ("result".into(), result_to_json(&sample_result())),

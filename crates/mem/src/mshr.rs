@@ -5,8 +5,6 @@
 //! to an already-outstanding line merges into the existing entry
 //! (a *secondary* miss) and consumes no new register.
 
-use std::collections::HashMap;
-
 use ebcp_types::LineAddr;
 
 /// Result of trying to allocate an MSHR for a missing line.
@@ -38,7 +36,11 @@ pub enum MshrOutcome {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<LineAddr, u32>,
+    /// Outstanding lines and their merged-request counts, as a flat
+    /// array: the file holds at most a few dozen registers, so a linear
+    /// scan of contiguous pairs beats hashing on the every-L2-miss
+    /// lookup path.
+    entries: Vec<(LineAddr, u32)>,
     peak: usize,
     primaries: u64,
     secondaries: u64,
@@ -55,7 +57,7 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR file needs at least one register");
         MshrFile {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
             peak: 0,
             primaries: 0,
             secondaries: 0,
@@ -64,9 +66,10 @@ impl MshrFile {
     }
 
     /// Attempts to allocate (or merge into) an MSHR for `line`.
+    #[inline]
     pub fn allocate(&mut self, line: LineAddr) -> MshrOutcome {
-        if let Some(count) = self.entries.get_mut(&line) {
-            *count += 1;
+        if let Some(i) = self.entries.iter().position(|&(l, _)| l == line) {
+            self.entries[i].1 += 1;
             self.secondaries += 1;
             return MshrOutcome::Secondary;
         }
@@ -74,7 +77,7 @@ impl MshrFile {
             self.rejections += 1;
             return MshrOutcome::Full;
         }
-        self.entries.insert(line, 1);
+        self.entries.push((line, 1));
         self.peak = self.peak.max(self.entries.len());
         self.primaries += 1;
         MshrOutcome::Primary
@@ -84,26 +87,33 @@ impl MshrFile {
     ///
     /// Releasing an unallocated line is a no-op (fills can race with
     /// invalidations in the engine).
+    #[inline]
     pub fn release(&mut self, line: LineAddr) {
-        self.entries.remove(&line);
+        if let Some(i) = self.entries.iter().position(|&(l, _)| l == line) {
+            self.entries.swap_remove(i);
+        }
     }
 
     /// Whether `line` is currently outstanding.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.entries.iter().any(|&(l, _)| l == line)
     }
 
     /// Number of allocated registers.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether no registers are allocated.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Whether every register is allocated.
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.entries.len() >= self.capacity
     }

@@ -10,9 +10,7 @@
 //! [`Action::TableRead`]: crate::Action::TableRead
 //! [`Action::TableWrite`]: crate::Action::TableWrite
 
-use std::collections::HashMap;
-
-use ebcp_types::LineAddr;
+use ebcp_types::{FxHashMap, LineAddr};
 
 /// A direct-mapped, tag-checked table keyed by line address.
 ///
@@ -36,7 +34,7 @@ use ebcp_types::LineAddr;
 #[derive(Debug, Clone)]
 pub struct MainMemoryTable<E> {
     entries: u64,
-    slots: HashMap<u64, (LineAddr, E)>,
+    slots: FxHashMap<u64, (LineAddr, E)>,
     hits: u64,
     misses: u64,
     conflicts: u64,
@@ -52,7 +50,7 @@ impl<E> MainMemoryTable<E> {
         assert!(entries > 0, "table needs at least one entry");
         MainMemoryTable {
             entries,
-            slots: HashMap::new(),
+            slots: FxHashMap::default(),
             hits: 0,
             misses: 0,
             conflicts: 0,

@@ -17,9 +17,9 @@
 //! epoch's remaining misses and the next epoch's misses, which cannot be
 //! covered timely once the table round-trip is accounted for.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use ebcp_types::LineAddr;
+use ebcp_types::{FxHashMap, LineAddr};
 use serde::{Deserialize, Serialize};
 
 use crate::api::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
@@ -87,7 +87,7 @@ pub struct SolihinPrefetcher {
     /// The last `depth` misses, newest at the back.
     recent: VecDeque<LineAddr>,
     /// Pending table reads: token → the key whose entry was requested.
-    pending: HashMap<u64, LineAddr>,
+    pending: FxHashMap<u64, LineAddr>,
     next_token: u64,
     name: String,
 }
@@ -103,7 +103,7 @@ impl SolihinPrefetcher {
         SolihinPrefetcher {
             table: MainMemoryTable::new(config.entries),
             recent: VecDeque::with_capacity(config.depth),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             next_token: 0,
             name: format!("solihin-{},{}", config.depth, config.width),
             config,

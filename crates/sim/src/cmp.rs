@@ -15,13 +15,13 @@
 //! global time order and cross-core skew is bounded by one stall.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use ebcp_core::EpochTracker;
 use ebcp_mem::{MemOutcome, MemorySystem, MshrFile, PrefetchBuffer, SetAssocCache};
 use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 use ebcp_trace::{Op, TraceRecord};
-use ebcp_types::{AccessKind, Cycle, LineAddr, MemClass, Pc};
+use ebcp_types::{AccessKind, Cycle, FxHashMap, LineAddr, MemClass, Pc};
 
 use crate::config::SimConfig;
 use crate::metrics::SimResult;
@@ -64,6 +64,8 @@ struct CoreCounters {
     inst_misses: u64,
     load_misses: u64,
     store_misses: u64,
+    secondary_misses: u64,
+    store_skipped: u64,
     averted_inst: u64,
     averted_load: u64,
     averted_store: u64,
@@ -149,7 +151,7 @@ pub struct CmpEngine {
     mshr: MshrFile,
     mem: MemorySystem,
     pf: Box<dyn Prefetcher>,
-    pf_inflight: HashMap<LineAddr, Cycle>,
+    pf_inflight: FxHashMap<LineAddr, Cycle>,
     events: BinaryHeap<Reverse<Ev>>,
     next_ev_at: Cycle,
     ev_seq: u64,
@@ -171,6 +173,7 @@ pub struct CmpEngine {
 
 #[derive(Debug, Clone, Copy, Default)]
 struct SharedBase {
+    pf_requested: u64,
     pf_filtered: u64,
     pf_dropped_mshr: u64,
     pf_dropped_bus: u64,
@@ -224,7 +227,7 @@ impl CmpEngine {
             mshr: MshrFile::new(cfg.mshrs),
             mem: MemorySystem::new(cfg.mem),
             pf,
-            pf_inflight: HashMap::new(),
+            pf_inflight: FxHashMap::default(),
             events: BinaryHeap::new(),
             next_ev_at: Cycle::MAX,
             ev_seq: 0,
@@ -299,6 +302,7 @@ impl CmpEngine {
 
     fn snapshot_shared(&mut self) {
         self.shared_base = SharedBase {
+            pf_requested: self.pf_requested,
             pf_filtered: self.pf_filtered,
             pf_dropped_mshr: self.pf_dropped_mshr,
             pf_dropped_bus: self.pf_dropped_bus,
@@ -325,6 +329,8 @@ impl CmpEngine {
                 l2_inst_misses: c.c.inst_misses,
                 l2_load_misses: c.c.load_misses,
                 l2_store_misses: c.c.store_misses,
+                secondary_misses: c.c.secondary_misses,
+                store_skipped: c.c.store_skipped,
                 averted_inst: c.c.averted_inst,
                 averted_load: c.c.averted_load,
                 averted_store: c.c.averted_store,
@@ -336,6 +342,7 @@ impl CmpEngine {
         let mut aggregate = SimResult {
             prefetcher: self.pf.name().to_owned(),
             workload: workload.to_owned(),
+            pf_requested: self.pf_requested - self.shared_base.pf_requested,
             pf_issued: self.pf_issued - self.shared_base.pf_issued,
             pf_dropped_bus: self.pf_dropped_bus - self.shared_base.pf_dropped_bus,
             pf_dropped_mshr: self.pf_dropped_mshr - self.shared_base.pf_dropped_mshr,
@@ -354,6 +361,8 @@ impl CmpEngine {
             aggregate.l2_inst_misses += c.l2_inst_misses;
             aggregate.l2_load_misses += c.l2_load_misses;
             aggregate.l2_store_misses += c.l2_store_misses;
+            aggregate.secondary_misses += c.secondary_misses;
+            aggregate.store_skipped += c.store_skipped;
             aggregate.averted_inst += c.averted_inst;
             aggregate.averted_load += c.averted_load;
             aggregate.averted_store += c.averted_store;
@@ -489,7 +498,14 @@ impl CmpEngine {
             self.cores[i].l1d.fill(dline, false);
             return;
         }
-        if self.mshr.contains(dline) || self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs {
+        if self.mshr.contains(dline) {
+            self.cores[i].c.secondary_misses += 1;
+            return;
+        }
+        if self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs {
+            // Store buffer absorbs it (same policy as the single-core
+            // engine); counted, not silent.
+            self.cores[i].c.store_skipped += 1;
             return;
         }
         self.cores[i].c.store_misses += 1;
@@ -515,7 +531,8 @@ impl CmpEngine {
         if self.mshr.contains(line) {
             // Outstanding somewhere (possibly another core): attach to
             // this core's window with a conservative full-latency
-            // completion.
+            // completion. Still a merged (secondary) miss in MSHR terms.
+            self.cores[i].c.secondary_misses += 1;
             let trigger = self.cores[i].epoch.on_offchip_issue(now);
             self.count_miss(i, kind);
             let done = now + self.cfg.mem.latency;

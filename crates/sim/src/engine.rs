@@ -15,13 +15,14 @@
 //!   clock catches up to the next event.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use ebcp_core::EpochTracker;
 use ebcp_mem::{
     MemOutcome, MemStats, MemorySystem, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache,
 };
 use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
+use ebcp_trace::TraceGenerator;
 use ebcp_trace::{Op, TraceRecord};
 use ebcp_types::{AccessKind, Cycle, LineAddr, MemClass, Pc};
 
@@ -77,6 +78,7 @@ struct Counters {
     pf_dropped_bus: u64,
     pf_issued: u64,
     pf_evicted_unused: u64,
+    store_skipped: u64,
     table_reads: u64,
     table_read_drops: u64,
     table_writes: u64,
@@ -114,13 +116,22 @@ pub struct Engine {
     issue_slots: u32,
     insts: u64,
     outstanding: Vec<Outst>,
+    /// Spare buffer swapped with `outstanding` in `stall_all` so that
+    /// draining a window never reallocates.
+    outs_scratch: Vec<Outst>,
     window_insts: u32,
     dep_countdown: Option<u32>,
-    pf_inflight: HashMap<LineAddr, Cycle>,
+    /// Prefetches in flight to memory (line, arrival cycle). Bounded by
+    /// the MSHR count, so a flat scan beats hashing on the every-miss
+    /// lookup.
+    pf_inflight: Vec<(LineAddr, Cycle)>,
     events: BinaryHeap<Reverse<Ev>>,
     next_ev_at: Cycle,
     ev_seq: u64,
-    last_fetch_line: Option<LineAddr>,
+    /// Last instruction line fetched; `LineAddr::from_index(u64::MAX)`
+    /// (no real line — indices fit in 58 bits) means "none yet". A bare
+    /// u64 compare on the per-record spine, not an `Option` match.
+    last_fetch_line: LineAddr,
     actions: Vec<Action>,
 
     c: Counters,
@@ -155,13 +166,14 @@ impl Engine {
             issue_slots: 0,
             insts: 0,
             outstanding: Vec::with_capacity(cfg.mshrs),
+            outs_scratch: Vec::with_capacity(cfg.mshrs),
             window_insts: 0,
             dep_countdown: None,
-            pf_inflight: HashMap::new(),
+            pf_inflight: Vec::with_capacity(cfg.mshrs),
             events: BinaryHeap::new(),
             next_ev_at: Cycle::MAX,
             ev_seq: 0,
-            last_fetch_line: None,
+            last_fetch_line: LineAddr::from_index(u64::MAX),
             actions: Vec::new(),
             c: Counters::default(),
             cycle_base: 0,
@@ -209,7 +221,38 @@ impl Engine {
         }
     }
 
+    /// Trace records per chunk for [`Engine::run_chunks`]: 4096 records
+    /// (~64 KB) keeps the working chunk inside the host L2 while
+    /// amortizing the generator's per-call overhead over thousands of
+    /// steps.
+    pub const CHUNK_RECORDS: usize = 4096;
+
+    /// Consumes `total` records from `gen` in reusable-buffer chunks.
+    ///
+    /// Produces exactly the same simulation as calling
+    /// [`Engine::step`] on `total` records pulled one at a time from
+    /// the generator's iterator — the generator guarantees
+    /// `next_chunk` preserves the record sequence — but the hot loop
+    /// runs over a contiguous `&[TraceRecord]` instead of ticking an
+    /// iterator per record.
+    pub fn run_chunks(&mut self, gen: &mut TraceGenerator, total: u64) {
+        let mut chunk = Vec::with_capacity(Self::CHUNK_RECORDS);
+        let mut left = total;
+        while left > 0 {
+            let want = Self::CHUNK_RECORDS.min(usize::try_from(left).unwrap_or(usize::MAX));
+            let got = gen.next_chunk(&mut chunk, want);
+            if got == 0 {
+                break;
+            }
+            for rec in &chunk {
+                self.step(rec);
+            }
+            left -= got as u64;
+        }
+    }
+
     /// Simulates one trace record.
+    #[inline]
     pub fn step(&mut self, rec: &TraceRecord) {
         if !self.outstanding.is_empty() {
             self.drain_outstanding();
@@ -222,8 +265,8 @@ impl Engine {
 
         // Instruction fetch at line granularity.
         let iline = rec.pc.line();
-        if self.last_fetch_line != Some(iline) {
-            self.last_fetch_line = Some(iline);
+        if self.last_fetch_line != iline {
+            self.last_fetch_line = iline;
             self.fetch(iline, rec.pc);
         }
 
@@ -285,10 +328,12 @@ impl Engine {
             l2_inst_misses: self.c.inst_misses,
             l2_load_misses: self.c.load_misses,
             l2_store_misses: self.c.store_misses,
+            secondary_misses: self.c.secondary_misses,
             averted_inst: self.c.averted_inst,
             averted_load: self.c.averted_load,
             averted_store: self.c.averted_store,
             partial_hits: self.c.partial_hits,
+            pf_requested: self.c.pf_requested,
             pf_issued: self.c.pf_issued,
             pf_dropped_bus: self.c.pf_dropped_bus,
             pf_dropped_mshr: self.c.pf_dropped_mshr,
@@ -298,6 +343,7 @@ impl Engine {
             table_read_drops: self.c.table_read_drops,
             table_writes: self.c.table_writes,
             writebacks: self.c.writebacks,
+            store_skipped: self.c.store_skipped,
             stall_cycles: self.c.stall_cycles,
             mem: diff_mem(mem_now, self.mem_base),
         }
@@ -307,6 +353,7 @@ impl Engine {
     // Demand paths
     // ------------------------------------------------------------------
 
+    #[inline]
     fn fetch(&mut self, iline: LineAddr, pc: Pc) {
         if self.l1i.access(iline) {
             return;
@@ -330,6 +377,7 @@ impl Engine {
         self.l1i.fill(iline, false);
     }
 
+    #[inline]
     fn load(&mut self, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
         if self.l1d.access(dline) {
             return;
@@ -353,13 +401,13 @@ impl Engine {
         }
     }
 
+    #[inline]
     fn store(&mut self, dline: LineAddr) {
         if self.l1d.access(dline) {
             self.l2.mark_dirty(dline);
             return;
         }
-        if self.l2.access(dline) {
-            self.l2.mark_dirty(dline);
+        if self.l2.access_dirty(dline) {
             self.l1d.fill(dline, false);
             return;
         }
@@ -376,7 +424,9 @@ impl Engine {
             return;
         }
         if self.mshr.len() + self.pf_inflight.len() >= self.cfg.mshrs {
-            // Store buffer absorbs it; the fill is simply skipped. Rare.
+            // Store buffer absorbs it; the fill is skipped. Rare, but
+            // counted so the skip is visible in the result.
+            self.c.store_skipped += 1;
             return;
         }
         self.c.store_misses += 1;
@@ -388,10 +438,12 @@ impl Engine {
         self.push_event(done, EvKind::StoreFill { line: dline });
     }
 
+    #[inline]
     fn offchip_demand(&mut self, line: LineAddr, pc: Pc, kind: AccessKind) {
         // A demand miss to a line with a prefetch already in flight: the
         // prefetch becomes the demand fill (partial latency hiding).
-        if let Some(arrival) = self.pf_inflight.remove(&line) {
+        if let Some(i) = self.pf_inflight.iter().position(|&(l, _)| l == line) {
+            let (_, arrival) = self.pf_inflight.swap_remove(i);
             self.c.partial_hits += 1;
             let trigger = self.epoch.on_offchip_issue(self.cycle);
             self.count_miss(kind);
@@ -418,6 +470,7 @@ impl Engine {
         self.notify_miss(line, pc, kind, trigger);
     }
 
+    #[inline]
     fn count_miss(&mut self, kind: AccessKind) {
         match kind {
             AccessKind::InstrFetch => self.c.inst_misses += 1,
@@ -476,6 +529,7 @@ impl Engine {
         self.actions = acts;
     }
 
+    #[inline]
     fn apply_actions(&mut self, now: Cycle, acts: &[Action]) {
         for a in acts {
             match *a {
@@ -484,7 +538,7 @@ impl Engine {
                     if self.l2.probe(line)
                         || self.pbuf.contains(line)
                         || self.mshr.contains(line)
-                        || self.pf_inflight.contains_key(&line)
+                        || self.pf_inflight.iter().any(|&(l, _)| l == line)
                     {
                         self.c.pf_filtered += 1;
                         continue;
@@ -496,7 +550,7 @@ impl Engine {
                     match self.mem.request(now, MemClass::Prefetch) {
                         MemOutcome::Done { done } => {
                             self.c.pf_issued += 1;
-                            self.pf_inflight.insert(line, done);
+                            self.pf_inflight.push((line, done));
                             self.push_event(done, EvKind::PrefetchArrive { line, origin });
                         }
                         MemOutcome::Dropped => self.c.pf_dropped_bus += 1,
@@ -526,6 +580,7 @@ impl Engine {
     // Time advancement
     // ------------------------------------------------------------------
 
+    #[inline]
     fn fill_l2(&mut self, line: LineAddr, dirty: bool) {
         if let Some(ev) = self.l2.fill(line, dirty) {
             if ev.dirty {
@@ -546,10 +601,12 @@ impl Engine {
             self.c.stall_cycles += max_done - self.cycle;
             self.cycle = max_done;
         }
-        let outs = std::mem::take(&mut self.outstanding);
-        for o in outs {
+        let mut outs = std::mem::take(&mut self.outs_scratch);
+        std::mem::swap(&mut outs, &mut self.outstanding);
+        for o in outs.drain(..) {
             self.complete_demand(o);
         }
+        self.outs_scratch = outs;
         self.end_window();
     }
 
@@ -582,6 +639,7 @@ impl Engine {
 
     /// Retires outstanding misses that completed while the core kept
     /// running (natural overlap, no stall).
+    #[inline]
     fn drain_outstanding(&mut self) {
         let mut i = 0;
         let mut removed = false;
@@ -599,6 +657,7 @@ impl Engine {
         }
     }
 
+    #[inline]
     fn push_event(&mut self, at: Cycle, kind: EvKind) {
         let ev = Ev {
             at,
@@ -625,7 +684,9 @@ impl Engine {
                     self.actions = acts;
                 }
                 EvKind::PrefetchArrive { line, origin } => {
-                    self.pf_inflight.remove(&line);
+                    if let Some(i) = self.pf_inflight.iter().position(|&(l, _)| l == line) {
+                        self.pf_inflight.swap_remove(i);
+                    }
                     if !self.l2.probe(line)
                         && !self.mshr.contains(line)
                         && self.pbuf.insert(line, origin).is_some()

@@ -24,6 +24,9 @@ pub struct SimResult {
     pub l2_load_misses: u64,
     /// Off-chip store write-allocates.
     pub l2_store_misses: u64,
+    /// Demand misses that merged into an already-outstanding MSHR
+    /// (secondary misses; consume no new register, create no epoch).
+    pub secondary_misses: u64,
     /// Instruction misses averted by prefetch-buffer hits.
     pub averted_inst: u64,
     /// Load misses averted by prefetch-buffer hits.
@@ -33,6 +36,10 @@ pub struct SimResult {
     /// Demand misses whose latency was partially hidden by an in-flight
     /// prefetch to the same line.
     pub partial_hits: u64,
+    /// Prefetch requests the prefetcher asked for, before the engine's
+    /// filter / MSHR / bus gates (`pf_issued + pf_filtered +
+    /// pf_dropped_mshr + pf_dropped_bus`).
+    pub pf_requested: u64,
     /// Prefetches issued to memory.
     pub pf_issued: u64,
     /// Prefetches dropped by bus saturation.
@@ -52,6 +59,9 @@ pub struct SimResult {
     pub table_writes: u64,
     /// Dirty-line writebacks.
     pub writebacks: u64,
+    /// Store write-allocates skipped because MSHRs were exhausted (the
+    /// store buffer absorbs the write; no fill happens).
+    pub store_skipped: u64,
     /// Cycles spent stalled on off-chip miss groups.
     pub stall_cycles: Cycle,
     /// Bus/memory traffic statistics.
@@ -81,6 +91,17 @@ impl SimResult {
     /// L2 load misses per 1000 instructions.
     pub fn load_mr(&self) -> f64 {
         per_kilo(self.l2_load_misses, self.insts)
+    }
+
+    /// Secondary (MSHR-merged) misses per 1000 instructions.
+    pub fn secondary_mr(&self) -> f64 {
+        per_kilo(self.secondary_misses, self.insts)
+    }
+
+    /// Fraction of prefetch requests that survived the engine's gates
+    /// and reached memory (`pf_issued / pf_requested`).
+    pub fn pf_issue_rate(&self) -> f64 {
+        ratio(self.pf_issued, self.pf_requested)
     }
 
     /// Mean off-chip misses per epoch.
@@ -158,15 +179,17 @@ impl SimResult {
     /// One-line summary for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "{:<22} {:<12} cpi={:<6.3} epi/1k={:<5.2} instMR={:<5.2} loadMR={:<5.2} cov={:<5.1}% acc={:<5.1}%",
+            "{:<22} {:<12} cpi={:<6.3} epi/1k={:<5.2} instMR={:<5.2} loadMR={:<5.2} secMR={:<5.2} cov={:<5.1}% acc={:<5.1}% pfReq={}",
             self.workload,
             self.prefetcher,
             self.cpi(),
             self.epi_per_kilo(),
             self.inst_mr(),
             self.load_mr(),
+            self.secondary_mr(),
             self.coverage() * 100.0,
             self.accuracy() * 100.0,
+            self.pf_requested,
         )
     }
 }
@@ -269,5 +292,20 @@ mod tests {
         let s = sample().summary();
         assert!(s.contains("cpi="));
         assert!(s.contains("cov="));
+        assert!(s.contains("secMR="));
+        assert!(s.contains("pfReq="));
+    }
+
+    #[test]
+    fn secondary_and_request_metrics() {
+        let r = SimResult {
+            insts: 1_000_000,
+            secondary_misses: 2_000,
+            pf_requested: 40_000,
+            pf_issued: 10_000,
+            ..SimResult::default()
+        };
+        assert_eq!(r.secondary_mr(), 2.0);
+        assert_eq!(r.pf_issue_rate(), 0.25);
     }
 }

@@ -124,13 +124,9 @@ impl RunSpec {
     pub fn run_streaming(&self, program: Arc<WorkloadProgram>, pf: &PrefetcherSpec) -> SimResult {
         let mut gen = TraceGenerator::with_program(program, self.workload.clone(), self.seed);
         let mut engine = Engine::new(self.sim, pf.build());
-        for rec in gen.by_ref().take(self.warmup_insts as usize) {
-            engine.step(&rec);
-        }
+        engine.run_chunks(&mut gen, self.warmup_insts);
         engine.reset_stats();
-        for rec in gen.take(self.measure_insts as usize) {
-            engine.step(&rec);
-        }
+        engine.run_chunks(&mut gen, self.measure_insts);
         engine.result(&self.workload.name)
     }
 
@@ -215,6 +211,19 @@ mod tests {
             "EBCP should improve CPI, got {:.2}%",
             imp * 100.0
         );
+    }
+
+    /// The chunked streaming path (`run_chunks` over generator refills)
+    /// must be observationally identical to stepping a materialized
+    /// trace record by record — same counters, cycles and stats.
+    #[test]
+    fn chunked_and_stepped_runs_agree() {
+        let spec = quick_spec();
+        let pf = PrefetcherSpec::Ebcp(EbcpConfig::tuned());
+        let stepped = spec.run_on(&spec.materialize(), &pf);
+        let program = Arc::new(WorkloadProgram::build(&spec.workload));
+        let chunked = spec.run_streaming(program, &pf);
+        assert_eq!(stepped, chunked);
     }
 
     #[test]

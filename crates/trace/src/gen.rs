@@ -1,7 +1,6 @@
 //! The trace generator: executes templates in random order, expanding
 //! each into trace records with per-execution noise.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use ebcp_types::{LineAddr, Pc};
@@ -33,7 +32,12 @@ pub struct TraceGenerator {
     program: Arc<WorkloadProgram>,
     spec: WorkloadSpec,
     rng: SmallRng,
-    buf: VecDeque<TraceRecord>,
+    /// Records of the current template instance, consumed from `pos`.
+    /// A plain `Vec` + cursor (not a `VecDeque`): the buffer refills
+    /// only when fully drained, so pops never interleave with pushes,
+    /// and a contiguous buffer is what `next_chunk` copies from.
+    buf: Vec<TraceRecord>,
+    pos: usize,
     // Filler op thresholds, precomputed.
     p_serialize: f64,
     p_load: f64,
@@ -69,7 +73,8 @@ impl TraceGenerator {
             program,
             rng: SmallRng::seed_from_u64(seed ^ spec.seed_tag.rotate_left(17)),
             spec,
-            buf: VecDeque::new(),
+            buf: Vec::new(),
+            pos: 0,
             p_serialize,
             p_load,
             p_store,
@@ -87,8 +92,50 @@ impl TraceGenerator {
     /// Collects exactly `n` records into a vector.
     pub fn collect_n(&mut self, n: usize) -> Vec<TraceRecord> {
         let mut v = Vec::with_capacity(n);
-        v.extend(self.take(n));
+        while v.len() < n {
+            if self.pos == self.buf.len() {
+                self.refill();
+                if self.buf.is_empty() {
+                    break;
+                }
+            }
+            let take = (n - v.len()).min(self.buf.len() - self.pos);
+            v.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+        }
         v
+    }
+
+    /// Refills `out` (cleared first) with up to `max` records, copied
+    /// from the internal buffer slice-at-a-time.
+    ///
+    /// Yields exactly the sequence that `max` calls to `next` would —
+    /// batched delivery changes how records travel, never which
+    /// records — while letting the caller reuse one allocation for the
+    /// life of a run. Returns the number of records delivered (always
+    /// `max` for this infinite generator, unless `max` is 0).
+    pub fn next_chunk(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        out.clear();
+        while out.len() < max {
+            if self.pos == self.buf.len() {
+                self.refill();
+                if self.buf.is_empty() {
+                    break;
+                }
+            }
+            let take = (max - out.len()).min(self.buf.len() - self.pos);
+            out.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+        }
+        out.len()
+    }
+
+    /// Drops the drained buffer contents and expands the next template
+    /// instance into it.
+    fn refill(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+        self.emit_instance();
     }
 
     fn random_data_line(rng: &mut SmallRng, spec: &WorkloadSpec) -> LineAddr {
@@ -134,7 +181,7 @@ impl TraceGenerator {
             } else {
                 Op::Alu
             };
-            self.buf.push_back(TraceRecord::new(pc, op));
+            self.buf.push(TraceRecord::new(pc, op));
         }
     }
 
@@ -150,7 +197,7 @@ impl TraceGenerator {
             } else {
                 l.line
             };
-            self.buf.push_back(TraceRecord::new(
+            self.buf.push(TraceRecord::new(
                 l.pc,
                 Op::Load {
                     addr: line.base(),
@@ -161,7 +208,7 @@ impl TraceGenerator {
             // back-to-back without separating them into different epochs.
             *pc_cursor = (*pc_cursor + 4) % code_span;
             self.buf
-                .push_back(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
+                .push(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
         }
     }
 
@@ -179,7 +226,7 @@ impl TraceGenerator {
         let code_span = t.hot_code_lines * 64;
         let code_base = t.hot_code_base.base().get();
         for l in &loads {
-            self.buf.push_back(TraceRecord::new(
+            self.buf.push(TraceRecord::new(
                 l.pc,
                 Op::Load {
                     addr: l.line.base(),
@@ -188,7 +235,7 @@ impl TraceGenerator {
             ));
             *pc_cursor = (*pc_cursor + 4) % code_span;
             self.buf
-                .push_back(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
+                .push(TraceRecord::alu(Pc::new(code_base + *pc_cursor)));
         }
     }
 
@@ -196,7 +243,7 @@ impl TraceGenerator {
         for line in lines {
             let base = line.base().get();
             for k in 0..16u64 {
-                self.buf.push_back(TraceRecord::alu(Pc::new(base + 4 * k)));
+                self.buf.push(TraceRecord::alu(Pc::new(base + 4 * k)));
             }
         }
     }
@@ -230,11 +277,17 @@ impl TraceGenerator {
 impl Iterator for TraceGenerator {
     type Item = TraceRecord;
 
+    #[inline]
     fn next(&mut self) -> Option<TraceRecord> {
-        if self.buf.is_empty() {
-            self.emit_instance();
+        if self.pos == self.buf.len() {
+            self.refill();
+            if self.buf.is_empty() {
+                return None;
+            }
         }
-        self.buf.pop_front()
+        let rec = self.buf[self.pos];
+        self.pos += 1;
+        Some(rec)
     }
 }
 
@@ -327,6 +380,33 @@ mod tests {
     fn collect_n_returns_exact_count() {
         let mut g = TraceGenerator::new(&small(), 9);
         assert_eq!(g.collect_n(12_345).len(), 12_345);
+    }
+
+    #[test]
+    fn next_chunk_matches_iterator_sequence() {
+        let spec = small();
+        let expect: Vec<_> = TraceGenerator::new(&spec, 8).take(50_000).collect();
+        let mut g = TraceGenerator::new(&spec, 8);
+        let mut got = Vec::with_capacity(expect.len());
+        let mut chunk = Vec::new();
+        // Awkward chunk sizes, straddling template-instance boundaries.
+        for sz in [1usize, 7, 333, 4096, 10_000].into_iter().cycle() {
+            if got.len() >= expect.len() {
+                break;
+            }
+            let want = sz.min(expect.len() - got.len());
+            assert_eq!(g.next_chunk(&mut chunk, want), want);
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(got, expect, "batched delivery must not reorder records");
+    }
+
+    #[test]
+    fn next_chunk_of_zero_is_empty() {
+        let mut g = TraceGenerator::new(&small(), 9);
+        let mut chunk = vec![TraceRecord::alu(Pc::new(0))];
+        assert_eq!(g.next_chunk(&mut chunk, 0), 0);
+        assert!(chunk.is_empty(), "chunk must be cleared");
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! A fast, deterministic, non-cryptographic hasher for hot-path maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 with a per-process
+//! random key. That buys HashDoS resistance the simulator does not need —
+//! every key on the per-miss path ([`LineAddr`](crate::LineAddr) of an
+//! in-flight prefetch, an MSHR tag, a correlation-table slot index) is
+//! produced by the simulation itself, never by an adversary — and costs a
+//! full SipHash compression per lookup plus nondeterministic iteration
+//! order between processes.
+//!
+//! [`FxHasher`] is the multiply-rotate hash used by rustc (`rustc-hash`):
+//! one rotate, one xor and one multiply per 8-byte word, no allocation,
+//! no random state. Hashes are stable across processes and platforms for
+//! the integer-shaped keys the simulator uses, which keeps replay
+//! deterministic even if a container ever iterates.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebcp_types::fxhash::FxHashMap;
+//! use ebcp_types::LineAddr;
+//!
+//! let mut inflight: FxHashMap<LineAddr, u64> = FxHashMap::default();
+//! inflight.insert(LineAddr::from_index(42), 1000);
+//! assert_eq!(inflight.get(&LineAddr::from_index(42)), Some(&1000));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx hash family (a close relative of the Firefox
+/// and rustc hashers): an odd 64-bit constant with well-mixed high bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Bits to rotate between words; spreads consecutive small integers
+/// across the table even when only a few low bits differ.
+const ROTATE: u32 = 5;
+
+/// The Fx word-at-a-time hasher. See the [module docs](self).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the slice; the tail is padded into one
+        // final word. Hot-path keys are u64 newtypes and never take
+        // this path, but derived `Hash` impls for mixed structs do.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Zero-state builder for [`FxHasher`]: every hasher starts identical,
+/// so hashes — and thus map layouts — are reproducible run to run.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`]. Drop-in for `std::HashMap` on
+/// simulator-internal keys.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_u64(x: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(x);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_u64(0xdead_beef), hash_u64(0xdead_beef));
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+    }
+
+    #[test]
+    fn distinct_inputs_hash_apart() {
+        // Consecutive small integers (the common key shape: line
+        // indices, table slots) must not collide.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(hash_u64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn low_bits_spread_for_consecutive_keys() {
+        // HashMap uses the high bits of the hash for bucket selection
+        // via multiplication, but check low-7-bit spread anyway: over
+        // 1024 consecutive keys every 128-bucket slot should be hit.
+        let mut buckets = [0u32; 128];
+        for i in 0..1024u64 {
+            buckets[(hash_u64(i) & 127) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 0), "unused low-bit bucket");
+    }
+
+    #[test]
+    fn byte_slices_tail_disambiguates_length() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip_with_line_addr_keys() {
+        let mut m: FxHashMap<crate::LineAddr, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(crate::LineAddr::from_index(i), i as u32);
+        }
+        for i in 0..1000 {
+            assert_eq!(m[&crate::LineAddr::from_index(i)], i as u32);
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //!   priority class its memory traffic travels in.
 //! * a small statistics toolkit ([`stats::Counter`], [`stats::Ratio`],
 //!   [`stats::Histogram`]) used by the memory system and the simulator.
+//! * [`FxHashMap`]/[`FxHashSet`] — deterministic, no-alloc fast hashing
+//!   for the simulator's per-miss-path tables (see [`fxhash`]).
 //!
 //! # Examples
 //!
@@ -24,10 +26,12 @@
 //! ```
 
 pub mod addr;
+pub mod fxhash;
 pub mod kind;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, Pc, LINE_BYTES, LINE_SHIFT};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kind::{AccessKind, MemClass};
 
 /// Simulation time in core clock cycles.
