@@ -213,14 +213,17 @@ fn main() {
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
 }
 
-/// Runs the simulated-throughput matrix, writes
+/// Runs the simulated-throughput matrix plus the sweep cells, writes
 /// `<out-dir>/BENCH_throughput.json`, and (with `--check-baseline`)
-/// fails the process if the geometric mean dropped more than 25% below
-/// the committed baseline.
+/// fails the process if either geometric mean dropped more than 25%
+/// below the committed baseline.
 fn bench_throughput(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
     let rows = throughput::measure(scale);
     print!("{}", throughput::render(&rows));
-    let doc = throughput::to_json(scale, &rows);
+    let sweep = throughput::measure_sweep(scale);
+    println!();
+    print!("{}", throughput::render_sweep(&sweep));
+    let doc = throughput::to_json(scale, &rows, &sweep);
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("warning: could not create {}: {e}", out_dir.display());
     }
@@ -243,6 +246,21 @@ fn bench_throughput(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
     match throughput::check_against_baseline(&rows, &doc, 0.25) {
         Ok((cur, base)) => {
             eprintln!("# throughput gate passed: geomean {cur:.1} Minst/s vs baseline {base:.1}")
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    match throughput::check_sweep_against_baseline(&sweep, &doc, 0.25) {
+        Ok((cur, base)) if base <= 0.0 => {
+            eprintln!(
+                "# sweep gate skipped (baseline has no sweep section); \
+                 current geomean {cur:.1} Minst/s"
+            );
+        }
+        Ok((cur, base)) => {
+            eprintln!("# sweep gate passed: geomean {cur:.1} Minst/s vs baseline {base:.1}");
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,33 @@
+//! Differential gate for the two-phase pipeline: for every registered
+//! prefetcher × workload at quick scale, replaying the pre-resolved
+//! event stream must produce a `SimResult` byte-identical to stepping
+//! the full trace. This is the test that lets the figure drivers run on
+//! the replay path without a correctness asterisk.
+
+use ebcp_bench::{throughput, Scale};
+use ebcp_sim::frontend::PreResolved;
+
+#[test]
+fn replay_matches_stepping_for_every_prefetcher_and_workload() {
+    let scale = Scale::quick();
+    // The sweep roster is the union of every prefetcher the experiment
+    // drivers register (throughput + Figure 9 + tuned EBCP variants).
+    let pfs = throughput::sweep_roster(scale);
+    assert!(pfs.len() >= 6, "roster unexpectedly small: {pfs:?}");
+    for w in scale.workloads() {
+        let spec = scale.run_spec(&w, scale.machine());
+        let trace = spec.materialize();
+        let pre = PreResolved::from_records(&spec.sim, &trace);
+        for pf in &pfs {
+            let stepped = spec.run_on(&trace, pf);
+            let replayed = spec.run_preresolved(&pre, pf);
+            assert_eq!(
+                stepped,
+                replayed,
+                "replay diverged from stepping: {} x {}",
+                w.name,
+                pf.name()
+            );
+        }
+    }
+}

@@ -11,7 +11,11 @@ use ebcp_sim::{PrefetcherSpec, RunSpec};
 /// Schema tag mixed into every canonical string. Bump when the meaning
 /// of a spec field changes without its `Debug` shape changing, to
 /// invalidate stale on-disk results.
-pub const CANON_VERSION: &str = "ebcp-job-v1";
+///
+/// v2: the engine switched to eager L1 fills (two-phase pipeline), which
+/// shifts absolute timing numbers — v1 cached results describe the old
+/// model.
+pub const CANON_VERSION: &str = "ebcp-job-v2";
 
 /// 64-bit FNV-1a. Stable across platforms and processes (unlike
 /// `DefaultHasher`, which is randomly keyed per process), so hashes can
@@ -85,6 +89,24 @@ impl Job {
         fnv1a64(s.as_bytes())
     }
 
+    /// Hash identifying the *pre-resolved event stream* this job can
+    /// replay: the trace identity plus the L1 geometries the stream was
+    /// resolved under — but not the rest of the machine or the
+    /// prefetcher. Jobs with equal pre-keys (every cell of a prefetcher
+    /// sweep) share one stream.
+    #[must_use]
+    pub fn pre_key(&self) -> u64 {
+        let s = format!(
+            "{CANON_VERSION}|pre|{:?}|{}|{}|{:?}|{:?}",
+            self.spec.workload,
+            self.spec.seed,
+            self.spec.warmup_insts + self.spec.measure_insts,
+            self.spec.sim.l1i,
+            self.spec.sim.l1d,
+        );
+        fnv1a64(s.as_bytes())
+    }
+
     /// Total trace records the job will consume.
     #[must_use]
     pub const fn records(&self) -> u64 {
@@ -151,6 +173,26 @@ mod tests {
         b.spec.sim = SimConfig::scaled_down(4);
         assert_ne!(a.id(), b.id());
         assert_eq!(a.trace_key(), b.trace_key());
+    }
+
+    #[test]
+    fn prefetcher_and_backend_changes_keep_pre_key() {
+        let a = job(3);
+        // Different prefetcher: same stream.
+        let b = Job::new(a.spec.clone(), PrefetcherSpec::None);
+        assert_eq!(a.pre_key(), b.pre_key());
+        // Back-end machine change (L2 etc.) with identical L1s: still
+        // the same stream.
+        let mut c = a.clone();
+        c.spec.sim.l2 = ebcp_mem::CacheGeometry::new(1 << 20, 8);
+        assert_eq!(a.pre_key(), c.pre_key());
+        // L1 geometry change: a different stream.
+        let mut d = a.clone();
+        d.spec.sim.l1d = ebcp_mem::CacheGeometry::new(1 << 13, 2);
+        assert_ne!(a.pre_key(), d.pre_key());
+        // Different trace: a different stream.
+        let e = job(4);
+        assert_ne!(a.pre_key(), e.pre_key());
     }
 
     #[test]

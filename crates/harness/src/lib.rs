@@ -7,10 +7,12 @@
 //!
 //! - **deduplicates** by content hash, so the no-prefetch baseline a
 //!   dozen figures share runs exactly once per workload;
-//! - **parallelizes** across a `std::thread` worker pool, sharing one
-//!   materialized trace per `(workload, seed, length)` via `Arc` and
-//!   falling back to streaming when a trace exceeds the per-worker
-//!   slice of the process memory budget;
+//! - **parallelizes** across a `std::thread` worker pool, running every
+//!   job two-phase: one `Arc`-shared pre-resolved L1 event stream per
+//!   `(workload, seed, length, L1 geometry)` feeds back-end-only
+//!   replays, so a prefetcher sweep pays the front-end cost once per
+//!   workload (streams are built by chunked generation — constant
+//!   memory — and disk-cached under `preres/`);
 //! - **caches** results on disk ([`ResultStore`]), making re-runs
 //!   incremental across processes;
 //! - **reports** progress and throughput over a telemetry channel, and
@@ -45,6 +47,7 @@
 
 pub mod job;
 pub mod json;
+pub mod preres;
 pub mod source;
 pub mod store;
 pub mod telemetry;
@@ -55,6 +58,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use ebcp_sim::frontend::PreResolved;
 use ebcp_sim::SimResult;
 
 pub use crate::job::{fnv1a64, Job, JobId};
@@ -68,9 +72,12 @@ pub use crate::telemetry::{Event, Progress, ResultSource, RunSummary};
 pub struct HarnessConfig {
     /// Worker threads; `0` means [`std::thread::available_parallelism`].
     pub jobs: usize,
-    /// Per-process trace memory budget. Each concurrent worker gets an
-    /// equal slice when deciding materialize-vs-stream, so N parallel
-    /// materialized traces stay near one budget in aggregate.
+    /// Per-process trace memory budget, honoured by the
+    /// [`TraceSource`] materialize-vs-stream decision for library
+    /// callers. The harness's own job execution no longer materializes
+    /// traces at all — it builds packed pre-resolved event streams by
+    /// chunked generation, whose footprint
+    /// ([`PreResolved::est_bytes`]) is a small fraction of the trace's.
     pub mem_budget_bytes: u64,
     /// On-disk result store directory; `None` disables caching.
     pub store_dir: Option<PathBuf>,
@@ -259,14 +266,23 @@ impl Harness {
 
     /// Runs the pending jobs on the worker pool and folds the outcomes
     /// into the memo, the record table and the counters.
+    ///
+    /// Every job runs two-phase: its trace is pre-resolved through the
+    /// L1 front end into a compact event stream (constant memory — the
+    /// generator is streamed in chunks, never materialized), then the
+    /// prefetcher-dependent back end replays the stream. Streams are
+    /// keyed by [`Job::pre_key`] and `Arc`-shared, so a whole
+    /// workload × prefetcher sweep pays the front-end cost once per
+    /// workload; with a store configured they are also cached on disk
+    /// (`preres/`), making the front end free across processes.
     fn execute(&self, pending: &[(usize, &Job)]) {
         let workers = self.workers.min(pending.len()).max(1);
-        let per_budget = self.cfg.mem_budget_bytes / workers as u64;
 
-        // One trace per (workload, seed, length), built exactly once:
-        // the first worker to need it initializes the OnceLock while any
-        // others block on get_or_init, then all share the Arc.
-        let traces: Mutex<HashMap<u64, Arc<OnceLock<TraceSource>>>> = Mutex::new(HashMap::new());
+        // One stream per pre-key, built exactly once: the first worker
+        // to need it initializes the OnceLock while any others block on
+        // get_or_init, then all share the Arc.
+        let pres: Mutex<HashMap<u64, Arc<OnceLock<Arc<PreResolved>>>>> =
+            Mutex::new(HashMap::new());
         let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
         let outputs: Mutex<Vec<Option<(SimResult, u64, f64)>>> =
             Mutex::new(vec![None; pending.len()]);
@@ -275,7 +291,7 @@ impl Harness {
         std::thread::scope(|s| {
             for _ in 0..workers {
                 let tx = tx.clone();
-                let (traces, queue, outputs) = (&traces, &queue, &outputs);
+                let (pres, queue, outputs) = (&pres, &queue, &outputs);
                 s.spawn(move || loop {
                     let Some(i) = queue.lock().expect("queue lock").pop_front() else {
                         break;
@@ -284,15 +300,13 @@ impl Harness {
                     let _ = tx.send(Event::JobStarted { label: job.label() });
                     let t = Instant::now();
                     let cell = Arc::clone(
-                        traces
-                            .lock()
-                            .expect("trace lock")
-                            .entry(job.trace_key())
+                        pres.lock()
+                            .expect("pre lock")
+                            .entry(job.pre_key())
                             .or_insert_with(|| Arc::new(OnceLock::new())),
                     );
-                    let src =
-                        cell.get_or_init(|| TraceSource::prepare_budgeted(&job.spec, per_budget));
-                    let result = src.run(&job.spec, &job.pf);
+                    let pre = cell.get_or_init(|| Arc::new(self.prepare_pre(job)));
+                    let result = job.spec.run_preresolved(pre, &job.pf);
                     let wall = t.elapsed();
                     let wall_ms = wall.as_millis() as u64;
                     let rate = job.records() as f64 / wall.as_secs_f64().max(1e-9);
@@ -328,6 +342,23 @@ impl Harness {
             c.executed += 1;
             c.records_simulated += job.records();
         }
+    }
+
+    /// Obtains the pre-resolved event stream for `job`: from the disk
+    /// cache when possible, otherwise by running the front-end pass (and
+    /// caching the result for the next process).
+    fn prepare_pre(&self, job: &Job) -> PreResolved {
+        if let Some(dir) = self.store_dir() {
+            if let Some(pre) = preres::load(dir, job) {
+                return pre;
+            }
+        }
+        let pre = job.spec.pre_resolve();
+        if let Some(dir) = self.store_dir() {
+            // Cache-write failure loses only incrementality.
+            let _ = preres::save(dir, job, &pre);
+        }
+        pre
     }
 
     /// Generic parallel map over the same worker pool sizing, for work
@@ -496,6 +527,49 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.executed, 2, "second batch must be all memo hits");
         assert_eq!(s.memo_hits, 2);
+    }
+
+    #[test]
+    fn harness_replay_matches_direct_stepping() {
+        // The harness runs jobs over pre-resolved streams; the results
+        // must be byte-identical to stepping the spec directly.
+        let h = Harness::serial();
+        let jobs = small_batch();
+        let out = h.run(&jobs);
+        for (job, got) in jobs.iter().zip(&out) {
+            let direct = job.spec.run(&job.pf);
+            assert_eq!(&direct, got, "job {}", job.label());
+        }
+    }
+
+    #[test]
+    fn preres_disk_cache_round_trips_through_execute() {
+        let dir = std::env::temp_dir().join(format!("ebcp-harness-pre-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = HarnessConfig {
+            jobs: 1,
+            store_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let jobs = small_batch();
+        let a = Harness::new(cfg.clone()).run(&jobs);
+        // The stream file exists and names the shared pre-key.
+        let p = preres::path_for(&dir, &jobs[0]);
+        assert!(p.is_file(), "stream must be cached at {}", p.display());
+        // A fresh harness with the results wiped but streams kept must
+        // still execute (results gone) — from the cached stream — and
+        // agree byte-for-byte.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_file() {
+                std::fs::remove_file(path).unwrap();
+            }
+        }
+        let h2 = Harness::new(cfg);
+        let b = h2.run(&jobs);
+        assert_eq!(a, b);
+        assert_eq!(h2.summary().executed, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -505,6 +505,23 @@ impl SetAssocCache {
         })
     }
 
+    /// Looks up a line, filling it on a miss — the L1 front end's
+    /// universal access→miss→fill idiom fused into one call. Returns
+    /// `true` on hit.
+    ///
+    /// The miss-path fill consumes the victim memo recorded by the same
+    /// scan, so no second set scan happens. The eviction (if any) is
+    /// discarded: the modeled L1s are clean, so their victims never
+    /// write back.
+    #[inline]
+    pub fn access_fill(&mut self, line: LineAddr) -> bool {
+        if self.access(line) {
+            return true;
+        }
+        let _ = self.fill(line, false);
+        false
+    }
+
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> u64 {
         self.tags.iter().filter(|&&t| t != TAG_NONE).count() as u64
@@ -747,6 +764,31 @@ mod tests {
         assert!(c.access(a));
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn access_fill_matches_access_then_fill() {
+        // The fused front-end entry point must leave the cache in the
+        // same state as the two-call idiom it replaces.
+        let mut fused = tiny();
+        let mut split = tiny();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..2_000 {
+            let line = LineAddr::from_index(rng.gen_range(0..16));
+            let hit_fused = fused.access_fill(line);
+            let hit_split = split.access(line);
+            if !hit_split {
+                let _ = split.fill(line, false);
+            }
+            assert_eq!(hit_fused, hit_split);
+        }
+        assert_eq!(fused.accesses(), split.accesses());
+        assert_eq!(fused.hits(), split.hits());
+        // Both caches now hold identical residency.
+        for idx in 0..16 {
+            let line = LineAddr::from_index(idx);
+            assert_eq!(fused.probe(line), split.probe(line), "line {idx}");
+        }
     }
 
     #[test]

@@ -30,7 +30,6 @@ use crate::metrics::SimResult;
 struct Outst {
     line: LineAddr,
     done: Cycle,
-    kind: AccessKind,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,11 +39,21 @@ enum EvKind {
     StoreFill { line: LineAddr },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Eq)]
 struct Ev {
     at: Cycle,
     seq: u64,
     kind: EvKind,
+}
+
+/// Heap ordering key: `(at, seq)` — `seq` is unique per engine.
+/// Equality must match `Ord` (the derived `PartialEq` also compared
+/// `kind`, letting `a == b` disagree with `a.cmp(&b) == Equal` and
+/// violating the contract `BinaryHeap` relies on).
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
 }
 
 impl Ord for Ev {
@@ -292,6 +301,82 @@ impl CmpEngine {
         self.collect(workload)
     }
 
+    /// Runs one trace *generator* per core, pulling records in
+    /// [`crate::Engine::CHUNK_RECORDS`]-sized chunks instead of
+    /// requiring fully materialized traces — the CMP counterpart of the
+    /// single-core engine's chunked delivery, so large multi-core runs
+    /// respect the harness memory budget.
+    ///
+    /// Per-core chunk cursors preserve the smallest-clock scheduling of
+    /// [`CmpEngine::run`] exactly: each core refills its own buffer only
+    /// when picked, so the interleaving — and therefore the result — is
+    /// identical to the materialized path.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one generator per core is supplied.
+    pub fn run_chunked(
+        &mut self,
+        gens: &mut [ebcp_trace::TraceGenerator],
+        warmup: u64,
+        measure: u64,
+        workload: &str,
+    ) -> CmpResult {
+        assert_eq!(gens.len(), self.cores.len(), "one generator per core");
+        let total = warmup + measure;
+        struct Cursor {
+            buf: Vec<TraceRecord>,
+            pos: usize,
+            consumed: u64,
+            dry: bool,
+        }
+        let mut curs: Vec<Cursor> = (0..gens.len())
+            .map(|_| Cursor {
+                buf: Vec::with_capacity(crate::Engine::CHUNK_RECORDS),
+                pos: 0,
+                consumed: 0,
+                dry: false,
+            })
+            .collect();
+        loop {
+            // Step the core with the smallest local clock that still
+            // has records left (same policy as `run`).
+            let mut pick: Option<usize> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                let cur = &curs[i];
+                if cur.consumed < total
+                    && !(cur.dry && cur.pos >= cur.buf.len())
+                    && pick.map(|p| c.cycle < self.cores[p].cycle).unwrap_or(true)
+                {
+                    pick = Some(i);
+                }
+            }
+            let Some(i) = pick else { break };
+            if curs[i].pos >= curs[i].buf.len() {
+                let want = crate::Engine::CHUNK_RECORDS
+                    .min(usize::try_from(total - curs[i].consumed).unwrap_or(usize::MAX));
+                let got = gens[i].next_chunk(&mut curs[i].buf, want);
+                curs[i].pos = 0;
+                if got == 0 {
+                    curs[i].dry = true;
+                    continue;
+                }
+            }
+            let rec = curs[i].buf[curs[i].pos];
+            curs[i].pos += 1;
+            curs[i].consumed += 1;
+            self.step_core(i, &rec);
+            if self.cores[i].insts == warmup {
+                self.reset_core_stats(i);
+                if !self.shared_snapshotted && self.cores.iter().all(|c| c.insts >= warmup) {
+                    self.shared_snapshotted = true;
+                    self.snapshot_shared();
+                }
+            }
+        }
+        self.collect(workload)
+    }
+
     fn reset_core_stats(&mut self, i: usize) {
         let c = &mut self.cores[i];
         c.c = CoreCounters::default();
@@ -438,41 +523,39 @@ impl CmpEngine {
     }
 
     fn fetch(&mut self, i: usize, iline: LineAddr, pc: Pc) {
-        if self.cores[i].l1i.access(iline) {
+        // Eager L1 fill (mirrors the single-core engine): every L1 miss
+        // installs the line at the access, regardless of where the data
+        // comes from, keeping L1 state prefetcher-independent.
+        if self.cores[i].l1i.access_fill(iline) {
             return;
         }
         if self.l2.access(iline) {
             self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
-            self.cores[i].l1i.fill(iline, false);
             return;
         }
         if let Some(origin) = self.pbuf.lookup_consume(iline) {
             self.cores[i].c.averted_inst += 1;
             self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
             self.fill_l2(i, iline, false);
-            self.cores[i].l1i.fill(iline, false);
             self.notify_pbuf_hit(i, iline, pc, AccessKind::InstrFetch, origin);
             return;
         }
         self.offchip_demand(i, iline, pc, AccessKind::InstrFetch);
         self.stall_all(i);
-        self.cores[i].l1i.fill(iline, false);
     }
 
     fn load(&mut self, i: usize, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
-        if self.cores[i].l1d.access(dline) {
+        if self.cores[i].l1d.access_fill(dline) {
             return;
         }
         if self.l2.access(dline) {
             self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
-            self.cores[i].l1d.fill(dline, false);
             return;
         }
         if let Some(origin) = self.pbuf.lookup_consume(dline) {
             self.cores[i].c.averted_load += 1;
             self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
             self.fill_l2(i, dline, false);
-            self.cores[i].l1d.fill(dline, false);
             self.notify_pbuf_hit(i, dline, pc, AccessKind::Load, origin);
             return;
         }
@@ -483,19 +566,17 @@ impl CmpEngine {
     }
 
     fn store(&mut self, i: usize, dline: LineAddr) {
-        if self.cores[i].l1d.access(dline) {
+        if self.cores[i].l1d.access_fill(dline) {
             self.l2.mark_dirty(dline);
             return;
         }
         if self.l2.access(dline) {
             self.l2.mark_dirty(dline);
-            self.cores[i].l1d.fill(dline, false);
             return;
         }
         if self.pbuf.lookup_consume(dline).is_some() {
             self.cores[i].c.averted_store += 1;
             self.fill_l2(i, dline, true);
-            self.cores[i].l1d.fill(dline, false);
             return;
         }
         if self.mshr.contains(dline) {
@@ -524,7 +605,7 @@ impl CmpEngine {
             self.count_miss(i, kind);
             self.mshr.allocate(line);
             let done = arrival.max(now + 1);
-            self.cores[i].outstanding.push(Outst { line, done, kind });
+            self.cores[i].outstanding.push(Outst { line, done });
             self.notify_miss(i, line, pc, kind, trigger);
             return;
         }
@@ -536,7 +617,7 @@ impl CmpEngine {
             let trigger = self.cores[i].epoch.on_offchip_issue(now);
             self.count_miss(i, kind);
             let done = now + self.cfg.mem.latency;
-            self.cores[i].outstanding.push(Outst { line, done, kind });
+            self.cores[i].outstanding.push(Outst { line, done });
             self.notify_miss(i, line, pc, kind, trigger);
             return;
         }
@@ -549,7 +630,7 @@ impl CmpEngine {
             MemOutcome::Done { done } => done,
             MemOutcome::Dropped => unreachable!("demand requests are never dropped"),
         };
-        self.cores[i].outstanding.push(Outst { line, done, kind });
+        self.cores[i].outstanding.push(Outst { line, done });
         self.notify_miss(i, line, pc, kind, trigger);
     }
 
@@ -689,14 +770,6 @@ impl CmpEngine {
 
     fn complete_demand(&mut self, i: usize, o: Outst) {
         self.fill_l2(i, o.line, false);
-        match o.kind {
-            AccessKind::InstrFetch => {
-                self.cores[i].l1i.fill(o.line, false);
-            }
-            _ => {
-                self.cores[i].l1d.fill(o.line, false);
-            }
-        }
         self.mshr.release(o.line);
     }
 
@@ -917,6 +990,48 @@ mod tests {
             r4.cores[0].load_mr(),
             r1.cores[0].load_mr()
         );
+    }
+
+    #[test]
+    fn chunked_cmp_matches_materialized() {
+        // Identical per-core record sequences delivered chunked vs as
+        // materialized slices must give the byte-identical CmpResult:
+        // the chunk cursors may not perturb the smallest-clock
+        // interleaving.
+        let w = small_workload();
+        let n = 3;
+        let t: Vec<Vec<TraceRecord>> = (0..n)
+            .map(|s| TraceGenerator::new(&w, s as u64 + 1).take(90_000).collect())
+            .collect();
+        let mut a = CmpEngine::new(SimConfig::scaled_down(16), n, Box::new(NullPrefetcher));
+        let ra = a.run(&t, 30_000, 60_000, "w");
+
+        let mut gens: Vec<TraceGenerator> = (0..n)
+            .map(|s| TraceGenerator::new(&w, s as u64 + 1))
+            .collect();
+        let mut b = CmpEngine::new(SimConfig::scaled_down(16), n, Box::new(NullPrefetcher));
+        let rb = b.run_chunked(&mut gens, 30_000, 60_000, "w");
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn ev_eq_agrees_with_ord() {
+        // Regression for the derived-PartialEq / manual-Ord mismatch.
+        let a = Ev {
+            at: 3,
+            seq: 0,
+            kind: EvKind::TableDone { token: 9 },
+        };
+        let b = Ev {
+            at: 3,
+            seq: 0,
+            kind: EvKind::PrefetchArrive {
+                line: LineAddr::from_index(5),
+                origin: 0,
+            },
+        };
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a, b);
     }
 
     #[test]

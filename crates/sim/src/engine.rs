@@ -23,17 +23,17 @@ use ebcp_mem::{
 };
 use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
 use ebcp_trace::TraceGenerator;
-use ebcp_trace::{Op, TraceRecord};
+use ebcp_trace::TraceRecord;
 use ebcp_types::{AccessKind, Cycle, LineAddr, MemClass, Pc};
 
 use crate::config::SimConfig;
+use crate::frontend::{FrontEnd, PreEvent, ReplayCursor, Resolved, ResolvedOp};
 use crate::metrics::SimResult;
 
 #[derive(Debug, Clone, Copy)]
 struct Outst {
     line: LineAddr,
     done: Cycle,
-    kind: AccessKind,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,11 +43,22 @@ enum EvKind {
     StoreFill { line: LineAddr },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Eq)]
 struct Ev {
     at: Cycle,
     seq: u64,
     kind: EvKind,
+}
+
+/// Heap ordering key: `(at, seq)`. `seq` is unique per engine, so the
+/// key alone identifies an event; equality deliberately matches `Ord`
+/// (comparing `kind` too would let `a == b` disagree with
+/// `a.cmp(&b) == Equal`, violating the `Ord` contract `BinaryHeap`
+/// relies on).
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
 }
 
 impl Ord for Ev {
@@ -103,8 +114,7 @@ struct Counters {
 /// ```
 pub struct Engine {
     cfg: SimConfig,
-    l1i: SetAssocCache,
-    l1d: SetAssocCache,
+    fe: FrontEnd,
     l2: SetAssocCache,
     pbuf: PrefetchBuffer,
     mshr: MshrFile,
@@ -128,10 +138,6 @@ pub struct Engine {
     events: BinaryHeap<Reverse<Ev>>,
     next_ev_at: Cycle,
     ev_seq: u64,
-    /// Last instruction line fetched; `LineAddr::from_index(u64::MAX)`
-    /// (no real line — indices fit in 58 bits) means "none yet". A bare
-    /// u64 compare on the per-record spine, not an `Option` match.
-    last_fetch_line: LineAddr,
     actions: Vec<Action>,
 
     c: Counters,
@@ -154,8 +160,7 @@ impl Engine {
     /// Creates an engine over a fresh (cold) machine.
     pub fn new(cfg: SimConfig, pf: Box<dyn Prefetcher>) -> Self {
         Engine {
-            l1i: SetAssocCache::new(cfg.l1i),
-            l1d: SetAssocCache::new(cfg.l1d),
+            fe: FrontEnd::new(&cfg),
             l2: SetAssocCache::new(cfg.l2),
             pbuf: PrefetchBuffer::new(cfg.pbuf_entries, cfg.pbuf_ways.min(cfg.pbuf_entries)),
             mshr: MshrFile::new(cfg.mshrs),
@@ -173,7 +178,6 @@ impl Engine {
             events: BinaryHeap::new(),
             next_ev_at: Cycle::MAX,
             ev_seq: 0,
-            last_fetch_line: LineAddr::from_index(u64::MAX),
             actions: Vec::new(),
             c: Counters::default(),
             cycle_base: 0,
@@ -251,9 +255,23 @@ impl Engine {
         }
     }
 
-    /// Simulates one trace record.
+    /// Simulates one trace record: resolve the L1 front end, then run
+    /// the back end. The two phases share no state (the front end never
+    /// reads the clock, the back end never touches L1), which is what
+    /// lets [`Engine::replay_events`] run the identical back end over a
+    /// stream resolved long in advance.
     #[inline]
     pub fn step(&mut self, rec: &TraceRecord) {
+        let r = self.fe.resolve(rec);
+        self.step_resolved(&r);
+    }
+
+    /// Everything [`Engine::step_resolved`] does before the data/control
+    /// op: retire work the clock caught up to, count the instruction,
+    /// run the fetch path and advance issue bandwidth. Shared verbatim
+    /// by the stepping and replay back ends so the two cannot drift.
+    #[inline]
+    fn pre_op(&mut self, ifetch_miss: bool, pc: Pc) {
         if !self.outstanding.is_empty() {
             self.drain_outstanding();
         }
@@ -263,11 +281,8 @@ impl Engine {
 
         self.insts += 1;
 
-        // Instruction fetch at line granularity.
-        let iline = rec.pc.line();
-        if self.last_fetch_line != iline {
-            self.last_fetch_line = iline;
-            self.fetch(iline, rec.pc);
+        if ifetch_miss {
+            self.fetch_miss(pc.line(), pc);
         }
 
         // Issue bandwidth.
@@ -279,30 +294,12 @@ impl Engine {
         if !self.outstanding.is_empty() {
             self.window_insts += 1;
         }
+    }
 
-        match rec.op {
-            Op::Alu => {}
-            Op::Load {
-                addr,
-                feeds_mispredict,
-            } => self.load(addr.line(), rec.pc, feeds_mispredict),
-            Op::Store { addr } => self.store(addr.line()),
-            Op::Branch { mispredicted } => {
-                if mispredicted {
-                    self.c.mispredicts += 1;
-                    self.cycle += self.cfg.core.mispredict_penalty;
-                }
-            }
-            Op::Serialize => {
-                if self.outstanding.is_empty() {
-                    self.cycle += self.cfg.core.serialize_cost;
-                } else {
-                    self.stall_all();
-                }
-            }
-        }
-
-        // Window termination conditions (§2.1).
+    /// Window termination conditions (§2.1) — the shared tail of both
+    /// back ends.
+    #[inline]
+    fn post_op(&mut self) {
         if !self.outstanding.is_empty() {
             if self.window_insts >= self.cfg.core.rob_entries {
                 self.stall_all();
@@ -312,6 +309,415 @@ impl Engine {
                 } else {
                     self.dep_countdown = Some(cd - 1);
                 }
+            }
+        }
+    }
+
+    /// The prefetcher-dependent back end for one resolved record.
+    #[inline]
+    fn step_resolved(&mut self, r: &Resolved) {
+        self.pre_op(r.ifetch_miss, r.pc);
+
+        match r.op {
+            ResolvedOp::None => {}
+            ResolvedOp::LoadMiss {
+                line,
+                feeds_mispredict,
+            } => self.load_miss(line, r.pc, feeds_mispredict),
+            ResolvedOp::StoreMiss { line } => self.store_miss(line),
+            ResolvedOp::StoreHit { line } => {
+                // L1D write hit: only the dirty bit travels down.
+                self.l2.mark_dirty(line);
+            }
+            ResolvedOp::Mispredict => {
+                self.c.mispredicts += 1;
+                self.cycle += self.cfg.core.mispredict_penalty;
+            }
+            ResolvedOp::Serialize => {
+                if self.outstanding.is_empty() {
+                    self.cycle += self.cfg.core.serialize_cost;
+                } else {
+                    self.stall_all();
+                }
+            }
+        }
+
+        self.post_op();
+    }
+
+    /// The back end for one packed event, dispatching straight on the
+    /// stream encoding. Op for op this is [`Engine::step_resolved`] over
+    /// `ev.decode().unwrap()` — the prologue and epilogue are the same
+    /// functions — but skipping the intermediate [`Resolved`] removes a
+    /// second data-dependent dispatch from the replay hot path, which is
+    /// worth a measurable slice of sweep throughput. The differential
+    /// replay-vs-stepping tests pin the equivalence.
+    #[inline]
+    fn step_event(&mut self, ev: &PreEvent) {
+        use crate::frontend::{
+            F_IFETCH_MISS, K_LOAD, K_LOAD_FEEDS, K_MISPREDICT, K_NONE, K_SERIALIZE, K_SHIFT,
+            K_STORE_HIT, K_STORE_MISS,
+        };
+        let pc = Pc::new(ev.pc);
+        self.pre_op(ev.flags & F_IFETCH_MISS != 0, pc);
+
+        let line = LineAddr::from_index(ev.dline);
+        match ev.flags >> K_SHIFT {
+            K_NONE => {}
+            K_LOAD => self.load_miss(line, pc, false),
+            K_LOAD_FEEDS => self.load_miss(line, pc, true),
+            K_STORE_MISS => self.store_miss(line),
+            K_STORE_HIT => {
+                // L1D write hit: only the dirty bit travels down.
+                self.l2.mark_dirty(line);
+            }
+            K_MISPREDICT => {
+                self.c.mispredicts += 1;
+                self.cycle += self.cfg.core.mispredict_penalty;
+            }
+            K_SERIALIZE => {
+                if self.outstanding.is_empty() {
+                    self.cycle += self.cfg.core.serialize_cost;
+                } else {
+                    self.stall_all();
+                }
+            }
+            other => unreachable!("corrupt PreEvent kind {other}"),
+        }
+
+        self.post_op();
+    }
+
+    /// An inert record for the back end: no fetch miss, no data op.
+    /// Exactly [`Engine::step_resolved`] with the fetch and op arms
+    /// skipped — [`Engine::gap_advance`] falls back to this whenever a
+    /// gap record is not provably inert.
+    fn step_plain(&mut self) {
+        if !self.outstanding.is_empty() {
+            self.drain_outstanding();
+        }
+        if self.next_ev_at <= self.cycle {
+            self.drain_events(self.cycle);
+        }
+        self.insts += 1;
+        self.issue_slots += 1;
+        if self.issue_slots >= self.cfg.core.issue_width {
+            self.cycle += 1;
+            self.issue_slots = 0;
+        }
+        if !self.outstanding.is_empty() {
+            self.window_insts += 1;
+            if self.window_insts >= self.cfg.core.rob_entries {
+                self.stall_all();
+            } else if let Some(cd) = self.dep_countdown {
+                if cd == 0 {
+                    self.stall_all();
+                } else {
+                    self.dep_countdown = Some(cd - 1);
+                }
+            }
+        }
+    }
+
+    /// Replays up to `budget` instructions from a pre-resolved stream,
+    /// resuming at (and updating) `cur`. Produces state byte-identical
+    /// to stepping the underlying records through
+    /// [`Engine::step`] — the stream's events run the same
+    /// [`Engine::step_resolved`], and gaps advance through
+    /// [`Engine::gap_advance`], which is an exact algebraic collapse of
+    /// consecutive inert records.
+    ///
+    /// The engine's own L1 model stays cold and unused on this path;
+    /// callers are responsible for pairing a stream with the matching
+    /// `SimConfig` (see `RunSpec::run_preresolved`, which checks the
+    /// geometries).
+    pub fn replay_events(&mut self, events: &[PreEvent], cur: &mut ReplayCursor, budget: u64) {
+        let w = u64::from(self.cfg.core.issue_width);
+        let pow2 = self.cfg.core.issue_width.is_power_of_two();
+        let mut left = budget;
+        while cur.idx < events.len() {
+            // An idle back end (nothing outstanding, no heap event due)
+            // is the overwhelmingly common state; a specialized loop
+            // runs it on register-resident clock state until something
+            // needs the full machinery.
+            if pow2 && left > 0 && self.outstanding.is_empty() && self.next_ev_at > self.cycle {
+                self.replay_fast(events, cur, &mut left);
+                if cur.idx >= events.len() {
+                    return;
+                }
+            }
+            // General path: the one stream entry the fast loop bailed
+            // on, with the full per-record machinery.
+            let ev = &events[cur.idx];
+            let gap_left = u64::from(ev.gap) - u64::from(cur.gap_done);
+            if gap_left > 0 {
+                let take = gap_left.min(left);
+                // A gap over an idle back end with no heap event due
+                // inside it still collapses to arithmetic.
+                if self.outstanding.is_empty()
+                    && (self.next_ev_at == Cycle::MAX
+                        || (self.next_ev_at > self.cycle
+                            && self.records_until(self.next_ev_at, w) >= take))
+                {
+                    self.advance_inert(take, w, false);
+                } else {
+                    self.gap_advance(take);
+                }
+                cur.gap_done += take as u32;
+                left -= take;
+                if take < gap_left {
+                    return; // budget exhausted mid-gap
+                }
+            }
+            if ev.flags != 0 {
+                if left == 0 {
+                    return; // budget boundary right before the event
+                }
+                self.step_event(ev);
+                left -= 1;
+            }
+            cur.idx += 1;
+            cur.gap_done = 0;
+        }
+    }
+
+    /// The replay hot loop. Processes stream entries while the back end
+    /// stays *idle* — no outstanding misses (hence no open window, and
+    /// by the window invariant no dependence countdown) and no heap
+    /// event due — keeping `cycle`/`issue_slots`/`insts` in locals so
+    /// the compiler can hold them in registers across the loop. Each
+    /// iteration is exactly [`Engine::step_event`] specialized to that
+    /// state; anything else (instruction-fetch misses, L2 misses,
+    /// a heap event coming due, a budget boundary, pure gap fillers)
+    /// syncs the locals back and returns to the general path.
+    ///
+    /// Preconditions (checked by the caller): power-of-two issue width,
+    /// `left > 0`, `outstanding` empty, `next_ev_at > cycle`.
+    fn replay_fast(&mut self, events: &[PreEvent], cur: &mut ReplayCursor, left: &mut u64) {
+        use crate::frontend::{
+            F_IFETCH_MISS, K_LOAD, K_LOAD_FEEDS, K_MISPREDICT, K_SERIALIZE, K_SHIFT, K_STORE_HIT,
+            K_STORE_MISS,
+        };
+        let shift = self.cfg.core.issue_width.trailing_zeros();
+        let mask = u64::from(self.cfg.core.issue_width) - 1;
+        let l2_hit = self.cfg.core.l2_hit_exposed;
+        let mp_pen = self.cfg.core.mispredict_penalty;
+        let ser_cost = self.cfg.core.serialize_cost;
+
+        let mut cycle = self.cycle;
+        let mut slots = u64::from(self.issue_slots);
+        let mut insts = self.insts;
+        // Nothing inside this loop pushes heap events, so the deadline
+        // is loop-invariant; paths that can push (the miss
+        // continuations) sync and leave.
+        let next_ev = self.next_ev_at;
+        let mut lleft = *left;
+
+        while cur.idx < events.len() {
+            let ev = events[cur.idx];
+            // Instruction-fetch misses and pure fillers take the
+            // general path; both are rare.
+            if ev.flags == 0 || ev.flags & F_IFETCH_MISS != 0 {
+                break;
+            }
+            let gap_left = u64::from(ev.gap) - u64::from(cur.gap_done);
+            if gap_left >= lleft {
+                break; // budget boundary inside this entry
+            }
+            // Stepping drains the heap at the start of any record whose
+            // clock reaches the deadline; the event record starts at
+            // cycle + (slots + gap_left) / width. Bail just before.
+            if next_ev <= cycle + ((slots + gap_left) >> shift) {
+                break;
+            }
+
+            // Gap records plus this instruction through the issue stage
+            // (same collapse as `advance_inert`; no window is open).
+            insts += gap_left + 1;
+            slots += gap_left + 1;
+            cycle += slots >> shift;
+            slots &= mask;
+
+            let line = LineAddr::from_index(ev.dline);
+            match ev.flags >> K_SHIFT {
+                K_LOAD | K_LOAD_FEEDS => {
+                    if self.l2.access(line) {
+                        cycle += l2_hit;
+                    } else {
+                        // Miss continuation touches pbuf/MSHRs/memory:
+                        // commit state and finish this event generally.
+                        self.cycle = cycle;
+                        self.issue_slots = slots as u32;
+                        self.insts = insts;
+                        self.load_fill(
+                            line,
+                            Pc::new(ev.pc),
+                            ev.flags >> K_SHIFT == K_LOAD_FEEDS,
+                        );
+                        self.post_op();
+                        *left = lleft - (gap_left + 1);
+                        cur.idx += 1;
+                        cur.gap_done = 0;
+                        return;
+                    }
+                }
+                K_STORE_MISS => {
+                    if !self.l2.access_dirty(line) {
+                        self.cycle = cycle;
+                        self.issue_slots = slots as u32;
+                        self.insts = insts;
+                        self.store_fill(line);
+                        self.post_op();
+                        *left = lleft - (gap_left + 1);
+                        cur.idx += 1;
+                        cur.gap_done = 0;
+                        return;
+                    }
+                }
+                K_STORE_HIT => {
+                    // L1D write hit: only the dirty bit travels down.
+                    self.l2.mark_dirty(line);
+                }
+                K_MISPREDICT => {
+                    self.c.mispredicts += 1;
+                    cycle += mp_pen;
+                }
+                K_SERIALIZE => {
+                    // Nothing outstanding by the loop invariant.
+                    cycle += ser_cost;
+                }
+                other => unreachable!("corrupt PreEvent kind {other}"),
+            }
+
+            lleft -= gap_left + 1;
+            cur.idx += 1;
+            cur.gap_done = 0;
+        }
+
+        self.cycle = cycle;
+        self.issue_slots = slots as u32;
+        self.insts = insts;
+        *left = lleft;
+    }
+
+    /// Advances the back end over `n` inert records without executing
+    /// them one by one.
+    ///
+    /// Invariants that make the collapse exact:
+    ///
+    /// * `issue_slots` is always `insts % issue_width`, so the clock at
+    ///   the *start* of the k-th upcoming inert record is
+    ///   `cycle + (issue_slots + k) / width` — pure arithmetic;
+    /// * inert records never add `outstanding` entries or heap events,
+    ///   so the only state they can touch beyond the clock is via four
+    ///   *deadlines*, each expressible as "k records from now": the
+    ///   first outstanding-miss completion, the next heap event
+    ///   becoming due, the ROB filling, and the dependent-mispredict
+    ///   countdown reaching zero.
+    ///
+    /// The loop jumps to the nearest deadline arithmetically, executes
+    /// that single record through the full [`Engine::step_plain`] state
+    /// machine, and repeats. With nothing outstanding, none of the
+    /// window machinery can fire and whole gaps collapse to O(events
+    /// due) work.
+    fn gap_advance(&mut self, mut n: u64) {
+        let w = u64::from(self.cfg.core.issue_width);
+        while n > 0 {
+            if self.outstanding.is_empty() {
+                // Fast path: only heap events can need attention, and
+                // they cannot create outstanding misses. Drain each at
+                // the exact clock value stepping would have seen (the
+                // start of the record whose issue advance catches up to
+                // the event) — event handlers issue bus traffic, and
+                // the bus model is sensitive to request time.
+                if self.next_ev_at <= self.cycle {
+                    self.drain_events(self.cycle);
+                    continue;
+                }
+                let take = if self.next_ev_at == Cycle::MAX {
+                    n
+                } else {
+                    self.records_until(self.next_ev_at, w).min(n)
+                };
+                if take == 0 {
+                    // next_ev_at is within this record's clock: handled
+                    // by the drain branch above after the advance below
+                    // computed a zero jump — advance a single record.
+                    self.advance_inert(1, w, false);
+                    n -= 1;
+                    continue;
+                }
+                self.advance_inert(take, w, false);
+                n -= take;
+                continue;
+            }
+            // Slow path: a miss window is open. Find the first record
+            // where anything can happen.
+            let min_done = self
+                .outstanding
+                .iter()
+                .map(|o| o.done)
+                .min()
+                .expect("outstanding non-empty");
+            let mut k = self.records_until(min_done, w);
+            if self.next_ev_at != Cycle::MAX {
+                k = k.min(self.records_until(self.next_ev_at, w));
+            }
+            // ROB: record k raises window_insts to window_insts + k + 1,
+            // and stalls when that reaches rob_entries.
+            k = k.min(u64::from(self.cfg.core.rob_entries - 1 - self.window_insts));
+            if let Some(cd) = self.dep_countdown {
+                // Record cd (0-indexed) observes the countdown at zero.
+                k = k.min(u64::from(cd));
+            }
+            let k = k.min(n);
+            if k > 0 {
+                self.advance_inert(k, w, true);
+                n -= k;
+                if n == 0 {
+                    return;
+                }
+            }
+            // The deadline record itself: full per-record machinery.
+            self.step_plain();
+            n -= 1;
+        }
+    }
+
+    /// First k ≥ 0 such that the clock at the start of the k-th
+    /// upcoming record reaches `at`.
+    #[inline]
+    fn records_until(&self, at: Cycle, w: u64) -> u64 {
+        if at <= self.cycle {
+            0
+        } else {
+            ((at - self.cycle) * w).saturating_sub(u64::from(self.issue_slots))
+        }
+    }
+
+    /// Arithmetically applies `k` provably-inert records: instruction
+    /// count, issue clock, and (inside a window) the window-instruction
+    /// count and dependence countdown.
+    ///
+    /// Runs once per gap on the replay hot path, so the issue-width
+    /// division matters: for power-of-two widths (every modeled machine
+    /// is 4-wide) it is a shift/mask — a 64-bit divide on the host costs
+    /// more than the rest of this function combined.
+    #[inline]
+    fn advance_inert(&mut self, k: u64, w: u64, windowed: bool) {
+        self.insts += k;
+        let slots = u64::from(self.issue_slots) + k;
+        if w.is_power_of_two() {
+            self.cycle += slots >> w.trailing_zeros();
+            self.issue_slots = (slots & (w - 1)) as u32;
+        } else {
+            self.cycle += slots / w;
+            self.issue_slots = (slots % w) as u32;
+        }
+        if windowed {
+            self.window_insts += k as u32;
+            if let Some(cd) = self.dep_countdown {
+                self.dep_countdown = Some(cd - k as u32);
             }
         }
     }
@@ -350,48 +756,45 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
-    // Demand paths
+    // Demand paths (L1 already resolved: these all start below L1)
     // ------------------------------------------------------------------
 
     #[inline]
-    fn fetch(&mut self, iline: LineAddr, pc: Pc) {
-        if self.l1i.access(iline) {
-            return;
-        }
+    fn fetch_miss(&mut self, iline: LineAddr, pc: Pc) {
         if self.l2.access(iline) {
             self.cycle += self.cfg.core.l2_hit_exposed;
-            self.l1i.fill(iline, false);
             return;
         }
         if let Some(origin) = self.pbuf.lookup_consume(iline) {
             self.c.averted_inst += 1;
             self.cycle += self.cfg.core.l2_hit_exposed;
             self.fill_l2(iline, false);
-            self.l1i.fill(iline, false);
             self.notify_pbuf_hit(iline, pc, AccessKind::InstrFetch, origin);
             return;
         }
         // Off-chip instruction miss: always a window terminator (§2.1).
         self.offchip_demand(iline, pc, AccessKind::InstrFetch);
         self.stall_all();
-        self.l1i.fill(iline, false);
     }
 
     #[inline]
-    fn load(&mut self, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
-        if self.l1d.access(dline) {
-            return;
-        }
+    fn load_miss(&mut self, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
         if self.l2.access(dline) {
             self.cycle += self.cfg.core.l2_hit_exposed;
-            self.l1d.fill(dline, false);
             return;
         }
+        self.load_fill(dline, pc, feeds_mispredict);
+    }
+
+    /// [`Engine::load_miss`] past the (already taken) L2 probe: the
+    /// prefetch-buffer and off-chip continuation. Split out so the
+    /// replay fast loop can probe L2 inline and delegate only misses.
+    #[inline]
+    fn load_fill(&mut self, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
         if let Some(origin) = self.pbuf.lookup_consume(dline) {
             self.c.averted_load += 1;
             self.cycle += self.cfg.core.l2_hit_exposed;
             self.fill_l2(dline, false);
-            self.l1d.fill(dline, false);
             self.notify_pbuf_hit(dline, pc, AccessKind::Load, origin);
             return;
         }
@@ -402,19 +805,20 @@ impl Engine {
     }
 
     #[inline]
-    fn store(&mut self, dline: LineAddr) {
-        if self.l1d.access(dline) {
-            self.l2.mark_dirty(dline);
-            return;
-        }
+    fn store_miss(&mut self, dline: LineAddr) {
         if self.l2.access_dirty(dline) {
-            self.l1d.fill(dline, false);
             return;
         }
+        self.store_fill(dline);
+    }
+
+    /// [`Engine::store_miss`] past the (already taken) L2 probe — same
+    /// split as [`Engine::load_fill`].
+    #[inline]
+    fn store_fill(&mut self, dline: LineAddr) {
         if self.pbuf.lookup_consume(dline).is_some() {
             self.c.averted_store += 1;
             self.fill_l2(dline, true);
-            self.l1d.fill(dline, false);
             return;
         }
         // Off-chip write-allocate: non-blocking under weak consistency,
@@ -449,7 +853,7 @@ impl Engine {
             self.count_miss(kind);
             self.mshr.allocate(line);
             let done = arrival.max(self.cycle + 1);
-            self.outstanding.push(Outst { line, done, kind });
+            self.outstanding.push(Outst { line, done });
             self.notify_miss(line, pc, kind, trigger);
             return;
         }
@@ -466,7 +870,7 @@ impl Engine {
             MemOutcome::Done { done } => done,
             MemOutcome::Dropped => unreachable!("demand requests are never dropped"),
         };
-        self.outstanding.push(Outst { line, done, kind });
+        self.outstanding.push(Outst { line, done });
         self.notify_miss(line, pc, kind, trigger);
     }
 
@@ -612,14 +1016,6 @@ impl Engine {
 
     fn complete_demand(&mut self, o: Outst) {
         self.fill_l2(o.line, false);
-        match o.kind {
-            AccessKind::InstrFetch => {
-                self.l1i.fill(o.line, false);
-            }
-            _ => {
-                self.l1d.fill(o.line, false);
-            }
-        }
         self.mshr.release(o.line);
     }
 
@@ -696,7 +1092,6 @@ impl Engine {
                 }
                 EvKind::StoreFill { line } => {
                     self.fill_l2(line, true);
-                    self.l1d.fill(line, false);
                     self.mshr.release(line);
                 }
             }
@@ -730,6 +1125,7 @@ fn diff_mem(now: MemStats, base: MemStats) -> MemStats {
 mod tests {
     use super::*;
     use ebcp_prefetch::NullPrefetcher;
+    use ebcp_trace::Op;
     use ebcp_types::Addr;
 
     fn tiny_cfg() -> SimConfig {
@@ -887,6 +1283,61 @@ mod tests {
         }
         e.run(t);
         assert!(e.result("t").writebacks > 0);
+    }
+
+    #[test]
+    fn ev_eq_agrees_with_ord() {
+        // Regression: PartialEq used to include `kind`, so two events
+        // with equal (at, seq) but different kinds compared unequal
+        // while Ord said Equal — a contract violation.
+        let a = Ev {
+            at: 100,
+            seq: 7,
+            kind: EvKind::TableDone { token: 1 },
+        };
+        let b = Ev {
+            at: 100,
+            seq: 7,
+            kind: EvKind::StoreFill {
+                line: LineAddr::from_index(42),
+            },
+        };
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a, b, "eq must agree with Ord::cmp == Equal");
+        let c = Ev {
+            at: 100,
+            seq: 8,
+            kind: EvKind::TableDone { token: 1 },
+        };
+        assert_ne!(a, c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn replay_matches_stepping_mixed_trace() {
+        use crate::frontend::PreResolved;
+        use ebcp_trace::WorkloadSpec;
+
+        let spec = WorkloadSpec::database().scaled(1, 32);
+        let records: Vec<TraceRecord> = TraceGenerator::new(&spec, 11).take(60_000).collect();
+        let cfg = tiny_cfg();
+
+        let mut stepped = Engine::new(cfg.clone(), Box::new(NullPrefetcher));
+        for r in &records {
+            stepped.step(r);
+        }
+
+        let pre = PreResolved::from_records(&cfg, &records);
+        let mut replayed = Engine::new(cfg, Box::new(NullPrefetcher));
+        let mut cur = ReplayCursor::default();
+        // Split the budget awkwardly to exercise mid-gap resumption.
+        for budget in [1, 999, 17, 40_000, u64::MAX] {
+            replayed.replay_events(&pre.events, &mut cur, budget);
+        }
+
+        assert_eq!(stepped.result("t"), replayed.result("t"));
+        assert_eq!(stepped.insts(), replayed.insts());
+        assert_eq!(stepped.cycle(), replayed.cycle());
     }
 
     #[test]

@@ -43,11 +43,13 @@
 pub mod cmp;
 pub mod config;
 pub mod engine;
+pub mod frontend;
 pub mod metrics;
 pub mod runner;
 
 pub use cmp::{CmpEngine, CmpResult};
 pub use config::{CoreConfig, SimConfig};
 pub use engine::Engine;
+pub use frontend::{FrontEnd, PreEvent, PreResolved, PreResolver, ReplayCursor};
 pub use metrics::SimResult;
 pub use runner::{PrefetcherSpec, RunSpec};

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
 use crate::engine::Engine;
+use crate::frontend::{PreResolved, PreResolver, ReplayCursor};
 use crate::metrics::SimResult;
 
 pub use ebcp_trace::template::WorkloadProgram as Program;
@@ -143,6 +144,63 @@ impl RunSpec {
         }
         engine.result(&self.workload.name)
     }
+
+    /// Pre-resolves this spec's trace through the L1 front end into a
+    /// compact event stream, streaming the generator in chunks
+    /// (constant memory — nothing is materialized).
+    ///
+    /// The stream depends only on (workload, seed, record count, L1
+    /// geometry), never on the prefetcher, so one stream serves every
+    /// [`RunSpec::run_preresolved`] cell of a sweep.
+    pub fn pre_resolve(&self) -> PreResolved {
+        let mut gen = TraceGenerator::new(&self.workload, self.seed);
+        self.pre_resolve_from(&mut gen)
+    }
+
+    /// [`RunSpec::pre_resolve`] reusing an already-built workload
+    /// program.
+    pub fn pre_resolve_with(&self, program: Arc<WorkloadProgram>) -> PreResolved {
+        let mut gen = TraceGenerator::with_program(program, self.workload.clone(), self.seed);
+        self.pre_resolve_from(&mut gen)
+    }
+
+    fn pre_resolve_from(&self, gen: &mut TraceGenerator) -> PreResolved {
+        let mut pr = PreResolver::new(&self.sim);
+        let mut chunk = Vec::with_capacity(Engine::CHUNK_RECORDS);
+        let mut left = self.warmup_insts + self.measure_insts;
+        while left > 0 {
+            let want = Engine::CHUNK_RECORDS.min(usize::try_from(left).unwrap_or(usize::MAX));
+            let got = gen.next_chunk(&mut chunk, want);
+            if got == 0 {
+                break;
+            }
+            pr.push_chunk(&chunk);
+            left -= got as u64;
+        }
+        pr.finish()
+    }
+
+    /// Runs a prefetcher by replaying a pre-resolved event stream —
+    /// byte-identical results to [`RunSpec::run_on`] over the stream's
+    /// underlying trace, at back-end-only cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was resolved under different L1 geometries
+    /// than `self.sim` (the stream would describe a different machine).
+    pub fn run_preresolved(&self, pre: &PreResolved, pf: &PrefetcherSpec) -> SimResult {
+        assert_eq!(
+            (pre.l1i, pre.l1d),
+            (self.sim.l1i, self.sim.l1d),
+            "pre-resolved stream L1 geometry mismatch"
+        );
+        let mut engine = Engine::new(self.sim, pf.build());
+        let mut cur = ReplayCursor::default();
+        engine.replay_events(&pre.events, &mut cur, self.warmup_insts);
+        engine.reset_stats();
+        engine.replay_events(&pre.events, &mut cur, self.measure_insts);
+        engine.result(&self.workload.name)
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +282,155 @@ mod tests {
         let program = Arc::new(WorkloadProgram::build(&spec.workload));
         let chunked = spec.run_streaming(program, &pf);
         assert_eq!(stepped, chunked);
+    }
+
+    /// Runs `spec` over a hand-built trace both ways — per-record
+    /// stepping and pre-resolved replay — and asserts byte-identical
+    /// results.
+    fn assert_replay_identical(
+        spec: &RunSpec,
+        trace: &[TraceRecord],
+        pf: &PrefetcherSpec,
+    ) -> SimResult {
+        let stepped = spec.run_on(trace, pf);
+        let pre = crate::frontend::PreResolved::from_records(&spec.sim, trace);
+        let replayed = spec.run_preresolved(&pre, pf);
+        assert_eq!(stepped, replayed);
+        stepped
+    }
+
+    fn edge_spec(warmup: u64, measure: u64) -> RunSpec {
+        RunSpec {
+            workload: WorkloadSpec::database().scaled(1, 32),
+            seed: 1,
+            warmup_insts: warmup,
+            measure_insts: measure,
+            sim: SimConfig::scaled_down(16),
+        }
+    }
+
+    #[test]
+    fn preresolved_matches_stepped() {
+        let spec = quick_spec();
+        let trace = spec.materialize();
+        let pre = spec.pre_resolve();
+        for pf in [
+            PrefetcherSpec::None,
+            PrefetcherSpec::Ebcp(EbcpConfig::tuned()),
+        ] {
+            assert_eq!(spec.run_on(&trace, &pf), spec.run_preresolved(&pre, &pf));
+        }
+    }
+
+    #[test]
+    fn edge_serialize_adjacent_to_l1_miss_load() {
+        use ebcp_trace::Op;
+        use ebcp_types::{Addr, Pc};
+        // An off-chip load with a serialize immediately after: the
+        // serialize is a window terminator right next to the miss, so
+        // the gap between the two events is zero.
+        let mut t: Vec<TraceRecord> = (0..64)
+            .map(|i| TraceRecord::alu(Pc::new(0x1000 + 4 * (i % 16))))
+            .collect();
+        t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x80_0000)));
+        t.push(TraceRecord::new(Pc::new(0x1004), Op::Serialize));
+        // And the mirror adjacency: serialize, then the miss.
+        t.push(TraceRecord::new(Pc::new(0x1008), Op::Serialize));
+        t.push(TraceRecord::load(Pc::new(0x100c), Addr::new(0x90_0000)));
+        t.extend((0..400).map(|i| TraceRecord::alu(Pc::new(0x1000 + 4 * (i % 16)))));
+        let spec = edge_spec(32, t.len() as u64 - 32);
+        let r = assert_replay_identical(&spec, &t, &PrefetcherSpec::None);
+        assert!(r.epochs >= 2, "both loads must open epochs: {}", r.epochs);
+    }
+
+    #[test]
+    fn edge_feeds_mispredict_outcome_differs_across_prefetchers() {
+        use ebcp_trace::Op;
+        // A feeds_mispredict load is only a window terminator if it
+        // goes OFF-CHIP — a prefetcher that catches the line in the
+        // prefetch buffer defuses it. The front end cannot know which,
+        // so the event carries the flag and the back end decides:
+        // replay must match stepping under both outcomes.
+        let spec = recurring_spec();
+        let trace: Vec<TraceRecord> = {
+            let mut gen = TraceGenerator::new(&spec.workload, spec.seed);
+            gen.collect_n((spec.warmup_insts + spec.measure_insts) as usize)
+        };
+        assert!(
+            trace.iter().any(|r| matches!(
+                r.op,
+                Op::Load {
+                    feeds_mispredict: true,
+                    ..
+                }
+            )),
+            "workload must exercise dependent-mispredict loads"
+        );
+        let base = assert_replay_identical(&spec, &trace, &PrefetcherSpec::None);
+        let ebcp = assert_replay_identical(
+            &spec,
+            &trace,
+            &PrefetcherSpec::Ebcp(EbcpConfig::tuned()),
+        );
+        // The same stream really did diverge in the back end.
+        assert!(ebcp.averted_load + ebcp.partial_hits > 0);
+        assert_ne!(base.cycles, ebcp.cycles);
+    }
+
+    #[test]
+    fn edge_store_l1_hit_propagates_dirty() {
+        use ebcp_types::{Addr, Pc};
+        // Store miss fills L1D; the second store to the line is an L1
+        // hit whose only back-end effect is the L2 dirty bit. Evict the
+        // line from the (tiny) L2 afterwards: a writeback must appear,
+        // and replay must account for it identically.
+        let sim = SimConfig::scaled_down(16);
+        let l2_lines = sim.l2.lines();
+        let mut t: Vec<TraceRecord> = (0..16)
+            .map(|i| TraceRecord::alu(Pc::new(0x1000 + 4 * (i % 16))))
+            .collect();
+        t.push(TraceRecord::store(Pc::new(0x1000), Addr::new(0x80_0000)));
+        t.push(TraceRecord::store(Pc::new(0x1004), Addr::new(0x80_0000)));
+        for i in 0..l2_lines * 2 {
+            t.push(TraceRecord::load(
+                Pc::new(0x1000),
+                Addr::new(0x200_0000 + i * 64),
+            ));
+            t.extend((0..32).map(|k| TraceRecord::alu(Pc::new(0x1000 + 4 * (k % 16)))));
+        }
+        let spec = RunSpec {
+            workload: WorkloadSpec::database().scaled(1, 32),
+            seed: 1,
+            warmup_insts: 8,
+            measure_insts: t.len() as u64 - 8,
+            sim,
+        };
+        let r = assert_replay_identical(&spec, &t, &PrefetcherSpec::None);
+        assert!(r.writebacks > 0, "dirty line must write back on eviction");
+    }
+
+    #[test]
+    fn edge_warmup_boundary_inside_gap() {
+        use ebcp_types::{Addr, Pc};
+        // A long pure-ALU stretch forms one big gap; place the
+        // warmup/measure boundary in the middle of it. Replay must cut
+        // the gap at the exact record, reset statistics there, and
+        // still agree with stepping.
+        let mut t: Vec<TraceRecord> = (0..16)
+            .map(|i| TraceRecord::alu(Pc::new(0x1000 + 4 * (i % 16))))
+            .collect();
+        t.push(TraceRecord::load(Pc::new(0x1000), Addr::new(0x80_0000)));
+        t.extend((0..10_000).map(|i| TraceRecord::alu(Pc::new(0x1000 + 4 * (i % 16)))));
+        t.push(TraceRecord::load(Pc::new(0x1004), Addr::new(0x90_0000)));
+        t.extend((0..500).map(|i| TraceRecord::alu(Pc::new(0x1000 + 4 * (i % 16)))));
+        // Boundary at 5k: deep inside the 10k-record gap.
+        let spec = edge_spec(5_000, t.len() as u64 - 5_000);
+        let r = assert_replay_identical(&spec, &t, &PrefetcherSpec::None);
+        assert_eq!(r.insts, t.len() as u64 - 5_000);
+        assert_eq!(
+            r.l2_load_misses, 1,
+            "only the post-boundary load is measured"
+        );
     }
 
     #[test]
