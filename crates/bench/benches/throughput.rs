@@ -11,7 +11,10 @@ fn main() {
     let scale = Scale::quick();
     let rows = throughput::measure(scale);
     print!("{}", throughput::render(&rows));
-    let doc = throughput::to_json(scale, &rows);
+    let sweep = throughput::measure_sweep(scale);
+    println!();
+    print!("{}", throughput::render_sweep(&sweep));
+    let doc = throughput::to_json(scale, &rows, &sweep);
     let out = std::path::Path::new("target/ebcp-results");
     if let Err(e) = std::fs::create_dir_all(out) {
         eprintln!("warning: could not create {}: {e}", out.display());

@@ -3,7 +3,8 @@
 //! ```text
 //! repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all|bench-throughput>
 //!       [--scale quick|standard|full] [--csv] [--jobs N]
-//!       [--out-dir DIR] [--json] [--no-cache] [--check-baseline FILE]
+//!       [--out-dir DIR] [--json] [--no-cache] [--keep-going]
+//!       [--check-baseline FILE]
 //! ```
 //!
 //! All simulations flow through one `Harness`: shared baselines run once
@@ -11,6 +12,16 @@
 //! are incremental, and a consolidated `<out-dir>/results.json` is
 //! written at the end. Tables go to stdout (byte-identical for any
 //! `--jobs` count); progress and timing go to stderr.
+//!
+//! **Failure semantics.** A job that panics is retried once and, if it
+//! fails again, recorded as failed without disturbing sibling jobs
+//! (their results stay cached). By default (strict mode) the first
+//! experiment containing a failed job stops the run; with
+//! `--keep-going` the remaining experiments still execute. Either way
+//! the process prints a failure summary naming every failed cell,
+//! writes `results.json` (failed cells carry `"outcome": "failed"` and
+//! the panic message), and exits with status 1. Exit status 2 means a
+//! usage error; 0 means every job succeeded.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -21,7 +32,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all|bench-throughput> \
          [--scale quick|standard|full] [--csv] [--jobs N] [--out-dir DIR] [--json] [--no-cache] \
-         [--check-baseline FILE]"
+         [--keep-going] [--check-baseline FILE]"
     );
     std::process::exit(2);
 }
@@ -35,6 +46,7 @@ fn main() {
     let mut out_dir = PathBuf::from("target/ebcp-results");
     let mut json = false;
     let mut no_cache = false;
+    let mut keep_going = false;
     let mut check_baseline: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -54,6 +66,7 @@ fn main() {
             }
             "--json" => json = true,
             "--no-cache" => no_cache = true,
+            "--keep-going" => keep_going = true,
             "--check-baseline" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 check_baseline = Some(PathBuf::from(v));
@@ -183,17 +196,33 @@ fn main() {
         }
     };
 
+    // Each experiment runs under `catch_unwind`: `Harness::run` is
+    // strict and panics (after the whole batch has executed and
+    // cached) when any of its jobs failed. Strict mode stops at the
+    // first failed experiment; `--keep-going` runs the rest — sibling
+    // results are preserved and cached either way. The failure summary
+    // below names every failed cell, and the process exits non-zero.
+    let mut broken: Vec<String> = Vec::new();
+    let mut run_caught = |name: &str| -> bool {
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(name))).is_ok();
+        if !ok {
+            broken.push(name.to_owned());
+        }
+        ok
+    };
     if what == "all" {
         for name in [
             "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "cmp",
         ] {
-            run_one(name);
+            if !run_caught(name) && !keep_going {
+                break;
+            }
             if !json {
                 println!();
             }
         }
     } else {
-        run_one(&what);
+        run_caught(&what);
     }
 
     let results_path = out_dir.join("results.json");
@@ -211,6 +240,22 @@ fn main() {
     }
     eprintln!("# {}", h.summary().render());
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let failures = h.failures();
+    if !failures.is_empty() || !broken.is_empty() {
+        eprintln!(
+            "error: {} job(s) failed in {}:",
+            failures.len(),
+            broken.join(", ")
+        );
+        for (label, reason) in &failures {
+            eprintln!("error:   {label}: {reason}");
+        }
+        if !keep_going {
+            eprintln!("error: run stopped at the first failed experiment (use --keep-going to run the rest)");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Runs the simulated-throughput matrix plus the sweep cells, writes

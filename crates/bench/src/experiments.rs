@@ -513,7 +513,7 @@ pub fn cmp_interleaving(h: &Harness, scale: Scale, core_counts: &[usize]) -> Vec
     });
     // Phase 2: every (core count, prefetcher) engine run in parallel.
     let entries = scale.entries(1 << 20);
-    let candidates = vec![
+    let candidates = [
         PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(entries)),
         PrefetcherSpec::baseline(
             "solihin-6,1",

@@ -447,8 +447,8 @@ mod tests {
         // Within tolerance: 80 > 100 * 0.75.
         assert!(check_sweep_against_baseline(&[sweep_row(80.0, 3.0)], &baseline, 0.25).is_ok());
         // Beyond tolerance: 70 < 75.
-        let err = check_sweep_against_baseline(&[sweep_row(70.0, 3.0)], &baseline, 0.25)
-            .unwrap_err();
+        let err =
+            check_sweep_against_baseline(&[sweep_row(70.0, 3.0)], &baseline, 0.25).unwrap_err();
         assert!(err.contains("regressed"), "{err}");
         // Schema-1 baseline without a sweep section passes trivially.
         let old = Value::Obj(vec![("geomean_mips".into(), Value::Num(40.0))]);

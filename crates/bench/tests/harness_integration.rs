@@ -56,6 +56,45 @@ fn warm_store_makes_table1_simulation_free() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Driver-level self-heal: corrupting a cached entry between two
+/// `table1` runs costs exactly one re-simulation and changes nothing in
+/// the rendered rows — the corrupt file is quarantined and overwritten.
+#[test]
+fn corrupt_store_entry_heals_without_changing_table1() {
+    let dir = std::env::temp_dir().join(format!("ebcp-bench-heal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = HarnessConfig {
+        jobs: 2,
+        store_dir: Some(dir.clone()),
+        ..HarnessConfig::default()
+    };
+
+    let cold = Harness::new(cfg.clone());
+    let rows = experiments::table1(&cold, tiny());
+
+    // Tear one cached result (any jobs/<id>.json entry).
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("the cold run must have cached entries");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap();
+
+    let healed = Harness::new(cfg);
+    let rows2 = experiments::table1(&healed, tiny());
+    assert_eq!(rows, rows2, "healed table must be byte-identical");
+    let s = healed.summary();
+    assert_eq!(s.executed, 1, "only the corrupt cell re-simulates");
+    assert_eq!(s.quarantined, 1);
+    assert!(
+        std::fs::read(&victim).unwrap().len() > bytes.len() / 3,
+        "the entry must be overwritten with a full result"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cmp_interleaving_parallel_matches_serial() {
     let one = Harness::new(HarnessConfig {

@@ -71,6 +71,11 @@ impl Value {
         }
     }
 
+    /// True for `null` (e.g. the `error` field of a healthy job record).
+    pub const fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
     /// Compact serialization.
     pub fn to_json(&self) -> String {
         let mut out = String::new();

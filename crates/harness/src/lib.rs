@@ -16,11 +16,23 @@
 //! - **caches** results on disk ([`ResultStore`]), making re-runs
 //!   incremental across processes;
 //! - **reports** progress and throughput over a telemetry channel, and
-//!   writes a consolidated machine-readable `results.json`.
+//!   writes a consolidated machine-readable `results.json`;
+//! - **isolates faults**: a job whose simulation panics is caught
+//!   ([`std::panic::catch_unwind`]), retried once, and — if it fails
+//!   again — recorded as [`JobOutcome::Failed`] without disturbing its
+//!   siblings, whose results stay cached; corrupt cache entries are
+//!   quarantined (`*.corrupt`) and transparently re-run (self-heal).
 //!
 //! Results come back in submission order and are bit-identical for any
 //! worker count: the simulator is deterministic and assembly never
 //! depends on completion order.
+//!
+//! [`Harness::run`] is the strict entry point: any failed job makes it
+//! panic with a summary naming the failed cells (after the whole batch
+//! has executed, so sibling results are already memoized and cached).
+//! [`Harness::run_outcomes`] is the keep-going entry point: it returns
+//! one [`JobOutcome`] per submitted job and never panics on job
+//! failure.
 //!
 //! # Examples
 //!
@@ -54,8 +66,9 @@ pub mod telemetry;
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use ebcp_sim::frontend::PreResolved;
@@ -64,8 +77,72 @@ use ebcp_sim::SimResult;
 pub use crate::job::{fnv1a64, Job, JobId};
 pub use crate::json::Value;
 pub use crate::source::{TraceSource, DEFAULT_MEM_BUDGET_BYTES};
-pub use crate::store::ResultStore;
+pub use crate::store::{CacheRead, ResultStore};
 pub use crate::telemetry::{Event, Progress, ResultSource, RunSummary};
+
+/// Poison-recovering lock. A panic inside a worker is caught and
+/// converted to a [`JobOutcome::Failed`], but if one ever unwinds while
+/// a guard is held (e.g. out of a hook the catch does not cover), the
+/// mutex is *poisoned* — and the data it protects (queues of indices,
+/// append-only output slots, counters) is still perfectly valid: no
+/// invariant spans a critical section here. Recovering instead of
+/// propagating keeps one crashed job from aborting the whole sweep.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload (the `panic!` message when it was a
+/// string, which it practically always is).
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".into(),
+        },
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Simulated (or served from a cache) successfully.
+    Ok(SimResult),
+    /// First attempt panicked; the retry succeeded. The result is as
+    /// trustworthy as an [`JobOutcome::Ok`] one — the simulator is
+    /// deterministic, so a one-shot panic means external interference
+    /// (e.g. a blown fault-injection fuse), not flakiness in the result.
+    Retried(SimResult),
+    /// Both attempts panicked. The job is memoized as failed — it will
+    /// not be retried by later batches — and nothing was cached.
+    Failed {
+        /// The second attempt's panic message.
+        reason: String,
+    },
+}
+
+impl JobOutcome {
+    /// The result, unless the job failed.
+    pub const fn result(&self) -> Option<&SimResult> {
+        match self {
+            JobOutcome::Ok(r) | JobOutcome::Retried(r) => Some(r),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure reason, if the job failed.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Failed { reason } => Some(reason),
+            _ => None,
+        }
+    }
+
+    /// True for [`JobOutcome::Failed`].
+    pub const fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
+}
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -106,6 +183,28 @@ struct JobRecord {
     source: ResultSource,
     wall_ms: Option<u64>,
     insts_per_sec: Option<f64>,
+    /// The job succeeded only on its second attempt.
+    retried: bool,
+    /// Panic message when the job failed on both attempts.
+    error: Option<String>,
+}
+
+impl JobRecord {
+    /// Human label matching [`Job::label`].
+    fn label(&self) -> String {
+        format!("{} x {}", self.workload, self.prefetcher)
+    }
+
+    /// The `outcome` tag written to `results.json`.
+    fn outcome_tag(&self) -> &'static str {
+        if self.error.is_some() {
+            "failed"
+        } else if self.retried {
+            "retried"
+        } else {
+            "ok"
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -115,6 +214,9 @@ struct Counters {
     executed: usize,
     memo_hits: usize,
     disk_hits: usize,
+    failed: usize,
+    retried: usize,
+    quarantined: usize,
     records_simulated: u64,
     wall: Duration,
 }
@@ -128,7 +230,7 @@ pub struct Harness {
     cfg: HarnessConfig,
     workers: usize,
     store: Option<ResultStore>,
-    memo: Mutex<HashMap<JobId, SimResult>>,
+    memo: Mutex<HashMap<JobId, JobOutcome>>,
     records: Mutex<Vec<JobRecord>>,
     counters: Mutex<Counters>,
 }
@@ -189,7 +291,50 @@ impl Harness {
     ///
     /// Duplicates — within the batch, against earlier batches, or
     /// against the on-disk store — are served without simulating.
+    ///
+    /// This is the **strict** entry point: every job must succeed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a summary naming the failed cells if any job failed
+    /// (panicked on both attempts). The panic is raised only after the
+    /// whole batch has executed, so sibling results are already
+    /// memoized and cached; use [`Harness::run_outcomes`] to keep going
+    /// instead.
     pub fn run(&self, jobs: &[Job]) -> Vec<SimResult> {
+        let outcomes = self.run_outcomes(jobs);
+        let mut failed: Vec<String> = Vec::new();
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            if let Some(reason) = outcome.failure() {
+                let entry = format!("{} ({reason})", job.label());
+                if !failed.contains(&entry) {
+                    failed.push(entry);
+                }
+            }
+        }
+        assert!(
+            failed.is_empty(),
+            "{} job(s) failed: {}",
+            failed.len(),
+            failed.join("; ")
+        );
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                JobOutcome::Ok(r) | JobOutcome::Retried(r) => r,
+                JobOutcome::Failed { .. } => unreachable!("failures rejected above"),
+            })
+            .collect()
+    }
+
+    /// Resolves a batch of jobs, returning one [`JobOutcome`] per job in
+    /// submission order. The **keep-going** entry point: a failed job
+    /// yields [`JobOutcome::Failed`] and never disturbs its siblings,
+    /// whose results are memoized and cached as usual. Failures are
+    /// memoized too — the deterministic simulator would only fail
+    /// again — so resubmitting a failed job reports the same outcome
+    /// without re-running it.
+    pub fn run_outcomes(&self, jobs: &[Job]) -> Vec<JobOutcome> {
         let t0 = Instant::now();
 
         // Deduplicate, preserving first-submission order. A 64-bit
@@ -214,12 +359,14 @@ impl Harness {
 
         // Serve what the memo and the disk store already know; queue the
         // rest. Each pending job remembers the index of its pre-created
-        // record so worker timing lands in submission order.
+        // record so worker timing lands in submission order. A corrupt
+        // store entry is quarantined by `load_checked` and its job
+        // queued like a plain miss — the re-run overwrites it.
         let mut pending: Vec<(usize, &Job)> = Vec::new();
         {
-            let mut memo = self.memo.lock().expect("memo lock");
-            let mut records = self.records.lock().expect("records lock");
-            let mut c = self.counters.lock().expect("counters lock");
+            let mut memo = lock(&self.memo);
+            let mut records = lock(&self.records);
+            let mut c = lock(&self.counters);
             c.submitted += jobs.len();
             c.unique += uniques.len();
             for job in &uniques {
@@ -230,13 +377,32 @@ impl Harness {
                         ResultSource::Memory
                     }
                     std::collections::hash_map::Entry::Vacant(slot) => {
-                        if let Some(r) = self.store.as_ref().and_then(|s| s.load(job)) {
-                            c.disk_hits += 1;
-                            slot.insert(r);
-                            ResultSource::Disk
-                        } else {
-                            pending.push((records.len(), job));
-                            ResultSource::Executed
+                        let read = match &self.store {
+                            Some(s) => s.load_checked(job),
+                            None => CacheRead::Miss,
+                        };
+                        match read {
+                            CacheRead::Hit(r) => {
+                                c.disk_hits += 1;
+                                slot.insert(JobOutcome::Ok(r));
+                                ResultSource::Disk
+                            }
+                            CacheRead::Miss => {
+                                pending.push((records.len(), job));
+                                ResultSource::Executed
+                            }
+                            CacheRead::Quarantined { path, reason } => {
+                                c.quarantined += 1;
+                                if self.cfg.progress {
+                                    eprintln!(
+                                        "warning: quarantined corrupt cache entry {} \
+                                         ({reason}); re-running",
+                                        path.display()
+                                    );
+                                }
+                                pending.push((records.len(), job));
+                                ResultSource::Executed
+                            }
                         }
                     }
                 };
@@ -247,6 +413,8 @@ impl Harness {
                     source,
                     wall_ms: None,
                     insts_per_sec: None,
+                    retried: false,
+                    error: None,
                 });
             }
         }
@@ -256,12 +424,22 @@ impl Harness {
         }
 
         {
-            let mut c = self.counters.lock().expect("counters lock");
+            let mut c = lock(&self.counters);
             c.wall += t0.elapsed();
         }
 
-        let memo = self.memo.lock().expect("memo lock");
+        let memo = lock(&self.memo);
         jobs.iter().map(|j| memo[&j.id()].clone()).collect()
+    }
+
+    /// The labels and panic reasons of every job that failed so far,
+    /// in submission order — the material for a driver's end-of-run
+    /// failure summary.
+    pub fn failures(&self) -> Vec<(String, String)> {
+        lock(&self.records)
+            .iter()
+            .filter_map(|rec| Some((rec.label(), rec.error.clone()?)))
+            .collect()
     }
 
     /// Runs the pending jobs on the worker pool and folds the outcomes
@@ -280,12 +458,13 @@ impl Harness {
 
         // One stream per pre-key, built exactly once: the first worker
         // to need it initializes the OnceLock while any others block on
-        // get_or_init, then all share the Arc.
-        let pres: Mutex<HashMap<u64, Arc<OnceLock<Arc<PreResolved>>>>> =
-            Mutex::new(HashMap::new());
+        // get_or_init, then all share the Arc. If the initializer
+        // panics, the cell stays uninitialized, so a retry (or a
+        // sibling job on the same key) rebuilds it from scratch.
+        let pres: Mutex<HashMap<u64, Arc<OnceLock<Arc<PreResolved>>>>> = Mutex::new(HashMap::new());
         let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
-        let outputs: Mutex<Vec<Option<(SimResult, u64, f64)>>> =
-            Mutex::new(vec![None; pending.len()]);
+        type Slot = Result<(SimResult, u64, f64, bool), String>;
+        let outputs: Mutex<Vec<Option<Slot>>> = Mutex::new(vec![None; pending.len()]);
         let (tx, rx) = mpsc::channel::<Event>();
 
         std::thread::scope(|s| {
@@ -293,64 +472,147 @@ impl Harness {
                 let tx = tx.clone();
                 let (pres, queue, outputs) = (&pres, &queue, &outputs);
                 s.spawn(move || loop {
-                    let Some(i) = queue.lock().expect("queue lock").pop_front() else {
+                    let Some(i) = lock(queue).pop_front() else {
                         break;
                     };
                     let (_, job) = &pending[i];
                     let _ = tx.send(Event::JobStarted { label: job.label() });
                     let t = Instant::now();
-                    let cell = Arc::clone(
-                        pres.lock()
-                            .expect("pre lock")
-                            .entry(job.pre_key())
-                            .or_insert_with(|| Arc::new(OnceLock::new())),
-                    );
-                    let pre = cell.get_or_init(|| Arc::new(self.prepare_pre(job)));
-                    let result = job.spec.run_preresolved(pre, &job.pf);
-                    let wall = t.elapsed();
-                    let wall_ms = wall.as_millis() as u64;
-                    let rate = job.records() as f64 / wall.as_secs_f64().max(1e-9);
-                    if let Some(store) = &self.store {
-                        // Cache-write failure loses only incrementality.
-                        let _ = store.save(job, &result);
+
+                    // One attempt: front end (shared, disk-cached) +
+                    // back-end replay, with any panic caught so a buggy
+                    // prefetcher fails only its own cell. The closure
+                    // touches `pres` only through a cloned Arc outside
+                    // any lock, so no guard is held across user code.
+                    let attempt = || -> Result<SimResult, String> {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let cell = Arc::clone(
+                                lock(pres)
+                                    .entry(job.pre_key())
+                                    .or_insert_with(|| Arc::new(OnceLock::new())),
+                            );
+                            let pre = cell.get_or_init(|| Arc::new(self.prepare_pre(job, &tx)));
+                            job.spec.run_preresolved(pre, &job.pf)
+                        }))
+                        .map_err(panic_reason)
+                    };
+
+                    // Retry-once policy: a first-attempt panic may be
+                    // environmental (a torn mmap, a one-shot fault); a
+                    // second one is the job's own and final.
+                    let slot: Slot = match attempt() {
+                        Ok(result) => Ok((result, false)),
+                        Err(first) => {
+                            let _ = tx.send(Event::JobRetried {
+                                label: job.label(),
+                                reason: first,
+                            });
+                            match attempt() {
+                                Ok(result) => Ok((result, true)),
+                                Err(reason) => Err(reason),
+                            }
+                        }
                     }
-                    outputs.lock().expect("outputs lock")[i] = Some((result, wall_ms, rate));
-                    let _ = tx.send(Event::JobFinished {
-                        label: job.label(),
-                        wall_ms,
-                        insts_per_sec: rate,
+                    .map(|(result, retried)| {
+                        let wall = t.elapsed();
+                        let wall_ms = wall.as_millis() as u64;
+                        let rate = job.records() as f64 / wall.as_secs_f64().max(1e-9);
+                        (result, wall_ms, rate, retried)
                     });
+
+                    match &slot {
+                        Ok((result, wall_ms, rate, _)) => {
+                            if let Some(store) = &self.store {
+                                // Cache-write failure loses only incrementality.
+                                let _ = store.save(job, result);
+                            }
+                            let _ = tx.send(Event::JobFinished {
+                                label: job.label(),
+                                wall_ms: *wall_ms,
+                                insts_per_sec: *rate,
+                            });
+                        }
+                        Err(reason) => {
+                            // Nothing cached: a failed job leaves no
+                            // on-disk trace to be mistaken for a result.
+                            let _ = tx.send(Event::JobFailed {
+                                label: job.label(),
+                                reason: reason.clone(),
+                            });
+                        }
+                    }
+                    lock(outputs)[i] = Some(slot);
                 });
             }
             drop(tx);
+            // The submitting thread renders progress and tallies the
+            // resilience events (the per-slot data only says *that* a
+            // job was retried, not how many quarantines it healed).
             let mut progress = Progress::new(self.cfg.progress, pending.len());
+            let mut quarantined = 0usize;
             for ev in rx {
+                if let Event::CacheQuarantined { .. } = &ev {
+                    quarantined += 1;
+                }
                 progress.handle(&ev);
             }
             progress.finish();
+            lock(&self.counters).quarantined += quarantined;
         });
 
-        let outputs = outputs.into_inner().expect("outputs lock");
-        let mut memo = self.memo.lock().expect("memo lock");
-        let mut records = self.records.lock().expect("records lock");
-        let mut c = self.counters.lock().expect("counters lock");
+        let outputs = outputs.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut memo = lock(&self.memo);
+        let mut records = lock(&self.records);
+        let mut c = lock(&self.counters);
         for ((rec_idx, job), out) in pending.iter().zip(outputs) {
-            let (result, wall_ms, rate) = out.expect("worker completed every queued job");
-            memo.insert(job.id(), result);
-            records[*rec_idx].wall_ms = Some(wall_ms);
-            records[*rec_idx].insts_per_sec = Some(rate);
-            c.executed += 1;
-            c.records_simulated += job.records();
+            let slot = out.expect("worker completed every queued job");
+            match slot {
+                Ok((result, wall_ms, rate, retried)) => {
+                    memo.insert(
+                        job.id(),
+                        if retried {
+                            c.retried += 1;
+                            JobOutcome::Retried(result.clone())
+                        } else {
+                            JobOutcome::Ok(result.clone())
+                        },
+                    );
+                    records[*rec_idx].wall_ms = Some(wall_ms);
+                    records[*rec_idx].insts_per_sec = Some(rate);
+                    records[*rec_idx].retried = retried;
+                    c.executed += 1;
+                    c.records_simulated += job.records();
+                }
+                Err(reason) => {
+                    memo.insert(
+                        job.id(),
+                        JobOutcome::Failed {
+                            reason: reason.clone(),
+                        },
+                    );
+                    records[*rec_idx].error = Some(reason);
+                    c.failed += 1;
+                }
+            }
         }
     }
 
     /// Obtains the pre-resolved event stream for `job`: from the disk
     /// cache when possible, otherwise by running the front-end pass (and
-    /// caching the result for the next process).
-    fn prepare_pre(&self, job: &Job) -> PreResolved {
+    /// caching the result for the next process). A corrupt cached
+    /// stream is quarantined (reported over `tx`) and rebuilt, its
+    /// replacement overwriting the original path.
+    fn prepare_pre(&self, job: &Job, tx: &mpsc::Sender<Event>) -> PreResolved {
         if let Some(dir) = self.store_dir() {
-            if let Some(pre) = preres::load(dir, job) {
-                return pre;
+            match preres::load_checked(dir, job) {
+                CacheRead::Hit(pre) => return pre,
+                CacheRead::Miss => {}
+                CacheRead::Quarantined { path, reason } => {
+                    let _ = tx.send(Event::CacheQuarantined {
+                        path: path.display().to_string(),
+                        reason,
+                    });
+                }
             }
         }
         let pre = job.spec.pre_resolve();
@@ -382,17 +644,17 @@ impl Harness {
             for _ in 0..workers {
                 let (queue, outputs, f) = (&queue, &outputs, &f);
                 s.spawn(move || loop {
-                    let Some(i) = queue.lock().expect("queue lock").pop_front() else {
+                    let Some(i) = lock(queue).pop_front() else {
                         break;
                     };
                     let r = f(&items[i]);
-                    outputs.lock().expect("outputs lock")[i] = Some(r);
+                    lock(outputs)[i] = Some(r);
                 });
             }
         });
         outputs
             .into_inner()
-            .expect("outputs lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
             .map(|r| r.expect("worker completed every queued item"))
             .collect()
@@ -400,13 +662,16 @@ impl Harness {
 
     /// Aggregate statistics over everything resolved so far.
     pub fn summary(&self) -> RunSummary {
-        let c = self.counters.lock().expect("counters lock");
+        let c = lock(&self.counters);
         RunSummary {
             submitted: c.submitted,
             unique: c.unique,
             executed: c.executed,
             memo_hits: c.memo_hits,
             disk_hits: c.disk_hits,
+            failed: c.failed,
+            retried: c.retried,
+            quarantined: c.quarantined,
             records_simulated: c.records_simulated,
             wall: c.wall,
         }
@@ -421,8 +686,8 @@ impl Harness {
     /// Propagates file-system failures.
     pub fn write_results_json(&self, path: &Path) -> io::Result<()> {
         let summary = self.summary();
-        let memo = self.memo.lock().expect("memo lock");
-        let records = self.records.lock().expect("records lock");
+        let memo = lock(&self.memo);
+        let records = lock(&self.records);
         let jobs: Vec<Value> = records
             .iter()
             .map(|rec| {
@@ -431,6 +696,13 @@ impl Harness {
                     ("workload".into(), Value::Str(rec.workload.clone())),
                     ("prefetcher".into(), Value::Str(rec.prefetcher.clone())),
                     ("source".into(), Value::Str(rec.source.tag().into())),
+                    ("outcome".into(), Value::Str(rec.outcome_tag().into())),
+                    (
+                        "error".into(),
+                        rec.error
+                            .as_ref()
+                            .map_or(Value::Null, |e| Value::Str(e.clone())),
+                    ),
                     (
                         "wall_ms".into(),
                         rec.wall_ms.map_or(Value::Null, Value::Int),
@@ -441,7 +713,9 @@ impl Harness {
                     ),
                     (
                         "result".into(),
-                        memo.get(&rec.id).map_or(Value::Null, store::result_to_json),
+                        memo.get(&rec.id)
+                            .and_then(JobOutcome::result)
+                            .map_or(Value::Null, store::result_to_json),
                     ),
                 ])
             })
@@ -455,6 +729,9 @@ impl Harness {
                     ("executed".into(), Value::Int(summary.executed as u64)),
                     ("memo_hits".into(), Value::Int(summary.memo_hits as u64)),
                     ("disk_hits".into(), Value::Int(summary.disk_hits as u64)),
+                    ("failed".into(), Value::Int(summary.failed as u64)),
+                    ("retried".into(), Value::Int(summary.retried as u64)),
+                    ("quarantined".into(), Value::Int(summary.quarantined as u64)),
                     (
                         "records_simulated".into(),
                         Value::Int(summary.records_simulated),

@@ -9,17 +9,23 @@
 //! Format (all integers little-endian):
 //!
 //! ```text
-//! magic     8 B   "EBCPPRE1"
+//! magic     8 B   "EBCPPRE2"
 //! canon_len u32   length of the canonical key string
 //! canon     ...   the exact string `pre_key` hashed (collision guard)
 //! records   u64   trace records the stream stands for
 //! n_events  u64   packed event count
 //! events    n_events x { pc u64, dline u64, gap u32, flags u32 }
+//! checksum  u64   FNV-1a over every preceding byte of the file
 //! ```
 //!
-//! Loads verify magic and canonical string; any mismatch (schema bump,
-//! hash collision, truncation) is treated as a miss, never an error —
-//! losing a cache entry only costs one front-end pass.
+//! Loads are **integrity-checked**. A wrong magic (an older format
+//! revision) or a canonical-string mismatch (hash collision) is
+//! *staleness*: a plain miss, overwritten in place by the next save.
+//! A checksum mismatch, truncation, or length that disagrees with the
+//! header's event count is *corruption*: the file is quarantined
+//! (renamed to `*.corrupt`) and the front-end pass transparently
+//! re-runs, overwriting the original path (self-heal). Either way a bad
+//! entry only costs one front-end pass, never a wrong stream.
 
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -27,9 +33,14 @@ use std::path::{Path, PathBuf};
 use ebcp_sim::frontend::{PreEvent, PreResolved};
 use ebcp_sim::RunSpec;
 
-use crate::job::{Job, CANON_VERSION};
+use crate::job::{fnv1a64, Job, CANON_VERSION};
+use crate::store::{quarantine, unique_tmp, CacheRead};
 
-const MAGIC: &[u8; 8] = b"EBCPPRE1";
+/// v2 ("EBCPPRE2"): appended the FNV-1a checksum footer.
+const MAGIC: &[u8; 8] = b"EBCPPRE2";
+
+/// Bytes per packed event (`pc u64, dline u64, gap u32, flags u32`).
+const EVENT_BYTES: u64 = 24;
 
 /// The canonical string [`Job::pre_key`] hashes — regenerated here so
 /// the stored collision guard and the key can never drift apart.
@@ -51,37 +62,78 @@ pub fn path_for(store_dir: &Path, job: &Job) -> PathBuf {
         .join(format!("{:016x}.bin", job.pre_key()))
 }
 
-/// Loads a cached stream for `job`, or `None` on any miss or mismatch.
+/// Loads a cached stream for `job`, or `None` on any miss, mismatch or
+/// quarantined corruption. Convenience wrapper over [`load_checked`].
 pub fn load(store_dir: &Path, job: &Job) -> Option<PreResolved> {
-    let bytes = std::fs::read(path_for(store_dir, job)).ok()?;
-    let mut r = bytes.as_slice();
+    load_checked(store_dir, job).into_hit()
+}
 
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).ok()?;
-    if &magic != MAGIC {
-        return None;
+/// Integrity-checked load: distinguishes a valid stream, a plain miss
+/// (absent file, older magic, hash collision) and a *corrupt* file,
+/// which is quarantined (renamed to `*.corrupt`) so the caller can log
+/// it and transparently re-resolve.
+pub fn load_checked(store_dir: &Path, job: &Job) -> CacheRead<PreResolved> {
+    let path = path_for(store_dir, job);
+    let Ok(bytes) = std::fs::read(&path) else {
+        return CacheRead::Miss;
+    };
+
+    // Smallest well-formed file: magic + canon_len + records + n_events
+    // + checksum footer, with an empty canon and zero events.
+    if bytes.len() < 8 + 4 + 8 + 8 + 8 {
+        return quarantine(path, "truncated header".into());
     }
-    let canon_len = read_u32(&mut r)? as usize;
+    if &bytes[..8] != MAGIC {
+        // An older format revision (e.g. the pre-checksum "EBCPPRE1")
+        // is staleness, not corruption: plain miss, overwritten on save.
+        return CacheRead::Miss;
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(footer.try_into().expect("split_at leaves 8 bytes"));
+    if fnv1a64(body) != stored {
+        return quarantine(path, "checksum mismatch".into());
+    }
+
+    let mut r = &body[8..];
+    let header_err = || quarantine(path_for(store_dir, job), "malformed header".into());
+    let Some(canon_len) = read_u32(&mut r).map(|n| n as usize) else {
+        return header_err();
+    };
     if r.len() < canon_len {
-        return None;
+        return header_err();
     }
     let (canon, rest) = r.split_at(canon_len);
     if canon != pre_canonical(&job.spec).as_bytes() {
-        return None;
+        // Collision guard: a valid stream for a *different* spec.
+        return CacheRead::Miss;
     }
     r = rest;
-    let records = read_u64(&mut r)?;
-    let n_events = read_u64(&mut r)?;
-    // 24 bytes per event; reject truncated files.
-    if (r.len() as u64) < n_events.checked_mul(24)? {
-        return None;
+    let (Some(records), Some(n_events)) = (read_u64(&mut r), read_u64(&mut r)) else {
+        return header_err();
+    };
+    // The payload must be *exactly* the header-implied length: trailing
+    // garbage is as disqualifying as truncation (defense in depth — the
+    // checksum already rejects appended bytes, this rejects internally
+    // consistent files whose count and payload disagree).
+    if n_events.checked_mul(EVENT_BYTES) != Some(r.len() as u64) {
+        return quarantine(
+            path,
+            format!(
+                "payload length {} disagrees with header event count {n_events}",
+                r.len()
+            ),
+        );
     }
-    let mut events = Vec::with_capacity(usize::try_from(n_events).ok()?);
+    let mut events = Vec::with_capacity(usize::try_from(n_events).unwrap_or(0));
     for _ in 0..n_events {
-        let pc = read_u64(&mut r)?;
-        let dline = read_u64(&mut r)?;
-        let gap = read_u32(&mut r)?;
-        let flags = read_u32(&mut r)?;
+        let (Some(pc), Some(dline), Some(gap), Some(flags)) = (
+            read_u64(&mut r),
+            read_u64(&mut r),
+            read_u32(&mut r),
+            read_u32(&mut r),
+        ) else {
+            return header_err();
+        };
         events.push(PreEvent {
             pc,
             dline,
@@ -89,7 +141,7 @@ pub fn load(store_dir: &Path, job: &Job) -> Option<PreResolved> {
             flags,
         });
     }
-    Some(PreResolved {
+    CacheRead::Hit(PreResolved {
         events,
         records,
         l1i: job.spec.sim.l1i,
@@ -97,8 +149,10 @@ pub fn load(store_dir: &Path, job: &Job) -> Option<PreResolved> {
     })
 }
 
-/// Saves `pre` as `job`'s cached stream. Written to a temp file and
-/// renamed so concurrent readers never observe a partial file.
+/// Saves `pre` as `job`'s cached stream, checksum footer included.
+/// Written to a pid- and sequence-unique temp file and renamed so
+/// concurrent writers never interleave into one temp file and readers
+/// never observe a partial file.
 ///
 /// # Errors
 ///
@@ -110,8 +164,7 @@ pub fn save(store_dir: &Path, job: &Job, pre: &PreResolved) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
 
     let canon = pre_canonical(&job.spec);
-    let mut buf =
-        Vec::with_capacity(8 + 4 + canon.len() + 16 + pre.events.len() * 24);
+    let mut buf = Vec::with_capacity(8 + 4 + canon.len() + 16 + pre.events.len() * 24 + 8);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&(canon.len() as u32).to_le_bytes());
     buf.extend_from_slice(canon.as_bytes());
@@ -123,8 +176,10 @@ pub fn save(store_dir: &Path, job: &Job, pre: &PreResolved) -> io::Result<()> {
         buf.extend_from_slice(&ev.gap.to_le_bytes());
         buf.extend_from_slice(&ev.flags.to_le_bytes());
     }
+    let checksum = fnv1a64(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
 
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let tmp = unique_tmp(&path, "bin");
     {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(&buf)?;
@@ -169,6 +224,24 @@ mod tests {
         d
     }
 
+    fn expect_quarantined(read: CacheRead<PreResolved>, reason_part: &str) {
+        match read {
+            CacheRead::Quarantined { path, reason } => {
+                assert!(reason.contains(reason_part), "{reason}");
+                assert!(
+                    path.to_string_lossy().ends_with(".corrupt"),
+                    "{}",
+                    path.display()
+                );
+                assert!(path.is_file(), "corrupt bytes must be preserved");
+            }
+            other => panic!(
+                "expected quarantine, got miss/hit: {:?}",
+                other.into_hit().is_some()
+            ),
+        }
+    }
+
     #[test]
     fn round_trip_preserves_stream() {
         let dir = tmpdir("rt");
@@ -200,12 +273,30 @@ mod tests {
         let mut b = a.clone();
         b.spec.seed = 10;
         std::fs::rename(path_for(&dir, &a), path_for(&dir, &b)).unwrap();
-        assert!(load(&dir, &b).is_none(), "canonical guard must reject");
+        assert_eq!(load_checked(&dir, &b), CacheRead::Miss);
+        assert!(
+            path_for(&dir, &b).exists(),
+            "collisions are not quarantined"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn truncated_file_is_a_miss() {
+    fn old_magic_is_a_plain_miss_not_corruption() {
+        let dir = tmpdir("oldmagic");
+        let j = job();
+        save(&dir, &j, &j.spec.pre_resolve()).unwrap();
+        let p = path_for(&dir, &j);
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[..8].copy_from_slice(b"EBCPPRE1");
+        std::fs::write(&p, &bytes).unwrap();
+        assert_eq!(load_checked(&dir, &j), CacheRead::Miss);
+        assert!(p.exists(), "stale formats are overwritten, not quarantined");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_is_quarantined() {
         let dir = tmpdir("trunc");
         let j = job();
         let pre = j.spec.pre_resolve();
@@ -213,7 +304,59 @@ mod tests {
         let p = path_for(&dir, &j);
         let bytes = std::fs::read(&p).unwrap();
         std::fs::write(&p, &bytes[..bytes.len() - 13]).unwrap();
-        assert!(load(&dir, &j).is_none());
+        expect_quarantined(load_checked(&dir, &j), "checksum");
+        assert!(!p.exists(), "the corrupt file must be moved away");
+        // Self-heal: saving again restores a loadable entry.
+        save(&dir, &j, &pre).unwrap();
+        assert_eq!(load(&dir, &j), Some(pre));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_quarantined() {
+        let dir = tmpdir("flip");
+        let j = job();
+        save(&dir, &j, &j.spec.pre_resolve()).unwrap();
+        let p = path_for(&dir, &j);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&p, &bytes).unwrap();
+        expect_quarantined(load_checked(&dir, &j), "checksum");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trailing_garbage_is_quarantined() {
+        let dir = tmpdir("trailing");
+        let j = job();
+        save(&dir, &j, &j.spec.pre_resolve()).unwrap();
+        let p = path_for(&dir, &j);
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes.extend_from_slice(b"garbage appended after the footer");
+        std::fs::write(&p, &bytes).unwrap();
+        // The appended bytes shift the footer window, so the checksum
+        // rejects before the length check even runs.
+        expect_quarantined(load_checked(&dir, &j), "checksum");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_payload_length_disagreement_is_quarantined() {
+        // A crafted file with a *valid* checksum whose event count
+        // disagrees with its payload length: only the exact-length
+        // check catches it.
+        let dir = tmpdir("exactlen");
+        let j = job();
+        save(&dir, &j, &j.spec.pre_resolve()).unwrap();
+        let p = path_for(&dir, &j);
+        let bytes = std::fs::read(&p).unwrap();
+        let mut body = bytes[..bytes.len() - 8].to_vec();
+        body.extend_from_slice(&[0u8; 24]); // one extra phantom event
+        let footer = fnv1a64(&body).to_le_bytes();
+        body.extend_from_slice(&footer);
+        std::fs::write(&p, &body).unwrap();
+        expect_quarantined(load_checked(&dir, &j), "disagrees with header event count");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -5,19 +5,90 @@
 //! carry the job's full canonical string so a (vanishingly unlikely)
 //! 64-bit hash collision is detected and treated as a miss rather than
 //! silently returning the wrong result.
+//!
+//! Entries are **integrity-checked**: each file stores an FNV-1a
+//! checksum of its compact result encoding. A corrupt entry — torn
+//! write, flipped bit, unparsable JSON — is *quarantined* (renamed to
+//! `<id>.json.corrupt`) and reads as a miss, so the job transparently
+//! re-runs and overwrites it (self-heal). Merely *stale* entries (an
+//! older schema version) are not corruption: they read as a plain miss
+//! and are overwritten in place.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ebcp_mem::{BusStats, MemStats};
 use ebcp_sim::SimResult;
 
-use crate::job::Job;
+use crate::job::{fnv1a64, Job};
 use crate::json::{self, Value};
 
 /// On-disk schema version; bump on incompatible result layout changes.
-const SCHEMA: u64 = 2;
+///
+/// v3: added the `checksum` integrity field.
+const SCHEMA: u64 = 3;
+
+/// Sequence counter making concurrent temp-file names unique within a
+/// process; the pid makes them unique across processes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A pid- and sequence-unique sibling temp path for atomically
+/// replacing `path` (write temp, rename). Two processes — or two
+/// threads of one process — publishing the same target concurrently
+/// each write their own temp file, so the final rename is the only
+/// contended step and readers never observe a torn file.
+pub(crate) fn unique_tmp(path: &Path, ext: &str) -> PathBuf {
+    path.with_extension(format!(
+        "{ext}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Outcome of an integrity-checked cache read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheRead<T> {
+    /// A valid entry.
+    Hit(T),
+    /// No entry (absent, stale schema, or a detected hash collision) —
+    /// the caller simply runs the job and overwrites.
+    Miss,
+    /// A corrupt entry was detected and renamed to `*.corrupt`; the
+    /// caller re-runs the job, overwriting the original path.
+    Quarantined {
+        /// Where the corrupt bytes were moved (best effort: the
+        /// original path if the rename itself failed).
+        path: PathBuf,
+        /// Why the entry was rejected.
+        reason: String,
+    },
+}
+
+impl<T> CacheRead<T> {
+    /// The hit value, if any.
+    pub fn into_hit(self) -> Option<T> {
+        match self {
+            CacheRead::Hit(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Moves a corrupt cache file out of the way (`<file>.corrupt`,
+/// overwriting any previous quarantine of the same path) and returns
+/// the quarantine record.
+pub(crate) fn quarantine<T>(path: PathBuf, reason: String) -> CacheRead<T> {
+    let mut corrupt = path.clone().into_os_string();
+    corrupt.push(".corrupt");
+    let corrupt = PathBuf::from(corrupt);
+    let moved = fs::rename(&path, &corrupt).is_ok();
+    CacheRead::Quarantined {
+        path: if moved { corrupt } else { path },
+        reason,
+    }
+}
 
 /// A directory of cached [`SimResult`]s, keyed by [`Job`] hash.
 #[derive(Debug)]
@@ -48,40 +119,85 @@ impl ResultStore {
 
     /// Loads the cached result for `job`, if present and valid.
     ///
-    /// Unreadable, unparsable, stale-schema or hash-colliding entries
-    /// all read as a miss (the job simply re-runs and overwrites them).
+    /// Convenience wrapper over [`ResultStore::load_checked`] that
+    /// collapses misses and quarantines to `None`.
     pub fn load(&self, job: &Job) -> Option<SimResult> {
-        let text = fs::read_to_string(self.path_for(job)).ok()?;
-        let v = json::parse(&text).ok()?;
-        if v.get("schema")?.as_u64()? != SCHEMA {
-            return None;
+        self.load_checked(job).into_hit()
+    }
+
+    /// Integrity-checked load: distinguishes a valid entry, a plain
+    /// miss (absent, stale schema, hash collision) and a *corrupt*
+    /// entry, which is quarantined (renamed to `<id>.json.corrupt`) so
+    /// the caller can log it and transparently re-run the job.
+    pub fn load_checked(&self, job: &Job) -> CacheRead<SimResult> {
+        let path = self.path_for(job);
+        let Ok(text) = fs::read_to_string(&path) else {
+            return CacheRead::Miss;
+        };
+        let Ok(v) = json::parse(&text) else {
+            return quarantine(path, "unparsable JSON".into());
+        };
+        let Some(schema) = v.get("schema").and_then(Value::as_u64) else {
+            return quarantine(path, "missing schema field".into());
+        };
+        if schema != SCHEMA {
+            // A different (older or newer) schema is staleness, not
+            // corruption: plain miss, overwritten on save.
+            return CacheRead::Miss;
         }
-        // Collision / corruption guard: the stored canonical string must
-        // match the job that hashed to this file name.
-        if v.get("job")?.as_str()? != job.canonical() {
-            return None;
+        // Collision guard: the stored canonical string must match the
+        // job that hashed to this file name. A well-formed entry for a
+        // *different* job is a collision, not corruption.
+        match v.get("job").and_then(Value::as_str) {
+            None => return quarantine(path, "missing job field".into()),
+            Some(canon) if canon != job.canonical() => return CacheRead::Miss,
+            Some(_) => {}
         }
-        result_from_json(v.get("result")?)
+        let Some(result) = v.get("result") else {
+            return quarantine(path, "missing result field".into());
+        };
+        match v.get("checksum").and_then(Value::as_str) {
+            Some(stored) if stored == result_checksum(result) => {}
+            Some(_) => return quarantine(path, "checksum mismatch".into()),
+            None => return quarantine(path, "missing checksum field".into()),
+        }
+        match result_from_json(result) {
+            Some(r) => CacheRead::Hit(r),
+            None => quarantine(path, "undecodable result".into()),
+        }
     }
 
     /// Persists `result` for `job` (atomically: write temp, rename).
+    /// The temp name is pid- and sequence-unique, so concurrent saves
+    /// of the same job — from two processes sharing a store, or two
+    /// threads — can never interleave writes into one temp file and
+    /// publish a torn entry.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; callers may treat them as non-fatal
     /// (the run still succeeded, only the cache write was lost).
     pub fn save(&self, job: &Job, result: &SimResult) -> io::Result<()> {
+        let result_json = result_to_json(result);
         let doc = Value::Obj(vec![
             ("schema".into(), Value::Int(SCHEMA)),
             ("id".into(), Value::Str(job.id().to_string())),
             ("job".into(), Value::Str(job.canonical())),
-            ("result".into(), result_to_json(result)),
+            ("checksum".into(), Value::Str(result_checksum(&result_json))),
+            ("result".into(), result_json),
         ]);
         let path = self.path_for(job);
-        let tmp = path.with_extension("json.tmp");
+        let tmp = unique_tmp(&path, "json");
         fs::write(&tmp, doc.to_json_pretty())?;
         fs::rename(&tmp, &path)
     }
+}
+
+/// The integrity checksum stored with each entry: FNV-1a over the
+/// *compact* serialization of the result value, so pretty-printing
+/// whitespace can never perturb it.
+fn result_checksum(result: &Value) -> String {
+    format!("{:016x}", fnv1a64(result.to_json().as_bytes()))
 }
 
 fn bus_to_json(b: &BusStats) -> Value {
@@ -254,12 +370,65 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entry_reads_as_miss() {
+    fn unparsable_entry_is_quarantined() {
         let store = temp_store("corrupt");
         let job = sample_job();
         store.save(&job, &sample_result()).unwrap();
-        fs::write(store.dir().join(format!("{}.json", job.id())), "{ not json").unwrap();
-        assert!(store.load(&job).is_none());
+        let path = store.dir().join(format!("{}.json", job.id()));
+        fs::write(&path, "{ not json").unwrap();
+        match store.load_checked(&job) {
+            CacheRead::Quarantined { path: q, reason } => {
+                assert!(q.to_string_lossy().ends_with(".corrupt"), "{}", q.display());
+                assert!(q.is_file(), "corrupt bytes must be preserved");
+                assert!(reason.contains("unparsable"), "{reason}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(!path.exists(), "the corrupt entry must be moved away");
+        // Self-heal: saving again overwrites and the entry reads back.
+        store.save(&job, &sample_result()).unwrap();
+        assert_eq!(store.load(&job), Some(sample_result()));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn bit_flip_in_counter_is_quarantined() {
+        let store = temp_store("bitflip");
+        let job = sample_job();
+        store.save(&job, &sample_result()).unwrap();
+        let path = store.dir().join(format!("{}.json", job.id()));
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a digit inside the result payload: still valid JSON, but
+        // a different value than the checksum covers.
+        let at = bytes
+            .windows(7)
+            .position(|w| w == b"123456,")
+            .expect("sample counter must appear in the entry");
+        bytes[at] = b'9';
+        fs::write(&path, &bytes).unwrap();
+        match store.load_checked(&job) {
+            CacheRead::Quarantined { reason, .. } => {
+                assert!(reason.contains("checksum"), "{reason}")
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn stale_schema_is_a_plain_miss_not_corruption() {
+        let store = temp_store("stale");
+        let job = sample_job();
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Int(SCHEMA - 1)),
+            ("id".into(), Value::Str(job.id().to_string())),
+            ("job".into(), Value::Str(job.canonical())),
+            ("result".into(), result_to_json(&sample_result())),
+        ]);
+        let path = store.dir().join(format!("{}.json", job.id()));
+        fs::write(&path, doc.to_json()).unwrap();
+        assert_eq!(store.load_checked(&job), CacheRead::Miss);
+        assert!(path.exists(), "stale entries are not quarantined");
         let _ = fs::remove_dir_all(store.dir());
     }
 
@@ -277,7 +446,55 @@ mod tests {
         ]);
         let path = store.dir().join(format!("{}.json", job.id()));
         fs::write(&path, doc.to_json()).unwrap();
-        assert!(store.load(&job).is_none());
+        assert_eq!(store.load_checked(&job), CacheRead::Miss);
+        assert!(path.exists(), "collisions are not quarantined");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// Two concurrent writers publishing the same job id — the shape of
+    /// two `repro` processes sharing one store — must never tear an
+    /// entry: every interleaved load sees either a miss or a fully
+    /// valid result, and both final candidates are intact. Before temp
+    /// names were unique per save, both writers shared one `json.tmp`
+    /// and could rename a half-written file into place.
+    #[test]
+    fn concurrent_saves_never_publish_a_torn_entry() {
+        let store = temp_store("race");
+        let job = sample_job();
+        let a = sample_result();
+        let b = SimResult {
+            insts: 999_999_999,
+            ..sample_result()
+        };
+        std::thread::scope(|s| {
+            for result in [&a, &b] {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        store.save(&job, result).unwrap();
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..400 {
+                    match store.load_checked(&job) {
+                        CacheRead::Hit(r) => assert!(r == a || r == b, "torn entry read back"),
+                        CacheRead::Miss => {}
+                        CacheRead::Quarantined { reason, .. } => {
+                            panic!("torn entry quarantined: {reason}")
+                        }
+                    }
+                }
+            });
+        });
+        let got = store.load(&job).expect("final entry must be valid");
+        assert!(got == a || got == b);
+        // No temp litter left behind once both writers finished.
+        let leftovers: Vec<_> = fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         let _ = fs::remove_dir_all(store.dir());
     }
 }

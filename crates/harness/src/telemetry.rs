@@ -48,6 +48,29 @@ pub enum Event {
         /// Trace records consumed per wall-clock second.
         insts_per_sec: f64,
     },
+    /// A job's first attempt panicked; the worker is retrying it once.
+    JobRetried {
+        /// Job label.
+        label: String,
+        /// The captured panic message.
+        reason: String,
+    },
+    /// A job failed on its retry too; its cell is recorded as `Failed`
+    /// and the sweep continues.
+    JobFailed {
+        /// Job label.
+        label: String,
+        /// The captured panic message.
+        reason: String,
+    },
+    /// A corrupt cache entry was quarantined (renamed to `*.corrupt`)
+    /// and its job transparently re-runs.
+    CacheQuarantined {
+        /// The quarantined file's new path.
+        path: String,
+        /// Why the entry was rejected.
+        reason: String,
+    },
 }
 
 /// Renders events as a single self-overwriting progress line.
@@ -87,7 +110,34 @@ impl Progress {
                     insts_per_sec / 1e6,
                 ));
             }
+            Event::JobRetried { label, reason } => {
+                self.warn(&format!(
+                    "warning: {label} panicked ({reason}); retrying once"
+                ));
+            }
+            Event::JobFailed { label, reason } => {
+                self.done += 1;
+                self.warn(&format!("warning: {label} FAILED ({reason})"));
+            }
+            Event::CacheQuarantined { path, reason } => {
+                self.warn(&format!(
+                    "warning: quarantined corrupt cache entry {path} ({reason}); re-running"
+                ));
+            }
         }
+    }
+
+    /// Prints a persistent warning line without disturbing the live
+    /// progress line (which is cleared first and redrawn by the next
+    /// event). Silent when the renderer is disabled.
+    fn warn(&mut self, msg: &str) {
+        if !self.enabled {
+            return;
+        }
+        let pad = self.last_len.saturating_sub(msg.len());
+        eprintln!("\r{msg}{}", " ".repeat(pad));
+        self.last_len = 0;
+        let _ = std::io::stderr().flush();
     }
 
     fn draw(&mut self, tail: &str) {
@@ -124,6 +174,12 @@ pub struct RunSummary {
     pub memo_hits: usize,
     /// Results served from the on-disk store.
     pub disk_hits: usize,
+    /// Jobs whose simulation panicked on both attempts.
+    pub failed: usize,
+    /// Jobs that succeeded only on their second attempt.
+    pub retried: usize,
+    /// Corrupt cache entries quarantined (renamed to `*.corrupt`).
+    pub quarantined: usize,
     /// Trace records consumed by executed simulations.
     pub records_simulated: u64,
     /// Wall-clock time spent inside `Harness::run`.
@@ -141,18 +197,28 @@ impl RunSummary {
         }
     }
 
-    /// One-line human rendering.
+    /// One-line human rendering. Failure, retry and quarantine counts
+    /// appear only when nonzero, so a healthy run reads as before.
     pub fn render(&self) -> String {
-        format!(
-            "{} jobs ({} unique): {} executed, {} memo hits, {} disk hits; {:.1}s wall, {:.1} Minst/s",
-            self.submitted,
-            self.unique,
-            self.executed,
-            self.memo_hits,
-            self.disk_hits,
+        let mut s = format!(
+            "{} jobs ({} unique): {} executed, {} memo hits, {} disk hits",
+            self.submitted, self.unique, self.executed, self.memo_hits, self.disk_hits,
+        );
+        if self.failed > 0 {
+            s.push_str(&format!(", {} FAILED", self.failed));
+        }
+        if self.retried > 0 {
+            s.push_str(&format!(", {} retried", self.retried));
+        }
+        if self.quarantined > 0 {
+            s.push_str(&format!(", {} quarantined", self.quarantined));
+        }
+        s.push_str(&format!(
+            "; {:.1}s wall, {:.1} Minst/s",
             self.wall.as_secs_f64(),
             self.insts_per_sec() / 1e6,
-        )
+        ));
+        s
     }
 }
 
@@ -170,11 +236,26 @@ mod tests {
             disk_hits: 3,
             records_simulated: 2_000_000,
             wall: Duration::from_secs(2),
+            ..RunSummary::default()
         };
         let line = s.render();
         assert!(line.contains("10 jobs (7 unique)"));
         assert!(line.contains("4 executed"));
         assert!((s.insts_per_sec() - 1e6).abs() < 1.0);
+        // A healthy run never mentions failures.
+        assert!(!line.contains("FAILED"));
+        assert!(!line.contains("retried"));
+        assert!(!line.contains("quarantined"));
+        let sick = RunSummary {
+            failed: 2,
+            retried: 1,
+            quarantined: 3,
+            ..s
+        };
+        let line = sick.render();
+        assert!(line.contains("2 FAILED"));
+        assert!(line.contains("1 retried"));
+        assert!(line.contains("3 quarantined"));
     }
 
     #[test]

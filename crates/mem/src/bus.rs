@@ -296,7 +296,7 @@ mod tests {
             }
         }
         // 100-cycle window / 20-cycle transfers -> ~6 fit, rest dropped.
-        assert!(granted >= 5 && granted <= 7, "granted={granted}");
+        assert!((5..=7).contains(&granted), "granted={granted}");
         assert!(dropped > 0);
         assert_eq!(bus.stats().dropped_for(MemClass::Prefetch), dropped);
     }

@@ -1,0 +1,158 @@
+//! Fault-injection prefetcher for harness resilience testing.
+//!
+//! A production-scale sweep must survive a misbehaving prefetcher: one
+//! panicking cell may not take down the other several hundred. The
+//! [`FaultPrefetcher`] is the controlled failure the harness's
+//! panic-isolation layer is tested against — it behaves like the null
+//! prefetcher until its trigger count, then panics inside the engine's
+//! miss hook, exactly where a buggy real prefetcher would.
+//!
+//! It is registered like any baseline ([`BaselineConfig::Fault`]) so
+//! fault cells flow through the full job pipeline — content hashing,
+//! dedup, worker pool, result store — rather than through a test-only
+//! side door. It never appears in any figure roster.
+//!
+//! [`BaselineConfig::Fault`]: crate::BaselineConfig
+
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
+
+/// Configuration of the injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Panic when more than this many misses have been observed
+    /// (0 = on the first miss).
+    pub panic_after_misses: u64,
+    /// Optional *fuse* token making the fault one-shot: the first
+    /// triggering run creates a fuse file (a token-derived path under
+    /// the temp directory, see [`FaultConfig::fuse_path`]) and panics;
+    /// any run that finds the file already present behaves like the
+    /// null prefetcher. This is how tests exercise the harness's
+    /// retry-once path deterministically (attempt 1 blows the fuse,
+    /// attempt 2 succeeds).
+    pub fuse_token: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A fault that panics unconditionally after `n` misses.
+    pub const fn panic_after(n: u64) -> Self {
+        FaultConfig {
+            panic_after_misses: n,
+            fuse_token: None,
+        }
+    }
+
+    /// A one-shot fault: panics after `n` misses unless the fuse file
+    /// for `token` already exists, creating it on the way down.
+    pub const fn one_shot(n: u64, token: u64) -> Self {
+        FaultConfig {
+            panic_after_misses: n,
+            fuse_token: Some(token),
+        }
+    }
+
+    /// The fuse file a one-shot fault checks and blows; `None` for an
+    /// unconditional fault. Callers owning a one-shot fault should
+    /// remove the file when done.
+    pub fn fuse_path(&self) -> Option<PathBuf> {
+        self.fuse_token
+            .map(|t| std::env::temp_dir().join(format!("ebcp-fault-fuse-{t:016x}")))
+    }
+}
+
+/// The injected-fault prefetcher. See the module docs.
+#[derive(Debug)]
+pub struct FaultPrefetcher {
+    config: FaultConfig,
+    misses: u64,
+}
+
+impl FaultPrefetcher {
+    /// Creates the fault with its trigger state at zero.
+    pub const fn new(config: FaultConfig) -> Self {
+        FaultPrefetcher { config, misses: 0 }
+    }
+
+    fn trip(&self) {
+        if let Some(fuse) = self.config.fuse_path() {
+            if fuse.exists() {
+                return; // fuse already blown: behave like NullPrefetcher
+            }
+            let _ = std::fs::write(fuse, b"blown");
+        }
+        panic!(
+            "injected fault: prefetcher panicked after {} misses",
+            self.misses
+        );
+    }
+}
+
+impl Prefetcher for FaultPrefetcher {
+    fn name(&self) -> &str {
+        "fault"
+    }
+
+    fn on_miss(&mut self, _info: &MissInfo, _out: &mut Vec<Action>) {
+        self.misses += 1;
+        if self.misses > self.config.panic_after_misses {
+            self.trip();
+        }
+    }
+
+    fn on_prefetch_hit(&mut self, _info: &PrefetchHitInfo, _out: &mut Vec<Action>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_types::{AccessKind, LineAddr, Pc};
+
+    fn miss() -> MissInfo {
+        MissInfo {
+            line: LineAddr::from_index(1),
+            pc: Pc::new(0x1000),
+            kind: AccessKind::Load,
+            epoch_trigger: true,
+            now: 0,
+            core: 0,
+        }
+    }
+
+    #[test]
+    fn panics_after_trigger_count() {
+        let mut p = FaultPrefetcher::new(FaultConfig::panic_after(2));
+        let mut out = Vec::new();
+        p.on_miss(&miss(), &mut out);
+        p.on_miss(&miss(), &mut out);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.on_miss(&miss(), &mut out)
+        }));
+        assert!(r.is_err(), "third miss must trip the fault");
+        assert!(out.is_empty(), "the fault never issues actions");
+    }
+
+    #[test]
+    fn blown_fuse_disarms_the_fault() {
+        let cfg = FaultConfig::one_shot(0, 0xF0F0_0000 ^ u64::from(std::process::id()));
+        let fuse = cfg.fuse_path().unwrap();
+        let _ = std::fs::remove_file(&fuse);
+        let mut out = Vec::new();
+
+        let mut p = FaultPrefetcher::new(cfg);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.on_miss(&miss(), &mut out)
+        }));
+        assert!(r.is_err(), "first run must panic");
+        assert!(fuse.exists(), "the panic must blow the fuse first");
+
+        let mut p2 = FaultPrefetcher::new(cfg);
+        for _ in 0..10 {
+            p2.on_miss(&miss(), &mut out);
+        }
+        assert!(out.is_empty());
+        let _ = std::fs::remove_file(&fuse);
+    }
+}

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod api;
+pub mod fault;
 pub mod ghb;
 pub mod mmtable;
 pub mod registry;
@@ -64,6 +65,7 @@ pub mod stream;
 pub mod tcp;
 
 pub use api::{Action, MissInfo, NullPrefetcher, PrefetchHitInfo, Prefetcher};
+pub use fault::{FaultConfig, FaultPrefetcher};
 pub use ghb::{GhbConfig, GhbPrefetcher};
 pub use mmtable::MainMemoryTable;
 pub use registry::BaselineConfig;

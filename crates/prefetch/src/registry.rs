@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::api::{NullPrefetcher, Prefetcher};
+use crate::fault::{FaultConfig, FaultPrefetcher};
 use crate::ghb::{GhbConfig, GhbPrefetcher};
 use crate::sms::{SmsConfig, SmsPrefetcher};
 use crate::solihin::{SolihinConfig, SolihinPrefetcher};
@@ -25,6 +26,9 @@ pub enum BaselineConfig {
     Sms(SmsConfig),
     /// Solihin memory-side correlation.
     Solihin(SolihinConfig),
+    /// Fault injection for harness resilience tests (never part of any
+    /// figure roster): behaves like [`NullPrefetcher`], then panics.
+    Fault(FaultConfig),
 }
 
 impl BaselineConfig {
@@ -57,6 +61,7 @@ impl BaselineConfig {
             BaselineConfig::Tcp(c) => Box::new(TcpPrefetcher::new(c).with_name(name)),
             BaselineConfig::Sms(c) => Box::new(SmsPrefetcher::new(c)),
             BaselineConfig::Solihin(c) => Box::new(SolihinPrefetcher::new(c).with_name(name)),
+            BaselineConfig::Fault(c) => Box::new(FaultPrefetcher::new(c)),
         }
     }
 
@@ -69,6 +74,7 @@ impl BaselineConfig {
             BaselineConfig::Tcp(c) => Box::new(TcpPrefetcher::new(c)),
             BaselineConfig::Sms(c) => Box::new(SmsPrefetcher::new(c)),
             BaselineConfig::Solihin(c) => Box::new(SolihinPrefetcher::new(c)),
+            BaselineConfig::Fault(c) => Box::new(FaultPrefetcher::new(c)),
         }
     }
 }

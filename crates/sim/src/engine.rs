@@ -549,11 +549,7 @@ impl Engine {
                         self.cycle = cycle;
                         self.issue_slots = slots as u32;
                         self.insts = insts;
-                        self.load_fill(
-                            line,
-                            Pc::new(ev.pc),
-                            ev.flags >> K_SHIFT == K_LOAD_FEEDS,
-                        );
+                        self.load_fill(line, Pc::new(ev.pc), ev.flags >> K_SHIFT == K_LOAD_FEEDS);
                         self.post_op();
                         *left = lleft - (gap_left + 1);
                         cur.idx += 1;
@@ -1322,7 +1318,7 @@ mod tests {
         let records: Vec<TraceRecord> = TraceGenerator::new(&spec, 11).take(60_000).collect();
         let cfg = tiny_cfg();
 
-        let mut stepped = Engine::new(cfg.clone(), Box::new(NullPrefetcher));
+        let mut stepped = Engine::new(cfg, Box::new(NullPrefetcher));
         for r in &records {
             stepped.step(r);
         }

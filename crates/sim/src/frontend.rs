@@ -188,7 +188,11 @@ impl FrontEnd {
                 if self.l1d.access_fill(line) {
                     (f_ifetch, 0)
                 } else {
-                    let k = if feeds_mispredict { K_LOAD_FEEDS } else { K_LOAD };
+                    let k = if feeds_mispredict {
+                        K_LOAD_FEEDS
+                    } else {
+                        K_LOAD
+                    };
                     (f_ifetch | (k << K_SHIFT), line.index())
                 }
             }

@@ -192,7 +192,10 @@ impl RunSpec {
         assert_eq!(
             (pre.l1i, pre.l1d),
             (self.sim.l1i, self.sim.l1d),
-            "pre-resolved stream L1 geometry mismatch"
+            "pre-resolved stream L1 geometry mismatch for {} x {}: the stream \
+             describes a different machine and must be rebuilt",
+            self.workload.name,
+            pf.name(),
         );
         let mut engine = Engine::new(self.sim, pf.build());
         let mut cur = ReplayCursor::default();
@@ -367,11 +370,8 @@ mod tests {
             "workload must exercise dependent-mispredict loads"
         );
         let base = assert_replay_identical(&spec, &trace, &PrefetcherSpec::None);
-        let ebcp = assert_replay_identical(
-            &spec,
-            &trace,
-            &PrefetcherSpec::Ebcp(EbcpConfig::tuned()),
-        );
+        let ebcp =
+            assert_replay_identical(&spec, &trace, &PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
         // The same stream really did diverge in the back end.
         assert!(ebcp.averted_load + ebcp.partial_hits > 0);
         assert_ne!(base.cycles, ebcp.cycles);

@@ -1,9 +1,11 @@
 //! Tier-1 tests for the experiment harness: job-hash stability
-//! (property-based), worker-count-independent determinism, and
-//! warm-cache incrementality.
+//! (property-based), worker-count-independent determinism, warm-cache
+//! incrementality, and fault tolerance (panic isolation, retry-once,
+//! corrupt-cache quarantine and self-heal).
 
 use ebcp::core::EbcpConfig;
-use ebcp::harness::{store, Harness, HarnessConfig, Job, ResultStore};
+use ebcp::harness::{store, Harness, HarnessConfig, Job, JobOutcome, ResultStore};
+use ebcp::prefetch::{BaselineConfig, FaultConfig};
 use ebcp::sim::{PrefetcherSpec, RunSpec, SimConfig, SimResult};
 use ebcp::trace::WorkloadSpec;
 use proptest::prelude::*;
@@ -161,5 +163,250 @@ fn warm_store_executes_zero_simulations() {
     for job in &jobs {
         assert!(store.load(job).is_some());
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance
+// ---------------------------------------------------------------------------
+
+fn sweep_spec(w: WorkloadSpec, seed: u64) -> RunSpec {
+    RunSpec {
+        workload: w.scaled(1, 32),
+        seed,
+        warmup_insts: 15_000,
+        measure_insts: 10_000,
+        sim: SimConfig::scaled_down(16),
+    }
+}
+
+/// A 3 workloads × 3 prefetchers sweep whose third column is the
+/// registered fault-injection prefetcher (panics on its first miss).
+fn faulty_sweep() -> Vec<Job> {
+    let fault = BaselineConfig::Fault(FaultConfig::panic_after(0));
+    let mut jobs = Vec::new();
+    for (i, w) in [
+        WorkloadSpec::database(),
+        WorkloadSpec::tpcw(),
+        WorkloadSpec::specjbb2005(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let spec = sweep_spec(w, 31 + i as u64);
+        jobs.push(Job::new(spec.clone(), PrefetcherSpec::None));
+        jobs.push(Job::new(
+            spec.clone(),
+            PrefetcherSpec::Ebcp(EbcpConfig::tuned()),
+        ));
+        jobs.push(Job::new(spec, PrefetcherSpec::baseline("fault", fault)));
+    }
+    jobs
+}
+
+/// The healthy 3×2 subset of [`faulty_sweep`], in the same order.
+fn healthy_subset(jobs: &[Job]) -> Vec<Job> {
+    jobs.iter()
+        .filter(|j| j.pf.name() != "fault")
+        .cloned()
+        .collect()
+}
+
+/// A panicking prefetcher in a 3×3 sweep fails exactly its own cells:
+/// the six sibling cells finish, match a clean run byte-for-byte, are
+/// persisted to the store, and `results.json` reports the three `Failed`
+/// records with their panic message.
+#[test]
+fn panicking_prefetcher_fails_only_its_own_cells() {
+    let dir = std::env::temp_dir().join(format!("ebcp-fault-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = faulty_sweep();
+
+    let h = Harness::new(HarnessConfig {
+        jobs: 4,
+        store_dir: Some(dir.clone()),
+        ..HarnessConfig::default()
+    });
+    let outcomes = h.run_outcomes(&jobs);
+
+    assert_eq!(outcomes.len(), jobs.len());
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        if job.pf.name() == "fault" {
+            let reason = outcome.failure().expect("fault cell must fail");
+            assert!(reason.contains("injected fault"), "{reason}");
+        } else {
+            assert!(
+                matches!(outcome, JobOutcome::Ok(_)),
+                "healthy cell {} must succeed",
+                job.label()
+            );
+        }
+    }
+    let s = h.summary();
+    assert_eq!(s.failed, 3, "exactly the three fault cells fail");
+    assert_eq!(s.retried, 0, "an unconditional fault never survives retry");
+    assert_eq!(h.failures().len(), 3);
+
+    // The sibling results are byte-identical to a clean (fault-free)
+    // run and were persisted to the store despite the failures.
+    let healthy = healthy_subset(&jobs);
+    let clean = Harness::serial().run(&healthy);
+    let store = ResultStore::open(&dir).unwrap();
+    for (job, want) in healthy.iter().zip(&clean) {
+        let sibling = outcomes[jobs.iter().position(|j| j == job).unwrap()]
+            .result()
+            .unwrap();
+        assert_eq!(sibling, want, "{}", job.label());
+        assert_eq!(
+            store.load(job).as_ref(),
+            Some(want),
+            "{} must be cached",
+            job.label()
+        );
+    }
+    // Failed cells leave no store entry to be mistaken for a result.
+    for job in jobs.iter().filter(|j| j.pf.name() == "fault") {
+        assert!(store.load(job).is_none());
+    }
+
+    // results.json carries the outcome of every cell.
+    let path = dir.join("results.json");
+    h.write_results_json(&path).unwrap();
+    let doc = ebcp::harness::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let recs = doc.get("jobs").unwrap().as_arr().unwrap();
+    assert_eq!(recs.len(), 9);
+    let failed: Vec<_> = recs
+        .iter()
+        .filter(|r| r.get("outcome").unwrap().as_str() == Some("failed"))
+        .collect();
+    assert_eq!(failed.len(), 3);
+    for rec in &failed {
+        assert_eq!(rec.get("prefetcher").unwrap().as_str(), Some("fault"));
+        assert!(rec
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("injected fault"));
+        assert!(rec.get("result").unwrap().is_null());
+    }
+    assert_eq!(
+        doc.get("summary").unwrap().get("failed").unwrap().as_u64(),
+        Some(3)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The strict entry point rejects a sweep with failures — after the
+/// whole batch ran — naming the failed cells in its panic message.
+#[test]
+fn strict_run_panics_naming_the_failed_cells() {
+    let jobs = faulty_sweep();
+    let h = Harness::new(HarnessConfig {
+        jobs: 2,
+        ..HarnessConfig::default()
+    });
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.run(&jobs)))
+        .expect_err("strict mode must reject the sweep");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("3 job(s) failed"), "{msg}");
+    assert!(msg.contains("database x fault"), "{msg}");
+    // The failure did not discard the siblings: they are memoized, so a
+    // follow-up healthy batch is served without re-execution.
+    let executed_before = h.summary().executed;
+    let _ = h.run(&healthy_subset(&jobs));
+    assert_eq!(h.summary().executed, executed_before);
+}
+
+/// A one-shot fault (fuse file) panics on the first attempt and
+/// succeeds on the harness's single retry: the outcome is `Retried`,
+/// the result matches the null prefetcher it degenerates to, and the
+/// record says so in `results.json`.
+#[test]
+fn one_shot_fault_survives_via_retry() {
+    let token = 0x51C4_F00D ^ u64::from(std::process::id());
+    let cfg = FaultConfig::one_shot(0, token);
+    let fuse = cfg.fuse_path().unwrap();
+    let _ = std::fs::remove_file(&fuse);
+
+    let spec = sweep_spec(WorkloadSpec::database(), 77);
+    let job = Job::new(
+        spec,
+        PrefetcherSpec::baseline("fault", BaselineConfig::Fault(cfg)),
+    );
+    let h = Harness::serial();
+    let outcomes = h.run_outcomes(std::slice::from_ref(&job));
+    let _ = std::fs::remove_file(&fuse);
+
+    let JobOutcome::Retried(_) = &outcomes[0] else {
+        panic!("expected a retried success, got {:?}", outcomes[0]);
+    };
+    let s = h.summary();
+    assert_eq!((s.retried, s.failed, s.executed), (1, 0, 1));
+
+    let dir = std::env::temp_dir().join(format!("ebcp-retry-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("results.json");
+    h.write_results_json(&path).unwrap();
+    let doc = ebcp::harness::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let rec = &doc.get("jobs").unwrap().as_arr().unwrap()[0];
+    assert_eq!(rec.get("outcome").unwrap().as_str(), Some("retried"));
+    assert!(rec.get("error").unwrap().is_null());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupting a cached result *and* a cached pre-resolved stream heals
+/// transparently: the harness quarantines both files, re-runs the jobs,
+/// overwrites the entries, and reproduces byte-identical results.
+#[test]
+fn corrupt_caches_self_heal_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("ebcp-heal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = HarnessConfig {
+        jobs: 2,
+        store_dir: Some(dir.clone()),
+        ..HarnessConfig::default()
+    };
+    let jobs = quick_jobs();
+    let a = Harness::new(cfg.clone()).run(&jobs);
+
+    // Tear one result entry (truncate mid-file: unparsable JSON) and
+    // truncate one stream (checksum mismatch).
+    let result_path = dir.join(format!("{}.json", jobs[0].id()));
+    let bytes = std::fs::read(&result_path).unwrap();
+    std::fs::write(&result_path, &bytes[..bytes.len() / 2]).unwrap();
+    let stream_path = ebcp::harness::preres::path_for(&dir, &jobs[0]);
+    let stream = std::fs::read(&stream_path).unwrap();
+    std::fs::write(&stream_path, &stream[..stream.len() - 7]).unwrap();
+    // Wipe the other result entries for the same workload so the healed
+    // stream is actually needed again (a disk result hit would skip it).
+    for job in &jobs {
+        if job.trace_key() == jobs[0].trace_key() && *job != jobs[0] {
+            let _ = std::fs::remove_file(dir.join(format!("{}.json", job.id())));
+        }
+    }
+
+    let healed = Harness::new(cfg);
+    let b = healed.run(&jobs);
+    assert_eq!(a, b, "healed results must be byte-identical");
+    let s = healed.summary();
+    assert!(
+        s.quarantined >= 2,
+        "both corrupt files must be quarantined, got {}",
+        s.quarantined
+    );
+    assert!(s.executed >= 1, "the corrupt cells must re-simulate");
+
+    // The corrupt bytes were preserved for post-mortem and the entries
+    // were overwritten with valid ones.
+    assert!(dir
+        .read_dir()
+        .unwrap()
+        .chain(dir.join("preres").read_dir().unwrap())
+        .filter_map(Result::ok)
+        .any(|e| e.path().to_string_lossy().ends_with(".corrupt")));
+    let store = ResultStore::open(&dir).unwrap();
+    assert!(store.load(&jobs[0]).is_some());
+    assert!(ebcp::harness::preres::load(&dir, &jobs[0]).is_some());
     let _ = std::fs::remove_dir_all(&dir);
 }
