@@ -5,6 +5,15 @@
 //!       [--scale quick|standard|full] [--csv] [--jobs N]
 //!       [--out-dir DIR] [--json] [--no-cache] [--keep-going]
 //!       [--check-baseline FILE]
+//! repro serve   [--addr HOST:PORT] [--unix PATH] [--jobs N] [--depth N]
+//!               [--out-dir DIR] [--no-cache]
+//! repro submit  --addr ADDR [--workloads a,b] [--prefetchers x,y]
+//!               [--scale S] [--out FILE] [--retries N]
+//! repro sweep   [--workloads a,b] [--prefetchers x,y] [--scale S]
+//!               [--jobs N] [--out FILE] [--out-dir DIR] [--no-cache]
+//! repro status --addr ADDR
+//! repro shutdown --addr ADDR
+//! repro bench-serve [--scale S] [--out-dir DIR]
 //! ```
 //!
 //! All simulations flow through one `Harness`: shared baselines run once
@@ -22,17 +31,27 @@
 //! writes `results.json` (failed cells carry `"outcome": "failed"` and
 //! the panic message), and exits with status 1. Exit status 2 means a
 //! usage error; 0 means every job succeeded.
+//!
+//! **Service mode.** `repro serve` runs the sweep daemon (stop it with
+//! SIGTERM or `repro shutdown`); `repro submit` sends a named grid to a
+//! daemon and writes a `results.json` byte-identical to `repro sweep`
+//! (the same grid run locally). Service commands exit `3` when the
+//! daemon is unreachable or the sweep stays refused; `1` keeps meaning
+//! failed cells.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use ebcp_bench::{experiments, report, throughput, Harness, HarnessConfig, Scale};
+use ebcp_bench::{experiments, report, service, throughput, Harness, HarnessConfig, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all|bench-throughput> \
          [--scale quick|standard|full] [--csv] [--jobs N] [--out-dir DIR] [--json] [--no-cache] \
-         [--keep-going] [--check-baseline FILE]"
+         [--keep-going] [--check-baseline FILE]\n\
+         \x20      repro <serve|submit|sweep|status|shutdown|bench-serve> \
+         [--addr HOST:PORT] [--unix PATH] [--depth N] [--workloads a,b] [--prefetchers x,y] \
+         [--out FILE] [--retries N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +67,13 @@ fn main() {
     let mut no_cache = false;
     let mut keep_going = false;
     let mut check_baseline: Option<PathBuf> = None;
+    let mut addr: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut depth = 1024usize;
+    let mut workloads: Vec<String> = Vec::new();
+    let mut prefetchers: Vec<String> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut retries = 5u32;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,12 +97,97 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| usage());
                 check_baseline = Some(PathBuf::from(v));
             }
+            "--addr" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                addr = Some(v.clone());
+            }
+            "--unix" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                unix = Some(PathBuf::from(v));
+            }
+            "--depth" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                depth = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--workloads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                workloads = service::parse_list(v);
+            }
+            "--prefetchers" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                prefetchers = service::parse_list(v);
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                out = Some(PathBuf::from(v));
+            }
+            "--retries" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                retries = v.parse().unwrap_or_else(|_| usage());
+            }
             s if what.is_none() && !s.starts_with('-') => what = Some(s.to_owned()),
             _ => usage(),
         }
     }
     let what = what.unwrap_or_else(|| usage());
     let t0 = Instant::now();
+
+    // Service commands: thin wrappers that exit with the returned code.
+    {
+        let grid = service::GridArgs {
+            workloads,
+            prefetchers,
+            scale,
+        };
+        let store_dir = || {
+            if no_cache {
+                None
+            } else {
+                Some(out_dir.join("jobs"))
+            }
+        };
+        let need_addr = || {
+            addr.clone().unwrap_or_else(|| {
+                eprintln!("error: {what} requires --addr (e.g. --addr 127.0.0.1:3772)");
+                std::process::exit(2);
+            })
+        };
+        let code = match what.as_str() {
+            "serve" => Some(service::cmd_serve(
+                addr.clone(),
+                unix.clone(),
+                jobs,
+                depth,
+                store_dir(),
+            )),
+            "submit" => {
+                let out = out.clone().unwrap_or_else(|| out_dir.join("results.json"));
+                Some(service::cmd_submit(
+                    &need_addr(),
+                    &grid.to_spec(),
+                    &out,
+                    retries,
+                ))
+            }
+            "sweep" => {
+                let out = out.clone().unwrap_or_else(|| out_dir.join("results.json"));
+                Some(service::cmd_sweep_local(
+                    &grid.to_spec(),
+                    jobs,
+                    store_dir(),
+                    &out,
+                ))
+            }
+            "status" => Some(service::cmd_status(&need_addr())),
+            "shutdown" => Some(service::cmd_shutdown(&need_addr())),
+            "bench-serve" => Some(service::bench_serve(&out_dir, scale)),
+            _ => None,
+        };
+        if let Some(code) = code {
+            eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+            std::process::exit(code);
+        }
+    }
 
     // Throughput is timing-sensitive: it bypasses the caching harness
     // (a memoized result has no wall time) and exits before the

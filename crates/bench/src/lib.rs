@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod report;
 pub mod scale;
+pub mod service;
 pub mod throughput;
 
 pub use ebcp_harness::{Harness, HarnessConfig, Job};

@@ -1,204 +1,9 @@
-//! Experiment scaling.
+//! Experiment scaling — re-exported from the harness, where the sweep
+//! service (`ebcp-serve`) shares it. Kept as a module so driver code
+//! and tests keep importing `ebcp_bench::scale::Scale` unchanged.
 
-use ebcp_prefetch::{BaselineConfig, GhbConfig, SmsConfig, SolihinConfig, StreamConfig, TcpConfig};
-use ebcp_sim::{RunSpec, SimConfig};
-use ebcp_trace::WorkloadSpec;
+pub use ebcp_harness::scale::Scale;
 
-// Trace delivery lives in the harness now (budgeted materialize-vs-
+// Trace delivery lives in the harness too (budgeted materialize-vs-
 // stream); re-exported here for source compatibility.
 pub use ebcp_harness::TraceSource;
-
-/// How large an experiment to run.
-///
-/// `den` divides the machine's caches, the workload footprints and every
-/// capacity-class predictor table; warm-up and measurement lengths are
-/// expressed in tenths of the workload's recurrence interval (warm-up
-/// needs ~3.5 intervals for correlation tables to mature).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Scale {
-    /// Scale denominator (1 = the paper's full machine).
-    pub den: u64,
-    /// Warm-up, in tenths of the recurrence interval.
-    pub warm_tenths: u64,
-    /// Measurement, in tenths of the recurrence interval.
-    pub measure_tenths: u64,
-    /// Trace seed.
-    pub seed: u64,
-}
-
-impl Scale {
-    /// Fast CI-sized runs (1/16 machine).
-    pub const fn quick() -> Self {
-        Scale {
-            den: 16,
-            warm_tenths: 35,
-            measure_tenths: 10,
-            seed: 11,
-        }
-    }
-
-    /// The default reporting scale (1/4 machine, ~minutes for the full
-    /// suite on one core).
-    pub const fn standard() -> Self {
-        Scale {
-            den: 4,
-            warm_tenths: 35,
-            measure_tenths: 10,
-            seed: 11,
-        }
-    }
-
-    /// The paper's full 2 MB-L2 machine (long runs, streamed traces).
-    pub const fn full() -> Self {
-        Scale {
-            den: 1,
-            warm_tenths: 35,
-            measure_tenths: 10,
-            seed: 11,
-        }
-    }
-
-    /// Parses a scale name.
-    pub fn parse(name: &str) -> Option<Self> {
-        match name {
-            "quick" => Some(Self::quick()),
-            "standard" => Some(Self::standard()),
-            "full" => Some(Self::full()),
-            _ => None,
-        }
-    }
-
-    /// The four workload presets at this scale.
-    pub fn workloads(&self) -> Vec<WorkloadSpec> {
-        WorkloadSpec::all_presets()
-            .into_iter()
-            .map(|w| w.scaled(1, self.den as usize))
-            .collect()
-    }
-
-    /// The machine at this scale.
-    pub fn machine(&self) -> SimConfig {
-        SimConfig::scaled_down(self.den)
-    }
-
-    /// Builds the run specification for one workload.
-    pub fn run_spec(&self, w: &WorkloadSpec, sim: SimConfig) -> RunSpec {
-        let interval = w.recurrence_interval();
-        RunSpec {
-            workload: w.clone(),
-            seed: self.seed,
-            warmup_insts: interval * self.warm_tenths / 10,
-            measure_insts: interval * self.measure_tenths / 10,
-            sim,
-        }
-    }
-
-    /// Divides a table-entry count by the scale denominator (minimum 1K).
-    pub fn entries(&self, full_scale: u64) -> u64 {
-        (full_scale / self.den).max(1 << 10)
-    }
-
-    /// The Figure 9 baseline roster with capacity-class tables scaled.
-    pub fn figure9_roster(&self) -> Vec<(&'static str, BaselineConfig)> {
-        let d = self.den as usize;
-        let l1_sets = ((32 << 10) / self.den / 64 / 4).max(16);
-        vec![
-            (
-                "ghb-small",
-                BaselineConfig::Ghb(GhbConfig {
-                    index_entries: ((16 << 10) / d).max(1 << 9),
-                    ghb_entries: ((16 << 10) / d).max(1 << 9),
-                    ..GhbConfig::small()
-                }),
-            ),
-            (
-                "ghb-large",
-                BaselineConfig::Ghb(GhbConfig {
-                    index_entries: ((256 << 10) / d).max(1 << 10),
-                    ghb_entries: ((256 << 10) / d).max(1 << 10),
-                    ..GhbConfig::large()
-                }),
-            ),
-            (
-                "tcp-small",
-                BaselineConfig::Tcp(TcpConfig {
-                    l1_sets,
-                    pht_sets: (2048 / d).max(64),
-                    ..TcpConfig::small()
-                }),
-            ),
-            (
-                "tcp-large",
-                BaselineConfig::Tcp(TcpConfig {
-                    l1_sets,
-                    pht_sets: ((32 << 10) / d).max(256),
-                    ..TcpConfig::large()
-                }),
-            ),
-            ("stream", BaselineConfig::Stream(StreamConfig::default())),
-            (
-                "sms",
-                BaselineConfig::Sms(SmsConfig {
-                    pht_entries: ((16 << 10) / d).max(1 << 9),
-                    ..SmsConfig::default()
-                }),
-            ),
-            (
-                "solihin-3,2",
-                BaselineConfig::Solihin(SolihinConfig {
-                    entries: self.entries(1 << 20),
-                    ..SolihinConfig::original()
-                }),
-            ),
-            (
-                "solihin-6,1",
-                BaselineConfig::Solihin(SolihinConfig {
-                    entries: self.entries(1 << 20),
-                    ..SolihinConfig::deep()
-                }),
-            ),
-        ]
-    }
-}
-
-impl Default for Scale {
-    fn default() -> Self {
-        Self::standard()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parse_names() {
-        assert_eq!(Scale::parse("quick"), Some(Scale::quick()));
-        assert_eq!(Scale::parse("standard"), Some(Scale::standard()));
-        assert_eq!(Scale::parse("full"), Some(Scale::full()));
-        assert_eq!(Scale::parse("bogus"), None);
-    }
-
-    #[test]
-    fn workloads_scaled() {
-        let s = Scale::standard();
-        for w in s.workloads() {
-            assert!(w.templates > 0);
-        }
-        assert_eq!(s.machine().l2.size_bytes(), (2 << 20) / 4);
-    }
-
-    #[test]
-    fn entries_floor() {
-        let s = Scale {
-            den: 1 << 30,
-            ..Scale::quick()
-        };
-        assert_eq!(s.entries(1 << 20), 1 << 10);
-    }
-
-    #[test]
-    fn roster_has_eight_baselines() {
-        assert_eq!(Scale::standard().figure9_roster().len(), 8);
-    }
-}

@@ -1,0 +1,378 @@
+//! CLI glue for the sweep service: `repro serve|submit|status|shutdown|
+//! sweep|bench-serve`.
+//!
+//! Each command returns a process exit code rather than calling
+//! `exit()` itself, so `repro` keeps one place that terminates. Codes:
+//! `0` success, `1` failed sweep cells, `3` daemon unreachable or the
+//! sweep was refused after every retry (`2` stays the usage-error code,
+//! assigned by `repro` itself).
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ebcp_harness::{write_doc, Harness, HarnessConfig, QueueConfig, Scale, Value};
+use ebcp_serve::{Client, Server, ServerConfig, SweepOutcome, SweepSpec};
+
+/// The sweep grid named on the command line.
+#[derive(Debug, Clone)]
+pub struct GridArgs {
+    /// Comma-separated workload preset names; empty means all four.
+    pub workloads: Vec<String>,
+    /// Comma-separated prefetcher names; empty means `none,ebcp`.
+    pub prefetchers: Vec<String>,
+    /// Experiment scale.
+    pub scale: Scale,
+}
+
+impl GridArgs {
+    /// Resolves defaults into a concrete sweep.
+    pub fn to_spec(&self) -> SweepSpec {
+        let workloads = if self.workloads.is_empty() {
+            vec![
+                "database".into(),
+                "tpcw".into(),
+                "specjbb2005".into(),
+                "specjappserver2004".into(),
+            ]
+        } else {
+            self.workloads.clone()
+        };
+        let prefetchers = if self.prefetchers.is_empty() {
+            vec!["none".into(), "ebcp".into()]
+        } else {
+            self.prefetchers.clone()
+        };
+        SweepSpec {
+            workloads,
+            prefetchers,
+            scale: self.scale,
+        }
+    }
+}
+
+/// Splits a `--workloads a,b,c` style list.
+pub fn parse_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+fn harness(jobs: usize, store_dir: Option<PathBuf>) -> Harness {
+    Harness::new(HarnessConfig {
+        jobs,
+        store_dir,
+        progress: false,
+        ..HarnessConfig::default()
+    })
+}
+
+/// `repro serve`: bind, print the endpoints, and run until SIGTERM,
+/// SIGINT or a client's `shutdown` command. Queued jobs drain before
+/// exit.
+pub fn cmd_serve(
+    addr: Option<String>,
+    unix: Option<PathBuf>,
+    jobs: usize,
+    depth: usize,
+    store_dir: Option<PathBuf>,
+) -> i32 {
+    let cfg = ServerConfig {
+        // An explicit --unix with no --addr serves the socket alone.
+        tcp: match (&addr, &unix) {
+            (Some(a), _) => Some(a.clone()),
+            (None, Some(_)) => None,
+            (None, None) => ServerConfig::default().tcp,
+        },
+        unix,
+        queue: QueueConfig {
+            depth,
+            ..QueueConfig::default()
+        },
+    };
+    let server = match Server::bind(std::sync::Arc::new(harness(jobs, store_dir)), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not bind: {e}");
+            return 3;
+        }
+    };
+    if let Some(a) = server.tcp_addr() {
+        eprintln!("# listening on tcp:{a}");
+    }
+    eprintln!("# serving; stop with SIGTERM or `repro shutdown`");
+    match server.run() {
+        Ok(()) => {
+            eprintln!("# drained and stopped");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            3
+        }
+    }
+}
+
+fn connect(addr: &str) -> Result<Client, i32> {
+    Client::connect(addr).map_err(|e| {
+        eprintln!("error: could not connect to {addr}: {e}");
+        3
+    })
+}
+
+fn narrate(ev: &Value) {
+    let kind = ev.get("kind").and_then(Value::as_str).unwrap_or("");
+    let label = ev.get("label").and_then(Value::as_str).unwrap_or("?");
+    match kind {
+        "job_started" => eprintln!("# started  {label}"),
+        "job_finished" => {
+            let ms = ev.get("wall_ms").and_then(Value::as_u64).unwrap_or(0);
+            eprintln!("# finished {label} ({ms} ms)");
+        }
+        "job_retried" => eprintln!("# retried  {label}"),
+        "job_failed" => eprintln!("# FAILED   {label}"),
+        "cache_quarantined" => {
+            let path = ev.get("path").and_then(Value::as_str).unwrap_or("?");
+            eprintln!("# quarantined cache entry {path}");
+        }
+        _ => {}
+    }
+}
+
+/// `repro submit`: send the sweep, stream progress to stderr, write the
+/// assembled `results.json` (byte-identical to a local `repro sweep` of
+/// the same grid) to `out`. Backpressure refusals are retried up to
+/// `retries` times, honouring the daemon's back-off hint.
+pub fn cmd_submit(addr: &str, spec: &SweepSpec, out: &Path, retries: u32) -> i32 {
+    let mut client = match connect(addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let mut attempt = 0;
+    loop {
+        let outcome = match client.submit(spec, |ev| {
+            if ev.get("event").and_then(Value::as_str) == Some("telemetry") {
+                narrate(ev);
+            }
+        }) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: submit failed: {e}");
+                return 3;
+            }
+        };
+        match outcome {
+            SweepOutcome::Done { results, failed } => {
+                if let Err(e) = write_doc(out, &results) {
+                    eprintln!("error: could not write {}: {e}", out.display());
+                    return 3;
+                }
+                eprintln!("# results: {}", out.display());
+                if failed > 0 {
+                    eprintln!("error: {failed} cell(s) failed");
+                    return 1;
+                }
+                return 0;
+            }
+            SweepOutcome::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                if attempt >= retries {
+                    eprintln!("error: sweep refused after {attempt} retr(ies): {reason}");
+                    return 3;
+                }
+                attempt += 1;
+                eprintln!("# refused ({reason}); retry {attempt}/{retries} in {retry_after_ms} ms");
+                std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+            }
+        }
+    }
+}
+
+/// `repro status`: one line on stdout.
+pub fn cmd_status(addr: &str) -> i32 {
+    let mut client = match connect(addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.status() {
+        Ok(st) => {
+            println!(
+                "queued {} / depth {}, running {}, clients {}, completed {}, warm streams {}",
+                st.queued, st.depth, st.running, st.clients, st.completed, st.warm_streams
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: status failed: {e}");
+            3
+        }
+    }
+}
+
+/// `repro shutdown`: ask the daemon to drain and exit.
+pub fn cmd_shutdown(addr: &str) -> i32 {
+    let mut client = match connect(addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.shutdown() {
+        Ok(()) => {
+            eprintln!("# daemon shutting down");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: shutdown failed: {e}");
+            3
+        }
+    }
+}
+
+/// `repro sweep`: the same grid run in-process — the local half of the
+/// byte-identity contract `repro submit` is tested against.
+pub fn cmd_sweep_local(
+    spec: &SweepSpec,
+    jobs: usize,
+    store_dir: Option<PathBuf>,
+    out: &Path,
+) -> i32 {
+    let jobs_vec = match spec.jobs() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let h = harness(jobs, store_dir);
+    let outcomes = h.run_outcomes(&jobs_vec);
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    if let Err(e) = h.write_results_json(out) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        return 3;
+    }
+    eprintln!("# results: {}", out.display());
+    eprintln!("# {}", h.summary().render());
+    if failed > 0 {
+        eprintln!("error: {failed} cell(s) failed");
+        return 1;
+    }
+    0
+}
+
+/// `repro bench-serve`: measures warm-cache submit latency against an
+/// in-process daemon and writes `<out-dir>/BENCH_serve.json`.
+///
+/// The sweep is submitted once cold (populating the memo), then
+/// `WARM_SUBMITS` more times; each warm submit performs zero
+/// simulations, so its wall time is pure service overhead — queueing,
+/// memo lookups, streaming and client-side reassembly.
+pub fn bench_serve(out_dir: &Path, scale: Scale) -> i32 {
+    const WARM_SUBMITS: usize = 30;
+    let spec = SweepSpec {
+        workloads: vec!["database".into(), "tpcw".into()],
+        prefetchers: vec!["none".into(), "stream".into()],
+        scale,
+    };
+    let server = match Server::bind(
+        std::sync::Arc::new(harness(0, None)),
+        ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+            queue: QueueConfig::default(),
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not bind: {e}");
+            return 3;
+        }
+    };
+    let addr = format!(
+        "tcp:{}",
+        server.tcp_addr().expect("server bound a tcp listener")
+    );
+    let runner = {
+        let s = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || s.run())
+    };
+
+    let mut client = match connect(&addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let submit_once = |client: &mut Client| -> Result<Duration, i32> {
+        let t = Instant::now();
+        match client.submit(&spec, |_| {}) {
+            Ok(SweepOutcome::Done { failed: 0, .. }) => Ok(t.elapsed()),
+            Ok(other) => {
+                eprintln!("error: bench sweep did not complete cleanly: {other:?}");
+                Err(1)
+            }
+            Err(e) => {
+                eprintln!("error: bench submit failed: {e}");
+                Err(3)
+            }
+        }
+    };
+
+    let cold = match submit_once(&mut client) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let executed = server.service().harness().summary().executed;
+    let mut warm_ms: Vec<f64> = Vec::with_capacity(WARM_SUBMITS);
+    for _ in 0..WARM_SUBMITS {
+        match submit_once(&mut client) {
+            Ok(d) => warm_ms.push(d.as_secs_f64() * 1e3),
+            Err(code) => return code,
+        }
+    }
+    if server.service().harness().summary().executed != executed {
+        eprintln!("error: warm submits re-simulated cells; the memo is broken");
+        return 1;
+    }
+    let _ = client.shutdown();
+    let _ = runner.join();
+
+    warm_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| warm_ms[((warm_ms.len() - 1) as f64 * p).round() as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    println!(
+        "bench-serve: {} cells; cold {:.1} ms, warm submit p50 {p50:.2} ms / p99 {p99:.2} ms \
+         over {WARM_SUBMITS} submits",
+        spec.workloads.len() * spec.prefetchers.len(),
+        cold.as_secs_f64() * 1e3,
+    );
+    let doc = Value::Obj(vec![
+        (
+            "scale".into(),
+            Value::Obj(vec![
+                ("den".into(), Value::Int(scale.den)),
+                ("warm_tenths".into(), Value::Int(scale.warm_tenths)),
+                ("measure_tenths".into(), Value::Int(scale.measure_tenths)),
+                ("seed".into(), Value::Int(scale.seed)),
+            ]),
+        ),
+        (
+            "cells".into(),
+            Value::Int((spec.workloads.len() * spec.prefetchers.len()) as u64),
+        ),
+        ("warm_submits".into(), Value::Int(WARM_SUBMITS as u64)),
+        ("cold_ms".into(), Value::Num(cold.as_secs_f64() * 1e3)),
+        ("warm_p50_ms".into(), Value::Num(p50)),
+        ("warm_p99_ms".into(), Value::Num(p99)),
+    ]);
+    let path = out_dir.join("BENCH_serve.json");
+    match write_doc(&path, &doc) {
+        Ok(()) => {
+            eprintln!("# wrote {}", path.display());
+            0
+        }
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            3
+        }
+    }
+}

@@ -72,13 +72,22 @@ fn corrupt_store_entry_heals_without_changing_table1() {
     let cold = Harness::new(cfg.clone());
     let rows = experiments::table1(&cold, tiny());
 
-    // Tear one cached result (any jobs/<id>.json entry).
-    let victim = std::fs::read_dir(&dir)
-        .unwrap()
-        .filter_map(Result::ok)
-        .map(|e| e.path())
-        .find(|p| p.extension().is_some_and(|e| e == "json"))
-        .expect("the cold run must have cached entries");
+    // Tear one cached result (any <shard>/<id>.json entry — the store
+    // shards entries into two-hex-prefix subdirectories).
+    fn find_json(dir: &std::path::Path) -> Option<std::path::PathBuf> {
+        for entry in std::fs::read_dir(dir).ok()?.filter_map(Result::ok) {
+            let p = entry.path();
+            if p.is_dir() {
+                if let Some(found) = find_json(&p) {
+                    return Some(found);
+                }
+            } else if p.extension().is_some_and(|e| e == "json") {
+                return Some(p);
+            }
+        }
+        None
+    }
+    let victim = find_json(&dir).expect("the cold run must have cached entries");
     let bytes = std::fs::read(&victim).unwrap();
     std::fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap();
 

@@ -15,8 +15,13 @@
 //!   memory — and disk-cached under `preres/`);
 //! - **caches** results on disk ([`ResultStore`]), making re-runs
 //!   incremental across processes;
-//! - **reports** progress and throughput over a telemetry channel, and
-//!   writes a consolidated machine-readable `results.json`;
+//! - **reports** progress and throughput over a telemetry channel,
+//!   republishing every event on a harness-lifetime [`EventBus`] (the
+//!   seam the sweep service streams live telemetry through), and writes
+//!   machine-readable artifacts: a *deterministic* `results.json`
+//!   (byte-identical for any worker count, cache state, or transport —
+//!   see [`results_doc`]) and a volatile `telemetry.json` (timings,
+//!   rates, cache provenance);
 //! - **isolates faults**: a job whose simulation panics is caught
 //!   ([`std::panic::catch_unwind`]), retried once, and — if it fails
 //!   again — recorded as [`JobOutcome::Failed`] without disturbing its
@@ -60,6 +65,8 @@
 pub mod job;
 pub mod json;
 pub mod preres;
+pub mod queue;
+pub mod scale;
 pub mod source;
 pub mod store;
 pub mod telemetry;
@@ -76,9 +83,11 @@ use ebcp_sim::SimResult;
 
 pub use crate::job::{fnv1a64, Job, JobId};
 pub use crate::json::Value;
+pub use crate::queue::{JobService, QueueConfig, ServiceStatus, SubmitError};
+pub use crate::scale::Scale;
 pub use crate::source::{TraceSource, DEFAULT_MEM_BUDGET_BYTES};
 pub use crate::store::{CacheRead, ResultStore};
-pub use crate::telemetry::{Event, Progress, ResultSource, RunSummary};
+pub use crate::telemetry::{Event, EventBus, Progress, ResultSource, RunSummary};
 
 /// Poison-recovering lock. A panic inside a worker is caught and
 /// converted to a [`JobOutcome::Failed`], but if one ever unwinds while
@@ -87,7 +96,7 @@ pub use crate::telemetry::{Event, Progress, ResultSource, RunSummary};
 /// append-only output slots, counters) is still perfectly valid: no
 /// invariant spans a critical section here. Recovering instead of
 /// propagating keeps one crashed job from aborting the whole sweep.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -233,6 +242,15 @@ pub struct Harness {
     memo: Mutex<HashMap<JobId, JobOutcome>>,
     records: Mutex<Vec<JobRecord>>,
     counters: Mutex<Counters>,
+    /// Pre-resolved event streams, keyed by [`Job::pre_key`] and shared
+    /// across batches for the harness's whole lifetime — in the sweep
+    /// daemon, this is the warm cache that makes a repeat sweep's front
+    /// end free. One stream is built (or disk-loaded) exactly once: the
+    /// first worker to need it initializes the `OnceLock` while others
+    /// block on `get_or_init`, then all share the `Arc`.
+    pres: Mutex<HashMap<u64, Arc<OnceLock<Arc<PreResolved>>>>>,
+    /// Fan-out republisher for telemetry [`Event`]s.
+    bus: EventBus,
 }
 
 impl Harness {
@@ -264,6 +282,8 @@ impl Harness {
             memo: Mutex::new(HashMap::new()),
             records: Mutex::new(Vec::new()),
             counters: Mutex::new(Counters::default()),
+            pres: Mutex::new(HashMap::new()),
+            bus: EventBus::new(),
         }
     }
 
@@ -285,6 +305,28 @@ impl Harness {
     /// The on-disk store directory, if caching is active.
     pub fn store_dir(&self) -> Option<&Path> {
         self.store.as_ref().map(ResultStore::dir)
+    }
+
+    /// The harness's telemetry bus. Subscribe to receive a copy of
+    /// every [`Event`] from every batch this harness runs.
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// The already-known outcome for `job`, if the in-process memo has
+    /// one — no disk probe, no execution. The sweep service's submit
+    /// fast path: warm cells answer instantly without entering the
+    /// queue.
+    pub fn cached_outcome(&self, job: &Job) -> Option<JobOutcome> {
+        lock(&self.memo).get(&job.id()).cloned()
+    }
+
+    /// Pre-resolved streams currently held warm (distinct pre-keys).
+    pub fn warm_streams(&self) -> usize {
+        lock(&self.pres)
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
     }
 
     /// Resolves a batch of jobs, returning results in submission order.
@@ -393,13 +435,14 @@ impl Harness {
                             }
                             CacheRead::Quarantined { path, reason } => {
                                 c.quarantined += 1;
+                                let path = path.display().to_string();
                                 if self.cfg.progress {
                                     eprintln!(
-                                        "warning: quarantined corrupt cache entry {} \
-                                         ({reason}); re-running",
-                                        path.display()
+                                        "warning: quarantined corrupt cache entry {path} \
+                                         ({reason}); re-running"
                                     );
                                 }
+                                self.bus.publish(&Event::CacheQuarantined { path, reason });
                                 pending.push((records.len(), job));
                                 ResultSource::Executed
                             }
@@ -456,12 +499,11 @@ impl Harness {
     fn execute(&self, pending: &[(usize, &Job)]) {
         let workers = self.workers.min(pending.len()).max(1);
 
-        // One stream per pre-key, built exactly once: the first worker
-        // to need it initializes the OnceLock while any others block on
-        // get_or_init, then all share the Arc. If the initializer
-        // panics, the cell stays uninitialized, so a retry (or a
-        // sibling job on the same key) rebuilds it from scratch.
-        let pres: Mutex<HashMap<u64, Arc<OnceLock<Arc<PreResolved>>>>> = Mutex::new(HashMap::new());
+        // Streams come from the harness-lifetime `pres` map (see the
+        // field docs). If an initializer panics, the cell stays
+        // uninitialized, so a retry (or a sibling job on the same key)
+        // rebuilds it from scratch.
+        let pres = &self.pres;
         let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
         type Slot = Result<(SimResult, u64, f64, bool), String>;
         let outputs: Mutex<Vec<Option<Slot>>> = Mutex::new(vec![None; pending.len()]);
@@ -470,7 +512,7 @@ impl Harness {
         std::thread::scope(|s| {
             for _ in 0..workers {
                 let tx = tx.clone();
-                let (pres, queue, outputs) = (&pres, &queue, &outputs);
+                let (queue, outputs) = (&queue, &outputs);
                 s.spawn(move || loop {
                     let Some(i) = lock(queue).pop_front() else {
                         break;
@@ -545,15 +587,17 @@ impl Harness {
                 });
             }
             drop(tx);
-            // The submitting thread renders progress and tallies the
-            // resilience events (the per-slot data only says *that* a
-            // job was retried, not how many quarantines it healed).
+            // The submitting thread renders progress, republishes every
+            // event on the bus, and tallies the resilience events (the
+            // per-slot data only says *that* a job was retried, not how
+            // many quarantines it healed).
             let mut progress = Progress::new(self.cfg.progress, pending.len());
             let mut quarantined = 0usize;
             for ev in rx {
                 if let Event::CacheQuarantined { .. } = &ev {
                     quarantined += 1;
                 }
+                self.bus.publish(&ev);
                 progress.handle(&ev);
             }
             progress.finish();
@@ -677,16 +721,46 @@ impl Harness {
         }
     }
 
-    /// Writes the consolidated `results.json`: the run summary plus one
-    /// entry per unique job (submission order) with its telemetry and
-    /// full result.
+    /// The deterministic [`ResultRow`]s for everything resolved so far,
+    /// in first-submission order — the input to [`results_doc`].
+    pub fn result_rows(&self) -> Vec<ResultRow> {
+        let memo = lock(&self.memo);
+        lock(&self.records)
+            .iter()
+            .map(|rec| ResultRow {
+                id: rec.id,
+                workload: rec.workload.clone(),
+                prefetcher: rec.prefetcher.clone(),
+                outcome: memo[&rec.id].clone(),
+            })
+            .collect()
+    }
+
+    /// Writes the **deterministic** `results.json`: per unique job
+    /// (submission order) its identity, outcome and full result —
+    /// nothing that varies with worker count, cache temperature, wall
+    /// clock, or transport. A sweep submitted to a warm daemon writes
+    /// the same bytes as a cold local run. Timings and cache provenance
+    /// go to [`Harness::write_telemetry_json`] instead.
     ///
     /// # Errors
     ///
     /// Propagates file-system failures.
     pub fn write_results_json(&self, path: &Path) -> io::Result<()> {
+        let submitted = lock(&self.counters).submitted;
+        write_doc(path, &results_doc(submitted, &self.result_rows()))
+    }
+
+    /// Writes the **volatile** `telemetry.json` companion: the full run
+    /// summary (hit counts, wall clock, throughput) plus per-job cache
+    /// provenance and timing. Everything results.json deliberately
+    /// omits to stay deterministic lands here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn write_telemetry_json(&self, path: &Path) -> io::Result<()> {
         let summary = self.summary();
-        let memo = lock(&self.memo);
         let records = lock(&self.records);
         let jobs: Vec<Value> = records
             .iter()
@@ -698,24 +772,12 @@ impl Harness {
                     ("source".into(), Value::Str(rec.source.tag().into())),
                     ("outcome".into(), Value::Str(rec.outcome_tag().into())),
                     (
-                        "error".into(),
-                        rec.error
-                            .as_ref()
-                            .map_or(Value::Null, |e| Value::Str(e.clone())),
-                    ),
-                    (
                         "wall_ms".into(),
                         rec.wall_ms.map_or(Value::Null, Value::Int),
                     ),
                     (
                         "insts_per_sec".into(),
                         rec.insts_per_sec.map_or(Value::Null, Value::Num),
-                    ),
-                    (
-                        "result".into(),
-                        memo.get(&rec.id)
-                            .and_then(JobOutcome::result)
-                            .map_or(Value::Null, store::result_to_json),
                     ),
                 ])
             })
@@ -745,13 +807,88 @@ impl Harness {
             ),
             ("jobs".into(), Value::Arr(jobs)),
         ]);
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, doc.to_json_pretty())
+        write_doc(path, &doc)
     }
+}
+
+/// One deterministic `results.json` row: a unique job's identity and
+/// outcome, nothing volatile.
+#[derive(Debug, Clone)]
+pub struct ResultRow {
+    /// Content hash of the job.
+    pub id: JobId,
+    /// Workload preset name.
+    pub workload: String,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// How the job ended. [`JobOutcome::Retried`] renders as `"ok"` —
+    /// whether a cell needed its second attempt is timing, not result.
+    pub outcome: JobOutcome,
+}
+
+/// Renders the deterministic results document from per-job rows.
+///
+/// This is the **single** renderer behind `results.json`: local `repro`
+/// runs call it through [`Harness::write_results_json`], and the sweep
+/// service's client assembles the rows it streamed back and calls it
+/// directly — which is what makes `repro submit` byte-identical to a
+/// local run of the same sweep.
+pub fn results_doc(submitted: usize, rows: &[ResultRow]) -> Value {
+    let failed = rows.iter().filter(|r| r.outcome.is_failed()).count();
+    let jobs: Vec<Value> = rows
+        .iter()
+        .map(|row| {
+            Value::Obj(vec![
+                ("id".into(), Value::Str(row.id.to_string())),
+                ("workload".into(), Value::Str(row.workload.clone())),
+                ("prefetcher".into(), Value::Str(row.prefetcher.clone())),
+                (
+                    "outcome".into(),
+                    Value::Str(
+                        if row.outcome.is_failed() {
+                            "failed"
+                        } else {
+                            "ok"
+                        }
+                        .into(),
+                    ),
+                ),
+                (
+                    "error".into(),
+                    row.outcome
+                        .failure()
+                        .map_or(Value::Null, |e| Value::Str(e.into())),
+                ),
+                (
+                    "result".into(),
+                    row.outcome
+                        .result()
+                        .map_or(Value::Null, store::result_to_json),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        (
+            "summary".into(),
+            Value::Obj(vec![
+                ("submitted".into(), Value::Int(submitted as u64)),
+                ("unique".into(), Value::Int(rows.len() as u64)),
+                ("failed".into(), Value::Int(failed as u64)),
+            ]),
+        ),
+        ("jobs".into(), Value::Arr(jobs)),
+    ])
+}
+
+/// Writes a pretty-printed JSON document, creating parent directories.
+pub fn write_doc(path: &Path, doc: &Value) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.to_json_pretty())
 }
 
 #[cfg(test)]
@@ -835,11 +972,12 @@ mod tests {
         assert!(p.is_file(), "stream must be cached at {}", p.display());
         // A fresh harness with the results wiped but streams kept must
         // still execute (results gone) — from the cached stream — and
-        // agree byte-for-byte.
+        // agree byte-for-byte. Result entries live in 2-hex shard
+        // subdirectories; streams live under `preres/`.
         for entry in std::fs::read_dir(&dir).unwrap() {
             let path = entry.unwrap().path();
-            if path.is_file() {
-                std::fs::remove_file(path).unwrap();
+            if path.is_dir() && path.file_name().is_some_and(|n| n != "preres") {
+                std::fs::remove_dir_all(path).unwrap();
             }
         }
         let h2 = Harness::new(cfg);
@@ -920,16 +1058,16 @@ mod tests {
         h.write_results_json(&path).unwrap();
         let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(doc.get("jobs").unwrap().as_arr().unwrap().len(), 2);
-        assert_eq!(
-            doc.get("summary")
-                .unwrap()
-                .get("executed")
-                .unwrap()
-                .as_u64(),
-            Some(2)
-        );
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("submitted").unwrap().as_u64(), Some(3));
+        assert_eq!(summary.get("unique").unwrap().as_u64(), Some(2));
+        assert_eq!(summary.get("failed").unwrap().as_u64(), Some(0));
         let first = &doc.get("jobs").unwrap().as_arr().unwrap()[0];
-        assert_eq!(first.get("source").unwrap().as_str(), Some("run"));
+        assert_eq!(first.get("outcome").unwrap().as_str(), Some("ok"));
+        assert!(
+            first.get("source").is_none(),
+            "cache provenance is telemetry, not a result"
+        );
         assert!(
             first
                 .get("result")
@@ -939,6 +1077,48 @@ mod tests {
                 .as_u64()
                 .unwrap()
                 > 0
+        );
+
+        // The volatile companion carries provenance and timing.
+        let tpath = dir.join("telemetry.json");
+        h.write_telemetry_json(&tpath).unwrap();
+        let tdoc = json::parse(&std::fs::read_to_string(&tpath).unwrap()).unwrap();
+        assert_eq!(
+            tdoc.get("summary")
+                .unwrap()
+                .get("executed")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        let tfirst = &tdoc.get("jobs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(tfirst.get("source").unwrap().as_str(), Some("run"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// results.json must not depend on where results came from: a cold
+    /// executing run and a warm all-disk-hits run of the same jobs
+    /// write byte-identical files.
+    #[test]
+    fn results_json_is_byte_identical_cold_vs_warm() {
+        let dir = std::env::temp_dir().join(format!("ebcp-harness-det-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = HarnessConfig {
+            jobs: 2,
+            store_dir: Some(dir.join("store")),
+            ..Default::default()
+        };
+        let jobs = small_batch();
+        let cold = Harness::new(cfg.clone());
+        let _ = cold.run(&jobs);
+        cold.write_results_json(&dir.join("cold.json")).unwrap();
+        let warm = Harness::new(cfg);
+        let _ = warm.run(&jobs);
+        assert_eq!(warm.summary().executed, 0);
+        warm.write_results_json(&dir.join("warm.json")).unwrap();
+        assert_eq!(
+            std::fs::read(dir.join("cold.json")).unwrap(),
+            std::fs::read(dir.join("warm.json")).unwrap()
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

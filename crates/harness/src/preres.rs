@@ -4,7 +4,10 @@
 //! geometry)` — see [`Job::pre_key`](crate::Job::pre_key) — so across
 //! processes the front-end pass runs once per workload and every later
 //! sweep deserializes the packed events instead of re-resolving the
-//! trace. Files live under `<store_dir>/preres/<pre_key>.bin`.
+//! trace. Files live under `<store_dir>/preres/<2-hex>/<pre_key>.bin`,
+//! sharded — like result entries — by the key's first two hex digits;
+//! flat pre-sharding files migrate transparently (swept on store open,
+//! or read-through on first load).
 //!
 //! Format (all integers little-endian):
 //!
@@ -55,11 +58,46 @@ fn pre_canonical(spec: &RunSpec) -> String {
     )
 }
 
-/// Cache file path for a job's stream under `store_dir`.
+/// Cache file path for a job's stream under `store_dir` (sharded by
+/// the first two hex digits of the pre-key).
 pub fn path_for(store_dir: &Path, job: &Job) -> PathBuf {
+    let name = format!("{:016x}.bin", job.pre_key());
+    store_dir.join("preres").join(&name[..2]).join(name)
+}
+
+/// The legacy flat path streams lived at before sharding.
+fn flat_path_for(store_dir: &Path, job: &Job) -> PathBuf {
     store_dir
         .join("preres")
         .join(format!("{:016x}.bin", job.pre_key()))
+}
+
+/// One-time sweep moving flat (pre-sharding) stream files — and their
+/// `.corrupt` quarantines — into shard directories. Best effort and
+/// idempotent; called when a [`crate::ResultStore`] opens.
+pub(crate) fn migrate_flat_streams(store_dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(store_dir.join("preres")) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let stem = name.strip_suffix(".corrupt").unwrap_or(name);
+        let ok = matches!(stem.strip_suffix(".bin"),
+            Some(hex) if hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit()));
+        if !ok {
+            continue;
+        }
+        let shard = store_dir.join("preres").join(&name[..2]);
+        if std::fs::create_dir_all(&shard).is_ok() {
+            let _ = std::fs::rename(&path, shard.join(name));
+        }
+    }
 }
 
 /// Loads a cached stream for `job`, or `None` on any miss, mismatch or
@@ -74,8 +112,20 @@ pub fn load(store_dir: &Path, job: &Job) -> Option<PreResolved> {
 /// it and transparently re-resolve.
 pub fn load_checked(store_dir: &Path, job: &Job) -> CacheRead<PreResolved> {
     let path = path_for(store_dir, job);
-    let Ok(bytes) = std::fs::read(&path) else {
-        return CacheRead::Miss;
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(_) => {
+            // Read-through migration from the flat pre-sharding path.
+            let flat = flat_path_for(store_dir, job);
+            let Ok(b) = std::fs::read(&flat) else {
+                return CacheRead::Miss;
+            };
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let _ = std::fs::rename(&flat, &path);
+            b
+        }
     };
 
     // Smallest well-formed file: magic + canon_len + records + n_events
@@ -272,7 +322,9 @@ mod tests {
         save(&dir, &a, &pre).unwrap();
         let mut b = a.clone();
         b.spec.seed = 10;
-        std::fs::rename(path_for(&dir, &a), path_for(&dir, &b)).unwrap();
+        let dest = path_for(&dir, &b);
+        std::fs::create_dir_all(dest.parent().unwrap()).unwrap();
+        std::fs::rename(path_for(&dir, &a), dest).unwrap();
         assert_eq!(load_checked(&dir, &b), CacheRead::Miss);
         assert!(
             path_for(&dir, &b).exists(),
@@ -338,6 +390,29 @@ mod tests {
         // The appended bytes shift the footer window, so the checksum
         // rejects before the length check even runs.
         expect_quarantined(load_checked(&dir, &j), "checksum");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flat_stream_migrates_on_sweep_and_read_through() {
+        let dir = tmpdir("shard-migrate");
+        let j = job();
+        let pre = j.spec.pre_resolve();
+        save(&dir, &j, &pre).unwrap();
+        let sharded = path_for(&dir, &j);
+        let flat = flat_path_for(&dir, &j);
+
+        // Read-through: a flat file written by pre-sharding code is
+        // found, loaded, and moved into its shard.
+        std::fs::rename(&sharded, &flat).unwrap();
+        assert_eq!(load(&dir, &j), Some(pre.clone()));
+        assert!(!flat.exists() && sharded.is_file());
+
+        // Sweep: the store-open migration pass moves flat files too.
+        std::fs::rename(&sharded, &flat).unwrap();
+        migrate_flat_streams(&dir);
+        assert!(!flat.exists() && sharded.is_file());
+        assert_eq!(load(&dir, &j), Some(pre));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

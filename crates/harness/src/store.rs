@@ -13,6 +13,15 @@
 //! re-runs and overwrites it (self-heal). Merely *stale* entries (an
 //! older schema version) are not corruption: they read as a plain miss
 //! and are overwritten in place.
+//!
+//! Entries are **sharded** by the first two hex digits of the job id
+//! (`<dir>/ab/<id>.json`, 256-way fan-out), so a store shared by many
+//! hosts over a network mount never degenerates into one flat directory
+//! of hundreds of thousands of files. Pre-sharding stores migrate
+//! transparently: [`ResultStore::open`] sweeps any flat entries (and
+//! their `.corrupt` quarantines) into their shards, and reads fall back
+//! to the flat path — migrating read-through — in case another process
+//! wrote one mid-transition.
 
 use std::fs;
 use std::io;
@@ -90,6 +99,48 @@ pub(crate) fn quarantine<T>(path: PathBuf, reason: String) -> CacheRead<T> {
     }
 }
 
+/// The 2-hex shard directory a store file belongs to: the first two
+/// characters of its 16-hex-digit id (256-way fan-out).
+fn shard_of(name: &str) -> &str {
+    &name[..2]
+}
+
+/// Whether `name` is a store entry (`<16 hex>.json`, optionally with a
+/// `.corrupt` quarantine suffix). Temp files and foreign files are not.
+fn is_store_entry_name(name: &str) -> bool {
+    let stem = name.strip_suffix(".corrupt").unwrap_or(name);
+    let Some(hex) = stem.strip_suffix(".json") else {
+        return false;
+    };
+    hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// One-time sweep moving flat (pre-sharding) entries — `<id>.json` and
+/// their `.corrupt` quarantines — into their shard directories. Best
+/// effort and idempotent; concurrent opens race benignly (renaming an
+/// already-moved file simply fails and the entry is found sharded).
+pub(crate) fn migrate_flat_entries(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !is_store_entry_name(name) {
+            continue;
+        }
+        let shard = dir.join(shard_of(name));
+        if fs::create_dir_all(&shard).is_ok() {
+            let _ = fs::rename(&path, shard.join(name));
+        }
+    }
+}
+
 /// A directory of cached [`SimResult`]s, keyed by [`Job`] hash.
 #[derive(Debug)]
 pub struct ResultStore {
@@ -97,14 +148,19 @@ pub struct ResultStore {
 }
 
 impl ResultStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, migrating any
+    /// flat (pre-sharding) entries into their 2-hex shard directories.
     ///
     /// # Errors
     ///
-    /// Fails if the directory cannot be created.
+    /// Fails if the directory cannot be created. Migration is best
+    /// effort: an entry whose rename fails stays flat and is still
+    /// readable through the read-through fallback.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        migrate_flat_entries(&dir);
+        crate::preres::migrate_flat_streams(&dir);
         Ok(ResultStore { dir })
     }
 
@@ -113,7 +169,19 @@ impl ResultStore {
         &self.dir
     }
 
+    /// The on-disk path of `job`'s entry (sharded layout). The file may
+    /// or may not exist.
+    pub fn entry_path(&self, job: &Job) -> PathBuf {
+        let name = format!("{}.json", job.id());
+        self.dir.join(shard_of(&name)).join(name)
+    }
+
     fn path_for(&self, job: &Job) -> PathBuf {
+        self.entry_path(job)
+    }
+
+    /// The legacy flat path entries lived at before sharding.
+    fn flat_path_for(&self, job: &Job) -> PathBuf {
         self.dir.join(format!("{}.json", job.id()))
     }
 
@@ -130,9 +198,26 @@ impl ResultStore {
     /// entry, which is quarantined (renamed to `<id>.json.corrupt`) so
     /// the caller can log it and transparently re-run the job.
     pub fn load_checked(&self, job: &Job) -> CacheRead<SimResult> {
-        let path = self.path_for(job);
-        let Ok(text) = fs::read_to_string(&path) else {
-            return CacheRead::Miss;
+        let sharded = self.path_for(job);
+        let (path, text) = match fs::read_to_string(&sharded) {
+            Ok(text) => (sharded, text),
+            Err(_) => {
+                // Read-through migration: a process running pre-sharding
+                // code may have written a flat entry after this store
+                // was opened and swept. Move it home, best effort.
+                let flat = self.flat_path_for(job);
+                let Ok(text) = fs::read_to_string(&flat) else {
+                    return CacheRead::Miss;
+                };
+                if let Some(parent) = sharded.parent() {
+                    let _ = fs::create_dir_all(parent);
+                }
+                if fs::rename(&flat, &sharded).is_ok() {
+                    (sharded, text)
+                } else {
+                    (flat, text)
+                }
+            }
         };
         let Ok(v) = json::parse(&text) else {
             return quarantine(path, "unparsable JSON".into());
@@ -187,6 +272,9 @@ impl ResultStore {
             ("result".into(), result_json),
         ]);
         let path = self.path_for(job);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
         let tmp = unique_tmp(&path, "json");
         fs::write(&tmp, doc.to_json_pretty())?;
         fs::rename(&tmp, &path)
@@ -374,7 +462,7 @@ mod tests {
         let store = temp_store("corrupt");
         let job = sample_job();
         store.save(&job, &sample_result()).unwrap();
-        let path = store.dir().join(format!("{}.json", job.id()));
+        let path = store.entry_path(&job);
         fs::write(&path, "{ not json").unwrap();
         match store.load_checked(&job) {
             CacheRead::Quarantined { path: q, reason } => {
@@ -396,7 +484,7 @@ mod tests {
         let store = temp_store("bitflip");
         let job = sample_job();
         store.save(&job, &sample_result()).unwrap();
-        let path = store.dir().join(format!("{}.json", job.id()));
+        let path = store.entry_path(&job);
         let mut bytes = fs::read(&path).unwrap();
         // Flip a digit inside the result payload: still valid JSON, but
         // a different value than the checksum covers.
@@ -425,7 +513,8 @@ mod tests {
             ("job".into(), Value::Str(job.canonical())),
             ("result".into(), result_to_json(&sample_result())),
         ]);
-        let path = store.dir().join(format!("{}.json", job.id()));
+        let path = store.entry_path(&job);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
         fs::write(&path, doc.to_json()).unwrap();
         assert_eq!(store.load_checked(&job), CacheRead::Miss);
         assert!(path.exists(), "stale entries are not quarantined");
@@ -444,7 +533,8 @@ mod tests {
             ("job".into(), Value::Str("other-job".into())),
             ("result".into(), result_to_json(&sample_result())),
         ]);
-        let path = store.dir().join(format!("{}.json", job.id()));
+        let path = store.entry_path(&job);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
         fs::write(&path, doc.to_json()).unwrap();
         assert_eq!(store.load_checked(&job), CacheRead::Miss);
         assert!(path.exists(), "collisions are not quarantined");
@@ -489,12 +579,56 @@ mod tests {
         let got = store.load(&job).expect("final entry must be valid");
         assert!(got == a || got == b);
         // No temp litter left behind once both writers finished.
-        let leftovers: Vec<_> = fs::read_dir(store.dir())
+        let shard = store.entry_path(&job);
+        let leftovers: Vec<_> = fs::read_dir(shard.parent().unwrap())
             .unwrap()
             .filter_map(|e| e.ok())
             .filter(|e| e.path().to_string_lossy().contains(".tmp."))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// A flat (pre-sharding) store migrates on open: entries and their
+    /// quarantines move into 2-hex shard directories and read back.
+    #[test]
+    fn flat_store_migrates_on_open() {
+        let store = temp_store("migrate");
+        let job = sample_job();
+        store.save(&job, &sample_result()).unwrap();
+        // Reconstruct the legacy layout: entry + a quarantine, flat.
+        let sharded = store.entry_path(&job);
+        let flat = store.dir().join(format!("{}.json", job.id()));
+        fs::rename(&sharded, &flat).unwrap();
+        let flat_corrupt = store.dir().join(format!("{}.json.corrupt", job.id()));
+        fs::write(&flat_corrupt, "old corrupt bytes").unwrap();
+        let dir = store.dir().to_path_buf();
+        drop(store);
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(!flat.exists(), "entry must move into its shard");
+        assert!(sharded.is_file());
+        assert!(!flat_corrupt.exists(), "quarantines migrate too");
+        let mut corrupt = sharded.clone().into_os_string();
+        corrupt.push(".corrupt");
+        assert!(PathBuf::from(corrupt).is_file());
+        assert_eq!(store.load(&job), Some(sample_result()));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// A flat entry that appears *after* open (written by a pre-sharding
+    /// process sharing the store) is found and migrated read-through.
+    #[test]
+    fn flat_entry_is_read_through_migrated() {
+        let store = temp_store("readthrough");
+        let job = sample_job();
+        store.save(&job, &sample_result()).unwrap();
+        let sharded = store.entry_path(&job);
+        let flat = store.dir().join(format!("{}.json", job.id()));
+        fs::rename(&sharded, &flat).unwrap();
+        assert_eq!(store.load(&job), Some(sample_result()));
+        assert!(!flat.exists(), "read must migrate the flat entry");
+        assert!(sharded.is_file());
         let _ = fs::remove_dir_all(store.dir());
     }
 }

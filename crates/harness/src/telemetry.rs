@@ -1,13 +1,25 @@
-//! Run telemetry: per-job events, a live progress line, and the
-//! end-of-run throughput summary.
+//! Run telemetry: per-job events, a subscriber bus, a live progress
+//! line, and the end-of-run throughput summary.
 //!
 //! Workers emit [`Event`]s over an `mpsc` channel; the submitting thread
-//! drains it while jobs run. Everything renders to **stderr** so stdout
-//! stays byte-identical regardless of `--jobs` — the figure tables are
-//! diffable artifacts.
+//! drains it while jobs run and republishes every event on the harness's
+//! [`EventBus`], where any number of subscribers — the sweep service's
+//! per-client forwarders, a dashboard, a log — receive their own copy.
+//! Everything renders to **stderr** so stdout stays byte-identical
+//! regardless of `--jobs` — the figure tables are diffable artifacts.
+//!
+//! Rendering goes through a process-wide **single writer** ([`LineSink`]):
+//! the self-overwriting progress line carries cursor state (how long the
+//! last transient line was), and two harness runs in one process — e.g.
+//! two sweeps served concurrently by the daemon — would tear each
+//! other's lines if each kept its own state. One shared sink serializes
+//! every write and keeps the clear-and-redraw math globally right.
 
-use std::io::Write as _;
+use std::io::Write;
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Duration;
+
+use crate::lock;
 
 /// Where a job's result came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,24 +85,139 @@ pub enum Event {
     },
 }
 
+/// Fan-out subscriber bus for telemetry events.
+///
+/// Subscribers receive a clone of every event published after they
+/// subscribed, over their own `mpsc` channel. A dropped receiver is
+/// pruned on the next publish, so transient subscribers (a client
+/// connection that hung up mid-sweep) cost nothing after they go away.
+///
+/// This is the seam the sweep service forwards live telemetry through:
+/// each client connection subscribes, filters for the labels of its own
+/// sweep, and streams the events down its socket.
+#[derive(Debug, Default)]
+pub struct EventBus {
+    subs: Mutex<Vec<mpsc::Sender<Event>>>,
+}
+
+impl EventBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscriber; every event published from now on is
+    /// delivered to the returned receiver until it is dropped.
+    pub fn subscribe(&self) -> mpsc::Receiver<Event> {
+        let (tx, rx) = mpsc::channel();
+        lock(&self.subs).push(tx);
+        rx
+    }
+
+    /// Publishes one event to every live subscriber, pruning the dead.
+    pub fn publish(&self, ev: &Event) {
+        lock(&self.subs).retain(|tx| tx.send(ev.clone()).is_ok());
+    }
+
+    /// Live subscriber count (dead subscribers linger until the next
+    /// publish prunes them).
+    pub fn subscriber_count(&self) -> usize {
+        lock(&self.subs).len()
+    }
+}
+
+/// The single writer behind every progress line in the process.
+///
+/// Owns the terminal cursor state: the length of the last *transient*
+/// (self-overwriting) line, which the next write must clear. Writes are
+/// composed into one buffer and flushed with a single `write_all` under
+/// the sink's lock, so concurrent harness runs interleave by whole
+/// lines, never by fragments — and the clear-padding math stays correct
+/// because the state is shared rather than per-run.
+pub struct LineSink {
+    out: Box<dyn Write + Send>,
+    last_len: usize,
+}
+
+impl std::fmt::Debug for LineSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineSink")
+            .field("last_len", &self.last_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LineSink {
+    /// A sink writing to `out` with no live line yet.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        LineSink { out, last_len: 0 }
+    }
+
+    /// Draws a transient line that the next write will overwrite.
+    fn transient(&mut self, line: &str) {
+        let pad = self.last_len.saturating_sub(line.len());
+        let _ = self
+            .out
+            .write_all(format!("\r{line}{}", " ".repeat(pad)).as_bytes());
+        self.last_len = line.len();
+        let _ = self.out.flush();
+    }
+
+    /// Prints a persistent line (newline-terminated), clearing any live
+    /// transient line first.
+    fn persistent(&mut self, line: &str) {
+        let pad = self.last_len.saturating_sub(line.len());
+        let _ = self
+            .out
+            .write_all(format!("\r{line}{}\n", " ".repeat(pad)).as_bytes());
+        self.last_len = 0;
+        let _ = self.out.flush();
+    }
+
+    /// Clears the live transient line, if any.
+    fn clear(&mut self) {
+        if self.last_len > 0 {
+            let _ = self
+                .out
+                .write_all(format!("\r{}\r", " ".repeat(self.last_len)).as_bytes());
+            self.last_len = 0;
+            let _ = self.out.flush();
+        }
+    }
+}
+
+/// The process-wide stderr sink every default [`Progress`] shares.
+pub fn stderr_sink() -> Arc<Mutex<LineSink>> {
+    static SINK: OnceLock<Arc<Mutex<LineSink>>> = OnceLock::new();
+    Arc::clone(
+        SINK.get_or_init(|| Arc::new(Mutex::new(LineSink::new(Box::new(std::io::stderr()))))),
+    )
+}
+
 /// Renders events as a single self-overwriting progress line.
 #[derive(Debug)]
 pub struct Progress {
     enabled: bool,
     done: usize,
     total: usize,
-    last_len: usize,
+    sink: Arc<Mutex<LineSink>>,
 }
 
 impl Progress {
     /// A renderer for `total` pending jobs; silent when `enabled` is
-    /// false (tests, `--quiet`).
-    pub const fn new(enabled: bool, total: usize) -> Self {
+    /// false (tests, `--quiet`). Writes through the process-wide stderr
+    /// sink, so concurrent renderers serialize behind one writer.
+    pub fn new(enabled: bool, total: usize) -> Self {
+        Self::with_sink(enabled, total, stderr_sink())
+    }
+
+    /// A renderer writing through an explicit sink (tests, capture).
+    pub fn with_sink(enabled: bool, total: usize, sink: Arc<Mutex<LineSink>>) -> Self {
         Progress {
             enabled,
             done: 0,
             total,
-            last_len: 0,
+            sink,
         }
     }
 
@@ -134,10 +261,7 @@ impl Progress {
         if !self.enabled {
             return;
         }
-        let pad = self.last_len.saturating_sub(msg.len());
-        eprintln!("\r{msg}{}", " ".repeat(pad));
-        self.last_len = 0;
-        let _ = std::io::stderr().flush();
+        lock(&self.sink).persistent(msg);
     }
 
     fn draw(&mut self, tail: &str) {
@@ -145,18 +269,13 @@ impl Progress {
             return;
         }
         let line = format!("[{}/{}] {tail}", self.done, self.total);
-        let pad = self.last_len.saturating_sub(line.len());
-        eprint!("\r{line}{}", " ".repeat(pad));
-        self.last_len = line.len();
-        let _ = std::io::stderr().flush();
+        lock(&self.sink).transient(&line);
     }
 
     /// Clears the progress line (call before printing the summary).
     pub fn finish(&mut self) {
-        if self.enabled && self.last_len > 0 {
-            eprint!("\r{}\r", " ".repeat(self.last_len));
-            self.last_len = 0;
-            let _ = std::io::stderr().flush();
+        if self.enabled {
+            lock(&self.sink).clear();
         }
     }
 }
@@ -274,5 +393,83 @@ mod tests {
     #[test]
     fn zero_wall_rate_is_zero() {
         assert_eq!(RunSummary::default().insts_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn bus_fans_out_to_every_subscriber_and_prunes_the_dead() {
+        let bus = EventBus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        bus.publish(&Event::JobStarted { label: "x".into() });
+        for rx in [&a, &b] {
+            match rx.try_recv() {
+                Ok(Event::JobStarted { label }) => assert_eq!(label, "x"),
+                other => panic!("expected JobStarted, got {other:?}"),
+            }
+        }
+        drop(a);
+        bus.publish(&Event::JobFinished {
+            label: "x".into(),
+            wall_ms: 1,
+            insts_per_sec: 1.0,
+        });
+        assert_eq!(bus.subscriber_count(), 1, "dead subscriber must be pruned");
+        assert!(matches!(b.try_recv(), Ok(Event::JobFinished { .. })));
+    }
+
+    /// A `Write` capturing into a shared buffer, so tests can inspect
+    /// what a sink emitted.
+    #[derive(Clone, Default)]
+    struct Capture(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Two renderers hammering one shared sink from separate threads:
+    /// every persistent line must come out intact — the single writer
+    /// composes each line into one `write_all`, so fragments of two
+    /// lines can never interleave.
+    #[test]
+    fn concurrent_renderers_never_tear_lines() {
+        let cap = Capture::default();
+        let sink = Arc::new(Mutex::new(LineSink::new(Box::new(cap.clone()))));
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    let mut p = Progress::with_sink(true, 50, sink);
+                    for i in 0..50 {
+                        p.handle(&Event::JobStarted {
+                            label: format!("t{t}-job{i}"),
+                        });
+                        p.handle(&Event::JobFailed {
+                            label: format!("t{t}-job{i}"),
+                            reason: "r".into(),
+                        });
+                    }
+                    p.finish();
+                });
+            }
+        });
+        let bytes = lock(&cap.0).clone();
+        let text = String::from_utf8(bytes).expect("sink output is UTF-8");
+        // Every persistent warning line survives whole: for each of the
+        // 100 emitted warnings, the exact rendering appears bounded by
+        // line-discipline characters, never split by another write.
+        for t in 0..2 {
+            for i in 0..50 {
+                let want = format!("warning: t{t}-job{i} FAILED (r)");
+                assert!(text.contains(&want), "torn line: {want} missing");
+            }
+        }
+        // And the cursor state ends cleared (no dangling transient line).
+        assert!(text.ends_with('\r') || text.ends_with('\n'));
     }
 }

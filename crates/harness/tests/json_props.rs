@@ -1,0 +1,128 @@
+//! Property tests for the std-only JSON codec (`ebcp_harness::json`).
+//!
+//! The codec backs the result store and both results artifacts, so the
+//! properties pin exactly what those rely on: `u64` counters survive
+//! with no `f64` round-trip, every escape class in strings survives,
+//! and arbitrarily nested documents re-parse to the same tree from both
+//! the compact and the pretty renderer.
+
+use ebcp_harness::json::{parse, Value};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Characters chosen to hit every writer branch: plain ASCII, the
+/// named escapes, raw control bytes (`\u00xx`), multi-byte UTF-8, and
+/// the solidus the parser accepts escaped.
+const PALETTE: &[char] = &[
+    'a', 'Z', '0', ' ', '/', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{8}', '\u{c}', '\u{1f}', 'é',
+    'λ', '中', '💾',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..PALETTE.len(), 0..12)
+        .prop_map(|picks| picks.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// Generates one value at `depth` remaining levels of nesting.
+fn gen_value(rng: &mut TestRng, depth: usize) -> Value {
+    let arms = if depth == 0 { 5 } else { 7 };
+    match rng.below(arms) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.next_u64() & 1 == 1),
+        2 => Value::Int(rng.next_u64()),
+        // Finite floats only (the writer maps NaN/inf to null).
+        3 => Value::Num(rng.next_u64() as i64 as f64 / 777.0),
+        4 => {
+            use proptest::strategy::Strategy as _;
+            Value::Str(arb_string().generate(rng))
+        }
+        5 => Value::Arr(
+            (0..rng.below(4))
+                .map(|_| gen_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => {
+            use proptest::strategy::Strategy as _;
+            Value::Obj(
+                (0..rng.below(4))
+                    .map(|_| (arb_string().generate(rng), gen_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Arbitrary documents nested up to four levels deep.
+struct ArbValue;
+
+impl Strategy for ArbValue {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        gen_value(rng, 4)
+    }
+}
+
+/// What the codec canonicalizes on a write→parse pass: a non-negative
+/// integral float re-parses as the exact integer it prints as, and
+/// non-finite floats print as `null`. Everything else is preserved.
+fn normalize(v: &Value) -> Value {
+    match v {
+        Value::Num(f) if !f.is_finite() => Value::Null,
+        Value::Num(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+            // Display prints e.g. 42.0 as "42", which parses as Int —
+            // but only when the shortest decimal rendering carries no
+            // '.', 'e' or '+', i.e. the value also survives u64 parse.
+            match format!("{f}").parse::<u64>() {
+                Ok(n) => Value::Int(n),
+                Err(_) => Value::Num(*f),
+            }
+        }
+        Value::Arr(items) => Value::Arr(items.iter().map(normalize).collect()),
+        Value::Obj(fields) => Value::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), normalize(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn u64_counters_round_trip_exactly(n in any::<u64>()) {
+        // No f64 detour: 2^53-adjacent and max values stay bit-exact.
+        prop_assert_eq!(parse(&Value::Int(n).to_json()).unwrap(), Value::Int(n));
+        prop_assert_eq!(
+            parse(&Value::Int(n).to_json_pretty()).unwrap().as_u64(),
+            Some(n)
+        );
+    }
+
+    #[test]
+    fn strings_with_every_escape_class_round_trip(s in arb_string()) {
+        let v = Value::Str(s.clone());
+        for text in [v.to_json(), v.to_json_pretty()] {
+            prop_assert_eq!(parse(&text).unwrap().as_str(), Some(s.as_str()));
+        }
+    }
+
+    #[test]
+    fn nested_documents_round_trip_compact_and_pretty(v in ArbValue) {
+        let want = normalize(&v);
+        prop_assert_eq!(parse(&v.to_json()).unwrap(), want.clone());
+        prop_assert_eq!(parse(&v.to_json_pretty()).unwrap(), want);
+    }
+
+    #[test]
+    fn parse_then_write_is_a_fixed_point(v in ArbValue) {
+        // After one write→parse pass the representation is canonical:
+        // writing and re-parsing it changes nothing, which is what the
+        // byte-identical results.json contract leans on.
+        let once = parse(&v.to_json()).unwrap();
+        let twice = parse(&once.to_json()).unwrap();
+        prop_assert_eq!(&twice, &once);
+        prop_assert_eq!(parse(&once.to_json_pretty()).unwrap(), once);
+    }
+}

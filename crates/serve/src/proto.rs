@@ -1,0 +1,352 @@
+//! The wire protocol: line-delimited JSON over any byte stream.
+//!
+//! Framing is one compact JSON document per `\n`-terminated line —
+//! trivially debuggable with `nc` and implementable on bare
+//! [`std::net`], which the hermetic build requires (no HTTP stack, no
+//! serialization crates). Requests carry a version field; responses are
+//! *streamed*: a submit produces a prologue (`accepted` or `rejected`),
+//! a telemetry/cell event stream, and a `done` epilogue.
+//!
+//! ```text
+//! client → server   {"v":1,"cmd":"submit","sweep":{...}}
+//!                   {"v":1,"cmd":"status"}
+//!                   {"v":1,"cmd":"shutdown"}
+//! server → client   {"event":"accepted","jobs":N,"unique":M}
+//!                   {"event":"rejected","reason":..,"retry_after_ms":N}
+//!                   {"event":"telemetry","kind":..,"label":..,...}
+//!                   {"event":"cell","id":..,"workload":..,"prefetcher":..,
+//!                    "outcome":"ok"|"failed","error":..,"result":{..}}
+//!                   {"event":"done","summary":{..}}
+//!                   {"event":"status", ...}
+//!                   {"event":"error","reason":..}
+//! ```
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use ebcp_harness::store::{result_from_json, result_to_json};
+use ebcp_harness::telemetry::Event;
+use ebcp_harness::{json, JobId, JobOutcome, ResultRow, ServiceStatus, Value};
+
+/// Protocol version; bump on incompatible message changes.
+pub const PROTO_VERSION: u64 = 1;
+
+/// A framed connection: reads and writes one JSON document per line.
+pub struct Conn {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn").finish_non_exhaustive()
+    }
+}
+
+impl Conn {
+    /// Wraps a read half and a write half (use the stream's
+    /// `try_clone` to split a socket).
+    pub fn new(read: Box<dyn Read + Send>, write: Box<dyn Write + Send>) -> Self {
+        Conn {
+            reader: BufReader::new(read),
+            writer: write,
+        }
+    }
+
+    /// Sends one document as a compact line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (e.g. the peer hung up).
+    pub fn send(&mut self, v: &Value) -> io::Result<()> {
+        let mut line = v.to_json();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Receives the next document; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and [`io::ErrorKind::InvalidData`] for a line that
+    /// is not valid JSON.
+    pub fn recv(&mut self) -> io::Result<Option<Value>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue; // blank keep-alive lines are permitted
+            }
+            return json::parse(line.trim())
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+        }
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// `submit` request around an encoded sweep.
+pub fn request_submit(sweep: Value) -> Value {
+    obj(vec![
+        ("v", Value::Int(PROTO_VERSION)),
+        ("cmd", Value::Str("submit".into())),
+        ("sweep", sweep),
+    ])
+}
+
+/// `status` request.
+pub fn request_status() -> Value {
+    obj(vec![
+        ("v", Value::Int(PROTO_VERSION)),
+        ("cmd", Value::Str("status".into())),
+    ])
+}
+
+/// `shutdown` request.
+pub fn request_shutdown() -> Value {
+    obj(vec![
+        ("v", Value::Int(PROTO_VERSION)),
+        ("cmd", Value::Str("shutdown".into())),
+    ])
+}
+
+/// Submit prologue: the sweep was accepted whole.
+pub fn resp_accepted(jobs: usize, unique: usize) -> Value {
+    obj(vec![
+        ("event", Value::Str("accepted".into())),
+        ("jobs", Value::Int(jobs as u64)),
+        ("unique", Value::Int(unique as u64)),
+    ])
+}
+
+/// Submit prologue: refused (backpressure); retry after the hint.
+pub fn resp_rejected(reason: &str, retry_after_ms: u64) -> Value {
+    obj(vec![
+        ("event", Value::Str("rejected".into())),
+        ("reason", Value::Str(reason.into())),
+        ("retry_after_ms", Value::Int(retry_after_ms)),
+    ])
+}
+
+/// Acknowledges a `shutdown` request: the daemon stops accepting work
+/// and exits once queued jobs drain.
+pub fn resp_shutting_down() -> Value {
+    obj(vec![("event", Value::Str("shutting_down".into()))])
+}
+
+/// Terminal error (bad request, unknown names, version skew).
+pub fn resp_error(reason: &str) -> Value {
+    obj(vec![
+        ("event", Value::Str("error".into())),
+        ("reason", Value::Str(reason.into())),
+    ])
+}
+
+/// One live telemetry event, forwarded from the harness bus.
+pub fn resp_telemetry(ev: &Event) -> Value {
+    let mut fields = vec![("event", Value::Str("telemetry".into()))];
+    match ev {
+        Event::JobStarted { label } => {
+            fields.push(("kind", Value::Str("job_started".into())));
+            fields.push(("label", Value::Str(label.clone())));
+        }
+        Event::JobFinished {
+            label,
+            wall_ms,
+            insts_per_sec,
+        } => {
+            fields.push(("kind", Value::Str("job_finished".into())));
+            fields.push(("label", Value::Str(label.clone())));
+            fields.push(("wall_ms", Value::Int(*wall_ms)));
+            fields.push(("insts_per_sec", Value::Num(*insts_per_sec)));
+        }
+        Event::JobRetried { label, reason } => {
+            fields.push(("kind", Value::Str("job_retried".into())));
+            fields.push(("label", Value::Str(label.clone())));
+            fields.push(("reason", Value::Str(reason.clone())));
+        }
+        Event::JobFailed { label, reason } => {
+            fields.push(("kind", Value::Str("job_failed".into())));
+            fields.push(("label", Value::Str(label.clone())));
+            fields.push(("reason", Value::Str(reason.clone())));
+        }
+        Event::CacheQuarantined { path, reason } => {
+            fields.push(("kind", Value::Str("cache_quarantined".into())));
+            fields.push(("path", Value::Str(path.clone())));
+            fields.push(("reason", Value::Str(reason.clone())));
+        }
+    }
+    obj(fields)
+}
+
+/// One finished cell.
+pub fn resp_cell(row: &ResultRow) -> Value {
+    obj(vec![
+        ("event", Value::Str("cell".into())),
+        ("id", Value::Str(row.id.to_string())),
+        ("workload", Value::Str(row.workload.clone())),
+        ("prefetcher", Value::Str(row.prefetcher.clone())),
+        (
+            "outcome",
+            Value::Str(
+                if row.outcome.is_failed() {
+                    "failed"
+                } else {
+                    "ok"
+                }
+                .into(),
+            ),
+        ),
+        (
+            "error",
+            row.outcome
+                .failure()
+                .map_or(Value::Null, |e| Value::Str(e.into())),
+        ),
+        (
+            "result",
+            row.outcome.result().map_or(Value::Null, result_to_json),
+        ),
+    ])
+}
+
+/// Submit epilogue.
+pub fn resp_done(submitted: usize, unique: usize, failed: usize) -> Value {
+    obj(vec![
+        ("event", Value::Str("done".into())),
+        (
+            "summary",
+            obj(vec![
+                ("submitted", Value::Int(submitted as u64)),
+                ("unique", Value::Int(unique as u64)),
+                ("failed", Value::Int(failed as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// `status` response.
+pub fn resp_status(st: &ServiceStatus) -> Value {
+    obj(vec![
+        ("event", Value::Str("status".into())),
+        ("queued", Value::Int(st.queued as u64)),
+        ("running", Value::Int(st.running as u64)),
+        ("clients", Value::Int(st.clients as u64)),
+        ("completed", Value::Int(st.completed)),
+        ("depth", Value::Int(st.depth as u64)),
+        ("warm_streams", Value::Int(st.warm_streams as u64)),
+    ])
+}
+
+/// Decodes a `cell` line back into a [`ResultRow`].
+///
+/// # Errors
+///
+/// A missing or mistyped field.
+pub fn parse_cell(v: &Value) -> Result<ResultRow, String> {
+    let s = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("cell missing {key:?}"))
+    };
+    let id = u64::from_str_radix(&s("id")?, 16).map_err(|e| format!("bad cell id: {e}"))?;
+    let outcome = match s("outcome")?.as_str() {
+        "ok" => {
+            let result = v.get("result").ok_or("ok cell missing result")?;
+            JobOutcome::Ok(result_from_json(result).ok_or("undecodable cell result")?)
+        }
+        "failed" => JobOutcome::Failed {
+            reason: s("error")?,
+        },
+        other => return Err(format!("unknown cell outcome {other:?}")),
+    };
+    Ok(ResultRow {
+        id: JobId(id),
+        workload: s("workload")?,
+        prefetcher: s("prefetcher")?,
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An owned writer the test can read back after the `Conn` is gone.
+    #[derive(Clone, Default)]
+    struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_multiple_lines() {
+        let sink = Shared::default();
+        {
+            let mut c = Conn::new(Box::new(io::empty()), Box::new(sink.clone()));
+            c.send(&resp_accepted(6, 4)).unwrap();
+            c.send(&resp_done(6, 4, 0)).unwrap();
+        }
+        let buf = sink.0.lock().unwrap().clone();
+        let mut c = Conn::new(Box::new(io::Cursor::new(buf)), Box::new(io::sink()));
+        let a = c.recv().unwrap().unwrap();
+        assert_eq!(a.get("event").unwrap().as_str(), Some("accepted"));
+        assert_eq!(a.get("jobs").unwrap().as_u64(), Some(6));
+        let d = c.recv().unwrap().unwrap();
+        assert_eq!(d.get("event").unwrap().as_str(), Some("done"));
+        assert!(c.recv().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn garbage_line_is_invalid_data_not_a_hang() {
+        let mut c = Conn::new(
+            Box::new(io::Cursor::new(b"{nope\n".to_vec())),
+            Box::new(io::sink()),
+        );
+        let err = c.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn cell_round_trips_ok_and_failed() {
+        use ebcp_sim::SimResult;
+        let ok = ResultRow {
+            id: JobId(0xabcd_0123_4567_89ef),
+            workload: "database".into(),
+            prefetcher: "ebcp".into(),
+            outcome: JobOutcome::Ok(SimResult {
+                insts: u64::MAX,
+                ..SimResult::default()
+            }),
+        };
+        let failed = ResultRow {
+            id: JobId(7),
+            workload: "tpcw".into(),
+            prefetcher: "fault".into(),
+            outcome: JobOutcome::Failed {
+                reason: "injected".into(),
+            },
+        };
+        for row in [&ok, &failed] {
+            let text = resp_cell(row).to_json();
+            let back = parse_cell(&json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.id, row.id);
+            assert_eq!(back.workload, row.workload);
+            assert_eq!(back.outcome, row.outcome);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Sweep grids: the unit of work a client submits.
+//!
+//! A sweep is named, not serialized: workload preset names × prefetcher
+//! names × a [`Scale`]. Both ends of the wire resolve the same names
+//! through the same workspace code ([`SweepSpec::jobs`]), so the
+//! daemon's content-addressed [`Job`]s are identical to the ones a
+//! local run would build — the memo, the disk store, and the
+//! byte-identical `results.json` contract all hang off that.
+
+use ebcp_core::EbcpConfig;
+use ebcp_harness::{Job, Scale, Value};
+use ebcp_prefetch::{BaselineConfig, FaultConfig};
+use ebcp_sim::PrefetcherSpec;
+
+/// A named sweep: the cross product of workloads and prefetchers at
+/// one scale. Order matters — it is the submission (and results.json)
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Workload preset names (subset of the paper's four).
+    pub workloads: Vec<String>,
+    /// Prefetcher names (see [`SweepSpec::resolve_prefetcher`]).
+    pub prefetchers: Vec<String>,
+    /// Experiment scale.
+    pub scale: Scale,
+}
+
+impl SweepSpec {
+    /// Resolves a prefetcher name at `scale`: `none`, `ebcp`,
+    /// `ebcp-minus`, any Figure 9 roster baseline (`ghb-small`,
+    /// `ghb-large`, `tcp-small`, `tcp-large`, `stream`, `sms`,
+    /// `solihin-3,2`, `solihin-6,1`), or `fault` — the fault-injection
+    /// prefetcher, kept addressable so isolation is testable end to end.
+    ///
+    /// # Errors
+    ///
+    /// An unknown name (the message lists the roster).
+    pub fn resolve_prefetcher(name: &str, scale: &Scale) -> Result<PrefetcherSpec, String> {
+        match name {
+            "none" => Ok(PrefetcherSpec::None),
+            "ebcp" => Ok(PrefetcherSpec::Ebcp(
+                EbcpConfig::comparison().with_table_entries(scale.entries(1 << 20)),
+            )),
+            "ebcp-minus" => Ok(PrefetcherSpec::Ebcp(
+                EbcpConfig::comparison_minus().with_table_entries(scale.entries(1 << 20)),
+            )),
+            "fault" => Ok(PrefetcherSpec::baseline(
+                "fault",
+                BaselineConfig::Fault(FaultConfig::panic_after(0)),
+            )),
+            other => scale
+                .figure9_roster()
+                .into_iter()
+                .find(|(n, _)| *n == other)
+                .map(|(n, c)| PrefetcherSpec::baseline(n, c))
+                .ok_or_else(|| {
+                    format!(
+                        "unknown prefetcher {other:?}; known: none, ebcp, ebcp-minus, fault, \
+                         ghb-small, ghb-large, tcp-small, tcp-large, stream, sms, \
+                         solihin-3,2, solihin-6,1"
+                    )
+                }),
+        }
+    }
+
+    /// Expands the grid into submission-ordered jobs (workload-major,
+    /// matching the figure drivers).
+    ///
+    /// # Errors
+    ///
+    /// An unknown workload or prefetcher name, or an empty axis.
+    pub fn jobs(&self) -> Result<Vec<Job>, String> {
+        if self.workloads.is_empty() || self.prefetchers.is_empty() {
+            return Err("a sweep needs at least one workload and one prefetcher".into());
+        }
+        let presets = self.scale.workloads();
+        let machine = self.scale.machine();
+        let pfs: Vec<PrefetcherSpec> = self
+            .prefetchers
+            .iter()
+            .map(|n| Self::resolve_prefetcher(n, &self.scale))
+            .collect::<Result<_, _>>()?;
+        let mut jobs = Vec::with_capacity(self.workloads.len() * pfs.len());
+        for wname in &self.workloads {
+            let w = presets
+                .iter()
+                .find(|w| &w.name == wname)
+                .ok_or_else(|| format!("unknown workload {wname:?}"))?;
+            let spec = self.scale.run_spec(w, machine.clone());
+            for pf in &pfs {
+                jobs.push(Job::new(spec.clone(), pf.clone()));
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Wire encoding (the names and scale numbers, nothing resolved).
+    pub fn to_value(&self) -> Value {
+        let strs = |v: &[String]| Value::Arr(v.iter().map(|s| Value::Str(s.clone())).collect());
+        Value::Obj(vec![
+            ("workloads".into(), strs(&self.workloads)),
+            ("prefetchers".into(), strs(&self.prefetchers)),
+            (
+                "scale".into(),
+                Value::Obj(vec![
+                    ("den".into(), Value::Int(self.scale.den)),
+                    ("warm_tenths".into(), Value::Int(self.scale.warm_tenths)),
+                    (
+                        "measure_tenths".into(),
+                        Value::Int(self.scale.measure_tenths),
+                    ),
+                    ("seed".into(), Value::Int(self.scale.seed)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Decodes the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// A missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let strs = |key: &str| -> Result<Vec<String>, String> {
+            v.get(key)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("sweep missing {key:?} array"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("non-string entry in {key:?}"))
+                })
+                .collect()
+        };
+        let scale = v.get("scale").ok_or("sweep missing \"scale\"")?;
+        let num = |key: &str| -> Result<u64, String> {
+            scale
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("scale missing {key:?}"))
+        };
+        Ok(SweepSpec {
+            workloads: strs("workloads")?,
+            prefetchers: strs("prefetchers")?,
+            scale: Scale {
+                den: num("den")?,
+                warm_tenths: num("warm_tenths")?,
+                measure_tenths: num("measure_tenths")?,
+                seed: num("seed")?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> SweepSpec {
+        SweepSpec {
+            workloads: vec!["database".into(), "tpcw".into()],
+            prefetchers: vec!["none".into(), "ebcp".into(), "stream".into()],
+            scale: Scale::quick(),
+        }
+    }
+
+    #[test]
+    fn grid_expands_workload_major() {
+        let jobs = sweep().jobs().unwrap();
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(jobs[0].spec.workload.name, "database");
+        assert_eq!(jobs[0].pf.name(), "none");
+        assert_eq!(jobs[2].pf.name(), "stream");
+        assert_eq!(jobs[3].spec.workload.name, "tpcw");
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_the_grid() {
+        let s = sweep();
+        let text = s.to_value().to_json();
+        let back = SweepSpec::from_value(&ebcp_harness::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // Same grid → same content-addressed jobs on both ends.
+        let a: Vec<_> = s.jobs().unwrap().iter().map(Job::id).collect();
+        let b: Vec<_> = back.jobs().unwrap().iter().map(Job::id).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_the_roster() {
+        let mut s = sweep();
+        s.prefetchers = vec!["bogus".into()];
+        let err = s.jobs().unwrap_err();
+        assert!(err.contains("unknown prefetcher") && err.contains("solihin-6,1"));
+        let mut s = sweep();
+        s.workloads = vec!["nope".into()];
+        assert!(s.jobs().unwrap_err().contains("unknown workload"));
+    }
+
+    #[test]
+    fn every_roster_name_resolves() {
+        for n in [
+            "none",
+            "ebcp",
+            "ebcp-minus",
+            "fault",
+            "ghb-small",
+            "ghb-large",
+            "tcp-small",
+            "tcp-large",
+            "stream",
+            "sms",
+            "solihin-3,2",
+            "solihin-6,1",
+        ] {
+            let pf = SweepSpec::resolve_prefetcher(n, &Scale::quick()).unwrap();
+            assert_eq!(pf.name(), n);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end service tests: a real daemon on a real socket, real
+//! concurrent clients, and the byte-identity and warm-cache contracts
+//! the service exists to provide.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use ebcp_harness::{write_doc, Harness, HarnessConfig, QueueConfig, Scale, Value};
+use ebcp_serve::{Client, Server, ServerConfig, SweepOutcome, SweepSpec};
+
+/// A sub-second scale: tiny machine, a fraction of one recurrence
+/// interval. Travels over the wire like any other scale.
+fn tiny_scale() -> Scale {
+    Scale {
+        den: 64,
+        warm_tenths: 2,
+        measure_tenths: 2,
+        seed: 7,
+    }
+}
+
+fn sweep(workloads: &[&str], prefetchers: &[&str]) -> SweepSpec {
+    SweepSpec {
+        workloads: workloads.iter().map(|s| (*s).to_string()).collect(),
+        prefetchers: prefetchers.iter().map(|s| (*s).to_string()).collect(),
+        scale: tiny_scale(),
+    }
+}
+
+struct Daemon {
+    server: Arc<Server>,
+    addr: String,
+    runner: thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn daemon(workers: usize, depth: usize) -> Daemon {
+    let harness = Arc::new(Harness::new(HarnessConfig {
+        jobs: 1,
+        ..HarnessConfig::default()
+    }));
+    let server = Server::bind(
+        harness,
+        ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+            queue: QueueConfig {
+                depth,
+                workers,
+                retry_after: Duration::from_millis(9),
+            },
+        },
+    )
+    .unwrap();
+    let addr = format!("tcp:{}", server.tcp_addr().unwrap());
+    let runner = {
+        let s = Arc::clone(&server);
+        thread::spawn(move || s.run())
+    };
+    Daemon {
+        server,
+        addr,
+        runner,
+    }
+}
+
+fn tmpfile(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ebcp-serve-{tag}-{}.json", std::process::id()))
+}
+
+fn job_started_events(v: &Value) -> bool {
+    v.get("event").and_then(Value::as_str) == Some("telemetry")
+        && v.get("kind").and_then(Value::as_str) == Some("job_started")
+}
+
+#[test]
+fn served_results_match_a_local_run_byte_for_byte_and_warm_repeats_are_free() {
+    let d = daemon(1, 64);
+    let spec = sweep(&["database"], &["none", "stream"]);
+
+    // Cold submit: every cell simulates.
+    let mut client = Client::connect(&d.addr).unwrap();
+    let started = AtomicUsize::new(0);
+    let first = client
+        .submit(&spec, |ev| {
+            if job_started_events(ev) {
+                started.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .unwrap();
+    let SweepOutcome::Done { results, failed } = first else {
+        panic!("cold submit refused: {first:?}");
+    };
+    assert_eq!(failed, 0);
+    assert_eq!(started.load(Ordering::Relaxed), 2, "both cells simulated");
+    assert_eq!(d.server.service().harness().summary().executed, 2);
+
+    // The same sweep run locally, through the harness's own writer.
+    let local = Harness::serial();
+    local.run_outcomes(&spec.jobs().unwrap());
+    let local_path = tmpfile("local");
+    let served_path = tmpfile("served");
+    local.write_results_json(&local_path).unwrap();
+    write_doc(&served_path, &results).unwrap();
+    assert_eq!(
+        std::fs::read(&local_path).unwrap(),
+        std::fs::read(&served_path).unwrap(),
+        "served results.json must be byte-identical to a local run's"
+    );
+
+    // Warm repeat: answered from the memo — zero simulations, zero
+    // job_started telemetry, and the identical document again.
+    let started_again = AtomicUsize::new(0);
+    let second = client
+        .submit(&spec, |ev| {
+            if job_started_events(ev) {
+                started_again.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .unwrap();
+    let SweepOutcome::Done { results: warm, .. } = second else {
+        panic!("warm submit refused: {second:?}");
+    };
+    assert_eq!(started_again.load(Ordering::Relaxed), 0, "no cell re-ran");
+    assert_eq!(d.server.service().harness().summary().executed, 2);
+    assert_eq!(warm.to_json_pretty(), results.to_json_pretty());
+
+    // The daemon held the pre-resolved stream warm across requests.
+    let status = client.status().unwrap();
+    assert!(status.warm_streams >= 1, "stream cache stayed warm");
+    assert_eq!(status.completed, 4, "2 cold + 2 memo deliveries");
+
+    client.shutdown().unwrap();
+    d.runner.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(local_path);
+    let _ = std::fs::remove_file(served_path);
+}
+
+#[test]
+fn concurrent_clients_isolate_faults_and_both_finish() {
+    let d = daemon(2, 64);
+
+    // Client A's sweep contains only the fault-injection prefetcher:
+    // every cell panics (twice — the simulator is deterministic) and
+    // must come back as that client's "failed" cells.
+    let addr_a = d.addr.clone();
+    let a = thread::spawn(move || {
+        let mut c = Client::connect(&addr_a).unwrap();
+        c.submit(&sweep(&["database"], &["fault"]), |_| {}).unwrap()
+    });
+    // Client B sweeps normally at the same time.
+    let addr_b = d.addr.clone();
+    let b = thread::spawn(move || {
+        let mut c = Client::connect(&addr_b).unwrap();
+        c.submit(&sweep(&["database", "tpcw"], &["none"]), |_| {})
+            .unwrap()
+    });
+
+    let SweepOutcome::Done {
+        failed: a_failed,
+        results: a_results,
+    } = a.join().unwrap()
+    else {
+        panic!("client A refused");
+    };
+    let SweepOutcome::Done {
+        failed: b_failed, ..
+    } = b.join().unwrap()
+    else {
+        panic!("client B refused");
+    };
+    assert_eq!(a_failed, 1, "the fault cell failed for client A");
+    assert_eq!(b_failed, 0, "client B's sweep was undisturbed");
+    let row = &a_results.get("jobs").unwrap().as_arr().unwrap()[0];
+    assert_eq!(row.get("outcome").unwrap().as_str(), Some("failed"));
+    assert!(row.get("result").unwrap().is_null());
+
+    d.server.stop();
+    d.runner.join().unwrap().unwrap();
+}
+
+#[test]
+fn full_queue_rejects_the_sweep_with_a_retry_hint() {
+    // No workers and zero depth: a cold submit cannot be accepted.
+    let d = daemon(0, 0);
+    let mut client = Client::connect(&d.addr).unwrap();
+    let outcome = client
+        .submit(&sweep(&["database"], &["none"]), |_| {})
+        .unwrap();
+    let SweepOutcome::Rejected {
+        reason,
+        retry_after_ms,
+    } = outcome
+    else {
+        panic!("expected rejection, got {outcome:?}");
+    };
+    assert!(reason.contains("queue full"), "reason: {reason}");
+    assert_eq!(retry_after_ms, 9);
+
+    // The daemon is still healthy: status round-trips on the same
+    // connection.
+    let status = client.status().unwrap();
+    assert_eq!(status.depth, 0);
+
+    d.server.stop();
+    d.runner.join().unwrap().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_carries_the_same_protocol() {
+    let path = std::env::temp_dir().join(format!("ebcp-serve-sock-{}", std::process::id()));
+    let harness = Arc::new(Harness::new(HarnessConfig {
+        jobs: 1,
+        ..HarnessConfig::default()
+    }));
+    let server = Server::bind(
+        harness,
+        ServerConfig {
+            tcp: None,
+            unix: Some(path.clone()),
+            queue: QueueConfig::default(),
+        },
+    )
+    .unwrap();
+    let runner = {
+        let s = Arc::clone(&server);
+        thread::spawn(move || s.run())
+    };
+    let mut client = Client::connect(&format!("unix:{}", path.display())).unwrap();
+    let outcome = client
+        .submit(&sweep(&["database"], &["none"]), |_| {})
+        .unwrap();
+    assert!(matches!(outcome, SweepOutcome::Done { failed: 0, .. }));
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
