@@ -379,7 +379,10 @@ fn bench_throughput(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
     let sweep = throughput::measure_sweep(scale);
     println!();
     print!("{}", throughput::render_sweep(&sweep));
-    let doc = throughput::to_json(scale, &rows, &sweep);
+    let lockstep = throughput::measure_lockstep(scale);
+    println!();
+    print!("{}", throughput::render_lockstep(&lockstep));
+    let doc = throughput::to_json(scale, &rows, &sweep, &lockstep);
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("warning: could not create {}: {e}", out_dir.display());
     }
@@ -417,6 +420,21 @@ fn bench_throughput(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
         }
         Ok((cur, base)) => {
             eprintln!("# sweep gate passed: geomean {cur:.1} Minst/s vs baseline {base:.1}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    match throughput::check_lockstep_against_baseline(&lockstep, &doc, 0.25) {
+        Ok((cur, base)) if base <= 0.0 => {
+            eprintln!(
+                "# lockstep gate skipped (baseline has no lockstep section); \
+                 current geomean {cur:.1} Minst/s"
+            );
+        }
+        Ok((cur, base)) => {
+            eprintln!("# lockstep gate passed: geomean {cur:.1} Minst/s vs baseline {base:.1}");
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -181,6 +181,81 @@ pub fn measure_sweep(scale: Scale) -> Vec<SweepRow> {
     rows
 }
 
+/// One lockstep-mode cell: the whole sweep roster driven by a single
+/// pass over the shared pre-resolved stream
+/// ([`RunSpec::run_preresolved_many`](ebcp_sim::RunSpec)), against the
+/// serial pre-resolve-once + replay-each sweep the harness used before
+/// lockstep. The decode and gap-collapse work the serial sweep repeats
+/// per prefetcher is paid once here, so this is the cell the SIMD-lane
+/// replay is gated on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockstepRow {
+    /// Workload name.
+    pub workload: String,
+    /// Roster prefetchers replayed as lockstep lanes.
+    pub prefetchers: u64,
+    /// Trace records per cell (one record = one instruction).
+    pub records: u64,
+    /// Wall-clock ms to pre-resolve once + replay each lane serially.
+    pub serial_ms: f64,
+    /// Wall-clock ms to pre-resolve once + one lockstep pass.
+    pub lockstep_ms: f64,
+    /// `serial_ms / lockstep_ms`.
+    pub speedup: f64,
+    /// Amortized lockstep throughput: `records × prefetchers /
+    /// lockstep_ms`, in Minst/s.
+    pub mips: f64,
+}
+
+/// Times one lockstep cell per workload at `scale`: the serial
+/// replay-each sweep against a single lockstep pass over the same
+/// stream. Sequential for run-to-run comparability, like [`measure`].
+pub fn measure_lockstep(scale: Scale) -> Vec<LockstepRow> {
+    use ebcp_sim::frontend::PreResolved;
+    let mut rows = Vec::new();
+    for w in scale.workloads() {
+        let spec = scale.run_spec(&w, scale.machine());
+        let trace = spec.materialize();
+        let roster = sweep_roster(scale);
+
+        // Allocator warm-up, as in `measure_sweep`.
+        std::hint::black_box(PreResolved::from_records(&spec.sim, &trace));
+
+        // Min-of-2 per mode, identical treatment for a fair ratio. Both
+        // modes include the front-end pass: it is part of what a sweep
+        // costs, and both amortize it the same way.
+        let mut serial = f64::INFINITY;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let pre = PreResolved::from_records(&spec.sim, &trace);
+            for pf in &roster {
+                std::hint::black_box(spec.run_preresolved(&pre, pf));
+            }
+            serial = serial.min(t0.elapsed().as_secs_f64());
+        }
+
+        let mut lockstep = f64::INFINITY;
+        for _ in 0..2 {
+            let t1 = Instant::now();
+            let pre = PreResolved::from_records(&spec.sim, &trace);
+            std::hint::black_box(spec.run_preresolved_many(&pre, &roster));
+            lockstep = lockstep.min(t1.elapsed().as_secs_f64());
+        }
+
+        let total = trace.len() as u64 * roster.len() as u64;
+        rows.push(LockstepRow {
+            workload: w.name.clone(),
+            prefetchers: roster.len() as u64,
+            records: trace.len() as u64,
+            serial_ms: serial * 1e3,
+            lockstep_ms: lockstep * 1e3,
+            speedup: serial / lockstep.max(1e-12),
+            mips: total as f64 / lockstep.max(1e-12) / 1e6,
+        });
+    }
+    rows
+}
+
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
     let positive: Vec<f64> = values.filter(|&m| m > 0.0).collect();
     if positive.is_empty() {
@@ -206,10 +281,25 @@ pub fn sweep_geomean_speedup(rows: &[SweepRow]) -> f64 {
     geomean(rows.iter().map(|r| r.speedup))
 }
 
-/// Encodes the matrix plus the sweep cells as the
-/// `BENCH_throughput.json` document (schema 2; schema 1 had no sweep
-/// section).
-pub fn to_json(scale: Scale, rows: &[ThroughputRow], sweep: &[SweepRow]) -> Value {
+/// Geometric mean of the amortized lockstep Minst/s.
+pub fn lockstep_geomean_mips(rows: &[LockstepRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.mips))
+}
+
+/// Geometric mean of the per-workload lockstep-vs-serial speedups.
+pub fn lockstep_geomean_speedup(rows: &[LockstepRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.speedup))
+}
+
+/// Encodes the matrix plus the sweep and lockstep cells as the
+/// `BENCH_throughput.json` document (schema 3; schema 2 had no
+/// lockstep section, schema 1 no sweep section).
+pub fn to_json(
+    scale: Scale,
+    rows: &[ThroughputRow],
+    sweep: &[SweepRow],
+    lockstep: &[LockstepRow],
+) -> Value {
     let rows_json = rows
         .iter()
         .map(|r| {
@@ -236,8 +326,22 @@ pub fn to_json(scale: Scale, rows: &[ThroughputRow], sweep: &[SweepRow]) -> Valu
             ])
         })
         .collect();
+    let lockstep_json = lockstep
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("workload".into(), Value::Str(r.workload.clone())),
+                ("prefetchers".into(), Value::Int(r.prefetchers)),
+                ("records".into(), Value::Int(r.records)),
+                ("serial_ms".into(), Value::Num(r.serial_ms)),
+                ("lockstep_ms".into(), Value::Num(r.lockstep_ms)),
+                ("speedup".into(), Value::Num(r.speedup)),
+                ("mips".into(), Value::Num(r.mips)),
+            ])
+        })
+        .collect();
     Value::Obj(vec![
-        ("schema".into(), Value::Int(2)),
+        ("schema".into(), Value::Int(3)),
         ("scale_den".into(), Value::Int(scale.den)),
         ("geomean_mips".into(), Value::Num(geomean_mips(rows))),
         (
@@ -248,8 +352,17 @@ pub fn to_json(scale: Scale, rows: &[ThroughputRow], sweep: &[SweepRow]) -> Valu
             "sweep_geomean_speedup".into(),
             Value::Num(sweep_geomean_speedup(sweep)),
         ),
+        (
+            "lockstep_geomean_mips".into(),
+            Value::Num(lockstep_geomean_mips(lockstep)),
+        ),
+        (
+            "lockstep_geomean_speedup".into(),
+            Value::Num(lockstep_geomean_speedup(lockstep)),
+        ),
         ("rows".into(), Value::Arr(rows_json)),
         ("sweep".into(), Value::Arr(sweep_json)),
+        ("lockstep".into(), Value::Arr(lockstep_json)),
     ])
 }
 
@@ -319,6 +432,46 @@ pub fn check_sweep_against_baseline(
     Ok((cur, base))
 }
 
+/// Compares measured lockstep cells against a committed baseline
+/// document.
+///
+/// Returns `(current, baseline)` geometric mean amortized Minst/s on
+/// success. A pre-lockstep baseline (no `lockstep_geomean_mips`)
+/// passes trivially with a baseline of `0.0`, so the gate can be
+/// introduced without a flag day.
+///
+/// # Errors
+///
+/// Fails if the current lockstep geometric mean dropped by more than
+/// `max_drop` below the baseline.
+pub fn check_lockstep_against_baseline(
+    lockstep: &[LockstepRow],
+    baseline: &Value,
+    max_drop: f64,
+) -> Result<(f64, f64), String> {
+    let cur = lockstep_geomean_mips(lockstep);
+    let Some(base) = baseline
+        .get("lockstep_geomean_mips")
+        .and_then(Value::as_f64)
+    else {
+        return Ok((cur, 0.0));
+    };
+    if base <= 0.0 {
+        return Err(format!(
+            "baseline lockstep_geomean_mips not positive: {base}"
+        ));
+    }
+    let floor = base * (1.0 - max_drop);
+    if cur < floor {
+        return Err(format!(
+            "lockstep throughput regressed: geomean {cur:.1} Minst/s is below \
+             {floor:.1} ({:.0}% of baseline {base:.1})",
+            (1.0 - max_drop) * 100.0
+        ));
+    }
+    Ok((cur, base))
+}
+
 /// Renders the matrix as an aligned table.
 pub fn render(rows: &[ThroughputRow]) -> String {
     use std::fmt::Write as _;
@@ -372,6 +525,37 @@ pub fn render_sweep(rows: &[SweepRow]) -> String {
     s
 }
 
+/// Renders the lockstep cells as an aligned table.
+pub fn render_lockstep(rows: &[LockstepRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Lockstep throughput (one pass over the shared stream drives every lane; \
+         SIMD tier: {:?})",
+        ebcp_mem::simd::tier()
+    );
+    let _ = writeln!(
+        s,
+        "{:<22} {:>4} {:>12} {:>10} {:>11} {:>8} {:>10}",
+        "workload", "pf", "records", "serial ms", "lockstep ms", "speedup", "Minst/s"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<22} {:>4} {:>12} {:>10.1} {:>11.1} {:>7.2}x {:>10.1}",
+            r.workload, r.prefetchers, r.records, r.serial_ms, r.lockstep_ms, r.speedup, r.mips
+        );
+    }
+    let _ = writeln!(
+        s,
+        "geomean: {:.1} Minst/s amortized, {:.2}x vs serial replay",
+        lockstep_geomean_mips(rows),
+        lockstep_geomean_speedup(rows)
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +583,19 @@ mod tests {
         }
     }
 
+    fn lockstep_row(mips: f64, speedup: f64) -> LockstepRow {
+        let lockstep_ms = 4.0 * 1_000_000.0 / mips / 1e3;
+        LockstepRow {
+            workload: "database".into(),
+            prefetchers: 4,
+            records: 1_000_000,
+            serial_ms: lockstep_ms * speedup,
+            lockstep_ms,
+            speedup,
+            mips,
+        }
+    }
+
     #[test]
     fn geomean_math() {
         let rows = [row(10.0), row(40.0)];
@@ -413,8 +610,9 @@ mod tests {
     fn json_document_shape() {
         let rows = [row(25.0)];
         let sweeps = [sweep_row(100.0, 4.0)];
-        let v = to_json(Scale::quick(), &rows, &sweeps);
-        assert_eq!(v.get("schema").unwrap().as_u64(), Some(2));
+        let locksteps = [lockstep_row(400.0, 4.0)];
+        let v = to_json(Scale::quick(), &rows, &sweeps, &locksteps);
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("scale_den").unwrap().as_u64(), Some(16));
         let parsed = ebcp_harness::json::parse(&v.to_json_pretty()).unwrap();
         let back = parsed.get("rows").unwrap().as_arr().unwrap();
@@ -427,11 +625,25 @@ mod tests {
         assert!((sw[0].get("speedup").unwrap().as_f64().unwrap() - 4.0).abs() < 1e-9);
         let g = parsed.get("sweep_geomean_mips").unwrap().as_f64().unwrap();
         assert!((g - 100.0).abs() < 1e-9);
+        let ls = parsed.get("lockstep").unwrap().as_arr().unwrap();
+        assert_eq!(ls.len(), 1);
+        assert!((ls[0].get("speedup").unwrap().as_f64().unwrap() - 4.0).abs() < 1e-9);
+        let lg = parsed
+            .get("lockstep_geomean_mips")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((lg - 400.0).abs() < 1e-9);
     }
 
     #[test]
     fn baseline_gate() {
-        let baseline = to_json(Scale::quick(), &[row(40.0)], &[sweep_row(100.0, 4.0)]);
+        let baseline = to_json(
+            Scale::quick(),
+            &[row(40.0)],
+            &[sweep_row(100.0, 4.0)],
+            &[lockstep_row(400.0, 4.0)],
+        );
         // Within tolerance: 31 > 40 * 0.75.
         assert!(check_against_baseline(&[row(31.0)], &baseline, 0.25).is_ok());
         // Beyond tolerance: 29 < 30.
@@ -443,7 +655,12 @@ mod tests {
 
     #[test]
     fn sweep_baseline_gate() {
-        let baseline = to_json(Scale::quick(), &[row(40.0)], &[sweep_row(100.0, 4.0)]);
+        let baseline = to_json(
+            Scale::quick(),
+            &[row(40.0)],
+            &[sweep_row(100.0, 4.0)],
+            &[lockstep_row(400.0, 4.0)],
+        );
         // Within tolerance: 80 > 100 * 0.75.
         assert!(check_sweep_against_baseline(&[sweep_row(80.0, 3.0)], &baseline, 0.25).is_ok());
         // Beyond tolerance: 70 < 75.
@@ -459,6 +676,31 @@ mod tests {
     }
 
     #[test]
+    fn lockstep_baseline_gate() {
+        let baseline = to_json(
+            Scale::quick(),
+            &[row(40.0)],
+            &[sweep_row(100.0, 4.0)],
+            &[lockstep_row(400.0, 4.0)],
+        );
+        // Within tolerance: 320 > 400 * 0.75.
+        assert!(
+            check_lockstep_against_baseline(&[lockstep_row(320.0, 3.0)], &baseline, 0.25).is_ok()
+        );
+        // Beyond tolerance: 280 < 300.
+        let err = check_lockstep_against_baseline(&[lockstep_row(280.0, 3.0)], &baseline, 0.25)
+            .unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // A schema-2 baseline without a lockstep section passes
+        // trivially, so the gate needs no flag day.
+        let old = Value::Obj(vec![("sweep_geomean_mips".into(), Value::Num(100.0))]);
+        let (cur, base) =
+            check_lockstep_against_baseline(&[lockstep_row(280.0, 3.0)], &old, 0.25).unwrap();
+        assert!((cur - 280.0).abs() < 1e-9);
+        assert_eq!(base, 0.0);
+    }
+
+    #[test]
     fn render_lists_every_cell() {
         let s = render(&[row(25.0)]);
         assert!(s.contains("database"));
@@ -466,6 +708,10 @@ mod tests {
         let sw = render_sweep(&[sweep_row(100.0, 4.0)]);
         assert!(sw.contains("database"));
         assert!(sw.contains("4.00x"));
+        let ls = render_lockstep(&[lockstep_row(400.0, 4.0)]);
+        assert!(ls.contains("database"));
+        assert!(ls.contains("4.00x"));
+        assert!(ls.contains("SIMD tier"));
     }
 
     #[test]

@@ -169,6 +169,14 @@ pub struct HarnessConfig {
     pub store_dir: Option<PathBuf>,
     /// Render the live progress line on stderr.
     pub progress: bool,
+    /// Replay jobs that share a pre-resolved stream *and* a full
+    /// `RunSpec` in lockstep: one pass over the shared event stream
+    /// drives all their prefetcher lanes ([`ebcp_sim::Lockstep`]),
+    /// amortizing event decode and gap collapse across the sweep.
+    /// Results are byte-identical to the serial per-job path (that is
+    /// tested, not assumed); a lane that panics is retried serially and
+    /// fails alone. Disable to force the one-job-per-replay path.
+    pub lockstep: bool,
 }
 
 impl Default for HarnessConfig {
@@ -178,6 +186,7 @@ impl Default for HarnessConfig {
             mem_budget_bytes: DEFAULT_MEM_BUDGET_BYTES,
             store_dir: None,
             progress: false,
+            lockstep: true,
         }
     }
 }
@@ -419,6 +428,41 @@ impl Harness {
                         ResultSource::Memory
                     }
                     std::collections::hash_map::Entry::Vacant(slot) => {
+                        // CMP per-core workloads must not reach the
+                        // pre-resolved replay path: their traces live in
+                        // disjoint address spaces and only make sense
+                        // interleaved by `CmpEngine` (run those through
+                        // [`Harness::map`]). Reject loudly instead of
+                        // quietly simulating a meaningless single-core
+                        // run. The rejection is memoized like any other
+                        // failure and never disk-cached.
+                        if job.spec.workload.addr_space != 0 {
+                            let reason = format!(
+                                "CMP per-core workload '{}' (addr_space {}) cannot run on the \
+                                 two-phase pre-resolved replay path; run CMP configurations \
+                                 through CmpEngine via Harness::map",
+                                job.spec.workload.name, job.spec.workload.addr_space
+                            );
+                            self.bus.publish(&Event::JobFailed {
+                                label: job.label(),
+                                reason: reason.clone(),
+                            });
+                            c.failed += 1;
+                            slot.insert(JobOutcome::Failed {
+                                reason: reason.clone(),
+                            });
+                            records.push(JobRecord {
+                                id,
+                                workload: job.spec.workload.name.clone(),
+                                prefetcher: job.pf.name(),
+                                source: ResultSource::Executed,
+                                wall_ms: None,
+                                insts_per_sec: None,
+                                retried: false,
+                                error: Some(reason),
+                            });
+                            continue;
+                        }
                         let read = match &self.store {
                             Some(s) => s.load_checked(job),
                             None => CacheRead::Miss,
@@ -497,15 +541,45 @@ impl Harness {
     /// workload; with a store configured they are also cached on disk
     /// (`preres/`), making the front end free across processes.
     fn execute(&self, pending: &[(usize, &Job)]) {
-        let workers = self.workers.min(pending.len()).max(1);
+        // Group pending jobs that share one pre-resolved stream AND one
+        // full `RunSpec` into lockstep units: one replay pass over the
+        // shared event stream drives all their prefetcher lanes
+        // (`ebcp_sim::Lockstep` via `run_preresolved_many`). Unit order
+        // follows first-member submission order; members keep
+        // submission order, so results stay deterministic.
+        let mut units: Vec<Vec<usize>> = Vec::new();
+        if self.cfg.lockstep {
+            let mut by_key: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (idx, (_, job)) in pending.iter().enumerate() {
+                let candidates = by_key.entry(job.pre_key()).or_default();
+                // The pre-key covers workload/seed/length/L1; lanes must
+                // also agree on the rest of the machine (`SimConfig`).
+                match candidates
+                    .iter()
+                    .find(|&&u| pending[units[u][0]].1.spec == job.spec)
+                {
+                    Some(&u) => units[u].push(idx),
+                    None => {
+                        candidates.push(units.len());
+                        units.push(vec![idx]);
+                    }
+                }
+            }
+        } else {
+            units = (0..pending.len()).map(|i| vec![i]).collect();
+        }
+        let units = &units;
+        let workers = self.workers.min(units.len()).max(1);
 
         // Streams come from the harness-lifetime `pres` map (see the
         // field docs). If an initializer panics, the cell stays
         // uninitialized, so a retry (or a sibling job on the same key)
         // rebuilds it from scratch.
         let pres = &self.pres;
-        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..units.len()).collect());
         type Slot = Result<(SimResult, u64, f64, bool), String>;
+        // A lane's outcome before timing attribution: result + retried flag.
+        type LaneOut = Result<(SimResult, bool), String>;
         let outputs: Mutex<Vec<Option<Slot>>> = Mutex::new(vec![None; pending.len()]);
         let (tx, rx) = mpsc::channel::<Event>();
 
@@ -514,19 +588,25 @@ impl Harness {
                 let tx = tx.clone();
                 let (queue, outputs) = (&queue, &outputs);
                 s.spawn(move || loop {
-                    let Some(i) = lock(queue).pop_front() else {
+                    let Some(u) = lock(queue).pop_front() else {
                         break;
                     };
-                    let (_, job) = &pending[i];
-                    let _ = tx.send(Event::JobStarted { label: job.label() });
+                    let unit = &units[u];
+                    for &i in unit {
+                        let _ = tx.send(Event::JobStarted {
+                            label: pending[i].1.label(),
+                        });
+                    }
                     let t = Instant::now();
 
-                    // One attempt: front end (shared, disk-cached) +
-                    // back-end replay, with any panic caught so a buggy
-                    // prefetcher fails only its own cell. The closure
-                    // touches `pres` only through a cloned Arc outside
-                    // any lock, so no guard is held across user code.
-                    let attempt = || -> Result<SimResult, String> {
+                    // One single-job attempt: front end (shared,
+                    // disk-cached) + back-end replay, with any panic
+                    // caught so a buggy prefetcher fails only its own
+                    // cell. The closure touches `pres` only through a
+                    // cloned Arc outside any lock, so no guard is held
+                    // across user code. Also the serial retry path for
+                    // a lockstep lane that panicked.
+                    let attempt_one = |job: &Job| -> Result<SimResult, String> {
                         catch_unwind(AssertUnwindSafe(|| {
                             let cell = Arc::clone(
                                 lock(pres)
@@ -539,51 +619,93 @@ impl Harness {
                         .map_err(panic_reason)
                     };
 
-                    // Retry-once policy: a first-attempt panic may be
-                    // environmental (a torn mmap, a one-shot fault); a
-                    // second one is the job's own and final.
-                    let slot: Slot = match attempt() {
-                        Ok(result) => Ok((result, false)),
-                        Err(first) => {
-                            let _ = tx.send(Event::JobRetried {
-                                label: job.label(),
-                                reason: first,
-                            });
-                            match attempt() {
-                                Ok(result) => Ok((result, true)),
-                                Err(reason) => Err(reason),
+                    // First attempts: one lockstep pass when the unit
+                    // has siblings, the plain single-job path otherwise.
+                    // `Lockstep` catches per-lane panics itself, so a
+                    // faulting lane surfaces as its own `Err` here; this
+                    // outer catch covers pre-resolution and the driver.
+                    let firsts: Vec<Result<SimResult, String>> = if unit.len() > 1 {
+                        let lead = pending[unit[0]].1;
+                        let pfs: Vec<ebcp_sim::PrefetcherSpec> =
+                            unit.iter().map(|&i| pending[i].1.pf.clone()).collect();
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            let cell = Arc::clone(
+                                lock(pres)
+                                    .entry(lead.pre_key())
+                                    .or_insert_with(|| Arc::new(OnceLock::new())),
+                            );
+                            let pre = cell.get_or_init(|| Arc::new(self.prepare_pre(lead, &tx)));
+                            lead.spec.run_preresolved_many(pre, &pfs)
+                        })) {
+                            Ok(lanes) => lanes,
+                            Err(payload) => {
+                                let reason = panic_reason(payload);
+                                unit.iter().map(|_| Err(reason.clone())).collect()
                             }
                         }
-                    }
-                    .map(|(result, retried)| {
-                        let wall = t.elapsed();
-                        let wall_ms = wall.as_millis() as u64;
-                        let rate = job.records() as f64 / wall.as_secs_f64().max(1e-9);
-                        (result, wall_ms, rate, retried)
-                    });
+                    } else {
+                        vec![attempt_one(pending[unit[0]].1)]
+                    };
 
-                    match &slot {
-                        Ok((result, wall_ms, rate, _)) => {
-                            if let Some(store) = &self.store {
-                                // Cache-write failure loses only incrementality.
-                                let _ = store.save(job, result);
+                    // Retry-once policy, per lane: a first-attempt panic
+                    // may be environmental (a torn mmap, a one-shot
+                    // fault); a second one is the job's own and final.
+                    let lanes: Vec<(usize, LaneOut)> = unit
+                        .iter()
+                        .zip(firsts)
+                        .map(|(&i, first)| {
+                            let job = pending[i].1;
+                            let out = match first {
+                                Ok(result) => Ok((result, false)),
+                                Err(first) => {
+                                    let _ = tx.send(Event::JobRetried {
+                                        label: job.label(),
+                                        reason: first,
+                                    });
+                                    match attempt_one(job) {
+                                        Ok(result) => Ok((result, true)),
+                                        Err(reason) => Err(reason),
+                                    }
+                                }
+                            };
+                            (i, out)
+                        })
+                        .collect();
+
+                    // The unit ran as one pass; attribute an equal share
+                    // of its wall clock to each lane so per-job rates
+                    // reflect the amortization.
+                    let wall = t.elapsed() / unit.len() as u32;
+                    let wall_ms = wall.as_millis() as u64;
+                    for (i, out) in lanes {
+                        let job = pending[i].1;
+                        let slot: Slot = out.map(|(result, retried)| {
+                            let rate = job.records() as f64 / wall.as_secs_f64().max(1e-9);
+                            (result, wall_ms, rate, retried)
+                        });
+                        match &slot {
+                            Ok((result, wall_ms, rate, _)) => {
+                                if let Some(store) = &self.store {
+                                    // Cache-write failure loses only incrementality.
+                                    let _ = store.save(job, result);
+                                }
+                                let _ = tx.send(Event::JobFinished {
+                                    label: job.label(),
+                                    wall_ms: *wall_ms,
+                                    insts_per_sec: *rate,
+                                });
                             }
-                            let _ = tx.send(Event::JobFinished {
-                                label: job.label(),
-                                wall_ms: *wall_ms,
-                                insts_per_sec: *rate,
-                            });
+                            Err(reason) => {
+                                // Nothing cached: a failed job leaves no
+                                // on-disk trace to be mistaken for a result.
+                                let _ = tx.send(Event::JobFailed {
+                                    label: job.label(),
+                                    reason: reason.clone(),
+                                });
+                            }
                         }
-                        Err(reason) => {
-                            // Nothing cached: a failed job leaves no
-                            // on-disk trace to be mistaken for a result.
-                            let _ = tx.send(Event::JobFailed {
-                                label: job.label(),
-                                reason: reason.clone(),
-                            });
-                        }
+                        lock(outputs)[i] = Some(slot);
                     }
-                    lock(outputs)[i] = Some(slot);
                 });
             }
             drop(tx);
@@ -1094,6 +1216,94 @@ mod tests {
         let tfirst = &tdoc.get("jobs").unwrap().as_arr().unwrap()[0];
         assert_eq!(tfirst.get("source").unwrap().as_str(), Some("run"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A one-workload × many-prefetcher batch forms a single lockstep
+    /// unit; its results must be byte-identical to the per-job serial
+    /// replay path, with every cell counted as executed.
+    #[test]
+    fn lockstep_batch_matches_per_job_replay() {
+        let w = WorkloadSpec::database().scaled(1, 16);
+        let pfs = [
+            PrefetcherSpec::None,
+            PrefetcherSpec::baseline(
+                "stream",
+                ebcp_prefetch::BaselineConfig::Stream(ebcp_prefetch::StreamConfig::default()),
+            ),
+            PrefetcherSpec::Ebcp(ebcp_core::EbcpConfig::tuned()),
+        ];
+        let jobs: Vec<Job> = pfs
+            .iter()
+            .map(|pf| Job::new(spec(w.clone(), 3), pf.clone()))
+            .collect();
+        let lockstep = Harness::serial(); // lockstep is the default
+        let serial = Harness::new(HarnessConfig {
+            jobs: 1,
+            lockstep: false,
+            ..HarnessConfig::default()
+        });
+        assert_eq!(lockstep.run(&jobs), serial.run(&jobs));
+        assert_eq!(lockstep.summary().executed, jobs.len());
+        assert_eq!(serial.summary().executed, jobs.len());
+    }
+
+    /// A fault-injected lane panicking mid-lockstep fails only its own
+    /// cell; sibling lanes return results byte-identical to the serial
+    /// path's.
+    #[test]
+    fn lockstep_fault_lane_fails_alone() {
+        use ebcp_prefetch::{BaselineConfig, FaultConfig};
+        let w = WorkloadSpec::database().scaled(1, 16);
+        let jobs = vec![
+            Job::new(spec(w.clone(), 3), PrefetcherSpec::None),
+            Job::new(
+                spec(w.clone(), 3),
+                PrefetcherSpec::baseline(
+                    "fault",
+                    BaselineConfig::Fault(FaultConfig::panic_after(40)),
+                ),
+            ),
+            Job::new(
+                spec(w, 3),
+                PrefetcherSpec::Ebcp(ebcp_core::EbcpConfig::tuned()),
+            ),
+        ];
+        let h = Harness::serial();
+        let out = h.run_outcomes(&jobs);
+        let reason = out[1].failure().expect("fault lane must fail");
+        assert!(reason.contains("injected fault"), "{reason}");
+        assert_eq!(h.summary().failed, 1);
+        // Siblings are untouched and byte-identical to serial replays.
+        let serial = Harness::new(HarnessConfig {
+            jobs: 1,
+            lockstep: false,
+            ..HarnessConfig::default()
+        });
+        for k in [0, 2] {
+            let reference = serial.run_outcomes(&jobs[k..=k]);
+            assert_eq!(out[k], reference[0], "sibling lane {k}");
+        }
+    }
+
+    /// CMP per-core jobs are rejected with a clear error instead of
+    /// quietly simulating a meaningless single-core run; the rejection
+    /// is memoized like any other failure.
+    #[test]
+    fn cmp_jobs_are_rejected_with_a_clear_error() {
+        let h = Harness::serial();
+        let mut w = WorkloadSpec::database().scaled(1, 16);
+        w.addr_space = 2; // per-core CMP address-space id
+        let job = Job::new(spec(w, 3), PrefetcherSpec::None);
+        let out = h.run_outcomes(std::slice::from_ref(&job));
+        let reason = out[0].failure().expect("CMP job must be rejected");
+        assert!(reason.contains("CMP"), "{reason}");
+        assert!(reason.contains("Harness::map"), "{reason}");
+        let s = h.summary();
+        assert_eq!((s.failed, s.executed), (1, 0), "rejected before any run");
+        // Resubmission reports the same failure from the memo.
+        let again = h.run_outcomes(&[job]);
+        assert_eq!(again[0], out[0]);
+        assert_eq!(h.summary().failed, 1, "no double-count on resubmission");
     }
 
     /// results.json must not depend on where results came from: a cold

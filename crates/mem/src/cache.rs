@@ -9,35 +9,45 @@
 //! # Data layout
 //!
 //! This is the single hottest structure in the simulator — `Engine::step`
-//! performs two to three lookups per simulated instruction — so it is
-//! laid out structure-of-arrays:
+//! performs two to three lookups per simulated instruction, and the
+//! replay fast loops one per stream event — so the layout is built
+//! around the cost of one lookup in *host* cache lines:
 //!
-//! * `tags` and `lru` are flat per-line arrays; a set's ways are
-//!   contiguous, so one victim scan touches one or two cache lines of
-//!   host memory instead of striding over padded `Way` structs.
+//! * every modeled machine is 4-way at every level, and for that
+//!   geometry a whole set — tags, LRU stamps, MRU way and dirty bits —
+//!   packs into one 64-byte [`Set4`] block. A probe that used to touch
+//!   two or three host lines (tags array + lru array + mru array) now
+//!   touches exactly one; on the big scaled L2s, whose tag state blows
+//!   the host L1, that halves the memory traffic of the hottest loop in
+//!   the simulator. Other associativities take a flat
+//!   structure-of-arrays fallback ([`FlatStore`]) with identical
+//!   semantics.
 //! * there is no valid bitset: an empty way holds the sentinel tag
 //!   `u64::MAX` (unreachable for any real line address, whose index fits
 //!   in 58 bits), so the way scan is a bare tag compare with no
-//!   per-way bit extraction. Dirty bits stay in a packed bitset — they
-//!   are off the lookup path.
+//!   per-way bit extraction.
 //! * LRU stamps are `u32`, not `u64` — half the stamp traffic — with an
 //!   order-preserving renormalization pass on the (once per ~4 G
 //!   accesses) wraparound.
 //! * the set mask and tag shift are precomputed in [`CacheGeometry`] at
 //!   construction; a lookup does no division or `trailing_zeros`.
-//! * [`SetAssocCache::access`] scans the set in one branchless pass that
-//!   finds the hit way and the replacement victim together — every
-//!   per-way decision is a compare+select, so the only data-dependent
-//!   branch per lookup is the final hit/miss outcome. The scaled-down
-//!   L1s thrash by design, which made per-way branches (and an MRU
-//!   pre-probe) chronic mispredicts; [`SetAssocCache::probe`] and
-//!   `mark_dirty`, whose reference streams do repeat lines, still check
-//!   the most-recently-used way first.
+//! * [`SetAssocCache::access`] scans the set in one branchless pass
+//!   (the statically-dispatched `scan4_probe` SIMD kernel for packed
+//!   sets) that finds the hit way and the replacement victim together —
+//!   every per-way decision is a compare+select, so the only
+//!   data-dependent branch per lookup is the final hit/miss outcome.
+//!   The scaled-down L1s thrash by design, which made per-way branches
+//!   (and an MRU pre-probe) chronic mispredicts; [`SetAssocCache::probe`]
+//!   and `mark_dirty`, whose reference streams do repeat lines, still
+//!   check the most-recently-used way first.
 //! * a missing `access` records the victim it chose in a one-shot memo;
 //!   the `fill` of that same line (the universal miss→fill idiom in the
 //!   engine) consumes the memo and skips both its residency re-check
 //!   and the victim rescan. Any other mutation of the cache clears the
 //!   memo, so the fast path is exactly equivalent to rescanning.
+//! * [`SetAssocCache::prefetch_set`] exposes the set-block address as a
+//!   host prefetch hint, letting the replay loops overlap the probe's
+//!   memory latency with the previous event's work.
 //!
 //! The straightforward array-of-structs implementation this replaced is
 //! retained under `#[cfg(test)]` as [`naive::NaiveCache`], and a
@@ -176,15 +186,7 @@ pub struct Eviction {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
-    /// Per-line tags; set `s`'s ways live at `s*ways .. (s+1)*ways`.
-    /// Empty ways hold [`TAG_NONE`].
-    tags: Vec<u64>,
-    /// Per-line LRU stamps (larger = more recently used).
-    lru: Vec<u32>,
-    /// Dirty bits, one per line slot, packed 64 per word.
-    dirty: Vec<u64>,
-    /// Per-set index of the most-recently-used way (fast path).
-    mru: Vec<u16>,
+    store: Store,
     /// One-shot victim memo: set/tag of the last missing [`access`]
     /// (`memo_set == NO_SET` when empty) and the victim way its scan
     /// chose. Consumed by the [`fill`] of the same line; cleared by any
@@ -209,6 +211,54 @@ const TAG_NONE: u64 = u64::MAX;
 /// (the set mask is at most `u64::MAX >> 1`).
 const NO_SET: u64 = u64::MAX;
 
+/// A 4-way set packed into one aligned 64-byte block: tags, LRU
+/// stamps, MRU way and dirty bits all land in a single host cache
+/// line, so a probe costs exactly one line of host memory traffic.
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy)]
+struct Set4 {
+    /// Way tags; empty ways hold [`TAG_NONE`].
+    tags: [u64; 4],
+    /// Way LRU stamps (larger = more recently used).
+    lru: [u32; 4],
+    /// Index of the most-recently-used way (fast path).
+    mru: u16,
+    /// Dirty bits, one per way.
+    dirty: u8,
+}
+
+const _: () = assert!(std::mem::size_of::<Set4>() == 64);
+
+impl Set4 {
+    const EMPTY: Set4 = Set4 {
+        tags: [TAG_NONE; 4],
+        lru: [0; 4],
+        mru: 0,
+        dirty: 0,
+    };
+}
+
+/// Cache storage: packed per-set blocks for the ubiquitous 4-way
+/// geometry, flat structure-of-arrays for everything else.
+#[derive(Debug, Clone)]
+enum Store {
+    Packed(Vec<Set4>),
+    Flat(FlatStore),
+}
+
+/// The generic-associativity layout (see the [module docs](self)).
+#[derive(Debug, Clone)]
+struct FlatStore {
+    /// Per-line tags; set `s`'s ways live at `s*ways .. (s+1)*ways`.
+    tags: Vec<u64>,
+    /// Per-line LRU stamps.
+    lru: Vec<u32>,
+    /// Dirty bits, one per line slot, packed 64 per word.
+    dirty: Vec<u64>,
+    /// Per-set index of the most-recently-used way.
+    mru: Vec<u16>,
+}
+
 impl SetAssocCache {
     /// Creates an empty cache.
     ///
@@ -222,12 +272,19 @@ impl SetAssocCache {
             geometry.ways() <= u64::from(u16::MAX) as u32,
             "associativity above u16::MAX is not supported"
         );
+        let store = if geometry.ways() == 4 {
+            Store::Packed(vec![Set4::EMPTY; geometry.sets() as usize])
+        } else {
+            Store::Flat(FlatStore {
+                tags: vec![TAG_NONE; n],
+                lru: vec![0; n],
+                dirty: vec![0; n.div_ceil(64)],
+                mru: vec![0; geometry.sets() as usize],
+            })
+        };
         SetAssocCache {
             geometry,
-            tags: vec![TAG_NONE; n],
-            lru: vec![0; n],
-            dirty: vec![0; n.div_ceil(64)],
-            mru: vec![0; geometry.sets() as usize],
+            store,
             memo_set: NO_SET,
             memo_tag: 0,
             memo_slot: 0,
@@ -242,31 +299,90 @@ impl SetAssocCache {
         self.geometry
     }
 
+    /// Hints the host to pull the set holding `line` into cache. Pure
+    /// optimization — no modeled state changes — used by the replay
+    /// loops to overlap probe latency with the previous event's work.
+    #[inline]
+    pub fn prefetch_set(&self, line: LineAddr) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let set = self.geometry.set_of(line) as usize;
+            match &self.store {
+                // SAFETY: `set` indexes within the allocation (geometry
+                // invariant); prefetch reads nothing and faults never.
+                Store::Packed(blocks) => unsafe {
+                    _mm_prefetch(blocks.as_ptr().add(set).cast::<i8>(), _MM_HINT_T0);
+                },
+                Store::Flat(f) => unsafe {
+                    let base = set * self.geometry.ways as usize;
+                    _mm_prefetch(f.tags.as_ptr().add(base).cast::<i8>(), _MM_HINT_T0);
+                },
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line;
+    }
+
+    #[inline]
+    fn slot_tag(&self, slot: usize) -> u64 {
+        match &self.store {
+            Store::Packed(blocks) => blocks[slot >> 2].tags[slot & 3],
+            Store::Flat(f) => f.tags[slot],
+        }
+    }
+
+    #[inline]
+    fn slot_lru(&self, slot: usize) -> u32 {
+        match &self.store {
+            Store::Packed(blocks) => blocks[slot >> 2].lru[slot & 3],
+            Store::Flat(f) => f.lru[slot],
+        }
+    }
+
+    #[inline]
+    fn set_slot_lru(&mut self, slot: usize, stamp: u32) {
+        match &mut self.store {
+            Store::Packed(blocks) => blocks[slot >> 2].lru[slot & 3] = stamp,
+            Store::Flat(f) => f.lru[slot] = stamp,
+        }
+    }
+
     #[inline]
     fn is_valid(&self, slot: usize) -> bool {
-        self.tags[slot] != TAG_NONE
+        self.slot_tag(slot) != TAG_NONE
     }
 
     #[inline]
     fn is_dirty(&self, slot: usize) -> bool {
-        self.dirty[slot >> 6] >> (slot & 63) & 1 != 0
+        match &self.store {
+            Store::Packed(blocks) => blocks[slot >> 2].dirty >> (slot & 3) & 1 != 0,
+            Store::Flat(f) => f.dirty[slot >> 6] >> (slot & 63) & 1 != 0,
+        }
     }
 
     #[inline]
     fn write_dirty(&mut self, slot: usize, dirty: bool) {
-        let word = &mut self.dirty[slot >> 6];
-        let bit = 1 << (slot & 63);
-        if dirty {
-            *word |= bit;
-        } else {
-            *word &= !bit;
+        match &mut self.store {
+            Store::Packed(blocks) => {
+                let bits = &mut blocks[slot >> 2].dirty;
+                let bit = 1u8 << (slot & 3);
+                if dirty {
+                    *bits |= bit;
+                } else {
+                    *bits &= !bit;
+                }
+            }
+            Store::Flat(f) => {
+                let word = &mut f.dirty[slot >> 6];
+                let bit = 1u64 << (slot & 63);
+                if dirty {
+                    *word |= bit;
+                } else {
+                    *word &= !bit;
+                }
+            }
         }
-    }
-
-    /// First slot of the set holding `line`.
-    #[inline]
-    fn set_base(&self, line: LineAddr) -> usize {
-        (self.geometry.set_of(line) as usize) * self.geometry.ways as usize
     }
 
     /// Finds a resident line's slot (first matching way, as in the
@@ -279,12 +395,28 @@ impl SetAssocCache {
             tag, TAG_NONE,
             "line address collides with the empty-way tag"
         );
-        let base = self.set_base(line);
-        let mru_slot = base + usize::from(self.mru[self.geometry.set_of(line) as usize]);
-        if self.tags[mru_slot] == tag {
-            return Some(mru_slot);
+        let set = self.geometry.set_of(line) as usize;
+        match &self.store {
+            Store::Packed(blocks) => {
+                let b = &blocks[set];
+                let m = usize::from(b.mru);
+                if b.tags[m] == tag {
+                    return Some((set << 2) | m);
+                }
+                b.tags
+                    .iter()
+                    .position(|&t| t == tag)
+                    .map(|w| (set << 2) | w)
+            }
+            Store::Flat(f) => {
+                let base = set * self.geometry.ways as usize;
+                let mru_slot = base + usize::from(f.mru[set]);
+                if f.tags[mru_slot] == tag {
+                    return Some(mru_slot);
+                }
+                (base..base + self.geometry.ways as usize).find(|&slot| f.tags[slot] == tag)
+            }
         }
-        (base..base + self.geometry.ways as usize).find(|&slot| self.tags[slot] == tag)
     }
 
     /// Advances the LRU clock. On the (once per ~4 G events) wraparound
@@ -303,12 +435,12 @@ impl SetAssocCache {
     /// preserving their relative order, and rewinds the clock to `n`.
     #[cold]
     fn renormalize(&mut self) {
-        let mut order: Vec<u32> = (0..self.tags.len() as u32)
+        let mut order: Vec<u32> = (0..self.geometry.lines() as u32)
             .filter(|&slot| self.is_valid(slot as usize))
             .collect();
-        order.sort_by_key(|&slot| self.lru[slot as usize]);
+        order.sort_by_key(|&slot| self.slot_lru(slot as usize));
         for (rank, &slot) in order.iter().enumerate() {
-            self.lru[slot as usize] = rank as u32 + 1;
+            self.set_slot_lru(slot as usize, rank as u32 + 1);
         }
         self.stamp = order.len() as u32;
     }
@@ -349,7 +481,6 @@ impl SetAssocCache {
             "line address collides with the empty-way tag"
         );
         let set = self.geometry.set_of(line);
-        let base = (set as usize) * self.geometry.ways as usize;
         // One branchless pass: find the hit way and the replacement
         // victim together. The victim key maps empty ways to 0 — live
         // LRU stamps are always >= 1 (`tick` starts at 1 and
@@ -358,54 +489,65 @@ impl SetAssocCache {
         // exactly the two-phase scan it replaces. Every update below is
         // a compare+select, so the hit/miss outcome costs one
         // (reasonably predictable) branch instead of one per way.
-        let w = self.geometry.ways as usize;
-        let mut hit = usize::MAX;
-        let mut victim = base;
-        let mut best = u32::MAX;
-        if w == 4 {
-            // Unrolled copy of the loop below for the ubiquitous 4-way
-            // geometry: fixed-size slices let every way's compare issue
-            // in parallel instead of serializing through loop control.
-            let t: [u64; 4] = self.tags[base..base + 4].try_into().unwrap();
-            let l: [u32; 4] = self.lru[base..base + 4].try_into().unwrap();
-            for i in 0..4 {
-                if t[i] == tag {
-                    hit = base + i;
+        match &mut self.store {
+            Store::Packed(blocks) => {
+                // One SIMD tag compare over the single-line set block
+                // yields hit way and victim together. Statically
+                // dispatched (`scan4_probe`): per-probe runtime
+                // dispatch costs more than the 32-byte scan it selects.
+                let b = &mut blocks[set as usize];
+                let (h, v) = crate::simd::scan4_probe(&b.tags, &b.lru, tag);
+                if h < 4 {
+                    let h = h as usize;
+                    b.lru[h] = stamp;
+                    b.mru = h as u16;
+                    if mark_dirty {
+                        b.dirty |= 1 << h;
+                    }
+                    self.hits += 1;
+                    self.memo_set = NO_SET;
+                    return true;
                 }
-                let key = if t[i] == TAG_NONE { 0 } else { l[i] };
-                if key < best {
-                    best = key;
-                    victim = base + i;
-                }
+                self.memo_set = set;
+                self.memo_tag = tag;
+                self.memo_slot = ((set as usize) << 2) | v as usize;
+                false
             }
-        } else {
-            let set_tags = &self.tags[base..base + w];
-            let set_lru = &self.lru[base..base + w];
-            for (i, (&t, &l)) in set_tags.iter().zip(set_lru).enumerate() {
-                if t == tag {
-                    hit = base + i;
+            Store::Flat(f) => {
+                let w = self.geometry.ways as usize;
+                let base = (set as usize) * w;
+                let mut hit = usize::MAX;
+                let mut victim = base;
+                let mut best = u32::MAX;
+                let set_tags = &f.tags[base..base + w];
+                let set_lru = &f.lru[base..base + w];
+                for (i, (&t, &l)) in set_tags.iter().zip(set_lru).enumerate() {
+                    if t == tag {
+                        hit = base + i;
+                    }
+                    let key = if t == TAG_NONE { 0 } else { l };
+                    if key < best {
+                        best = key;
+                        victim = base + i;
+                    }
                 }
-                let key = if t == TAG_NONE { 0 } else { l };
-                if key < best {
-                    best = key;
-                    victim = base + i;
+                if hit != usize::MAX {
+                    f.lru[hit] = stamp;
+                    f.mru[set as usize] = (hit - base) as u16;
+                    self.hits += 1;
+                    self.memo_set = NO_SET;
+                    if mark_dirty {
+                        let word = &mut f.dirty[hit >> 6];
+                        *word |= 1 << (hit & 63);
+                    }
+                    return true;
                 }
+                self.memo_set = set;
+                self.memo_tag = tag;
+                self.memo_slot = victim;
+                false
             }
         }
-        if hit != usize::MAX {
-            self.lru[hit] = stamp;
-            self.mru[set as usize] = (hit - base) as u16;
-            self.hits += 1;
-            self.memo_set = NO_SET;
-            if mark_dirty {
-                self.write_dirty(hit, true);
-            }
-            return true;
-        }
-        self.memo_set = set;
-        self.memo_tag = tag;
-        self.memo_slot = victim;
-        false
     }
 
     /// Inserts a line, evicting the set's LRU way if necessary.
@@ -420,57 +562,110 @@ impl SetAssocCache {
     #[inline]
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Eviction> {
         let stamp = self.tick();
-        let tag = self.geometry.tag_of(line);
-        let set = self.geometry.set_of(line);
-        let base = (set as usize) * self.geometry.ways as usize;
-        let victim;
-        if self.memo_set == set && self.memo_tag == tag {
+        let geo = self.geometry;
+        let tag = geo.tag_of(line);
+        let set = geo.set_of(line);
+        let memo_way = if self.memo_set == set && self.memo_tag == tag {
             // The line was absent when the memo was recorded and nothing
             // has mutated the cache since: skip the residency check and
             // the victim rescan.
-            victim = self.memo_slot;
+            Some(self.memo_slot - (set as usize) * geo.ways as usize)
         } else {
-            if let Some(slot) = self.find(line) {
-                self.lru[slot] = stamp;
-                if dirty {
-                    self.write_dirty(slot, true);
-                }
-                self.mru[set as usize] = (slot - base) as u16;
-                self.memo_set = NO_SET;
-                return None;
-            }
-            // Prefer an empty way; otherwise evict the LRU way.
-            let mut v = base;
-            let mut best = u32::MAX;
-            for slot in base..base + self.geometry.ways as usize {
-                let t = self.tags[slot];
-                if t == TAG_NONE {
-                    v = slot;
-                    break;
-                }
-                if self.lru[slot] < best {
-                    best = self.lru[slot];
-                    v = slot;
-                }
-            }
-            victim = v;
-        }
-        self.memo_set = NO_SET;
-        let evicted = if self.tags[victim] == TAG_NONE {
             None
-        } else {
-            Some(Eviction {
-                line: self.geometry.line_of(self.tags[victim], set),
-                dirty: self.is_dirty(victim),
-            })
         };
-        self.tags[victim] = tag;
-        self.lru[victim] = stamp;
-        // Overwrite, don't OR: the slot may carry the previous
-        // occupant's dirty bit.
-        self.write_dirty(victim, dirty);
-        self.mru[set as usize] = (victim - base) as u16;
-        evicted
+        self.memo_set = NO_SET;
+        match &mut self.store {
+            Store::Packed(blocks) => {
+                let b = &mut blocks[set as usize];
+                let victim = match memo_way {
+                    Some(w) => w,
+                    None => {
+                        // One scan finds residency and the victim
+                        // (first empty way, else the LRU way) together.
+                        let (h, v) = crate::simd::scan4_probe(&b.tags, &b.lru, tag);
+                        if h < 4 {
+                            let h = h as usize;
+                            b.lru[h] = stamp;
+                            if dirty {
+                                b.dirty |= 1 << h;
+                            }
+                            b.mru = h as u16;
+                            return None;
+                        }
+                        v as usize
+                    }
+                };
+                let evicted = if b.tags[victim] == TAG_NONE {
+                    None
+                } else {
+                    Some(Eviction {
+                        line: geo.line_of(b.tags[victim], set),
+                        dirty: b.dirty >> victim & 1 != 0,
+                    })
+                };
+                b.tags[victim] = tag;
+                b.lru[victim] = stamp;
+                // Overwrite, don't OR: the slot may carry the previous
+                // occupant's dirty bit.
+                b.dirty = (b.dirty & !(1 << victim)) | (u8::from(dirty) << victim);
+                b.mru = victim as u16;
+                evicted
+            }
+            Store::Flat(f) => {
+                let w = geo.ways as usize;
+                let base = (set as usize) * w;
+                let victim;
+                if let Some(way) = memo_way {
+                    victim = base + way;
+                } else {
+                    let mru_slot = base + usize::from(f.mru[set as usize]);
+                    let found = if f.tags[mru_slot] == tag {
+                        Some(mru_slot)
+                    } else {
+                        (base..base + w).find(|&slot| f.tags[slot] == tag)
+                    };
+                    if let Some(slot) = found {
+                        f.lru[slot] = stamp;
+                        if dirty {
+                            f.dirty[slot >> 6] |= 1 << (slot & 63);
+                        }
+                        f.mru[set as usize] = (slot - base) as u16;
+                        return None;
+                    }
+                    // Prefer an empty way; otherwise evict the LRU way.
+                    let mut v = base;
+                    let mut best = u32::MAX;
+                    for slot in base..base + w {
+                        let t = f.tags[slot];
+                        if t == TAG_NONE {
+                            v = slot;
+                            break;
+                        }
+                        if f.lru[slot] < best {
+                            best = f.lru[slot];
+                            v = slot;
+                        }
+                    }
+                    victim = v;
+                }
+                let evicted = if f.tags[victim] == TAG_NONE {
+                    None
+                } else {
+                    Some(Eviction {
+                        line: geo.line_of(f.tags[victim], set),
+                        dirty: f.dirty[victim >> 6] >> (victim & 63) & 1 != 0,
+                    })
+                };
+                f.tags[victim] = tag;
+                f.lru[victim] = stamp;
+                // Overwrite, don't OR (see above).
+                let word = &mut f.dirty[victim >> 6];
+                let bit = 1u64 << (victim & 63);
+                *word = (*word & !bit) | (u64::from(dirty) << (victim & 63));
+                f.mru[set as usize] = (victim - base) as u16;
+                evicted
+            }
+        }
     }
 
     /// Marks a resident line dirty; returns `false` if the line is absent.
@@ -496,7 +691,10 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Eviction> {
         let slot = self.find(line)?;
         let was_dirty = self.is_dirty(slot);
-        self.tags[slot] = TAG_NONE;
+        match &mut self.store {
+            Store::Packed(blocks) => blocks[slot >> 2].tags[slot & 3] = TAG_NONE,
+            Store::Flat(f) => f.tags[slot] = TAG_NONE,
+        }
         self.write_dirty(slot, false);
         self.memo_set = NO_SET;
         Some(Eviction {
@@ -524,7 +722,14 @@ impl SetAssocCache {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> u64 {
-        self.tags.iter().filter(|&&t| t != TAG_NONE).count() as u64
+        match &self.store {
+            Store::Packed(blocks) => blocks
+                .iter()
+                .flat_map(|b| b.tags.iter())
+                .filter(|&&t| t != TAG_NONE)
+                .count() as u64,
+            Store::Flat(f) => f.tags.iter().filter(|&&t| t != TAG_NONE).count() as u64,
+        }
     }
 
     /// Total lookups via [`SetAssocCache::access`].
@@ -550,9 +755,10 @@ impl SetAssocCache {
         // order: the next few ticks will renormalize.
         let lead = self.stamp;
         let offset = u32::MAX - 4 - lead;
-        for slot in 0..self.tags.len() {
+        for slot in 0..self.geometry.lines() as usize {
             if self.is_valid(slot) {
-                self.lru[slot] += offset;
+                let bumped = self.slot_lru(slot) + offset;
+                self.set_slot_lru(slot, bumped);
             }
         }
         self.stamp += offset;

@@ -182,6 +182,57 @@ fn concurrent_clients_isolate_faults_and_both_finish() {
 }
 
 #[test]
+fn fault_lane_in_a_mixed_sweep_fails_alone_and_siblings_match_serial() {
+    // One submit carries a fault-injection lane *between* healthy
+    // lanes. The fault cell must fail alone; every sibling's result
+    // must be byte-identical to a serial local reference run with
+    // lockstep replay disabled — the end-to-end version of the
+    // harness-level isolation test.
+    let d = daemon(2, 64);
+    let spec = sweep(&["database"], &["none", "fault", "ebcp"]);
+    let mut client = Client::connect(&d.addr).unwrap();
+    let outcome = client.submit(&spec, |_| {}).unwrap();
+    let SweepOutcome::Done { results, failed } = outcome else {
+        panic!("submit refused: {outcome:?}");
+    };
+    assert_eq!(failed, 1, "exactly the fault cell failed");
+
+    let reference = Harness::new(HarnessConfig {
+        jobs: 1,
+        lockstep: false,
+        ..HarnessConfig::default()
+    });
+    reference.run_outcomes(&spec.jobs().unwrap());
+    let ref_path = tmpfile("fault-ref");
+    let served_path = tmpfile("fault-served");
+    reference.write_results_json(&ref_path).unwrap();
+    write_doc(&served_path, &results).unwrap();
+    assert_eq!(
+        std::fs::read(&ref_path).unwrap(),
+        std::fs::read(&served_path).unwrap(),
+        "served sweep with a fault lane must match the serial reference byte for byte"
+    );
+
+    let rows = results.get("jobs").unwrap().as_arr().unwrap();
+    assert_eq!(rows.len(), 3);
+    for (i, expect) in [("none", "ok"), ("fault", "failed"), ("ebcp", "ok")]
+        .iter()
+        .enumerate()
+    {
+        let row = &rows[i];
+        assert_eq!(row.get("prefetcher").unwrap().as_str(), Some(expect.0));
+        assert_eq!(row.get("outcome").unwrap().as_str(), Some(expect.1));
+    }
+    let fault_err = rows[1].get("error").unwrap().as_str().unwrap();
+    assert!(fault_err.contains("injected fault"), "{fault_err}");
+
+    client.shutdown().unwrap();
+    d.runner.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(ref_path);
+    let _ = std::fs::remove_file(served_path);
+}
+
+#[test]
 fn full_queue_rejects_the_sweep_with_a_retry_hint() {
     // No workers and zero depth: a cold submit cannot be accepted.
     let d = daemon(0, 0);

@@ -432,7 +432,6 @@ impl Engine {
     /// `SimConfig` (see `RunSpec::run_preresolved`, which checks the
     /// geometries).
     pub fn replay_events(&mut self, events: &[PreEvent], cur: &mut ReplayCursor, budget: u64) {
-        let w = u64::from(self.cfg.core.issue_width);
         let pow2 = self.cfg.core.issue_width.is_power_of_two();
         let mut left = budget;
         while cur.idx < events.len() {
@@ -447,38 +446,182 @@ impl Engine {
                 }
             }
             // General path: the one stream entry the fast loop bailed
-            // on, with the full per-record machinery.
+            // on, with the full per-record machinery. The lockstep
+            // driver makes the identical `take`/`run_event` split, so
+            // both replays execute the same per-entry body.
             let ev = &events[cur.idx];
             let gap_left = u64::from(ev.gap) - u64::from(cur.gap_done);
-            if gap_left > 0 {
-                let take = gap_left.min(left);
-                // A gap over an idle back end with no heap event due
-                // inside it still collapses to arithmetic.
-                if self.outstanding.is_empty()
-                    && (self.next_ev_at == Cycle::MAX
-                        || (self.next_ev_at > self.cycle
-                            && self.records_until(self.next_ev_at, w) >= take))
-                {
-                    self.advance_inert(take, w, false);
-                } else {
-                    self.gap_advance(take);
-                }
-                cur.gap_done += take as u32;
-                left -= take;
-                if take < gap_left {
-                    return; // budget exhausted mid-gap
-                }
+            let take = gap_left.min(left);
+            let run_event = ev.flags != 0 && left > gap_left;
+            self.replay_entry_general(ev, take, run_event);
+            cur.gap_done += take as u32;
+            left -= take;
+            if take < gap_left {
+                return; // budget exhausted mid-gap
             }
             if ev.flags != 0 {
                 if left == 0 {
                     return; // budget boundary right before the event
                 }
-                self.step_event(ev);
                 left -= 1;
             }
             cur.idx += 1;
             cur.gap_done = 0;
         }
+    }
+
+    /// One stream entry through the general path: `take` gap records
+    /// (the caller's `min(gap_left, budget)`) and, when `run_event`,
+    /// the entry's event itself. Budget and cursor arithmetic stay with
+    /// the caller — [`Engine::replay_events`] and the lockstep driver
+    /// share this body so serial and lockstep replay execute the exact
+    /// same per-entry machinery.
+    pub(crate) fn replay_entry_general(&mut self, ev: &PreEvent, take: u64, run_event: bool) {
+        let w = u64::from(self.cfg.core.issue_width);
+        if take > 0 {
+            // A gap over an idle back end with no heap event due
+            // inside it still collapses to arithmetic.
+            if self.outstanding.is_empty()
+                && (self.next_ev_at == Cycle::MAX
+                    || (self.next_ev_at > self.cycle
+                        && self.records_until(self.next_ev_at, w) >= take))
+            {
+                self.advance_inert(take, w, false);
+            } else {
+                self.gap_advance(take);
+            }
+        }
+        if run_event {
+            self.step_event(ev);
+        }
+    }
+
+    /// Single-entry specialization of the [`Engine::replay_fast`] body
+    /// for the lockstep driver's per-lane path: processes one
+    /// event-bearing entry (its `gap_left` remaining gap records plus
+    /// the event) entirely with fast arithmetic, or returns `false`
+    /// having touched nothing so the caller can fall back to
+    /// [`Engine::replay_entry_general`].
+    ///
+    /// Caller-checked preconditions (shared across lanes): power-of-two
+    /// issue width, `ev.flags != 0`, no instruction-fetch miss, and
+    /// `gap_left < budget left` so the event itself runs.
+    pub(crate) fn replay_entry_fast(&mut self, ev: &PreEvent, gap_left: u64) -> bool {
+        use crate::frontend::{
+            K_LOAD, K_LOAD_FEEDS, K_MISPREDICT, K_SERIALIZE, K_SHIFT, K_STORE_HIT, K_STORE_MISS,
+        };
+        if !self.outstanding.is_empty() || self.next_ev_at <= self.cycle {
+            return false;
+        }
+        let shift = self.cfg.core.issue_width.trailing_zeros();
+        let mask = u64::from(self.cfg.core.issue_width) - 1;
+        let mut cycle = self.cycle;
+        let mut slots = u64::from(self.issue_slots);
+        if self.next_ev_at <= cycle + ((slots + gap_left) >> shift) {
+            return false; // heap event due inside this entry
+        }
+
+        self.insts += gap_left + 1;
+        slots += gap_left + 1;
+        cycle += slots >> shift;
+        slots &= mask;
+
+        let line = LineAddr::from_index(ev.dline);
+        match ev.flags >> K_SHIFT {
+            K_LOAD | K_LOAD_FEEDS => {
+                if self.l2.access(line) {
+                    cycle += self.cfg.core.l2_hit_exposed;
+                } else {
+                    self.cycle = cycle;
+                    self.issue_slots = slots as u32;
+                    self.load_fill(line, Pc::new(ev.pc), ev.flags >> K_SHIFT == K_LOAD_FEEDS);
+                    self.post_op();
+                    return true;
+                }
+            }
+            K_STORE_MISS => {
+                if !self.l2.access_dirty(line) {
+                    self.cycle = cycle;
+                    self.issue_slots = slots as u32;
+                    self.store_fill(line);
+                    self.post_op();
+                    return true;
+                }
+            }
+            K_STORE_HIT => {
+                self.l2.mark_dirty(line);
+            }
+            K_MISPREDICT => {
+                self.c.mispredicts += 1;
+                cycle += self.cfg.core.mispredict_penalty;
+            }
+            K_SERIALIZE => {
+                cycle += self.cfg.core.serialize_cost;
+            }
+            other => unreachable!("corrupt PreEvent kind {other}"),
+        }
+        self.cycle = cycle;
+        self.issue_slots = slots as u32;
+        true
+    }
+
+    // --- Lockstep lane access --------------------------------------------
+    // The minimal surface `crate::lockstep` needs to drive several
+    // engines over one shared stream with SoA-packed clock state. All
+    // mutations mirror what `replay_fast` does with its own locals.
+
+    /// The machine configuration (lanes in one lockstep group must
+    /// share it exactly).
+    pub(crate) fn lane_cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Whether this lane qualifies for the fast loop: nothing
+    /// outstanding and no heap event due.
+    pub(crate) fn lane_idle(&self) -> bool {
+        self.outstanding.is_empty() && self.next_ev_at > self.cycle
+    }
+
+    /// The lane's `(cycle, issue_slots, insts)` clock triple.
+    pub(crate) fn lane_clock(&self) -> (Cycle, u32, u64) {
+        (self.cycle, self.issue_slots, self.insts)
+    }
+
+    /// Writes back a clock triple the driver advanced in SoA form.
+    pub(crate) fn lane_set_clock(&mut self, cycle: Cycle, slots: u32, insts: u64) {
+        self.cycle = cycle;
+        self.issue_slots = slots;
+        self.insts = insts;
+    }
+
+    /// The lane's next heap-event deadline (loop-invariant while the
+    /// lane stays in the fast loop).
+    pub(crate) fn lane_next_ev(&self) -> Cycle {
+        self.next_ev_at
+    }
+
+    /// The lane's private L2, for the per-lane tag probes.
+    pub(crate) fn lane_l2(&mut self) -> &mut SetAssocCache {
+        &mut self.l2
+    }
+
+    /// Credits `n` mispredicts accumulated as a shared scalar while the
+    /// lane sat in the lockstep fast loop.
+    pub(crate) fn lane_add_mispredicts(&mut self, n: u64) {
+        self.c.mispredicts += n;
+    }
+
+    /// The load-miss continuation of the fast loop (clock already
+    /// written back): pbuf/MSHR/memory machinery plus `post_op`.
+    pub(crate) fn lane_load_continuation(&mut self, line: LineAddr, pc: Pc, feeds: bool) {
+        self.load_fill(line, pc, feeds);
+        self.post_op();
+    }
+
+    /// The store-miss continuation of the fast loop.
+    pub(crate) fn lane_store_continuation(&mut self, line: LineAddr) {
+        self.store_fill(line);
+        self.post_op();
     }
 
     /// The replay hot loop. Processes stream entries while the back end
@@ -515,6 +658,11 @@ impl Engine {
 
         while cur.idx < events.len() {
             let ev = events[cur.idx];
+            // Overlap the next event's L2 set fetch with this event's
+            // work: the probe is the loop's longest dependency chain.
+            if let Some(next) = events.get(cur.idx + 1) {
+                self.l2.prefetch_set(LineAddr::from_index(next.dline));
+            }
             // Instruction-fetch misses and pure fillers take the
             // general path; both are rare.
             if ev.flags == 0 || ev.flags & F_IFETCH_MISS != 0 {

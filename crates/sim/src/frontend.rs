@@ -585,4 +585,131 @@ mod tests {
         assert!(matches!(second.op, ResolvedOp::StoreHit { .. }));
         assert!(!second.ifetch_miss, "same fetch line");
     }
+
+    use proptest::prelude::*;
+
+    /// Random records over small pc/line pools, sized so both L1 hits
+    /// and misses (and therefore every `ResolvedOp` kind) occur under
+    /// `cfg()`'s tiny scaled-down geometries.
+    fn arb_record() -> impl Strategy<Value = TraceRecord> {
+        (0u32..100, 0u64..64, 0u64..96, 0u32..2).prop_map(|(kind, pcsel, line, flag)| {
+            let pc = Pc::new(0x1_0000 + pcsel * 0x40 + 8);
+            let addr = Addr::new(0x80_0000 + line * 64);
+            let op = match kind % 6 {
+                // Weight toward inert ALU work so real gaps form.
+                0 | 1 => Op::Alu,
+                2 => Op::Load {
+                    addr,
+                    feeds_mispredict: flag == 1,
+                },
+                3 => Op::Store { addr },
+                4 => Op::Branch {
+                    mispredicted: flag == 1,
+                },
+                _ => Op::Serialize,
+            };
+            TraceRecord::new(pc, op)
+        })
+    }
+
+    proptest! {
+        /// The packed stream is exactly `encode(resolve(..))` folded with
+        /// the gap counter, every event decodes back to its `Resolved`,
+        /// and the per-event record accounting sums to the trace length.
+        #[test]
+        fn packed_stream_round_trips_random_records(
+            recs in proptest::collection::vec(arb_record(), 1..400),
+        ) {
+            let mut ref_fe = FrontEnd::new(&cfg());
+            let mut fast_fe = FrontEnd::new(&cfg());
+            let mut expected = Vec::new();
+            let mut gap = 0u32;
+            for rec in &recs {
+                let r = ref_fe.resolve(rec);
+                let packed = fast_fe.resolve_packed(rec);
+                prop_assert_eq!(packed, encode(&r).unwrap_or((0, 0)), "record {:?}", rec);
+                let (flags, dline) = packed;
+                if flags == 0 {
+                    gap += 1; // inert: absorbed into the next event's gap
+                } else {
+                    let ev = PreEvent { pc: rec.pc.get(), dline, gap, flags };
+                    prop_assert_eq!(ev.decode(), Some(r), "decode round trip");
+                    prop_assert_eq!(ev.records(), u64::from(gap) + 1);
+                    expected.push(ev);
+                    gap = 0;
+                }
+            }
+            if gap > 0 {
+                expected.push(PreEvent { pc: 0, dline: 0, gap, flags: 0 });
+            }
+            let stream = PreResolved::from_records(&cfg(), &recs);
+            prop_assert_eq!(&stream.events, &expected);
+            prop_assert_eq!(stream.records, recs.len() as u64);
+            prop_assert_eq!(
+                stream.events.iter().map(PreEvent::records).sum::<u64>(),
+                recs.len() as u64,
+                "event accounting must cover every trace record"
+            );
+            if let Some(last) = stream.events.last() {
+                if last.flags == 0 {
+                    prop_assert_eq!(last.decode(), None, "fillers carry no event");
+                }
+            }
+        }
+
+        /// Chunk boundaries are invisible: any split of the record stream
+        /// across `push_chunk` calls yields the identical packed stream.
+        #[test]
+        fn chunking_is_invisible_in_the_packed_stream(
+            recs in proptest::collection::vec(arb_record(), 1..300),
+            cuts in proptest::collection::vec(0usize..300, 1..6),
+        ) {
+            let whole = PreResolved::from_records(&cfg(), &recs);
+            let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (recs.len() + 1)).collect();
+            cuts.sort_unstable();
+            let mut pr = PreResolver::new(&cfg());
+            let mut prev = 0;
+            for c in cuts {
+                pr.push_chunk(&recs[prev..c]);
+                prev = c;
+            }
+            pr.push_chunk(&recs[prev..]);
+            prop_assert_eq!(whole, pr.finish());
+        }
+
+        /// Gap-counter saturation: when the inert-run counter reaches
+        /// `u32::MAX` mid-chunk, a pure filler is flushed and the counter
+        /// restarts — with any short remainder flushed by `finish()`.
+        #[test]
+        fn gap_counter_saturation_flushes_an_overflow_filler(
+            k in 1u32..4,
+            extra in 0u32..5,
+        ) {
+            let mut pr = PreResolver::new(&cfg());
+            let pc = Pc::new(0x5000);
+            // Record one is a cold ifetch miss: one real event, gap 0.
+            pr.push(&TraceRecord::alu(pc));
+            prop_assert_eq!(pr.events.len(), 1);
+            // Simulate a ~4 Gi inert run without pushing 4 Gi records:
+            // the builder keeps no record history, only the counter.
+            pr.gap = u32::MAX - k;
+            for _ in 0..k + extra {
+                pr.push(&TraceRecord::alu(pc)); // same fetch line: inert
+            }
+            let stream = pr.finish();
+            let filler = stream.events[1];
+            prop_assert_eq!(filler, PreEvent { pc: 0, dline: 0, gap: u32::MAX, flags: 0 });
+            prop_assert_eq!(filler.decode(), None);
+            prop_assert_eq!(filler.records(), u64::from(u32::MAX));
+            if extra > 0 {
+                prop_assert_eq!(stream.events.len(), 3, "trailing gap flushed by finish()");
+                prop_assert_eq!(
+                    stream.events[2],
+                    PreEvent { pc: 0, dline: 0, gap: extra, flags: 0 }
+                );
+            } else {
+                prop_assert_eq!(stream.events.len(), 2, "no trailing gap to flush");
+            }
+        }
+    }
 }

@@ -44,12 +44,15 @@ pub mod cmp;
 pub mod config;
 pub mod engine;
 pub mod frontend;
+pub mod lockstep;
 pub mod metrics;
 pub mod runner;
 
 pub use cmp::{CmpEngine, CmpResult};
 pub use config::{CoreConfig, SimConfig};
+pub use ebcp_mem::SimdTier;
 pub use engine::Engine;
 pub use frontend::{FrontEnd, PreEvent, PreResolved, PreResolver, ReplayCursor};
+pub use lockstep::Lockstep;
 pub use metrics::SimResult;
 pub use runner::{PrefetcherSpec, RunSpec};

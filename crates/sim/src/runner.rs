@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::frontend::{PreResolved, PreResolver, ReplayCursor};
+use crate::lockstep::Lockstep;
 use crate::metrics::SimResult;
 
 pub use ebcp_trace::template::WorkloadProgram as Program;
@@ -203,6 +204,55 @@ impl RunSpec {
         engine.reset_stats();
         engine.replay_events(&pre.events, &mut cur, self.measure_insts);
         engine.result(&self.workload.name)
+    }
+
+    /// Runs a whole roster of prefetchers over one pre-resolved stream
+    /// in a single lockstep pass (see [`Lockstep`]) — each lane's
+    /// result byte-identical to its own [`RunSpec::run_preresolved`]
+    /// call, at amortized stream cost.
+    ///
+    /// Per-lane fault isolation: a lane whose prefetcher panics comes
+    /// back as `Err(panic reason)` while sibling lanes complete
+    /// normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfs` is empty or the stream was resolved under
+    /// different L1 geometries than `self.sim`.
+    pub fn run_preresolved_many(
+        &self,
+        pre: &PreResolved,
+        pfs: &[PrefetcherSpec],
+    ) -> Vec<Result<SimResult, String>> {
+        self.run_preresolved_many_with(pre, pfs, ebcp_mem::simd::tier())
+    }
+
+    /// [`RunSpec::run_preresolved_many`] with an explicit SIMD tier
+    /// (all tiers are bit-identical; tests use this to exercise the
+    /// scalar and SSE2 fallback paths).
+    pub fn run_preresolved_many_with(
+        &self,
+        pre: &PreResolved,
+        pfs: &[PrefetcherSpec],
+        tier: ebcp_mem::SimdTier,
+    ) -> Vec<Result<SimResult, String>> {
+        assert_eq!(
+            (pre.l1i, pre.l1d),
+            (self.sim.l1i, self.sim.l1d),
+            "pre-resolved stream L1 geometry mismatch for {} lockstep sweep: the \
+             stream describes a different machine and must be rebuilt",
+            self.workload.name,
+        );
+        let engines = pfs
+            .iter()
+            .map(|pf| Engine::new(self.sim, pf.build()))
+            .collect();
+        let mut group = Lockstep::with_tier(engines, tier);
+        let mut cur = ReplayCursor::default();
+        group.replay(&pre.events, &mut cur, self.warmup_insts);
+        group.reset_stats();
+        group.replay(&pre.events, &mut cur, self.measure_insts);
+        group.results(&self.workload.name)
     }
 }
 
@@ -450,5 +500,71 @@ mod tests {
             BaselineConfig::Ghb(ebcp_prefetch::GhbConfig::large()),
         );
         assert_eq!(b.name(), "ghb-large");
+    }
+
+    #[test]
+    fn lockstep_matches_serial_preresolved_replay_on_every_tier() {
+        let spec = quick_spec();
+        let pre = spec.pre_resolve();
+        let pfs = vec![
+            PrefetcherSpec::None,
+            PrefetcherSpec::baseline(
+                "ghb-large",
+                BaselineConfig::Ghb(ebcp_prefetch::GhbConfig::large()),
+            ),
+            PrefetcherSpec::Ebcp(EbcpConfig::tuned()),
+        ];
+        let serial: Vec<SimResult> = pfs
+            .iter()
+            .map(|pf| spec.run_preresolved(&pre, pf))
+            .collect();
+        for tier in ebcp_mem::SimdTier::available_tiers() {
+            let lock = spec.run_preresolved_many_with(&pre, &pfs, tier);
+            for ((s, l), pf) in serial.iter().zip(&lock).zip(&pfs) {
+                assert_eq!(
+                    s,
+                    l.as_ref().unwrap(),
+                    "lane {} diverged on tier {}",
+                    pf.name(),
+                    tier.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_single_lane_matches_serial() {
+        let spec = recurring_spec();
+        let pre = spec.pre_resolve();
+        let pf = PrefetcherSpec::Ebcp(EbcpConfig::tuned());
+        let serial = spec.run_preresolved(&pre, &pf);
+        let lock = spec.run_preresolved_many(&pre, std::slice::from_ref(&pf));
+        assert_eq!(serial, *lock[0].as_ref().unwrap());
+    }
+
+    #[test]
+    fn lockstep_panicking_lane_fails_alone() {
+        let spec = quick_spec();
+        let pre = spec.pre_resolve();
+        let pfs = vec![
+            PrefetcherSpec::None,
+            PrefetcherSpec::baseline(
+                "fault",
+                BaselineConfig::Fault(ebcp_prefetch::FaultConfig::panic_after(40)),
+            ),
+            PrefetcherSpec::Ebcp(EbcpConfig::tuned()),
+        ];
+        let lock = spec.run_preresolved_many(&pre, &pfs);
+        let err = lock[1].as_ref().unwrap_err();
+        assert!(err.contains("injected fault"), "reason: {err}");
+        // Siblings are byte-identical to their own serial replays.
+        assert_eq!(
+            spec.run_preresolved(&pre, &pfs[0]),
+            *lock[0].as_ref().unwrap()
+        );
+        assert_eq!(
+            spec.run_preresolved(&pre, &pfs[2]),
+            *lock[2].as_ref().unwrap()
+        );
     }
 }
