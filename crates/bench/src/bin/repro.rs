@@ -1,16 +1,16 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all|bench-throughput>
-//!       [--scale quick|standard|full] [--csv] [--jobs N]
+//! repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|cmp-bw|all|bench-throughput>
+//!       [--scale quick|standard|full] [--csv] [--jobs N] [--cores 1,2,4]
 //!       [--out-dir DIR] [--json] [--no-cache] [--keep-going]
-//!       [--check-baseline FILE]
+//!       [--check-baseline FILE] [--event-mix]
 //! repro serve   [--addr HOST:PORT] [--unix PATH] [--jobs N] [--depth N]
 //!               [--out-dir DIR] [--no-cache]
 //! repro submit  --addr ADDR [--workloads a,b] [--prefetchers x,y]
-//!               [--scale S] [--out FILE] [--retries N]
-//! repro sweep   [--workloads a,b] [--prefetchers x,y] [--scale S]
-//!               [--jobs N] [--out FILE] [--out-dir DIR] [--no-cache]
+//!               [--cores 1,2,4] [--scale S] [--out FILE] [--retries N]
+//! repro sweep   [--workloads a,b] [--prefetchers x,y] [--cores 1,2,4]
+//!               [--scale S] [--jobs N] [--out FILE] [--out-dir DIR] [--no-cache]
 //! repro status --addr ADDR
 //! repro shutdown --addr ADDR
 //! repro bench-serve [--scale S] [--out-dir DIR]
@@ -46,12 +46,12 @@ use ebcp_bench::{experiments, report, service, throughput, Harness, HarnessConfi
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|all|bench-throughput> \
-         [--scale quick|standard|full] [--csv] [--jobs N] [--out-dir DIR] [--json] [--no-cache] \
-         [--keep-going] [--check-baseline FILE]\n\
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|cmp-bw|all|bench-throughput> \
+         [--scale quick|standard|full] [--csv] [--jobs N] [--cores 1,2,4] [--out-dir DIR] [--json] \
+         [--no-cache] [--keep-going] [--check-baseline FILE] [--event-mix]\n\
          \x20      repro <serve|submit|sweep|status|shutdown|bench-serve> \
          [--addr HOST:PORT] [--unix PATH] [--depth N] [--workloads a,b] [--prefetchers x,y] \
-         [--out FILE] [--retries N]"
+         [--cores 1,2,4] [--out FILE] [--retries N]"
     );
     std::process::exit(2);
 }
@@ -72,8 +72,10 @@ fn main() {
     let mut depth = 1024usize;
     let mut workloads: Vec<String> = Vec::new();
     let mut prefetchers: Vec<String> = Vec::new();
+    let mut cores: Vec<u64> = Vec::new();
     let mut out: Option<PathBuf> = None;
     let mut retries = 5u32;
+    let mut event_mix = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -117,6 +119,18 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| usage());
                 prefetchers = service::parse_list(v);
             }
+            "--cores" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cores = service::parse_list(v)
+                    .iter()
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if cores.iter().any(|&n| n == 0 || n > 64) {
+                    eprintln!("error: --cores values must be 1..=64");
+                    std::process::exit(2);
+                }
+            }
+            "--event-mix" => event_mix = true,
             "--out" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 out = Some(PathBuf::from(v));
@@ -137,6 +151,7 @@ fn main() {
         let grid = service::GridArgs {
             workloads,
             prefetchers,
+            cores: cores.clone(),
             scale,
         };
         let store_dir = || {
@@ -193,7 +208,16 @@ fn main() {
     // (a memoized result has no wall time) and exits before the
     // results.json machinery below.
     if what == "bench-throughput" {
-        bench_throughput(scale, &out_dir, check_baseline.as_deref());
+        if event_mix {
+            // Histogram only: deterministic stream decomposition, no
+            // timed cells — fast enough to run on every curiosity.
+            print!(
+                "{}",
+                throughput::render_event_mix(&throughput::event_mix(scale))
+            );
+        } else {
+            bench_throughput(scale, &out_dir, check_baseline.as_deref());
+        }
         eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
         return;
     }
@@ -225,6 +249,14 @@ fn main() {
         if !json {
             print!("{text}");
         }
+    };
+
+    // CMP core-count axis: `--cores` (validated 1..=64 above), default
+    // the paper-adjacent {1, 2, 4}.
+    let core_counts: Vec<usize> = if cores.is_empty() {
+        vec![1, 2, 4]
+    } else {
+        cores.iter().map(|&n| n as usize).collect()
     };
 
     let run_one = |name: &str| match name {
@@ -298,8 +330,12 @@ fn main() {
             table(report::render_ablation(&rows));
         }
         "cmp" => {
-            let rows = experiments::cmp_interleaving(&h, scale, &[1, 2, 4]);
+            let rows = experiments::cmp_interleaving(&h, scale, &core_counts);
             table(report::render_cmp(&rows));
+        }
+        "cmp-bw" => {
+            let rows = experiments::cmp_bandwidth(&h, scale, &core_counts);
+            table(report::render_cmp_bw(&rows));
         }
         other => {
             eprintln!("unknown experiment: {other}");
@@ -323,7 +359,7 @@ fn main() {
     };
     if what == "all" {
         for name in [
-            "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "cmp",
+            "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "cmp", "cmp-bw",
         ] {
             if !run_caught(name) && !keep_going {
                 break;
@@ -369,10 +405,10 @@ fn main() {
     }
 }
 
-/// Runs the simulated-throughput matrix plus the sweep cells, writes
-/// `<out-dir>/BENCH_throughput.json`, and (with `--check-baseline`)
-/// fails the process if either geometric mean dropped more than 25%
-/// below the committed baseline.
+/// Runs the simulated-throughput matrix plus the sweep, lockstep and
+/// CMP DES cells, writes `<out-dir>/BENCH_throughput.json`, and (with
+/// `--check-baseline`) fails the process if any geometric mean dropped
+/// more than 25% below the committed baseline.
 fn bench_throughput(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
     let rows = throughput::measure(scale);
     print!("{}", throughput::render(&rows));
@@ -382,7 +418,10 @@ fn bench_throughput(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
     let lockstep = throughput::measure_lockstep(scale);
     println!();
     print!("{}", throughput::render_lockstep(&lockstep));
-    let doc = throughput::to_json(scale, &rows, &sweep, &lockstep);
+    let cmp = throughput::measure_cmp(scale);
+    println!();
+    print!("{}", throughput::render_cmp(&cmp));
+    let doc = throughput::to_json(scale, &rows, &sweep, &lockstep, &cmp);
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("warning: could not create {}: {e}", out_dir.display());
     }
@@ -435,6 +474,21 @@ fn bench_throughput(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
         }
         Ok((cur, base)) => {
             eprintln!("# lockstep gate passed: geomean {cur:.1} Minst/s vs baseline {base:.1}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    match throughput::check_cmp_against_baseline(&cmp, &doc, 0.25) {
+        Ok((cur, base)) if base <= 0.0 => {
+            eprintln!(
+                "# cmp gate skipped (baseline has no cmp section); \
+                 current geomean {cur:.1} Minst/s"
+            );
+        }
+        Ok((cur, base)) => {
+            eprintln!("# cmp gate passed: geomean {cur:.1} Minst/s vs baseline {base:.1}");
         }
         Err(e) => {
             eprintln!("error: {e}");

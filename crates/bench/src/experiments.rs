@@ -9,10 +9,10 @@
 //! Figure 9 and the ablations) simulate exactly once per `repro all`.
 
 use ebcp_core::EbcpConfig;
-use ebcp_harness::{Harness, Job};
+use ebcp_harness::{CmpJob, Harness, Job};
 use ebcp_prefetch::{BaselineConfig, SolihinConfig};
-use ebcp_sim::{CmpEngine, PrefetcherSpec, SimResult};
-use ebcp_trace::{TraceGenerator, WorkloadSpec};
+use ebcp_sim::{PrefetcherSpec, SimResult};
+use ebcp_trace::WorkloadSpec;
 
 use crate::scale::Scale;
 
@@ -454,66 +454,12 @@ pub struct CmpPointRow {
     pub coverage: f64,
 }
 
-/// **CMP interleaving** (the paper's §6 future work, quantifying the
-/// §3.3.1 argument): N cores run *disjoint* database workloads over a
-/// shared L2. The on-chip EBCP control sees which core each miss belongs
-/// to and keeps per-core EMABs over one shared table; the memory-side
-/// Solihin engine sees only the interleaved stream at the controller,
-/// which scrambles its successor chains as core count grows.
-///
-/// Multi-core runs do not fit the single-core [`Job`] shape, so this
-/// driver parallelizes over `(core count, prefetcher)` pairs with
-/// [`Harness::map`] instead of the job queue (no dedup or caching; each
-/// pair is unique anyway).
-pub fn cmp_interleaving(h: &Harness, scale: Scale, core_counts: &[usize]) -> Vec<CmpPointRow> {
-    // Each core gets a distinct transaction mix (distinct seed_tag) in
-    // its own address space (distinct addr_space — truly disjoint
-    // lines, not just a different pattern over shared pools) at a
-    // per-core share of the footprint.
-    let make_specs = |n: usize| -> Vec<WorkloadSpec> {
-        (0..n)
-            .map(|k| WorkloadSpec {
-                seed_tag: 0x0d00 + k as u64,
-                addr_space: 1 + k as u64,
-                ..WorkloadSpec::database().scaled(1, (scale.den as usize) * n)
-            })
-            .collect()
-    };
-    // Phase 1: generate each configuration's per-core traces in parallel.
-    struct CmpSetup {
-        n: usize,
-        warm: u64,
-        measure: u64,
-        traces: Vec<Vec<ebcp_trace::TraceRecord>>,
-    }
-    let setups: Vec<CmpSetup> = h.map(core_counts, |&n| {
-        let specs = make_specs(n);
-        let interval = specs
-            .iter()
-            .map(|w| w.recurrence_interval())
-            .max()
-            .unwrap_or(1);
-        let warm = interval * scale.warm_tenths / 10;
-        let measure = interval * scale.measure_tenths / 10;
-        let traces = specs
-            .iter()
-            .enumerate()
-            .map(|(k, w)| {
-                TraceGenerator::new(w, scale.seed + k as u64)
-                    .take((warm + measure) as usize)
-                    .collect()
-            })
-            .collect();
-        CmpSetup {
-            n,
-            warm,
-            measure,
-            traces,
-        }
-    });
-    // Phase 2: every (core count, prefetcher) engine run in parallel.
+/// The CMP candidate roster: tuned EBCP (per-core EMABs over one shared
+/// table) against the memory-side Solihin engine, whose successor
+/// chains the interleaved miss stream scrambles as core count grows.
+fn cmp_candidates(scale: Scale) -> [PrefetcherSpec; 2] {
     let entries = scale.entries(1 << 20);
-    let candidates = [
+    [
         PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(entries)),
         PrefetcherSpec::baseline(
             "solihin-6,1",
@@ -522,32 +468,109 @@ pub fn cmp_interleaving(h: &Harness, scale: Scale, core_counts: &[usize]) -> Vec
                 ..SolihinConfig::deep()
             }),
         ),
-    ];
-    let mut tasks: Vec<(usize, PrefetcherSpec)> = Vec::new();
-    for (i, _) in setups.iter().enumerate() {
-        tasks.push((i, PrefetcherSpec::None));
-        tasks.extend(candidates.iter().map(|pf| (i, pf.clone())));
+    ]
+}
+
+/// **CMP interleaving** (the paper's §6 future work, quantifying the
+/// §3.3.1 argument): N cores run *disjoint* database workloads over a
+/// shared L2. The on-chip EBCP control sees which core each miss belongs
+/// to and keeps per-core EMABs over one shared table; the memory-side
+/// Solihin engine sees only the interleaved stream at the controller,
+/// which scrambles its successor chains as core count grows.
+///
+/// CMP cells are first-class harness jobs: content-addressed, memoized
+/// and disk-cached like any single-core cell, with per-core streams
+/// pre-resolved once through the shared front-end cache and every cell
+/// replayed on the discrete-event [`CmpEngine`](ebcp_sim::CmpEngine).
+pub fn cmp_interleaving(h: &Harness, scale: Scale, core_counts: &[usize]) -> Vec<CmpPointRow> {
+    let preset = WorkloadSpec::database();
+    let candidates = cmp_candidates(scale);
+    let mut jobs: Vec<CmpJob> = Vec::new();
+    for &n in core_counts {
+        let spec = scale.cmp_spec(&preset, n);
+        jobs.push(CmpJob::new(spec.clone(), PrefetcherSpec::None));
+        jobs.extend(
+            candidates
+                .iter()
+                .map(|pf| CmpJob::new(spec.clone(), pf.clone())),
+        );
     }
-    let sim = scale.machine();
-    let results = h.map(&tasks, |(i, pf)| {
-        let s = &setups[*i];
-        let mut engine = CmpEngine::new(sim, s.n, pf.build());
-        engine.run(&s.traces, s.warm, s.measure, "database-mix")
-    });
+    let results = h.run_cmp(&jobs);
     let mut rows = Vec::new();
     let mut cursor = 0;
-    for s in &setups {
+    for &n in core_counts {
         let base = &results[cursor];
         for (i, pf) in candidates.iter().enumerate() {
             let r = &results[cursor + 1 + i];
             rows.push(CmpPointRow {
                 prefetcher: pf.name(),
-                cores: s.n,
+                cores: n,
                 improvement: r.improvement_over(base),
                 coverage: r.coverage(),
             });
         }
         cursor += 1 + candidates.len();
+    }
+    rows
+}
+
+/// One point of the CMP bandwidth-scenario sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpBwPoint {
+    /// Read-bus bandwidth label ("3.2", "6.4", "9.6" GB/s).
+    pub bandwidth: &'static str,
+    /// Cores on the chip.
+    pub cores: usize,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// Mean per-core improvement over the same-bandwidth,
+    /// same-core-count baseline.
+    pub improvement: f64,
+    /// Prefetches dropped chip-wide (bus saturation + MSHR pressure).
+    pub dropped: u64,
+}
+
+/// **CMP bandwidth scenarios** (Figure 8 under real contention): the
+/// disjoint database mixes of [`cmp_interleaving`] at the paper's three
+/// memory bandwidths (read/write = 3.2/1.6, 6.4/3.2 and 9.6/4.8 GB/s).
+/// Where single-core Figure 8 throttles one core's prefetches, here N
+/// cores' demand misses *and* prefetches compete for the same bus, so
+/// the drop counts show how contention scales with the core count.
+pub fn cmp_bandwidth(h: &Harness, scale: Scale, core_counts: &[usize]) -> Vec<CmpBwPoint> {
+    let bws: [(u64, u64, &'static str); 3] = [(1, 3, "3.2"), (2, 3, "6.4"), (1, 1, "9.6")];
+    let preset = WorkloadSpec::database();
+    let candidates = cmp_candidates(scale);
+    let mut jobs: Vec<CmpJob> = Vec::new();
+    for (num, den, _) in bws {
+        for &n in core_counts {
+            let mut spec = scale.cmp_spec(&preset, n);
+            spec.sim = spec.sim.with_bandwidth(num, den);
+            jobs.push(CmpJob::new(spec.clone(), PrefetcherSpec::None));
+            jobs.extend(
+                candidates
+                    .iter()
+                    .map(|pf| CmpJob::new(spec.clone(), pf.clone())),
+            );
+        }
+    }
+    let results = h.run_cmp(&jobs);
+    let mut rows = Vec::new();
+    let mut cursor = 0;
+    for (_, _, label) in bws {
+        for &n in core_counts {
+            let base = &results[cursor];
+            for (i, pf) in candidates.iter().enumerate() {
+                let r = &results[cursor + 1 + i];
+                rows.push(CmpBwPoint {
+                    bandwidth: label,
+                    cores: n,
+                    prefetcher: pf.name(),
+                    improvement: r.improvement_over(base),
+                    dropped: r.aggregate.pf_dropped_bus + r.aggregate.pf_dropped_mshr,
+                });
+            }
+            cursor += 1 + candidates.len();
+        }
     }
     rows
 }

@@ -27,8 +27,8 @@ pub mod throughput;
 
 pub use ebcp_harness::{Harness, HarnessConfig, Job};
 pub use experiments::{
-    ablation, cmp_interleaving, fig4_5, fig6, fig7, fig8, fig9, table1, AblationPoint, BwPoint,
-    CmpPoint, CmpPointRow, SweepPoint, Table1Row,
+    ablation, cmp_bandwidth, cmp_interleaving, fig4_5, fig6, fig7, fig8, fig9, table1,
+    AblationPoint, BwPoint, CmpBwPoint, CmpPoint, CmpPointRow, SweepPoint, Table1Row,
 };
 pub use scale::Scale;
 pub use throughput::ThroughputRow;

@@ -2,7 +2,9 @@
 
 use std::fmt::Write as _;
 
-use crate::experiments::{AblationPoint, BwPoint, CmpPoint, CmpPointRow, SweepPoint, Table1Row};
+use crate::experiments::{
+    AblationPoint, BwPoint, CmpBwPoint, CmpPoint, CmpPointRow, SweepPoint, Table1Row,
+};
 
 fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
@@ -205,6 +207,33 @@ pub fn render_cmp(rows: &[CmpPointRow]) -> String {
             r.cores,
             pct(r.improvement),
             pct(r.coverage)
+        );
+    }
+    s
+}
+
+/// Renders the CMP bandwidth-scenario sweep.
+pub fn render_cmp_bw(rows: &[CmpBwPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "CMP bandwidth scenarios (Figure 8 under shared-bus contention): \
+         database mixes at 3.2 / 6.4 / 9.6 GB/s read bandwidth"
+    );
+    let _ = writeln!(
+        s,
+        "{:<8} {:>6} {:<14} {:>9} {:>9}",
+        "GB/s", "cores", "prefetcher", "improve", "dropped"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>6} {:<14} {:>9} {:>9}",
+            r.bandwidth,
+            r.cores,
+            r.prefetcher,
+            pct(r.improvement),
+            r.dropped
         );
     }
     s

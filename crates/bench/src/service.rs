@@ -20,6 +20,8 @@ pub struct GridArgs {
     pub workloads: Vec<String>,
     /// Comma-separated prefetcher names; empty means `none,ebcp`.
     pub prefetchers: Vec<String>,
+    /// CMP core counts (`--cores`); empty means single-core only.
+    pub cores: Vec<u64>,
     /// Experiment scale.
     pub scale: Scale,
 }
@@ -45,6 +47,7 @@ impl GridArgs {
         SweepSpec {
             workloads,
             prefetchers,
+            cores: self.cores.clone(),
             scale: self.scale,
         }
     }
@@ -231,14 +234,17 @@ pub fn cmd_shutdown(addr: &str) -> i32 {
 }
 
 /// `repro sweep`: the same grid run in-process — the local half of the
-/// byte-identity contract `repro submit` is tested against.
+/// byte-identity contract `repro submit` is tested against. A `cores`
+/// axis adds multi-core CMP cells through [`Harness::run_cmp_outcomes`]
+/// (the discrete-event engine), assembled through the same
+/// `results_doc_cmp` renderer the service client uses.
 pub fn cmd_sweep_local(
     spec: &SweepSpec,
     jobs: usize,
     store_dir: Option<PathBuf>,
     out: &Path,
 ) -> i32 {
-    let jobs_vec = match spec.jobs() {
+    let (jobs_vec, cmp_vec) = match spec.jobs().and_then(|j| Ok((j, spec.cmp_jobs()?))) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -247,8 +253,29 @@ pub fn cmd_sweep_local(
     };
     let h = harness(jobs, store_dir);
     let outcomes = h.run_outcomes(&jobs_vec);
-    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
-    if let Err(e) = h.write_results_json(out) {
+    let mut seen = std::collections::HashSet::new();
+    let unique_cmp: Vec<ebcp_harness::CmpJob> = cmp_vec
+        .iter()
+        .filter(|j| seen.insert(j.id()))
+        .cloned()
+        .collect();
+    let cmp_outcomes = h.run_cmp_outcomes(&unique_cmp);
+    let cmp_rows: Vec<ebcp_harness::CmpResultRow> = unique_cmp
+        .iter()
+        .zip(&cmp_outcomes)
+        .map(|(job, outcome)| ebcp_harness::CmpResultRow {
+            id: job.id(),
+            cell: job.spec.name.clone(),
+            prefetcher: job.pf.name().to_string(),
+            cores: job.cores() as u64,
+            outcome: outcome.clone(),
+        })
+        .collect();
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count()
+        + cmp_outcomes.iter().filter(|o| o.is_failed()).count();
+    let doc =
+        ebcp_harness::results_doc_cmp(jobs_vec.len() + cmp_vec.len(), &h.result_rows(), &cmp_rows);
+    if let Err(e) = write_doc(out, &doc) {
         eprintln!("error: could not write {}: {e}", out.display());
         return 3;
     }
@@ -273,6 +300,7 @@ pub fn bench_serve(out_dir: &Path, scale: Scale) -> i32 {
     let spec = SweepSpec {
         workloads: vec!["database".into(), "tpcw".into()],
         prefetchers: vec!["none".into(), "stream".into()],
+        cores: Vec::new(),
         scale,
     };
     let server = match Server::bind(

@@ -256,6 +256,70 @@ pub fn measure_lockstep(scale: Scale) -> Vec<LockstepRow> {
     rows
 }
 
+/// One CMP-mode cell: a whole N-core chip — per-core front ends
+/// pre-resolved once (untimed, like trace materialization above), then
+/// the discrete-event CMP engine replays all cores against the shared
+/// L2/bus/DRAM. This is the path the stepping engine made unaffordable;
+/// the DES rebuild gets its own baseline gate so it cannot silently
+/// regress back toward cycle-stepping cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpThroughputRow {
+    /// Cores on the chip.
+    pub cores: u64,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// Trace records replayed chip-wide (one record = one instruction).
+    pub records: u64,
+    /// Wall-clock milliseconds for the DES replay.
+    pub wall_ms: f64,
+    /// Simulated millions of instructions per second, chip-wide.
+    pub mips: f64,
+}
+
+/// The prefetchers timed per CMP cell: the no-prefetch hot path and the
+/// EBCP (the two the `repro cmp` driver sweeps at every core count).
+fn cmp_roster(scale: Scale) -> Vec<PrefetcherSpec> {
+    vec![
+        PrefetcherSpec::None,
+        PrefetcherSpec::Ebcp(EbcpConfig::comparison().with_table_entries(scale.entries(1 << 20))),
+    ]
+}
+
+/// Times the CMP DES cells at `scale`: {1, 2, 4, 8}-core database mixes
+/// × the CMP roster. Per-core streams are pre-resolved untimed (the
+/// harness serves them from its warm map / disk cache in real sweeps);
+/// the timed region is exactly the discrete-event replay. Sequential
+/// for run-to-run comparability, like [`measure`].
+pub fn measure_cmp(scale: Scale) -> Vec<CmpThroughputRow> {
+    let preset = ebcp_trace::WorkloadSpec::database();
+    let mut rows = Vec::new();
+    for cores in [1u64, 2, 4, 8] {
+        let spec = scale.cmp_spec(&preset, cores as usize);
+        let streams = spec.pre_resolve_cores();
+        let refs: Vec<&ebcp_sim::frontend::PreResolved> = streams.iter().collect();
+        let records = (spec.warmup_insts + spec.measure_insts) * cores;
+        for pf in cmp_roster(scale) {
+            // Min-of-2, as in `measure_sweep`: CMP cells are the
+            // shortest timed regions in the file, so one scheduler
+            // hiccup smears a single shot the most.
+            let mut wall = f64::INFINITY;
+            for _ in 0..2 {
+                let t0 = Instant::now();
+                std::hint::black_box(spec.run_streams(&refs, &pf));
+                wall = wall.min(t0.elapsed().as_secs_f64());
+            }
+            rows.push(CmpThroughputRow {
+                cores,
+                prefetcher: pf.name(),
+                records,
+                wall_ms: wall * 1e3,
+                mips: records as f64 / wall.max(1e-12) / 1e6,
+            });
+        }
+    }
+    rows
+}
+
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
     let positive: Vec<f64> = values.filter(|&m| m > 0.0).collect();
     if positive.is_empty() {
@@ -291,14 +355,20 @@ pub fn lockstep_geomean_speedup(rows: &[LockstepRow]) -> f64 {
     geomean(rows.iter().map(|r| r.speedup))
 }
 
-/// Encodes the matrix plus the sweep and lockstep cells as the
-/// `BENCH_throughput.json` document (schema 3; schema 2 had no
-/// lockstep section, schema 1 no sweep section).
+/// Geometric mean of the chip-wide CMP DES Minst/s.
+pub fn cmp_geomean_mips(rows: &[CmpThroughputRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.mips))
+}
+
+/// Encodes the matrix plus the sweep, lockstep and CMP cells as the
+/// `BENCH_throughput.json` document (schema 4; schema 3 had no CMP
+/// section, schema 2 no lockstep section, schema 1 no sweep section).
 pub fn to_json(
     scale: Scale,
     rows: &[ThroughputRow],
     sweep: &[SweepRow],
     lockstep: &[LockstepRow],
+    cmp: &[CmpThroughputRow],
 ) -> Value {
     let rows_json = rows
         .iter()
@@ -340,8 +410,20 @@ pub fn to_json(
             ])
         })
         .collect();
+    let cmp_json = cmp
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("cores".into(), Value::Int(r.cores)),
+                ("prefetcher".into(), Value::Str(r.prefetcher.clone())),
+                ("records".into(), Value::Int(r.records)),
+                ("wall_ms".into(), Value::Num(r.wall_ms)),
+                ("mips".into(), Value::Num(r.mips)),
+            ])
+        })
+        .collect();
     Value::Obj(vec![
-        ("schema".into(), Value::Int(3)),
+        ("schema".into(), Value::Int(4)),
         ("scale_den".into(), Value::Int(scale.den)),
         ("geomean_mips".into(), Value::Num(geomean_mips(rows))),
         (
@@ -360,9 +442,11 @@ pub fn to_json(
             "lockstep_geomean_speedup".into(),
             Value::Num(lockstep_geomean_speedup(lockstep)),
         ),
+        ("cmp_geomean_mips".into(), Value::Num(cmp_geomean_mips(cmp))),
         ("rows".into(), Value::Arr(rows_json)),
         ("sweep".into(), Value::Arr(sweep_json)),
         ("lockstep".into(), Value::Arr(lockstep_json)),
+        ("cmp".into(), Value::Arr(cmp_json)),
     ])
 }
 
@@ -472,6 +556,41 @@ pub fn check_lockstep_against_baseline(
     Ok((cur, base))
 }
 
+/// Compares measured CMP DES cells against a committed baseline
+/// document.
+///
+/// Returns `(current, baseline)` geometric mean chip-wide Minst/s on
+/// success. A pre-DES baseline (no `cmp_geomean_mips`) passes trivially
+/// with a baseline of `0.0`, so the gate can be introduced without a
+/// flag day.
+///
+/// # Errors
+///
+/// Fails if the current CMP geometric mean dropped by more than
+/// `max_drop` below the baseline.
+pub fn check_cmp_against_baseline(
+    cmp: &[CmpThroughputRow],
+    baseline: &Value,
+    max_drop: f64,
+) -> Result<(f64, f64), String> {
+    let cur = cmp_geomean_mips(cmp);
+    let Some(base) = baseline.get("cmp_geomean_mips").and_then(Value::as_f64) else {
+        return Ok((cur, 0.0));
+    };
+    if base <= 0.0 {
+        return Err(format!("baseline cmp_geomean_mips not positive: {base}"));
+    }
+    let floor = base * (1.0 - max_drop);
+    if cur < floor {
+        return Err(format!(
+            "CMP DES throughput regressed: geomean {cur:.1} Minst/s is below \
+             {floor:.1} ({:.0}% of baseline {base:.1})",
+            (1.0 - max_drop) * 100.0
+        ));
+    }
+    Ok((cur, base))
+}
+
 /// Renders the matrix as an aligned table.
 pub fn render(rows: &[ThroughputRow]) -> String {
     use std::fmt::Write as _;
@@ -556,6 +675,150 @@ pub fn render_lockstep(rows: &[LockstepRow]) -> String {
     s
 }
 
+/// Renders the CMP DES cells as an aligned table.
+pub fn render_cmp(rows: &[CmpThroughputRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "CMP throughput (discrete-event engine; per-core streams pre-resolved untimed)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<8} {:<14} {:>12} {:>10} {:>10}",
+        "cores", "prefetcher", "records", "wall ms", "Minst/s"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<8} {:<14} {:>12} {:>10.1} {:>10.1}",
+            r.cores, r.prefetcher, r.records, r.wall_ms, r.mips
+        );
+    }
+    let _ = writeln!(
+        s,
+        "geomean: {:.1} Minst/s chip-wide",
+        cmp_geomean_mips(rows)
+    );
+    s
+}
+
+/// One row of the per-event-kind histogram (`repro bench-throughput
+/// --event-mix`): how one workload's pre-resolved stream decomposes
+/// into the kinds the replay loop dispatches on. This is the measured
+/// input to DESIGN.md §3d's probe-bound analysis — and to the DES
+/// idle-skip argument, since every `inert` record is a cycle the CMP
+/// engine never has to step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventMixRow {
+    /// Workload name.
+    pub workload: String,
+    /// Event kind label.
+    pub kind: &'static str,
+    /// Trace records of this kind.
+    pub count: u64,
+    /// Fraction of the workload's records.
+    pub share: f64,
+}
+
+/// The event-kind labels, in reporting order. `inert` counts the
+/// records the front end collapsed into gap fields (no L2-visible
+/// event); the rest are the flagged event records by decoded kind,
+/// including `ifetch-only` records whose sole action is an off-chip
+/// instruction miss. Those first eight kinds partition the stream.
+/// `+ifetch-miss` is an overlay — every record carrying an instruction
+/// miss, whatever its data kind — so it double-counts by design and is
+/// excluded from the partition sum.
+pub const EVENT_KINDS: [&str; 9] = [
+    "inert",
+    "load-miss",
+    "load-feeds-mispredict",
+    "store-miss",
+    "store-hit-dirty",
+    "serialize",
+    "mispredict",
+    "ifetch-only",
+    "+ifetch-miss",
+];
+
+/// Decomposes each workload's pre-resolved stream (at `scale`, the same
+/// streams every replay and sweep consumes) into per-kind record
+/// counts. Deterministic — no timing involved.
+pub fn event_mix(scale: Scale) -> Vec<EventMixRow> {
+    use ebcp_sim::frontend::{PreResolved, ResolvedOp};
+    let mut rows = Vec::new();
+    for w in scale.workloads() {
+        let spec = scale.run_spec(&w, scale.machine());
+        let trace = spec.materialize();
+        let pre = PreResolved::from_records(&spec.sim, &trace);
+        let mut counts = [0u64; 9];
+        for ev in &pre.events {
+            counts[0] += u64::from(ev.gap);
+            let Some(r) = ev.decode() else { continue };
+            let k = match r.op {
+                ResolvedOp::None => {
+                    // An event record with no data op exists only to
+                    // carry an instruction miss.
+                    debug_assert!(r.ifetch_miss);
+                    7
+                }
+                ResolvedOp::LoadMiss {
+                    feeds_mispredict: false,
+                    ..
+                } => 1,
+                ResolvedOp::LoadMiss {
+                    feeds_mispredict: true,
+                    ..
+                } => 2,
+                ResolvedOp::StoreMiss { .. } => 3,
+                ResolvedOp::StoreHit { .. } => 4,
+                ResolvedOp::Serialize => 5,
+                ResolvedOp::Mispredict => 6,
+            };
+            counts[k] += 1;
+            if r.ifetch_miss {
+                counts[8] += 1;
+            }
+        }
+        let total = trace.len() as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            rows.push(EventMixRow {
+                workload: w.name.clone(),
+                kind: EVENT_KINDS[k],
+                count,
+                share: count as f64 / total.max(1.0),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the event-mix histogram as an aligned table.
+pub fn render_event_mix(rows: &[EventMixRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Event mix (front-end pre-resolved stream; DESIGN.md §3d probe-bound analysis)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<22} {:<22} {:>12} {:>8}",
+        "workload", "kind", "records", "share"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<22} {:<22} {:>12} {:>7.2}%",
+            r.workload,
+            r.kind,
+            r.count,
+            r.share * 100.0
+        );
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,6 +859,16 @@ mod tests {
         }
     }
 
+    fn cmp_row(mips: f64) -> CmpThroughputRow {
+        CmpThroughputRow {
+            cores: 4,
+            prefetcher: "ebcp".into(),
+            records: 4_000_000,
+            wall_ms: 4_000_000.0 / mips / 1e3,
+            mips,
+        }
+    }
+
     #[test]
     fn geomean_math() {
         let rows = [row(10.0), row(40.0)];
@@ -611,8 +884,9 @@ mod tests {
         let rows = [row(25.0)];
         let sweeps = [sweep_row(100.0, 4.0)];
         let locksteps = [lockstep_row(400.0, 4.0)];
-        let v = to_json(Scale::quick(), &rows, &sweeps, &locksteps);
-        assert_eq!(v.get("schema").unwrap().as_u64(), Some(3));
+        let cmps = [cmp_row(800.0)];
+        let v = to_json(Scale::quick(), &rows, &sweeps, &locksteps, &cmps);
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(4));
         assert_eq!(v.get("scale_den").unwrap().as_u64(), Some(16));
         let parsed = ebcp_harness::json::parse(&v.to_json_pretty()).unwrap();
         let back = parsed.get("rows").unwrap().as_arr().unwrap();
@@ -634,6 +908,12 @@ mod tests {
             .as_f64()
             .unwrap();
         assert!((lg - 400.0).abs() < 1e-9);
+        let cm = parsed.get("cmp").unwrap().as_arr().unwrap();
+        assert_eq!(cm.len(), 1);
+        assert_eq!(cm[0].get("cores").unwrap().as_u64(), Some(4));
+        assert!((cm[0].get("mips").unwrap().as_f64().unwrap() - 800.0).abs() < 1e-9);
+        let cg = parsed.get("cmp_geomean_mips").unwrap().as_f64().unwrap();
+        assert!((cg - 800.0).abs() < 1e-9);
     }
 
     #[test]
@@ -643,6 +923,7 @@ mod tests {
             &[row(40.0)],
             &[sweep_row(100.0, 4.0)],
             &[lockstep_row(400.0, 4.0)],
+            &[cmp_row(800.0)],
         );
         // Within tolerance: 31 > 40 * 0.75.
         assert!(check_against_baseline(&[row(31.0)], &baseline, 0.25).is_ok());
@@ -660,6 +941,7 @@ mod tests {
             &[row(40.0)],
             &[sweep_row(100.0, 4.0)],
             &[lockstep_row(400.0, 4.0)],
+            &[cmp_row(800.0)],
         );
         // Within tolerance: 80 > 100 * 0.75.
         assert!(check_sweep_against_baseline(&[sweep_row(80.0, 3.0)], &baseline, 0.25).is_ok());
@@ -682,6 +964,7 @@ mod tests {
             &[row(40.0)],
             &[sweep_row(100.0, 4.0)],
             &[lockstep_row(400.0, 4.0)],
+            &[cmp_row(800.0)],
         );
         // Within tolerance: 320 > 400 * 0.75.
         assert!(
@@ -701,6 +984,28 @@ mod tests {
     }
 
     #[test]
+    fn cmp_baseline_gate() {
+        let baseline = to_json(
+            Scale::quick(),
+            &[row(40.0)],
+            &[sweep_row(100.0, 4.0)],
+            &[lockstep_row(400.0, 4.0)],
+            &[cmp_row(800.0)],
+        );
+        // Within tolerance: 640 > 800 * 0.75.
+        assert!(check_cmp_against_baseline(&[cmp_row(640.0)], &baseline, 0.25).is_ok());
+        // Beyond tolerance: 560 < 600.
+        let err = check_cmp_against_baseline(&[cmp_row(560.0)], &baseline, 0.25).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // A schema-3 baseline without a cmp section passes trivially,
+        // so the gate needs no flag day.
+        let old = Value::Obj(vec![("lockstep_geomean_mips".into(), Value::Num(400.0))]);
+        let (cur, base) = check_cmp_against_baseline(&[cmp_row(560.0)], &old, 0.25).unwrap();
+        assert!((cur - 560.0).abs() < 1e-9);
+        assert_eq!(base, 0.0);
+    }
+
+    #[test]
     fn render_lists_every_cell() {
         let s = render(&[row(25.0)]);
         assert!(s.contains("database"));
@@ -712,6 +1017,41 @@ mod tests {
         assert!(ls.contains("database"));
         assert!(ls.contains("4.00x"));
         assert!(ls.contains("SIMD tier"));
+        let cm = render_cmp(&[cmp_row(800.0)]);
+        assert!(cm.contains("ebcp"));
+        assert!(cm.contains("chip-wide"));
+    }
+
+    #[test]
+    fn event_mix_covers_every_record() {
+        // The histogram partitions each workload's trace: inert + the
+        // data/control kinds (ifetch-miss overlays, so it is excluded
+        // from the partition) must sum to the record count exactly.
+        let scale = Scale::quick();
+        let rows = event_mix(scale);
+        for w in scale.workloads() {
+            let spec = scale.run_spec(&w, scale.machine());
+            let total = spec.warmup_insts + spec.measure_insts;
+            let partition: u64 = rows
+                .iter()
+                .filter(|r| r.workload == w.name && r.kind != "+ifetch-miss")
+                .map(|r| r.count)
+                .sum();
+            assert_eq!(partition, total, "{} partition", w.name);
+            // A real workload has inert records and load misses.
+            let get = |kind: &str| {
+                rows.iter()
+                    .find(|r| r.workload == w.name && r.kind == kind)
+                    .unwrap()
+                    .count
+            };
+            assert!(get("inert") > 0, "{} inert", w.name);
+            assert!(get("load-miss") > 0, "{} load-miss", w.name);
+        }
+        assert_eq!(rows.len(), scale.workloads().len() * EVENT_KINDS.len());
+        let table = render_event_mix(&rows);
+        assert!(table.contains("inert"));
+        assert!(table.contains('%'));
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! First-class CMP cells: content-addressed multi-core jobs.
+//!
+//! A [`CmpJob`] pairs a [`CmpSpec`] (one workload × seed per core over
+//! one shared machine) with a [`PrefetcherSpec`], mirroring the
+//! single-core [`Job`]. CMP cells get the same treatment single-core
+//! cells do: dedup + memoization by content hash, checksummed on-disk
+//! result entries (quarantine + self-heal on corruption), per-core
+//! pre-resolved streams shared through the harness's warm `pres` map
+//! *and* the `preres/` disk cache — each core's stream is exactly the
+//! stream of its single-core [`CmpJob::core_job`], so CMP and
+//! single-core cells are cache currency for each other — and
+//! panic-isolated execution with the retry-once policy
+//! ([`crate::Harness::run_cmp_outcomes`]).
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use ebcp_sim::{CmpResult, CmpSpec, PrefetcherSpec, SimResult};
+
+use crate::job::{fnv1a64, Job, JobId};
+use crate::json::{self, Value};
+use crate::store::{
+    quarantine, result_from_json, result_to_json, unique_tmp, CacheRead, ResultStore,
+};
+
+/// Schema tag mixed into every CMP canonical string; versioned
+/// independently of the single-core [`crate::job::CANON_VERSION`]
+/// because the two result shapes evolve independently.
+///
+/// v1: the discrete-event CMP engine (metric-identical to the stepping
+/// engine it replaced, so no timing discontinuity to fence off).
+pub const CMP_CANON_VERSION: &str = "ebcp-cmpjob-v1";
+
+/// On-disk schema version for CMP store entries.
+const CMP_SCHEMA: u64 = 1;
+
+/// One unit of CMP work: run `pf` over the multi-core cell `spec`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpJob {
+    /// Per-core workloads/seeds and the shared machine.
+    pub spec: CmpSpec,
+    /// Prefetcher to simulate (one instance shared by all cores).
+    pub pf: PrefetcherSpec,
+}
+
+impl CmpJob {
+    /// Creates a CMP job.
+    pub fn new(spec: CmpSpec, pf: PrefetcherSpec) -> Self {
+        CmpJob { spec, pf }
+    }
+
+    /// The canonical string the job's identity hashes over (see
+    /// [`Job::canonical`] for why `Debug` is a sound canonical form).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!("{CMP_CANON_VERSION}|{:?}|{:?}", self.spec, self.pf)
+    }
+
+    /// The job's content hash. Lives in the same [`JobId`] namespace as
+    /// single-core jobs (distinct canonical prefixes keep the collision
+    /// guard meaningful) but in its own memo and store shard files.
+    #[must_use]
+    pub fn id(&self) -> JobId {
+        JobId(fnv1a64(self.canonical().as_bytes()))
+    }
+
+    /// The single-core job whose pre-resolved stream core `k` consumes.
+    /// This is the bridge into the existing stream infrastructure: the
+    /// in-memory `pres` map and the `preres/` disk cache are keyed by
+    /// [`Job::pre_key`], so a CMP cell and a single-core sweep over the
+    /// same (workload, seed, length, L1) share one stream build.
+    #[must_use]
+    pub fn core_job(&self, k: usize) -> Job {
+        Job::new(self.spec.core_run_spec(k), self.pf.clone())
+    }
+
+    /// Number of cores in the cell.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.spec.cores()
+    }
+
+    /// Total trace records the job will consume, across all cores.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        (self.spec.warmup_insts + self.spec.measure_insts) * self.cores() as u64
+    }
+
+    /// Short human label, e.g. `database@4c x ebcp`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}@{}c x {}", self.spec.name, self.cores(), self.pf.name())
+    }
+}
+
+/// How one CMP job ended — the multi-core analogue of
+/// [`crate::JobOutcome`], with the same retry semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmpOutcome {
+    /// Simulated (or served from a cache) successfully.
+    Ok(CmpResult),
+    /// First attempt panicked; the retry succeeded.
+    Retried(CmpResult),
+    /// Both attempts panicked; memoized as failed, nothing cached.
+    Failed {
+        /// The second attempt's panic message.
+        reason: String,
+    },
+}
+
+impl CmpOutcome {
+    /// The result, unless the job failed.
+    pub const fn result(&self) -> Option<&CmpResult> {
+        match self {
+            CmpOutcome::Ok(r) | CmpOutcome::Retried(r) => Some(r),
+            CmpOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure reason, if the job failed.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            CmpOutcome::Failed { reason } => Some(reason),
+            _ => None,
+        }
+    }
+
+    /// True for [`CmpOutcome::Failed`].
+    pub const fn is_failed(&self) -> bool {
+        matches!(self, CmpOutcome::Failed { .. })
+    }
+}
+
+/// Encodes a [`CmpResult`] as JSON: per-core results plus the
+/// aggregate, each in the standard [`result_to_json`] shape.
+pub fn cmp_result_to_json(r: &CmpResult) -> Value {
+    Value::Obj(vec![
+        (
+            "cores".into(),
+            Value::Arr(r.cores.iter().map(result_to_json).collect()),
+        ),
+        ("aggregate".into(), result_to_json(&r.aggregate)),
+    ])
+}
+
+/// Decodes a [`CmpResult`]; `None` on any missing or mistyped field.
+pub fn cmp_result_from_json(v: &Value) -> Option<CmpResult> {
+    let cores = v
+        .get("cores")?
+        .as_arr()?
+        .iter()
+        .map(result_from_json)
+        .collect::<Option<Vec<SimResult>>>()?;
+    Some(CmpResult {
+        cores,
+        aggregate: result_from_json(v.get("aggregate")?)?,
+    })
+}
+
+impl ResultStore {
+    /// The on-disk path of a CMP job's entry: same 2-hex sharding as
+    /// single-core entries, `.cmp.json` suffix so the two result shapes
+    /// never collide on a file name.
+    pub fn cmp_entry_path(&self, job: &CmpJob) -> PathBuf {
+        let name = format!("{}.cmp.json", job.id());
+        self.dir().join(&name[..2]).join(name)
+    }
+
+    /// Integrity-checked load of a CMP entry — same contract as
+    /// [`ResultStore::load_checked`]: valid hit, plain miss (absent /
+    /// stale schema / hash collision), or quarantined corruption.
+    pub fn load_checked_cmp(&self, job: &CmpJob) -> CacheRead<CmpResult> {
+        let path = self.cmp_entry_path(job);
+        let Ok(text) = fs::read_to_string(&path) else {
+            return CacheRead::Miss;
+        };
+        let Ok(v) = json::parse(&text) else {
+            return quarantine(path, "unparsable JSON".into());
+        };
+        let Some(schema) = v.get("schema").and_then(Value::as_u64) else {
+            return quarantine(path, "missing schema field".into());
+        };
+        if schema != CMP_SCHEMA {
+            return CacheRead::Miss;
+        }
+        match v.get("job").and_then(Value::as_str) {
+            None => return quarantine(path, "missing job field".into()),
+            Some(canon) if canon != job.canonical() => return CacheRead::Miss,
+            Some(_) => {}
+        }
+        let Some(result) = v.get("result") else {
+            return quarantine(path, "missing result field".into());
+        };
+        match v.get("checksum").and_then(Value::as_str) {
+            Some(stored) if stored == cmp_checksum(result) => {}
+            Some(_) => return quarantine(path, "checksum mismatch".into()),
+            None => return quarantine(path, "missing checksum field".into()),
+        }
+        match cmp_result_from_json(result) {
+            Some(r) => CacheRead::Hit(r),
+            None => quarantine(path, "undecodable result".into()),
+        }
+    }
+
+    /// Persists a CMP result (atomic write-temp-rename, pid- and
+    /// sequence-unique temp names — see [`ResultStore::save`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; callers may treat them as non-fatal.
+    pub fn save_cmp(&self, job: &CmpJob, result: &CmpResult) -> io::Result<()> {
+        let result_json = cmp_result_to_json(result);
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Int(CMP_SCHEMA)),
+            ("id".into(), Value::Str(job.id().to_string())),
+            ("job".into(), Value::Str(job.canonical())),
+            ("checksum".into(), Value::Str(cmp_checksum(&result_json))),
+            ("result".into(), result_json),
+        ]);
+        let path = self.cmp_entry_path(job);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = unique_tmp(&path, "json");
+        fs::write(&tmp, doc.to_json_pretty())?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+/// FNV-1a over the compact result encoding (whitespace-proof).
+fn cmp_checksum(result: &Value) -> String {
+    format!("{:016x}", fnv1a64(result.to_json().as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_sim::SimConfig;
+    use ebcp_trace::WorkloadSpec;
+
+    fn sample_spec(cores: usize) -> CmpSpec {
+        CmpSpec::homogeneous(
+            WorkloadSpec::database().scaled(1, 32),
+            cores,
+            5_000,
+            5_000,
+            SimConfig::scaled_down(16),
+        )
+    }
+
+    fn sample_result(cores: usize) -> CmpResult {
+        CmpResult {
+            cores: (0..cores)
+                .map(|k| SimResult {
+                    prefetcher: "ebcp".into(),
+                    workload: format!("database#core{k}"),
+                    insts: 5_000,
+                    cycles: 9_000 + k as u64,
+                    ..SimResult::default()
+                })
+                .collect(),
+            aggregate: SimResult {
+                prefetcher: "ebcp".into(),
+                workload: "database".into(),
+                insts: 5_000 * cores as u64,
+                pf_issued: u64::MAX, // exact u64 round-trip
+                ..SimResult::default()
+            },
+        }
+    }
+
+    #[test]
+    fn cmp_codec_round_trips() {
+        let r = sample_result(4);
+        let text = cmp_result_to_json(&r).to_json_pretty();
+        let back = cmp_result_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn identity_covers_cores_and_prefetcher() {
+        let a = CmpJob::new(sample_spec(2), PrefetcherSpec::None);
+        assert_eq!(
+            a.id(),
+            CmpJob::new(sample_spec(2), PrefetcherSpec::None).id()
+        );
+        let b = CmpJob::new(sample_spec(4), PrefetcherSpec::None);
+        assert_ne!(a.id(), b.id(), "core count is identity");
+        let c = CmpJob::new(
+            sample_spec(2),
+            PrefetcherSpec::Ebcp(ebcp_core::EbcpConfig::tuned()),
+        );
+        assert_ne!(a.id(), c.id(), "prefetcher is identity");
+        assert_eq!(a.label(), "database x none".replace(" x", "@2c x"));
+    }
+
+    #[test]
+    fn core_job_shares_stream_identity_with_single_core_cells() {
+        // The pre-key of core k's bridge job equals the pre-key of a
+        // plain single-core job over the same (workload, seed, length,
+        // L1): CMP cells reuse single-core streams and vice versa.
+        let cmp = CmpJob::new(sample_spec(2), PrefetcherSpec::None);
+        let single = Job::new(cmp.spec.core_run_spec(1), PrefetcherSpec::None);
+        assert_eq!(cmp.core_job(1).pre_key(), single.pre_key());
+        // Different cores read different seeds, hence different streams.
+        assert_ne!(cmp.core_job(0).pre_key(), cmp.core_job(1).pre_key());
+    }
+
+    #[test]
+    fn cmp_store_save_then_load() {
+        let dir = std::env::temp_dir().join(format!("ebcp-cmpstore-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let job = CmpJob::new(sample_spec(2), PrefetcherSpec::None);
+        assert_eq!(store.load_checked_cmp(&job), CacheRead::Miss);
+        let r = sample_result(2);
+        store.save_cmp(&job, &r).unwrap();
+        assert_eq!(store.load_checked_cmp(&job), CacheRead::Hit(r));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cmp_entry_is_quarantined_and_heals() {
+        let dir = std::env::temp_dir().join(format!("ebcp-cmpstore-q-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let job = CmpJob::new(sample_spec(2), PrefetcherSpec::None);
+        store.save_cmp(&job, &sample_result(2)).unwrap();
+        let path = store.cmp_entry_path(&job);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes
+            .windows(5)
+            .position(|w| w == b"9000,")
+            .expect("per-core cycle count must appear");
+        bytes[at] = b'7';
+        fs::write(&path, &bytes).unwrap();
+        match store.load_checked_cmp(&job) {
+            CacheRead::Quarantined { path: q, reason } => {
+                assert!(reason.contains("checksum"), "{reason}");
+                assert!(q.to_string_lossy().ends_with(".corrupt"));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // Self-heal: a fresh save overwrites and reads back.
+        store.save_cmp(&job, &sample_result(2)).unwrap();
+        assert_eq!(
+            store.load_checked_cmp(&job),
+            CacheRead::Hit(sample_result(2))
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_cmp_schema_is_a_plain_miss() {
+        let dir = std::env::temp_dir().join(format!("ebcp-cmpstore-s-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let job = CmpJob::new(sample_spec(2), PrefetcherSpec::None);
+        store.save_cmp(&job, &sample_result(2)).unwrap();
+        let path = store.cmp_entry_path(&job);
+        let text = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"schema\": 1", "\"schema\": 0");
+        fs::write(&path, text).unwrap();
+        assert_eq!(store.load_checked_cmp(&job), CacheRead::Miss);
+        assert!(path.exists(), "stale entries are not quarantined");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

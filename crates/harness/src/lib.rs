@@ -62,6 +62,7 @@
 //! assert_eq!(h.summary().executed, 1);
 //! ```
 
+pub mod cmp;
 pub mod job;
 pub mod json;
 pub mod preres;
@@ -81,6 +82,7 @@ use std::time::{Duration, Instant};
 use ebcp_sim::frontend::PreResolved;
 use ebcp_sim::SimResult;
 
+pub use crate::cmp::{CmpJob, CmpOutcome, CMP_CANON_VERSION};
 pub use crate::job::{fnv1a64, Job, JobId};
 pub use crate::json::Value;
 pub use crate::queue::{JobService, QueueConfig, ServiceStatus, SubmitError};
@@ -258,6 +260,10 @@ pub struct Harness {
     /// first worker to need it initializes the `OnceLock` while others
     /// block on `get_or_init`, then all share the `Arc`.
     pres: Mutex<HashMap<u64, Arc<OnceLock<Arc<PreResolved>>>>>,
+    /// Outcomes of CMP cells ([`CmpJob`]), memoized separately from the
+    /// single-core memo because the result shapes differ; identity and
+    /// lifetime rules are the same.
+    cmp_memo: Mutex<HashMap<JobId, CmpOutcome>>,
     /// Fan-out republisher for telemetry [`Event`]s.
     bus: EventBus,
 }
@@ -292,6 +298,7 @@ impl Harness {
             records: Mutex::new(Vec::new()),
             counters: Mutex::new(Counters::default()),
             pres: Mutex::new(HashMap::new()),
+            cmp_memo: Mutex::new(HashMap::new()),
             bus: EventBus::new(),
         }
     }
@@ -428,19 +435,24 @@ impl Harness {
                         ResultSource::Memory
                     }
                     std::collections::hash_map::Entry::Vacant(slot) => {
-                        // CMP per-core workloads must not reach the
-                        // pre-resolved replay path: their traces live in
-                        // disjoint address spaces and only make sense
-                        // interleaved by `CmpEngine` (run those through
-                        // [`Harness::map`]). Reject loudly instead of
-                        // quietly simulating a meaningless single-core
-                        // run. The rejection is memoized like any other
-                        // failure and never disk-cached.
+                        // A single-core `Job` over a CMP *per-core*
+                        // workload is a capability mismatch, not a
+                        // queueing problem: its trace lives in one core's
+                        // private address space and only means something
+                        // interleaved with its co-runners through the
+                        // shared L2 — which is [`Harness::run_cmp`]'s
+                        // job (the discrete-event `CmpEngine`, first-class
+                        // memo/disk-cache/fault-isolation included).
+                        // Reject with a precise error naming the routing
+                        // fix instead of quietly simulating a meaningless
+                        // single-core run. The rejection is memoized like
+                        // any other failure and never disk-cached.
                         if job.spec.workload.addr_space != 0 {
                             let reason = format!(
-                                "CMP per-core workload '{}' (addr_space {}) cannot run on the \
-                                 two-phase pre-resolved replay path; run CMP configurations \
-                                 through CmpEngine via Harness::map",
+                                "single-core Job cannot represent CMP per-core workload '{}' \
+                                 (addr_space {}): submit the whole cell as a CmpJob via \
+                                 Harness::run_cmp, which routes it through the discrete-event \
+                                 CMP engine",
                                 job.spec.workload.name, job.spec.workload.addr_space
                             );
                             self.bus.publish(&Event::JobFailed {
@@ -763,6 +775,249 @@ impl Harness {
         }
     }
 
+    /// Resolves a batch of CMP cells, returning results in submission
+    /// order — the **strict** multi-core entry point, mirroring
+    /// [`Harness::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a summary naming the failed cells if any job failed,
+    /// after the whole batch has executed.
+    pub fn run_cmp(&self, jobs: &[CmpJob]) -> Vec<ebcp_sim::CmpResult> {
+        let outcomes = self.run_cmp_outcomes(jobs);
+        let mut failed: Vec<String> = Vec::new();
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            if let Some(reason) = outcome.failure() {
+                let entry = format!("{} ({reason})", job.label());
+                if !failed.contains(&entry) {
+                    failed.push(entry);
+                }
+            }
+        }
+        assert!(
+            failed.is_empty(),
+            "{} CMP job(s) failed: {}",
+            failed.len(),
+            failed.join("; ")
+        );
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                CmpOutcome::Ok(r) | CmpOutcome::Retried(r) => r,
+                CmpOutcome::Failed { .. } => unreachable!("failures rejected above"),
+            })
+            .collect()
+    }
+
+    /// Resolves a batch of CMP cells, returning one [`CmpOutcome`] per
+    /// job in submission order — the **keep-going** multi-core entry
+    /// point, mirroring [`Harness::run_outcomes`].
+    ///
+    /// CMP cells are first-class: deduplicated and memoized by content
+    /// hash (within and across batches), served from the checksummed
+    /// disk store when warm (corrupt entries quarantined + re-run),
+    /// executed on the worker pool with per-cell panic isolation and
+    /// the retry-once policy, and counted in [`Harness::summary`] and
+    /// the telemetry stream like any other cell. Per-core pre-resolved
+    /// streams come from the same warm map and `preres/` disk cache the
+    /// single-core path uses (see [`CmpJob::core_job`]).
+    pub fn run_cmp_outcomes(&self, jobs: &[CmpJob]) -> Vec<CmpOutcome> {
+        let t0 = Instant::now();
+
+        let mut first_seen: HashMap<JobId, usize> = HashMap::new();
+        let mut uniques: Vec<&CmpJob> = Vec::new();
+        for job in jobs {
+            match first_seen.get(&job.id()) {
+                Some(&idx) => assert_eq!(
+                    uniques[idx],
+                    job,
+                    "CMP job content-hash collision on {}; bump CMP_CANON_VERSION",
+                    job.id()
+                ),
+                None => {
+                    first_seen.insert(job.id(), uniques.len());
+                    uniques.push(job);
+                }
+            }
+        }
+
+        let mut pending: Vec<&CmpJob> = Vec::new();
+        {
+            let mut memo = lock(&self.cmp_memo);
+            let mut c = lock(&self.counters);
+            c.submitted += jobs.len();
+            c.unique += uniques.len();
+            for job in &uniques {
+                match memo.entry(job.id()) {
+                    std::collections::hash_map::Entry::Occupied(_) => c.memo_hits += 1,
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        let read = match &self.store {
+                            Some(s) => s.load_checked_cmp(job),
+                            None => CacheRead::Miss,
+                        };
+                        match read {
+                            CacheRead::Hit(r) => {
+                                c.disk_hits += 1;
+                                slot.insert(CmpOutcome::Ok(r));
+                            }
+                            CacheRead::Miss => pending.push(job),
+                            CacheRead::Quarantined { path, reason } => {
+                                c.quarantined += 1;
+                                let path = path.display().to_string();
+                                if self.cfg.progress {
+                                    eprintln!(
+                                        "warning: quarantined corrupt cache entry {path} \
+                                         ({reason}); re-running"
+                                    );
+                                }
+                                self.bus.publish(&Event::CacheQuarantined { path, reason });
+                                pending.push(job);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            self.execute_cmp(&pending);
+        }
+
+        lock(&self.counters).wall += t0.elapsed();
+        let memo = lock(&self.cmp_memo);
+        jobs.iter().map(|j| memo[&j.id()].clone()).collect()
+    }
+
+    /// Runs pending CMP cells on the worker pool: per-core streams from
+    /// the shared warm map (+ `preres/` disk cache), then one
+    /// discrete-event `CmpEngine` run per cell, panic-caught with the
+    /// retry-once policy. Outcomes fold into the CMP memo and the
+    /// shared counters.
+    fn execute_cmp(&self, pending: &[&CmpJob]) {
+        let workers = self.workers.min(pending.len()).max(1);
+        let pres = &self.pres;
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
+        type CmpSlot = Result<(ebcp_sim::CmpResult, u64, f64, bool), String>;
+        let outputs: Mutex<Vec<Option<CmpSlot>>> = Mutex::new(vec![None; pending.len()]);
+        let (tx, rx) = mpsc::channel::<Event>();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (queue, outputs) = (&queue, &outputs);
+                s.spawn(move || loop {
+                    let Some(i) = lock(queue).pop_front() else {
+                        break;
+                    };
+                    let job = pending[i];
+                    let _ = tx.send(Event::JobStarted { label: job.label() });
+                    let t = Instant::now();
+
+                    // One attempt: resolve every core's stream through
+                    // the shared cells (no guard held across user code),
+                    // then run the cell on the DES engine. A panic
+                    // anywhere fails only this cell.
+                    let attempt_one = || -> Result<ebcp_sim::CmpResult, String> {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let streams: Vec<Arc<PreResolved>> = (0..job.cores())
+                                .map(|k| {
+                                    let cj = job.core_job(k);
+                                    let cell = Arc::clone(
+                                        lock(pres)
+                                            .entry(cj.pre_key())
+                                            .or_insert_with(|| Arc::new(OnceLock::new())),
+                                    );
+                                    Arc::clone(
+                                        cell.get_or_init(|| Arc::new(self.prepare_pre(&cj, &tx))),
+                                    )
+                                })
+                                .collect();
+                            let refs: Vec<&PreResolved> = streams.iter().map(Arc::as_ref).collect();
+                            job.spec.run_streams(&refs, &job.pf)
+                        }))
+                        .map_err(panic_reason)
+                    };
+
+                    let out = match attempt_one() {
+                        Ok(result) => Ok((result, false)),
+                        Err(first) => {
+                            let _ = tx.send(Event::JobRetried {
+                                label: job.label(),
+                                reason: first,
+                            });
+                            attempt_one().map(|result| (result, true))
+                        }
+                    };
+
+                    let wall = t.elapsed();
+                    let wall_ms = wall.as_millis() as u64;
+                    let slot: CmpSlot = out.map(|(result, retried)| {
+                        let rate = job.records() as f64 / wall.as_secs_f64().max(1e-9);
+                        (result, wall_ms, rate, retried)
+                    });
+                    match &slot {
+                        Ok((result, wall_ms, rate, _)) => {
+                            if let Some(store) = &self.store {
+                                // Cache-write failure loses only incrementality.
+                                let _ = store.save_cmp(job, result);
+                            }
+                            let _ = tx.send(Event::JobFinished {
+                                label: job.label(),
+                                wall_ms: *wall_ms,
+                                insts_per_sec: *rate,
+                            });
+                        }
+                        Err(reason) => {
+                            let _ = tx.send(Event::JobFailed {
+                                label: job.label(),
+                                reason: reason.clone(),
+                            });
+                        }
+                    }
+                    lock(outputs)[i] = Some(slot);
+                });
+            }
+            drop(tx);
+            let mut progress = Progress::new(self.cfg.progress, pending.len());
+            let mut quarantined = 0usize;
+            for ev in rx {
+                if let Event::CacheQuarantined { .. } = &ev {
+                    quarantined += 1;
+                }
+                self.bus.publish(&ev);
+                progress.handle(&ev);
+            }
+            progress.finish();
+            lock(&self.counters).quarantined += quarantined;
+        });
+
+        let outputs = outputs.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut memo = lock(&self.cmp_memo);
+        let mut c = lock(&self.counters);
+        for (job, out) in pending.iter().zip(outputs) {
+            let slot = out.expect("worker completed every queued CMP job");
+            match slot {
+                Ok((result, _, _, retried)) => {
+                    memo.insert(
+                        job.id(),
+                        if retried {
+                            c.retried += 1;
+                            CmpOutcome::Retried(result)
+                        } else {
+                            CmpOutcome::Ok(result)
+                        },
+                    );
+                    c.executed += 1;
+                    c.records_simulated += job.records();
+                }
+                Err(reason) => {
+                    memo.insert(job.id(), CmpOutcome::Failed { reason });
+                    c.failed += 1;
+                }
+            }
+        }
+    }
+
     /// Obtains the pre-resolved event stream for `job`: from the disk
     /// cache when possible, otherwise by running the front-end pass (and
     /// caching the result for the next process). A corrupt cached
@@ -790,7 +1045,9 @@ impl Harness {
     }
 
     /// Generic parallel map over the same worker pool sizing, for work
-    /// that does not fit the [`Job`] shape (e.g. CMP multi-core runs).
+    /// that does not fit either job shape (CMP multi-core cells are
+    /// first-class now — see [`Harness::run_cmp`] — so this is for
+    /// one-off work like bulk trace generation).
     /// Output order matches input order; `jobs = 1` degenerates to a
     /// plain serial map.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
@@ -948,6 +1205,22 @@ pub struct ResultRow {
     pub outcome: JobOutcome,
 }
 
+/// One deterministic `results.json` row for a multi-core CMP cell: the
+/// cell's identity and outcome, nothing volatile.
+#[derive(Debug, Clone)]
+pub struct CmpResultRow {
+    /// Content hash of the CMP job.
+    pub id: JobId,
+    /// The cell name ([`ebcp_sim::CmpSpec::name`], e.g. `database-mix`).
+    pub cell: String,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// Cores on the chip.
+    pub cores: u64,
+    /// How the cell ended ([`CmpOutcome::Retried`] renders as `"ok"`).
+    pub outcome: CmpOutcome,
+}
+
 /// Renders the deterministic results document from per-job rows.
 ///
 /// This is the **single** renderer behind `results.json`: local `repro`
@@ -956,7 +1229,19 @@ pub struct ResultRow {
 /// directly — which is what makes `repro submit` byte-identical to a
 /// local run of the same sweep.
 pub fn results_doc(submitted: usize, rows: &[ResultRow]) -> Value {
-    let failed = rows.iter().filter(|r| r.outcome.is_failed()).count();
+    results_doc_cmp(submitted, rows, &[])
+}
+
+/// [`results_doc`] with multi-core CMP cells appended: single-core jobs
+/// render exactly as before, and a `"cmp_jobs"` array is added only
+/// when the sweep actually carried multi-core cells — so a sweep
+/// without a `cores` axis stays byte-identical to the pre-CMP format.
+/// Both the local sweep path and the service client assemble through
+/// this one renderer, preserving the byte-identity contract for CMP
+/// grids too.
+pub fn results_doc_cmp(submitted: usize, rows: &[ResultRow], cmp_rows: &[CmpResultRow]) -> Value {
+    let failed = rows.iter().filter(|r| r.outcome.is_failed()).count()
+        + cmp_rows.iter().filter(|r| r.outcome.is_failed()).count();
     let jobs: Vec<Value> = rows
         .iter()
         .map(|row| {
@@ -990,17 +1275,58 @@ pub fn results_doc(submitted: usize, rows: &[ResultRow]) -> Value {
             ])
         })
         .collect();
-    Value::Obj(vec![
+    let mut fields = vec![
         (
             "summary".into(),
             Value::Obj(vec![
                 ("submitted".into(), Value::Int(submitted as u64)),
-                ("unique".into(), Value::Int(rows.len() as u64)),
+                (
+                    "unique".into(),
+                    Value::Int((rows.len() + cmp_rows.len()) as u64),
+                ),
                 ("failed".into(), Value::Int(failed as u64)),
             ]),
         ),
         ("jobs".into(), Value::Arr(jobs)),
-    ])
+    ];
+    if !cmp_rows.is_empty() {
+        let cmp_jobs: Vec<Value> = cmp_rows
+            .iter()
+            .map(|row| {
+                Value::Obj(vec![
+                    ("id".into(), Value::Str(row.id.to_string())),
+                    ("cell".into(), Value::Str(row.cell.clone())),
+                    ("prefetcher".into(), Value::Str(row.prefetcher.clone())),
+                    ("cores".into(), Value::Int(row.cores)),
+                    (
+                        "outcome".into(),
+                        Value::Str(
+                            if row.outcome.is_failed() {
+                                "failed"
+                            } else {
+                                "ok"
+                            }
+                            .into(),
+                        ),
+                    ),
+                    (
+                        "error".into(),
+                        row.outcome
+                            .failure()
+                            .map_or(Value::Null, |e| Value::Str(e.into())),
+                    ),
+                    (
+                        "result".into(),
+                        row.outcome
+                            .result()
+                            .map_or(Value::Null, crate::cmp::cmp_result_to_json),
+                    ),
+                ])
+            })
+            .collect();
+        fields.push(("cmp_jobs".into(), Value::Arr(cmp_jobs)));
+    }
+    Value::Obj(fields)
 }
 
 /// Writes a pretty-printed JSON document, creating parent directories.
@@ -1285,25 +1611,127 @@ mod tests {
         }
     }
 
-    /// CMP per-core jobs are rejected with a clear error instead of
-    /// quietly simulating a meaningless single-core run; the rejection
-    /// is memoized like any other failure.
+    /// The routing decision, both directions: a mis-shaped single-core
+    /// `Job` over a CMP per-core workload gets a precise capability
+    /// error that names the correct route (`Harness::run_cmp`), and the
+    /// correctly-shaped `CmpJob` actually runs there — through the DES
+    /// engine — instead of being rejected.
     #[test]
-    fn cmp_jobs_are_rejected_with_a_clear_error() {
+    fn cmp_routing_rejects_misshaped_job_and_runs_cmp_job() {
         let h = Harness::serial();
         let mut w = WorkloadSpec::database().scaled(1, 16);
         w.addr_space = 2; // per-core CMP address-space id
-        let job = Job::new(spec(w, 3), PrefetcherSpec::None);
+        let job = Job::new(spec(w.clone(), 3), PrefetcherSpec::None);
         let out = h.run_outcomes(std::slice::from_ref(&job));
-        let reason = out[0].failure().expect("CMP job must be rejected");
+        let reason = out[0].failure().expect("mis-shaped job must be rejected");
         assert!(reason.contains("CMP"), "{reason}");
-        assert!(reason.contains("Harness::map"), "{reason}");
+        assert!(
+            reason.contains("Harness::run_cmp"),
+            "the error must name the correct route: {reason}"
+        );
         let s = h.summary();
         assert_eq!((s.failed, s.executed), (1, 0), "rejected before any run");
         // Resubmission reports the same failure from the memo.
         let again = h.run_outcomes(&[job]);
         assert_eq!(again[0], out[0]);
         assert_eq!(h.summary().failed, 1, "no double-count on resubmission");
+
+        // The very same per-core workload, correctly shaped as one
+        // CmpJob cell, routes through the DES engine and succeeds.
+        let cell = CmpJob::new(
+            ebcp_sim::CmpSpec::heterogeneous(
+                "pair",
+                vec![
+                    (
+                        ebcp_trace::WorkloadSpec {
+                            addr_space: 1,
+                            ..w.clone()
+                        },
+                        3,
+                    ),
+                    (ebcp_trace::WorkloadSpec { addr_space: 2, ..w }, 4),
+                ],
+                10_000,
+                10_000,
+                SimConfig::scaled_down(16),
+            ),
+            PrefetcherSpec::None,
+        );
+        let cmp_out = h.run_cmp_outcomes(std::slice::from_ref(&cell));
+        let r = cmp_out[0]
+            .result()
+            .expect("CmpJob must run, not be rejected");
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.cores.iter().all(|c| c.insts == 10_000));
+    }
+
+    /// CMP cells are first-class harness citizens: memoized across
+    /// batches, disk-cached with self-healing entries, results
+    /// identical to a direct engine run.
+    #[test]
+    fn cmp_cells_memoize_and_disk_cache() {
+        let dir = std::env::temp_dir().join(format!("ebcp-harness-cmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = HarnessConfig {
+            jobs: 1,
+            store_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let cell = CmpJob::new(
+            ebcp_sim::CmpSpec::homogeneous(
+                WorkloadSpec::database().scaled(1, 32),
+                2,
+                10_000,
+                10_000,
+                SimConfig::scaled_down(16),
+            ),
+            PrefetcherSpec::Ebcp(ebcp_core::EbcpConfig::tuned()),
+        );
+        let h = Harness::new(cfg.clone());
+        let a = h.run_cmp(std::slice::from_ref(&cell));
+        assert_eq!(a[0], cell.spec.run(&cell.pf), "harness == direct engine");
+        // Same harness: memo hit, nothing executed.
+        let b = h.run_cmp(std::slice::from_ref(&cell));
+        assert_eq!(a, b);
+        assert_eq!(h.summary().executed, 1);
+        assert_eq!(h.summary().memo_hits, 1);
+        // Fresh harness, warm store: disk hit, zero simulations.
+        let h2 = Harness::new(cfg);
+        let c = h2.run_cmp(std::slice::from_ref(&cell));
+        assert_eq!(a, c);
+        let s = h2.summary();
+        assert_eq!((s.executed, s.disk_hits), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A faulting prefetcher fails only its own CMP cell; the sibling
+    /// cell completes and matches its direct run.
+    #[test]
+    fn cmp_fault_cell_fails_alone() {
+        use ebcp_prefetch::{BaselineConfig, FaultConfig};
+        let spec = ebcp_sim::CmpSpec::homogeneous(
+            WorkloadSpec::database().scaled(1, 32),
+            2,
+            10_000,
+            10_000,
+            SimConfig::scaled_down(16),
+        );
+        let cells = vec![
+            CmpJob::new(spec.clone(), PrefetcherSpec::None),
+            CmpJob::new(
+                spec.clone(),
+                PrefetcherSpec::baseline(
+                    "fault",
+                    BaselineConfig::Fault(FaultConfig::panic_after(40)),
+                ),
+            ),
+        ];
+        let h = Harness::serial();
+        let out = h.run_cmp_outcomes(&cells);
+        let reason = out[1].failure().expect("fault cell must fail");
+        assert!(reason.contains("injected fault"), "{reason}");
+        assert_eq!(h.summary().failed, 1);
+        assert_eq!(out[0].result().unwrap(), &spec.run(&PrefetcherSpec::None));
     }
 
     /// results.json must not depend on where results came from: a cold

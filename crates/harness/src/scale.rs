@@ -8,7 +8,7 @@
 //! what "quick" means.
 
 use ebcp_prefetch::{BaselineConfig, GhbConfig, SmsConfig, SolihinConfig, StreamConfig, TcpConfig};
-use ebcp_sim::{RunSpec, SimConfig};
+use ebcp_sim::{CmpSpec, RunSpec, SimConfig};
 use ebcp_trace::WorkloadSpec;
 
 /// How large an experiment to run.
@@ -94,6 +94,40 @@ impl Scale {
             measure_insts: interval * self.measure_tenths / 10,
             sim,
         }
+    }
+
+    /// The N-core CMP cell for one **unscaled** workload preset: each
+    /// core runs a disjoint copy of the workload — its own transaction
+    /// mix (`seed_tag`), its own address space, and a per-core share of
+    /// the footprint — over the shared L2/bus/DRAM at this scale.
+    ///
+    /// One recipe shared by the figure driver (`repro cmp`), the sweep
+    /// service's `cores` axis and the throughput bench, so the same
+    /// grid point is content-identical (same `CmpJob` id, same caches)
+    /// wherever it is built.
+    pub fn cmp_spec(&self, preset: &WorkloadSpec, cores: usize) -> CmpSpec {
+        let per_core: Vec<(WorkloadSpec, u64)> = (0..cores)
+            .map(|k| {
+                let w = WorkloadSpec {
+                    seed_tag: 0x0d00 + k as u64,
+                    addr_space: 1 + k as u64,
+                    ..preset.clone().scaled(1, self.den as usize * cores)
+                };
+                (w, self.seed + k as u64)
+            })
+            .collect();
+        let interval = per_core
+            .iter()
+            .map(|(w, _)| w.recurrence_interval())
+            .max()
+            .unwrap_or(1);
+        CmpSpec::heterogeneous(
+            &format!("{}-mix", preset.name),
+            per_core,
+            interval * self.warm_tenths / 10,
+            interval * self.measure_tenths / 10,
+            self.machine(),
+        )
     }
 
     /// Divides a table-entry count by the scale denominator (minimum 1K).
@@ -203,5 +237,23 @@ mod tests {
     #[test]
     fn roster_has_eight_baselines() {
         assert_eq!(Scale::standard().figure9_roster().len(), 8);
+    }
+
+    #[test]
+    fn cmp_spec_builds_disjoint_per_core_mixes() {
+        let s = Scale::quick();
+        let preset = WorkloadSpec::database();
+        let spec = s.cmp_spec(&preset, 4);
+        assert_eq!(spec.cores(), 4);
+        assert_eq!(spec.name, "database-mix");
+        for (k, w) in spec.workloads.iter().enumerate() {
+            assert_eq!(w.addr_space, 1 + k as u64, "truly disjoint lines");
+            assert_eq!(w.seed_tag, 0x0d00 + k as u64, "distinct mixes");
+        }
+        assert_eq!(spec.seeds, vec![11, 12, 13, 14]);
+        // The per-core footprint is a per-core share: scaled by den x n.
+        let single = s.cmp_spec(&preset, 1);
+        assert!(spec.workloads[0].templates <= single.workloads[0].templates);
+        assert!(spec.warmup_insts > 0 && spec.measure_insts > 0);
     }
 }

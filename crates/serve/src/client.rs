@@ -15,9 +15,11 @@ use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 
-use ebcp_harness::{results_doc, JobId, ResultRow, ServiceStatus, Value};
+use ebcp_harness::{results_doc_cmp, CmpResultRow, JobId, ResultRow, ServiceStatus, Value};
 
-use crate::proto::{parse_cell, request_shutdown, request_status, request_submit, Conn};
+use crate::proto::{
+    parse_cell, parse_cmp_cell, request_shutdown, request_status, request_submit, Conn,
+};
 use crate::sweep::SweepSpec;
 
 /// How a submitted sweep ended.
@@ -124,6 +126,7 @@ impl Client {
         mut on_event: impl FnMut(&Value),
     ) -> io::Result<SweepOutcome> {
         let jobs = sweep.jobs().map_err(bad_input)?;
+        let cmp_jobs = sweep.cmp_jobs().map_err(bad_input)?;
         // Submission-ordered unique identity rows, as a local run's
         // results.json would list them.
         let mut order: Vec<(JobId, String, String)> = Vec::new();
@@ -136,9 +139,22 @@ impl Client {
                 ));
             }
         }
+        // (id, cell name, prefetcher, cores) per unique CMP cell.
+        let mut cmp_order: Vec<(JobId, String, String, u64)> = Vec::new();
+        for job in &cmp_jobs {
+            if cmp_order.iter().all(|(id, _, _, _)| *id != job.id()) {
+                cmp_order.push((
+                    job.id(),
+                    job.spec.name.clone(),
+                    job.pf.name().to_string(),
+                    job.cores() as u64,
+                ));
+            }
+        }
         self.conn.send(&request_submit(sweep.to_value()))?;
 
         let mut cells: HashMap<JobId, ResultRow> = HashMap::new();
+        let mut cmp_cells: HashMap<JobId, CmpResultRow> = HashMap::new();
         loop {
             let Some(msg) = self.conn.recv()? else {
                 return Err(io::Error::new(
@@ -150,11 +166,11 @@ impl Client {
             match msg.get("event").and_then(Value::as_str) {
                 Some("accepted") => {
                     let unique = msg.get("unique").and_then(Value::as_u64);
-                    if unique != Some(order.len() as u64) {
+                    let expected = order.len() + cmp_order.len();
+                    if unique != Some(expected as u64) {
                         return Err(bad_data(format!(
-                            "daemon resolved {unique:?} unique cells, client expected {} \
-                             — client/daemon version skew",
-                            order.len()
+                            "daemon resolved {unique:?} unique cells, client expected {expected} \
+                             — client/daemon version skew"
                         )));
                     }
                 }
@@ -183,6 +199,17 @@ impl Client {
                     }
                     cells.insert(row.id, row);
                 }
+                Some("cmp_cell") => {
+                    let row = parse_cmp_cell(&msg).map_err(bad_data)?;
+                    if !cmp_order.iter().any(|(id, _, _, _)| *id == row.id) {
+                        return Err(bad_data(format!(
+                            "daemon streamed CMP cell {} outside the submitted grid \
+                             — client/daemon version skew",
+                            row.id
+                        )));
+                    }
+                    cmp_cells.insert(row.id, row);
+                }
                 Some("done") => {
                     let mut rows = Vec::with_capacity(order.len());
                     for (id, workload, prefetcher) in &order {
@@ -191,9 +218,19 @@ impl Client {
                         })?;
                         rows.push(row);
                     }
-                    let failed = rows.iter().filter(|r| r.outcome.is_failed()).count();
+                    let mut cmp_rows = Vec::with_capacity(cmp_order.len());
+                    for (id, cell, prefetcher, cores) in &cmp_order {
+                        let row = cmp_cells.remove(id).ok_or_else(|| {
+                            bad_data(format!(
+                                "done, but CMP cell {cell}@{cores}c x {prefetcher} missing"
+                            ))
+                        })?;
+                        cmp_rows.push(row);
+                    }
+                    let failed = rows.iter().filter(|r| r.outcome.is_failed()).count()
+                        + cmp_rows.iter().filter(|r| r.outcome.is_failed()).count();
                     return Ok(SweepOutcome::Done {
-                        results: results_doc(jobs.len(), &rows),
+                        results: results_doc_cmp(jobs.len() + cmp_jobs.len(), &rows, &cmp_rows),
                         failed,
                     });
                 }

@@ -16,6 +16,8 @@
 //!                   {"event":"telemetry","kind":..,"label":..,...}
 //!                   {"event":"cell","id":..,"workload":..,"prefetcher":..,
 //!                    "outcome":"ok"|"failed","error":..,"result":{..}}
+//!                   {"event":"cmp_cell","id":..,"cell":..,"prefetcher":..,
+//!                    "cores":N,"outcome":"ok"|"failed","error":..,"result":{..}}
 //!                   {"event":"done","summary":{..}}
 //!                   {"event":"status", ...}
 //!                   {"event":"error","reason":..}
@@ -23,9 +25,12 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 
+use ebcp_harness::cmp::{cmp_result_from_json, cmp_result_to_json};
 use ebcp_harness::store::{result_from_json, result_to_json};
 use ebcp_harness::telemetry::Event;
-use ebcp_harness::{json, JobId, JobOutcome, ResultRow, ServiceStatus, Value};
+use ebcp_harness::{
+    json, CmpOutcome, CmpResultRow, JobId, JobOutcome, ResultRow, ServiceStatus, Value,
+};
 
 /// Protocol version; bump on incompatible message changes.
 pub const PROTO_VERSION: u64 = 1;
@@ -216,6 +221,38 @@ pub fn resp_cell(row: &ResultRow) -> Value {
     ])
 }
 
+/// One finished multi-core CMP cell.
+pub fn resp_cmp_cell(row: &CmpResultRow) -> Value {
+    obj(vec![
+        ("event", Value::Str("cmp_cell".into())),
+        ("id", Value::Str(row.id.to_string())),
+        ("cell", Value::Str(row.cell.clone())),
+        ("prefetcher", Value::Str(row.prefetcher.clone())),
+        ("cores", Value::Int(row.cores)),
+        (
+            "outcome",
+            Value::Str(
+                if row.outcome.is_failed() {
+                    "failed"
+                } else {
+                    "ok"
+                }
+                .into(),
+            ),
+        ),
+        (
+            "error",
+            row.outcome
+                .failure()
+                .map_or(Value::Null, |e| Value::Str(e.into())),
+        ),
+        (
+            "result",
+            row.outcome.result().map_or(Value::Null, cmp_result_to_json),
+        ),
+    ])
+}
+
 /// Submit epilogue.
 pub fn resp_done(submitted: usize, unique: usize, failed: usize) -> Value {
     obj(vec![
@@ -271,6 +308,42 @@ pub fn parse_cell(v: &Value) -> Result<ResultRow, String> {
         id: JobId(id),
         workload: s("workload")?,
         prefetcher: s("prefetcher")?,
+        outcome,
+    })
+}
+
+/// Decodes a `cmp_cell` line back into a [`CmpResultRow`].
+///
+/// # Errors
+///
+/// A missing or mistyped field.
+pub fn parse_cmp_cell(v: &Value) -> Result<CmpResultRow, String> {
+    let s = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("cmp_cell missing {key:?}"))
+    };
+    let id = u64::from_str_radix(&s("id")?, 16).map_err(|e| format!("bad cmp_cell id: {e}"))?;
+    let cores = v
+        .get("cores")
+        .and_then(Value::as_u64)
+        .ok_or("cmp_cell missing \"cores\"")?;
+    let outcome = match s("outcome")?.as_str() {
+        "ok" => {
+            let result = v.get("result").ok_or("ok cmp_cell missing result")?;
+            CmpOutcome::Ok(cmp_result_from_json(result).ok_or("undecodable cmp_cell result")?)
+        }
+        "failed" => CmpOutcome::Failed {
+            reason: s("error")?,
+        },
+        other => return Err(format!("unknown cmp_cell outcome {other:?}")),
+    };
+    Ok(CmpResultRow {
+        id: JobId(id),
+        cell: s("cell")?,
+        prefetcher: s("prefetcher")?,
+        cores,
         outcome,
     })
 }
@@ -348,5 +421,56 @@ mod tests {
             assert_eq!(back.workload, row.workload);
             assert_eq!(back.outcome, row.outcome);
         }
+    }
+
+    #[test]
+    fn cmp_cell_round_trips_ok_and_failed() {
+        use ebcp_sim::{CmpResult, SimResult};
+        let ok = CmpResultRow {
+            id: JobId(0x0123_4567_89ab_cdef),
+            cell: "database-mix".into(),
+            prefetcher: "ebcp".into(),
+            cores: 4,
+            outcome: CmpOutcome::Ok(CmpResult {
+                cores: vec![
+                    SimResult {
+                        insts: 1000,
+                        ..SimResult::default()
+                    };
+                    4
+                ],
+                aggregate: SimResult {
+                    insts: 4000,
+                    ..SimResult::default()
+                },
+            }),
+        };
+        let failed = CmpResultRow {
+            id: JobId(9),
+            cell: "tpcw-mix".into(),
+            prefetcher: "fault".into(),
+            cores: 2,
+            outcome: CmpOutcome::Failed {
+                reason: "injected".into(),
+            },
+        };
+        for row in [&ok, &failed] {
+            let text = resp_cmp_cell(row).to_json();
+            let back = parse_cmp_cell(&json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.id, row.id);
+            assert_eq!(back.cell, row.cell);
+            assert_eq!(back.cores, row.cores);
+            assert_eq!(back.outcome, row.outcome);
+        }
+        // A Retried outcome renders as "ok" and parses back as Ok —
+        // whether a cell needed its second attempt is timing, not
+        // result.
+        let retried = CmpResultRow {
+            outcome: CmpOutcome::Retried(ok.outcome.result().unwrap().clone()),
+            ..ok.clone()
+        };
+        let back =
+            parse_cmp_cell(&json::parse(&resp_cmp_cell(&retried).to_json()).unwrap()).unwrap();
+        assert_eq!(back.outcome, ok.outcome);
     }
 }

@@ -26,12 +26,13 @@ use std::time::Duration;
 
 use ebcp_harness::telemetry::Event;
 use ebcp_harness::{
-    Harness, Job, JobId, JobOutcome, JobService, QueueConfig, ResultRow, SubmitError, Value,
+    CmpJob, CmpResultRow, Harness, Job, JobId, JobOutcome, JobService, QueueConfig, ResultRow,
+    SubmitError, Value,
 };
 
 use crate::proto::{
-    resp_accepted, resp_cell, resp_done, resp_error, resp_rejected, resp_shutting_down,
-    resp_status, resp_telemetry, Conn, PROTO_VERSION,
+    resp_accepted, resp_cell, resp_cmp_cell, resp_done, resp_error, resp_rejected,
+    resp_shutting_down, resp_status, resp_telemetry, Conn, PROTO_VERSION,
 };
 use crate::sweep::SweepSpec;
 
@@ -283,18 +284,32 @@ impl Server {
     /// socket died mid-stream; protocol-level refusals (bad names,
     /// backpressure) are sent as `error` / `rejected` lines and return
     /// `Ok`.
+    ///
+    /// Single-core cells go through the bounded job queue; multi-core
+    /// CMP cells run inline on this handler thread through
+    /// [`Harness::run_cmp_outcomes`] (the same memo and `.cmp.json`
+    /// disk cache a local run uses) while the workers chew the queued
+    /// singles — their `cmp_cell` lines stream after the singles drain.
     fn handle_submit(&self, client: u64, conn: &mut Conn, sweep: &Value) -> io::Result<()> {
-        let jobs = match SweepSpec::from_value(sweep).and_then(|s| s.jobs()) {
-            Ok(jobs) => jobs,
-            Err(reason) => return conn.send(&resp_error(&reason)),
-        };
+        let (jobs, cmp_jobs) =
+            match SweepSpec::from_value(sweep).and_then(|s| Ok((s.jobs()?, s.cmp_jobs()?))) {
+                Ok(expanded) => expanded,
+                Err(reason) => return conn.send(&resp_error(&reason)),
+            };
         let mut seen = HashSet::new();
         let unique: Vec<Job> = jobs
             .iter()
             .filter(|j| seen.insert(j.id()))
             .cloned()
             .collect();
-        let labels: HashSet<String> = unique.iter().map(Job::label).collect();
+        let mut seen_cmp = HashSet::new();
+        let unique_cmp: Vec<CmpJob> = cmp_jobs
+            .iter()
+            .filter(|j| seen_cmp.insert(j.id()))
+            .cloned()
+            .collect();
+        let mut labels: HashSet<String> = unique.iter().map(Job::label).collect();
+        labels.extend(unique_cmp.iter().map(CmpJob::label));
 
         // Subscribe before queueing so no event of ours is missed.
         let telemetry = self.service.harness().bus().subscribe();
@@ -315,7 +330,15 @@ impl Server {
             }
         }
         drop(tx);
-        conn.send(&resp_accepted(jobs.len(), unique.len()))?;
+        conn.send(&resp_accepted(
+            jobs.len() + cmp_jobs.len(),
+            unique.len() + unique_cmp.len(),
+        ))?;
+
+        // CMP cells run here while the workers drain the queued
+        // singles; the telemetry subscription (taken before queueing)
+        // buffers both streams' events until the drain loop below.
+        let cmp_outcomes = self.service.harness().run_cmp_outcomes(&unique_cmp);
 
         let mut outcomes: HashMap<JobId, JobOutcome> = HashMap::new();
         while outcomes.len() < unique.len() {
@@ -356,8 +379,22 @@ impl Server {
                 conn.send(&resp_telemetry(&ev))?;
             }
         }
-        let failed = outcomes.values().filter(|o| o.is_failed()).count();
-        conn.send(&resp_done(jobs.len(), outcomes.len(), failed))
+        for (job, outcome) in unique_cmp.iter().zip(&cmp_outcomes) {
+            conn.send(&resp_cmp_cell(&CmpResultRow {
+                id: job.id(),
+                cell: job.spec.name.clone(),
+                prefetcher: job.pf.name().to_string(),
+                cores: job.cores() as u64,
+                outcome: outcome.clone(),
+            }))?;
+        }
+        let failed = outcomes.values().filter(|o| o.is_failed()).count()
+            + cmp_outcomes.iter().filter(|o| o.is_failed()).count();
+        conn.send(&resp_done(
+            jobs.len() + cmp_jobs.len(),
+            outcomes.len() + cmp_outcomes.len(),
+            failed,
+        ))
     }
 }
 

@@ -8,9 +8,10 @@
 //! byte-identical `results.json` contract all hang off that.
 
 use ebcp_core::EbcpConfig;
-use ebcp_harness::{Job, Scale, Value};
+use ebcp_harness::{CmpJob, Job, Scale, Value};
 use ebcp_prefetch::{BaselineConfig, FaultConfig};
 use ebcp_sim::PrefetcherSpec;
+use ebcp_trace::WorkloadSpec;
 
 /// A named sweep: the cross product of workloads and prefetchers at
 /// one scale. Order matters — it is the submission (and results.json)
@@ -21,6 +22,12 @@ pub struct SweepSpec {
     pub workloads: Vec<String>,
     /// Prefetcher names (see [`SweepSpec::resolve_prefetcher`]).
     pub prefetchers: Vec<String>,
+    /// CMP core counts (1..=64). Empty = single-core only: the sweep
+    /// carries no CMP cells and its `results.json` is byte-identical
+    /// to the pre-CMP format. Non-empty adds one multi-core cell per
+    /// workload × count × prefetcher, routed through the
+    /// discrete-event CMP engine.
+    pub cores: Vec<u64>,
     /// Experiment scale.
     pub scale: Scale,
 }
@@ -94,25 +101,77 @@ impl SweepSpec {
         Ok(jobs)
     }
 
+    /// Expands the CMP grid into submission-ordered cells
+    /// (workload-major, then core count, then prefetcher). Empty when
+    /// the sweep has no `cores` axis.
+    ///
+    /// Cells are built through the one shared recipe
+    /// ([`Scale::cmp_spec`], from the **unscaled** presets), so the
+    /// daemon's content-addressed [`CmpJob`]s are identical to the ones
+    /// `repro cmp` or a local `repro sweep --cores` would build — same
+    /// id, same memo, same disk cache.
+    ///
+    /// # Errors
+    ///
+    /// An unknown workload or prefetcher name, or a core count outside
+    /// `1..=64`.
+    pub fn cmp_jobs(&self) -> Result<Vec<CmpJob>, String> {
+        if self.cores.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(&n) = self.cores.iter().find(|&&n| n == 0 || n > 64) {
+            return Err(format!("core count {n} outside 1..=64"));
+        }
+        let presets = WorkloadSpec::all_presets();
+        let pfs: Vec<PrefetcherSpec> = self
+            .prefetchers
+            .iter()
+            .map(|n| Self::resolve_prefetcher(n, &self.scale))
+            .collect::<Result<_, _>>()?;
+        let mut jobs = Vec::with_capacity(self.workloads.len() * self.cores.len() * pfs.len());
+        for wname in &self.workloads {
+            let preset = presets
+                .iter()
+                .find(|w| &w.name == wname)
+                .ok_or_else(|| format!("unknown workload {wname:?}"))?;
+            for &n in &self.cores {
+                let spec = self.scale.cmp_spec(preset, n as usize);
+                for pf in &pfs {
+                    jobs.push(CmpJob::new(spec.clone(), pf.clone()));
+                }
+            }
+        }
+        Ok(jobs)
+    }
+
     /// Wire encoding (the names and scale numbers, nothing resolved).
+    /// The `cores` axis is encoded only when non-empty, so a
+    /// single-core sweep's encoding is unchanged from older clients.
     pub fn to_value(&self) -> Value {
         let strs = |v: &[String]| Value::Arr(v.iter().map(|s| Value::Str(s.clone())).collect());
-        Value::Obj(vec![
+        let mut fields = vec![
             ("workloads".into(), strs(&self.workloads)),
             ("prefetchers".into(), strs(&self.prefetchers)),
-            (
-                "scale".into(),
-                Value::Obj(vec![
-                    ("den".into(), Value::Int(self.scale.den)),
-                    ("warm_tenths".into(), Value::Int(self.scale.warm_tenths)),
-                    (
-                        "measure_tenths".into(),
-                        Value::Int(self.scale.measure_tenths),
-                    ),
-                    ("seed".into(), Value::Int(self.scale.seed)),
-                ]),
-            ),
-        ])
+        ];
+        if !self.cores.is_empty() {
+            fields.push((
+                "cores".into(),
+                Value::Arr(self.cores.iter().map(|&n| Value::Int(n)).collect()),
+            ));
+        }
+        fields.push((
+            "scale".into(),
+            Value::Obj(vec![
+                ("den".into(), Value::Int(self.scale.den)),
+                ("warm_tenths".into(), Value::Int(self.scale.warm_tenths)),
+                (
+                    "measure_tenths".into(),
+                    Value::Int(self.scale.measure_tenths),
+                ),
+                ("seed".into(), Value::Int(self.scale.seed)),
+            ]),
+        ));
+        Value::Obj(fields)
     }
 
     /// Decodes the wire encoding.
@@ -140,9 +199,24 @@ impl SweepSpec {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| format!("scale missing {key:?}"))
         };
+        // Absent-tolerant: sweeps from pre-CMP clients carry no
+        // "cores" key, which decodes as the empty axis.
+        let cores: Vec<u64> = match v.get("cores") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_arr()
+                .ok_or("\"cores\" is not an array")?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .ok_or_else(|| "non-integer core count".to_owned())
+                })
+                .collect::<Result<_, _>>()?,
+        };
         Ok(SweepSpec {
             workloads: strs("workloads")?,
             prefetchers: strs("prefetchers")?,
+            cores,
             scale: Scale {
                 den: num("den")?,
                 warm_tenths: num("warm_tenths")?,
@@ -161,6 +235,7 @@ mod tests {
         SweepSpec {
             workloads: vec!["database".into(), "tpcw".into()],
             prefetchers: vec!["none".into(), "ebcp".into(), "stream".into()],
+            cores: Vec::new(),
             scale: Scale::quick(),
         }
     }
@@ -196,6 +271,38 @@ mod tests {
         let mut s = sweep();
         s.workloads = vec!["nope".into()];
         assert!(s.jobs().unwrap_err().contains("unknown workload"));
+    }
+
+    #[test]
+    fn cmp_grid_expands_and_round_trips() {
+        // No cores axis: no CMP cells, and no "cores" key on the wire
+        // (single-core encodings stay byte-identical).
+        let s = sweep();
+        assert!(s.cmp_jobs().unwrap().is_empty());
+        assert!(!s.to_value().to_json().contains("cores"));
+
+        let mut s = sweep();
+        s.cores = vec![1, 4];
+        let cells = s.cmp_jobs().unwrap();
+        // workload-major × cores × prefetchers.
+        assert_eq!(cells.len(), 2 * 2 * 3);
+        assert_eq!(cells[0].spec.name, "database-mix");
+        assert_eq!(cells[0].cores(), 1);
+        assert_eq!(cells[0].pf.name(), "none");
+        assert_eq!(cells[3].cores(), 4);
+        assert_eq!(cells[6].spec.name, "tpcw-mix");
+
+        // Wire round-trip preserves the axis and the content hashes.
+        let text = s.to_value().to_json();
+        let back = SweepSpec::from_value(&ebcp_harness::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        let a: Vec<_> = cells.iter().map(CmpJob::id).collect();
+        let b: Vec<_> = back.cmp_jobs().unwrap().iter().map(CmpJob::id).collect();
+        assert_eq!(a, b);
+
+        // Out-of-range counts are rejected.
+        s.cores = vec![65];
+        assert!(s.cmp_jobs().unwrap_err().contains("1..=64"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn sweep(workloads: &[&str], prefetchers: &[&str]) -> SweepSpec {
     SweepSpec {
         workloads: workloads.iter().map(|s| (*s).to_string()).collect(),
         prefetchers: prefetchers.iter().map(|s| (*s).to_string()).collect(),
+        cores: Vec::new(),
         scale: tiny_scale(),
     }
 }
@@ -230,6 +231,69 @@ fn fault_lane_in_a_mixed_sweep_fails_alone_and_siblings_match_serial() {
     d.runner.join().unwrap().unwrap();
     let _ = std::fs::remove_file(ref_path);
     let _ = std::fs::remove_file(served_path);
+}
+
+#[test]
+fn cmp_cells_flow_through_the_service_and_match_a_local_run() {
+    use ebcp_harness::{results_doc_cmp, CmpResultRow};
+
+    let d = daemon(1, 64);
+    let mut spec = sweep(&["database"], &["none", "ebcp"]);
+    spec.cores = vec![1, 2];
+    let mut client = Client::connect(&d.addr).unwrap();
+    let outcome = client.submit(&spec, |_| {}).unwrap();
+    let SweepOutcome::Done { results, failed } = outcome else {
+        panic!("cmp submit refused: {outcome:?}");
+    };
+    assert_eq!(failed, 0);
+
+    // 2 single-core cells + (1 workload × 2 core counts × 2
+    // prefetchers) CMP cells.
+    let summary = results.get("summary").unwrap();
+    assert_eq!(summary.get("unique").unwrap().as_u64(), Some(6));
+    let cmp_rows_json = results.get("cmp_jobs").unwrap().as_arr().unwrap();
+    assert_eq!(cmp_rows_json.len(), 4);
+    assert_eq!(
+        cmp_rows_json[0].get("cell").unwrap().as_str(),
+        Some("database-mix")
+    );
+    assert_eq!(cmp_rows_json[2].get("cores").unwrap().as_u64(), Some(2));
+    for row in cmp_rows_json {
+        assert_eq!(row.get("outcome").unwrap().as_str(), Some("ok"));
+        assert!(row.get("result").unwrap().get("aggregate").is_some());
+    }
+
+    // A local run of the same grid, assembled through the same
+    // renderer, must be byte-identical — the CMP extension of the
+    // sweep/submit contract.
+    let local = Harness::serial();
+    local.run_outcomes(&spec.jobs().unwrap());
+    let cmp_jobs = spec.cmp_jobs().unwrap();
+    let cmp_outcomes = local.run_cmp_outcomes(&cmp_jobs);
+    let cmp_rows: Vec<CmpResultRow> = cmp_jobs
+        .iter()
+        .zip(&cmp_outcomes)
+        .map(|(job, outcome)| CmpResultRow {
+            id: job.id(),
+            cell: job.spec.name.clone(),
+            prefetcher: job.pf.name().to_string(),
+            cores: job.cores() as u64,
+            outcome: outcome.clone(),
+        })
+        .collect();
+    let local_doc = results_doc_cmp(
+        spec.jobs().unwrap().len() + cmp_jobs.len(),
+        &local.result_rows(),
+        &cmp_rows,
+    );
+    assert_eq!(
+        local_doc.to_json_pretty(),
+        results.to_json_pretty(),
+        "served CMP results.json must match the local assembly byte for byte"
+    );
+
+    client.shutdown().unwrap();
+    d.runner.join().unwrap().unwrap();
 }
 
 #[test]

@@ -1,18 +1,64 @@
-//! The chip-multiprocessor engine — the paper's §6 future work.
+//! The chip-multiprocessor engine — the paper's §6 future work — as a
+//! discrete-event simulator.
 //!
-//! N cores, each with private L1s and its own miss window / epoch
-//! tracker, share the L2, the prefetch buffer, the MSHR file, the memory
-//! system and one prefetcher. Every demand miss is reported with its
-//! core id: the on-chip prefetcher control sits in front of the
-//! core-to-L2 crossbar (§3.2, Figure 2), so EBCP keeps per-core EMABs
-//! over a *shared* correlation table, while a memory-side scheme such as
-//! Solihin's observes only the interleaved stream arriving at the
-//! controller — the very situation §3.3.1 argues destroys its
-//! correlations.
+//! N cores, each with its own miss window / epoch tracker, share the
+//! L2, the prefetch buffer, the MSHR file, the memory system and one
+//! prefetcher. Every demand miss is reported with its core id: the
+//! on-chip prefetcher control sits in front of the core-to-L2 crossbar
+//! (§3.2, Figure 2), so EBCP keeps per-core EMABs over a *shared*
+//! correlation table, while a memory-side scheme such as Solihin's
+//! observes only the interleaved stream arriving at the controller —
+//! the very situation §3.3.1 argues destroys its correlations.
 //!
-//! Scheduling: the engine always steps the core with the smallest local
-//! clock, so shared-resource requests are issued in (approximately)
-//! global time order and cross-core skew is bounded by one stall.
+//! # Discrete-event scheduling
+//!
+//! The engine is event-driven over a [`WakeHeap`] of `(next_tick,
+//! component_id)` wake-ups — one component per core, with the uncore
+//! (bus/DRAM/table completions) as an implicit extra component whose
+//! wake-up (`next_ev_at`) is compared against the heap head. Each core
+//! consumes a pre-resolved [`PreEvent`] stream (the prefetcher-
+//! independent L1 front end runs once, in [`crate::frontend`], and is
+//! shared across the whole prefetcher roster); between two wake-ups the
+//! core advances *algebraically* over all its core-local records
+//! ([`advance_core_inert`]), never stepping them one by one.
+//!
+//! ## Why this is metric-identical to record stepping
+//!
+//! The stepping oracle (`crate::cmp_stepping`, test-only) always steps
+//! the core with the smallest local clock, ties to the lowest index, so
+//! records execute in ascending `(pre-record clock, core index)` order
+//! — exactly the heap order here. The collapse is exact because:
+//!
+//! * a record is *core-local* iff it touches nothing shared: gap
+//!   records (L1 hits, ALU, predicted branches), and — with no miss
+//!   window open — mispredicted branches and serializing instructions.
+//!   Local records commute with every shared interaction, so executing
+//!   them early (at the collapse) is invisible;
+//! * everything else *yields*: the record becomes the core's next
+//!   wake-up and runs through the full per-record machinery
+//!   ([`CmpEngine::exec_one`]), a verbatim transcription of the
+//!   oracle's `step_core`. Under an open window, the `gap_advance`
+//!   deadline algebra bounds the collapse (first outstanding-miss
+//!   completion, ROB fill, dependence countdown) so the deadline record
+//!   itself always yields; warm-up crossing records always yield so the
+//!   shared-counter snapshot lands at the oracle's exact global
+//!   position;
+//! * uncore completions drain at the head of the loop whenever
+//!   `next_ev_at <=` the next yield tick — the oracle drains them in
+//!   each record's pre-op, and handlers take their own `ev.at` as
+//!   `now`, so only the *order* relative to shared interactions matters
+//!   (preserved by the comparison; the uncore wins ties, as the
+//!   oracle's pre-op drain runs before the record body). After the heap
+//!   empties, trailing local records still drain matured events in the
+//!   oracle — up to the last consumed record's pre-clock — which the
+//!   residual drain reproduces via the per-core `last_pre` watermark.
+//!
+//! One deliberate non-observable: the `StoreFill` drain stamps its
+//! (rare) dirty-eviction writeback with core 0's clock, which differs
+//! here because core 0 may have collapsed ahead — but writebacks ride
+//! the *write* bus, whose outcome is discarded and whose state never
+//! reaches a [`CmpResult`]. The differential battery
+//! (`crates/bench/tests/cmp_des.rs`) pins full-roster metric identity.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -20,11 +66,52 @@ use std::collections::BinaryHeap;
 use ebcp_core::EpochTracker;
 use ebcp_mem::{MemOutcome, MemorySystem, MshrFile, PrefetchBuffer, SetAssocCache};
 use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
-use ebcp_trace::{Op, TraceRecord};
+use ebcp_trace::TraceRecord;
 use ebcp_types::{AccessKind, Cycle, FxHashMap, LineAddr, MemClass, Pc};
 
 use crate::config::SimConfig;
+use crate::des::WakeHeap;
+use crate::frontend::{
+    PreEvent, PreResolved, PreResolver, F_IFETCH_MISS, K_LOAD, K_LOAD_FEEDS, K_MISPREDICT, K_NONE,
+    K_SERIALIZE, K_SHIFT, K_STORE_HIT, K_STORE_MISS,
+};
 use crate::metrics::SimResult;
+
+/// Per-core measurement results plus the shared-traffic aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpResult {
+    /// One result per core (shared traffic counters are zero here; see
+    /// `aggregate`).
+    pub cores: Vec<SimResult>,
+    /// Workload-wide aggregate: instruction/cycle sums, prefetch and
+    /// table traffic, memory statistics.
+    pub aggregate: SimResult,
+}
+
+impl CmpResult {
+    /// Mean per-core CPI.
+    pub fn mean_cpi(&self) -> f64 {
+        if self.cores.is_empty() {
+            0.0
+        } else {
+            self.cores.iter().map(|r| r.cpi()).sum::<f64>() / self.cores.len() as f64
+        }
+    }
+
+    /// Mean per-core improvement over a baseline CMP run.
+    pub fn improvement_over(&self, base: &CmpResult) -> f64 {
+        if self.mean_cpi() == 0.0 {
+            0.0
+        } else {
+            base.mean_cpi() / self.mean_cpi() - 1.0
+        }
+    }
+
+    /// Aggregate prefetch coverage.
+    pub fn coverage(&self) -> f64 {
+        self.aggregate.coverage()
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Outst {
@@ -82,10 +169,13 @@ struct CoreCounters {
     stall_cycles: Cycle,
 }
 
+/// One core component: the back-end state of the oracle's `Core` (the
+/// L1s and fetch-line filter moved into the pre-resolve pass) plus the
+/// replay cursor into its stream and the `last_pre` watermark — the
+/// pre-record clock of the most recently consumed record, which the
+/// residual event drain needs.
 struct Core {
     id: u8,
-    l1i: SetAssocCache,
-    l1d: SetAssocCache,
     epoch: EpochTracker,
     cycle: Cycle,
     issue_slots: u32,
@@ -93,65 +183,42 @@ struct Core {
     outstanding: Vec<Outst>,
     window_insts: u32,
     dep_countdown: Option<u32>,
-    last_fetch_line: Option<LineAddr>,
     c: CoreCounters,
     cycle_base: Cycle,
     insts_base: u64,
+    idx: usize,
+    gap_done: u32,
+    last_pre: Cycle,
 }
 
-/// Per-core measurement results plus the shared-traffic aggregate.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CmpResult {
-    /// One result per core (shared traffic counters are zero here; see
-    /// `aggregate`).
-    pub cores: Vec<SimResult>,
-    /// Workload-wide aggregate: instruction/cycle sums, prefetch and
-    /// table traffic, memory statistics.
-    pub aggregate: SimResult,
-}
-
-impl CmpResult {
-    /// Mean per-core CPI.
-    pub fn mean_cpi(&self) -> f64 {
-        if self.cores.is_empty() {
-            0.0
-        } else {
-            self.cores.iter().map(|r| r.cpi()).sum::<f64>() / self.cores.len() as f64
+/// Arithmetically applies `k` provably-local records to one core:
+/// instruction count, issue clock, `last_pre` watermark and (inside a
+/// window) the window-instruction count and dependence countdown. The
+/// caller guarantees none of the `k` records is a yield (deadline /
+/// warm-up crossing / shared interaction).
+///
+/// `issue_slots` is always `insts % issue_width`, so the clock at the
+/// start of the j-th upcoming record (0-indexed) is
+/// `cycle + (issue_slots + j) / width` — the collapse is pure
+/// arithmetic, identical to stepping the records one by one.
+#[inline]
+fn advance_core_inert(core: &mut Core, k: u64, w: u64) {
+    debug_assert!(k > 0);
+    let slots = u64::from(core.issue_slots);
+    core.last_pre = core.cycle + (slots + k - 1) / w;
+    core.insts += k;
+    let s = slots + k;
+    core.cycle += s / w;
+    core.issue_slots = (s % w) as u32;
+    if !core.outstanding.is_empty() {
+        core.window_insts += k as u32;
+        if let Some(cd) = core.dep_countdown {
+            core.dep_countdown = Some(cd - k as u32);
         }
     }
-
-    /// Mean per-core improvement over a baseline CMP run.
-    pub fn improvement_over(&self, base: &CmpResult) -> f64 {
-        if self.mean_cpi() == 0.0 {
-            0.0
-        } else {
-            base.mean_cpi() / self.mean_cpi() - 1.0
-        }
-    }
-
-    /// Aggregate prefetch coverage.
-    pub fn coverage(&self) -> f64 {
-        self.aggregate.coverage()
-    }
 }
 
-/// The N-core shared-L2 engine.
-///
-/// # Examples
-///
-/// ```
-/// use ebcp_prefetch::NullPrefetcher;
-/// use ebcp_sim::{CmpEngine, SimConfig};
-/// use ebcp_trace::{TraceGenerator, WorkloadSpec};
-///
-/// let spec = WorkloadSpec::specjbb2005().scaled(1, 32);
-/// let traces: Vec<Vec<_>> = (0..2)
-///     .map(|s| TraceGenerator::new(&spec, s).take(20_000).collect())
-///     .collect();
-/// let mut cmp = CmpEngine::new(SimConfig::scaled_down(16), 2, Box::new(NullPrefetcher));
-/// let result = cmp.run(&traces, 10_000, 10_000, "jbb");
-/// assert_eq!(result.cores.len(), 2);
-/// ```
+/// The N-core shared-L2 engine, discrete-event scheduled.
 pub struct CmpEngine {
     cfg: SimConfig,
     cores: Vec<Core>,
@@ -214,8 +281,6 @@ impl CmpEngine {
         let cores = (0..n_cores)
             .map(|id| Core {
                 id: id as u8,
-                l1i: SetAssocCache::new(cfg.l1i),
-                l1d: SetAssocCache::new(cfg.l1d),
                 epoch: EpochTracker::new(),
                 cycle: 0,
                 issue_slots: 0,
@@ -223,10 +288,12 @@ impl CmpEngine {
                 outstanding: Vec::new(),
                 window_insts: 0,
                 dep_countdown: None,
-                last_fetch_line: None,
                 c: CoreCounters::default(),
                 cycle_base: 0,
                 insts_base: 0,
+                idx: 0,
+                gap_done: 0,
+                last_pre: 0,
             })
             .collect();
         CmpEngine {
@@ -261,6 +328,11 @@ impl CmpEngine {
     /// records; statistics cover the measurement part). Returns per-core
     /// and aggregate results.
     ///
+    /// Each trace is pre-resolved through the per-core L1 front end
+    /// first; callers sweeping a prefetcher roster over the same traces
+    /// should pre-resolve once themselves and use
+    /// [`CmpEngine::run_streams`].
+    ///
     /// # Panics
     ///
     /// Panics unless exactly one trace per core is supplied.
@@ -273,44 +345,22 @@ impl CmpEngine {
     ) -> CmpResult {
         assert_eq!(traces.len(), self.cores.len(), "one trace per core");
         let total = warmup + measure;
-        let mut cursors = vec![0usize; traces.len()];
-        loop {
-            // Step the core with the smallest local clock that still has
-            // trace records left.
-            let mut pick: Option<usize> = None;
-            for (i, c) in self.cores.iter().enumerate() {
-                if (cursors[i] as u64) < total
-                    && cursors[i] < traces[i].len()
-                    && pick.map(|p| c.cycle < self.cores[p].cycle).unwrap_or(true)
-                {
-                    pick = Some(i);
-                }
-            }
-            let Some(i) = pick else { break };
-            let rec = traces[i][cursors[i]];
-            cursors[i] += 1;
-            self.step_core(i, &rec);
-            if self.cores[i].insts == warmup {
-                self.reset_core_stats(i);
-                if !self.shared_snapshotted && self.cores.iter().all(|c| c.insts >= warmup) {
-                    self.shared_snapshotted = true;
-                    self.snapshot_shared();
-                }
-            }
-        }
-        self.collect(workload)
+        let streams: Vec<PreResolved> = traces
+            .iter()
+            .map(|t| {
+                let n = t.len().min(usize::try_from(total).unwrap_or(usize::MAX));
+                PreResolved::from_records(&self.cfg, &t[..n])
+            })
+            .collect();
+        let refs: Vec<&PreResolved> = streams.iter().collect();
+        self.run_des(&refs, warmup, total, workload, None)
     }
 
     /// Runs one trace *generator* per core, pulling records in
-    /// [`crate::Engine::CHUNK_RECORDS`]-sized chunks instead of
-    /// requiring fully materialized traces — the CMP counterpart of the
-    /// single-core engine's chunked delivery, so large multi-core runs
-    /// respect the harness memory budget.
-    ///
-    /// Per-core chunk cursors preserve the smallest-clock scheduling of
-    /// [`CmpEngine::run`] exactly: each core refills its own buffer only
-    /// when picked, so the interleaving — and therefore the result — is
-    /// identical to the materialized path.
+    /// [`crate::Engine::CHUNK_RECORDS`]-sized chunks through the
+    /// pre-resolver instead of requiring fully materialized traces, so
+    /// large multi-core runs respect the harness memory budget (the
+    /// packed stream is 3-4× smaller than the records it stands for).
     ///
     /// # Panics
     ///
@@ -324,48 +374,111 @@ impl CmpEngine {
     ) -> CmpResult {
         assert_eq!(gens.len(), self.cores.len(), "one generator per core");
         let total = warmup + measure;
-        struct Cursor {
-            buf: Vec<TraceRecord>,
-            pos: usize,
-            consumed: u64,
-            dry: bool,
-        }
-        let mut curs: Vec<Cursor> = (0..gens.len())
-            .map(|_| Cursor {
-                buf: Vec::with_capacity(crate::Engine::CHUNK_RECORDS),
-                pos: 0,
-                consumed: 0,
-                dry: false,
+        let mut buf = Vec::with_capacity(crate::Engine::CHUNK_RECORDS);
+        let streams: Vec<PreResolved> = gens
+            .iter_mut()
+            .map(|g| {
+                let mut pr = PreResolver::new(&self.cfg);
+                pr.reserve(usize::try_from(total / 3 + 16).unwrap_or(usize::MAX));
+                let mut left = total;
+                while left > 0 {
+                    let want = crate::Engine::CHUNK_RECORDS
+                        .min(usize::try_from(left).unwrap_or(usize::MAX));
+                    let got = g.next_chunk(&mut buf, want);
+                    if got == 0 {
+                        break;
+                    }
+                    pr.push_chunk(&buf[..got]);
+                    left -= got as u64;
+                }
+                pr.finish()
             })
             .collect();
-        loop {
-            // Step the core with the smallest local clock that still
-            // has records left (same policy as `run`).
-            let mut pick: Option<usize> = None;
-            for (i, c) in self.cores.iter().enumerate() {
-                let cur = &curs[i];
-                if cur.consumed < total
-                    && !(cur.dry && cur.pos >= cur.buf.len())
-                    && pick.map(|p| c.cycle < self.cores[p].cycle).unwrap_or(true)
-                {
-                    pick = Some(i);
-                }
+        let refs: Vec<&PreResolved> = streams.iter().collect();
+        self.run_des(&refs, warmup, total, workload, None)
+    }
+
+    /// Runs one pre-resolved stream per core — the two-phase path: the
+    /// harness pre-resolves (and disk-caches) each per-core stream once
+    /// and replays the whole prefetcher roster over it.
+    ///
+    /// Each core consumes `warmup + measure` records (or its whole
+    /// stream, if shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one stream per core is supplied and every
+    /// stream was resolved under this engine's L1 geometries.
+    pub fn run_streams(
+        &mut self,
+        streams: &[&PreResolved],
+        warmup: u64,
+        measure: u64,
+        workload: &str,
+    ) -> CmpResult {
+        self.run_des(streams, warmup, warmup + measure, workload, None)
+    }
+
+    /// [`CmpEngine::run_streams`] with an explicit component
+    /// registration order: core `order[0]` is scheduled onto the wake
+    /// heap first, and so on. The `(next_tick, component_id)` tie-break
+    /// makes the result independent of `order` — which the determinism
+    /// property tests pin by permuting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `order` is a permutation of `0..n_cores` (checked
+    /// as: right length, every index in range — duplicates would
+    /// double-schedule and are caught by the stream-cursor assertion).
+    pub fn run_streams_registered(
+        &mut self,
+        streams: &[&PreResolved],
+        warmup: u64,
+        measure: u64,
+        workload: &str,
+        order: &[usize],
+    ) -> CmpResult {
+        self.run_des(streams, warmup, warmup + measure, workload, Some(order))
+    }
+
+    /// The discrete-event main loop. See the module docs for the
+    /// equivalence argument to the stepping oracle.
+    fn run_des(
+        &mut self,
+        streams: &[&PreResolved],
+        warmup: u64,
+        total: u64,
+        workload: &str,
+        prime_order: Option<&[usize]>,
+    ) -> CmpResult {
+        assert_eq!(streams.len(), self.cores.len(), "one stream per core");
+        for s in streams {
+            assert!(
+                s.l1i == self.cfg.l1i && s.l1d == self.cfg.l1d,
+                "stream resolved under different L1 geometry"
+            );
+        }
+        let n = self.cores.len();
+        let mut heap = WakeHeap::with_capacity(n);
+        let default_order: Vec<usize> = (0..n).collect();
+        let order = prime_order.unwrap_or(&default_order);
+        assert_eq!(order.len(), n, "registration order must cover every core");
+        for &i in order {
+            assert!(i < n, "registration order index out of range");
+            if let Some(tick) = self.advance_local(i, &streams[i].events, warmup, total) {
+                heap.schedule(tick, i as u32);
             }
-            let Some(i) = pick else { break };
-            if curs[i].pos >= curs[i].buf.len() {
-                let want = crate::Engine::CHUNK_RECORDS
-                    .min(usize::try_from(total - curs[i].consumed).unwrap_or(usize::MAX));
-                let got = gens[i].next_chunk(&mut curs[i].buf, want);
-                curs[i].pos = 0;
-                if got == 0 {
-                    curs[i].dry = true;
-                    continue;
-                }
+        }
+        while let Some((tick, id)) = heap.peek() {
+            if self.next_ev_at <= tick {
+                // The uncore component wakes first on ties: the oracle
+                // drains matured completions in the record's pre-op,
+                // before its body.
+                self.drain_events(tick);
             }
-            let rec = curs[i].buf[curs[i].pos];
-            curs[i].pos += 1;
-            curs[i].consumed += 1;
-            self.step_core(i, &rec);
+            heap.pop();
+            let i = id as usize;
+            self.exec_one(i, &streams[i].events);
             if self.cores[i].insts == warmup {
                 self.reset_core_stats(i);
                 if !self.shared_snapshotted && self.cores.iter().all(|c| c.insts >= warmup) {
@@ -373,8 +486,193 @@ impl CmpEngine {
                     self.snapshot_shared();
                 }
             }
+            if let Some(tick) = self.advance_local(i, &streams[i].events, warmup, total) {
+                heap.schedule(tick, i as u32);
+            }
+        }
+        // Residual drain: in the oracle, trailing core-local records
+        // keep draining matured events in their pre-ops, up to the
+        // globally last consumed record's pre-record clock.
+        let residual = self.cores.iter().map(|c| c.last_pre).max().unwrap_or(0);
+        if self.next_ev_at <= residual {
+            self.drain_events(residual);
         }
         self.collect(workload)
+    }
+
+    /// Advances core `i` over everything core-local, returning the
+    /// pre-record clock of its next *yield* — the next record that
+    /// needs the full machinery — or `None` when the core has consumed
+    /// its whole budget (stream end or `total` records).
+    ///
+    /// Yields are: any record touching shared state (L1-missing
+    /// fetches, loads, stores — including store L1 hits, which dirty
+    /// the shared L2), any flagged record while a miss window is open,
+    /// the `gap_advance` deadline records of an open window (first
+    /// outstanding completion, ROB fill, dependence countdown), and the
+    /// warm-up crossing record (so statistics reset at the oracle's
+    /// exact global position). Mispredicted branches and serializing
+    /// instructions with nothing outstanding touch only the local
+    /// clock and are consumed here.
+    fn advance_local(
+        &mut self,
+        i: usize,
+        events: &[PreEvent],
+        warmup: u64,
+        total: u64,
+    ) -> Option<Cycle> {
+        let w = u64::from(self.cfg.core.issue_width);
+        let iw = self.cfg.core.issue_width;
+        let rob = self.cfg.core.rob_entries;
+        let mp_pen = self.cfg.core.mispredict_penalty;
+        let ser_cost = self.cfg.core.serialize_cost;
+        let core = &mut self.cores[i];
+        loop {
+            if core.insts >= total {
+                return None;
+            }
+            let &ev = events.get(core.idx)?;
+            let gap_left = u64::from(ev.gap) - u64::from(core.gap_done);
+            if gap_left == 0 && ev.flags == 0 {
+                // Exhausted pure filler: no event record behind it.
+                core.idx += 1;
+                core.gap_done = 0;
+                continue;
+            }
+            // Records this core may consume before one must yield.
+            let mut lim = total - core.insts;
+            if core.insts < warmup {
+                lim = lim.min(warmup - core.insts - 1);
+            }
+            let windowed = !core.outstanding.is_empty();
+            if windowed {
+                // The `gap_advance` deadline algebra: the j-th upcoming
+                // record (0-indexed) starts at cycle + (slots + j) / w,
+                // so the first record reaching `at` is index
+                // ((at - cycle) * w) - slots, clamped at zero.
+                let min_done = core
+                    .outstanding
+                    .iter()
+                    .map(|o| o.done)
+                    .min()
+                    .expect("outstanding non-empty");
+                let k_done = if min_done <= core.cycle {
+                    0
+                } else {
+                    ((min_done - core.cycle) * w).saturating_sub(u64::from(core.issue_slots))
+                };
+                lim = lim.min(k_done);
+                lim = lim.min(u64::from(rob - 1 - core.window_insts));
+                if let Some(cd) = core.dep_countdown {
+                    lim = lim.min(u64::from(cd));
+                }
+            }
+            if lim == 0 {
+                return Some(core.cycle);
+            }
+            if gap_left > 0 {
+                let take = gap_left.min(lim);
+                advance_core_inert(core, take, w);
+                core.gap_done += take as u32;
+                continue;
+            }
+            // At the event record itself (gap exhausted, flags != 0).
+            if windowed || ev.flags & F_IFETCH_MISS != 0 {
+                return Some(core.cycle);
+            }
+            match ev.flags >> K_SHIFT {
+                K_MISPREDICT | K_SERIALIZE => {
+                    // Nothing outstanding: a pure local clock bump
+                    // (serialize never stalls with an empty window).
+                    core.last_pre = core.cycle;
+                    core.insts += 1;
+                    core.issue_slots += 1;
+                    if core.issue_slots >= iw {
+                        core.cycle += 1;
+                        core.issue_slots = 0;
+                    }
+                    core.cycle += if ev.flags >> K_SHIFT == K_MISPREDICT {
+                        mp_pen
+                    } else {
+                        ser_cost
+                    };
+                    core.idx += 1;
+                    core.gap_done = 0;
+                }
+                _ => return Some(core.cycle),
+            }
+        }
+    }
+
+    /// Executes core `i`'s current record through the full per-record
+    /// machinery — a verbatim transcription of the oracle's
+    /// `step_core`, minus the L1 probes the pre-resolve pass already
+    /// answered.
+    fn exec_one(&mut self, i: usize, events: &[PreEvent]) {
+        let ev = events[self.cores[i].idx];
+        self.cores[i].last_pre = self.cores[i].cycle;
+        if !self.cores[i].outstanding.is_empty() {
+            self.drain_outstanding(i);
+        }
+        if self.next_ev_at <= self.cores[i].cycle {
+            let upto = self.cores[i].cycle;
+            self.drain_events(upto);
+        }
+
+        self.cores[i].insts += 1;
+
+        let is_gap = self.cores[i].gap_done < ev.gap;
+        if !is_gap && ev.flags & F_IFETCH_MISS != 0 {
+            self.fetch_miss(i, Pc::new(ev.pc));
+        }
+
+        let core = &mut self.cores[i];
+        core.issue_slots += 1;
+        if core.issue_slots >= self.cfg.core.issue_width {
+            core.cycle += 1;
+            core.issue_slots = 0;
+        }
+        if !core.outstanding.is_empty() {
+            core.window_insts += 1;
+        }
+
+        if is_gap {
+            self.cores[i].gap_done += 1;
+        } else {
+            let line = LineAddr::from_index(ev.dline);
+            match ev.flags >> K_SHIFT {
+                K_NONE => {}
+                K_LOAD => self.load_fill(i, line, Pc::new(ev.pc), false),
+                K_LOAD_FEEDS => self.load_fill(i, line, Pc::new(ev.pc), true),
+                K_STORE_MISS => self.store_fill(i, line),
+                K_STORE_HIT => {
+                    self.l2.mark_dirty(line);
+                }
+                K_MISPREDICT => self.cores[i].cycle += self.cfg.core.mispredict_penalty,
+                K_SERIALIZE => {
+                    if self.cores[i].outstanding.is_empty() {
+                        self.cores[i].cycle += self.cfg.core.serialize_cost;
+                    } else {
+                        self.stall_all(i);
+                    }
+                }
+                other => unreachable!("corrupt PreEvent kind {other}"),
+            }
+            self.cores[i].idx += 1;
+            self.cores[i].gap_done = 0;
+        }
+
+        if !self.cores[i].outstanding.is_empty() {
+            if self.cores[i].window_insts >= self.cfg.core.rob_entries {
+                self.stall_all(i);
+            } else if let Some(cd) = self.cores[i].dep_countdown {
+                if cd == 0 {
+                    self.stall_all(i);
+                } else {
+                    self.cores[i].dep_countdown = Some(cd - 1);
+                }
+            }
+        }
     }
 
     fn reset_core_stats(&mut self, i: usize) {
@@ -458,77 +756,12 @@ impl CmpEngine {
     }
 
     // ------------------------------------------------------------------
-    // Per-core stepping (mirrors the single-core engine's model)
+    // Back-end demand paths (the oracle's fetch/load/store minus the L1
+    // probe each resolved in the front-end pass)
     // ------------------------------------------------------------------
 
-    fn step_core(&mut self, i: usize, rec: &TraceRecord) {
-        if !self.cores[i].outstanding.is_empty() {
-            self.drain_outstanding(i);
-        }
-        if self.next_ev_at <= self.cores[i].cycle {
-            let upto = self.cores[i].cycle;
-            self.drain_events(upto);
-        }
-
-        self.cores[i].insts += 1;
-
-        let iline = rec.pc.line();
-        if self.cores[i].last_fetch_line != Some(iline) {
-            self.cores[i].last_fetch_line = Some(iline);
-            self.fetch(i, iline, rec.pc);
-        }
-
-        let core = &mut self.cores[i];
-        core.issue_slots += 1;
-        if core.issue_slots >= self.cfg.core.issue_width {
-            core.cycle += 1;
-            core.issue_slots = 0;
-        }
-        if !core.outstanding.is_empty() {
-            core.window_insts += 1;
-        }
-
-        match rec.op {
-            Op::Alu => {}
-            Op::Load {
-                addr,
-                feeds_mispredict,
-            } => self.load(i, addr.line(), rec.pc, feeds_mispredict),
-            Op::Store { addr } => self.store(i, addr.line()),
-            Op::Branch { mispredicted } => {
-                if mispredicted {
-                    self.cores[i].cycle += self.cfg.core.mispredict_penalty;
-                }
-            }
-            Op::Serialize => {
-                if self.cores[i].outstanding.is_empty() {
-                    self.cores[i].cycle += self.cfg.core.serialize_cost;
-                } else {
-                    self.stall_all(i);
-                }
-            }
-        }
-
-        if !self.cores[i].outstanding.is_empty() {
-            if self.cores[i].window_insts >= self.cfg.core.rob_entries {
-                self.stall_all(i);
-            } else if let Some(cd) = self.cores[i].dep_countdown {
-                if cd == 0 {
-                    self.stall_all(i);
-                } else {
-                    self.cores[i].dep_countdown = Some(cd - 1);
-                }
-            }
-        }
-    }
-
-    fn fetch(&mut self, i: usize, iline: LineAddr, pc: Pc) {
-        // Eager L1 fill (mirrors the single-core engine): every L1 miss
-        // installs the line at the access, regardless of where the data
-        // comes from, keeping L1 state prefetcher-independent.
-        if self.cores[i].l1i.access_fill(iline) {
-            return;
-        }
+    fn fetch_miss(&mut self, i: usize, pc: Pc) {
+        let iline = pc.line();
         if self.l2.access(iline) {
             self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
             return;
@@ -544,10 +777,7 @@ impl CmpEngine {
         self.stall_all(i);
     }
 
-    fn load(&mut self, i: usize, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
-        if self.cores[i].l1d.access_fill(dline) {
-            return;
-        }
+    fn load_fill(&mut self, i: usize, dline: LineAddr, pc: Pc, feeds_mispredict: bool) {
         if self.l2.access(dline) {
             self.cores[i].cycle += self.cfg.core.l2_hit_exposed;
             return;
@@ -565,11 +795,7 @@ impl CmpEngine {
         }
     }
 
-    fn store(&mut self, i: usize, dline: LineAddr) {
-        if self.cores[i].l1d.access_fill(dline) {
-            self.l2.mark_dirty(dline);
-            return;
-        }
+    fn store_fill(&mut self, i: usize, dline: LineAddr) {
         if self.l2.access(dline) {
             self.l2.mark_dirty(dline);
             return;
@@ -857,6 +1083,7 @@ impl CmpEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cmp_stepping::SteppingCmpEngine;
     use ebcp_core::{EbcpConfig, EbcpPrefetcher};
     use ebcp_prefetch::NullPrefetcher;
     use ebcp_trace::{TraceGenerator, WorkloadSpec};
@@ -919,39 +1146,119 @@ mod tests {
     }
 
     #[test]
-    fn single_core_cmp_close_to_engine() {
-        // N=1 CMP and the single-core engine implement the same model;
-        // their baseline results must agree closely.
-        let t = traces(1, 200_000);
-        let mut cmp = CmpEngine::new(SimConfig::scaled_down(16), 1, Box::new(NullPrefetcher));
-        let r = cmp.run(&t, 50_000, 150_000, "w");
+    fn des_matches_stepping_exactly() {
+        // The tentpole invariant at unit scale: the DES engine must be
+        // METRIC-IDENTICAL (full CmpResult equality) to the stepping
+        // oracle — baseline and with a real prefetcher in the loop
+        // (table round-trips, prefetch arrivals, partial hits). The
+        // full roster × workloads × core-count battery lives in
+        // crates/bench/tests/cmp_des.rs.
+        let sim = SimConfig::scaled_down(16);
+        for n in [1usize, 2, 3] {
+            let t = traces(n, 150_000);
+            let mut des = CmpEngine::new(sim, n, Box::new(NullPrefetcher));
+            let mut oracle = SteppingCmpEngine::new(sim, n, Box::new(NullPrefetcher));
+            assert_eq!(
+                des.run(&t, 50_000, 100_000, "w"),
+                oracle.run(&t, 50_000, 100_000, "w"),
+                "null prefetcher, {n} cores"
+            );
 
-        let mut engine =
-            crate::engine::Engine::new(SimConfig::scaled_down(16), Box::new(NullPrefetcher));
-        for rec in &t[0][..50_000] {
-            engine.step(rec);
+            let pf = || {
+                Box::new(EbcpPrefetcher::new(
+                    EbcpConfig::tuned().with_table_entries(1 << 14),
+                ))
+            };
+            let mut des = CmpEngine::new(sim, n, pf());
+            let mut oracle = SteppingCmpEngine::new(sim, n, pf());
+            assert_eq!(
+                des.run(&t, 50_000, 100_000, "w"),
+                oracle.run(&t, 50_000, 100_000, "w"),
+                "ebcp, {n} cores"
+            );
         }
-        engine.reset_stats();
-        for rec in &t[0][50_000..] {
-            engine.step(rec);
+    }
+
+    #[test]
+    fn des_matches_stepping_disjoint_footprints() {
+        // Contended shared L2 (disjoint per-core pools) exercises the
+        // cross-core MSHR merge and eviction paths.
+        let sim = SimConfig::scaled_down(16);
+        let t = disjoint_traces(4, 120_000);
+        let mut des = CmpEngine::new(sim, 4, Box::new(NullPrefetcher));
+        let mut oracle = SteppingCmpEngine::new(sim, 4, Box::new(NullPrefetcher));
+        assert_eq!(
+            des.run(&t, 40_000, 80_000, "w"),
+            oracle.run(&t, 40_000, 80_000, "w")
+        );
+    }
+
+    #[test]
+    fn des_matches_stepping_zero_warmup_and_short_trace() {
+        // Edge cases: no warm-up reset at all, and a trace shorter than
+        // the requested budget (cores run dry mid-measurement).
+        let sim = SimConfig::scaled_down(16);
+        let t = traces(2, 30_000);
+        let mut des = CmpEngine::new(sim, 2, Box::new(NullPrefetcher));
+        let mut oracle = SteppingCmpEngine::new(sim, 2, Box::new(NullPrefetcher));
+        assert_eq!(des.run(&t, 0, 25_000, "w"), oracle.run(&t, 0, 25_000, "w"));
+
+        let mut des = CmpEngine::new(sim, 2, Box::new(NullPrefetcher));
+        let mut oracle = SteppingCmpEngine::new(sim, 2, Box::new(NullPrefetcher));
+        assert_eq!(
+            des.run(&t, 10_000, 90_000, "w"),
+            oracle.run(&t, 10_000, 90_000, "w"),
+            "budget past stream end"
+        );
+    }
+
+    #[test]
+    fn registration_order_is_invisible() {
+        // The (next_tick, component_id) tie-break makes the schedule a
+        // pure function of the streams: priming the wake heap in any
+        // core order yields the identical CmpResult.
+        let sim = SimConfig::scaled_down(16);
+        let t = traces(4, 90_000);
+        let streams: Vec<PreResolved> = t
+            .iter()
+            .map(|tr| PreResolved::from_records(&sim, &tr[..80_000]))
+            .collect();
+        let refs: Vec<&PreResolved> = streams.iter().collect();
+        let pf = || {
+            Box::new(EbcpPrefetcher::new(
+                EbcpConfig::tuned().with_table_entries(1 << 14),
+            ))
+        };
+        let reference = CmpEngine::new(sim, 4, pf()).run_streams_registered(
+            &refs,
+            30_000,
+            50_000,
+            "w",
+            &[0, 1, 2, 3],
+        );
+        for order in [[3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1]] {
+            let r = CmpEngine::new(sim, 4, pf())
+                .run_streams_registered(&refs, 30_000, 50_000, "w", &order);
+            assert_eq!(r, reference, "registration order {order:?}");
         }
-        let single = engine.result("w");
-        let a = r.cores[0].cpi();
-        let b = single.cpi();
-        assert!(
-            (a - b).abs() / b < 0.02,
-            "N=1 CMP CPI {a:.4} vs single-core {b:.4}"
-        );
-        // The two event loops are the same model but not lockstep (CPI
-        // above is allowed 2% divergence), so an epoch in flight when
-        // warm-up statistics reset can be credited to either side of
-        // the boundary on one engine and not the other: allow one
-        // boundary epoch of slack.
-        let (ec, es) = (r.cores[0].epochs, single.epochs);
-        assert!(
-            ec.abs_diff(es) <= 1,
-            "N=1 CMP epochs {ec} vs single-core {es}"
-        );
+    }
+
+    #[test]
+    fn run_streams_matches_run() {
+        // The two-phase entry point over externally pre-resolved
+        // streams is the same computation as `run` over raw traces.
+        let sim = SimConfig::scaled_down(16);
+        let t = traces(2, 100_000);
+        let mut a = CmpEngine::new(sim, 2, Box::new(NullPrefetcher));
+        let ra = a.run(&t, 30_000, 60_000, "w");
+        let streams: Vec<PreResolved> = t
+            .iter()
+            .map(|tr| PreResolved::from_records(&sim, &tr[..90_000]))
+            .collect();
+        let refs: Vec<&PreResolved> = streams.iter().collect();
+        let mut b = CmpEngine::new(sim, 2, Box::new(NullPrefetcher));
+        let rb = b.run_streams(&refs, 30_000, 60_000, "w");
+        assert_eq!(ra, rb);
     }
 
     #[test]
@@ -996,8 +1303,7 @@ mod tests {
     fn chunked_cmp_matches_materialized() {
         // Identical per-core record sequences delivered chunked vs as
         // materialized slices must give the byte-identical CmpResult:
-        // the chunk cursors may not perturb the smallest-clock
-        // interleaving.
+        // the chunked pre-resolution may not perturb the streams.
         let w = small_workload();
         let n = 3;
         let t: Vec<Vec<TraceRecord>> = (0..n)

@@ -1,0 +1,144 @@
+//! The discrete-event wake-up scheduler for the CMP engine.
+//!
+//! A [`WakeHeap`] is a min-heap of component wake-ups keyed by
+//! `(next_tick, component_id)`. The CMP engine (see [`crate::cmp`])
+//! registers one component per core; a component's wake-up carries the
+//! *pre-record clock* of its next shared interaction — the next trace
+//! record that can touch chip-shared state (the L2, the prefetch
+//! buffer, the MSHR file, the memory system or the prefetcher). All
+//! purely core-local work between two wake-ups is advanced
+//! algebraically when the component is popped, never enumerated.
+//!
+//! # Why `(next_tick, component_id)` reproduces the stepping order
+//!
+//! The record-stepping engine always executes the record of the core
+//! with the smallest local clock, breaking ties toward the lowest core
+//! index (its pick loop compares with strict `<`). Records therefore
+//! execute in ascending `(pre-record clock, core index)` order — which
+//! is exactly the heap order here. Core-local records commute (they
+//! read and write nothing shared), so collapsing them into the pop that
+//! follows preserves every observable of the stepping schedule. The
+//! `component_id` tie-break makes the pop order a pure function of the
+//! scheduled keys: *registration order cannot matter*, which the
+//! determinism property test below (and the randomized one in
+//! `crates/bench/tests/cmp_des.rs`) pins.
+//!
+//! Uncore completions (bus/DRAM grants, main-memory table round-trips,
+//! prefetch arrivals) keep their own `(completion tick, sequence)`
+//! queue inside the engine, because the stepping engine drains them
+//! *within* core records (and even mid-record, inside window stalls) —
+//! they are one logical component whose wake-up the engine compares
+//! against this heap's head rather than storing, since mid-record
+//! drains would constantly invalidate a stored entry.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduler tick — the same unit as a core clock cycle.
+pub type Tick = u64;
+
+/// Min-heap of `(next_tick, component_id)` wake-ups.
+///
+/// Pops ascend by tick; equal ticks ascend by component id, so the
+/// schedule is deterministic no matter the order in which components
+/// were registered or rescheduled.
+///
+/// The heap holds at most one *live* entry per component by
+/// convention: the owner schedules a component exactly when it is
+/// created and each time it is popped. It does not check this — a
+/// component that schedules twice will simply be popped twice.
+#[derive(Debug, Default, Clone)]
+pub struct WakeHeap {
+    heap: BinaryHeap<Reverse<(Tick, u32)>>,
+}
+
+impl WakeHeap {
+    /// An empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        WakeHeap::default()
+    }
+
+    /// Pre-sized empty schedule (one slot per expected component).
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        WakeHeap {
+            heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    /// Whether any wake-up is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules component `id` to wake at `tick`.
+    pub fn schedule(&mut self, tick: Tick, id: u32) {
+        self.heap.push(Reverse((tick, id)));
+    }
+
+    /// The earliest scheduled wake-up, without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<(Tick, u32)> {
+        self.heap.peek().map(|Reverse(k)| *k)
+    }
+
+    /// Removes and returns the earliest scheduled wake-up.
+    pub fn pop(&mut self) -> Option<(Tick, u32)> {
+        self.heap.pop().map(|Reverse(k)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_ascend_by_tick_then_id() {
+        let mut h = WakeHeap::new();
+        h.schedule(5, 2);
+        h.schedule(3, 7);
+        h.schedule(5, 0);
+        h.schedule(3, 1);
+        let order: Vec<_> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(order, vec![(3, 1), (3, 7), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn pop_order_is_independent_of_registration_order() {
+        // The tie-break on component id makes the schedule a pure
+        // function of the key *set*: any permutation of schedule()
+        // calls yields the identical pop sequence.
+        let keys: Vec<(Tick, u32)> = vec![(9, 3), (1, 1), (9, 0), (1, 2), (4, 5), (4, 4)];
+        let reference: Vec<(Tick, u32)> = {
+            let mut s = keys.clone();
+            s.sort_unstable();
+            s
+        };
+        // Deterministic pseudo-shuffles: rotate + stride permutations.
+        for rot in 0..keys.len() {
+            let mut h = WakeHeap::with_capacity(keys.len());
+            for i in 0..keys.len() {
+                let (t, id) = keys[(i + rot) % keys.len()];
+                h.schedule(t, id);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| h.pop()).collect();
+            assert_eq!(order, reference, "rotation {rot}");
+        }
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut h = WakeHeap::new();
+        assert_eq!(h.peek(), None);
+        h.schedule(8, 1);
+        h.schedule(2, 9);
+        assert_eq!(h.peek(), Some((2, 9)));
+        assert_eq!(h.pop(), Some((2, 9)));
+        assert_eq!(h.peek(), Some((8, 1)));
+        assert!(!h.is_empty());
+        assert_eq!(h.pop(), Some((8, 1)));
+        assert!(h.is_empty());
+    }
+}

@@ -41,7 +41,10 @@
 //! ```
 
 pub mod cmp;
+#[cfg(any(test, feature = "stepping-oracle"))]
+pub mod cmp_stepping;
 pub mod config;
+pub mod des;
 pub mod engine;
 pub mod frontend;
 pub mod lockstep;
@@ -49,10 +52,13 @@ pub mod metrics;
 pub mod runner;
 
 pub use cmp::{CmpEngine, CmpResult};
+#[cfg(any(test, feature = "stepping-oracle"))]
+pub use cmp_stepping::SteppingCmpEngine;
 pub use config::{CoreConfig, SimConfig};
+pub use des::{Tick, WakeHeap};
 pub use ebcp_mem::SimdTier;
 pub use engine::Engine;
 pub use frontend::{FrontEnd, PreEvent, PreResolved, PreResolver, ReplayCursor};
 pub use lockstep::Lockstep;
 pub use metrics::SimResult;
-pub use runner::{PrefetcherSpec, RunSpec};
+pub use runner::{CmpSpec, PrefetcherSpec, RunSpec};

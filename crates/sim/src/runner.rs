@@ -8,6 +8,7 @@ use ebcp_trace::template::WorkloadProgram;
 use ebcp_trace::{TraceGenerator, TraceRecord, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
+use crate::cmp::{CmpEngine, CmpResult};
 use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::frontend::{PreResolved, PreResolver, ReplayCursor};
@@ -256,6 +257,152 @@ impl RunSpec {
     }
 }
 
+/// A complete CMP run specification: one workload × seed per core over
+/// one shared machine.
+///
+/// The per-core front ends are prefetcher-independent, so each core's
+/// stream is exactly the stream of its single-core [`RunSpec`]
+/// (see [`CmpSpec::core_run_spec`]) — which is how the harness shares
+/// per-core pre-resolved streams between CMP cells, single-core cells
+/// and the on-disk cache.
+///
+/// # Examples
+///
+/// ```
+/// use ebcp_sim::{CmpSpec, PrefetcherSpec, SimConfig};
+/// use ebcp_trace::WorkloadSpec;
+///
+/// let spec = CmpSpec::homogeneous(
+///     WorkloadSpec::database().scaled(1, 32),
+///     2,
+///     20_000,
+///     20_000,
+///     SimConfig::scaled_down(16),
+/// );
+/// let r = spec.run(&PrefetcherSpec::None);
+/// assert_eq!(r.cores.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CmpSpec {
+    /// Display name for the whole cell (per-core results append
+    /// `#core<k>`).
+    pub name: String,
+    /// One workload per core.
+    pub workloads: Vec<WorkloadSpec>,
+    /// One trace seed per core.
+    pub seeds: Vec<u64>,
+    /// Instructions each core runs before statistics reset.
+    pub warmup_insts: u64,
+    /// Instructions each core measures after warm-up.
+    pub measure_insts: u64,
+    /// The shared machine (per-core L1s + shared L2/bus/DRAM).
+    pub sim: SimConfig,
+}
+
+impl CmpSpec {
+    /// N cores all running `workload`, distinguished only by seed
+    /// (`k + 1`) — the multi-threaded-single-application scenario.
+    pub fn homogeneous(
+        workload: WorkloadSpec,
+        cores: usize,
+        warmup_insts: u64,
+        measure_insts: u64,
+        sim: SimConfig,
+    ) -> Self {
+        let name = workload.name.clone();
+        CmpSpec {
+            name,
+            workloads: vec![workload; cores],
+            seeds: (0..cores as u64).map(|k| k + 1).collect(),
+            warmup_insts,
+            measure_insts,
+            sim,
+        }
+    }
+
+    /// One workload per core, each from its own spec/seed pair — the
+    /// consolidated-server scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_core` is empty.
+    pub fn heterogeneous(
+        name: &str,
+        per_core: Vec<(WorkloadSpec, u64)>,
+        warmup_insts: u64,
+        measure_insts: u64,
+        sim: SimConfig,
+    ) -> Self {
+        assert!(!per_core.is_empty(), "at least one core");
+        let (workloads, seeds) = per_core.into_iter().unzip();
+        CmpSpec {
+            name: name.to_owned(),
+            workloads,
+            seeds,
+            warmup_insts,
+            measure_insts,
+            sim,
+        }
+    }
+
+    /// Number of cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload and seed lists disagree in length (a
+    /// malformed spec).
+    pub fn cores(&self) -> usize {
+        assert_eq!(
+            self.workloads.len(),
+            self.seeds.len(),
+            "one seed per core workload"
+        );
+        self.workloads.len()
+    }
+
+    /// The single-core [`RunSpec`] whose trace and pre-resolved stream
+    /// core `k` consumes — shared cache currency with the single-core
+    /// paths.
+    pub fn core_run_spec(&self, k: usize) -> RunSpec {
+        RunSpec {
+            workload: self.workloads[k].clone(),
+            seed: self.seeds[k],
+            warmup_insts: self.warmup_insts,
+            measure_insts: self.measure_insts,
+            sim: self.sim,
+        }
+    }
+
+    /// Pre-resolves every core's stream (front end only, no
+    /// prefetcher), streaming each generator in chunks.
+    pub fn pre_resolve_cores(&self) -> Vec<PreResolved> {
+        (0..self.cores())
+            .map(|k| self.core_run_spec(k).pre_resolve())
+            .collect()
+    }
+
+    /// Runs a prefetcher over this spec, pre-resolving per-core streams
+    /// on the fly. Sweeps over a roster should pre-resolve once with
+    /// [`CmpSpec::pre_resolve_cores`] and call [`CmpSpec::run_streams`]
+    /// per prefetcher.
+    pub fn run(&self, pf: &PrefetcherSpec) -> CmpResult {
+        let streams = self.pre_resolve_cores();
+        let refs: Vec<&PreResolved> = streams.iter().collect();
+        self.run_streams(&refs, pf)
+    }
+
+    /// Runs a prefetcher over already pre-resolved per-core streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is exactly one stream per core, resolved
+    /// under this spec's L1 geometries.
+    pub fn run_streams(&self, streams: &[&PreResolved], pf: &PrefetcherSpec) -> CmpResult {
+        let mut engine = CmpEngine::new(self.sim, self.cores(), pf.build());
+        engine.run_streams(streams, self.warmup_insts, self.measure_insts, &self.name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +636,37 @@ mod tests {
         let a = spec.run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
         let b = spec.run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cmp_spec_matches_direct_engine_run() {
+        // CmpSpec::run over shared per-core streams is the same
+        // computation as handing the engine materialized traces.
+        let spec = CmpSpec::homogeneous(
+            WorkloadSpec::database().scaled(1, 32),
+            3,
+            30_000,
+            60_000,
+            SimConfig::scaled_down(16),
+        );
+        let via_spec = spec.run(&PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
+        let traces: Vec<Vec<TraceRecord>> = (0..3)
+            .map(|k| {
+                let mut gen = TraceGenerator::new(&spec.workloads[k], spec.seeds[k]);
+                gen.collect_n(90_000)
+            })
+            .collect();
+        let mut engine = crate::cmp::CmpEngine::new(
+            spec.sim,
+            3,
+            PrefetcherSpec::Ebcp(EbcpConfig::tuned()).build(),
+        );
+        let direct = engine.run(&traces, 30_000, 60_000, &spec.name);
+        assert_eq!(via_spec, direct);
+        // Core streams are the single-core RunSpec streams — the cache
+        // currency the harness shares with single-core cells.
+        let s0 = spec.core_run_spec(0).pre_resolve();
+        assert_eq!(s0.records, 90_000);
     }
 
     #[test]
