@@ -42,16 +42,20 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use ebcp_bench::{experiments, report, service, throughput, Harness, HarnessConfig, Scale};
+use ebcp_bench::{
+    experiments, report, service, throughput, tracescale, Harness, HarnessConfig, Scale,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|cmp-bw|all|bench-throughput> \
-         [--scale quick|standard|full] [--csv] [--jobs N] [--cores 1,2,4] [--out-dir DIR] [--json] \
-         [--no-cache] [--keep-going] [--check-baseline FILE] [--event-mix]\n\
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|ablation|cmp|cmp-bw|all|bench-throughput|bench-trace-scale> \
+         [--scale quick|standard|full|large] [--csv] [--jobs N] [--cores 1,2,4] [--out-dir DIR] [--json] \
+         [--no-cache] [--keep-going] [--check-baseline FILE] [--event-mix] \
+         [--mem-budget BYTES[k|m|g]] [--trace-store]\n\
          \x20      repro <serve|submit|sweep|status|shutdown|bench-serve> \
          [--addr HOST:PORT] [--unix PATH] [--depth N] [--workloads a,b] [--prefetchers x,y] \
-         [--cores 1,2,4] [--out FILE] [--retries N]"
+         [--cores 1,2,4] [--out FILE] [--retries N]\n\
+         \x20      repro status  # no --addr: local store footprint under <out-dir>/jobs"
     );
     std::process::exit(2);
 }
@@ -76,6 +80,8 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut retries = 5u32;
     let mut event_mix = false;
+    let mut mem_budget: Option<u64> = None;
+    let mut trace_store = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -131,6 +137,11 @@ fn main() {
                 }
             }
             "--event-mix" => event_mix = true,
+            "--mem-budget" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                mem_budget = Some(service::parse_bytes(v).unwrap_or_else(|| usage()));
+            }
+            "--trace-store" => trace_store = true,
             "--out" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 out = Some(PathBuf::from(v));
@@ -167,6 +178,10 @@ fn main() {
                 std::process::exit(2);
             })
         };
+        let mem = service::MemArgs {
+            budget_bytes: mem_budget,
+            trace_store,
+        };
         let code = match what.as_str() {
             "serve" => Some(service::cmd_serve(
                 addr.clone(),
@@ -174,6 +189,7 @@ fn main() {
                 jobs,
                 depth,
                 store_dir(),
+                mem,
             )),
             "submit" => {
                 let out = out.clone().unwrap_or_else(|| out_dir.join("results.json"));
@@ -190,10 +206,16 @@ fn main() {
                     &grid.to_spec(),
                     jobs,
                     store_dir(),
+                    mem,
                     &out,
                 ))
             }
-            "status" => Some(service::cmd_status(&need_addr())),
+            // With --addr, ask the daemon; without, report the local
+            // store's on-disk footprint.
+            "status" => Some(match &addr {
+                Some(a) => service::cmd_status(a),
+                None => service::cmd_status_local(store_dir().as_deref()),
+            }),
             "shutdown" => Some(service::cmd_shutdown(&need_addr())),
             "bench-serve" => Some(service::bench_serve(&out_dir, scale)),
             _ => None,
@@ -202,6 +224,15 @@ fn main() {
             eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
             std::process::exit(code);
         }
+    }
+
+    // Trace-scale cells are timing-sensitive too: same contract as
+    // bench-throughput below. `--scale large` selects the ~100× tier
+    // (streamed modes only); any other scale times all three modes.
+    if what == "bench-trace-scale" {
+        bench_trace_scale(scale, &out_dir, check_baseline.as_deref());
+        eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+        return;
     }
 
     // Throughput is timing-sensitive: it bypasses the caching harness
@@ -232,6 +263,8 @@ fn main() {
             Some(out_dir.join("jobs"))
         },
         progress: true,
+        mem_budget_bytes: mem_budget.unwrap_or(HarnessConfig::default().mem_budget_bytes),
+        trace_store,
         ..HarnessConfig::default()
     });
     eprintln!(
@@ -402,6 +435,67 @@ fn main() {
             eprintln!("error: run stopped at the first failed experiment (use --keep-going to run the rest)");
         }
         std::process::exit(1);
+    }
+}
+
+/// Runs the trace-scale cells, writes `<out-dir>/BENCH_trace_scale.json`
+/// (with the process RSS high-water mark — the large tier's bounded-
+/// memory evidence), and applies the gates: at the large tier the
+/// scatter cell at ≥2 workers must beat the single-worker replay of
+/// the same stream; with `--check-baseline` the pipelined geomean
+/// must stay within 25% of the committed baseline.
+fn bench_trace_scale(scale: Scale, out_dir: &Path, baseline: Option<&Path>) {
+    let large = scale == Scale::large();
+    let rows = if large {
+        tracescale::measure_large(scale)
+    } else {
+        tracescale::measure(scale)
+    };
+    print!("{}", tracescale::render(&rows, large));
+    let vm_hwm = tracescale::vm_hwm_bytes();
+    if let Some(hwm) = vm_hwm {
+        eprintln!(
+            "# peak RSS (VmHWM): {:.1} MiB",
+            hwm as f64 / (1 << 20) as f64
+        );
+    }
+    let doc = tracescale::to_json(scale, large, &rows, vm_hwm);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: could not create {}: {e}", out_dir.display());
+    }
+    let path = out_dir.join("BENCH_trace_scale.json");
+    match std::fs::write(&path, doc.to_json_pretty()) {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    if large {
+        match tracescale::check_speedup(&rows) {
+            Ok(s) => eprintln!("# parallel gate passed: scatter speedup {s:.2}x over one worker"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let Some(baseline) = baseline else { return };
+    let parsed = std::fs::read_to_string(baseline)
+        .map_err(|e| e.to_string())
+        .and_then(|text| ebcp_harness::json::parse(&text).map_err(|e| e.to_string()));
+    let base_doc = match parsed {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: could not read baseline {}: {e}", baseline.display());
+            std::process::exit(1);
+        }
+    };
+    match tracescale::check_against_baseline(&rows, large, &base_doc, 0.25) {
+        Ok((cur, base)) => {
+            eprintln!("# trace-scale gate passed: geomean {cur:.1} Minst/s vs baseline {base:.1}")
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

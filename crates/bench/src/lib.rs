@@ -24,6 +24,7 @@ pub mod report;
 pub mod scale;
 pub mod service;
 pub mod throughput;
+pub mod tracescale;
 
 pub use ebcp_harness::{Harness, HarnessConfig, Job};
 pub use experiments::{

@@ -62,11 +62,42 @@ pub fn parse_list(s: &str) -> Vec<String> {
         .collect()
 }
 
-fn harness(jobs: usize, store_dir: Option<PathBuf>) -> Harness {
+/// Parses a byte-count argument: a plain integer, optionally suffixed
+/// `k`/`m`/`g` (binary multiples, case-insensitive) — `--mem-budget
+/// 512m`.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_shl(shift)
+}
+
+/// Memory/storage knobs shared by every command that builds a harness:
+/// the per-process trace budget (which drives the materialize-vs-
+/// stream decision) and whether generated traces are persisted in the
+/// store's segmented trace cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemArgs {
+    /// `--mem-budget`; `None` keeps the harness default.
+    pub budget_bytes: Option<u64>,
+    /// `--trace-store`.
+    pub trace_store: bool,
+}
+
+fn harness(jobs: usize, store_dir: Option<PathBuf>, mem: MemArgs) -> Harness {
     Harness::new(HarnessConfig {
         jobs,
         store_dir,
         progress: false,
+        mem_budget_bytes: mem
+            .budget_bytes
+            .unwrap_or(HarnessConfig::default().mem_budget_bytes),
+        trace_store: mem.trace_store,
         ..HarnessConfig::default()
     })
 }
@@ -80,6 +111,7 @@ pub fn cmd_serve(
     jobs: usize,
     depth: usize,
     store_dir: Option<PathBuf>,
+    mem: MemArgs,
 ) -> i32 {
     let cfg = ServerConfig {
         // An explicit --unix with no --addr serves the socket alone.
@@ -94,7 +126,7 @@ pub fn cmd_serve(
             ..QueueConfig::default()
         },
     };
-    let server = match Server::bind(std::sync::Arc::new(harness(jobs, store_dir)), cfg) {
+    let server = match Server::bind(std::sync::Arc::new(harness(jobs, store_dir, mem)), cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: could not bind: {e}");
@@ -194,7 +226,41 @@ pub fn cmd_submit(addr: &str, spec: &SweepSpec, out: &Path, retries: u32) -> i32
     }
 }
 
-/// `repro status`: one line on stdout.
+/// Renders a byte count with a binary-unit suffix.
+fn human_bytes(n: u64) -> String {
+    match n {
+        0..=1023 => format!("{n} B"),
+        _ if n < (1 << 20) => format!("{:.1} KiB", n as f64 / f64::from(1 << 10)),
+        _ if n < (1 << 30) => format!("{:.1} MiB", n as f64 / f64::from(1 << 20)),
+        _ => format!("{:.2} GiB", n as f64 / f64::from(1 << 30)),
+    }
+}
+
+/// Renders the on-disk footprint lines shared by local and daemon
+/// status: one line per store class plus a total.
+fn print_footprint(fp: &ebcp_harness::StoreFootprint) {
+    let class = |name: &str, c: &ebcp_harness::StoreClassFootprint| {
+        let mut line = format!(
+            "store {name:8} {} file(s), {}",
+            c.files,
+            human_bytes(c.bytes)
+        );
+        if c.segments > 0 {
+            line.push_str(&format!(", {} segment(s)", c.segments));
+        }
+        if c.corrupt > 0 {
+            line.push_str(&format!(", {} quarantined", c.corrupt));
+        }
+        println!("{line}");
+    };
+    class("results", &fp.results);
+    class("preres", &fp.preres);
+    class("traces", &fp.traces);
+    println!("store total    {}", human_bytes(fp.total_bytes()));
+}
+
+/// `repro status --addr ADDR`: queue snapshot (and the daemon store's
+/// footprint, when it has one) on stdout.
 pub fn cmd_status(addr: &str) -> i32 {
     let mut client = match connect(addr) {
         Ok(c) => c,
@@ -206,6 +272,9 @@ pub fn cmd_status(addr: &str) -> i32 {
                 "queued {} / depth {}, running {}, clients {}, completed {}, warm streams {}",
                 st.queued, st.depth, st.running, st.clients, st.completed, st.warm_streams
             );
+            if let Some(fp) = &st.store {
+                print_footprint(fp);
+            }
             0
         }
         Err(e) => {
@@ -213,6 +282,26 @@ pub fn cmd_status(addr: &str) -> i32 {
             3
         }
     }
+}
+
+/// `repro status` with no `--addr`: report the local store's on-disk
+/// footprint — cached results, pre-resolved streams and segmented
+/// traces with their segment counts.
+pub fn cmd_status_local(store_dir: Option<&Path>) -> i32 {
+    let Some(dir) = store_dir else {
+        eprintln!("error: status needs --addr for a daemon or a store (drop --no-cache)");
+        return 2;
+    };
+    if !dir.is_dir() {
+        println!(
+            "store {} does not exist yet (no cached entries)",
+            dir.display()
+        );
+        return 0;
+    }
+    println!("store {}", dir.display());
+    print_footprint(&ebcp_harness::store_footprint(dir));
+    0
 }
 
 /// `repro shutdown`: ask the daemon to drain and exit.
@@ -242,6 +331,7 @@ pub fn cmd_sweep_local(
     spec: &SweepSpec,
     jobs: usize,
     store_dir: Option<PathBuf>,
+    mem: MemArgs,
     out: &Path,
 ) -> i32 {
     let (jobs_vec, cmp_vec) = match spec.jobs().and_then(|j| Ok((j, spec.cmp_jobs()?))) {
@@ -251,7 +341,7 @@ pub fn cmd_sweep_local(
             return 2;
         }
     };
-    let h = harness(jobs, store_dir);
+    let h = harness(jobs, store_dir, mem);
     let outcomes = h.run_outcomes(&jobs_vec);
     let mut seen = std::collections::HashSet::new();
     let unique_cmp: Vec<ebcp_harness::CmpJob> = cmp_vec
@@ -304,7 +394,7 @@ pub fn bench_serve(out_dir: &Path, scale: Scale) -> i32 {
         scale,
     };
     let server = match Server::bind(
-        std::sync::Arc::new(harness(0, None)),
+        std::sync::Arc::new(harness(0, None, MemArgs::default())),
         ServerConfig {
             tcp: Some("127.0.0.1:0".into()),
             unix: None,

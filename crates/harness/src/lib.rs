@@ -71,6 +71,7 @@ pub mod scale;
 pub mod source;
 pub mod store;
 pub mod telemetry;
+pub mod traces;
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -79,16 +80,24 @@ use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-use ebcp_sim::frontend::PreResolved;
-use ebcp_sim::SimResult;
+use ebcp_sim::frontend::{PreResolved, PreResolver};
+use ebcp_sim::{run_pipelined, run_preresolved_blocks, run_preresolved_blocks_many};
+use ebcp_sim::{Engine, SimResult};
+use ebcp_trace::template::WorkloadProgram;
+use ebcp_trace::{Backing, ChunkSource, TraceGenerator};
 
 pub use crate::cmp::{CmpJob, CmpOutcome, CMP_CANON_VERSION};
-pub use crate::job::{fnv1a64, Job, JobId};
+pub use crate::job::{fnv1a64, Fnv64, Job, JobId};
 pub use crate::json::Value;
 pub use crate::queue::{JobService, QueueConfig, ServiceStatus, SubmitError};
 pub use crate::scale::Scale;
-pub use crate::source::{TraceSource, DEFAULT_MEM_BUDGET_BYTES};
-pub use crate::store::{CacheRead, ResultStore};
+pub use crate::source::{
+    est_pre_bytes, seg_records_for_budget, streamed_peak_bytes, TraceSource,
+    DEFAULT_MEM_BUDGET_BYTES,
+};
+pub use crate::store::{
+    store_footprint, CacheRead, ResultStore, StoreClassFootprint, StoreFootprint,
+};
 pub use crate::telemetry::{Event, EventBus, Progress, ResultSource, RunSummary};
 
 /// Poison-recovering lock. A panic inside a worker is caught and
@@ -179,6 +188,14 @@ pub struct HarnessConfig {
     /// tested, not assumed); a lane that panics is retried serially and
     /// fails alone. Disable to force the one-job-per-replay path.
     pub lockstep: bool,
+    /// Keep generated traces on disk in the segmented binary format
+    /// (`traces/` under the store directory) and replay them through
+    /// mmap'd windows. Effective only with a store configured; each
+    /// workload is then generated once per store lifetime instead of
+    /// once per process, at the cost of the trace's 17 B/record on
+    /// disk. Off by default: generation is deterministic and usually
+    /// cheaper than the disk space at quick/standard scales.
+    pub trace_store: bool,
 }
 
 impl Default for HarnessConfig {
@@ -189,6 +206,7 @@ impl Default for HarnessConfig {
             store_dir: None,
             progress: false,
             lockstep: true,
+            trace_store: false,
         }
     }
 }
@@ -321,6 +339,15 @@ impl Harness {
     /// The on-disk store directory, if caching is active.
     pub fn store_dir(&self) -> Option<&Path> {
         self.store.as_ref().map(ResultStore::dir)
+    }
+
+    /// The store's current on-disk footprint — results, pre-resolved
+    /// streams and segmented traces — or `None` without a store.
+    /// Walks the store directory; cheap at any realistic entry count
+    /// but not free, so callers poll it (status requests), they don't
+    /// spin on it.
+    pub fn store_footprint(&self) -> Option<store::StoreFootprint> {
+        self.store_dir().map(store::store_footprint)
     }
 
     /// The harness's telemetry bus. Subscribe to receive a copy of
@@ -582,6 +609,10 @@ impl Harness {
         }
         let units = &units;
         let workers = self.workers.min(units.len()).max(1);
+        // Each concurrent worker gets an equal share of the process
+        // memory budget; jobs whose pre-resolved stream would not fit
+        // the share run segment-at-a-time (see `stream_plan`).
+        let per_worker = (self.cfg.mem_budget_bytes / workers as u64).max(1);
 
         // Streams come from the harness-lifetime `pres` map (see the
         // field docs). If an initializer panics, the cell stays
@@ -620,6 +651,9 @@ impl Harness {
                     // a lockstep lane that panicked.
                     let attempt_one = |job: &Job| -> Result<SimResult, String> {
                         catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(seg_records) = self.stream_plan(job, per_worker) {
+                                return self.run_streamed(job, seg_records, &tx);
+                            }
                             let cell = Arc::clone(
                                 lock(pres)
                                     .entry(job.pre_key())
@@ -641,6 +675,28 @@ impl Harness {
                         let pfs: Vec<ebcp_sim::PrefetcherSpec> =
                             unit.iter().map(|&i| pending[i].1.pf.clone()).collect();
                         match catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(seg_records) = self.stream_plan(lead, per_worker) {
+                                if let Some(dir) = self.store_dir() {
+                                    // One disk pass over the cached
+                                    // block stream drives every lane —
+                                    // lockstep amortization at
+                                    // O(segment) memory.
+                                    let mut stream =
+                                        self.prepare_stream(dir, lead, seg_records, &tx);
+                                    return run_preresolved_blocks_many(
+                                        &lead.spec,
+                                        stream.blocks(),
+                                        &pfs,
+                                    );
+                                }
+                                // No disk to stream blocks from: each
+                                // lane runs the bounded-memory
+                                // pipelined path on its own.
+                                return unit
+                                    .iter()
+                                    .map(|&i| Ok(self.run_streamed(pending[i].1, seg_records, &tx)))
+                                    .collect();
+                            }
                             let cell = Arc::clone(
                                 lock(pres)
                                     .entry(lead.pre_key())
@@ -1015,6 +1071,127 @@ impl Harness {
                     c.failed += 1;
                 }
             }
+        }
+    }
+
+    /// The segment length (in trace records) a bounded-memory replay of
+    /// `job` should use, or `None` when the whole pre-resolved stream
+    /// fits the worker's budget share — then the materialized,
+    /// `Arc`-shared warm-map path is both cheaper and enables
+    /// cross-batch stream reuse.
+    ///
+    /// The streamed paths are replay-**exact**: block-at-a-time replay
+    /// over any segmentation produces byte-identical results to the
+    /// monolithic stream (`ebcp_sim::segment` proves this property), so
+    /// this decision affects memory and wall clock, never results.
+    fn stream_plan(&self, job: &Job, per_worker_bytes: u64) -> Option<u64> {
+        if source::est_pre_bytes(&job.spec) <= per_worker_bytes {
+            return None;
+        }
+        Some(source::seg_records_for_budget(per_worker_bytes))
+    }
+
+    /// Bounded-memory single-job execution: with a store, replay the
+    /// per-segment pre-resolved block stream from disk (building it
+    /// first if cold — also segment-at-a-time); without one, overlap
+    /// front-end production and back-end replay through the two-worker
+    /// pipelined path. Peak resident set is O(segment) either way.
+    ///
+    /// CMP cells deliberately do not take this path: the discrete-event
+    /// engine interleaves all cores' streams by cycle, so it holds them
+    /// whole; per-core workloads are footprint-scaled by core count,
+    /// which keeps them inside the budget at supported scales.
+    fn run_streamed(&self, job: &Job, seg_records: u64, tx: &mpsc::Sender<Event>) -> SimResult {
+        if let Some(dir) = self.store_dir() {
+            let mut stream = self.prepare_stream(dir, job, seg_records, tx);
+            run_preresolved_blocks(&job.spec, stream.blocks(), &job.pf)
+        } else {
+            let program = Arc::new(WorkloadProgram::build(&job.spec.workload));
+            run_pipelined(&job.spec, program, seg_records, &job.pf)
+        }
+    }
+
+    /// Opens `job`'s per-segment pre-resolved block stream from the
+    /// store, building it first when cold: trace records come from the
+    /// segmented trace store (mmap'd windows) when enabled, else from
+    /// chunked generation, and finished blocks go straight to disk — so
+    /// even building the stream never materializes it. Corrupt cached
+    /// files (stream or trace) are quarantined, reported over `tx`, and
+    /// rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics on file-system failure — the worker's `catch_unwind`
+    /// converts that to a failed (retried-once) job. Unlike the
+    /// materialized path there is no memory fallback to offer: the
+    /// budget says the stream must live on disk.
+    fn prepare_stream(
+        &self,
+        dir: &Path,
+        job: &Job,
+        seg_records: u64,
+        tx: &mpsc::Sender<Event>,
+    ) -> preres::PreresStream {
+        match preres::open_stream_checked(dir, job) {
+            CacheRead::Hit(stream) => return stream,
+            CacheRead::Miss => {}
+            CacheRead::Quarantined { path, reason } => {
+                let _ = tx.send(Event::CacheQuarantined {
+                    path: path.display().to_string(),
+                    reason,
+                });
+            }
+        }
+        let spec = &job.spec;
+        let mut writer =
+            preres::PreresWriter::create(dir, job, seg_records).expect("preres stream writer");
+        let mut src: Box<dyn ChunkSource> = if self.cfg.trace_store {
+            let trace =
+                traces::open_or_generate(dir, spec, seg_records, Backing::Mmap, |path, reason| {
+                    let _ = tx.send(Event::CacheQuarantined {
+                        path: path.display().to_string(),
+                        reason,
+                    });
+                })
+                .expect("segmented trace store");
+            Box::new(trace)
+        } else {
+            Box::new(TraceGenerator::new(&spec.workload, spec.seed))
+        };
+        let mut pr = PreResolver::new(&spec.sim);
+        let mut chunk = Vec::with_capacity(Engine::CHUNK_RECORDS);
+        let mut left = spec.warmup_insts + spec.measure_insts;
+        let mut blocks = 0u64;
+        while left > 0 {
+            let room = seg_records - pr.pending_records();
+            let want = (Engine::CHUNK_RECORDS as u64).min(left).min(room) as usize;
+            let got = src.next_chunk(&mut chunk, want);
+            if got == 0 {
+                break;
+            }
+            pr.push_chunk(&chunk);
+            left -= got as u64;
+            if pr.pending_records() == seg_records {
+                let b = pr.split_block();
+                writer
+                    .push_block(&b.events, b.records)
+                    .expect("preres block write");
+                blocks += 1;
+            }
+        }
+        if pr.pending_records() > 0 || blocks == 0 {
+            let b = pr.split_block();
+            writer
+                .push_block(&b.events, b.records)
+                .expect("preres block write");
+        }
+        writer.finish().expect("preres stream publish");
+        match preres::open_stream_checked(dir, job) {
+            CacheRead::Hit(stream) => stream,
+            other => panic!(
+                "freshly written pre-resolved stream failed to verify: {:?}",
+                other.into_hit().is_some()
+            ),
         }
     }
 
@@ -1732,6 +1909,144 @@ mod tests {
         assert!(reason.contains("injected fault"), "{reason}");
         assert_eq!(h.summary().failed, 1);
         assert_eq!(out[0].result().unwrap(), &spec.run(&PrefetcherSpec::None));
+    }
+
+    /// The bounded-memory streamed path — in every store configuration —
+    /// must be byte-identical to the unconstrained materialized path:
+    /// with no store (pipelined FE∥BE), with a store (per-segment block
+    /// stream on disk), and with the segmented trace store feeding the
+    /// front end through mmap'd windows.
+    #[test]
+    fn tiny_budget_streams_and_matches_materialized() {
+        let jobs = small_batch();
+        let reference = Harness::serial().run(&jobs);
+
+        // No store: the pipelined path.
+        let h = Harness::new(HarnessConfig {
+            jobs: 1,
+            mem_budget_bytes: 1,
+            ..HarnessConfig::default()
+        });
+        assert_eq!(h.run(&jobs), reference, "pipelined path diverged");
+
+        // Store: the on-disk block-stream path, cold then warm, with
+        // and without the segmented trace store.
+        for trace_store in [false, true] {
+            let dir = std::env::temp_dir().join(format!(
+                "ebcp-harness-stream-{trace_store}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg = HarnessConfig {
+                jobs: 1,
+                mem_budget_bytes: 1,
+                store_dir: Some(dir.clone()),
+                trace_store,
+                ..HarnessConfig::default()
+            };
+            let cold = Harness::new(cfg.clone());
+            assert_eq!(
+                cold.run(&jobs),
+                reference,
+                "block-stream path diverged (trace_store={trace_store})"
+            );
+            // The stream was written segmented, and with the trace
+            // store enabled the trace file exists too.
+            let stream = preres::open_stream_checked(&dir, &jobs[0])
+                .into_hit()
+                .expect("stream cached");
+            // These 30k-record jobs fit one clamped-minimum segment
+            // (64 Ki records); multi-segment geometry is covered by the
+            // preres and traces module tests.
+            assert_eq!(stream.records(), 30_000);
+            assert_eq!(stream.seg_records(), 1 << 16, "clamp floor applies");
+            assert_eq!(traces::path_for(&dir, &jobs[0].spec).is_file(), trace_store);
+            // Warm run: streams (and traces) are reused, results identical.
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let path = entry.unwrap().path();
+                if path.is_dir()
+                    && path
+                        .file_name()
+                        .is_some_and(|n| n != "preres" && n != "traces")
+                {
+                    std::fs::remove_dir_all(path).unwrap();
+                }
+            }
+            let warm = Harness::new(cfg);
+            assert_eq!(warm.run(&jobs), reference);
+            assert_eq!(warm.summary().executed, 2, "results were wiped");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// With a tiny budget a lockstep unit replays the on-disk block
+    /// stream once for all lanes; results must match the serial path.
+    #[test]
+    fn streamed_lockstep_matches_serial() {
+        let w = WorkloadSpec::database().scaled(1, 16);
+        let pfs = [
+            PrefetcherSpec::None,
+            PrefetcherSpec::Ebcp(ebcp_core::EbcpConfig::tuned()),
+        ];
+        let jobs: Vec<Job> = pfs
+            .iter()
+            .map(|pf| Job::new(spec(w.clone(), 3), pf.clone()))
+            .collect();
+        let reference = Harness::new(HarnessConfig {
+            jobs: 1,
+            lockstep: false,
+            ..HarnessConfig::default()
+        })
+        .run(&jobs);
+        let dir = std::env::temp_dir().join(format!("ebcp-harness-slock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let h = Harness::new(HarnessConfig {
+            jobs: 1,
+            mem_budget_bytes: 1,
+            store_dir: Some(dir.clone()),
+            ..HarnessConfig::default()
+        });
+        assert_eq!(h.run(&jobs), reference);
+        assert_eq!(h.summary().executed, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `store_footprint` counts what a populated store actually holds.
+    #[test]
+    fn store_footprint_reports_all_three_classes() {
+        let dir = std::env::temp_dir().join(format!("ebcp-harness-foot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let h = Harness::new(HarnessConfig {
+            jobs: 1,
+            mem_budget_bytes: 1, // force streaming: preres + traces on disk
+            store_dir: Some(dir.clone()),
+            trace_store: true,
+            ..HarnessConfig::default()
+        });
+        let jobs = small_batch();
+        let _ = h.run(&jobs);
+        let f = store_footprint(&dir);
+        assert_eq!(f.results.files, 2, "two unique jobs cached");
+        assert_eq!(f.preres.files, 1, "one shared stream");
+        assert_eq!(f.traces.files, 1, "one shared trace");
+        assert!(f.preres.segments >= 1 && f.traces.segments >= 1);
+        assert!(f.results.bytes > 0 && f.preres.bytes > 0 && f.traces.bytes > 0);
+        assert_eq!(
+            f.total_bytes(),
+            f.results.bytes + f.preres.bytes + f.traces.bytes
+        );
+        assert_eq!(
+            (f.results.corrupt, f.preres.corrupt, f.traces.corrupt),
+            (0, 0, 0)
+        );
+        // A quarantined file shows up in the corrupt tally.
+        let p = preres::path_for(&dir, &jobs[0]);
+        let mut corrupt = p.clone().into_os_string();
+        corrupt.push(".corrupt");
+        std::fs::rename(&p, corrupt).unwrap();
+        let f = store_footprint(&dir);
+        assert_eq!((f.preres.files, f.preres.corrupt), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// results.json must not depend on where results came from: a cold

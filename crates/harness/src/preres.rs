@@ -9,41 +9,67 @@
 //! flat pre-sharding files migrate transparently (swept on store open,
 //! or read-through on first load).
 //!
-//! Format (all integers little-endian):
+//! Format v3 ("EBCPPRE3"), all integers little-endian. The event
+//! payload is cut into **segments** (each standing for a whole number
+//! of trace records) with a per-segment index, so the large tier can
+//! replay a stream block at a time — O(segment) peak memory — while
+//! the quick tier keeps writing one segment covering the whole stream:
 //!
 //! ```text
-//! magic     8 B   "EBCPPRE2"
+//! magic     8 B   "EBCPPRE3"
 //! canon_len u32   length of the canonical key string
 //! canon     ...   the exact string `pre_key` hashed (collision guard)
-//! records   u64   trace records the stream stands for
-//! n_events  u64   packed event count
-//! events    n_events x { pc u64, dline u64, gap u32, flags u32 }
-//! checksum  u64   FNV-1a over every preceding byte of the file
+//! payload   per-segment runs of events
+//!               { pc u64, dline u64, gap u32, flags u32 }  (24 B each)
+//! index     n_segs x { n_events u64, records u64, checksum u64 }
+//!               (checksum = FNV-1a over that segment's payload bytes)
+//! footer   48 B   records u64 | seg_records u64 | n_segs u64
+//!               | index_checksum u64      (FNV-1a over the index)
+//!               | head_checksum u64       (FNV-1a over magic..canon)
+//!               | footer_checksum u64     (FNV-1a over the 40
+//!                                          preceding footer bytes)
 //! ```
 //!
+//! The index and totals live in a footer so [`PreresWriter`] can
+//! stream blocks out in one pass without knowing the totals up front
+//! (`seg_records` is the writer's nominal segment length in records,
+//! recorded for operator display — block replay reads per-segment
+//! record counts from the index).
+//!
 //! Loads are **integrity-checked**. A wrong magic (an older format
-//! revision) or a canonical-string mismatch (hash collision) is
-//! *staleness*: a plain miss, overwritten in place by the next save.
-//! A checksum mismatch, truncation, or length that disagrees with the
-//! header's event count is *corruption*: the file is quarantined
-//! (renamed to `*.corrupt`) and the front-end pass transparently
-//! re-runs, overwriting the original path (self-heal). Either way a bad
-//! entry only costs one front-end pass, never a wrong stream.
+//! revision, e.g. the single-blob "EBCPPRE2") or a canonical-string
+//! mismatch (hash collision) is *staleness*: a plain miss, overwritten
+//! in place by the next save. A checksum mismatch, truncation, or
+//! length that disagrees with the index is *corruption*: the file is
+//! quarantined (renamed to `*.corrupt`) and the front-end pass
+//! transparently re-runs, overwriting the original path (self-heal).
+//! Either way a bad entry only costs one front-end pass, never a wrong
+//! stream. [`open_stream_checked`] verifies header, index, footer
+//! **and every segment checksum** in one sequential O(segment) pass at
+//! open, so [`PreresStream::block`] reads during replay skip
+//! re-verification.
 
-use std::io::{self, Read, Write};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use ebcp_sim::frontend::{PreEvent, PreResolved};
+use ebcp_sim::frontend::{PreBlock, PreEvent, PreResolved};
 use ebcp_sim::RunSpec;
 
-use crate::job::{fnv1a64, Job, CANON_VERSION};
+use crate::job::{fnv1a64, Fnv64, Job, CANON_VERSION};
 use crate::store::{quarantine, unique_tmp, CacheRead};
 
-/// v2 ("EBCPPRE2"): appended the FNV-1a checksum footer.
-const MAGIC: &[u8; 8] = b"EBCPPRE2";
+/// v3 ("EBCPPRE3"): segmented payload with per-segment index/checksums.
+const MAGIC: &[u8; 8] = b"EBCPPRE3";
 
 /// Bytes per packed event (`pc u64, dline u64, gap u32, flags u32`).
-const EVENT_BYTES: u64 = 24;
+pub const EVENT_BYTES: u64 = 24;
+
+/// Bytes per index entry (`n_events u64, records u64, checksum u64`).
+const INDEX_ENTRY_BYTES: u64 = 24;
+
+/// Bytes of the trailing footer.
+const FOOTER_BYTES: u64 = 48;
 
 /// The canonical string [`Job::pre_key`] hashes — regenerated here so
 /// the stored collision guard and the key can never drift apart.
@@ -100,153 +126,445 @@ pub(crate) fn migrate_flat_streams(store_dir: &Path) {
     }
 }
 
-/// Loads a cached stream for `job`, or `None` on any miss, mismatch or
-/// quarantined corruption. Convenience wrapper over [`load_checked`].
-pub fn load(store_dir: &Path, job: &Job) -> Option<PreResolved> {
-    load_checked(store_dir, job).into_hit()
+// ---------------------------------------------------------------------------
+// Writing
+
+/// Streaming writer for a job's cached stream: push blocks as the
+/// front-end pass produces them; nothing but the index is buffered.
+/// Written to a pid- and sequence-unique temp file and renamed on
+/// [`PreresWriter::finish`] so concurrent writers never interleave and
+/// readers never observe a partial file.
+pub struct PreresWriter {
+    w: BufWriter<File>,
+    tmp: PathBuf,
+    path: PathBuf,
+    head_checksum: u64,
+    seg_records: u64,
+    records: u64,
+    index: Vec<(u64, u64, u64)>,
 }
 
-/// Integrity-checked load: distinguishes a valid stream, a plain miss
-/// (absent file, older magic, hash collision) and a *corrupt* file,
-/// which is quarantined (renamed to `*.corrupt`) so the caller can log
-/// it and transparently re-resolve.
-pub fn load_checked(store_dir: &Path, job: &Job) -> CacheRead<PreResolved> {
-    let path = path_for(store_dir, job);
-    let bytes = match std::fs::read(&path) {
-        Ok(b) => b,
-        Err(_) => {
-            // Read-through migration from the flat pre-sharding path.
-            let flat = flat_path_for(store_dir, job);
-            let Ok(b) = std::fs::read(&flat) else {
-                return CacheRead::Miss;
-            };
-            if let Some(parent) = path.parent() {
-                let _ = std::fs::create_dir_all(parent);
-            }
-            let _ = std::fs::rename(&flat, &path);
-            b
-        }
-    };
-
-    // Smallest well-formed file: magic + canon_len + records + n_events
-    // + checksum footer, with an empty canon and zero events.
-    if bytes.len() < 8 + 4 + 8 + 8 + 8 {
-        return quarantine(path, "truncated header".into());
-    }
-    if &bytes[..8] != MAGIC {
-        // An older format revision (e.g. the pre-checksum "EBCPPRE1")
-        // is staleness, not corruption: plain miss, overwritten on save.
-        return CacheRead::Miss;
-    }
-    let (body, footer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(footer.try_into().expect("split_at leaves 8 bytes"));
-    if fnv1a64(body) != stored {
-        return quarantine(path, "checksum mismatch".into());
-    }
-
-    let mut r = &body[8..];
-    let header_err = || quarantine(path_for(store_dir, job), "malformed header".into());
-    let Some(canon_len) = read_u32(&mut r).map(|n| n as usize) else {
-        return header_err();
-    };
-    if r.len() < canon_len {
-        return header_err();
-    }
-    let (canon, rest) = r.split_at(canon_len);
-    if canon != pre_canonical(&job.spec).as_bytes() {
-        // Collision guard: a valid stream for a *different* spec.
-        return CacheRead::Miss;
-    }
-    r = rest;
-    let (Some(records), Some(n_events)) = (read_u64(&mut r), read_u64(&mut r)) else {
-        return header_err();
-    };
-    // The payload must be *exactly* the header-implied length: trailing
-    // garbage is as disqualifying as truncation (defense in depth — the
-    // checksum already rejects appended bytes, this rejects internally
-    // consistent files whose count and payload disagree).
-    if n_events.checked_mul(EVENT_BYTES) != Some(r.len() as u64) {
-        return quarantine(
+impl PreresWriter {
+    /// Starts a stream for `job` under `store_dir`. `seg_records` is
+    /// the nominal segment length in records (recorded in the footer;
+    /// the tail block may run short).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn create(store_dir: &Path, job: &Job, seg_records: u64) -> io::Result<PreresWriter> {
+        let path = path_for(store_dir, job);
+        let dir = path.parent().expect("path_for always has a parent");
+        std::fs::create_dir_all(dir)?;
+        let canon = pre_canonical(&job.spec);
+        let mut head = Vec::with_capacity(12 + canon.len());
+        head.extend_from_slice(MAGIC);
+        head.extend_from_slice(&(canon.len() as u32).to_le_bytes());
+        head.extend_from_slice(canon.as_bytes());
+        let tmp = unique_tmp(&path, "bin");
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(&head)?;
+        Ok(PreresWriter {
+            w,
+            tmp,
             path,
-            format!(
-                "payload length {} disagrees with header event count {n_events}",
-                r.len()
-            ),
-        );
+            head_checksum: fnv1a64(&head),
+            seg_records,
+            records: 0,
+            index: Vec::new(),
+        })
     }
-    let mut events = Vec::with_capacity(usize::try_from(n_events).unwrap_or(0));
-    for _ in 0..n_events {
-        let (Some(pc), Some(dline), Some(gap), Some(flags)) = (
-            read_u64(&mut r),
-            read_u64(&mut r),
-            read_u32(&mut r),
-            read_u32(&mut r),
-        ) else {
-            return header_err();
-        };
-        events.push(PreEvent {
-            pc,
-            dline,
-            gap,
-            flags,
-        });
+
+    /// Appends one segment: `events` covering `records` trace records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn push_block(&mut self, events: &[PreEvent], records: u64) -> io::Result<()> {
+        let mut hash = Fnv64::new();
+        let mut buf = [0u8; EVENT_BYTES as usize];
+        for ev in events {
+            buf[0..8].copy_from_slice(&ev.pc.to_le_bytes());
+            buf[8..16].copy_from_slice(&ev.dline.to_le_bytes());
+            buf[16..20].copy_from_slice(&ev.gap.to_le_bytes());
+            buf[20..24].copy_from_slice(&ev.flags.to_le_bytes());
+            hash.update(&buf);
+            self.w.write_all(&buf)?;
+        }
+        self.index
+            .push((events.len() as u64, records, hash.finish()));
+        self.records += records;
+        Ok(())
     }
-    CacheRead::Hit(PreResolved {
-        events,
-        records,
-        l1i: job.spec.sim.l1i,
-        l1d: job.spec.sim.l1d,
-    })
+
+    /// Writes index + footer and atomically renames into place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures; the tmp file is removed on a
+    /// failed publish.
+    pub fn finish(mut self) -> io::Result<()> {
+        let mut index_bytes = Vec::with_capacity(self.index.len() * INDEX_ENTRY_BYTES as usize);
+        for &(n_events, records, checksum) in &self.index {
+            index_bytes.extend_from_slice(&n_events.to_le_bytes());
+            index_bytes.extend_from_slice(&records.to_le_bytes());
+            index_bytes.extend_from_slice(&checksum.to_le_bytes());
+        }
+        let mut footer = Vec::with_capacity(FOOTER_BYTES as usize);
+        footer.extend_from_slice(&self.records.to_le_bytes());
+        footer.extend_from_slice(&self.seg_records.to_le_bytes());
+        footer.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&fnv1a64(&index_bytes).to_le_bytes());
+        footer.extend_from_slice(&self.head_checksum.to_le_bytes());
+        footer.extend_from_slice(&fnv1a64(&footer).to_le_bytes());
+        let publish = (|| -> io::Result<()> {
+            self.w.write_all(&index_bytes)?;
+            self.w.write_all(&footer)?;
+            self.w.flush()?;
+            std::fs::rename(&self.tmp, &self.path)
+        })();
+        if publish.is_err() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+        publish
+    }
 }
 
-/// Saves `pre` as `job`'s cached stream, checksum footer included.
-/// Written to a pid- and sequence-unique temp file and renamed so
-/// concurrent writers never interleave into one temp file and readers
-/// never observe a partial file.
+/// Saves `pre` as `job`'s cached stream — one segment covering the
+/// whole stream (the quick-tier layout; the large tier streams blocks
+/// through [`PreresWriter`] directly).
 ///
 /// # Errors
 ///
 /// Propagates file-system failures (callers may ignore them: a failed
 /// save only loses incrementality).
 pub fn save(store_dir: &Path, job: &Job, pre: &PreResolved) -> io::Result<()> {
+    let mut w = PreresWriter::create(store_dir, job, pre.records.max(1))?;
+    w.push_block(&pre.events, pre.records)?;
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+
+#[derive(Clone)]
+struct SegEntry {
+    n_events: u64,
+    records: u64,
+    /// Byte offset of this segment's payload from the payload base.
+    byte_off: u64,
+}
+
+/// A validated, open stream whose blocks are read lazily — the
+/// bounded-memory counterpart of a loaded [`PreResolved`].
+pub struct PreresStream {
+    file: File,
+    path: PathBuf,
+    payload_base: u64,
+    records: u64,
+    seg_records: u64,
+    index: Vec<SegEntry>,
+}
+
+impl PreresStream {
+    /// Total trace records the stream stands for.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The writer's nominal segment length in records.
+    pub fn seg_records(&self) -> u64 {
+        self.seg_records
+    }
+
+    /// Number of segments.
+    pub fn n_segments(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Per-segment record counts, in order. A scatter planner needs
+    /// these to place the warm-up/measure boundary without reading a
+    /// single block — the index already carries them.
+    pub fn block_records(&self) -> Vec<u64> {
+        self.index.iter().map(|s| s.records).collect()
+    }
+
+    /// Reopens the stream on an independent file handle, cloning the
+    /// already-validated index instead of re-running the O(stream)
+    /// verification pass. Segment-parallel workers each need their own
+    /// seek position; paying the full checksum walk once per worker
+    /// would rival the replay itself on a large stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures (e.g. the file was removed
+    /// since validation).
+    pub fn reopen(&self) -> io::Result<PreresStream> {
+        Ok(PreresStream {
+            file: File::open(&self.path)?,
+            path: self.path.clone(),
+            payload_base: self.payload_base,
+            records: self.records,
+            seg_records: self.seg_records,
+            index: self.index.clone(),
+        })
+    }
+
+    /// Packed-event bytes of the largest segment — the peak resident
+    /// block cost of replaying this stream, which the harness memory
+    /// budget charges per streamed worker.
+    pub fn max_block_bytes(&self) -> u64 {
+        self.index
+            .iter()
+            .map(|s| s.n_events * EVENT_BYTES)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reads segment `k` (validated at open; no re-verification).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn block(&mut self, k: usize) -> io::Result<PreBlock> {
+        let seg = &self.index[k];
+        let mut bytes = vec![0u8; (seg.n_events * EVENT_BYTES) as usize];
+        self.file
+            .seek(SeekFrom::Start(self.payload_base + seg.byte_off))?;
+        self.file.read_exact(&mut bytes)?;
+        let mut events = Vec::with_capacity(seg.n_events as usize);
+        for ev in bytes.chunks_exact(EVENT_BYTES as usize) {
+            events.push(PreEvent {
+                pc: u64::from_le_bytes(ev[0..8].try_into().unwrap()),
+                dline: u64::from_le_bytes(ev[8..16].try_into().unwrap()),
+                gap: u32::from_le_bytes(ev[16..20].try_into().unwrap()),
+                flags: u32::from_le_bytes(ev[20..24].try_into().unwrap()),
+            });
+        }
+        Ok(PreBlock {
+            events,
+            records: seg.records,
+        })
+    }
+
+    /// Iterates blocks in order, one resident at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a file-system failure mid-iteration (the stream was
+    /// fully validated at open; a read failing mid-replay is an
+    /// environment fault).
+    pub fn blocks(&mut self) -> impl Iterator<Item = PreBlock> + '_ {
+        (0..self.index.len()).map(|k| self.block(k).expect("validated stream read mid-replay"))
+    }
+}
+
+fn read_exact_at(file: &mut File, pos: u64, buf: &mut [u8]) -> io::Result<()> {
+    file.seek(SeekFrom::Start(pos))?;
+    file.read_exact(buf)
+}
+
+fn le_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte window"))
+}
+
+/// Opens and fully validates `job`'s cached stream for block-at-a-time
+/// replay. Verification (header, index, footer, every segment
+/// checksum) runs in one sequential O(segment)-memory pass; corruption
+/// quarantines the file, staleness and collisions are plain misses —
+/// exactly the [`load_checked`] semantics.
+pub fn open_stream_checked(store_dir: &Path, job: &Job) -> CacheRead<PreresStream> {
     let path = path_for(store_dir, job);
-    let dir = path.parent().expect("path_for always has a parent");
-    std::fs::create_dir_all(dir)?;
-
-    let canon = pre_canonical(&job.spec);
-    let mut buf = Vec::with_capacity(8 + 4 + canon.len() + 16 + pre.events.len() * 24 + 8);
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&(canon.len() as u32).to_le_bytes());
-    buf.extend_from_slice(canon.as_bytes());
-    buf.extend_from_slice(&pre.records.to_le_bytes());
-    buf.extend_from_slice(&(pre.events.len() as u64).to_le_bytes());
-    for ev in &pre.events {
-        buf.extend_from_slice(&ev.pc.to_le_bytes());
-        buf.extend_from_slice(&ev.dline.to_le_bytes());
-        buf.extend_from_slice(&ev.gap.to_le_bytes());
-        buf.extend_from_slice(&ev.flags.to_le_bytes());
+    if !path.exists() {
+        // Rename-based migration from the flat pre-sharding path.
+        let flat = flat_path_for(store_dir, job);
+        if flat.is_file() {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let _ = std::fs::rename(&flat, &path);
+        }
     }
-    let checksum = fnv1a64(&buf);
-    buf.extend_from_slice(&checksum.to_le_bytes());
+    let Ok(mut file) = File::open(&path) else {
+        return CacheRead::Miss;
+    };
+    let Ok(file_len) = file.metadata().map(|m| m.len()) else {
+        return CacheRead::Miss;
+    };
 
-    let tmp = unique_tmp(&path, "bin");
+    let min_len = 12 + FOOTER_BYTES;
+    if file_len < min_len {
+        // Too short to carry a header: ours-but-cut is corruption, a
+        // foreign prefix is staleness.
+        let mut prefix = vec![0u8; file_len.min(8) as usize];
+        if read_exact_at(&mut file, 0, &mut prefix).is_err() {
+            return CacheRead::Miss;
+        }
+        return if !prefix.is_empty() && prefix.starts_with(&MAGIC[..prefix.len().min(8)]) {
+            quarantine(path, "truncated header".into())
+        } else {
+            CacheRead::Miss
+        };
+    }
+
+    let mut head_fixed = [0u8; 12];
+    if read_exact_at(&mut file, 0, &mut head_fixed).is_err() {
+        return CacheRead::Miss;
+    }
+    if &head_fixed[0..8] != MAGIC {
+        // An older format revision (e.g. the single-blob "EBCPPRE2")
+        // is staleness, not corruption: plain miss, overwritten on save.
+        return CacheRead::Miss;
+    }
+    let canon_len = u64::from(u32::from_le_bytes(
+        head_fixed[8..12].try_into().expect("4-byte window"),
+    ));
+    let payload_base = 12 + canon_len;
+    if payload_base + FOOTER_BYTES > file_len {
+        return quarantine(
+            path,
+            format!("canon length {canon_len} overruns the {file_len}-byte file"),
+        );
+    }
+
+    let mut footer = [0u8; FOOTER_BYTES as usize];
+    if read_exact_at(&mut file, file_len - FOOTER_BYTES, &mut footer).is_err() {
+        return CacheRead::Miss;
+    }
+    if fnv1a64(&footer[0..40]) != le_u64(&footer, 40) {
+        return quarantine(path, "footer checksum mismatch".into());
+    }
+    let records = le_u64(&footer, 0);
+    let seg_records = le_u64(&footer, 8);
+    let n_segs = le_u64(&footer, 16);
+    let index_checksum = le_u64(&footer, 24);
+    let head_checksum = le_u64(&footer, 32);
+
+    let mut head = vec![0u8; payload_base as usize];
+    if read_exact_at(&mut file, 0, &mut head).is_err() {
+        return CacheRead::Miss;
+    }
+    if fnv1a64(&head) != head_checksum {
+        return quarantine(path, "header checksum mismatch".into());
+    }
+    if head[12..] != *pre_canonical(&job.spec).as_bytes() {
+        // Collision guard: a valid stream for a *different* spec.
+        return CacheRead::Miss;
+    }
+
+    if n_segs > file_len / INDEX_ENTRY_BYTES {
+        return quarantine(path, format!("implausible segment count {n_segs}"));
+    }
+    let index_len = n_segs * INDEX_ENTRY_BYTES;
+    if payload_base + index_len + FOOTER_BYTES > file_len {
+        return quarantine(path, "index overruns the file".into());
+    }
+    let index_base = file_len - FOOTER_BYTES - index_len;
+    let mut index_bytes = vec![0u8; index_len as usize];
+    if read_exact_at(&mut file, index_base, &mut index_bytes).is_err() {
+        return CacheRead::Miss;
+    }
+    if fnv1a64(&index_bytes) != index_checksum {
+        return quarantine(path, "index checksum mismatch".into());
+    }
+    let mut index = Vec::with_capacity(n_segs as usize);
+    let mut byte_off = 0u64;
+    let mut rec_sum = 0u64;
+    for entry in index_bytes.chunks_exact(INDEX_ENTRY_BYTES as usize) {
+        let n_events = le_u64(entry, 0);
+        let records = le_u64(entry, 8);
+        index.push(SegEntry {
+            n_events,
+            records,
+            byte_off,
+        });
+        byte_off += n_events * EVENT_BYTES;
+        rec_sum += records;
+    }
+    if payload_base + byte_off != index_base {
+        return quarantine(
+            path,
+            format!(
+                "payload length {} disagrees with header event count {}",
+                index_base - payload_base,
+                byte_off / EVENT_BYTES
+            ),
+        );
+    }
+    if rec_sum != records {
+        return quarantine(
+            path,
+            format!("index sums to {rec_sum} records, footer claims {records}"),
+        );
+    }
+
+    // Eager integrity pass: verify every segment checksum now with one
+    // reusable O(segment) buffer, so block reads during replay can
+    // skip re-hashing.
+    let mut buf = Vec::new();
+    for (k, (seg, entry)) in index
+        .iter()
+        .zip(index_bytes.chunks_exact(INDEX_ENTRY_BYTES as usize))
+        .enumerate()
     {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&buf)?;
+        buf.resize((seg.n_events * EVENT_BYTES) as usize, 0);
+        if read_exact_at(&mut file, payload_base + seg.byte_off, &mut buf).is_err() {
+            return CacheRead::Miss;
+        }
+        if fnv1a64(&buf) != le_u64(entry, 16) {
+            return quarantine(path, format!("segment {k} checksum mismatch"));
+        }
     }
-    std::fs::rename(&tmp, &path)
+
+    CacheRead::Hit(PreresStream {
+        file,
+        path,
+        payload_base,
+        records,
+        seg_records,
+        index,
+    })
 }
 
-fn read_u32(r: &mut &[u8]) -> Option<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b).ok()?;
-    Some(u32::from_le_bytes(b))
+/// Loads a cached stream for `job`, or `None` on any miss, mismatch or
+/// quarantined corruption. Convenience wrapper over [`load_checked`].
+pub fn load(store_dir: &Path, job: &Job) -> Option<PreResolved> {
+    load_checked(store_dir, job).into_hit()
 }
 
-fn read_u64(r: &mut &[u8]) -> Option<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b).ok()?;
-    Some(u64::from_le_bytes(b))
+/// Integrity-checked load of the whole stream: distinguishes a valid
+/// stream, a plain miss (absent file, older magic, hash collision) and
+/// a *corrupt* file, which is quarantined (renamed to `*.corrupt`) so
+/// the caller can log it and transparently re-resolve.
+///
+/// Concatenates every segment — materialized-memory semantics for the
+/// quick tier; the large tier uses [`open_stream_checked`] +
+/// [`PreresStream::blocks`] instead.
+pub fn load_checked(store_dir: &Path, job: &Job) -> CacheRead<PreResolved> {
+    match open_stream_checked(store_dir, job) {
+        CacheRead::Hit(mut stream) => {
+            let total: u64 = stream.index.iter().map(|s| s.n_events).sum();
+            let mut events = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
+            for k in 0..stream.n_segments() {
+                match stream.block(k) {
+                    Ok(b) => events.extend_from_slice(&b.events),
+                    Err(_) => return CacheRead::Miss,
+                }
+            }
+            CacheRead::Hit(PreResolved {
+                events,
+                records: stream.records,
+                l1i: job.spec.sim.l1i,
+                l1d: job.spec.sim.l1d,
+            })
+        }
+        CacheRead::Miss => CacheRead::Miss,
+        CacheRead::Quarantined { path, reason } => CacheRead::Quarantined { path, reason },
+    }
 }
 
 #[cfg(test)]
@@ -274,7 +592,7 @@ mod tests {
         d
     }
 
-    fn expect_quarantined(read: CacheRead<PreResolved>, reason_part: &str) {
+    fn expect_quarantined<T>(read: CacheRead<T>, reason_part: &str) {
         match read {
             CacheRead::Quarantined { path, reason } => {
                 assert!(reason.contains(reason_part), "{reason}");
@@ -304,6 +622,34 @@ mod tests {
     }
 
     #[test]
+    fn multi_segment_stream_round_trips_blockwise() {
+        let dir = tmpdir("multiseg");
+        let j = job();
+        let pre = j.spec.pre_resolve();
+        let blocks = ebcp_sim::segment_events(&pre, 3_000);
+        let mut w = PreresWriter::create(&dir, &j, 3_000).unwrap();
+        for b in &blocks {
+            w.push_block(&b.events, b.records).unwrap();
+        }
+        w.finish().unwrap();
+
+        let mut stream = open_stream_checked(&dir, &j).into_hit().expect("hit");
+        assert_eq!(stream.records(), pre.records);
+        assert_eq!(stream.seg_records(), 3_000);
+        assert_eq!(stream.n_segments(), blocks.len());
+        assert!(stream.max_block_bytes() > 0);
+        let back: Vec<PreBlock> = stream.blocks().collect();
+        assert_eq!(back, blocks, "blocks survive the disk round trip");
+
+        // The whole-stream load concatenates the same events.
+        let loaded = load(&dir, &j).expect("hit");
+        let concat: Vec<PreEvent> = blocks.iter().flat_map(|b| b.events.clone()).collect();
+        assert_eq!(loaded.events, concat);
+        assert_eq!(loaded.records, pre.records);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn missing_file_is_a_miss() {
         let dir = tmpdir("miss");
         assert!(load(&dir, &job()).is_none());
@@ -325,7 +671,7 @@ mod tests {
         let dest = path_for(&dir, &b);
         std::fs::create_dir_all(dest.parent().unwrap()).unwrap();
         std::fs::rename(path_for(&dir, &a), dest).unwrap();
-        assert_eq!(load_checked(&dir, &b), CacheRead::Miss);
+        assert!(load_checked(&dir, &b).into_hit().is_none());
         assert!(
             path_for(&dir, &b).exists(),
             "collisions are not quarantined"
@@ -340,9 +686,9 @@ mod tests {
         save(&dir, &j, &j.spec.pre_resolve()).unwrap();
         let p = path_for(&dir, &j);
         let mut bytes = std::fs::read(&p).unwrap();
-        bytes[..8].copy_from_slice(b"EBCPPRE1");
+        bytes[..8].copy_from_slice(b"EBCPPRE2");
         std::fs::write(&p, &bytes).unwrap();
-        assert_eq!(load_checked(&dir, &j), CacheRead::Miss);
+        assert!(load_checked(&dir, &j).into_hit().is_none());
         assert!(p.exists(), "stale formats are overwritten, not quarantined");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -379,6 +725,31 @@ mod tests {
     }
 
     #[test]
+    fn mid_segment_bit_flip_is_quarantined_at_stream_open() {
+        // The streamed open must catch damage inside an interior
+        // segment up front (eager verification), not when the block is
+        // eventually read.
+        let dir = tmpdir("segflip");
+        let j = job();
+        let pre = j.spec.pre_resolve();
+        let blocks = ebcp_sim::segment_events(&pre, 4_000);
+        assert!(blocks.len() >= 3, "need interior segments");
+        let mut w = PreresWriter::create(&dir, &j, 4_000).unwrap();
+        for b in &blocks {
+            w.push_block(&b.events, b.records).unwrap();
+        }
+        w.finish().unwrap();
+        let p = path_for(&dir, &j);
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Damage payload somewhere past the first block.
+        let at = 12 + (blocks[0].events.len() + 2) * EVENT_BYTES as usize;
+        bytes[at] ^= 0x08;
+        std::fs::write(&p, &bytes).unwrap();
+        expect_quarantined(open_stream_checked(&dir, &j), "checksum mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn trailing_garbage_is_quarantined() {
         let dir = tmpdir("trailing");
         let j = job();
@@ -387,8 +758,8 @@ mod tests {
         let mut bytes = std::fs::read(&p).unwrap();
         bytes.extend_from_slice(b"garbage appended after the footer");
         std::fs::write(&p, &bytes).unwrap();
-        // The appended bytes shift the footer window, so the checksum
-        // rejects before the length check even runs.
+        // The appended bytes shift the footer window, so the footer
+        // checksum rejects before any length check even runs.
         expect_quarantined(load_checked(&dir, &j), "checksum");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -418,19 +789,23 @@ mod tests {
 
     #[test]
     fn header_payload_length_disagreement_is_quarantined() {
-        // A crafted file with a *valid* checksum whose event count
-        // disagrees with its payload length: only the exact-length
-        // check catches it.
+        // A crafted file with *valid* header/index/footer checksums
+        // whose payload length disagrees with the index event counts:
+        // only the layout-arithmetic check catches it. Insert a
+        // phantom event at the end of the payload and leave everything
+        // else untouched — the index checksums still verify (they
+        // cover the original payload spans), but the index no longer
+        // reaches the footer.
         let dir = tmpdir("exactlen");
         let j = job();
         save(&dir, &j, &j.spec.pre_resolve()).unwrap();
         let p = path_for(&dir, &j);
         let bytes = std::fs::read(&p).unwrap();
-        let mut body = bytes[..bytes.len() - 8].to_vec();
-        body.extend_from_slice(&[0u8; 24]); // one extra phantom event
-        let footer = fnv1a64(&body).to_le_bytes();
-        body.extend_from_slice(&footer);
-        std::fs::write(&p, &body).unwrap();
+        let cut = bytes.len() - (FOOTER_BYTES + INDEX_ENTRY_BYTES) as usize;
+        let mut crafted = bytes[..cut].to_vec();
+        crafted.extend_from_slice(&[0u8; EVENT_BYTES as usize]); // phantom event
+        crafted.extend_from_slice(&bytes[cut..]);
+        std::fs::write(&p, &crafted).unwrap();
         expect_quarantined(load_checked(&dir, &j), "disagrees with header event count");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -92,6 +92,11 @@ pub struct ServiceStatus {
     pub depth: usize,
     /// Pre-resolved event streams held warm by the shared harness.
     pub warm_streams: usize,
+    /// On-disk footprint of the shared harness's store (results,
+    /// pre-resolved streams, segmented traces); `None` when the
+    /// harness runs without a store — or, on the client side, when the
+    /// daemon predates the field (absent-tolerant protocol).
+    pub store: Option<crate::store::StoreFootprint>,
 }
 
 /// One completion listener: where to deliver a job's outcome.
@@ -259,6 +264,7 @@ impl JobService {
             completed: self.completed.load(Ordering::Relaxed),
             depth: self.cfg.depth,
             warm_streams: self.harness.warm_streams(),
+            store: self.harness.store_footprint(),
         }
     }
 

@@ -61,12 +61,31 @@ impl Scale {
         }
     }
 
+    /// The scale-out tier: the quick machine over **100×-longer
+    /// traces** (the warm-up/measure tenths are 100× quick's). Trace
+    /// length, not machine size, is what stresses the scaled-out
+    /// pipeline — segmented on-disk traces, block-streamed pre-resolved
+    /// events, segment-parallel replay — so this tier keeps the 1/16
+    /// machine where every prefetcher is cheap to build and spends its
+    /// time on volume. Runs are expected to use the bounded-memory
+    /// streamed path (`--mem-budget`): peak RSS stays O(segment)
+    /// regardless of trace length.
+    pub const fn large() -> Self {
+        Scale {
+            den: 16,
+            warm_tenths: 3_500,
+            measure_tenths: 1_000,
+            seed: 11,
+        }
+    }
+
     /// Parses a scale name.
     pub fn parse(name: &str) -> Option<Self> {
         match name {
             "quick" => Some(Self::quick()),
             "standard" => Some(Self::standard()),
             "full" => Some(Self::full()),
+            "large" => Some(Self::large()),
             _ => None,
         }
     }
@@ -213,7 +232,22 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::quick()));
         assert_eq!(Scale::parse("standard"), Some(Scale::standard()));
         assert_eq!(Scale::parse("full"), Some(Scale::full()));
+        assert_eq!(Scale::parse("large"), Some(Scale::large()));
         assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn large_is_quick_machine_at_100x_length() {
+        let (q, l) = (Scale::quick(), Scale::large());
+        assert_eq!(l.den, q.den, "same machine");
+        assert_eq!(l.warm_tenths, q.warm_tenths * 100);
+        assert_eq!(l.measure_tenths, q.measure_tenths * 100);
+        let w = &l.workloads()[0];
+        let (qs, ls) = (q.run_spec(w, q.machine()), l.run_spec(w, l.machine()));
+        assert_eq!(
+            ls.warmup_insts + ls.measure_insts,
+            (qs.warmup_insts + qs.measure_insts) * 100
+        );
     }
 
     #[test]

@@ -13,6 +13,47 @@ use ebcp_trace::TraceRecord;
 /// exceed one budget.
 pub const DEFAULT_MEM_BUDGET_BYTES: u64 = 1_500_000_000;
 
+/// Peak resident bytes *per trace record* a streamed (segment-at-a-time)
+/// worker charges against its budget share: one mmap'd trace-file
+/// window at 17 B/record ([`ebcp_trace::segfile`]'s fixed-width
+/// encoding) plus one packed pre-resolved event block at its 24 B/event
+/// worst case (every record an L1 miss). The materialized path used to
+/// count only the event stream; the streamed path's windows and blocks
+/// are charged here so N concurrent streamed workers still fit one
+/// process budget.
+pub const STREAMED_BYTES_PER_RECORD: u64 = 17 + 24;
+
+/// Headroom multiplier on [`STREAMED_BYTES_PER_RECORD`] covering decode
+/// scratch (one `TraceRecord` chunk), the replay engine itself and
+/// allocator slack.
+pub const STREAMED_HEADROOM: u64 = 4;
+
+/// Estimated materialized footprint of `spec`'s *pre-resolved* event
+/// stream, from the spec alone (before any front-end pass has run).
+/// Packed events are 24 B and only L1 misses plus gap fillers emit one;
+/// 8 B/record is an upper bound across every workload preset at every
+/// scale (observed densities are 1–5 B/record), so the harness errs
+/// toward streaming — which is exact — never toward blowing the budget.
+pub fn est_pre_bytes(spec: &RunSpec) -> u64 {
+    (spec.warmup_insts + spec.measure_insts) * 8
+}
+
+/// The segment length (in trace records) that keeps one streamed
+/// worker's peak resident set — mmap window + event block + headroom —
+/// inside `per_worker_bytes`, clamped to `[64 Ki, 4 Mi]` records so
+/// tiny budgets still make progress and huge ones don't defeat the
+/// point of segmenting.
+pub fn seg_records_for_budget(per_worker_bytes: u64) -> u64 {
+    (per_worker_bytes / (STREAMED_HEADROOM * STREAMED_BYTES_PER_RECORD)).clamp(1 << 16, 4 << 20)
+}
+
+/// The budget charge of one streamed worker at `seg_records` — the
+/// inverse of [`seg_records_for_budget`], used by tests and the status
+/// report.
+pub fn streamed_peak_bytes(seg_records: u64) -> u64 {
+    seg_records * STREAMED_HEADROOM * STREAMED_BYTES_PER_RECORD
+}
+
 /// A trace source: materialized when it fits the budget, streamed from
 /// a shared [`WorkloadProgram`] otherwise.
 ///
@@ -95,6 +136,23 @@ mod tests {
         let s = spec(10_000);
         let src = TraceSource::prepare_budgeted(&s, TraceSource::est_bytes(&s));
         assert!(src.is_materialized());
+    }
+
+    #[test]
+    fn seg_records_respects_budget_and_clamps() {
+        // Inside the clamp range the charge stays within budget.
+        let budget = 100_000_000;
+        let seg = seg_records_for_budget(budget);
+        assert!(streamed_peak_bytes(seg) <= budget);
+        // Tiny and huge budgets clamp instead of degenerating.
+        assert_eq!(seg_records_for_budget(0), 1 << 16);
+        assert_eq!(seg_records_for_budget(u64::MAX / 8), 4 << 20);
+    }
+
+    #[test]
+    fn est_pre_bytes_scales_with_records() {
+        let s = spec(10_000);
+        assert_eq!(est_pre_bytes(&s), 80_000);
     }
 
     #[test]

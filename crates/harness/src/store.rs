@@ -281,6 +281,137 @@ impl ResultStore {
     }
 }
 
+/// On-disk footprint of one class of store files (results, pre-resolved
+/// streams, or traces).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreClassFootprint {
+    /// Valid (non-quarantined) files.
+    pub files: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+    /// Total segments across the class's segmented files (0 for the
+    /// JSON result entries, which are not segmented).
+    pub segments: u64,
+    /// Quarantined `*.corrupt` files still on disk.
+    pub corrupt: u64,
+}
+
+/// On-disk footprint of a whole result store: what `repro status`
+/// reports, locally or through the sweep service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreFootprint {
+    /// Cached simulation results (`<id>.json`).
+    pub results: StoreClassFootprint,
+    /// Pre-resolved event streams (`preres/*.bin`).
+    pub preres: StoreClassFootprint,
+    /// Segmented binary traces (`traces/*.seg`).
+    pub traces: StoreClassFootprint,
+}
+
+impl StoreFootprint {
+    /// Total bytes across every class.
+    pub const fn total_bytes(&self) -> u64 {
+        self.results.bytes + self.preres.bytes + self.traces.bytes
+    }
+}
+
+/// Segment count from the 48-byte checksummed footer shared by the
+/// segmented trace and pre-resolved stream formats (`n_segs` at offset
+/// 16, self-checksum over the first 40 bytes at offset 40). `None` when
+/// the file is too short or the footer does not verify — the scan then
+/// counts the file's bytes but no segments, without quarantining
+/// (footprint reporting is read-only).
+fn footer_segments(path: &Path) -> Option<u64> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = fs::File::open(path).ok()?;
+    let len = f.metadata().ok()?.len();
+    if len < 48 {
+        return None;
+    }
+    let mut footer = [0u8; 48];
+    f.seek(SeekFrom::Start(len - 48)).ok()?;
+    f.read_exact(&mut footer).ok()?;
+    let stored = u64::from_le_bytes(footer[40..48].try_into().ok()?);
+    if fnv1a64(&footer[0..40]) != stored {
+        return None;
+    }
+    Some(u64::from_le_bytes(footer[16..24].try_into().ok()?))
+}
+
+/// Scans one class directory tree, tallying files with `suffix` (and
+/// their `.corrupt` quarantines); `segmented` adds per-file footer
+/// segment counts.
+fn scan_class(root: &Path, suffix: &str, segmented: bool) -> StoreClassFootprint {
+    let mut out = StoreClassFootprint::default();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".corrupt") {
+                out.corrupt += 1;
+                continue;
+            }
+            if !name.ends_with(suffix) {
+                continue;
+            }
+            out.files += 1;
+            out.bytes += entry.metadata().map_or(0, |m| m.len());
+            if segmented {
+                out.segments += footer_segments(&path).unwrap_or(0);
+            }
+        }
+    }
+    out
+}
+
+/// Scans a store directory and reports its on-disk footprint: file and
+/// byte counts for result entries, pre-resolved streams and segmented
+/// traces, segment counts for the segmented classes, and leftover
+/// quarantines. Read-only and best-effort (unreadable entries are
+/// skipped); safe to run concurrently with active sweeps.
+pub fn store_footprint(dir: &Path) -> StoreFootprint {
+    let mut results = StoreClassFootprint::default();
+    // Result entries live in 2-hex shard directories directly under the
+    // root (plus any not-yet-migrated flat files); `preres/` and
+    // `traces/` are separate classes.
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if path.is_dir() && name != "preres" && name != "traces" {
+                let sub = scan_class(&path, ".json", false);
+                results.files += sub.files;
+                results.bytes += sub.bytes;
+                results.corrupt += sub.corrupt;
+            } else if path.is_file() && is_store_entry_name(name) {
+                if name.ends_with(".corrupt") {
+                    results.corrupt += 1;
+                } else {
+                    results.files += 1;
+                    results.bytes += entry.metadata().map_or(0, |m| m.len());
+                }
+            }
+        }
+    }
+    StoreFootprint {
+        results,
+        preres: scan_class(&dir.join("preres"), ".bin", true),
+        traces: scan_class(&dir.join("traces"), ".seg", true),
+    }
+}
+
 /// The integrity checksum stored with each entry: FNV-1a over the
 /// *compact* serialization of the result value, so pretty-printing
 /// whitespace can never perturb it.

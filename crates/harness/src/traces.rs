@@ -1,0 +1,252 @@
+//! On-disk store of generated traces in the segmented binary format.
+//!
+//! Trace generation is deterministic, so this store is a *performance*
+//! cache, not a correctness one: a trace depends only on
+//! `(workload, seed, record count)`, and with the store enabled
+//! ([`crate::HarnessConfig::trace_store`]) each workload is generated
+//! **once**, written through [`TraceSink`] in one streaming pass, and
+//! every later front-end pass replays the file zero-copy through an
+//! mmap'd [`SegmentedTrace`] window (O(segment) resident) instead of
+//! re-running the generator.
+//!
+//! Files live under `<store_dir>/traces/<2-hex>/<trace_key>.seg`,
+//! sharded like result entries. The cache discipline matches the rest
+//! of the store: the file's meta field carries the full canonical
+//! string its name hashes (collision guard); a wrong-version or
+//! wrong-meta file is *staleness* — regenerated in place; a checksum or
+//! length failure is *corruption* — the file is quarantined
+//! (`*.corrupt`) and transparently regenerated.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ebcp_sim::{Engine, RunSpec};
+use ebcp_trace::{Backing, SegfileError, SegmentedTrace, TraceGenerator, TraceSink};
+
+use crate::job::{fnv1a64, CANON_VERSION};
+use crate::store::{quarantine, CacheRead};
+
+/// The canonical string a trace file's name hashes and its meta field
+/// stores verbatim. Covers everything generation depends on — and the
+/// record count, so length changes never alias.
+pub fn trace_canonical(spec: &RunSpec) -> String {
+    format!(
+        "{CANON_VERSION}|trace|{:?}|{}|{}",
+        spec.workload,
+        spec.seed,
+        spec.warmup_insts + spec.measure_insts,
+    )
+}
+
+/// Stable identity of `spec`'s trace in the store.
+pub fn trace_key(spec: &RunSpec) -> u64 {
+    fnv1a64(trace_canonical(spec).as_bytes())
+}
+
+/// Store path for `spec`'s trace (sharded by the key's first two hex
+/// digits). The file may or may not exist.
+pub fn path_for(store_dir: &Path, spec: &RunSpec) -> PathBuf {
+    let name = format!("{:016x}.seg", trace_key(spec));
+    store_dir.join("traces").join(&name[..2]).join(name)
+}
+
+/// Generates `spec`'s trace into the store in one streaming pass
+/// (chunked generation feeding [`TraceSink`]; nothing materialized) and
+/// returns the record count written. Publication is atomic — temp file
+/// + rename — so concurrent generators race benignly.
+///
+/// # Errors
+///
+/// Propagates file-system failures.
+pub fn generate(store_dir: &Path, spec: &RunSpec, seg_records: u64) -> io::Result<u64> {
+    let path = path_for(store_dir, spec);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let meta = trace_canonical(spec);
+    let mut sink = TraceSink::create(&path, meta.as_bytes(), seg_records)?;
+    let mut gen = TraceGenerator::new(&spec.workload, spec.seed);
+    let mut chunk = Vec::with_capacity(Engine::CHUNK_RECORDS);
+    let mut left = spec.warmup_insts + spec.measure_insts;
+    while left > 0 {
+        let want = (Engine::CHUNK_RECORDS as u64).min(left) as usize;
+        let got = gen.next_chunk(&mut chunk, want);
+        if got == 0 {
+            break;
+        }
+        sink.push_chunk(&chunk)?;
+        left -= got as u64;
+    }
+    sink.finish()
+}
+
+/// Opens `spec`'s stored trace for zero-copy replay, generating (or
+/// regenerating) it as needed: a missing or stale file is written in
+/// place; a corrupt file is quarantined — reported through
+/// `on_quarantine` — and regenerated (self-heal). At most one
+/// regeneration is attempted; a file that fails to verify immediately
+/// after being written is an environment fault and surfaces as an
+/// error.
+///
+/// # Errors
+///
+/// Propagates file-system failures and regeneration that fails to
+/// verify.
+pub fn open_or_generate(
+    store_dir: &Path,
+    spec: &RunSpec,
+    seg_records: u64,
+    backing: Backing,
+    mut on_quarantine: impl FnMut(PathBuf, String),
+) -> io::Result<SegmentedTrace> {
+    let path = path_for(store_dir, spec);
+    let meta = trace_canonical(spec);
+    let mut regenerated = false;
+    loop {
+        match SegmentedTrace::open(&path, meta.as_bytes(), backing) {
+            Ok(t) => return Ok(t),
+            Err(e) => {
+                if regenerated {
+                    return Err(io::Error::other(format!(
+                        "freshly generated trace {} failed to verify: {e}",
+                        path.display()
+                    )));
+                }
+                if let SegfileError::Corrupt(reason) = &e {
+                    if let CacheRead::Quarantined { path, reason } =
+                        quarantine::<()>(path.clone(), reason.clone())
+                    {
+                        on_quarantine(path, reason);
+                    }
+                }
+                // Stale, corrupt (now moved aside), missing, or
+                // unreadable: regenerate over the top.
+                generate(store_dir, spec, seg_records)?;
+                regenerated = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebcp_sim::SimConfig;
+    use ebcp_trace::{ChunkSource, TraceRecord, WorkloadSpec};
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            workload: WorkloadSpec::database().scaled(1, 16),
+            seed: 21,
+            warmup_insts: 6_000,
+            measure_insts: 6_000,
+            sim: SimConfig::scaled_down(16),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ebcp-traces-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn collect_all(src: &mut dyn ChunkSource) -> Vec<TraceRecord> {
+        let mut all = Vec::new();
+        let mut chunk = Vec::new();
+        while src.next_chunk(&mut chunk, 4096) > 0 {
+            all.extend_from_slice(&chunk);
+        }
+        all
+    }
+
+    #[test]
+    fn stored_trace_replays_identically_to_the_generator() {
+        let dir = tmpdir("identical");
+        let s = spec();
+        let mut seg = open_or_generate(&dir, &s, 1_000, Backing::Mmap, |_, _| {
+            panic!("fresh store cannot quarantine")
+        })
+        .unwrap();
+        assert_eq!(seg.records(), 12_000);
+        assert_eq!(seg.n_segments(), 12);
+        let from_store = collect_all(&mut seg);
+        let direct = TraceGenerator::new(&s.workload, s.seed).collect_n(from_store.len());
+        assert_eq!(from_store, direct);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_open_reuses_the_file() {
+        let dir = tmpdir("reuse");
+        let s = spec();
+        let _ = open_or_generate(&dir, &s, 2_000, Backing::Buffered, |_, _| {}).unwrap();
+        let p = path_for(&dir, &s);
+        let written = std::fs::metadata(&p).unwrap().modified().unwrap();
+        let again = open_or_generate(&dir, &s, 2_000, Backing::Buffered, |_, _| {
+            panic!("valid file must not be quarantined")
+        })
+        .unwrap();
+        assert_eq!(again.records(), 12_000);
+        assert_eq!(
+            std::fs::metadata(&p).unwrap().modified().unwrap(),
+            written,
+            "a valid cached trace must not be regenerated"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_trace_is_quarantined_and_regenerated() {
+        let dir = tmpdir("heal");
+        let s = spec();
+        let _ = open_or_generate(&dir, &s, 2_000, Backing::Buffered, |_, _| {}).unwrap();
+        let p = path_for(&dir, &s);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+        let mut seen = Vec::new();
+        let seg = open_or_generate(&dir, &s, 2_000, Backing::Buffered, |path, reason| {
+            seen.push((path, reason));
+        })
+        .unwrap();
+        assert_eq!(seg.records(), 12_000, "self-healed trace replays");
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0].0.to_string_lossy().ends_with(".corrupt"));
+        assert!(seen[0].0.is_file(), "corrupt bytes preserved");
+        assert!(seen[0].1.contains("checksum"), "{}", seen[0].1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_trace_is_regenerated_without_quarantine() {
+        let dir = tmpdir("stale");
+        let s = spec();
+        let _ = open_or_generate(&dir, &s, 2_000, Backing::Buffered, |_, _| {}).unwrap();
+        let p = path_for(&dir, &s);
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[..8].copy_from_slice(b"EBCPSEG0"); // an older format revision
+        std::fs::write(&p, &bytes).unwrap();
+        let seg = open_or_generate(&dir, &s, 2_000, Backing::Buffered, |_, reason| {
+            panic!("stale is not corruption: {reason}")
+        })
+        .unwrap();
+        assert_eq!(seg.records(), 12_000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_specs_key_different_files() {
+        let a = spec();
+        let mut b = spec();
+        b.seed = 22;
+        let mut c = spec();
+        c.measure_insts += 1;
+        assert_ne!(trace_key(&a), trace_key(&b));
+        assert_ne!(trace_key(&a), trace_key(&c));
+        let dir = Path::new("/store");
+        let pa = path_for(dir, &a);
+        assert!(pa.starts_with("/store/traces"));
+        assert!(pa.to_string_lossy().ends_with(".seg"));
+    }
+}

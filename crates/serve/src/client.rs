@@ -271,6 +271,9 @@ impl Client {
             completed: n("completed")?,
             depth: n("depth")? as usize,
             warm_streams: n("warm_streams")? as usize,
+            // Absent-tolerant: a storeless (or older) daemon sends no
+            // footprint.
+            store: msg.get("store").and_then(crate::proto::footprint_from_json),
         })
     }
 

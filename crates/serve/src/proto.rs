@@ -29,7 +29,8 @@ use ebcp_harness::cmp::{cmp_result_from_json, cmp_result_to_json};
 use ebcp_harness::store::{result_from_json, result_to_json};
 use ebcp_harness::telemetry::Event;
 use ebcp_harness::{
-    json, CmpOutcome, CmpResultRow, JobId, JobOutcome, ResultRow, ServiceStatus, Value,
+    json, CmpOutcome, CmpResultRow, JobId, JobOutcome, ResultRow, ServiceStatus,
+    StoreClassFootprint, StoreFootprint, Value,
 };
 
 /// Protocol version; bump on incompatible message changes.
@@ -268,9 +269,11 @@ pub fn resp_done(submitted: usize, unique: usize, failed: usize) -> Value {
     ])
 }
 
-/// `status` response.
+/// `status` response. The `store` object is present only when the
+/// daemon's harness has a disk store; clients must tolerate its
+/// absence (older daemons never send it).
 pub fn resp_status(st: &ServiceStatus) -> Value {
-    obj(vec![
+    let mut fields = vec![
         ("event", Value::Str("status".into())),
         ("queued", Value::Int(st.queued as u64)),
         ("running", Value::Int(st.running as u64)),
@@ -278,7 +281,49 @@ pub fn resp_status(st: &ServiceStatus) -> Value {
         ("completed", Value::Int(st.completed)),
         ("depth", Value::Int(st.depth as u64)),
         ("warm_streams", Value::Int(st.warm_streams as u64)),
+    ];
+    if let Some(fp) = &st.store {
+        fields.push(("store", footprint_to_json(fp)));
+    }
+    obj(fields)
+}
+
+/// Encodes a store footprint as the status line's `store` object.
+pub fn footprint_to_json(fp: &StoreFootprint) -> Value {
+    let class = |c: &StoreClassFootprint| {
+        obj(vec![
+            ("files", Value::Int(c.files)),
+            ("bytes", Value::Int(c.bytes)),
+            ("segments", Value::Int(c.segments)),
+            ("corrupt", Value::Int(c.corrupt)),
+        ])
+    };
+    obj(vec![
+        ("results", class(&fp.results)),
+        ("preres", class(&fp.preres)),
+        ("traces", class(&fp.traces)),
+        ("total_bytes", Value::Int(fp.total_bytes())),
     ])
+}
+
+/// Decodes a status line's `store` object; `None` if any field is
+/// missing or mistyped (treated as "daemon reported no footprint").
+pub fn footprint_from_json(v: &Value) -> Option<StoreFootprint> {
+    let class = |key: &str| -> Option<StoreClassFootprint> {
+        let c = v.get(key)?;
+        let n = |f: &str| c.get(f).and_then(Value::as_u64);
+        Some(StoreClassFootprint {
+            files: n("files")?,
+            bytes: n("bytes")?,
+            segments: n("segments")?,
+            corrupt: n("corrupt")?,
+        })
+    };
+    Some(StoreFootprint {
+        results: class("results")?,
+        preres: class("preres")?,
+        traces: class("traces")?,
+    })
 }
 
 /// Decodes a `cell` line back into a [`ResultRow`].
@@ -392,6 +437,54 @@ mod tests {
         );
         let err = c.recv().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn status_store_footprint_is_absent_tolerant_and_round_trips() {
+        let bare = ServiceStatus {
+            queued: 1,
+            running: 2,
+            clients: 1,
+            completed: 9,
+            depth: 64,
+            warm_streams: 3,
+            store: None,
+        };
+        let v = json::parse(&resp_status(&bare).to_json()).unwrap();
+        assert!(v.get("store").is_none(), "storeless daemon sends no store");
+        assert!(footprint_from_json(&Value::Obj(vec![])).is_none());
+
+        let fp = StoreFootprint {
+            results: StoreClassFootprint {
+                files: 12,
+                bytes: 34_567,
+                segments: 0,
+                corrupt: 1,
+            },
+            preres: StoreClassFootprint {
+                files: 3,
+                bytes: 1 << 20,
+                segments: 17,
+                corrupt: 0,
+            },
+            traces: StoreClassFootprint {
+                files: 2,
+                bytes: 1 << 22,
+                segments: 40,
+                corrupt: 0,
+            },
+        };
+        let with = ServiceStatus {
+            store: Some(fp),
+            ..bare
+        };
+        let v = json::parse(&resp_status(&with).to_json()).unwrap();
+        let back = v.get("store").and_then(footprint_from_json).unwrap();
+        assert_eq!(back, fp);
+        assert_eq!(
+            v.get("store").unwrap().get("total_bytes").unwrap().as_u64(),
+            Some(fp.total_bytes())
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ use ebcp_mem::{
     MemOutcome, MemStats, MemorySystem, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache,
 };
 use ebcp_prefetch::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
-use ebcp_trace::TraceGenerator;
+use ebcp_trace::ChunkSource;
 use ebcp_trace::TraceRecord;
 use ebcp_types::{AccessKind, Cycle, LineAddr, MemClass, Pc};
 
@@ -235,11 +235,13 @@ impl Engine {
     ///
     /// Produces exactly the same simulation as calling
     /// [`Engine::step`] on `total` records pulled one at a time from
-    /// the generator's iterator — the generator guarantees
-    /// `next_chunk` preserves the record sequence — but the hot loop
-    /// runs over a contiguous `&[TraceRecord]` instead of ticking an
-    /// iterator per record.
-    pub fn run_chunks(&mut self, gen: &mut TraceGenerator, total: u64) {
+    /// the source — every [`ChunkSource`] guarantees `next_chunk`
+    /// preserves the record sequence — but the hot loop runs over a
+    /// contiguous `&[TraceRecord]` instead of ticking an iterator per
+    /// record. The source may be a live [`TraceGenerator`] or an
+    /// on-disk [`ebcp_trace::SegmentedTrace`]; either way at most one
+    /// chunk (plus the source's own window) is resident.
+    pub fn run_chunks<S: ChunkSource>(&mut self, gen: &mut S, total: u64) {
         let mut chunk = Vec::with_capacity(Self::CHUNK_RECORDS);
         let mut left = total;
         while left > 0 {
@@ -1460,7 +1462,7 @@ mod tests {
     #[test]
     fn replay_matches_stepping_mixed_trace() {
         use crate::frontend::PreResolved;
-        use ebcp_trace::WorkloadSpec;
+        use ebcp_trace::{TraceGenerator, WorkloadSpec};
 
         let spec = WorkloadSpec::database().scaled(1, 32);
         let records: Vec<TraceRecord> = TraceGenerator::new(&spec, 11).take(60_000).collect();

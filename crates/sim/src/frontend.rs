@@ -344,6 +344,30 @@ impl PreResolved {
     }
 }
 
+/// One bounded span of a pre-resolved stream: the events covering
+/// `records` consecutive trace records, cut at a record boundary.
+///
+/// Cutting is replay-**exact**: a boundary that lands inside a gap
+/// flushes the prefix as a pure filler event, and clock advance over
+/// inert records is linear in record count with issue-slot phase carried
+/// across calls (the same invariance behind the `u32::MAX` gap-overflow
+/// filler), so replaying blocks back to back on one engine is the same
+/// computation as replaying the unsplit stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreBlock {
+    /// The packed events of this span.
+    pub events: Vec<PreEvent>,
+    /// Trace records the span stands for.
+    pub records: u64,
+}
+
+impl PreBlock {
+    /// Estimated heap footprint of this block's packed events.
+    pub fn est_bytes(&self) -> u64 {
+        (self.events.len() * std::mem::size_of::<PreEvent>()) as u64
+    }
+}
+
 /// Incremental builder for a [`PreResolved`] stream: feed trace records
 /// in order (chunked delivery works — the builder keeps no record
 /// history, only the L1 model and a gap counter).
@@ -353,6 +377,8 @@ pub struct PreResolver {
     gap: u32,
     events: Vec<PreEvent>,
     records: u64,
+    /// `records` as of the last [`PreResolver::split_block`] call.
+    records_mark: u64,
     l1i: ebcp_mem::CacheGeometry,
     l1d: ebcp_mem::CacheGeometry,
 }
@@ -365,6 +391,7 @@ impl PreResolver {
             gap: 0,
             events: Vec::new(),
             records: 0,
+            records_mark: 0,
             l1i: cfg.l1i,
             l1d: cfg.l1d,
         }
@@ -415,6 +442,37 @@ impl PreResolver {
         self.gap = gap;
     }
 
+    /// Cuts the stream here and hands back everything resolved since
+    /// the previous cut as a [`PreBlock`], flushing any pending gap as
+    /// a pure filler so the block stands for a whole number of records.
+    ///
+    /// The L1 model carries over untouched — the next block continues
+    /// the same front-end state — so the concatenated blocks replay
+    /// identically to the unsplit stream. This is how the large tier
+    /// streams a trace through pre-resolution in O(segment) memory.
+    pub fn split_block(&mut self) -> PreBlock {
+        if self.gap > 0 {
+            self.events.push(PreEvent {
+                pc: 0,
+                dline: 0,
+                gap: self.gap,
+                flags: 0,
+            });
+            self.gap = 0;
+        }
+        let records = self.records - self.records_mark;
+        self.records_mark = self.records;
+        PreBlock {
+            events: std::mem::take(&mut self.events),
+            records,
+        }
+    }
+
+    /// Trace records resolved since the last [`PreResolver::split_block`].
+    pub fn pending_records(&self) -> u64 {
+        self.records - self.records_mark
+    }
+
     /// Finishes the stream, flushing any trailing gap as a filler.
     pub fn finish(mut self) -> PreResolved {
         if self.gap > 0 {
@@ -432,6 +490,75 @@ impl PreResolver {
             l1d: self.l1d,
         }
     }
+}
+
+/// Cuts a monolithic pre-resolved stream into [`PreBlock`]s of
+/// `seg_records` records each (the last block may be shorter). A
+/// boundary that lands inside an event's gap splits the gap into a
+/// pure filler (closing the block) plus the remainder carried by the
+/// event — replay-exact, see [`PreBlock`].
+///
+/// # Panics
+///
+/// Panics if `seg_records` is zero.
+pub fn segment_events(pre: &PreResolved, seg_records: u64) -> Vec<PreBlock> {
+    assert!(seg_records > 0, "segment length must be at least 1 record");
+    let mut blocks =
+        Vec::with_capacity(usize::try_from(pre.records / seg_records + 1).unwrap_or(1));
+    let mut cur: Vec<PreEvent> = Vec::new();
+    let mut fill = 0u64;
+    fn close(blocks: &mut Vec<PreBlock>, cur: &mut Vec<PreEvent>, records: u64) {
+        blocks.push(PreBlock {
+            events: std::mem::take(cur),
+            records,
+        });
+    }
+    for ev in &pre.events {
+        let mut gap = u64::from(ev.gap);
+        while fill + gap >= seg_records {
+            // Boundary inside (or at the end of) the inert run: flush
+            // the prefix as a filler and close the block.
+            let take = seg_records - fill;
+            if take > 0 {
+                cur.push(PreEvent {
+                    pc: 0,
+                    dline: 0,
+                    gap: u32::try_from(take).expect("gap prefix fits u32"),
+                    flags: 0,
+                });
+            }
+            gap -= take;
+            close(&mut blocks, &mut cur, seg_records);
+            fill = 0;
+        }
+        if ev.flags != 0 {
+            cur.push(PreEvent {
+                pc: ev.pc,
+                dline: ev.dline,
+                gap: gap as u32,
+                flags: ev.flags,
+            });
+            fill += gap + 1;
+            if fill == seg_records {
+                close(&mut blocks, &mut cur, seg_records);
+                fill = 0;
+            }
+        } else if gap > 0 {
+            // Remainder of a pure filler (gap-counter overflow or
+            // stream tail): stays a filler in the open block.
+            cur.push(PreEvent {
+                pc: 0,
+                dline: 0,
+                gap: gap as u32,
+                flags: 0,
+            });
+            fill += gap;
+        }
+    }
+    if fill > 0 || blocks.is_empty() {
+        close(&mut blocks, &mut cur, fill);
+    }
+    blocks
 }
 
 /// Resume position inside a pre-resolved stream, so replay can stop at

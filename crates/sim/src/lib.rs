@@ -50,6 +50,7 @@ pub mod frontend;
 pub mod lockstep;
 pub mod metrics;
 pub mod runner;
+pub mod segment;
 
 pub use cmp::{CmpEngine, CmpResult};
 #[cfg(any(test, feature = "stepping-oracle"))]
@@ -58,7 +59,13 @@ pub use config::{CoreConfig, SimConfig};
 pub use des::{Tick, WakeHeap};
 pub use ebcp_mem::SimdTier;
 pub use engine::Engine;
-pub use frontend::{FrontEnd, PreEvent, PreResolved, PreResolver, ReplayCursor};
+pub use frontend::{
+    segment_events, FrontEnd, PreBlock, PreEvent, PreResolved, PreResolver, ReplayCursor,
+};
 pub use lockstep::Lockstep;
 pub use metrics::SimResult;
 pub use runner::{CmpSpec, PrefetcherSpec, RunSpec};
+pub use segment::{
+    run_pipelined, run_preresolved_blocks, run_preresolved_blocks_many, run_scatter,
+    run_scatter_spans_with, run_scatter_with,
+};

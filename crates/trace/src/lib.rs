@@ -48,6 +48,7 @@
 pub mod gen;
 pub mod io;
 pub mod record;
+pub mod segfile;
 pub mod spec;
 pub mod stats;
 pub mod template;
@@ -55,5 +56,32 @@ pub mod template;
 pub use gen::TraceGenerator;
 pub use io::{read_trace, write_trace, TraceCodecError};
 pub use record::{Op, TraceRecord};
+pub use segfile::{Backing, SegfileError, SegmentedTrace, TraceSink};
 pub use spec::WorkloadSpec;
 pub use stats::TraceStats;
+
+/// Chunked trace delivery: refill `out` with up to `max` records,
+/// preserving the underlying sequence across calls; `0` means the
+/// source is exhausted (generators are infinite and never return `0`
+/// for `max > 0`).
+///
+/// This is the contract [`TraceGenerator::next_chunk`] has always had;
+/// the trait exists so the engine's chunked run loop and the two-phase
+/// front end accept either a live generator or an on-disk
+/// [`SegmentedTrace`] without materializing the records in between.
+pub trait ChunkSource {
+    /// Refills `out` (cleared first) with up to `max` records.
+    fn next_chunk(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize;
+}
+
+impl ChunkSource for TraceGenerator {
+    fn next_chunk(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        TraceGenerator::next_chunk(self, out, max)
+    }
+}
+
+impl ChunkSource for SegmentedTrace {
+    fn next_chunk(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        SegmentedTrace::next_chunk(self, out, max)
+    }
+}
