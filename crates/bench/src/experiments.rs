@@ -316,12 +316,17 @@ pub fn fig9_paper(workload: &str, prefetcher: &str) -> Option<f64> {
 }
 
 /// **Figure 9**: every prefetcher at degree 6 with equal table budgets.
+/// The comparison extends the paper's bars with the modern competitor
+/// roster (`triangel`, `amc`) and the neural-off-chip-filtered EBCP
+/// (`ebcp+nof`); the paper-quoted values still anchor the original
+/// eight plus EBCP.
 pub fn fig9(h: &Harness, scale: Scale) -> Vec<CmpPoint> {
     let workloads = scale.workloads();
     let roster: Vec<PrefetcherSpec> = {
         let mut pfs: Vec<PrefetcherSpec> = scale
             .figure9_roster()
             .into_iter()
+            .chain(scale.modern_roster())
             .map(|(n, c)| PrefetcherSpec::baseline(n, c))
             .collect();
         pfs.push(PrefetcherSpec::Ebcp(
@@ -330,6 +335,9 @@ pub fn fig9(h: &Harness, scale: Scale) -> Vec<CmpPoint> {
         pfs.push(PrefetcherSpec::Ebcp(
             EbcpConfig::comparison_minus().with_table_entries(scale.entries(1 << 20)),
         ));
+        pfs.push(PrefetcherSpec::filtered(PrefetcherSpec::Ebcp(
+            EbcpConfig::comparison().with_table_entries(scale.entries(1 << 20)),
+        )));
         pfs
     };
     let mut jobs: Vec<Job> = Vec::new();

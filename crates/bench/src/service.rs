@@ -249,14 +249,25 @@ fn print_footprint(fp: &ebcp_harness::StoreFootprint) {
             line.push_str(&format!(", {} segment(s)", c.segments));
         }
         if c.corrupt > 0 {
-            line.push_str(&format!(", {} quarantined", c.corrupt));
+            line.push_str(&format!(
+                ", {} quarantined ({})",
+                c.corrupt,
+                human_bytes(c.quarantined_bytes)
+            ));
         }
         println!("{line}");
     };
     class("results", &fp.results);
     class("preres", &fp.preres);
     class("traces", &fp.traces);
-    println!("store total    {}", human_bytes(fp.total_bytes()));
+    let mut total = format!("store total    {}", human_bytes(fp.total_bytes()));
+    if fp.quarantined_bytes() > 0 {
+        total.push_str(&format!(
+            " (+{} quarantined)",
+            human_bytes(fp.quarantined_bytes())
+        ));
+    }
+    println!("{total}");
 }
 
 /// `repro status --addr ADDR`: queue snapshot (and the daemon store's

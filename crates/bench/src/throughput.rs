@@ -56,12 +56,16 @@ pub fn roster(scale: Scale) -> Vec<PrefetcherSpec> {
 
 /// Every prefetcher any experiment driver registers: the throughput
 /// roster plus the Figure 9 comparison roster (capacity-matched
-/// baselines, tuned EBCP, EBCP-minus), deduplicated by name. This is
-/// the "all prefetchers" column of a sweep-mode cell, and the roster
-/// the differential replay gate must cover.
+/// baselines, tuned EBCP, EBCP-minus), the modern competitor roster
+/// (Triangel, AMC) and the off-chip-filtered compositions, deduplicated
+/// by name. This is the "all prefetchers" column of a sweep-mode cell,
+/// and the roster the differential replay gate must cover.
 pub fn sweep_roster(scale: Scale) -> Vec<PrefetcherSpec> {
     let mut pfs = roster(scale);
     for (name, cfg) in scale.figure9_roster() {
+        pfs.push(PrefetcherSpec::baseline(name, cfg));
+    }
+    for (name, cfg) in scale.modern_roster() {
         pfs.push(PrefetcherSpec::baseline(name, cfg));
     }
     pfs.push(PrefetcherSpec::Ebcp(
@@ -70,6 +74,15 @@ pub fn sweep_roster(scale: Scale) -> Vec<PrefetcherSpec> {
     pfs.push(PrefetcherSpec::Ebcp(
         EbcpConfig::comparison_minus().with_table_entries(scale.entries(1 << 20)),
     ));
+    // The neural off-chip filter composed over the main contender and a
+    // cheap baseline ("{inner}+nof" cells).
+    pfs.push(PrefetcherSpec::filtered(PrefetcherSpec::Ebcp(
+        EbcpConfig::comparison().with_table_entries(scale.entries(1 << 20)),
+    )));
+    pfs.push(PrefetcherSpec::filtered(PrefetcherSpec::baseline(
+        "stream",
+        BaselineConfig::Stream(StreamConfig::default()),
+    )));
     let mut seen = std::collections::HashSet::new();
     pfs.retain(|p| seen.insert(p.name()));
     pfs
@@ -79,7 +92,7 @@ pub fn sweep_roster(scale: Scale) -> Vec<PrefetcherSpec> {
 /// do not contend for cores and the numbers are comparable run to run).
 pub fn measure(scale: Scale) -> Vec<ThroughputRow> {
     let mut rows = Vec::new();
-    for w in scale.workloads() {
+    for w in scale.workloads_all() {
         let spec = scale.run_spec(&w, scale.machine());
         let trace = spec.materialize();
         for pf in roster(scale) {
@@ -129,7 +142,7 @@ pub struct SweepRow {
 pub fn measure_sweep(scale: Scale) -> Vec<SweepRow> {
     use ebcp_sim::frontend::PreResolved;
     let mut rows = Vec::new();
-    for w in scale.workloads() {
+    for w in scale.workloads_all() {
         let spec = scale.run_spec(&w, scale.machine());
         let trace = spec.materialize();
         let roster = sweep_roster(scale);
@@ -213,7 +226,7 @@ pub struct LockstepRow {
 pub fn measure_lockstep(scale: Scale) -> Vec<LockstepRow> {
     use ebcp_sim::frontend::PreResolved;
     let mut rows = Vec::new();
-    for w in scale.workloads() {
+    for w in scale.workloads_all() {
         let spec = scale.run_spec(&w, scale.machine());
         let trace = spec.materialize();
         let roster = sweep_roster(scale);
@@ -361,8 +374,10 @@ pub fn cmp_geomean_mips(rows: &[CmpThroughputRow]) -> f64 {
 }
 
 /// Encodes the matrix plus the sweep, lockstep and CMP cells as the
-/// `BENCH_throughput.json` document (schema 4; schema 3 had no CMP
-/// section, schema 2 no lockstep section, schema 1 no sweep section).
+/// `BENCH_throughput.json` document (schema 5; schema 4 predates the
+/// modern competitor roster and the evolving-graph workload, schema 3
+/// had no CMP section, schema 2 no lockstep section, schema 1 no sweep
+/// section).
 pub fn to_json(
     scale: Scale,
     rows: &[ThroughputRow],
@@ -423,7 +438,7 @@ pub fn to_json(
         })
         .collect();
     Value::Obj(vec![
-        ("schema".into(), Value::Int(4)),
+        ("schema".into(), Value::Int(5)),
         ("scale_den".into(), Value::Int(scale.den)),
         ("geomean_mips".into(), Value::Num(geomean_mips(rows))),
         (
@@ -747,7 +762,7 @@ pub const EVENT_KINDS: [&str; 9] = [
 pub fn event_mix(scale: Scale) -> Vec<EventMixRow> {
     use ebcp_sim::frontend::{PreResolved, ResolvedOp};
     let mut rows = Vec::new();
-    for w in scale.workloads() {
+    for w in scale.workloads_all() {
         let spec = scale.run_spec(&w, scale.machine());
         let trace = spec.materialize();
         let pre = PreResolved::from_records(&spec.sim, &trace);
@@ -886,7 +901,7 @@ mod tests {
         let locksteps = [lockstep_row(400.0, 4.0)];
         let cmps = [cmp_row(800.0)];
         let v = to_json(Scale::quick(), &rows, &sweeps, &locksteps, &cmps);
-        assert_eq!(v.get("schema").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("scale_den").unwrap().as_u64(), Some(16));
         let parsed = ebcp_harness::json::parse(&v.to_json_pretty()).unwrap();
         let back = parsed.get("rows").unwrap().as_arr().unwrap();
@@ -1029,7 +1044,7 @@ mod tests {
         // from the partition) must sum to the record count exactly.
         let scale = Scale::quick();
         let rows = event_mix(scale);
-        for w in scale.workloads() {
+        for w in scale.workloads_all() {
             let spec = scale.run_spec(&w, scale.machine());
             let total = spec.warmup_insts + spec.measure_insts;
             let partition: u64 = rows
@@ -1048,7 +1063,7 @@ mod tests {
             assert!(get("inert") > 0, "{} inert", w.name);
             assert!(get("load-miss") > 0, "{} load-miss", w.name);
         }
-        assert_eq!(rows.len(), scale.workloads().len() * EVENT_KINDS.len());
+        assert_eq!(rows.len(), scale.workloads_all().len() * EVENT_KINDS.len());
         let table = render_event_mix(&rows);
         assert!(table.contains("inert"));
         assert!(table.contains('%'));
@@ -1058,5 +1073,25 @@ mod tests {
     fn roster_names() {
         let names: Vec<String> = roster(Scale::quick()).iter().map(|p| p.name()).collect();
         assert_eq!(names, ["none", "stream", "ghb-large", "ebcp"]);
+    }
+
+    #[test]
+    fn sweep_roster_covers_every_registered_prefetcher() {
+        let scale = Scale::quick();
+        let names: Vec<String> = sweep_roster(scale).iter().map(|p| p.name()).collect();
+        // Every figure-9 and modern registry entry appears by name.
+        for (name, _) in scale.figure9_roster() {
+            assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+        for (name, _) in scale.modern_roster() {
+            assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+        // The filtered compositions ride along.
+        for name in ["ebcp", "ebcp-minus", "ebcp+nof", "stream+nof"] {
+            assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+        // Dedup by name held.
+        let distinct: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(distinct.len(), names.len());
     }
 }

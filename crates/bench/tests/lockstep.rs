@@ -76,9 +76,9 @@ fn full_roster_matrix_is_byte_identical_on_every_tier() {
         seed: 11,
     };
     let roster = sweep_roster(scale);
-    assert!(roster.len() >= 10, "roster shrank to {}", roster.len());
+    assert!(roster.len() >= 14, "roster shrank to {}", roster.len());
     let tiers = SimdTier::available_tiers();
-    for w in scale.workloads() {
+    for w in scale.workloads_all() {
         let spec = scale.run_spec(&w, scale.machine());
         let pre = spec.pre_resolve();
         let serial: Vec<_> = roster

@@ -11,10 +11,12 @@ use ebcp_sim::frontend::PreResolved;
 fn replay_matches_stepping_for_every_prefetcher_and_workload() {
     let scale = Scale::quick();
     // The sweep roster is the union of every prefetcher the experiment
-    // drivers register (throughput + Figure 9 + tuned EBCP variants).
+    // drivers register (throughput + Figure 9 + modern competitors +
+    // tuned EBCP variants + off-chip-filtered compositions), over the
+    // extended workload roster (the paper's four + evolving graph).
     let pfs = throughput::sweep_roster(scale);
-    assert!(pfs.len() >= 6, "roster unexpectedly small: {pfs:?}");
-    for w in scale.workloads() {
+    assert!(pfs.len() >= 14, "roster unexpectedly small: {pfs:?}");
+    for w in scale.workloads_all() {
         let spec = scale.run_spec(&w, scale.machine());
         let trace = spec.materialize();
         let pre = PreResolved::from_records(&spec.sim, &trace);

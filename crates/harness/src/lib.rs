@@ -2039,13 +2039,24 @@ mod tests {
             (f.results.corrupt, f.preres.corrupt, f.traces.corrupt),
             (0, 0, 0)
         );
-        // A quarantined file shows up in the corrupt tally.
+        assert_eq!(f.quarantined_bytes(), 0);
+        // A quarantined file shows up in the corrupt tally, its bytes
+        // move from the healthy total to the quarantine accounting.
+        let healthy_total = f.total_bytes();
         let p = preres::path_for(&dir, &jobs[0]);
+        let moved = std::fs::metadata(&p).unwrap().len();
         let mut corrupt = p.clone().into_os_string();
         corrupt.push(".corrupt");
         std::fs::rename(&p, corrupt).unwrap();
         let f = store_footprint(&dir);
         assert_eq!((f.preres.files, f.preres.corrupt), (0, 1));
+        assert_eq!(f.preres.quarantined_bytes, moved);
+        assert_eq!(f.quarantined_bytes(), moved);
+        assert_eq!(
+            f.total_bytes(),
+            healthy_total - moved,
+            "quarantined bytes must leave the healthy total"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

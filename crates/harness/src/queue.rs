@@ -122,20 +122,28 @@ impl Inner {
     /// Pops the next job round-robin: the head of the least recently
     /// served non-empty client queue.
     fn pop_next(&mut self) -> Option<Job> {
-        let client = self.rotation.pop_front()?;
-        let queue = self
-            .queues
-            .get_mut(&client)
-            .expect("rotated client has a queue");
-        let job = queue.pop_front().expect("rotated queue is non-empty");
-        if queue.is_empty() {
-            self.queues.remove(&client);
-        } else {
-            self.rotation.push_back(client);
+        // A rotation entry whose client queue vanished (or emptied) is
+        // a bookkeeping inconsistency; skipping it loses at most one
+        // wake-up, while panicking would take the worker thread down
+        // and strand every queued job behind it.
+        while let Some(client) = self.rotation.pop_front() {
+            let Some(queue) = self.queues.get_mut(&client) else {
+                continue;
+            };
+            let Some(job) = queue.pop_front() else {
+                self.queues.remove(&client);
+                continue;
+            };
+            if queue.is_empty() {
+                self.queues.remove(&client);
+            } else {
+                self.rotation.push_back(client);
+            }
+            self.queued = self.queued.saturating_sub(1);
+            self.running = self.running.saturating_add(1);
+            return Some(job);
         }
-        self.queued -= 1;
-        self.running += 1;
-        Some(job)
+        None
     }
 }
 
@@ -292,10 +300,15 @@ impl JobService {
                 .harness
                 .run_outcomes(std::slice::from_ref(&job))
                 .pop()
-                .expect("one outcome per submitted job");
+                // A one-job batch yields one outcome; if the harness
+                // ever breaks that contract, fail the job for its
+                // waiters instead of panicking the worker thread.
+                .unwrap_or(JobOutcome::Failed {
+                    reason: "harness returned no outcome for the job".into(),
+                });
             let waiters = {
                 let mut inner = lock(&self.inner);
-                inner.running -= 1;
+                inner.running = inner.running.saturating_sub(1);
                 inner.inflight.remove(&job.id()).unwrap_or_default()
             };
             for w in &waiters {
@@ -378,6 +391,35 @@ mod tests {
         // dedup does not consume a slot.
         svc.submit(1, job(1), tx).unwrap();
         assert_eq!(svc.status().queued, 2);
+    }
+
+    #[test]
+    fn flooding_far_past_depth_never_overdraws_or_panics() {
+        // A client hammering a full queue: every submit past the bound
+        // is refused with the same hint, the queued count stays pinned
+        // at the bound (no drift from repeated refusals), and draining
+        // afterwards brings the counters back to zero exactly.
+        let svc = service(4, 0);
+        let (tx, rx) = mpsc::channel();
+        for seed in 0..4 {
+            svc.submit(0, job(seed), tx.clone()).unwrap();
+        }
+        for seed in 4..40 {
+            match svc.submit(seed % 3, job(seed), tx.clone()) {
+                Err(SubmitError::QueueFull { retry_after }) => {
+                    assert_eq!(retry_after, Duration::from_millis(7));
+                }
+                other => panic!("submit {seed} past depth must refuse, got {other:?}"),
+            }
+            assert_eq!(svc.status().queued, 4, "refusals must not move the count");
+        }
+        svc.start();
+        let delivered: Vec<JobId> = (0..4).map(|_| rx.recv().unwrap().0).collect();
+        assert_eq!(delivered.len(), 4);
+        svc.shutdown();
+        let status = svc.status();
+        assert_eq!((status.queued, status.running), (0, 0));
+        assert_eq!(status.completed, 4);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! a client and a daemon built from the same workspace agree exactly on
 //! what "quick" means.
 
-use ebcp_prefetch::{BaselineConfig, GhbConfig, SmsConfig, SolihinConfig, StreamConfig, TcpConfig};
+use ebcp_prefetch::{
+    AmcConfig, BaselineConfig, GhbConfig, SmsConfig, SolihinConfig, StreamConfig, TcpConfig,
+    TriangelConfig,
+};
 use ebcp_sim::{CmpSpec, RunSpec, SimConfig};
 use ebcp_trace::WorkloadSpec;
 
@@ -93,6 +96,17 @@ impl Scale {
     /// The four workload presets at this scale.
     pub fn workloads(&self) -> Vec<WorkloadSpec> {
         WorkloadSpec::all_presets()
+            .into_iter()
+            .map(|w| w.scaled(1, self.den as usize))
+            .collect()
+    }
+
+    /// The extended workload roster at this scale: the paper's four plus
+    /// the evolving-graph preset. Comparison sweeps and differential
+    /// batteries use this; the paper's figures keep
+    /// [`Scale::workloads`].
+    pub fn workloads_all(&self) -> Vec<WorkloadSpec> {
+        WorkloadSpec::extended_presets()
             .into_iter()
             .map(|w| w.scaled(1, self.den as usize))
             .collect()
@@ -215,6 +229,32 @@ impl Scale {
             ),
         ]
     }
+
+    /// The post-2007 competitor roster with capacity-class tables
+    /// scaled. Kept separate from [`Scale::figure9_roster`] so the
+    /// paper's figures stay the paper's figures; comparison sweeps
+    /// concatenate the two.
+    pub fn modern_roster(&self) -> Vec<(&'static str, BaselineConfig)> {
+        let d = self.den as usize;
+        vec![
+            (
+                "triangel",
+                BaselineConfig::Triangel(TriangelConfig {
+                    pc_entries: ((1 << 10) / d).max(128),
+                    sample_sets: (64 / d).max(8),
+                    markov_sets: ((4 << 10) / d).max(256),
+                    ..TriangelConfig::default_config()
+                }),
+            ),
+            (
+                "amc",
+                BaselineConfig::Amc(AmcConfig {
+                    sets: ((4 << 10) / d).max(256),
+                    ..AmcConfig::default_config()
+                }),
+            ),
+        ]
+    }
 }
 
 impl Default for Scale {
@@ -271,6 +311,49 @@ mod tests {
     #[test]
     fn roster_has_eight_baselines() {
         assert_eq!(Scale::standard().figure9_roster().len(), 8);
+    }
+
+    #[test]
+    fn modern_roster_scales_and_builds() {
+        let names: Vec<_> = Scale::quick()
+            .modern_roster()
+            .into_iter()
+            .map(|(n, cfg)| {
+                assert_eq!(cfg.build_named(n).name(), n);
+                n
+            })
+            .collect();
+        assert_eq!(names, vec!["triangel", "amc"]);
+        // Capacity-class tables shrink with the machine.
+        let (full, quick) = (Scale::full(), Scale::quick());
+        for ((_, f), (_, q)) in full
+            .modern_roster()
+            .iter()
+            .zip(quick.modern_roster().iter())
+        {
+            match (f, q) {
+                (BaselineConfig::Triangel(f), BaselineConfig::Triangel(q)) => {
+                    assert!(q.markov_sets < f.markov_sets);
+                }
+                (BaselineConfig::Amc(f), BaselineConfig::Amc(q)) => {
+                    assert!(q.sets < f.sets);
+                }
+                other => panic!("unexpected roster pair {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_all_adds_graph() {
+        let s = Scale::quick();
+        assert_eq!(s.workloads_all().len(), s.workloads().len() + 1);
+        let graph = s
+            .workloads_all()
+            .into_iter()
+            .find(|w| w.name == "graph")
+            .expect("graph preset present");
+        assert!(graph.evolve_every_execs > 0);
+        graph.validate().unwrap();
     }
 
     #[test]

@@ -294,6 +294,10 @@ pub struct StoreClassFootprint {
     pub segments: u64,
     /// Quarantined `*.corrupt` files still on disk.
     pub corrupt: u64,
+    /// Total size of those quarantined files in bytes. Kept out of
+    /// [`StoreClassFootprint::bytes`] so healthy-store totals are not
+    /// inflated by quarantine debris awaiting cleanup.
+    pub quarantined_bytes: u64,
 }
 
 /// On-disk footprint of a whole result store: what `repro status`
@@ -309,9 +313,18 @@ pub struct StoreFootprint {
 }
 
 impl StoreFootprint {
-    /// Total bytes across every class.
+    /// Total healthy bytes across every class (quarantined files
+    /// excluded — see [`StoreFootprint::quarantined_bytes`]).
     pub const fn total_bytes(&self) -> u64 {
         self.results.bytes + self.preres.bytes + self.traces.bytes
+    }
+
+    /// Total bytes held hostage by `*.corrupt` quarantine files across
+    /// every class.
+    pub const fn quarantined_bytes(&self) -> u64 {
+        self.results.quarantined_bytes
+            + self.preres.quarantined_bytes
+            + self.traces.quarantined_bytes
     }
 }
 
@@ -359,6 +372,7 @@ fn scan_class(root: &Path, suffix: &str, segmented: bool) -> StoreClassFootprint
             };
             if name.ends_with(".corrupt") {
                 out.corrupt += 1;
+                out.quarantined_bytes += entry.metadata().map_or(0, |m| m.len());
                 continue;
             }
             if !name.ends_with(suffix) {
@@ -395,9 +409,11 @@ pub fn store_footprint(dir: &Path) -> StoreFootprint {
                 results.files += sub.files;
                 results.bytes += sub.bytes;
                 results.corrupt += sub.corrupt;
+                results.quarantined_bytes += sub.quarantined_bytes;
             } else if path.is_file() && is_store_entry_name(name) {
                 if name.ends_with(".corrupt") {
                     results.corrupt += 1;
+                    results.quarantined_bytes += entry.metadata().map_or(0, |m| m.len());
                 } else {
                     results.files += 1;
                     results.bytes += entry.metadata().map_or(0, |m| m.len());

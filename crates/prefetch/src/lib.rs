@@ -28,6 +28,17 @@
 //!   *(width 1, depth 6)* configurations.
 //! * [`NullPrefetcher`] — the no-prefetching baseline.
 //!
+//! A post-2007 competitor roster extends the comparison
+//! (`modern_roster`):
+//!
+//! * [`TriangelPrefetcher`] — Triangel-style temporal prefetching with
+//!   usefulness-sampled metadata filtering (arXiv:2406.10627).
+//! * [`AmcPrefetcher`] — access-to-miss correlation with fast
+//!   epoch-decayed confidence (arXiv:2406.14008).
+//! * [`OffchipFilter`] — a perceptron-style off-chip predictor
+//!   (arXiv:2403.15181 style) composable as a prefetch filter over any
+//!   of the above.
+//!
 //! The epoch-based correlation prefetcher itself (the paper's
 //! contribution) lives in the `ebcp-core` crate and implements the same
 //! trait.
@@ -54,22 +65,28 @@
 //! assert!(out.is_empty());
 //! ```
 
+pub mod amc;
 pub mod api;
 pub mod fault;
 pub mod ghb;
 pub mod mmtable;
+pub mod offchip_filter;
 pub mod registry;
 pub mod sms;
 pub mod solihin;
 pub mod stream;
 pub mod tcp;
+pub mod triangel;
 
+pub use amc::{AmcConfig, AmcPrefetcher};
 pub use api::{Action, MissInfo, NullPrefetcher, PrefetchHitInfo, Prefetcher};
 pub use fault::{FaultConfig, FaultPrefetcher};
 pub use ghb::{GhbConfig, GhbPrefetcher};
 pub use mmtable::MainMemoryTable;
+pub use offchip_filter::{OffchipFilter, OffchipFilterConfig};
 pub use registry::BaselineConfig;
 pub use sms::{SmsConfig, SmsPrefetcher};
 pub use solihin::{SolihinConfig, SolihinPrefetcher};
 pub use stream::{StreamConfig, StreamPrefetcher};
 pub use tcp::{TcpConfig, TcpPrefetcher};
+pub use triangel::{TriangelConfig, TriangelPrefetcher};

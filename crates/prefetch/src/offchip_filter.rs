@@ -1,0 +1,444 @@
+//! Perceptron-style off-chip prediction as a composable prefetch
+//! filter (after the off-chip-predictor line of work, arXiv:2403.15181
+//! style: hashed-feature weight tables, integer arithmetic only).
+//!
+//! The predictor answers one question per candidate prefetch: *is this
+//! line likely to be needed off-chip?* A prefetch for a line the
+//! hierarchy would have served on-chip anyway is pure bandwidth waste,
+//! so the filter wraps any inner [`Prefetcher`], forwards every engine
+//! hook to it unchanged, and drops the inner `Prefetch` actions whose
+//! hashed-feature perceptron sum falls below a confidence threshold.
+//! `TableRead`/`TableWrite` actions and all callback hooks pass
+//! through untouched, so an inner EBCP keeps its main-memory-table
+//! timing and its origin-token credit assignment.
+//!
+//! Training is online and label-delayed: every filtered decision is
+//! remembered in a small ring keyed by line. A later demand miss or
+//! prefetch-buffer hit on a remembered line proves the line *was*
+//! needed off-chip (a dropped prediction was a false negative; an
+//! allowed one is reinforced). A remembered line that ages out of the
+//! ring untouched is taken as on-chip (the prefetch would have been
+//! waste) and trained down. Weights are saturating `i16`s; features
+//! are FNV-style hashes of the trigger PC, the candidate line, its
+//! page, and the PC⊕line cross — no floating point anywhere on the
+//! hot path, and fully deterministic for lockstep replay.
+
+use ebcp_types::{Cycle, Pc};
+use serde::{Deserialize, Serialize};
+
+use crate::api::{Action, MissInfo, PrefetchHitInfo, Prefetcher};
+
+/// Hashed-feature weight tables.
+const FEATURES: usize = 4;
+
+/// Off-chip filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffchipFilterConfig {
+    /// log2 of each feature table's entry count.
+    pub table_bits: u32,
+    /// Drop a candidate when its summed weights fall below this.
+    pub drop_threshold: i32,
+    /// Keep training while `|sum|` is below this margin.
+    pub train_margin: i32,
+    /// Remembered filtered decisions (ring capacity; power of two).
+    pub history: usize,
+    /// Per-weight saturation bound.
+    pub weight_cap: i16,
+}
+
+impl OffchipFilterConfig {
+    /// Reference configuration: 4×4K-entry i16 tables (32 KB), a
+    /// 256-deep decision ring, and a mildly permissive threshold (the
+    /// filter must earn its drops).
+    pub const fn default_config() -> Self {
+        OffchipFilterConfig {
+            table_bits: 12,
+            drop_threshold: -8,
+            train_margin: 16,
+            history: 256,
+            weight_cap: 63,
+        }
+    }
+}
+
+/// One remembered filtering decision, awaiting its delayed label.
+#[derive(Debug, Clone, Copy, Default)]
+struct Decision {
+    line: u64,
+    pc: u64,
+    valid: bool,
+}
+
+/// A perceptron-style off-chip predictor wrapped around any inner
+/// prefetcher. Built via [`OffchipFilter::wrap`]; named
+/// `"<inner>+nof"` (neural off-chip filter).
+pub struct OffchipFilter {
+    config: OffchipFilterConfig,
+    inner: Box<dyn Prefetcher>,
+    weights: Vec<i16>,
+    ring: Vec<Decision>,
+    ring_head: usize,
+    name: String,
+    scratch: Vec<Action>,
+}
+
+impl std::fmt::Debug for OffchipFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffchipFilter")
+            .field("name", &self.name)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+fn hash(x: u64, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    for b in x.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl OffchipFilter {
+    /// Wraps `inner` with the filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is zero or not a power of two, or
+    /// `table_bits` is zero.
+    pub fn wrap(config: OffchipFilterConfig, inner: Box<dyn Prefetcher>) -> Self {
+        assert!(config.history.is_power_of_two() && config.history > 0);
+        assert!(config.table_bits > 0 && config.table_bits <= 24);
+        let name = format!("{}+nof", inner.name());
+        OffchipFilter {
+            config,
+            inner,
+            weights: vec![0i16; FEATURES << config.table_bits],
+            ring: vec![Decision::default(); config.history],
+            ring_head: 0,
+            name,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wrapped prefetcher (for end-of-run inspection).
+    pub fn inner(&self) -> &dyn Prefetcher {
+        self.inner.as_ref()
+    }
+
+    fn feature_indices(&self, pc: u64, line: u64) -> [usize; FEATURES] {
+        let mask = (1usize << self.config.table_bits) - 1;
+        let page = line >> 6;
+        let raw = [pc, line, page, pc ^ line];
+        let mut idx = [0usize; FEATURES];
+        let mut i = 0;
+        while i < FEATURES {
+            idx[i] = (i << self.config.table_bits)
+                | (hash(raw[i], (i as u64 + 1) * 0x9E37_79B9) as usize & mask);
+            i += 1;
+        }
+        idx
+    }
+
+    fn sum(&self, idx: &[usize; FEATURES]) -> i32 {
+        idx.iter().map(|&i| i32::from(self.weights[i])).sum()
+    }
+
+    fn train(&mut self, idx: &[usize; FEATURES], offchip: bool, sum: i32) {
+        // Perceptron rule: adjust only on mispredictions or while the
+        // margin is thin.
+        let predicted_offchip = sum >= self.config.drop_threshold;
+        if predicted_offchip == offchip && sum.abs() >= self.config.train_margin {
+            return;
+        }
+        let cap = self.config.weight_cap;
+        for &i in idx {
+            let w = self.weights[i];
+            self.weights[i] = if offchip {
+                w.saturating_add(1).min(cap)
+            } else {
+                w.saturating_sub(1).max(-cap)
+            };
+        }
+    }
+
+    /// Remembers a decision, evicting (and negatively labelling) the
+    /// ring slot it displaces: a decision that aged out untouched means
+    /// the line never came back off-chip.
+    fn remember(&mut self, line: u64, pc: u64) {
+        let slot = self.ring_head & (self.config.history - 1);
+        self.ring_head = self.ring_head.wrapping_add(1);
+        let old = self.ring[slot];
+        if old.valid {
+            let idx = self.feature_indices(old.pc, old.line);
+            let s = self.sum(&idx);
+            self.train(&idx, false, s);
+        }
+        self.ring[slot] = Decision {
+            line,
+            pc,
+            valid: true,
+        };
+    }
+
+    /// Delayed positive label: `line` was demanded, so it *was* needed
+    /// off-chip.
+    fn label_offchip(&mut self, line: u64) {
+        for slot in 0..self.ring.len() {
+            let d = self.ring[slot];
+            if d.valid && d.line == line {
+                let idx = self.feature_indices(d.pc, d.line);
+                let s = self.sum(&idx);
+                self.train(&idx, true, s);
+                self.ring[slot].valid = false;
+            }
+        }
+    }
+
+    /// Runs the inner hook accumulated in `self.scratch` through the
+    /// filter into `out`.
+    fn filter_actions(&mut self, trigger_pc: u64, out: &mut Vec<Action>) {
+        let actions = std::mem::take(&mut self.scratch);
+        for a in &actions {
+            match *a {
+                Action::Prefetch { line, origin } => {
+                    let idx = self.feature_indices(trigger_pc, line.index());
+                    let s = self.sum(&idx);
+                    let allow = s >= self.config.drop_threshold;
+                    self.remember(line.index(), trigger_pc);
+                    if allow {
+                        out.push(Action::Prefetch { line, origin });
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        self.scratch = actions;
+        self.scratch.clear();
+    }
+}
+
+impl Prefetcher for OffchipFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_miss(&mut self, info: &MissInfo, out: &mut Vec<Action>) {
+        // The missing line provably went off-chip: resolve any pending
+        // decision labels for it before filtering new candidates.
+        self.label_offchip(info.line.index());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.inner.on_miss(info, &mut scratch);
+        self.scratch = scratch;
+        self.filter_actions(info.pc.get(), out);
+    }
+
+    fn on_prefetch_hit(&mut self, info: &PrefetchHitInfo, out: &mut Vec<Action>) {
+        // A buffer hit is a demand that would have gone off-chip.
+        self.label_offchip(info.line.index());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.inner.on_prefetch_hit(info, &mut scratch);
+        self.scratch = scratch;
+        self.filter_actions(info.pc.get(), out);
+    }
+
+    fn on_epoch_end(&mut self, now: Cycle, out: &mut Vec<Action>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.inner.on_epoch_end(now, &mut scratch);
+        self.scratch = scratch;
+        // Epoch-end emissions have no triggering PC; use a fixed one.
+        self.filter_actions(Pc::new(0).get(), out);
+    }
+
+    fn on_table_done(&mut self, token: u64, now: Cycle, out: &mut Vec<Action>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.inner.on_table_done(token, now, &mut scratch);
+        self.scratch = scratch;
+        self.filter_actions(Pc::new(0).get(), out);
+    }
+
+    fn on_table_dropped(&mut self, token: u64) {
+        self.inner.on_table_dropped(token);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.inner.as_any()
+    }
+
+    fn reset_aux_stats(&mut self) {
+        self.inner.reset_aux_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::NullPrefetcher;
+    use ebcp_types::{AccessKind, LineAddr};
+
+    /// An inner prefetcher that always predicts `line + 1`.
+    #[derive(Debug)]
+    struct NextLine;
+
+    impl Prefetcher for NextLine {
+        fn name(&self) -> &str {
+            "next"
+        }
+        fn on_miss(&mut self, info: &MissInfo, out: &mut Vec<Action>) {
+            out.push(Action::Prefetch {
+                line: info.line.next(),
+                origin: 7,
+            });
+            out.push(Action::TableWrite);
+        }
+        fn on_prefetch_hit(&mut self, _info: &PrefetchHitInfo, _out: &mut Vec<Action>) {}
+    }
+
+    fn miss(pc: u64, line: u64) -> MissInfo {
+        MissInfo {
+            line: LineAddr::from_index(line),
+            pc: Pc::new(pc),
+            kind: AccessKind::Load,
+            epoch_trigger: true,
+            now: 0,
+            core: 0,
+        }
+    }
+
+    #[test]
+    fn name_is_inner_plus_suffix() {
+        let f = OffchipFilter::wrap(
+            OffchipFilterConfig::default_config(),
+            Box::new(NullPrefetcher),
+        );
+        assert_eq!(f.name(), "none+nof");
+        assert_eq!(f.inner().name(), "none");
+    }
+
+    #[test]
+    fn zero_weights_allow_everything_through() {
+        // Untrained filter: sum 0 >= drop_threshold (-8), so inner
+        // predictions pass, including non-prefetch actions.
+        let mut f = OffchipFilter::wrap(OffchipFilterConfig::default_config(), Box::new(NextLine));
+        let mut out = Vec::new();
+        f.on_miss(&miss(0x40, 100), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Action::Prefetch {
+                    line: LineAddr::from_index(101),
+                    origin: 7
+                },
+                Action::TableWrite
+            ]
+        );
+    }
+
+    #[test]
+    fn aged_out_decisions_train_the_filter_down() {
+        // A tiny ring and a low weight cap: lines that never come back
+        // are labelled on-chip on eviction, so repeated prediction of
+        // the same dead line is eventually dropped.
+        let cfg = OffchipFilterConfig {
+            history: 4,
+            drop_threshold: 0,
+            train_margin: 1,
+            weight_cap: 8,
+            ..OffchipFilterConfig::default_config()
+        };
+        let mut f = OffchipFilter::wrap(cfg, Box::new(NextLine));
+        // Same trigger repeatedly; its prediction (line 101) is never
+        // demanded, so each ring lap trains its features down by 4.
+        let mut dropped_eventually = false;
+        for _ in 0..64 {
+            let mut out = Vec::new();
+            f.on_miss(&miss(0x40, 100), &mut out);
+            let has_pf = out.iter().any(|a| matches!(a, Action::Prefetch { .. }));
+            if !has_pf {
+                dropped_eventually = true;
+                // Non-prefetch actions still pass through.
+                assert_eq!(out, vec![Action::TableWrite]);
+                break;
+            }
+        }
+        assert!(dropped_eventually, "wasted predictions must be filtered");
+    }
+
+    #[test]
+    fn demanded_lines_keep_their_predictions_alive() {
+        // The predicted line is demanded right after each prediction:
+        // positive labels balance ring-eviction negatives and the
+        // filter keeps allowing it.
+        let cfg = OffchipFilterConfig {
+            history: 4,
+            drop_threshold: 0,
+            train_margin: 1,
+            weight_cap: 8,
+            ..OffchipFilterConfig::default_config()
+        };
+        let mut f = OffchipFilter::wrap(cfg, Box::new(NextLine));
+        for _ in 0..64 {
+            let mut out = Vec::new();
+            f.on_miss(&miss(0x40, 100), &mut out);
+            assert!(
+                out.iter().any(|a| matches!(a, Action::Prefetch { .. })),
+                "demanded predictions must keep flowing"
+            );
+            // The demand for 101 labels the remembered decision off-chip.
+            let mut sink = Vec::new();
+            f.on_miss(&miss(0x41, 101), &mut sink);
+        }
+    }
+
+    #[test]
+    fn hooks_forward_to_inner() {
+        /// Counts hook deliveries.
+        #[derive(Debug, Default)]
+        struct Probe {
+            epochs: u64,
+            dones: u64,
+            drops: u64,
+        }
+        impl Prefetcher for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn on_miss(&mut self, _i: &MissInfo, _o: &mut Vec<Action>) {}
+            fn on_prefetch_hit(&mut self, _i: &PrefetchHitInfo, _o: &mut Vec<Action>) {}
+            fn on_epoch_end(&mut self, _now: Cycle, out: &mut Vec<Action>) {
+                self.epochs += 1;
+                out.push(Action::TableRead { token: 9, delay: 0 });
+            }
+            fn on_table_done(&mut self, token: u64, _now: Cycle, _out: &mut Vec<Action>) {
+                assert_eq!(token, 9);
+                self.dones += 1;
+            }
+            fn on_table_dropped(&mut self, token: u64) {
+                assert_eq!(token, 9);
+                self.drops += 1;
+            }
+            fn as_any(&self) -> Option<&dyn std::any::Any> {
+                Some(self)
+            }
+        }
+        let mut f = OffchipFilter::wrap(
+            OffchipFilterConfig::default_config(),
+            Box::new(Probe::default()),
+        );
+        let mut out = Vec::new();
+        f.on_epoch_end(5, &mut out);
+        assert_eq!(out, vec![Action::TableRead { token: 9, delay: 0 }]);
+        f.on_table_done(9, 6, &mut out);
+        f.on_table_dropped(9);
+        let probe = f
+            .as_any()
+            .and_then(|a| a.downcast_ref::<Probe>())
+            .expect("as_any reaches the inner prefetcher");
+        assert_eq!((probe.epochs, probe.dones, probe.drops), (1, 1, 1));
+    }
+}

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::amc::{AmcConfig, AmcPrefetcher};
 use crate::api::{NullPrefetcher, Prefetcher};
 use crate::fault::{FaultConfig, FaultPrefetcher};
 use crate::ghb::{GhbConfig, GhbPrefetcher};
@@ -9,6 +10,7 @@ use crate::sms::{SmsConfig, SmsPrefetcher};
 use crate::solihin::{SolihinConfig, SolihinPrefetcher};
 use crate::stream::{StreamConfig, StreamPrefetcher};
 use crate::tcp::{TcpConfig, TcpPrefetcher};
+use crate::triangel::{TriangelConfig, TriangelPrefetcher};
 
 /// Configuration of one baseline prefetcher (everything in the Figure 9
 /// comparison except EBCP itself, which lives in `ebcp-core`).
@@ -26,6 +28,12 @@ pub enum BaselineConfig {
     Sms(SmsConfig),
     /// Solihin memory-side correlation.
     Solihin(SolihinConfig),
+    /// Triangel-style temporal prefetching with usefulness-sampled
+    /// metadata filtering (modern roster).
+    Triangel(TriangelConfig),
+    /// Access-to-miss correlation with epoch-decayed confidence
+    /// (modern roster).
+    Amc(AmcConfig),
     /// Fault injection for harness resilience tests (never part of any
     /// figure roster): behaves like [`NullPrefetcher`], then panics.
     Fault(FaultConfig),
@@ -52,6 +60,20 @@ impl BaselineConfig {
         ]
     }
 
+    /// The post-2007 competitor roster (ROADMAP item 3), with display
+    /// names. Kept separate from [`BaselineConfig::figure9_roster`] so
+    /// the paper's figures stay the paper's figures; comparison sweeps
+    /// concatenate the two.
+    pub fn modern_roster() -> Vec<(&'static str, BaselineConfig)> {
+        vec![
+            (
+                "triangel",
+                BaselineConfig::Triangel(TriangelConfig::default_config()),
+            ),
+            ("amc", BaselineConfig::Amc(AmcConfig::default_config())),
+        ]
+    }
+
     /// Builds the prefetcher, tagging it with `name`.
     pub fn build_named(&self, name: &str) -> Box<dyn Prefetcher> {
         match *self {
@@ -61,6 +83,8 @@ impl BaselineConfig {
             BaselineConfig::Tcp(c) => Box::new(TcpPrefetcher::new(c).with_name(name)),
             BaselineConfig::Sms(c) => Box::new(SmsPrefetcher::new(c)),
             BaselineConfig::Solihin(c) => Box::new(SolihinPrefetcher::new(c).with_name(name)),
+            BaselineConfig::Triangel(c) => Box::new(TriangelPrefetcher::new(c).with_name(name)),
+            BaselineConfig::Amc(c) => Box::new(AmcPrefetcher::new(c).with_name(name)),
             BaselineConfig::Fault(c) => Box::new(FaultPrefetcher::new(c)),
         }
     }
@@ -74,6 +98,8 @@ impl BaselineConfig {
             BaselineConfig::Tcp(c) => Box::new(TcpPrefetcher::new(c)),
             BaselineConfig::Sms(c) => Box::new(SmsPrefetcher::new(c)),
             BaselineConfig::Solihin(c) => Box::new(SolihinPrefetcher::new(c)),
+            BaselineConfig::Triangel(c) => Box::new(TriangelPrefetcher::new(c)),
+            BaselineConfig::Amc(c) => Box::new(AmcPrefetcher::new(c)),
             BaselineConfig::Fault(c) => Box::new(FaultPrefetcher::new(c)),
         }
     }
@@ -110,6 +136,19 @@ mod tests {
                 "solihin-6,1"
             ]
         );
+    }
+
+    #[test]
+    fn modern_roster_builds_and_names() {
+        let names: Vec<_> = BaselineConfig::modern_roster()
+            .into_iter()
+            .map(|(n, cfg)| {
+                let p = cfg.build_named(n);
+                assert_eq!(p.name(), n);
+                n
+            })
+            .collect();
+        assert_eq!(names, vec!["triangel", "amc"]);
     }
 
     #[test]

@@ -296,6 +296,7 @@ pub fn footprint_to_json(fp: &StoreFootprint) -> Value {
             ("bytes", Value::Int(c.bytes)),
             ("segments", Value::Int(c.segments)),
             ("corrupt", Value::Int(c.corrupt)),
+            ("quarantined_bytes", Value::Int(c.quarantined_bytes)),
         ])
     };
     obj(vec![
@@ -303,6 +304,7 @@ pub fn footprint_to_json(fp: &StoreFootprint) -> Value {
         ("preres", class(&fp.preres)),
         ("traces", class(&fp.traces)),
         ("total_bytes", Value::Int(fp.total_bytes())),
+        ("quarantined_bytes", Value::Int(fp.quarantined_bytes())),
     ])
 }
 
@@ -317,6 +319,9 @@ pub fn footprint_from_json(v: &Value) -> Option<StoreFootprint> {
             bytes: n("bytes")?,
             segments: n("segments")?,
             corrupt: n("corrupt")?,
+            // Absent-tolerant: daemons predating the field report no
+            // quarantine byte accounting, not a malformed footprint.
+            quarantined_bytes: n("quarantined_bytes").unwrap_or(0),
         })
     };
     Some(StoreFootprint {
@@ -460,18 +465,21 @@ mod tests {
                 bytes: 34_567,
                 segments: 0,
                 corrupt: 1,
+                quarantined_bytes: 4_096,
             },
             preres: StoreClassFootprint {
                 files: 3,
                 bytes: 1 << 20,
                 segments: 17,
                 corrupt: 0,
+                quarantined_bytes: 0,
             },
             traces: StoreClassFootprint {
                 files: 2,
                 bytes: 1 << 22,
                 segments: 40,
                 corrupt: 0,
+                quarantined_bytes: 0,
             },
         };
         let with = ServiceStatus {
@@ -485,6 +493,24 @@ mod tests {
             v.get("store").unwrap().get("total_bytes").unwrap().as_u64(),
             Some(fp.total_bytes())
         );
+        assert_eq!(
+            v.get("store")
+                .unwrap()
+                .get("quarantined_bytes")
+                .unwrap()
+                .as_u64(),
+            Some(4_096)
+        );
+
+        // A daemon predating quarantine byte accounting omits the
+        // per-class field; the decode treats that as zero, not as a
+        // malformed footprint.
+        let mut text = resp_status(&with).to_json();
+        text = text.replace(",\"quarantined_bytes\":4096", "");
+        let v = json::parse(&text).unwrap();
+        let back = v.get("store").and_then(footprint_from_json).unwrap();
+        assert_eq!(back.results.quarantined_bytes, 0);
+        assert_eq!(back.preres, fp.preres);
     }
 
     #[test]

@@ -246,12 +246,20 @@ impl Server {
     }
 
     /// One connection's command loop. Returns when the peer hangs up,
-    /// sends garbage framing, or the socket errors.
+    /// sends garbage framing (after an `error` line naming the framing
+    /// problem, so a buggy client sees *why* instead of a bare EOF), or
+    /// the socket errors.
     fn handle_conn(&self, client: u64, conn: &mut Conn) {
         loop {
             let msg = match conn.recv() {
                 Ok(Some(v)) => v,
-                Ok(None) | Err(_) => return,
+                Ok(None) => return,
+                Err(e) => {
+                    if e.kind() == io::ErrorKind::InvalidData {
+                        let _ = conn.send(&resp_error(&format!("malformed frame: {e}")));
+                    }
+                    return;
+                }
             };
             if msg.get("v").and_then(Value::as_u64) != Some(PROTO_VERSION) {
                 let reason =
@@ -322,7 +330,9 @@ impl Server {
                     // caches; their deliveries land in a dropped
                     // channel and are ignored.
                     let retry_ms = match &e {
-                        SubmitError::QueueFull { retry_after } => retry_after.as_millis() as u64,
+                        SubmitError::QueueFull { retry_after } => {
+                            u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX)
+                        }
                         SubmitError::ShuttingDown => 0,
                     };
                     return conn.send(&resp_rejected(&e.to_string(), retry_ms));
@@ -352,10 +362,13 @@ impl Server {
             match completions.try_recv() {
                 Ok((id, outcome)) => {
                     idle = false;
-                    let job = unique
-                        .iter()
-                        .find(|j| j.id() == id)
-                        .expect("completion for a job this sweep submitted");
+                    // A completion for a job this sweep never submitted
+                    // would be a service routing bug; drop it rather
+                    // than panicking the handler thread (which would
+                    // silently kill the client's stream).
+                    let Some(job) = unique.iter().find(|j| j.id() == id) else {
+                        continue;
+                    };
                     conn.send(&resp_cell(&ResultRow {
                         id,
                         workload: job.spec.workload.name.clone(),

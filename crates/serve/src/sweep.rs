@@ -18,7 +18,8 @@ use ebcp_trace::WorkloadSpec;
 /// order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
-    /// Workload preset names (subset of the paper's four).
+    /// Workload preset names (subset of the paper's four plus the
+    /// evolving-graph preset, `graph`).
     pub workloads: Vec<String>,
     /// Prefetcher names (see [`SweepSpec::resolve_prefetcher`]).
     pub prefetchers: Vec<String>,
@@ -36,13 +37,20 @@ impl SweepSpec {
     /// Resolves a prefetcher name at `scale`: `none`, `ebcp`,
     /// `ebcp-minus`, any Figure 9 roster baseline (`ghb-small`,
     /// `ghb-large`, `tcp-small`, `tcp-large`, `stream`, `sms`,
-    /// `solihin-3,2`, `solihin-6,1`), or `fault` — the fault-injection
-    /// prefetcher, kept addressable so isolation is testable end to end.
+    /// `solihin-3,2`, `solihin-6,1`), a modern roster competitor
+    /// (`triangel`, `amc`), or `fault` — the fault-injection
+    /// prefetcher, kept addressable so isolation is testable end to
+    /// end. A `+nof` suffix wraps any of the above in the neural
+    /// off-chip filter (`ebcp+nof`, `stream+nof`, ...).
     ///
     /// # Errors
     ///
     /// An unknown name (the message lists the roster).
     pub fn resolve_prefetcher(name: &str, scale: &Scale) -> Result<PrefetcherSpec, String> {
+        if let Some(inner) = name.strip_suffix("+nof") {
+            let inner = Self::resolve_prefetcher(inner, scale)?;
+            return Ok(PrefetcherSpec::filtered(inner));
+        }
         match name {
             "none" => Ok(PrefetcherSpec::None),
             "ebcp" => Ok(PrefetcherSpec::Ebcp(
@@ -58,13 +66,15 @@ impl SweepSpec {
             other => scale
                 .figure9_roster()
                 .into_iter()
+                .chain(scale.modern_roster())
                 .find(|(n, _)| *n == other)
                 .map(|(n, c)| PrefetcherSpec::baseline(n, c))
                 .ok_or_else(|| {
                     format!(
                         "unknown prefetcher {other:?}; known: none, ebcp, ebcp-minus, fault, \
                          ghb-small, ghb-large, tcp-small, tcp-large, stream, sms, \
-                         solihin-3,2, solihin-6,1"
+                         solihin-3,2, solihin-6,1, triangel, amc, and any of those \
+                         with a +nof suffix"
                     )
                 }),
         }
@@ -80,7 +90,7 @@ impl SweepSpec {
         if self.workloads.is_empty() || self.prefetchers.is_empty() {
             return Err("a sweep needs at least one workload and one prefetcher".into());
         }
-        let presets = self.scale.workloads();
+        let presets = self.scale.workloads_all();
         let machine = self.scale.machine();
         let pfs: Vec<PrefetcherSpec> = self
             .prefetchers
@@ -122,7 +132,7 @@ impl SweepSpec {
         if let Some(&n) = self.cores.iter().find(|&&n| n == 0 || n > 64) {
             return Err(format!("core count {n} outside 1..=64"));
         }
-        let presets = WorkloadSpec::all_presets();
+        let presets = WorkloadSpec::extended_presets();
         let pfs: Vec<PrefetcherSpec> = self
             .prefetchers
             .iter()
@@ -320,9 +330,40 @@ mod tests {
             "sms",
             "solihin-3,2",
             "solihin-6,1",
+            "triangel",
+            "amc",
+            "ebcp+nof",
+            "stream+nof",
+            "triangel+nof",
         ] {
             let pf = SweepSpec::resolve_prefetcher(n, &Scale::quick()).unwrap();
             assert_eq!(pf.name(), n);
         }
+        // The suffix composes with resolution, not with arbitrary text.
+        assert!(SweepSpec::resolve_prefetcher("bogus+nof", &Scale::quick()).is_err());
+    }
+
+    #[test]
+    fn graph_workload_and_modern_names_expand_to_jobs() {
+        let s = SweepSpec {
+            workloads: vec!["graph".into()],
+            prefetchers: vec!["triangel".into(), "amc".into(), "ebcp+nof".into()],
+            cores: vec![2],
+            scale: Scale::quick(),
+        };
+        let jobs = s.jobs().unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].spec.workload.name, "graph");
+        assert!(jobs[0].spec.workload.evolve_every_execs > 0);
+        assert_eq!(jobs[2].pf.name(), "ebcp+nof");
+        assert_eq!(s.cmp_jobs().unwrap().len(), 3);
+
+        // Wire round-trip preserves the grid and the content hashes.
+        let text = s.to_value().to_json();
+        let back = SweepSpec::from_value(&ebcp_harness::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        let a: Vec<_> = jobs.iter().map(Job::id).collect();
+        let b: Vec<_> = back.jobs().unwrap().iter().map(Job::id).collect();
+        assert_eq!(a, b);
     }
 }

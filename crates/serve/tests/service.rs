@@ -323,6 +323,41 @@ fn full_queue_rejects_the_sweep_with_a_retry_hint() {
     d.runner.join().unwrap().unwrap();
 }
 
+#[test]
+fn malformed_frame_gets_an_error_line_not_a_silent_hangup() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let d = daemon(1, 64);
+    let raw_addr = d.addr.strip_prefix("tcp:").unwrap().to_string();
+
+    // A raw socket speaking garbage: the daemon must answer with a
+    // protocol error line naming the framing problem (not hang up
+    // silently, and certainly not panic the handler thread).
+    let mut bad = std::net::TcpStream::connect(&raw_addr).unwrap();
+    bad.write_all(b"this is not json\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(bad.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    let v = ebcp_harness::json::parse(&reply).expect("error line is well-formed JSON");
+    assert_eq!(v.get("event").and_then(Value::as_str), Some("error"));
+    let reason = v.get("reason").and_then(Value::as_str).unwrap_or_default();
+    assert!(reason.contains("malformed frame"), "reason: {reason}");
+    // The connection is closed after the error line.
+    let mut rest = String::new();
+    let n = BufReader::new(bad).read_line(&mut rest).unwrap();
+    assert_eq!(n, 0, "connection closes after the error line: {rest:?}");
+
+    // The daemon survived and still serves real clients.
+    let mut client = Client::connect(&d.addr).unwrap();
+    let outcome = client
+        .submit(&sweep(&["database"], &["none"]), |_| {})
+        .unwrap();
+    assert!(matches!(outcome, SweepOutcome::Done { failed: 0, .. }));
+    client.shutdown().unwrap();
+    d.runner.join().unwrap().unwrap();
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_carries_the_same_protocol() {

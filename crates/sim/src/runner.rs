@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use ebcp_core::{EbcpConfig, EbcpPrefetcher};
-use ebcp_prefetch::{BaselineConfig, NullPrefetcher, Prefetcher};
+use ebcp_prefetch::{
+    BaselineConfig, NullPrefetcher, OffchipFilter, OffchipFilterConfig, Prefetcher,
+};
 use ebcp_trace::template::WorkloadProgram;
 use ebcp_trace::{TraceGenerator, TraceRecord, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -32,6 +34,15 @@ pub enum PrefetcherSpec {
     },
     /// The epoch-based correlation prefetcher.
     Ebcp(EbcpConfig),
+    /// Any other spec wrapped in the perceptron-style off-chip
+    /// prediction filter (`"<inner>+nof"`): the inner prefetcher runs
+    /// unchanged and the filter drops its low-confidence candidates.
+    Filtered {
+        /// The filter's predictor configuration.
+        filter: OffchipFilterConfig,
+        /// The wrapped prefetcher.
+        inner: Box<PrefetcherSpec>,
+    },
 }
 
 impl PrefetcherSpec {
@@ -43,12 +54,23 @@ impl PrefetcherSpec {
         }
     }
 
+    /// Wraps `inner` in the off-chip prediction filter.
+    pub fn filtered(inner: PrefetcherSpec) -> Self {
+        PrefetcherSpec::Filtered {
+            filter: OffchipFilterConfig::default_config(),
+            inner: Box::new(inner),
+        }
+    }
+
     /// Builds the prefetcher instance.
     pub fn build(&self) -> Box<dyn Prefetcher> {
         match self {
             PrefetcherSpec::None => Box::new(NullPrefetcher),
             PrefetcherSpec::Baseline { name, config } => config.build_named(name),
             PrefetcherSpec::Ebcp(cfg) => Box::new(EbcpPrefetcher::new(*cfg)),
+            PrefetcherSpec::Filtered { filter, inner } => {
+                Box::new(OffchipFilter::wrap(*filter, inner.build()))
+            }
         }
     }
 
@@ -61,6 +83,7 @@ impl PrefetcherSpec {
                 ebcp_core::EbcpVariant::Standard => "ebcp".to_owned(),
                 ebcp_core::EbcpVariant::Minus => "ebcp-minus".to_owned(),
             },
+            PrefetcherSpec::Filtered { inner, .. } => format!("{}+nof", inner.name()),
         }
     }
 }
@@ -678,6 +701,26 @@ mod tests {
             BaselineConfig::Ghb(ebcp_prefetch::GhbConfig::large()),
         );
         assert_eq!(b.name(), "ghb-large");
+        let f = PrefetcherSpec::filtered(PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
+        assert_eq!(f.name(), "ebcp+nof");
+        assert_eq!(f.build().name(), "ebcp+nof");
+    }
+
+    #[test]
+    fn filtered_spec_replays_identically_and_runs_the_inner() {
+        // The filter composes over EBCP: replay must stay byte-identical
+        // to stepping, and the inner prefetcher must still issue.
+        let spec = recurring_spec();
+        let trace: Vec<TraceRecord> = {
+            let mut gen = TraceGenerator::new(&spec.workload, spec.seed);
+            gen.collect_n((spec.warmup_insts + spec.measure_insts) as usize)
+        };
+        let pf = PrefetcherSpec::filtered(PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
+        let r = assert_replay_identical(&spec, &trace, &pf);
+        assert!(r.pf_issued > 0, "filtered EBCP must still prefetch");
+        // The filter only ever drops candidates, never adds them.
+        let unfiltered = spec.run_on(&trace, &PrefetcherSpec::Ebcp(EbcpConfig::tuned()));
+        assert!(r.pf_issued <= unfiltered.pf_issued);
     }
 
     #[test]

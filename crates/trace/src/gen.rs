@@ -45,6 +45,8 @@ pub struct TraceGenerator {
     p_branch: f64,
     p_store_miss: f64,
     executions: u64,
+    /// `spec.evolve_frac` in 32.32 fixed point; 0 disables evolution.
+    evolve_frac_fp: u64,
 }
 
 impl TraceGenerator {
@@ -69,6 +71,11 @@ impl TraceGenerator {
         } else {
             0.0
         };
+        let evolve_frac_fp = if spec.evolve_every_execs > 0 {
+            (spec.evolve_frac * 4_294_967_296.0) as u64
+        } else {
+            0
+        };
         TraceGenerator {
             program,
             rng: SmallRng::seed_from_u64(seed ^ spec.seed_tag.rotate_left(17)),
@@ -81,6 +88,7 @@ impl TraceGenerator {
             p_branch,
             p_store_miss,
             executions: 0,
+            evolve_frac_fp,
         }
     }
 
@@ -144,6 +152,42 @@ impl TraceGenerator {
         )
     }
 
+    /// splitmix64-style avalanche, used for evolution phases/targets so
+    /// drift consumes no RNG draws (evolution-free specs stay
+    /// byte-identical, and drift is stable across chunking/streaming).
+    fn mix(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        x ^ (x >> 33)
+    }
+
+    /// The current identity of a template cluster line under workload
+    /// evolution (see [`WorkloadSpec::evolve_every_execs`]).
+    ///
+    /// Each line has a fixed-point phase; by generation `g` it has
+    /// drifted `(g * evolve_frac_fp + phase) >> 32` times, so exactly an
+    /// `evolve_frac` slice of lines drifts per generation, every line
+    /// eventually drifts, and a line's location is stable *between* its
+    /// drift events (recurrence persists, then breaks). O(1) per load,
+    /// no RNG draws, deterministic in `executions` alone.
+    fn evolved_line(&self, line: LineAddr) -> LineAddr {
+        if self.evolve_frac_fp == 0 {
+            return line;
+        }
+        let g = self.executions / self.spec.evolve_every_execs;
+        let idx = line.index();
+        let phase_fp = Self::mix(idx) & 0xFFFF_FFFF;
+        let drifts = ((g as u128 * self.evolve_frac_fp as u128 + phase_fp as u128) >> 32) as u64;
+        if drifts == 0 {
+            return line;
+        }
+        let slot =
+            Self::mix(idx ^ drifts.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % self.spec.data_pool_lines;
+        LineAddr::from_index(self.spec.pool_base(layout::DATA_BASE) + slot)
+    }
+
     fn emit_filler(&mut self, n: u32, t: &Template, pc_cursor: &mut u64) {
         let code_span = t.hot_code_lines * 64;
         let code_base = t.hot_code_base.base().get();
@@ -195,7 +239,7 @@ impl TraceGenerator {
             let line = if self.rng.gen_bool(self.spec.noise_frac) {
                 Self::random_data_line(&mut self.rng, &self.spec)
             } else {
-                l.line
+                self.evolved_line(l.line)
             };
             self.buf.push(TraceRecord::new(
                 l.pc,
@@ -429,5 +473,80 @@ mod tests {
         let mut g = TraceGenerator::new(&spec, 6);
         let _ = g.collect_n(100_000);
         assert!(g.executions() > 0);
+    }
+
+    #[test]
+    fn evolution_disabled_is_identity() {
+        // All paper presets have evolve_every_execs == 0, so evolved_line
+        // must be the identity even deep into a run.
+        let mut g = TraceGenerator::new(&small(), 6);
+        let _ = g.collect_n(100_000);
+        for idx in [layout::DATA_BASE, layout::DATA_BASE + 7919] {
+            let l = LineAddr::from_index(idx);
+            assert_eq!(g.evolved_line(l), l);
+        }
+    }
+
+    fn graph_small(evolve_every_execs: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            templates: 8,
+            noise_frac: 0.0,
+            transient_frac: 0.0,
+            evolve_every_execs,
+            ..WorkloadSpec::graph_analytics().scaled(1, 16)
+        }
+    }
+
+    fn distinct_data_lines(spec: &WorkloadSpec, seed: u64, n: usize) -> usize {
+        let base = spec.pool_base(layout::DATA_BASE);
+        let mut lines = std::collections::HashSet::new();
+        for r in TraceGenerator::new(spec, seed).take(n) {
+            if let Op::Load { addr, .. } = r.op {
+                let l = addr.line().index();
+                if l >= base && l < base + spec.data_pool_lines {
+                    lines.insert(l);
+                }
+            }
+        }
+        lines.len()
+    }
+
+    #[test]
+    fn evolution_drifts_cluster_lines_across_generations() {
+        // Same structure, same seed; the evolving variant must touch
+        // clearly more distinct data-pool lines because template lines
+        // drift to fresh locations across generations.
+        let frozen = distinct_data_lines(
+            &WorkloadSpec {
+                evolve_frac: 0.0,
+                ..graph_small(0)
+            },
+            4,
+            400_000,
+        );
+        let evolving = distinct_data_lines(&graph_small(4), 4, 400_000);
+        assert!(
+            evolving as f64 > frozen as f64 * 1.3,
+            "evolving {evolving} vs frozen {frozen}"
+        );
+    }
+
+    #[test]
+    fn evolution_is_deterministic_and_chunk_invariant() {
+        let spec = graph_small(4);
+        let expect: Vec<_> = TraceGenerator::new(&spec, 11).take(60_000).collect();
+        let again: Vec<_> = TraceGenerator::new(&spec, 11).take(60_000).collect();
+        assert_eq!(expect, again);
+        let mut g = TraceGenerator::new(&spec, 11);
+        assert_eq!(g.collect_n(60_000), expect, "chunked delivery must match");
+    }
+
+    #[test]
+    fn evolution_preserves_recurrence_within_a_generation() {
+        // A drifted line stays put between its drift events: with a very
+        // long generation, the evolving trace still recurs heavily.
+        let spec = graph_small(1_000_000);
+        let lines = distinct_data_lines(&spec, 4, 400_000);
+        assert!(lines < 3000, "distinct data lines {lines}");
     }
 }

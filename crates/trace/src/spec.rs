@@ -133,6 +133,18 @@ pub struct WorkloadSpec {
     pub serialize_per_kilo: f64,
     /// Store misses (write-allocates to the data pool) per 1000 insts.
     pub store_miss_per_kilo: f64,
+
+    // --- evolution (time-varying recurrence) ---------------------------
+    /// Template executions per evolution *generation*; 0 disables
+    /// evolution (all paper presets). Each generation, a deterministic
+    /// [`WorkloadSpec::evolve_frac`] slice of the data-pool cluster
+    /// lines drifts to new locations, so miss-sequence recurrence
+    /// decays across generations — the evolving-graph-analytics regime
+    /// fast-aging prefetchers (AMC) target and epoch-persistent tables
+    /// age poorly in.
+    pub evolve_every_execs: u64,
+    /// Per-generation fraction of cluster lines that drift (0 = none).
+    pub evolve_frac: f64,
 }
 
 impl WorkloadSpec {
@@ -170,6 +182,8 @@ impl WorkloadSpec {
             mispredict_prob: 0.08,
             serialize_per_kilo: 0.02,
             store_miss_per_kilo: 0.3,
+            evolve_every_execs: 0,
+            evolve_frac: 0.0,
         }
     }
 
@@ -277,6 +291,41 @@ impl WorkloadSpec {
         }
     }
 
+    /// Evolving graph analytics: data-miss dominated with learnable
+    /// per-template structure — but the structure is *non-stationary*.
+    /// Every [`evolve_every_execs`] template executions a deterministic
+    /// [`evolve_frac`] slice of the cluster lines drifts to fresh
+    /// data-pool locations, so a correlation learned early stops
+    /// predicting within a few generations. Not part of the paper's
+    /// four (no Table 1 calibration); comparison sweeps opt in via
+    /// [`WorkloadSpec::extended_presets`].
+    ///
+    /// [`evolve_every_execs`]: WorkloadSpec::evolve_every_execs
+    /// [`evolve_frac`]: WorkloadSpec::evolve_frac
+    pub fn graph_analytics() -> Self {
+        WorkloadSpec {
+            templates: 700,
+            segments_per_template: 36,
+            gap_mean: 280,
+            gap_jitter: 0.25,
+            // Pointer-chase heavy: mostly small dependent clusters with
+            // an occasional neighbourhood expansion burst.
+            cluster_size_weights: vec![(1, 0.55), (2, 0.25), (4, 0.12), (8, 0.06), (16, 0.02)],
+            cold_frac: 0.04,
+            cold_run_lines: 2,
+            transient_frac: 0.10,
+            fork_frac: 0.10,
+            spatial_frac: 0.12,
+            stride_frac: 0.08,
+            noise_frac: 0.03,
+            warm_frac_of_loads: 0.15,
+            mispredict_prob: 0.07,
+            evolve_every_execs: 400,
+            evolve_frac: 0.2,
+            ..Self::base("graph", 0x9f)
+        }
+    }
+
     /// All four presets, in the paper's reporting order.
     pub fn all_presets() -> Vec<WorkloadSpec> {
         vec![
@@ -285,6 +334,15 @@ impl WorkloadSpec {
             Self::specjbb2005(),
             Self::specjappserver2004(),
         ]
+    }
+
+    /// The paper's four presets plus the evolving-graph preset — the
+    /// roster for comparison sweeps and differential batteries. The
+    /// paper's figures keep using [`WorkloadSpec::all_presets`].
+    pub fn extended_presets() -> Vec<WorkloadSpec> {
+        let mut v = Self::all_presets();
+        v.push(Self::graph_analytics());
+        v
     }
 
     /// Scales the workload *footprint* by `num/den`: template count and
@@ -303,6 +361,11 @@ impl WorkloadSpec {
         self.data_pool_lines = (self.data_pool_lines * num as u64 / den as u64).max(1024);
         self.cold_code_pool_lines = (self.cold_code_pool_lines * num as u64 / den as u64).max(256);
         self.warm_pool_lines = (self.warm_pool_lines * num as u64 / den as u64).max(128);
+        // Generations track full passes over the template set, so the
+        // generation length shrinks with the template count.
+        if self.evolve_every_execs > 0 {
+            self.evolve_every_execs = (self.evolve_every_execs * num as u64 / den as u64).max(1);
+        }
         self
     }
 
@@ -381,6 +444,12 @@ impl WorkloadSpec {
         if self.transient_frac + self.fork_frac + self.spatial_frac + self.stride_frac > 1.0 {
             return Err("cluster kind fractions exceed 1".into());
         }
+        if !(0.0..=1.0).contains(&self.evolve_frac) {
+            return Err(format!("evolve_frac {} out of [0,1]", self.evolve_frac));
+        }
+        if self.evolve_frac > 0.0 && self.evolve_every_execs == 0 {
+            return Err("evolve_frac set but evolve_every_execs is 0".into());
+        }
         Ok(())
     }
 }
@@ -450,6 +519,42 @@ mod tests {
         s.load_frac = 0.9;
         s.store_frac = 0.2;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn extended_presets_add_graph_and_validate() {
+        let v = WorkloadSpec::extended_presets();
+        assert_eq!(v.len(), 5);
+        let names: std::collections::HashSet<_> = v.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 5);
+        assert!(names.contains("graph"));
+        for s in &v {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+        // The paper's four stay evolution-free.
+        for s in WorkloadSpec::all_presets() {
+            assert_eq!(s.evolve_every_execs, 0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_generation_length() {
+        let full = WorkloadSpec::graph_analytics();
+        let quarter = full.clone().scaled(1, 4);
+        assert_eq!(quarter.evolve_every_execs, full.evolve_every_execs / 4);
+        assert_eq!(quarter.evolve_frac, full.evolve_frac);
+        // Evolution-free presets must not gain a generation length.
+        assert_eq!(WorkloadSpec::database().scaled(1, 4).evolve_every_execs, 0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_evolution() {
+        let mut s = WorkloadSpec::graph_analytics();
+        s.evolve_frac = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = WorkloadSpec::graph_analytics();
+        s.evolve_every_execs = 0;
+        assert!(s.validate().is_err(), "frac without a generation length");
     }
 
     #[test]
